@@ -1,0 +1,30 @@
+//! Criterion benchmark behind Figure 4: one full run of each system
+//! (FAIR-BFL, pure blockchain, FedAvg, FedProx) at smoke scale, so the
+//! relative wall-clock cost of the three architectures can be compared and
+//! regressions in the round pipeline are caught.
+
+use bfl_bench::experiments::{dataset, run_system, Scale, SystemLabel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let data = dataset(Scale::Smoke);
+    let mut group = c.benchmark_group("fig4_general_comparison");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    for system in [
+        SystemLabel::Fair,
+        SystemLabel::Blockchain,
+        SystemLabel::FedAvg,
+        SystemLabel::FedProx,
+    ] {
+        group.bench_function(system.name(), |b| {
+            b.iter(|| black_box(run_system(system, Scale::Smoke, &data)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benchmark behind Figure 7: FAIR with the keep strategy versus
+//! the discard strategy (which does strictly more work per round — the
+//! clustering plus re-aggregation — yet fewer participants over time).
+
+use bfl_bench::experiments::{dataset, run_system, Scale, SystemLabel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig7(c: &mut Criterion) {
+    let data = dataset(Scale::Smoke);
+    let mut group = c.benchmark_group("fig7_discard_strategy");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    for system in [SystemLabel::Fair, SystemLabel::FairDiscard, SystemLabel::FedProx] {
+        group.bench_function(system.name(), |b| {
+            b.iter(|| black_box(run_system(system, Scale::Smoke, &data)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

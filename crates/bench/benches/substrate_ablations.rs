@@ -1,0 +1,114 @@
+//! Substrate micro-benchmarks and design-choice ablations from DESIGN.md:
+//! SHA-256 / PoW throughput, RSA sign+verify cost (the T_up verification
+//! component), simple vs fair aggregation (Equation 1), and local training
+//! throughput — the building blocks every round delay is made of.
+
+use bfl_chain::pow::PowConfig;
+use bfl_core::aggregation::fair_aggregate;
+use bfl_crypto::sha256::sha256;
+use bfl_crypto::signature::{sign_message, verify_message};
+use bfl_crypto::RsaKeyPair;
+use bfl_data::{SynthMnist, SynthMnistConfig};
+use bfl_ml::gradient::average;
+use bfl_ml::optimizer::{train_local, LocalTrainingConfig};
+use bfl_ml::SoftmaxRegression;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_hashing_and_pow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_hashing");
+    group.sample_size(30).measurement_time(Duration::from_secs(5));
+    let payload = vec![0xA5u8; 64 * 1024];
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("sha256_64KiB", |b| b.iter(|| black_box(sha256(&payload))));
+
+    group.bench_function("pow_difficulty_256", |b| {
+        let config = PowConfig::new(256);
+        b.iter(|| {
+            black_box(config.search(0, 1_000_000, |nonce| {
+                let mut bytes = b"bench-header".to_vec();
+                bytes.extend_from_slice(&nonce.to_be_bytes());
+                sha256(&bytes)
+            }))
+        })
+    });
+    group.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_rsa");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    let mut rng = StdRng::seed_from_u64(1);
+    let pair = RsaKeyPair::generate(&mut rng, 512).expect("keygen");
+    let payload = vec![7u8; 7850 * 8];
+
+    group.bench_function("sign_gradient_512bit", |b| {
+        b.iter(|| black_box(sign_message(1, &payload, &pair.private)))
+    });
+    let signed = sign_message(1, &payload, &pair.private);
+    group.bench_function("verify_gradient_512bit", |b| {
+        b.iter(|| black_box(verify_message(&signed, &pair.public)))
+    });
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_aggregation");
+    group.sample_size(30).measurement_time(Duration::from_secs(5));
+    let updates: Vec<Vec<f64>> = (0..20)
+        .map(|i| (0..7850).map(|j| ((i * 7850 + j) as f64 * 0.001).sin()).collect())
+        .collect();
+    let reference = average(&updates);
+
+    group.bench_function("simple_average", |b| b.iter(|| black_box(average(&updates))));
+    group.bench_function("fair_aggregation_eq1", |b| {
+        b.iter(|| black_box(fair_aggregate(&updates, &reference)))
+    });
+    group.finish();
+}
+
+fn bench_local_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_local_training");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = SynthMnist::new(SynthMnistConfig {
+        train_samples: 100,
+        test_samples: 10,
+        ..SynthMnistConfig::default()
+    })
+    .generate_split(100, &mut rng);
+    let samples: Vec<usize> = (0..100).collect();
+    let config = LocalTrainingConfig {
+        epochs: 1,
+        batch_size: 10,
+        learning_rate: 0.05,
+        proximal_mu: 0.0,
+    };
+
+    group.bench_function("one_epoch_100_samples_softmax", |b| {
+        b.iter(|| {
+            let mut model = SoftmaxRegression::new(784, 10, &mut rng);
+            black_box(train_local(
+                &mut model,
+                &data.features,
+                &data.labels,
+                &samples,
+                &config,
+                &mut rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing_and_pow,
+    bench_rsa,
+    bench_aggregation,
+    bench_local_training
+);
+criterion_main!(benches);

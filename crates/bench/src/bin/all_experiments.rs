@@ -1,0 +1,51 @@
+//! Runs every experiment of the evaluation section back to back and prints
+//! the full markdown report (the source of EXPERIMENTS.md's measured
+//! columns).
+//!
+//! Usage: `cargo run -p bfl-bench --release --bin all_experiments -- [--scale smoke|medium|paper]`
+
+use bfl_bench::experiments::{
+    figure4, figure5, figure6_miners, figure6_workers, figure7, table2, Scale,
+    PAPER_LEARNING_RATES, PAPER_MINER_COUNTS, PAPER_WORKER_COUNTS,
+};
+use bfl_bench::report::{
+    render_figure4, render_figure5, render_figure6, render_figure7, render_table2,
+};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# FAIR-BFL reproduction — full experiment run ({scale:?} scale)\n");
+
+    eprintln!("[1/6] Figure 4...");
+    println!("{}", render_figure4(&figure4(scale)));
+
+    eprintln!("[2/6] Figure 5...");
+    let rates: Vec<f64> = if scale == Scale::Smoke {
+        vec![0.01, 0.10]
+    } else {
+        PAPER_LEARNING_RATES.to_vec()
+    };
+    println!("{}", render_figure5(&figure5(scale, &rates)));
+
+    eprintln!("[3/6] Figure 6a (workers)...");
+    let worker_counts: Vec<usize> = if scale == Scale::Smoke {
+        vec![10, 40]
+    } else {
+        PAPER_WORKER_COUNTS.to_vec()
+    };
+    println!("{}", render_figure6(&figure6_workers(scale, &worker_counts), "workers"));
+
+    eprintln!("[4/6] Figure 6b (miners)...");
+    let miner_counts: Vec<usize> = if scale == Scale::Smoke {
+        vec![2, 4]
+    } else {
+        PAPER_MINER_COUNTS.to_vec()
+    };
+    println!("{}", render_figure6(&figure6_miners(scale, &miner_counts), "miners"));
+
+    eprintln!("[5/6] Figure 7...");
+    println!("{}", render_figure7(&figure7(scale)));
+
+    eprintln!("[6/6] Table 2...");
+    println!("{}", render_table2(&table2(scale)));
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 4: general comparison of delay (FAIR vs Blockchain vs
+//! FedAvg) and accuracy over time (FAIR vs FedAvg vs FedProx).
+//!
+//! Usage: `cargo run -p bfl-bench --release --bin fig4 -- [--scale smoke|medium|paper]`
+
+use bfl_bench::experiments::{figure4, Scale};
+use bfl_bench::report::render_figure4;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Figure 4 at {scale:?} scale...");
+    let figure = figure4(scale);
+    println!("{}", render_figure4(&figure));
+
+    println!("\nDelay series (cumulative average per round):");
+    for (system, series) in &figure.delay_series {
+        let sampled: Vec<String> = series
+            .iter()
+            .step_by((series.len() / 10).max(1))
+            .map(|d| format!("{d:.1}"))
+            .collect();
+        println!("  {:<12} {}", system.name(), sampled.join(" "));
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 5: impact of the learning rate on delay (5a) and
+//! accuracy (5b) for FAIR, FedAvg and FedProx.
+//!
+//! Usage: `cargo run -p bfl-bench --release --bin fig5 -- [--scale smoke|medium|paper]`
+
+use bfl_bench::experiments::{figure5, Scale, PAPER_LEARNING_RATES};
+use bfl_bench::report::render_figure5;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Figure 5 at {scale:?} scale...");
+    let rates: Vec<f64> = if scale == Scale::Smoke {
+        vec![0.01, 0.10]
+    } else {
+        PAPER_LEARNING_RATES.to_vec()
+    };
+    let rows = figure5(scale, &rates);
+    println!("{}", render_figure5(&rows));
+}

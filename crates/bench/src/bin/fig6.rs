@@ -1,0 +1,36 @@
+//! Regenerates Figure 6: delay versus the number of workers (6a) and the
+//! number of miners (6b).
+//!
+//! Usage: `cargo run -p bfl-bench --release --bin fig6 -- [workers|miners] [--scale smoke|medium|paper]`
+
+use bfl_bench::experiments::{
+    figure6_miners, figure6_workers, Scale, PAPER_MINER_COUNTS, PAPER_WORKER_COUNTS,
+};
+use bfl_bench::report::render_figure6;
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("both");
+
+    if which == "workers" || which == "both" || which.starts_with("--") {
+        eprintln!("running Figure 6a (workers) at {scale:?} scale...");
+        let counts: Vec<usize> = if scale == Scale::Smoke {
+            vec![10, 40]
+        } else {
+            PAPER_WORKER_COUNTS.to_vec()
+        };
+        let rows = figure6_workers(scale, &counts);
+        println!("{}", render_figure6(&rows, "workers"));
+    }
+    if which == "miners" || which == "both" || which.starts_with("--") {
+        eprintln!("running Figure 6b (miners) at {scale:?} scale...");
+        let counts: Vec<usize> = if scale == Scale::Smoke {
+            vec![2, 4]
+        } else {
+            PAPER_MINER_COUNTS.to_vec()
+        };
+        let rows = figure6_miners(scale, &counts);
+        println!("{}", render_figure6(&rows, "miners"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 7: cost-effectiveness of the discard strategy
+//! (FAIR-Discard vs FAIR vs Blockchain vs FedAvg vs FedProx-Drop(0.02)).
+//!
+//! Usage: `cargo run -p bfl-bench --release --bin fig7 -- [--scale smoke|medium|paper]`
+
+use bfl_bench::experiments::{figure7, Scale};
+use bfl_bench::report::render_figure7;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Figure 7 at {scale:?} scale...");
+    let figure = figure7(scale);
+    println!("{}", render_figure7(&figure));
+
+    println!("\nAccuracy-over-time series (elapsed s, accuracy) samples:");
+    for (system, series) in &figure.accuracy_series {
+        let sampled: Vec<String> = series
+            .iter()
+            .step_by((series.len() / 8).max(1))
+            .map(|(t, a)| format!("({t:.0}s,{a:.2})"))
+            .collect();
+        println!("  {:<14} {}", system.name(), sampled.join(" "));
+    }
+}

@@ -1,0 +1,20 @@
+//! # bfl-bench
+//!
+//! Experiment harness for the FAIR-BFL reproduction. The [`experiments`]
+//! module builds the configurations for every system in the paper's
+//! comparison (FAIR-BFL, FAIR-Discard, FedAvg, FedProx, pure blockchain)
+//! and runs the parameter sweeps behind every table and figure of the
+//! evaluation section; [`report`] renders the results as the markdown
+//! tables recorded in EXPERIMENTS.md.
+//!
+//! Each figure/table has a dedicated binary (`fig4`, `fig5`, `fig6`,
+//! `fig7`, `table2`, `all_experiments`) accepting a `--scale
+//! {smoke|medium|paper}` argument, and a matching Criterion benchmark under
+//! `benches/` that exercises the same code path at smoke scale.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{Scale, SystemLabel};

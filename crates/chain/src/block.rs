@@ -1,0 +1,257 @@
+//! Blocks and block headers.
+//!
+//! A block packs the transactions of one communication round behind a
+//! header that commits to the previous block's hash, the Merkle root of the
+//! body, a simulated timestamp, the PoW difficulty and the nonce found by
+//! the winning miner. Under FAIR-BFL's Assumption 2 the body contains the
+//! round's single global-gradient transaction plus reward transactions;
+//! under vanilla BFL it contains whatever local-gradient transactions fit
+//! below the block-size limit.
+
+use crate::merkle::merkle_root;
+use crate::pow::{Difficulty, PowConfig};
+use crate::transaction::Transaction;
+use bfl_crypto::sha256::{sha256, to_hex, Digest};
+use serde::{Deserialize, Serialize};
+
+/// Header committed to by the proof-of-work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockHeader {
+    /// Height of the block (genesis is 0).
+    pub index: u64,
+    /// Hash of the previous block's header.
+    pub previous_hash: Digest,
+    /// Merkle root of the transaction ids in the body.
+    pub merkle_root: Digest,
+    /// Simulated timestamp in milliseconds since the start of the run.
+    pub timestamp_ms: u64,
+    /// Difficulty the block was mined at.
+    pub difficulty: Difficulty,
+    /// Nonce found by the winning miner.
+    pub nonce: u64,
+    /// Identifier of the miner that produced the block.
+    pub miner_id: u64,
+}
+
+impl BlockHeader {
+    /// Serializes the header (with the given nonce substituted) and hashes it.
+    pub fn hash_with_nonce(&self, nonce: u64) -> Digest {
+        let mut bytes = Vec::with_capacity(96);
+        bytes.extend_from_slice(&self.index.to_be_bytes());
+        bytes.extend_from_slice(&self.previous_hash);
+        bytes.extend_from_slice(&self.merkle_root);
+        bytes.extend_from_slice(&self.timestamp_ms.to_be_bytes());
+        bytes.extend_from_slice(&self.difficulty.to_be_bytes());
+        bytes.extend_from_slice(&nonce.to_be_bytes());
+        bytes.extend_from_slice(&self.miner_id.to_be_bytes());
+        sha256(&bytes)
+    }
+
+    /// Hash of the header with its recorded nonce.
+    pub fn hash(&self) -> Digest {
+        self.hash_with_nonce(self.nonce)
+    }
+}
+
+/// A block: header plus transaction body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The proof-of-work header.
+    pub header: BlockHeader,
+    /// Transactions recorded in the block.
+    pub transactions: Vec<Transaction>,
+}
+
+impl Block {
+    /// Builds the genesis block (height 0, no transactions, zero difficulty).
+    pub fn genesis() -> Block {
+        let header = BlockHeader {
+            index: 0,
+            previous_hash: [0u8; 32],
+            merkle_root: merkle_root(&[]),
+            timestamp_ms: 0,
+            difficulty: 1,
+            nonce: 0,
+            miner_id: 0,
+        };
+        Block {
+            header,
+            transactions: Vec::new(),
+        }
+    }
+
+    /// Assembles an unmined candidate block on top of `previous`.
+    pub fn candidate(
+        previous: &Block,
+        transactions: Vec<Transaction>,
+        timestamp_ms: u64,
+        difficulty: Difficulty,
+        miner_id: u64,
+    ) -> Block {
+        let leaves: Vec<Digest> = transactions.iter().map(|tx| tx.id()).collect();
+        let header = BlockHeader {
+            index: previous.header.index + 1,
+            previous_hash: previous.header.hash(),
+            merkle_root: merkle_root(&leaves),
+            timestamp_ms,
+            difficulty,
+            nonce: 0,
+            miner_id,
+        };
+        Block {
+            header,
+            transactions,
+        }
+    }
+
+    /// Hash of the block (its header hash).
+    pub fn hash(&self) -> Digest {
+        self.header.hash()
+    }
+
+    /// Hash rendered as hex, convenient for logs and examples.
+    pub fn hash_hex(&self) -> String {
+        to_hex(&self.hash())
+    }
+
+    /// Total serialized size of the block body in bytes.
+    pub fn size_bytes(&self) -> usize {
+        const HEADER_BYTES: usize = 104;
+        HEADER_BYTES + self.transactions.iter().map(Transaction::size_bytes).sum::<usize>()
+    }
+
+    /// Recomputes the Merkle root from the body and compares with the header.
+    pub fn merkle_consistent(&self) -> bool {
+        let leaves: Vec<Digest> = self.transactions.iter().map(|tx| tx.id()).collect();
+        merkle_root(&leaves) == self.header.merkle_root
+    }
+
+    /// True when the recorded nonce satisfies the block's own difficulty.
+    pub fn proof_is_valid(&self) -> bool {
+        PowConfig::new(self.header.difficulty).meets_target(&self.hash())
+    }
+
+    /// Mines the block in place: searches nonces until the proof is valid.
+    ///
+    /// Returns the number of hash evaluations spent. Genesis-style blocks at
+    /// difficulty 1 typically succeed on the first try.
+    pub fn mine(&mut self, config: &PowConfig) -> u64 {
+        self.header.difficulty = config.difficulty;
+        let mut attempts = 0u64;
+        let mut nonce = 0u64;
+        loop {
+            attempts += 1;
+            let hash = self.header.hash_with_nonce(nonce);
+            if config.meets_target(&hash) {
+                self.header.nonce = nonce;
+                return attempts;
+            }
+            nonce = nonce.wrapping_add(1);
+        }
+    }
+
+    /// True if the block records no transactions — the "empty block" the
+    /// paper's tight-coupling assumption is designed to avoid.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Returns the global-gradient payload recorded in this block, if any.
+    pub fn global_gradient_payload(&self) -> Option<(u64, &[u8])> {
+        self.transactions.iter().find_map(|tx| match &tx.kind {
+            crate::transaction::TransactionKind::GlobalGradient { round, payload } => {
+                Some((*round, payload.as_slice()))
+            }
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_is_consistent() {
+        let g = Block::genesis();
+        assert_eq!(g.header.index, 0);
+        assert!(g.is_empty());
+        assert!(g.merkle_consistent());
+        assert_eq!(g.header.previous_hash, [0u8; 32]);
+        assert!(g.global_gradient_payload().is_none());
+    }
+
+    #[test]
+    fn candidate_links_to_previous() {
+        let g = Block::genesis();
+        let txs = vec![Transaction::global_gradient(1, 1, vec![1, 2, 3])];
+        let b = Block::candidate(&g, txs, 1500, 8, 1);
+        assert_eq!(b.header.index, 1);
+        assert_eq!(b.header.previous_hash, g.hash());
+        assert_eq!(b.header.miner_id, 1);
+        assert!(b.merkle_consistent());
+        assert_eq!(b.global_gradient_payload(), Some((1, &[1u8, 2, 3][..])));
+    }
+
+    #[test]
+    fn hash_changes_with_nonce_and_content() {
+        let g = Block::genesis();
+        let b1 = Block::candidate(&g, vec![Transaction::reward(1, 1, 2, 10)], 0, 1, 1);
+        let mut b2 = b1.clone();
+        b2.header.nonce = 42;
+        assert_ne!(b1.hash(), b2.hash());
+
+        let b3 = Block::candidate(&g, vec![Transaction::reward(1, 1, 2, 11)], 0, 1, 1);
+        assert_ne!(b1.hash(), b3.hash());
+    }
+
+    #[test]
+    fn tampering_with_body_breaks_merkle_consistency() {
+        let g = Block::genesis();
+        let mut b = Block::candidate(&g, vec![Transaction::reward(1, 1, 2, 10)], 0, 1, 1);
+        assert!(b.merkle_consistent());
+        b.transactions.push(Transaction::reward(1, 1, 3, 10));
+        assert!(!b.merkle_consistent());
+    }
+
+    #[test]
+    fn mining_produces_a_valid_proof() {
+        let g = Block::genesis();
+        let mut b = Block::candidate(&g, vec![Transaction::reward(1, 1, 2, 10)], 0, 64, 1);
+        let config = PowConfig::new(64);
+        let attempts = b.mine(&config);
+        assert!(attempts >= 1);
+        assert!(b.proof_is_valid());
+        assert_eq!(b.header.difficulty, 64);
+    }
+
+    #[test]
+    fn size_grows_with_payload() {
+        let g = Block::genesis();
+        let small = Block::candidate(&g, vec![Transaction::reward(1, 1, 2, 10)], 0, 1, 1);
+        let large = Block::candidate(
+            &g,
+            vec![Transaction::local_gradient(1, 1, vec![0u8; 50_000])],
+            0,
+            1,
+            1,
+        );
+        assert!(large.size_bytes() > small.size_bytes());
+        assert!(large.size_bytes() > 50_000);
+    }
+
+    #[test]
+    fn hash_hex_is_64_chars() {
+        assert_eq!(Block::genesis().hash_hex().len(), 64);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = Block::genesis();
+        let b = Block::candidate(&g, vec![Transaction::reward(1, 1, 2, 10)], 77, 4, 3);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Block = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.hash(), b.hash());
+    }
+}

@@ -1,0 +1,400 @@
+//! The validated, append-only blockchain.
+//!
+//! Every miner holds a copy of the chain. Under FAIR-BFL's synchronized
+//! design all copies stay identical (one block per communication round, no
+//! forks); the vanilla baseline may need to resolve competing tips, which
+//! [`Blockchain::resolve_longest`] models with the longest-chain rule.
+
+use crate::block::Block;
+use crate::error::ChainError;
+use crate::pow::PowConfig;
+use crate::transaction::TransactionKind;
+use serde::{Deserialize, Serialize};
+
+/// An append-only chain of validated blocks starting at genesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Blockchain {
+    blocks: Vec<Block>,
+    /// Maximum accepted block size in bytes (the paper's "block size is
+    /// limited" constraint that causes vanilla-BFL queuing).
+    pub max_block_bytes: usize,
+    /// Whether appended blocks must carry a valid proof of work.
+    pub require_proof: bool,
+}
+
+/// Default block-size limit: large enough for one serialized global
+/// gradient of the reference model plus a full reward list, small enough
+/// that one hundred local gradients do not fit (driving Figure 6a).
+pub const DEFAULT_MAX_BLOCK_BYTES: usize = 512 * 1024;
+
+impl Default for Blockchain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Blockchain {
+    /// Creates a chain containing only the genesis block.
+    pub fn new() -> Self {
+        Blockchain {
+            blocks: vec![Block::genesis()],
+            max_block_bytes: DEFAULT_MAX_BLOCK_BYTES,
+            require_proof: true,
+        }
+    }
+
+    /// Creates a chain with a custom block-size limit.
+    pub fn with_max_block_bytes(max_block_bytes: usize) -> Self {
+        Blockchain {
+            blocks: vec![Block::genesis()],
+            max_block_bytes,
+            require_proof: true,
+        }
+    }
+
+    /// Number of blocks including genesis.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Always false: a chain always contains at least genesis.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Height of the tip (genesis is height 0).
+    pub fn height(&self) -> u64 {
+        (self.blocks.len() - 1) as u64
+    }
+
+    /// The latest block.
+    pub fn tip(&self) -> &Block {
+        self.blocks.last().expect("chain always holds genesis")
+    }
+
+    /// Block at `height`, if it exists.
+    pub fn block_at(&self, height: u64) -> Option<&Block> {
+        self.blocks.get(height as usize)
+    }
+
+    /// Iterates over all blocks from genesis to tip.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Validates a candidate block against the current tip without appending.
+    pub fn validate_candidate(&self, block: &Block) -> Result<(), ChainError> {
+        let tip = self.tip();
+        if block.header.index != tip.header.index + 1 {
+            return Err(ChainError::WrongIndex {
+                expected: block.header.index,
+                found: tip.header.index + 1,
+            });
+        }
+        if block.header.previous_hash != tip.hash() {
+            return Err(ChainError::BrokenLink {
+                height: block.header.index,
+            });
+        }
+        if !block.merkle_consistent() {
+            return Err(ChainError::MerkleMismatch);
+        }
+        if block.size_bytes() > self.max_block_bytes {
+            return Err(ChainError::BlockTooLarge {
+                size: block.size_bytes(),
+                limit: self.max_block_bytes,
+            });
+        }
+        if self.require_proof && !block.proof_is_valid() {
+            return Err(ChainError::InsufficientWork);
+        }
+        Ok(())
+    }
+
+    /// Validates and appends a block.
+    pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
+        self.validate_candidate(&block)?;
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Appends without validation. Only used by tests and by the fork model
+    /// when reconstructing a competing branch that was already validated.
+    pub fn force_append(&mut self, block: Block) {
+        self.blocks.push(block);
+    }
+
+    /// Re-validates the entire chain from genesis.
+    pub fn validate_all(&self) -> Result<(), ChainError> {
+        for (i, window) in self.blocks.windows(2).enumerate() {
+            let (prev, block) = (&window[0], &window[1]);
+            if block.header.index != prev.header.index + 1 {
+                return Err(ChainError::WrongIndex {
+                    expected: block.header.index,
+                    found: prev.header.index + 1,
+                });
+            }
+            if block.header.previous_hash != prev.hash() {
+                return Err(ChainError::BrokenLink {
+                    height: (i + 1) as u64,
+                });
+            }
+            if !block.merkle_consistent() {
+                return Err(ChainError::MerkleMismatch);
+            }
+            if self.require_proof && !block.proof_is_valid() {
+                return Err(ChainError::InsufficientWork);
+            }
+        }
+        Ok(())
+    }
+
+    /// Longest-chain resolution: adopts `other` if it is strictly longer and
+    /// fully valid. Returns true when a reorganisation happened.
+    pub fn resolve_longest(&mut self, other: &Blockchain) -> bool {
+        if other.len() > self.len() && other.validate_all().is_ok() {
+            self.blocks = other.blocks.clone();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The most recent global-gradient payload on the chain, if any,
+    /// together with the round it was recorded for. This is what clients
+    /// read at the start of Procedure-I ("read global gradient w_r from the
+    /// latest block").
+    pub fn latest_global_gradient(&self) -> Option<(u64, Vec<u8>)> {
+        self.blocks.iter().rev().find_map(|block| {
+            block
+                .global_gradient_payload()
+                .map(|(round, payload)| (round, payload.to_vec()))
+        })
+    }
+
+    /// Sums the rewards recorded on chain per client.
+    pub fn reward_totals(&self) -> std::collections::BTreeMap<u64, u64> {
+        let mut totals = std::collections::BTreeMap::new();
+        for block in &self.blocks {
+            for tx in &block.transactions {
+                if let TransactionKind::Reward {
+                    client_id,
+                    amount_milli,
+                    ..
+                } = &tx.kind
+                {
+                    *totals.entry(*client_id).or_insert(0) += amount_milli;
+                }
+            }
+        }
+        totals
+    }
+
+    /// Counts blocks that record no transactions (the "empty blocks" that
+    /// loosely-coupled vanilla BFL can produce).
+    pub fn empty_block_count(&self) -> usize {
+        self.blocks.iter().skip(1).filter(|b| b.is_empty()).count()
+    }
+
+    /// Builds, mines and appends a block containing `transactions` on top of
+    /// the current tip. Returns the number of hash attempts spent mining.
+    pub fn mine_and_append(
+        &mut self,
+        transactions: Vec<crate::transaction::Transaction>,
+        timestamp_ms: u64,
+        config: &PowConfig,
+        miner_id: u64,
+    ) -> Result<u64, ChainError> {
+        let mut candidate =
+            Block::candidate(self.tip(), transactions, timestamp_ms, config.difficulty, miner_id);
+        let attempts = candidate.mine(config);
+        self.append(candidate)?;
+        Ok(attempts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Transaction;
+
+    fn easy_pow() -> PowConfig {
+        PowConfig::new(4)
+    }
+
+    #[test]
+    fn new_chain_has_only_genesis() {
+        let chain = Blockchain::new();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.height(), 0);
+        assert!(!chain.is_empty());
+        assert!(chain.latest_global_gradient().is_none());
+        assert_eq!(chain.empty_block_count(), 0);
+        chain.validate_all().unwrap();
+    }
+
+    #[test]
+    fn mine_and_append_extends_the_chain() {
+        let mut chain = Blockchain::new();
+        let txs = vec![Transaction::global_gradient(1, 1, vec![7, 8, 9])];
+        let attempts = chain.mine_and_append(txs, 1000, &easy_pow(), 1).unwrap();
+        assert!(attempts >= 1);
+        assert_eq!(chain.height(), 1);
+        assert_eq!(chain.latest_global_gradient(), Some((1, vec![7, 8, 9])));
+        chain.validate_all().unwrap();
+    }
+
+    #[test]
+    fn append_rejects_wrong_index() {
+        let mut chain = Blockchain::new();
+        let mut block = Block::candidate(chain.tip(), vec![], 0, 1, 1);
+        block.header.index = 5;
+        assert!(matches!(
+            chain.append(block),
+            Err(ChainError::WrongIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn append_rejects_broken_link() {
+        let mut chain = Blockchain::new();
+        let mut block = Block::candidate(chain.tip(), vec![], 0, 1, 1);
+        block.header.previous_hash = [9u8; 32];
+        block.mine(&easy_pow());
+        assert!(matches!(
+            chain.append(block),
+            Err(ChainError::BrokenLink { .. })
+        ));
+    }
+
+    #[test]
+    fn append_rejects_merkle_mismatch() {
+        let mut chain = Blockchain::new();
+        let mut block = Block::candidate(chain.tip(), vec![], 0, 1, 1);
+        block.transactions.push(Transaction::reward(1, 1, 2, 5));
+        block.mine(&easy_pow());
+        assert_eq!(chain.append(block), Err(ChainError::MerkleMismatch));
+    }
+
+    #[test]
+    fn append_rejects_oversized_block() {
+        let mut chain = Blockchain::with_max_block_bytes(1024);
+        let big = vec![Transaction::local_gradient(1, 1, vec![0u8; 4096])];
+        let mut block = Block::candidate(chain.tip(), big, 0, 1, 1);
+        block.mine(&easy_pow());
+        assert!(matches!(
+            chain.append(block),
+            Err(ChainError::BlockTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn append_rejects_missing_proof_when_required() {
+        let mut chain = Blockchain::new();
+        // Use a high difficulty and do not mine: the zero nonce will
+        // essentially never satisfy it.
+        let block = Block::candidate(chain.tip(), vec![], 0, u64::MAX / 2, 1);
+        assert_eq!(chain.append(block), Err(ChainError::InsufficientWork));
+    }
+
+    #[test]
+    fn proof_not_required_when_disabled() {
+        let mut chain = Blockchain::new();
+        chain.require_proof = false;
+        let block = Block::candidate(chain.tip(), vec![], 0, u64::MAX / 2, 1);
+        chain.append(block).unwrap();
+        assert_eq!(chain.height(), 1);
+    }
+
+    #[test]
+    fn reward_totals_accumulate_across_blocks() {
+        let mut chain = Blockchain::new();
+        chain
+            .mine_and_append(
+                vec![
+                    Transaction::reward(1, 1, 10, 500),
+                    Transaction::reward(1, 1, 11, 300),
+                ],
+                0,
+                &easy_pow(),
+                1,
+            )
+            .unwrap();
+        chain
+            .mine_and_append(vec![Transaction::reward(1, 2, 10, 250)], 0, &easy_pow(), 1)
+            .unwrap();
+        let totals = chain.reward_totals();
+        assert_eq!(totals[&10], 750);
+        assert_eq!(totals[&11], 300);
+        assert_eq!(totals.len(), 2);
+    }
+
+    #[test]
+    fn empty_blocks_are_counted() {
+        let mut chain = Blockchain::new();
+        chain.mine_and_append(vec![], 0, &easy_pow(), 1).unwrap();
+        chain
+            .mine_and_append(vec![Transaction::reward(1, 1, 1, 1)], 0, &easy_pow(), 1)
+            .unwrap();
+        assert_eq!(chain.empty_block_count(), 1);
+    }
+
+    #[test]
+    fn longest_chain_resolution_adopts_longer_valid_chain() {
+        let mut a = Blockchain::new();
+        let mut b = Blockchain::new();
+        a.mine_and_append(vec![], 0, &easy_pow(), 1).unwrap();
+        b.mine_and_append(vec![], 0, &easy_pow(), 2).unwrap();
+        b.mine_and_append(vec![], 1, &easy_pow(), 2).unwrap();
+        assert!(a.resolve_longest(&b));
+        assert_eq!(a.height(), 2);
+        // Equal or shorter chains are not adopted.
+        let c = Blockchain::new();
+        assert!(!a.resolve_longest(&c));
+        assert_eq!(a.height(), 2);
+    }
+
+    #[test]
+    fn latest_global_gradient_returns_most_recent() {
+        let mut chain = Blockchain::new();
+        chain
+            .mine_and_append(
+                vec![Transaction::global_gradient(1, 1, vec![1])],
+                0,
+                &easy_pow(),
+                1,
+            )
+            .unwrap();
+        chain
+            .mine_and_append(
+                vec![Transaction::global_gradient(1, 2, vec![2])],
+                0,
+                &easy_pow(),
+                1,
+            )
+            .unwrap();
+        assert_eq!(chain.latest_global_gradient(), Some((2, vec![2])));
+    }
+
+    #[test]
+    fn block_at_and_iter_are_consistent() {
+        let mut chain = Blockchain::new();
+        chain.mine_and_append(vec![], 0, &easy_pow(), 1).unwrap();
+        assert_eq!(chain.block_at(0).unwrap().header.index, 0);
+        assert_eq!(chain.block_at(1).unwrap().header.index, 1);
+        assert!(chain.block_at(2).is_none());
+        assert_eq!(chain.iter().count(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut chain = Blockchain::new();
+        chain
+            .mine_and_append(vec![Transaction::reward(1, 1, 5, 42)], 9, &easy_pow(), 3)
+            .unwrap();
+        let json = serde_json::to_string(&chain).unwrap();
+        let back: Blockchain = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, chain);
+        back.validate_all().unwrap();
+    }
+}

@@ -1,0 +1,192 @@
+//! Round-synchronized consensus.
+//!
+//! Under FAIR-BFL's Assumptions 1 and 2 every communication round produces
+//! exactly one block: all miners hold the same gradient set, the winner of
+//! the mining competition packs the (identical) global gradient and reward
+//! list, broadcasts, and everyone else stops and appends. There is no fork
+//! to resolve because there is nothing for a second winner to add. The
+//! [`RoundConsensus`] type drives that flow over a set of per-miner chain
+//! replicas and checks the invariant that all replicas stay identical.
+
+use crate::block::Block;
+use crate::chain::Blockchain;
+use crate::error::ChainError;
+use crate::miner::{sample_competition, Miner, MiningOutcome};
+use crate::pow::PowConfig;
+use crate::transaction::Transaction;
+use rand::Rng;
+
+/// The result of sealing one communication round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsensusOutcome {
+    /// Outcome of the mining competition (winner and timing).
+    pub mining: MiningOutcome,
+    /// The block every replica appended.
+    pub block: Block,
+    /// Height the replicas agree on after the round.
+    pub height: u64,
+}
+
+/// Synchronized-round consensus over a set of miner chain replicas.
+#[derive(Debug, Clone)]
+pub struct RoundConsensus {
+    /// One chain replica per miner, indexed in lock-step with `miners`.
+    pub replicas: Vec<Blockchain>,
+    /// The participating miners.
+    pub miners: Vec<Miner>,
+    /// Proof-of-work configuration shared by all miners.
+    pub pow: PowConfig,
+}
+
+impl RoundConsensus {
+    /// Creates a consensus group of `miners`, each starting from genesis.
+    pub fn new(miners: Vec<Miner>, pow: PowConfig) -> Self {
+        assert!(!miners.is_empty(), "consensus needs at least one miner");
+        let replicas = miners.iter().map(|_| Blockchain::new()).collect();
+        RoundConsensus {
+            replicas,
+            miners,
+            pow,
+        }
+    }
+
+    /// Number of participating miners.
+    pub fn miner_count(&self) -> usize {
+        self.miners.len()
+    }
+
+    /// The common chain height, if all replicas agree; `None` otherwise.
+    pub fn agreed_height(&self) -> Option<u64> {
+        let first = self.replicas.first()?.height();
+        self.replicas
+            .iter()
+            .all(|c| c.height() == first && c.tip().hash() == self.replicas[0].tip().hash())
+            .then_some(first)
+    }
+
+    /// Seals one communication round: samples the mining competition, has
+    /// the winner build and mine the block carrying `transactions`, then
+    /// broadcasts it to every replica.
+    ///
+    /// `timestamp_ms` is the simulated time at which the block is produced.
+    pub fn seal_round<R: Rng + ?Sized>(
+        &mut self,
+        transactions: Vec<Transaction>,
+        timestamp_ms: u64,
+        rng: &mut R,
+    ) -> Result<ConsensusOutcome, ChainError> {
+        let mining = sample_competition(&self.miners, &self.pow, rng);
+
+        // The winner assembles and actually mines the block (bounded search
+        // with a generous budget; difficulty in simulations is modest).
+        let winner = self
+            .miners
+            .iter()
+            .find(|m| m.id == mining.winner)
+            .expect("winner is one of the miners");
+        let tip = self.replicas[0].tip().clone();
+        let mut candidate = Block::candidate(
+            &tip,
+            transactions,
+            timestamp_ms,
+            self.pow.difficulty,
+            winner.id,
+        );
+        // The search budget is proportional to the difficulty so the round
+        // always terminates; 64x the expectation makes failure probability
+        // negligible (e^-64).
+        let budget = (self.pow.difficulty.saturating_mul(64)).max(1024);
+        winner
+            .mine_block(&mut candidate, &self.pow, budget)
+            .ok_or(ChainError::InsufficientWork)?;
+
+        // Broadcast: every replica validates and appends the same block.
+        for replica in &mut self.replicas {
+            replica.append(candidate.clone())?;
+        }
+
+        let height = self.agreed_height().expect("replicas remain in agreement");
+        Ok(ConsensusOutcome {
+            mining,
+            block: candidate,
+            height,
+        })
+    }
+
+    /// Returns a reference to the (agreed) canonical chain.
+    pub fn canonical_chain(&self) -> &Blockchain {
+        &self.replicas[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn group(m: usize) -> RoundConsensus {
+        let miners = (0..m as u64).map(|id| Miner::new(id, 1000.0)).collect();
+        RoundConsensus::new(miners, PowConfig::new(16))
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one miner")]
+    fn empty_miner_set_is_rejected() {
+        let _ = RoundConsensus::new(vec![], PowConfig::default());
+    }
+
+    #[test]
+    fn replicas_start_in_agreement() {
+        let consensus = group(3);
+        assert_eq!(consensus.miner_count(), 3);
+        assert_eq!(consensus.agreed_height(), Some(0));
+    }
+
+    #[test]
+    fn sealing_rounds_keeps_replicas_identical() {
+        let mut consensus = group(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for round in 1..=5u64 {
+            let txs = vec![Transaction::global_gradient(0, round, vec![round as u8])];
+            let outcome = consensus.seal_round(txs, round * 1000, &mut rng).unwrap();
+            assert_eq!(outcome.height, round);
+            assert_eq!(consensus.agreed_height(), Some(round));
+            assert!(consensus.miners.iter().any(|m| m.id == outcome.mining.winner));
+        }
+        // Every replica holds the same 6 blocks (genesis + 5 rounds).
+        for replica in &consensus.replicas {
+            assert_eq!(replica.len(), 6);
+            replica.validate_all().unwrap();
+        }
+    }
+
+    #[test]
+    fn one_block_per_round_no_empty_blocks() {
+        let mut consensus = group(2);
+        let mut rng = StdRng::seed_from_u64(6);
+        for round in 1..=3u64 {
+            let txs = vec![Transaction::global_gradient(0, round, vec![1, 2, 3])];
+            consensus.seal_round(txs, 0, &mut rng).unwrap();
+        }
+        assert_eq!(consensus.canonical_chain().empty_block_count(), 0);
+        assert_eq!(consensus.canonical_chain().height(), 3);
+    }
+
+    #[test]
+    fn global_gradient_is_readable_from_latest_block() {
+        let mut consensus = group(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        consensus
+            .seal_round(
+                vec![Transaction::global_gradient(0, 1, vec![42])],
+                0,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(
+            consensus.canonical_chain().latest_global_gradient(),
+            Some((1, vec![42]))
+        );
+    }
+}

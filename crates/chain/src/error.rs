@@ -1,0 +1,77 @@
+//! Error types for the ledger substrate.
+
+use std::fmt;
+
+/// Errors raised while validating or extending the blockchain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// A block's `previous_hash` does not match the chain tip.
+    BrokenLink {
+        /// Height at which the mismatch was detected.
+        height: u64,
+    },
+    /// A block's recorded index does not match its position.
+    WrongIndex {
+        /// Index recorded in the block header.
+        expected: u64,
+        /// Index implied by the chain position.
+        found: u64,
+    },
+    /// The block hash does not satisfy the proof-of-work target.
+    InsufficientWork,
+    /// The Merkle root recorded in the header does not match the body.
+    MerkleMismatch,
+    /// A transaction failed signature verification.
+    BadTransaction(String),
+    /// The block exceeds the configured maximum size.
+    BlockTooLarge {
+        /// Serialized size of the offending block in bytes.
+        size: usize,
+        /// Configured limit in bytes.
+        limit: usize,
+    },
+    /// The chain is empty where a block was required.
+    EmptyChain,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::BrokenLink { height } => {
+                write!(f, "previous-hash link broken at height {height}")
+            }
+            ChainError::WrongIndex { expected, found } => {
+                write!(f, "block index mismatch: header says {expected}, position is {found}")
+            }
+            ChainError::InsufficientWork => write!(f, "block hash does not meet the PoW target"),
+            ChainError::MerkleMismatch => write!(f, "merkle root does not match block body"),
+            ChainError::BadTransaction(msg) => write!(f, "invalid transaction: {msg}"),
+            ChainError::BlockTooLarge { size, limit } => {
+                write!(f, "block of {size} bytes exceeds the {limit}-byte limit")
+            }
+            ChainError::EmptyChain => write!(f, "operation requires a non-empty chain"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ChainError::BrokenLink { height: 9 }.to_string().contains('9'));
+        assert!(ChainError::WrongIndex { expected: 3, found: 4 }
+            .to_string()
+            .contains('3'));
+        assert!(ChainError::BlockTooLarge { size: 10, limit: 5 }
+            .to_string()
+            .contains("10"));
+        assert!(!ChainError::InsufficientWork.to_string().is_empty());
+        assert!(!ChainError::MerkleMismatch.to_string().is_empty());
+        assert!(ChainError::BadTransaction("sig".into()).to_string().contains("sig"));
+        assert!(!ChainError::EmptyChain.to_string().is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Pending-transaction pool with block-size-limited draining.
+//!
+//! Vanilla BFL records every local gradient on chain. When the number of
+//! clients grows, the per-round transaction volume crosses the block-size
+//! limit and transactions queue up across multiple blocks — the
+//! "transaction queuing ... regarded as a scalability issue" that makes the
+//! blockchain baseline's delay overtake FAIR-BFL in Figure 6a. The
+//! [`Mempool`] models exactly that: admission (with optional signature
+//! verification against a [`bfl_crypto::KeyStore`]), FIFO ordering, and
+//! draining into block-sized batches.
+
+use crate::transaction::Transaction;
+use bfl_crypto::{CryptoError, KeyStore, SignedMessage};
+use std::collections::VecDeque;
+
+/// A FIFO pool of transactions waiting to be packed into blocks.
+#[derive(Debug, Clone, Default)]
+pub struct Mempool {
+    pending: VecDeque<Transaction>,
+}
+
+impl Mempool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total size of all pending transactions in bytes.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.iter().map(Transaction::size_bytes).sum()
+    }
+
+    /// Admits a transaction without verification.
+    pub fn submit(&mut self, tx: Transaction) {
+        self.pending.push_back(tx);
+    }
+
+    /// Admits a transaction after verifying its carrier signature against
+    /// the registered public key of the claimed signer.
+    ///
+    /// `envelope` is the signed message that carried `tx` over the network;
+    /// the mempool does not interpret its payload, it only checks the
+    /// signature (the paper's Figure 2 verification step).
+    pub fn submit_signed(
+        &mut self,
+        tx: Transaction,
+        envelope: &SignedMessage,
+        keys: &KeyStore,
+    ) -> Result<(), CryptoError> {
+        keys.verify(envelope)?;
+        self.pending.push_back(tx);
+        Ok(())
+    }
+
+    /// Drains the oldest transactions that fit within `max_block_bytes`
+    /// (accounting for the block header overhead), preserving FIFO order.
+    ///
+    /// Always returns at least one transaction if the pool is non-empty,
+    /// even if that single transaction exceeds the limit on its own —
+    /// otherwise an oversized gradient would wedge the queue forever.
+    pub fn drain_block(&mut self, max_block_bytes: usize) -> Vec<Transaction> {
+        const HEADER_BYTES: usize = 104;
+        let mut batch = Vec::new();
+        let mut used = HEADER_BYTES;
+        while let Some(tx) = self.pending.front() {
+            let tx_size = tx.size_bytes();
+            if batch.is_empty() || used + tx_size <= max_block_bytes {
+                used += tx_size;
+                batch.push(self.pending.pop_front().expect("front exists"));
+                if used > max_block_bytes {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        batch
+    }
+
+    /// How many blocks of size `max_block_bytes` are needed to clear the
+    /// current backlog. Used by the vanilla-BFL delay model.
+    pub fn blocks_needed(&self, max_block_bytes: usize) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        let mut clone = self.clone();
+        let mut blocks = 0;
+        while !clone.is_empty() {
+            clone.drain_block(max_block_bytes);
+            blocks += 1;
+        }
+        blocks
+    }
+
+    /// Discards everything (used when a round is abandoned).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfl_crypto::signature::sign_message;
+    use bfl_crypto::RsaKeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gradient_tx(client: u64, bytes: usize) -> Transaction {
+        Transaction::local_gradient(client, 1, vec![0u8; bytes])
+    }
+
+    #[test]
+    fn submit_and_len() {
+        let mut pool = Mempool::new();
+        assert!(pool.is_empty());
+        pool.submit(gradient_tx(1, 10));
+        pool.submit(gradient_tx(2, 10));
+        assert_eq!(pool.len(), 2);
+        assert!(pool.pending_bytes() > 20);
+    }
+
+    #[test]
+    fn drain_respects_block_size_and_fifo_order() {
+        let mut pool = Mempool::new();
+        for client in 0..10u64 {
+            pool.submit(gradient_tx(client, 1000));
+        }
+        // Each tx is ~1096 bytes; a 4 KiB block fits 3 of them.
+        let batch = pool.drain_block(4096);
+        assert_eq!(batch.len(), 3);
+        match &batch[0].kind {
+            crate::transaction::TransactionKind::LocalGradient { client_id, .. } => {
+                assert_eq!(*client_id, 0)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(pool.len(), 7);
+    }
+
+    #[test]
+    fn oversized_transaction_still_drains_alone() {
+        let mut pool = Mempool::new();
+        pool.submit(gradient_tx(1, 100_000));
+        pool.submit(gradient_tx(2, 10));
+        let batch = pool.drain_block(1024);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn blocks_needed_matches_manual_draining() {
+        let mut pool = Mempool::new();
+        for client in 0..20u64 {
+            pool.submit(gradient_tx(client, 1000));
+        }
+        let needed = pool.blocks_needed(4096);
+        let mut count = 0;
+        while !pool.is_empty() {
+            pool.drain_block(4096);
+            count += 1;
+        }
+        assert_eq!(needed, count);
+        assert_eq!(pool.blocks_needed(4096), 0);
+    }
+
+    #[test]
+    fn clear_empties_the_pool() {
+        let mut pool = Mempool::new();
+        pool.submit(gradient_tx(1, 10));
+        pool.clear();
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn signed_submission_requires_valid_signature() {
+        let mut store = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let pairs = store.provision(&mut rng, &[1, 2], 256).unwrap();
+
+        let mut pool = Mempool::new();
+        let tx = gradient_tx(1, 16);
+        let envelope = sign_message(1, b"serialized gradient", &pairs[&1].private);
+        pool.submit_signed(tx.clone(), &envelope, &store).unwrap();
+        assert_eq!(pool.len(), 1);
+
+        // Client 2 forging client 1's identity is rejected.
+        let forged = sign_message(1, b"poison", &pairs[&2].private);
+        let err = pool.submit_signed(tx, &forged, &store).unwrap_err();
+        assert_eq!(err, CryptoError::InvalidSignature);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn unknown_signer_is_rejected() {
+        let store = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(43);
+        let pair = RsaKeyPair::generate(&mut rng, 256).unwrap();
+        let mut pool = Mempool::new();
+        let envelope = sign_message(7, b"payload", &pair.private);
+        let err = pool
+            .submit_signed(gradient_tx(7, 4), &envelope, &store)
+            .unwrap_err();
+        assert_eq!(err, CryptoError::UnknownSigner(7));
+    }
+}

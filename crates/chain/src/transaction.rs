@@ -1,0 +1,213 @@
+//! BFL ledger transactions.
+//!
+//! Three kinds of payload appear in a BFL ledger:
+//!
+//! * **Global gradients** — under FAIR-BFL's Assumption 2, a block contains
+//!   exactly one of these per communication round.
+//! * **Local gradients** — only recorded by the *vanilla* BFL baseline,
+//!   which writes every client's update on chain and therefore suffers from
+//!   block-size-limited queuing (Section 5.2.3 / Figure 6a).
+//! * **Rewards** — the ⟨client, θ_i/Σθ_k · base⟩ entries produced by the
+//!   contribution-based incentive mechanism (Algorithm 2) and appended to
+//!   the winner's block.
+//!
+//! Amounts are carried in milli-units of the reward `base` so that the
+//! ledger stays integer-only and hash-stable.
+
+use bfl_crypto::sha256::{sha256, Digest};
+use serde::{Deserialize, Serialize};
+
+/// The payload variants a BFL transaction can carry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TransactionKind {
+    /// The aggregated global gradient of a communication round.
+    GlobalGradient {
+        /// Communication round the gradient belongs to.
+        round: u64,
+        /// Serialized gradient payload (opaque to the ledger).
+        payload: Vec<u8>,
+    },
+    /// A single client's local gradient (vanilla BFL only).
+    LocalGradient {
+        /// Communication round the gradient belongs to.
+        round: u64,
+        /// Uploading client.
+        client_id: u64,
+        /// Serialized gradient payload (opaque to the ledger).
+        payload: Vec<u8>,
+    },
+    /// A reward issued to a client for its contribution in a round.
+    Reward {
+        /// Communication round the reward was earned in.
+        round: u64,
+        /// Rewarded client.
+        client_id: u64,
+        /// Reward amount in milli-units of the configured base.
+        amount_milli: u64,
+    },
+}
+
+/// A ledger transaction: a payload kind plus the id of its submitter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Entity that submitted the transaction (client or miner id).
+    pub submitter: u64,
+    /// The payload.
+    pub kind: TransactionKind,
+}
+
+impl Transaction {
+    /// Creates a global-gradient transaction (submitted by the winning miner).
+    pub fn global_gradient(miner_id: u64, round: u64, payload: Vec<u8>) -> Self {
+        Transaction {
+            submitter: miner_id,
+            kind: TransactionKind::GlobalGradient { round, payload },
+        }
+    }
+
+    /// Creates a local-gradient transaction (vanilla BFL).
+    pub fn local_gradient(client_id: u64, round: u64, payload: Vec<u8>) -> Self {
+        Transaction {
+            submitter: client_id,
+            kind: TransactionKind::LocalGradient {
+                round,
+                client_id,
+                payload,
+            },
+        }
+    }
+
+    /// Creates a reward transaction.
+    pub fn reward(miner_id: u64, round: u64, client_id: u64, amount_milli: u64) -> Self {
+        Transaction {
+            submitter: miner_id,
+            kind: TransactionKind::Reward {
+                round,
+                client_id,
+                amount_milli,
+            },
+        }
+    }
+
+    /// The communication round this transaction belongs to.
+    pub fn round(&self) -> u64 {
+        match &self.kind {
+            TransactionKind::GlobalGradient { round, .. }
+            | TransactionKind::LocalGradient { round, .. }
+            | TransactionKind::Reward { round, .. } => *round,
+        }
+    }
+
+    /// Approximate serialized size in bytes, used for block-size accounting.
+    ///
+    /// The constant overhead models the transaction envelope (ids, round,
+    /// signature) so that even payload-free reward transactions consume
+    /// block space.
+    pub fn size_bytes(&self) -> usize {
+        const ENVELOPE_BYTES: usize = 96;
+        let payload = match &self.kind {
+            TransactionKind::GlobalGradient { payload, .. }
+            | TransactionKind::LocalGradient { payload, .. } => payload.len(),
+            TransactionKind::Reward { .. } => 16,
+        };
+        ENVELOPE_BYTES + payload
+    }
+
+    /// True for gradient-carrying transactions (global or local).
+    pub fn is_gradient(&self) -> bool {
+        matches!(
+            self.kind,
+            TransactionKind::GlobalGradient { .. } | TransactionKind::LocalGradient { .. }
+        )
+    }
+
+    /// Stable content hash used as the transaction id and Merkle leaf.
+    pub fn id(&self) -> Digest {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&self.submitter.to_be_bytes());
+        match &self.kind {
+            TransactionKind::GlobalGradient { round, payload } => {
+                bytes.push(0);
+                bytes.extend_from_slice(&round.to_be_bytes());
+                bytes.extend_from_slice(payload);
+            }
+            TransactionKind::LocalGradient {
+                round,
+                client_id,
+                payload,
+            } => {
+                bytes.push(1);
+                bytes.extend_from_slice(&round.to_be_bytes());
+                bytes.extend_from_slice(&client_id.to_be_bytes());
+                bytes.extend_from_slice(payload);
+            }
+            TransactionKind::Reward {
+                round,
+                client_id,
+                amount_milli,
+            } => {
+                bytes.push(2);
+                bytes.extend_from_slice(&round.to_be_bytes());
+                bytes.extend_from_slice(&client_id.to_be_bytes());
+                bytes.extend_from_slice(&amount_milli.to_be_bytes());
+            }
+        }
+        sha256(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let g = Transaction::global_gradient(1, 7, vec![1, 2, 3]);
+        assert_eq!(g.round(), 7);
+        assert_eq!(g.submitter, 1);
+        assert!(g.is_gradient());
+
+        let l = Transaction::local_gradient(5, 3, vec![9]);
+        assert_eq!(l.round(), 3);
+        assert!(l.is_gradient());
+        match &l.kind {
+            TransactionKind::LocalGradient { client_id, .. } => assert_eq!(*client_id, 5),
+            other => panic!("unexpected kind {other:?}"),
+        }
+
+        let r = Transaction::reward(2, 4, 8, 1500);
+        assert_eq!(r.round(), 4);
+        assert!(!r.is_gradient());
+    }
+
+    #[test]
+    fn size_accounts_for_payload_and_envelope() {
+        let small = Transaction::reward(1, 1, 1, 10);
+        let big = Transaction::local_gradient(1, 1, vec![0u8; 10_000]);
+        assert!(small.size_bytes() >= 96);
+        assert!(big.size_bytes() > 10_000);
+        assert!(big.size_bytes() < 10_000 + 200);
+    }
+
+    #[test]
+    fn ids_are_stable_and_distinguish_content() {
+        let a = Transaction::reward(1, 2, 3, 100);
+        let b = Transaction::reward(1, 2, 3, 100);
+        let c = Transaction::reward(1, 2, 3, 101);
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), c.id());
+
+        let g = Transaction::global_gradient(1, 2, vec![3]);
+        let l = Transaction::local_gradient(1, 2, vec![3]);
+        assert_ne!(g.id(), l.id(), "kind tag must participate in the id");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let tx = Transaction::local_gradient(11, 22, vec![1, 2, 3, 4]);
+        let json = serde_json::to_string(&tx).unwrap();
+        let back: Transaction = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tx);
+        assert_eq!(back.id(), tx.id());
+    }
+}

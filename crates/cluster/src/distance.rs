@@ -1,0 +1,78 @@
+//! Distance metrics and pairwise distance matrices.
+
+use bfl_ml::gradient::{cosine_distance, l2_distance};
+use serde::{Deserialize, Serialize};
+
+/// Metric used to compare gradient vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// Cosine distance `1 - cos(a, b)` (the paper's θ).
+    Cosine,
+    /// Euclidean (L2) distance.
+    Euclidean,
+}
+
+impl DistanceMetric {
+    /// Distance between two vectors under this metric.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            DistanceMetric::Cosine => cosine_distance(a, b),
+            DistanceMetric::Euclidean => l2_distance(a, b),
+        }
+    }
+}
+
+/// Full symmetric pairwise distance matrix (row-major `n x n`).
+pub fn distance_matrix(vectors: &[Vec<f64>], metric: DistanceMetric) -> Vec<Vec<f64>> {
+    let n = vectors.len();
+    let mut matrix = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = metric.distance(&vectors[i], &vectors[j]);
+            matrix[i][j] = d;
+            matrix[j][i] = d;
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn metrics_match_reference_implementations() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert!((DistanceMetric::Cosine.distance(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((DistanceMetric::Euclidean.distance(&a, &b) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let vectors = vec![vec![1.0, 2.0], vec![3.0, -1.0], vec![0.5, 0.5]];
+        for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
+            let m = distance_matrix(&vectors, metric);
+            for i in 0..3 {
+                assert_eq!(m[i][i], 0.0);
+                for j in 0..3 {
+                    assert!((m[i][j] - m[j][i]).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn distances_are_non_negative(a in proptest::collection::vec(-10.0f64..10.0, 3..8),
+                                      b in proptest::collection::vec(-10.0f64..10.0, 3..8)) {
+            let n = a.len().min(b.len());
+            for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
+                prop_assert!(metric.distance(&a[..n], &b[..n]) >= 0.0);
+            }
+        }
+    }
+}

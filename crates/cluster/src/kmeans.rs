@@ -1,0 +1,198 @@
+//! Lloyd's k-means, an alternative clustering backend for Algorithm 2.
+
+use crate::distance::DistanceMetric;
+use crate::labels::ClusterLabels;
+
+/// k-means parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// Metric used for the assignment step (centroids are always arithmetic
+    /// means, as in spherical k-means when the metric is cosine).
+    pub metric: DistanceMetric,
+    /// Seed of the deterministic centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        KmeansConfig {
+            k: 2,
+            max_iterations: 100,
+            metric: DistanceMetric::Cosine,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Deterministic splitmix64, used to pick initial centroids without pulling
+/// a full RNG dependency into the hot path.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Runs k-means over `vectors`. If there are fewer points than `k`, each
+/// point gets its own cluster.
+pub fn kmeans(vectors: &[Vec<f64>], config: &KmeansConfig) -> ClusterLabels {
+    let n = vectors.len();
+    if n == 0 {
+        return ClusterLabels::new(Vec::new());
+    }
+    assert!(config.k >= 1, "k must be at least 1");
+    let k = config.k.min(n);
+    let dim = vectors[0].len();
+
+    // Initialize centroids with distinct random points (Forgy).
+    let mut state = config.seed;
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    while chosen.len() < k {
+        let candidate = (splitmix64(&mut state) % n as u64) as usize;
+        if !chosen.contains(&candidate) {
+            chosen.push(candidate);
+        }
+    }
+    let mut centroids: Vec<Vec<f64>> = chosen.iter().map(|&i| vectors[i].clone()).collect();
+    let mut assignments = vec![0usize; n];
+
+    for _ in 0..config.max_iterations.max(1) {
+        // Assignment step.
+        let mut changed = false;
+        for (i, v) in vectors.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_distance = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = config.metric.distance(v, centroid);
+                if d < best_distance {
+                    best_distance = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, v) in vectors.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(v.iter()) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with a random point.
+                let pick = (splitmix64(&mut state) % n as u64) as usize;
+                centroids[c] = vectors[pick].clone();
+                continue;
+            }
+            for s in sums[c].iter_mut() {
+                *s /= counts[c] as f64;
+            }
+            centroids[c] = sums[c].clone();
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    ClusterLabels::new(assignments.into_iter().map(Some).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for i in 0..8 {
+            v.push(vec![2.0 + (i as f64) * 0.01, 2.0]);
+            v.push(vec![-2.0, -2.0 - (i as f64) * 0.01]);
+        }
+        v
+    }
+
+    #[test]
+    fn empty_input_yields_empty_labels() {
+        assert!(kmeans(&[], &KmeansConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let labels = kmeans(
+            &two_blobs(),
+            &KmeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(labels.cluster_count(), 2);
+        // Even indices are blob A, odd indices blob B.
+        assert!(labels.same_cluster(0, 2));
+        assert!(labels.same_cluster(1, 3));
+        assert!(!labels.same_cluster(0, 1));
+        assert!(labels.noise_points().is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_points_gives_one_cluster_per_point() {
+        let data = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let labels = kmeans(
+            &data,
+            &KmeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(labels.len(), 3);
+        assert!(labels.cluster_count() >= 1);
+    }
+
+    #[test]
+    fn euclidean_metric_works_too() {
+        let labels = kmeans(
+            &two_blobs(),
+            &KmeansConfig {
+                k: 2,
+                metric: DistanceMetric::Euclidean,
+                ..Default::default()
+            },
+        );
+        assert_eq!(labels.cluster_count(), 2);
+        assert!(!labels.same_cluster(0, 1));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = two_blobs();
+        let config = KmeansConfig {
+            k: 2,
+            ..Default::default()
+        };
+        assert_eq!(kmeans(&data, &config), kmeans(&data, &config));
+    }
+
+    #[test]
+    fn single_cluster_when_k_is_one() {
+        let labels = kmeans(
+            &two_blobs(),
+            &KmeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(labels.cluster_count(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! # bfl-cluster
+//!
+//! Clustering substrate for FAIR-BFL's contribution identification
+//! (Algorithm 2). The paper clusters the round's gradient set — the
+//! uploaded client vectors plus the freshly aggregated global gradient —
+//! and treats the cluster containing the global gradient as the
+//! "high-contribution" group; everything else is low contribution (and, in
+//! practice, mostly forged gradients from malicious clients).
+//!
+//! "Any suitable clustering algorithm can be used here as needed. However,
+//! we use DBSCAN in experiments by default" — so [`dbscan`] is the default,
+//! with [`kmeans`] and [`agglomerative`] provided as the alternatives the
+//! ablation benches compare.
+
+#![warn(missing_docs)]
+
+pub mod agglomerative;
+pub mod dbscan;
+pub mod distance;
+pub mod kmeans;
+pub mod labels;
+pub mod validation;
+
+pub use dbscan::{dbscan, DbscanConfig};
+pub use distance::{distance_matrix, DistanceMetric};
+pub use kmeans::{kmeans, KmeansConfig};
+pub use labels::ClusterLabels;
+
+use serde::{Deserialize, Serialize};
+
+/// Which clustering algorithm Algorithm 2 should run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClusteringAlgorithm {
+    /// Density-based clustering (the paper's default).
+    Dbscan {
+        /// Neighbourhood radius ε in the chosen metric.
+        eps: f64,
+        /// Minimum neighbours (including the point itself) to form a core point.
+        min_points: usize,
+    },
+    /// Lloyd's k-means.
+    KMeans {
+        /// Number of clusters.
+        k: usize,
+        /// Maximum Lloyd iterations.
+        max_iterations: usize,
+    },
+    /// Single-linkage agglomerative clustering cut at a distance threshold.
+    Agglomerative {
+        /// Merge clusters until the closest pair is farther than this.
+        distance_threshold: f64,
+    },
+}
+
+impl ClusteringAlgorithm {
+    /// The paper's default: DBSCAN with a cosine-distance neighbourhood.
+    pub fn default_dbscan() -> Self {
+        ClusteringAlgorithm::Dbscan {
+            eps: 0.35,
+            min_points: 2,
+        }
+    }
+
+    /// Runs the selected algorithm over the given vectors with the given
+    /// metric, returning per-vector cluster labels.
+    pub fn run(&self, vectors: &[Vec<f64>], metric: DistanceMetric) -> ClusterLabels {
+        match *self {
+            ClusteringAlgorithm::Dbscan { eps, min_points } => dbscan::dbscan(
+                vectors,
+                &dbscan::DbscanConfig {
+                    eps,
+                    min_points,
+                    metric,
+                },
+            ),
+            ClusteringAlgorithm::KMeans { k, max_iterations } => kmeans::kmeans(
+                vectors,
+                &kmeans::KmeansConfig {
+                    k,
+                    max_iterations,
+                    metric,
+                    seed: 0x5eed,
+                },
+            ),
+            ClusteringAlgorithm::Agglomerative { distance_threshold } => {
+                agglomerative::agglomerative(vectors, distance_threshold, metric)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for i in 0..5 {
+            let t = i as f64 * 0.01;
+            v.push(vec![1.0 + t, 1.0 - t]);
+        }
+        for i in 0..5 {
+            let t = i as f64 * 0.01;
+            v.push(vec![-1.0 - t, -1.0 + t]);
+        }
+        v
+    }
+
+    #[test]
+    fn all_algorithms_separate_two_blobs() {
+        let data = blobs();
+        for algorithm in [
+            ClusteringAlgorithm::default_dbscan(),
+            ClusteringAlgorithm::KMeans {
+                k: 2,
+                max_iterations: 50,
+            },
+            ClusteringAlgorithm::Agglomerative {
+                distance_threshold: 0.5,
+            },
+        ] {
+            let labels = algorithm.run(&data, DistanceMetric::Cosine);
+            assert!(
+                labels.same_cluster(0, 4),
+                "{algorithm:?}: first blob should be one cluster"
+            );
+            assert!(
+                labels.same_cluster(5, 9),
+                "{algorithm:?}: second blob should be one cluster"
+            );
+            assert!(
+                !labels.same_cluster(0, 5),
+                "{algorithm:?}: the blobs should be separate"
+            );
+        }
+    }
+
+    #[test]
+    fn default_dbscan_parameters() {
+        match ClusteringAlgorithm::default_dbscan() {
+            ClusteringAlgorithm::Dbscan { eps, min_points } => {
+                assert!(eps > 0.0 && eps < 1.0);
+                assert!(min_points >= 2);
+            }
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Clustering quality measures (silhouette score).
+
+use crate::distance::{distance_matrix, DistanceMetric};
+use crate::labels::ClusterLabels;
+
+/// Mean silhouette coefficient over all clustered (non-noise) points, in
+/// `[-1, 1]`; higher is better. Returns `None` when fewer than two clusters
+/// exist or no point is clustered.
+pub fn silhouette_score(
+    vectors: &[Vec<f64>],
+    labels: &ClusterLabels,
+    metric: DistanceMetric,
+) -> Option<f64> {
+    if labels.cluster_count() < 2 {
+        return None;
+    }
+    let distances = distance_matrix(vectors, metric);
+    let n = vectors.len();
+    let mut total = 0.0;
+    let mut counted = 0usize;
+
+    for i in 0..n {
+        let Some(own) = labels.cluster_of(i) else { continue };
+        let own_members = labels.members_of(own);
+        if own_members.len() <= 1 {
+            // Silhouette of a singleton is defined as 0.
+            counted += 1;
+            continue;
+        }
+        let a: f64 = own_members
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| distances[i][j])
+            .sum::<f64>()
+            / (own_members.len() - 1) as f64;
+
+        let mut b = f64::INFINITY;
+        for other in 0..labels.cluster_count() {
+            if other == own {
+                continue;
+            }
+            let members = labels.members_of(other);
+            if members.is_empty() {
+                continue;
+            }
+            let mean: f64 =
+                members.iter().map(|&j| distances[i][j]).sum::<f64>() / members.len() as f64;
+            b = b.min(mean);
+        }
+        if b.is_finite() {
+            total += (b - a) / a.max(b).max(1e-12);
+        }
+        counted += 1;
+    }
+
+    (counted > 0).then(|| total / counted as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::{dbscan, DbscanConfig};
+
+    #[test]
+    fn well_separated_blobs_have_high_silhouette() {
+        let mut data = Vec::new();
+        for i in 0..6 {
+            data.push(vec![1.0 + i as f64 * 0.01, 1.0]);
+            data.push(vec![-1.0, -1.0 - i as f64 * 0.01]);
+        }
+        let labels = dbscan(&data, &DbscanConfig::default());
+        let score = silhouette_score(&data, &labels, DistanceMetric::Cosine).unwrap();
+        assert!(score > 0.8, "silhouette {score} should be near 1");
+    }
+
+    #[test]
+    fn single_cluster_has_no_silhouette() {
+        let data = vec![vec![1.0, 1.0], vec![1.01, 1.0], vec![1.0, 1.01]];
+        let labels = dbscan(&data, &DbscanConfig::default());
+        assert_eq!(labels.cluster_count(), 1);
+        assert!(silhouette_score(&data, &labels, DistanceMetric::Cosine).is_none());
+    }
+
+    #[test]
+    fn random_overlapping_points_score_lower_than_separated_ones() {
+        let separated = vec![
+            vec![1.0, 0.0],
+            vec![0.99, 0.02],
+            vec![0.0, 1.0],
+            vec![0.02, 0.99],
+        ];
+        let overlapping = vec![
+            vec![1.0, 0.9],
+            vec![0.9, 1.0],
+            vec![1.0, 1.0],
+            vec![0.95, 0.95],
+        ];
+        let labels = ClusterLabels::new(vec![Some(0), Some(0), Some(1), Some(1)]);
+        let good = silhouette_score(&separated, &labels, DistanceMetric::Cosine).unwrap();
+        let bad = silhouette_score(&overlapping, &labels, DistanceMetric::Cosine).unwrap();
+        assert!(good > bad);
+    }
+}

@@ -1,0 +1,130 @@
+//! Fair aggregation (paper Equation 1).
+//!
+//! Simple averaging "treats all clients' gradients equally", but clients do
+//! not contribute equally; FAIR-BFL instead aggregates with weights
+//! `p_i = θ_i / Σ_k θ_k`, where `θ_i` is the cosine distance between client
+//! `i`'s upload and the round's (simple-average) global gradient. The
+//! weights form a probability simplex, so the fair aggregate stays inside
+//! the convex hull of the uploads — which is what Theorem 3.1's analysis
+//! relies on.
+
+use bfl_ml::gradient::{cosine_distance, weighted_average, GradientVector};
+
+/// Minimum weight floor. A client whose upload coincides exactly with the
+/// global gradient has θ = 0; the floor keeps it from being zeroed out of
+/// the aggregation entirely (and keeps the weight vector strictly positive).
+pub const WEIGHT_FLOOR: f64 = 1e-9;
+
+/// Computes the raw contribution scores θ_i = cosine distance between each
+/// upload and the reference (global) gradient.
+pub fn contribution_scores(updates: &[GradientVector], global: &[f64]) -> Vec<f64> {
+    updates
+        .iter()
+        .map(|u| cosine_distance(u, global).max(WEIGHT_FLOOR))
+        .collect()
+}
+
+/// Normalizes raw scores into Equation 1's weights `p_i = θ_i / Σ θ_k`.
+pub fn contribution_weights(scores: &[f64]) -> Vec<f64> {
+    assert!(!scores.is_empty(), "cannot normalize zero scores");
+    assert!(scores.iter().all(|&s| s >= 0.0), "scores must be non-negative");
+    let total: f64 = scores.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / scores.len() as f64; scores.len()];
+    }
+    scores.iter().map(|&s| s / total).collect()
+}
+
+/// Equation 1: aggregates the uploads with contribution weights derived
+/// from their cosine distance to `reference` (normally the simple-average
+/// global gradient of the round).
+pub fn fair_aggregate(updates: &[GradientVector], reference: &[f64]) -> GradientVector {
+    assert!(!updates.is_empty(), "cannot aggregate zero updates");
+    let scores = contribution_scores(updates, reference);
+    let weights = contribution_weights(&scores);
+    weighted_average(updates, &weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfl_ml::gradient::average;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weights_form_a_simplex() {
+        let scores = vec![0.1, 0.4, 0.5, 0.0];
+        let weights = contribution_weights(&scores);
+        let sum: f64 = weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(weights.iter().all(|&w| (0.0..=1.0).contains(&w)));
+        // Proportionality.
+        assert!((weights[2] / weights[1] - 0.5 / 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_zero_scores_fall_back_to_uniform() {
+        let weights = contribution_weights(&[0.0, 0.0]);
+        assert_eq!(weights, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scores_are_rejected() {
+        let _ = contribution_weights(&[0.5, -0.1]);
+    }
+
+    #[test]
+    fn identical_updates_aggregate_to_themselves() {
+        let update = vec![1.0, -2.0, 0.5];
+        let updates = vec![update.clone(), update.clone(), update.clone()];
+        let global = average(&updates);
+        let fair = fair_aggregate(&updates, &global);
+        for (a, b) in fair.iter().zip(update.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn farther_updates_get_larger_weights() {
+        // Reference points along +x; one update is aligned (tiny θ), the
+        // other is orthogonal (θ = 1). Equation 1 gives the distant one the
+        // dominant weight, pulling the aggregate towards it.
+        let aligned = vec![1.0, 0.0];
+        let orthogonal = vec![0.0, 1.0];
+        let reference = vec![1.0, 0.0];
+        let scores = contribution_scores(&[aligned.clone(), orthogonal.clone()], &reference);
+        assert!(scores[1] > scores[0]);
+        let weights = contribution_weights(&scores);
+        assert!(weights[1] > 0.9);
+        let fair = fair_aggregate(&[aligned, orthogonal], &reference);
+        assert!(fair[1] > fair[0]);
+    }
+
+    #[test]
+    fn scores_use_weight_floor_for_exact_matches() {
+        let scores = contribution_scores(&[vec![2.0, 0.0]], &[1.0, 0.0]);
+        assert_eq!(scores[0], WEIGHT_FLOOR);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn fair_aggregate_stays_in_convex_hull(values in proptest::collection::vec(-100.0f64..100.0, 2..10)) {
+            let updates: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+            let reference = average(&updates);
+            let fair = fair_aggregate(&updates, &reference);
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(fair[0] >= lo - 1e-9 && fair[0] <= hi + 1e-9);
+        }
+
+        #[test]
+        fn weights_always_sum_to_one(scores in proptest::collection::vec(0.0f64..10.0, 1..20)) {
+            let weights = contribution_weights(&scores);
+            let sum: f64 = weights.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

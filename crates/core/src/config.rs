@@ -1,0 +1,204 @@
+//! FAIR-BFL run configuration.
+
+use crate::delay_model::DelayModel;
+use crate::flexibility::FlexibilityMode;
+use crate::strategy::LowContributionStrategy;
+use bfl_cluster::{ClusteringAlgorithm, DistanceMetric};
+use bfl_fl::attack::AttackKind;
+use bfl_fl::config::FlConfig;
+use serde::{Deserialize, Serialize};
+
+/// How malicious clients are injected into a run (the Table 2 experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// Whether any attackers are injected at all.
+    pub enabled: bool,
+    /// Minimum number of attackers designated per round.
+    pub min_attackers: usize,
+    /// Maximum number of attackers designated per round.
+    pub max_attackers: usize,
+    /// The forgery the attackers apply.
+    pub kind: AttackKind,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            enabled: false,
+            min_attackers: 1,
+            max_attackers: 3,
+            kind: AttackKind::default_poisoning(),
+        }
+    }
+}
+
+impl AttackConfig {
+    /// The Table 2 setting: 1-3 attackers per round, gradient forging.
+    pub fn table2() -> Self {
+        AttackConfig {
+            enabled: true,
+            min_attackers: 1,
+            max_attackers: 3,
+            kind: AttackKind::default_poisoning(),
+        }
+    }
+}
+
+/// Complete configuration of a FAIR-BFL (or degraded-mode) run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BflConfig {
+    /// Learning-side configuration (clients, rounds, model, partition, seed).
+    pub fl: FlConfig,
+    /// Number of miners `m` (paper default: 2).
+    pub miners: usize,
+    /// Which procedures run (full BFL, FL-only, chain-only).
+    pub mode: FlexibilityMode,
+    /// Low-contribution strategy (keep or discard).
+    pub strategy: LowContributionStrategy,
+    /// Clustering backend for Algorithm 2 (DBSCAN by default).
+    pub clustering: ClusteringAlgorithm,
+    /// Distance metric for clustering and θ scores.
+    pub metric: DistanceMetric,
+    /// Whether the final aggregation uses Equation 1's contribution weights
+    /// (`true`) or plain simple averaging (`false`, an ablation).
+    pub fair_aggregation: bool,
+    /// Per-round reward pool (the `base` of Algorithm 2).
+    pub reward_base: f64,
+    /// Delay-model calibration.
+    pub delay: DelayModel,
+    /// Malicious-client injection.
+    pub attack: AttackConfig,
+    /// Whether miners verify RSA signatures on uploads.
+    pub verify_signatures: bool,
+    /// RSA modulus size used when provisioning client keys.
+    pub rsa_modulus_bits: usize,
+    /// Rounds a discarded client sits out before becoming selectable again
+    /// (the "clients selection" effect of the discard strategy).
+    pub discard_cooldown_rounds: usize,
+}
+
+impl Default for BflConfig {
+    fn default() -> Self {
+        BflConfig {
+            fl: FlConfig::default(),
+            miners: 2,
+            mode: FlexibilityMode::FullBfl,
+            strategy: LowContributionStrategy::Keep,
+            clustering: ClusteringAlgorithm::default_dbscan(),
+            metric: DistanceMetric::Cosine,
+            fair_aggregation: true,
+            reward_base: 100.0,
+            delay: DelayModel::default(),
+            attack: AttackConfig::default(),
+            verify_signatures: true,
+            rsa_modulus_bits: 256,
+            discard_cooldown_rounds: 3,
+        }
+    }
+}
+
+impl BflConfig {
+    /// Validates the configuration, panicking with a descriptive message on
+    /// inconsistency.
+    pub fn validate(&self) {
+        self.fl.validate();
+        assert!(self.miners >= 1, "need at least one miner");
+        assert!(self.reward_base >= 0.0, "reward base must be non-negative");
+        assert!(
+            self.rsa_modulus_bits >= bfl_crypto::rsa::MIN_MODULUS_BITS,
+            "RSA modulus too small"
+        );
+        if self.attack.enabled {
+            assert!(
+                self.attack.min_attackers <= self.attack.max_attackers,
+                "attacker range inverted"
+            );
+            assert!(
+                self.attack.max_attackers <= self.fl.clients,
+                "more attackers than clients"
+            );
+        }
+    }
+
+    /// A configuration scaled down for fast unit/integration tests: ten
+    /// clients, a handful of rounds, one local epoch.
+    pub fn small_test(rounds: usize) -> Self {
+        let mut config = BflConfig::default();
+        config.fl.clients = 10;
+        config.fl.participation_ratio = 0.5;
+        config.fl.rounds = rounds;
+        config.fl.local.epochs = 1;
+        config.fl.local.batch_size = 10;
+        config.fl.local.learning_rate = 0.05;
+        config.fl.seed = 7;
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let config = BflConfig::default();
+        config.validate();
+        assert_eq!(config.miners, 2);
+        assert_eq!(config.fl.clients, 100);
+        assert_eq!(config.fl.rounds, 100);
+        assert!(config.fair_aggregation);
+        assert_eq!(config.strategy, LowContributionStrategy::Keep);
+        assert!(matches!(
+            config.clustering,
+            ClusteringAlgorithm::Dbscan { .. }
+        ));
+        assert!(!config.attack.enabled);
+    }
+
+    #[test]
+    fn table2_attack_config() {
+        let attack = AttackConfig::table2();
+        assert!(attack.enabled);
+        assert_eq!(attack.min_attackers, 1);
+        assert_eq!(attack.max_attackers, 3);
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        let config = BflConfig::small_test(3);
+        config.validate();
+        assert_eq!(config.fl.rounds, 3);
+        assert_eq!(config.fl.clients, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one miner")]
+    fn zero_miners_rejected() {
+        let config = BflConfig {
+            miners: 0,
+            ..Default::default()
+        };
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "more attackers than clients")]
+    fn too_many_attackers_rejected() {
+        let mut config = BflConfig::small_test(1);
+        config.attack = AttackConfig {
+            enabled: true,
+            min_attackers: 1,
+            max_attackers: 50,
+            kind: AttackKind::SignFlip,
+        };
+        config.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let config = BflConfig::default();
+        let json = serde_json::to_string(&config).unwrap();
+        let back: BflConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+    }
+}

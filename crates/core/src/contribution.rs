@@ -1,0 +1,298 @@
+//! Client contribution identification — Algorithm 2.
+//!
+//! Input: the round's gradient set `W^k_{r+1}` (one upload per selected
+//! client) plus the freshly computed global gradient. The winning miner
+//! clusters the combined set; clients whose uploads land in the same
+//! cluster as the global gradient are **high contribution** (their cosine
+//! distance θ_i to the global update becomes both their reward share and
+//! their Equation 1 aggregation weight), everyone else — including every
+//! point the clustering marks as noise — is **low contribution** and is
+//! handled by the configured [`LowContributionStrategy`].
+
+use crate::aggregation::WEIGHT_FLOOR;
+use crate::reward::{build_reward_list, RewardEntry};
+use crate::strategy::LowContributionStrategy;
+use bfl_cluster::{ClusteringAlgorithm, DistanceMetric};
+use bfl_ml::gradient::{average, cosine_distance, GradientVector};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of running Algorithm 2 on one round's gradient set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContributionReport {
+    /// (client id, θ_i) for every high-contribution client.
+    pub high_contribution: Vec<(u64, f64)>,
+    /// Client ids labelled low contribution.
+    pub low_contribution: Vec<u64>,
+    /// The reward list ⟨C_i, θ_i/Σθ_k · base⟩ for the high contributors.
+    pub rewards: Vec<RewardEntry>,
+    /// The global gradient the report was computed against (the simple
+    /// average of all uploads, before any discarding).
+    pub global_gradient: GradientVector,
+    /// The global gradient after applying the strategy: equal to
+    /// `global_gradient` under [`LowContributionStrategy::Keep`], or the
+    /// recomputed high-contribution-only aggregate under `Discard`.
+    pub effective_global: GradientVector,
+    /// Number of clusters the algorithm found (for diagnostics/ablations).
+    pub cluster_count: usize,
+}
+
+impl ContributionReport {
+    /// Ids of the clients whose gradients were actually dropped from the
+    /// aggregation (empty under the keep strategy).
+    pub fn dropped_clients(&self, strategy: LowContributionStrategy) -> Vec<u64> {
+        if strategy.discards() {
+            self.low_contribution.clone()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Runs Algorithm 2.
+///
+/// * `uploads` — (client id, uploaded gradient) pairs for the round.
+/// * `algorithm` / `metric` — the clustering backend (DBSCAN + cosine by
+///   default, matching the paper).
+/// * `strategy` — keep or discard low contributors.
+/// * `reward_base` — the per-round reward pool.
+///
+/// The global gradient is computed internally as the simple average of all
+/// uploads (Algorithm 1 line 24) and appended to the set before clustering,
+/// exactly as in the paper's Algorithm 2 (the global gradient is the last
+/// element of the clustered set).
+pub fn identify_contributions(
+    uploads: &[(u64, GradientVector)],
+    algorithm: &ClusteringAlgorithm,
+    metric: DistanceMetric,
+    strategy: LowContributionStrategy,
+    reward_base: f64,
+) -> ContributionReport {
+    assert!(!uploads.is_empty(), "Algorithm 2 needs at least one upload");
+
+    let vectors: Vec<GradientVector> = uploads.iter().map(|(_, g)| g.clone()).collect();
+    let global_gradient = average(&vectors);
+
+    // Cluster the uploads together with the global gradient (appended last).
+    let mut clustered: Vec<GradientVector> = vectors.clone();
+    clustered.push(global_gradient.clone());
+    let labels = algorithm.run(&clustered, metric);
+    let global_index = clustered.len() - 1;
+    let cluster_count = labels.cluster_count();
+
+    let mut high_contribution = Vec::new();
+    let mut low_contribution = Vec::new();
+    for (i, (client_id, upload)) in uploads.iter().enumerate() {
+        if labels.same_cluster(i, global_index) {
+            let theta = cosine_distance(upload, &global_gradient).max(WEIGHT_FLOOR);
+            high_contribution.push((*client_id, theta));
+        } else {
+            low_contribution.push(*client_id);
+        }
+    }
+
+    // Degenerate case: if the clustering failed to place the global gradient
+    // in any cluster (for example every point is noise under a tiny eps),
+    // treat every client as high contribution rather than discarding the
+    // whole round.
+    if high_contribution.is_empty() {
+        high_contribution = uploads
+            .iter()
+            .map(|(id, upload)| {
+                (
+                    *id,
+                    cosine_distance(upload, &global_gradient).max(WEIGHT_FLOOR),
+                )
+            })
+            .collect();
+        low_contribution.clear();
+    }
+
+    let rewards = build_reward_list(&high_contribution, reward_base);
+
+    // Apply the strategy: discarding recomputes the global update from the
+    // high-contribution uploads only.
+    let effective_global = if strategy.discards() && high_contribution.len() < uploads.len() {
+        let kept: Vec<GradientVector> = uploads
+            .iter()
+            .filter(|(id, _)| high_contribution.iter().any(|(hid, _)| hid == id))
+            .map(|(_, g)| g.clone())
+            .collect();
+        average(&kept)
+    } else {
+        global_gradient.clone()
+    };
+
+    ContributionReport {
+        high_contribution,
+        low_contribution,
+        rewards,
+        global_gradient,
+        effective_global,
+        cluster_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ten honest-looking uploads near +x plus `forged` sign-flipped ones.
+    fn uploads_with_forgeries(honest: usize, forged: usize) -> Vec<(u64, GradientVector)> {
+        let mut out = Vec::new();
+        for i in 0..honest {
+            let t = i as f64 * 0.01;
+            out.push((i as u64, vec![1.0 + t, 0.5 - t, 0.2 + t]));
+        }
+        for i in 0..forged {
+            let t = i as f64 * 0.01;
+            out.push((
+                (honest + i) as u64,
+                vec![-(1.0 + t), -(0.5 - t), -(0.2 + t)],
+            ));
+        }
+        out
+    }
+
+    fn dbscan() -> ClusteringAlgorithm {
+        ClusteringAlgorithm::default_dbscan()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one upload")]
+    fn empty_uploads_panic() {
+        let _ = identify_contributions(
+            &[],
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Keep,
+            100.0,
+        );
+    }
+
+    #[test]
+    fn all_honest_clients_are_high_contribution() {
+        let uploads = uploads_with_forgeries(8, 0);
+        let report = identify_contributions(
+            &uploads,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Keep,
+            100.0,
+        );
+        assert_eq!(report.high_contribution.len(), 8);
+        assert!(report.low_contribution.is_empty());
+        assert_eq!(report.rewards.len(), 8);
+        assert_eq!(report.effective_global, report.global_gradient);
+        assert!(report.cluster_count >= 1);
+    }
+
+    #[test]
+    fn forged_gradients_are_labelled_low_contribution() {
+        let uploads = uploads_with_forgeries(8, 2);
+        let report = identify_contributions(
+            &uploads,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Keep,
+            100.0,
+        );
+        // The two sign-flipped uploads (ids 8 and 9) form their own cluster,
+        // far from the global average which sits nearer the honest mass.
+        assert!(report.low_contribution.contains(&8));
+        assert!(report.low_contribution.contains(&9));
+        assert_eq!(report.high_contribution.len(), 8);
+        // Rewards only go to high contributors.
+        assert!(report.rewards.iter().all(|r| r.client_id < 8));
+    }
+
+    #[test]
+    fn discard_strategy_recomputes_the_global_update() {
+        let uploads = uploads_with_forgeries(8, 2);
+        let keep = identify_contributions(
+            &uploads,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Keep,
+            100.0,
+        );
+        let discard = identify_contributions(
+            &uploads,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Discard,
+            100.0,
+        );
+        assert_eq!(keep.effective_global, keep.global_gradient);
+        assert_ne!(discard.effective_global, discard.global_gradient);
+        // The discarded aggregate is closer to the honest direction: its
+        // first coordinate should be larger (honest updates are ~ +1).
+        assert!(discard.effective_global[0] > keep.effective_global[0]);
+        assert_eq!(
+            discard.dropped_clients(LowContributionStrategy::Discard),
+            vec![8, 9]
+        );
+        assert!(keep.dropped_clients(LowContributionStrategy::Keep).is_empty());
+    }
+
+    #[test]
+    fn reward_shares_sum_to_one_among_high_contributors() {
+        let uploads = uploads_with_forgeries(6, 1);
+        let report = identify_contributions(
+            &uploads,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Discard,
+            10.0,
+        );
+        let share_sum: f64 = report.rewards.iter().map(|r| r.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_clustering_falls_back_to_everyone_high() {
+        // A single upload: DBSCAN with min_points=2 will mark both the
+        // upload and the global gradient as one cluster (identical points),
+        // but an aggressive configuration can fail; either way nobody is
+        // discarded.
+        let uploads = vec![(0u64, vec![1.0, 2.0, 3.0])];
+        let report = identify_contributions(
+            &uploads,
+            &ClusteringAlgorithm::Dbscan {
+                eps: 1e-9,
+                min_points: 5,
+            },
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Discard,
+            100.0,
+        );
+        assert_eq!(report.high_contribution.len(), 1);
+        assert!(report.low_contribution.is_empty());
+    }
+
+    #[test]
+    fn alternative_clustering_backends_also_separate_forgeries() {
+        let uploads = uploads_with_forgeries(8, 2);
+        for algorithm in [
+            ClusteringAlgorithm::KMeans {
+                k: 2,
+                max_iterations: 50,
+            },
+            ClusteringAlgorithm::Agglomerative {
+                distance_threshold: 0.5,
+            },
+        ] {
+            let report = identify_contributions(
+                &uploads,
+                &algorithm,
+                DistanceMetric::Cosine,
+                LowContributionStrategy::Discard,
+                100.0,
+            );
+            assert!(
+                report.low_contribution.contains(&8) && report.low_contribution.contains(&9),
+                "{algorithm:?} should isolate the forged uploads, got {:?}",
+                report.low_contribution
+            );
+        }
+    }
+}

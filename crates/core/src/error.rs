@@ -1,0 +1,65 @@
+//! Errors surfaced by the FAIR-BFL framework.
+
+use std::fmt;
+
+/// Errors produced while driving a FAIR-BFL run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The ledger rejected a block the simulation produced.
+    Chain(bfl_chain::ChainError),
+    /// A cryptographic operation (key provisioning, verification) failed.
+    Crypto(bfl_crypto::CryptoError),
+    /// The run configuration is inconsistent.
+    InvalidConfig(String),
+    /// A round produced no usable gradients (for example, every upload
+    /// failed verification or was discarded).
+    EmptyRound {
+        /// The communication round that failed.
+        round: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Chain(e) => write!(f, "ledger error: {e}"),
+            CoreError::Crypto(e) => write!(f, "crypto error: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::EmptyRound { round } => {
+                write!(f, "round {round} ended with no usable gradients")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<bfl_chain::ChainError> for CoreError {
+    fn from(e: bfl_chain::ChainError) -> Self {
+        CoreError::Chain(e)
+    }
+}
+
+impl From<bfl_crypto::CryptoError> for CoreError {
+    fn from(e: bfl_crypto::CryptoError) -> Self {
+        CoreError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let chain_err: CoreError = bfl_chain::ChainError::EmptyChain.into();
+        assert!(matches!(chain_err, CoreError::Chain(_)));
+        assert!(!chain_err.to_string().is_empty());
+
+        let crypto_err: CoreError = bfl_crypto::CryptoError::InvalidSignature.into();
+        assert!(matches!(crypto_err, CoreError::Crypto(_)));
+
+        assert!(CoreError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(CoreError::EmptyRound { round: 3 }.to_string().contains('3'));
+    }
+}

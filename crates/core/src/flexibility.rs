@@ -1,0 +1,118 @@
+//! Flexibility by design (paper Section 4.6).
+//!
+//! FAIR-BFL's five procedures can be composed dynamically: removing
+//! Procedures I and IV leaves a pure blockchain; removing Procedures III
+//! and V leaves pure federated learning; running all five is the full
+//! coupled system. [`FlexibilityMode`] selects the composition and exposes
+//! exactly which procedures are active, which both the simulation driver
+//! and the delay model consult.
+
+use serde::{Deserialize, Serialize};
+
+/// The five procedures of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Procedure {
+    /// Procedure-I: local learning and update.
+    LocalUpdate,
+    /// Procedure-II: uploading the gradient for mining.
+    Upload,
+    /// Procedure-III: exchanging gradients among miners.
+    Exchange,
+    /// Procedure-IV: computing global updates (aggregation + Algorithm 2).
+    GlobalUpdate,
+    /// Procedure-V: block mining and consensus.
+    Mining,
+}
+
+/// Which subset of the procedures a deployment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FlexibilityMode {
+    /// All five procedures: the full FAIR-BFL system.
+    #[default]
+    FullBfl,
+    /// Procedures I, II and IV only — "equivalent to the pure FL algorithm"
+    /// (the orange dashed rectangle of Figure 3).
+    FlOnly,
+    /// Procedures II, III and V only — "boils down to a pure blockchain
+    /// algorithm" (the purple dashed rectangle of Figure 3).
+    ChainOnly,
+}
+
+impl FlexibilityMode {
+    /// The procedures active under this mode, in execution order.
+    pub fn active_procedures(&self) -> Vec<Procedure> {
+        match self {
+            FlexibilityMode::FullBfl => vec![
+                Procedure::LocalUpdate,
+                Procedure::Upload,
+                Procedure::Exchange,
+                Procedure::GlobalUpdate,
+                Procedure::Mining,
+            ],
+            FlexibilityMode::FlOnly => vec![
+                Procedure::LocalUpdate,
+                Procedure::Upload,
+                Procedure::GlobalUpdate,
+            ],
+            FlexibilityMode::ChainOnly => {
+                vec![Procedure::Upload, Procedure::Exchange, Procedure::Mining]
+            }
+        }
+    }
+
+    /// True when the given procedure runs under this mode.
+    pub fn runs(&self, procedure: Procedure) -> bool {
+        self.active_procedures().contains(&procedure)
+    }
+
+    /// True when the mode involves learning (Procedure I).
+    pub fn learns(&self) -> bool {
+        self.runs(Procedure::LocalUpdate)
+    }
+
+    /// True when the mode produces blocks (Procedure V).
+    pub fn mines(&self) -> bool {
+        self.runs(Procedure::Mining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_bfl_runs_everything() {
+        let mode = FlexibilityMode::FullBfl;
+        assert_eq!(mode.active_procedures().len(), 5);
+        assert!(mode.learns());
+        assert!(mode.mines());
+    }
+
+    #[test]
+    fn fl_only_drops_exchange_and_mining() {
+        let mode = FlexibilityMode::FlOnly;
+        assert!(mode.runs(Procedure::LocalUpdate));
+        assert!(mode.runs(Procedure::GlobalUpdate));
+        assert!(!mode.runs(Procedure::Exchange));
+        assert!(!mode.runs(Procedure::Mining));
+        assert!(mode.learns());
+        assert!(!mode.mines());
+    }
+
+    #[test]
+    fn chain_only_drops_learning_and_aggregation() {
+        let mode = FlexibilityMode::ChainOnly;
+        assert!(!mode.runs(Procedure::LocalUpdate));
+        assert!(!mode.runs(Procedure::GlobalUpdate));
+        assert!(mode.runs(Procedure::Upload));
+        assert!(mode.runs(Procedure::Exchange));
+        assert!(mode.runs(Procedure::Mining));
+        assert!(!mode.learns());
+        assert!(mode.mines());
+    }
+
+    #[test]
+    fn default_is_full_bfl() {
+        assert_eq!(FlexibilityMode::default(), FlexibilityMode::FullBfl);
+    }
+}

@@ -1,0 +1,224 @@
+//! Procedure-IV: computing global updates (paper Section 4.4).
+//!
+//! The miners first compute the simple-average global gradient (Algorithm 1
+//! line 24), then run Algorithm 2 on the gradient set to identify
+//! contributions and build the reward list, and finally produce the
+//! round's effective global parameters — with Equation 1's fair
+//! (contribution-weighted) aggregation by default, or plain averaging when
+//! the fair-aggregation ablation is disabled.
+
+use crate::aggregation::{contribution_weights, WEIGHT_FLOOR};
+use crate::contribution::{identify_contributions, ContributionReport};
+use crate::procedures::upload::VerifiedUpload;
+use crate::strategy::LowContributionStrategy;
+use bfl_cluster::{ClusteringAlgorithm, DistanceMetric};
+use bfl_ml::gradient::weighted_average;
+
+/// The result of Procedure-IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalUpdateOutcome {
+    /// Algorithm 2's report (contribution labels, rewards, global gradient).
+    pub report: ContributionReport,
+    /// The parameters recorded in the block and used by clients next round.
+    pub global_params: Vec<f64>,
+    /// Clients whose gradients were excluded from the aggregation.
+    pub dropped: Vec<u64>,
+}
+
+/// Runs Procedure-IV over the merged gradient set.
+pub fn compute_global_update(
+    merged: &[VerifiedUpload],
+    clustering: &ClusteringAlgorithm,
+    metric: DistanceMetric,
+    strategy: LowContributionStrategy,
+    fair_aggregation: bool,
+    reward_base: f64,
+) -> GlobalUpdateOutcome {
+    assert!(!merged.is_empty(), "Procedure-IV needs at least one upload");
+    let uploads: Vec<(u64, Vec<f64>)> = merged
+        .iter()
+        .map(|u| (u.client_id, u.params.clone()))
+        .collect();
+
+    let report = identify_contributions(&uploads, clustering, metric, strategy, reward_base);
+    let dropped = report.dropped_clients(strategy);
+
+    // Determine which uploads participate in the final aggregation.
+    let kept: Vec<&(u64, Vec<f64>)> = uploads
+        .iter()
+        .filter(|(id, _)| !dropped.contains(id))
+        .collect();
+    let kept: Vec<&(u64, Vec<f64>)> = if kept.is_empty() {
+        uploads.iter().collect()
+    } else {
+        kept
+    };
+
+    let global_params = if fair_aggregation {
+        // Equation 1: weights from the θ scores of the kept clients.
+        let scores: Vec<f64> = kept
+            .iter()
+            .map(|(id, _)| {
+                report
+                    .high_contribution
+                    .iter()
+                    .find(|(hid, _)| hid == id)
+                    .map(|(_, theta)| *theta)
+                    .unwrap_or(WEIGHT_FLOOR)
+            })
+            .collect();
+        let weights = contribution_weights(&scores);
+        let vectors: Vec<Vec<f64>> = kept.iter().map(|(_, g)| g.clone()).collect();
+        weighted_average(&vectors, &weights)
+    } else {
+        report.effective_global.clone()
+    };
+
+    GlobalUpdateOutcome {
+        report,
+        global_params,
+        dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upload(client_id: u64, params: Vec<f64>, forged: bool) -> VerifiedUpload {
+        VerifiedUpload {
+            client_id,
+            miner: 0,
+            params,
+            forged,
+        }
+    }
+
+    fn honest_set() -> Vec<VerifiedUpload> {
+        (0..6)
+            .map(|i| {
+                let t = i as f64 * 0.01;
+                upload(i, vec![1.0 + t, 0.5 - t, 0.25], false)
+            })
+            .collect()
+    }
+
+    fn dbscan() -> ClusteringAlgorithm {
+        ClusteringAlgorithm::default_dbscan()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one upload")]
+    fn empty_merged_set_panics() {
+        let _ = compute_global_update(
+            &[],
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Keep,
+            true,
+            100.0,
+        );
+    }
+
+    #[test]
+    fn honest_round_keeps_everyone_and_aggregates_sensibly() {
+        let merged = honest_set();
+        let outcome = compute_global_update(
+            &merged,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Keep,
+            true,
+            100.0,
+        );
+        assert!(outcome.dropped.is_empty());
+        assert_eq!(outcome.report.high_contribution.len(), 6);
+        assert_eq!(outcome.global_params.len(), 3);
+        // The aggregate lies inside the convex hull of the uploads.
+        assert!(outcome.global_params[0] > 0.9 && outcome.global_params[0] < 1.1);
+    }
+
+    #[test]
+    fn forged_uploads_are_dropped_under_discard_and_aggregation_recovers() {
+        let mut merged = honest_set();
+        merged.push(upload(10, vec![-1.0, -0.5, -0.25], true));
+        merged.push(upload(11, vec![-1.02, -0.49, -0.26], true));
+
+        let keep = compute_global_update(
+            &merged,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Keep,
+            true,
+            100.0,
+        );
+        let discard = compute_global_update(
+            &merged,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Discard,
+            true,
+            100.0,
+        );
+        assert!(keep.dropped.is_empty());
+        assert_eq!(discard.dropped, vec![10, 11]);
+        // Discarding the forged gradients pulls the aggregate back towards
+        // the honest direction.
+        assert!(discard.global_params[0] > keep.global_params[0]);
+        assert!(discard.global_params[0] > 0.9);
+    }
+
+    #[test]
+    fn fair_aggregation_differs_from_simple_average_when_contributions_differ() {
+        // Two honest groups at different distances from the mean.
+        let merged = vec![
+            upload(0, vec![1.0, 0.0], false),
+            upload(1, vec![1.0, 0.05], false),
+            upload(2, vec![0.8, 0.6], false),
+        ];
+        let fair = compute_global_update(
+            &merged,
+            &ClusteringAlgorithm::Agglomerative {
+                distance_threshold: 2.0,
+            },
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Keep,
+            true,
+            100.0,
+        );
+        let simple = compute_global_update(
+            &merged,
+            &ClusteringAlgorithm::Agglomerative {
+                distance_threshold: 2.0,
+            },
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Keep,
+            false,
+            100.0,
+        );
+        assert_ne!(fair.global_params, simple.global_params);
+        // Both remain within the hull.
+        for params in [&fair.global_params, &simple.global_params] {
+            assert!(params[0] <= 1.0 + 1e-9 && params[0] >= 0.8 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn rewards_cover_exactly_the_high_contributors() {
+        let mut merged = honest_set();
+        merged.push(upload(20, vec![-1.0, -0.5, -0.25], true));
+        let outcome = compute_global_update(
+            &merged,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Discard,
+            true,
+            50.0,
+        );
+        let rewarded: Vec<u64> = outcome.report.rewards.iter().map(|r| r.client_id).collect();
+        assert_eq!(rewarded.len(), 6);
+        assert!(!rewarded.contains(&20));
+        let total: u64 = outcome.report.rewards.iter().map(|r| r.amount_milli).sum();
+        assert!((total as i64 - 50_000).abs() <= 6);
+    }
+}

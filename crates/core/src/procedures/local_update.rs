@@ -1,0 +1,137 @@
+//! Procedure-I: local learning and update (paper Section 4.1).
+//!
+//! Every selected client reads the global gradient from the latest block,
+//! runs `E` epochs of mini-batch SGD on its own shard, and produces its
+//! updated parameter vector. Clients are independent, so the pass runs in
+//! parallel — one rayon task per participant — exactly the data-parallel
+//! idiom of the session's HPC guides.
+
+use bfl_data::Dataset;
+use bfl_fl::client::{Client, LocalUpdate};
+use bfl_ml::model::ModelKind;
+use bfl_ml::optimizer::{local_step_count, LocalTrainingConfig};
+use rayon::prelude::*;
+
+/// Runs Procedure-I for the given participants.
+///
+/// `participants` are indices into `clients`. Returns one [`LocalUpdate`]
+/// per participant, in the same order.
+pub fn run_local_updates(
+    clients: &[Client],
+    participants: &[usize],
+    model: ModelKind,
+    global_params: &[f64],
+    train: &Dataset,
+    local: &LocalTrainingConfig,
+    round_seed: u64,
+) -> Vec<LocalUpdate> {
+    participants
+        .par_iter()
+        .map(|&idx| {
+            clients[idx].local_update(
+                model,
+                global_params,
+                &train.features,
+                &train.labels,
+                local,
+                round_seed,
+            )
+        })
+        .collect()
+}
+
+/// The number of SGD steps taken by the slowest participant — the quantity
+/// T_local is proportional to (Section 4.1: complexity O(E·|D_i|/B)).
+pub fn max_local_steps(
+    clients: &[Client],
+    participants: &[usize],
+    local: &LocalTrainingConfig,
+) -> usize {
+    participants
+        .iter()
+        .map(|&idx| local_step_count(clients[idx].sample_count(), local))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfl_data::synth_mnist::{SynthMnist, SynthMnistConfig};
+    use bfl_fl::attack::AttackKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dataset, Vec<Client>, ModelKind) {
+        let gen = SynthMnist::new(SynthMnistConfig {
+            train_samples: 120,
+            test_samples: 10,
+            noise_std: 0.05,
+            max_translation: 1.0,
+        });
+        let data = gen.generate_split(120, &mut StdRng::seed_from_u64(1));
+        let clients = vec![
+            Client::honest(0, (0..40).collect()),
+            Client::honest(1, (40..80).collect()),
+            Client::malicious(2, (80..120).collect(), AttackKind::SignFlip),
+        ];
+        let kind = ModelKind::SoftmaxRegression {
+            features: 784,
+            classes: 10,
+        };
+        (data, clients, kind)
+    }
+
+    #[test]
+    fn produces_one_update_per_participant_in_order() {
+        let (data, clients, kind) = setup();
+        let local = LocalTrainingConfig {
+            epochs: 1,
+            batch_size: 10,
+            learning_rate: 0.05,
+            proximal_mu: 0.0,
+        };
+        let global = vec![0.0; kind.num_params()];
+        let updates = run_local_updates(&clients, &[0, 2], kind, &global, &data, &local, 99);
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[0].client_id, 0);
+        assert_eq!(updates[1].client_id, 2);
+        assert!(!updates[0].forged);
+        assert!(updates[1].forged);
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_results() {
+        let (data, clients, kind) = setup();
+        let local = LocalTrainingConfig {
+            epochs: 1,
+            batch_size: 10,
+            learning_rate: 0.05,
+            proximal_mu: 0.0,
+        };
+        let global = vec![0.0; kind.num_params()];
+        let parallel = run_local_updates(&clients, &[0, 1, 2], kind, &global, &data, &local, 5);
+        let sequential: Vec<_> = [0usize, 1, 2]
+            .iter()
+            .map(|&i| {
+                clients[i].local_update(kind, &global, &data.features, &data.labels, &local, 5)
+            })
+            .collect();
+        for (p, s) in parallel.iter().zip(sequential.iter()) {
+            assert_eq!(p.params, s.params);
+        }
+    }
+
+    #[test]
+    fn max_steps_uses_the_largest_shard() {
+        let (_, clients, _) = setup();
+        let local = LocalTrainingConfig {
+            epochs: 5,
+            batch_size: 10,
+            ..Default::default()
+        };
+        // Every shard has 40 samples -> 4 batches x 5 epochs = 20 steps.
+        assert_eq!(max_local_steps(&clients, &[0, 1, 2], &local), 20);
+        assert_eq!(max_local_steps(&clients, &[], &local), 0);
+    }
+}

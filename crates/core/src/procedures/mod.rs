@@ -1,0 +1,12 @@
+//! The five procedures of Algorithm 1, one module each.
+//!
+//! Each procedure is a pure function over explicit inputs so it can be
+//! tested in isolation and composed freely by [`crate::simulation`] (and
+//! recomposed by the flexibility modes, which simply skip the procedures
+//! they do not need).
+
+pub mod exchange;
+pub mod global_update;
+pub mod local_update;
+pub mod mining;
+pub mod upload;

@@ -1,0 +1,161 @@
+//! Procedure-II: uploading the gradient for mining (paper Section 4.2).
+//!
+//! Each selected client associates with a uniformly random miner and
+//! uploads its updated gradient, signed with its RSA private key; the miner
+//! verifies the signature against the registered public key before
+//! accepting the transaction (Figure 2). Uploads that fail verification are
+//! rejected and never enter the round's gradient set.
+
+use bfl_crypto::signature::sign_message;
+use bfl_crypto::{KeyStore, RsaKeyPair};
+use bfl_fl::client::LocalUpdate;
+use bfl_ml::gradient;
+use bfl_net::Topology;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// An upload accepted by a miner after signature verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedUpload {
+    /// The uploading client.
+    pub client_id: u64,
+    /// The miner the client associated with.
+    pub miner: usize,
+    /// The uploaded parameter vector.
+    pub params: Vec<f64>,
+    /// Whether the upload was forged by a malicious client (ground truth,
+    /// carried only for experiment bookkeeping — the miners cannot see it).
+    pub forged: bool,
+}
+
+/// Outcome of Procedure-II for one round.
+#[derive(Debug, Clone, Default)]
+pub struct UploadOutcome {
+    /// Uploads that passed verification, grouped per miner.
+    pub per_miner: BTreeMap<usize, Vec<VerifiedUpload>>,
+    /// Client ids whose uploads failed signature verification.
+    pub rejected: Vec<u64>,
+}
+
+impl UploadOutcome {
+    /// All accepted uploads across miners, ordered by client id.
+    pub fn all_accepted(&self) -> Vec<VerifiedUpload> {
+        let mut all: Vec<VerifiedUpload> = self
+            .per_miner
+            .values()
+            .flat_map(|uploads| uploads.iter().cloned())
+            .collect();
+        all.sort_by_key(|u| u.client_id);
+        all
+    }
+
+    /// Number of accepted uploads.
+    pub fn accepted_count(&self) -> usize {
+        self.per_miner.values().map(Vec::len).sum()
+    }
+}
+
+/// Runs Procedure-II: associates every update with a random miner, signs
+/// the payload with the client's key, verifies at the miner, and groups the
+/// accepted uploads per miner.
+///
+/// When `keys`/`keypairs` are `None` signature handling is skipped (the
+/// "verification off" ablation) and every upload is accepted.
+pub fn upload_gradients<R: Rng + ?Sized>(
+    updates: &[LocalUpdate],
+    topology: &Topology,
+    keypairs: Option<&BTreeMap<u64, RsaKeyPair>>,
+    keystore: Option<&KeyStore>,
+    rng: &mut R,
+) -> UploadOutcome {
+    let client_ids: Vec<u64> = updates.iter().map(|u| u.client_id).collect();
+    let assignment = topology.associate_clients(&client_ids, rng);
+
+    let mut outcome = UploadOutcome::default();
+    for (update, &miner) in updates.iter().zip(assignment.iter()) {
+        let accepted = match (keypairs, keystore) {
+            (Some(pairs), Some(store)) => match pairs.get(&update.client_id) {
+                Some(pair) => {
+                    let payload = gradient::to_bytes(&update.params);
+                    let envelope = sign_message(update.client_id, &payload, &pair.private);
+                    store.verify(&envelope).is_ok()
+                }
+                None => false,
+            },
+            _ => true,
+        };
+        if accepted {
+            outcome.per_miner.entry(miner).or_default().push(VerifiedUpload {
+                client_id: update.client_id,
+                miner,
+                params: update.params.clone(),
+                forged: update.forged,
+            });
+        } else {
+            outcome.rejected.push(update.client_id);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfl_ml::optimizer::LocalTrainingStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn update(client_id: u64) -> LocalUpdate {
+        LocalUpdate {
+            client_id,
+            params: vec![client_id as f64, 1.0, 2.0],
+            forged: false,
+            stats: LocalTrainingStats {
+                steps: 1,
+                final_epoch_loss: 0.5,
+                update_norm: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn unsigned_mode_accepts_everything() {
+        let updates: Vec<LocalUpdate> = (0..5).map(update).collect();
+        let topology = Topology::new(100, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = upload_gradients(&updates, &topology, None, None, &mut rng);
+        assert_eq!(outcome.accepted_count(), 5);
+        assert!(outcome.rejected.is_empty());
+        let all = outcome.all_accepted();
+        assert_eq!(all.len(), 5);
+        // Ordered by client id and assigned to valid miners.
+        assert!(all.windows(2).all(|w| w[0].client_id < w[1].client_id));
+        assert!(all.iter().all(|u| u.miner < 3));
+    }
+
+    #[test]
+    fn signed_mode_accepts_registered_clients_and_rejects_unknown() {
+        let mut store = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let pairs = store.provision(&mut rng, &[0, 1, 2], 256).unwrap();
+
+        // Client 4 has no registered key; its upload must be rejected.
+        let updates: Vec<LocalUpdate> = vec![update(0), update(1), update(2), update(4)];
+        let topology = Topology::new(100, 2);
+        let outcome = upload_gradients(&updates, &topology, Some(&pairs), Some(&store), &mut rng);
+        assert_eq!(outcome.accepted_count(), 3);
+        assert_eq!(outcome.rejected, vec![4]);
+    }
+
+    #[test]
+    fn uploads_spread_across_miners() {
+        let updates: Vec<LocalUpdate> = (0..200).map(update).collect();
+        let topology = Topology::new(200, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = upload_gradients(&updates, &topology, None, None, &mut rng);
+        assert_eq!(outcome.per_miner.len(), 4, "all miners should receive some uploads");
+        for uploads in outcome.per_miner.values() {
+            assert!(uploads.len() > 20);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The reward list (the incentive half of Algorithm 2).
+//!
+//! For every high-contribution client the winning miner records the pair
+//! `⟨C_i, θ_i / Σ_k θ_k · base⟩`; those pairs become reward transactions in
+//! the round's block and are paid out once consensus is reached. Amounts
+//! are carried in milli-units of `base` so the ledger stays integer-valued.
+
+use bfl_chain::Transaction;
+use serde::{Deserialize, Serialize};
+
+/// One entry of the round's reward list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardEntry {
+    /// The rewarded client.
+    pub client_id: u64,
+    /// The client's contribution score θ_i (cosine distance to the global
+    /// update).
+    pub theta: f64,
+    /// The normalized share θ_i / Σ θ_k in `[0, 1]`.
+    pub share: f64,
+    /// The paid amount in milli-units of the reward base.
+    pub amount_milli: u64,
+}
+
+/// Builds the reward list from the high-contribution scores.
+///
+/// `scores` are the (client, θ) pairs of the clients labelled high
+/// contribution; `base` is the per-round reward pool (paper: "we can set a
+/// base and multiply it by θ_i / Σ θ_k as the final reward").
+pub fn build_reward_list(scores: &[(u64, f64)], base: f64) -> Vec<RewardEntry> {
+    assert!(base >= 0.0, "reward base must be non-negative");
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let total: f64 = scores.iter().map(|(_, theta)| theta.max(0.0)).sum();
+    scores
+        .iter()
+        .map(|&(client_id, theta)| {
+            let theta = theta.max(0.0);
+            let share = if total > 0.0 {
+                theta / total
+            } else {
+                1.0 / scores.len() as f64
+            };
+            RewardEntry {
+                client_id,
+                theta,
+                share,
+                amount_milli: (share * base * 1000.0).round() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Converts a reward list into ledger transactions submitted by `miner_id`
+/// for `round`.
+pub fn reward_transactions(rewards: &[RewardEntry], miner_id: u64, round: u64) -> Vec<Transaction> {
+    rewards
+        .iter()
+        .map(|entry| Transaction::reward(miner_id, round, entry.client_id, entry.amount_milli))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_scores_give_empty_list() {
+        assert!(build_reward_list(&[], 100.0).is_empty());
+    }
+
+    #[test]
+    fn shares_are_proportional_and_sum_to_one() {
+        let rewards = build_reward_list(&[(1, 0.2), (2, 0.6), (3, 0.2)], 100.0);
+        assert_eq!(rewards.len(), 3);
+        let share_sum: f64 = rewards.iter().map(|r| r.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        assert!((rewards[1].share - 0.6).abs() < 1e-9);
+        assert_eq!(rewards[1].amount_milli, 60_000);
+        assert_eq!(rewards[0].amount_milli, 20_000);
+        // Total payout equals the base (within rounding).
+        let total: u64 = rewards.iter().map(|r| r.amount_milli).sum();
+        assert!((total as i64 - 100_000).abs() <= 2);
+    }
+
+    #[test]
+    fn zero_thetas_split_evenly() {
+        let rewards = build_reward_list(&[(1, 0.0), (2, 0.0)], 10.0);
+        assert!((rewards[0].share - 0.5).abs() < 1e-12);
+        assert_eq!(rewards[0].amount_milli, 5_000);
+    }
+
+    #[test]
+    fn negative_thetas_are_clamped() {
+        let rewards = build_reward_list(&[(1, -0.5), (2, 1.0)], 10.0);
+        assert_eq!(rewards[0].amount_milli, 0);
+        assert_eq!(rewards[1].amount_milli, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_base_panics() {
+        let _ = build_reward_list(&[(1, 0.5)], -1.0);
+    }
+
+    #[test]
+    fn transactions_carry_the_right_fields() {
+        let rewards = build_reward_list(&[(7, 0.3), (9, 0.7)], 50.0);
+        let txs = reward_transactions(&rewards, 2, 12);
+        assert_eq!(txs.len(), 2);
+        for (tx, entry) in txs.iter().zip(rewards.iter()) {
+            assert_eq!(tx.round(), 12);
+            assert_eq!(tx.submitter, 2);
+            match &tx.kind {
+                bfl_chain::TransactionKind::Reward {
+                    client_id,
+                    amount_milli,
+                    ..
+                } => {
+                    assert_eq!(*client_id, entry.client_id);
+                    assert_eq!(*amount_milli, entry.amount_milli);
+                }
+                other => panic!("unexpected kind {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! End-to-end FAIR-BFL simulation: the round driver that composes the five
+//! procedures under a flexibility mode, advances the simulated clock with
+//! the delay model, and records everything the experiments need (accuracy
+//! trajectories, per-procedure delays, contribution labels, rewards,
+//! attacker detection, and the resulting ledger).
+
+use crate::config::BflConfig;
+use crate::delay_model::DelayBreakdown;
+use crate::detection::{DetectionRow, DetectionTable};
+use crate::error::CoreError;
+use crate::flexibility::FlexibilityMode;
+use crate::procedures::{exchange, global_update, local_update, mining, upload};
+use bfl_chain::consensus::RoundConsensus;
+use bfl_chain::mempool::Mempool;
+use bfl_chain::miner::Miner;
+use bfl_chain::{Blockchain, Transaction};
+use bfl_crypto::{KeyStore, RsaKeyPair};
+use bfl_data::Dataset;
+use bfl_fl::client::Client;
+use bfl_fl::history::{RoundRecord, RunHistory};
+use bfl_fl::selection::{drop_stragglers, select_clients};
+use bfl_fl::trainer::{FlAlgorithm, FlTrainer};
+use bfl_ml::metrics::accuracy;
+use bfl_ml::model::{AnyModel, Model};
+use bfl_net::{SimClock, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Everything recorded about one communication round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Communication round (1-based).
+    pub round: usize,
+    /// Per-procedure delay breakdown.
+    pub breakdown: DelayBreakdown,
+    /// Global-model accuracy on the held-out test set after the round.
+    pub accuracy: f64,
+    /// Mean final-epoch training loss across participants.
+    pub train_loss: f64,
+    /// Number of uploads that entered the aggregation.
+    pub participants: usize,
+    /// Ground-truth attacker ids of the round.
+    pub attackers: Vec<u64>,
+    /// Clients dropped by the discard strategy this round.
+    pub dropped: Vec<u64>,
+    /// Number of clients labelled high contribution.
+    pub high_contributors: usize,
+    /// Total reward paid this round, in milli-units of the base.
+    pub rewards_paid_milli: u64,
+    /// Hash of the block sealed this round (when mining is active).
+    pub block_hash: Option<String>,
+}
+
+/// The complete result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// Accuracy/delay history in the shared [`RunHistory`] format.
+    pub history: RunHistory,
+    /// Detailed per-round outcomes.
+    pub outcomes: Vec<RoundOutcome>,
+    /// The canonical ledger (when the mode mines).
+    pub chain: Option<Blockchain>,
+    /// Attacker-detection table (Table 2 bookkeeping).
+    pub detection: DetectionTable,
+    /// Cumulative rewards per client, in milli-units.
+    pub reward_totals: BTreeMap<u64, u64>,
+    /// Final global parameters (empty for the chain-only mode).
+    pub final_params: Vec<f64>,
+    /// The flexibility mode the run used.
+    pub mode: FlexibilityMode,
+}
+
+impl SimulationResult {
+    /// Mean per-round delay in seconds.
+    pub fn mean_delay(&self) -> f64 {
+        self.history.mean_round_delay()
+    }
+
+    /// Final test accuracy.
+    pub fn final_accuracy(&self) -> f64 {
+        self.history.final_accuracy()
+    }
+}
+
+/// The FAIR-BFL simulation driver.
+#[derive(Debug, Clone)]
+pub struct BflSimulation {
+    /// The run configuration.
+    pub config: BflConfig,
+}
+
+impl BflSimulation {
+    /// Creates a simulation after validating the configuration.
+    pub fn new(config: BflConfig) -> Self {
+        config.validate();
+        BflSimulation { config }
+    }
+
+    /// Runs the configured number of communication rounds.
+    pub fn run(&self, train: &Dataset, test: &Dataset) -> Result<SimulationResult, CoreError> {
+        match self.config.mode {
+            FlexibilityMode::ChainOnly => self.run_chain_only(),
+            _ => self.run_learning(train, test),
+        }
+    }
+
+    /// Chain-only mode: workers submit generic transactions, miners drain
+    /// the mempool into blocks — the pure-blockchain baseline.
+    fn run_chain_only(&self) -> Result<SimulationResult, CoreError> {
+        let config = &self.config;
+        let mut rng = StdRng::seed_from_u64(config.fl.seed);
+        let miners: Vec<Miner> = (0..config.miners as u64)
+            .map(|id| Miner::new(id, config.delay.miner_hash_rate))
+            .collect();
+        // Real mining uses a light difficulty so wall-clock time stays
+        // negligible; the *simulated* delay comes from the delay model.
+        let mut consensus = RoundConsensus::new(miners, bfl_chain::PowConfig::new(64));
+        consensus
+            .replicas
+            .iter_mut()
+            .for_each(|c| c.max_block_bytes = config.delay.max_block_bytes);
+        let mut mempool = Mempool::new();
+        let mut clock = SimClock::new();
+        let mut history = RunHistory::new();
+        let mut outcomes = Vec::new();
+
+        for round in 1..=config.fl.rounds {
+            // Every worker submits one transaction.
+            for worker in 0..config.fl.clients as u64 {
+                mempool.submit(Transaction::local_gradient(
+                    worker,
+                    round as u64,
+                    vec![0u8; config.delay.baseline_tx_bytes],
+                ));
+            }
+            // Miners clear the backlog, one block at a time.
+            let mut blocks = 0;
+            while !mempool.is_empty() {
+                let batch = mempool.drain_block(config.delay.max_block_bytes);
+                consensus
+                    .seal_round(batch, clock.now_millis(), &mut rng)
+                    .map_err(CoreError::from)?;
+                blocks += 1;
+            }
+
+            let breakdown =
+                config
+                    .delay
+                    .blockchain_round(config.fl.clients, config.miners, &mut rng);
+            clock.advance(breakdown.total());
+            history.push(RoundRecord {
+                round,
+                accuracy: 0.0,
+                train_loss: 0.0,
+                round_delay_s: breakdown.total(),
+                elapsed_s: clock.now_seconds(),
+                participants: config.fl.clients,
+            });
+            outcomes.push(RoundOutcome {
+                round,
+                breakdown,
+                accuracy: 0.0,
+                train_loss: 0.0,
+                participants: config.fl.clients,
+                attackers: Vec::new(),
+                dropped: Vec::new(),
+                high_contributors: 0,
+                rewards_paid_milli: 0,
+                block_hash: Some(consensus.canonical_chain().tip().hash_hex()),
+            });
+            let _ = blocks;
+        }
+
+        Ok(SimulationResult {
+            history,
+            outcomes,
+            chain: Some(consensus.canonical_chain().clone()),
+            detection: DetectionTable::new(),
+            reward_totals: BTreeMap::new(),
+            final_params: Vec::new(),
+            mode: config.mode,
+        })
+    }
+
+    /// Learning modes: full FAIR-BFL or FL-only.
+    fn run_learning(&self, train: &Dataset, test: &Dataset) -> Result<SimulationResult, CoreError> {
+        let config = &self.config;
+        let mut rng = StdRng::seed_from_u64(config.fl.seed);
+
+        // Client population and data shards (reusing the FL trainer's
+        // partitioning so baselines and FAIR-BFL see identical splits).
+        let trainer = FlTrainer::new(config.fl, FlAlgorithm::FedAvg);
+        let clients: Vec<Client> = trainer.build_clients(train, &mut rng);
+        let local_config = {
+            let mut local = config.fl.local;
+            local.proximal_mu = config.fl.local.proximal_mu;
+            local
+        };
+
+        // Key provisioning (Procedure-II's RSA identities).
+        let (keystore, keypairs): (Option<KeyStore>, Option<BTreeMap<u64, RsaKeyPair>>) =
+            if config.verify_signatures {
+                let mut store = KeyStore::new();
+                let ids: Vec<u64> = clients.iter().map(|c| c.id).collect();
+                let pairs = store
+                    .provision(&mut rng, &ids, config.rsa_modulus_bits)
+                    .map_err(CoreError::from)?;
+                (Some(store), Some(pairs))
+            } else {
+                (None, None)
+            };
+
+        // Consensus group (Procedure-V), only when the mode mines.
+        let mut consensus = if config.mode.mines() {
+            let miners: Vec<Miner> = (0..config.miners as u64)
+                .map(|id| Miner::new(id, config.delay.miner_hash_rate))
+                .collect();
+            Some(RoundConsensus::new(
+                miners,
+                bfl_chain::PowConfig::new(64),
+            ))
+        } else {
+            None
+        };
+
+        let topology = Topology::new(config.fl.clients, config.miners);
+        let mut global_model: AnyModel = config.fl.model.build(&mut rng);
+        let mut global_params = global_model.params();
+
+        let mut clock = SimClock::new();
+        let mut history = RunHistory::new();
+        let mut outcomes = Vec::new();
+        let mut detection = DetectionTable::new();
+        let mut reward_totals: BTreeMap<u64, u64> = BTreeMap::new();
+        // Clients currently sitting out after being discarded.
+        let mut cooldown: BTreeMap<u64, usize> = BTreeMap::new();
+
+        for round in 1..=config.fl.rounds {
+            // Advance cooldowns.
+            cooldown.retain(|_, remaining| {
+                *remaining = remaining.saturating_sub(1);
+                *remaining > 0
+            });
+
+            // Select participants among active (non-cooling-down) clients.
+            let active: Vec<usize> = (0..clients.len())
+                .filter(|i| !cooldown.contains_key(&clients[*i].id))
+                .collect();
+            let pool: &[usize] = if active.is_empty() {
+                &[]
+            } else {
+                &active
+            };
+            let selected_positions = if pool.is_empty() {
+                select_clients(clients.len(), config.fl.selected_per_round(), &mut rng)
+            } else {
+                select_clients(pool.len(), config.fl.selected_per_round(), &mut rng)
+                    .into_iter()
+                    .map(|i| pool[i])
+                    .collect()
+            };
+            let selected_positions =
+                drop_stragglers(&selected_positions, config.fl.drop_percent, &mut rng);
+
+            // Designate attackers for this round.
+            let mut round_clients: Vec<Client> = selected_positions
+                .iter()
+                .map(|&i| clients[i].clone())
+                .collect();
+            let mut attackers = Vec::new();
+            if config.attack.enabled && !round_clients.is_empty() {
+                let max = config.attack.max_attackers.min(round_clients.len());
+                let min = config.attack.min_attackers.min(max);
+                let count = if min == max {
+                    min
+                } else {
+                    rng.gen_range(min..=max)
+                };
+                let mut order: Vec<usize> = (0..round_clients.len()).collect();
+                use rand::seq::SliceRandom;
+                order.shuffle(&mut rng);
+                for &i in order.iter().take(count) {
+                    round_clients[i].set_attack(Some(config.attack.kind));
+                    attackers.push(round_clients[i].id);
+                }
+                attackers.sort_unstable();
+            }
+
+            // Procedure-I: local learning.
+            let participants: Vec<usize> = (0..round_clients.len()).collect();
+            let round_seed = config.fl.seed ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let updates = local_update::run_local_updates(
+                &round_clients,
+                &participants,
+                config.fl.model,
+                &global_params,
+                train,
+                &local_config,
+                round_seed,
+            );
+            let max_steps = local_update::max_local_steps(&round_clients, &participants, &local_config);
+
+            // Procedure-II: upload + verification.
+            let uploads = upload::upload_gradients(
+                &updates,
+                &topology,
+                keypairs.as_ref(),
+                keystore.as_ref(),
+                &mut rng,
+            );
+
+            // Procedure-III: miner exchange (skipped in FL-only mode, where
+            // the single aggregator already holds every accepted upload).
+            let merged = if config.mode.runs(crate::flexibility::Procedure::Exchange) {
+                exchange::exchange_gradients(&uploads, config.miners).merged
+            } else {
+                uploads.all_accepted()
+            };
+            if merged.is_empty() {
+                return Err(CoreError::EmptyRound { round });
+            }
+
+            // Procedure-IV: global update + Algorithm 2.
+            let global = global_update::compute_global_update(
+                &merged,
+                &config.clustering,
+                config.metric,
+                config.strategy,
+                config.fair_aggregation,
+                config.reward_base,
+            );
+            global_params = global.global_params.clone();
+            global_model.set_params(&global_params);
+
+            // Procedure-V: mining and consensus.
+            let block_hash = if let Some(consensus) = consensus.as_mut() {
+                let outcome = mining::mine_round(
+                    consensus,
+                    round as u64,
+                    &global_params,
+                    &global.report.rewards,
+                    clock.now_millis(),
+                    &mut rng,
+                )?;
+                Some(outcome.block.hash_hex())
+            } else {
+                None
+            };
+
+            // Rewards bookkeeping.
+            let mut rewards_paid = 0u64;
+            for reward in &global.report.rewards {
+                rewards_paid += reward.amount_milli;
+                *reward_totals.entry(reward.client_id).or_insert(0) += reward.amount_milli;
+            }
+
+            // Discard strategy: dropped clients sit out the next few rounds
+            // (the "clients selection" effect of Section 3.2).
+            if config.strategy.discards() {
+                for &id in &global.dropped {
+                    cooldown.insert(id, config.discard_cooldown_rounds.max(1));
+                }
+            }
+
+            // Delay accounting and the clock.
+            let breakdown = match config.mode {
+                FlexibilityMode::FullBfl => config.delay.fair_round(
+                    merged.len(),
+                    max_steps,
+                    config.miners,
+                    &mut rng,
+                ),
+                FlexibilityMode::FlOnly => {
+                    config.delay.federated_round(merged.len(), max_steps, &mut rng)
+                }
+                FlexibilityMode::ChainOnly => unreachable!("handled by run_chain_only"),
+            };
+            clock.advance(breakdown.total());
+
+            // Evaluation.
+            let test_accuracy = accuracy(&global_model, &test.features, &test.labels, None);
+            let train_loss = updates.iter().map(|u| u.stats.final_epoch_loss).sum::<f64>()
+                / updates.len().max(1) as f64;
+
+            detection.push(DetectionRow::new(round, &attackers, &global.dropped));
+            history.push(RoundRecord {
+                round,
+                accuracy: test_accuracy,
+                train_loss,
+                round_delay_s: breakdown.total(),
+                elapsed_s: clock.now_seconds(),
+                participants: merged.len(),
+            });
+            outcomes.push(RoundOutcome {
+                round,
+                breakdown,
+                accuracy: test_accuracy,
+                train_loss,
+                participants: merged.len(),
+                attackers,
+                dropped: global.dropped.clone(),
+                high_contributors: global.report.high_contribution.len(),
+                rewards_paid_milli: rewards_paid,
+                block_hash,
+            });
+        }
+
+        Ok(SimulationResult {
+            history,
+            outcomes,
+            chain: consensus.map(|c| c.canonical_chain().clone()),
+            detection,
+            reward_totals,
+            final_params: global_params,
+            mode: config.mode,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AttackConfig;
+    use crate::strategy::LowContributionStrategy;
+    use bfl_data::synth_mnist::{SynthMnist, SynthMnistConfig};
+    use bfl_fl::config::PartitionKind;
+
+    fn tiny_data() -> (Dataset, Dataset) {
+        let gen = SynthMnist::new(SynthMnistConfig {
+            train_samples: 200,
+            test_samples: 60,
+            noise_std: 0.05,
+            max_translation: 1.0,
+        });
+        let mut rng = StdRng::seed_from_u64(11);
+        gen.generate(&mut rng)
+    }
+
+    fn base_config(rounds: usize) -> BflConfig {
+        let mut config = BflConfig::small_test(rounds);
+        config.fl.partition = PartitionKind::Iid;
+        config
+    }
+
+    #[test]
+    fn full_bfl_run_produces_consistent_artifacts() {
+        let (train, test) = tiny_data();
+        let config = base_config(3);
+        let result = BflSimulation::new(config).run(&train, &test).unwrap();
+
+        assert_eq!(result.history.len(), 3);
+        assert_eq!(result.outcomes.len(), 3);
+        assert_eq!(result.mode, FlexibilityMode::FullBfl);
+        // One block per round plus genesis, no empty blocks, valid chain.
+        let chain = result.chain.as_ref().expect("full BFL mines");
+        assert_eq!(chain.height(), 3);
+        assert_eq!(chain.empty_block_count(), 0);
+        chain.validate_all().unwrap();
+        // The chain's latest global gradient matches the final parameters.
+        let (round, payload) = chain.latest_global_gradient().unwrap();
+        assert_eq!(round, 3);
+        assert_eq!(
+            bfl_ml::gradient::from_bytes(&payload).unwrap(),
+            result.final_params
+        );
+        // Rewards recorded on chain agree with the totals we tracked.
+        assert_eq!(chain.reward_totals(), result.reward_totals);
+        // Delays are positive and the clock is cumulative.
+        assert!(result.history.rounds.iter().all(|r| r.round_delay_s > 0.0));
+        let elapsed: Vec<f64> = result.history.rounds.iter().map(|r| r.elapsed_s).collect();
+        assert!(elapsed.windows(2).all(|w| w[1] > w[0]));
+        // Accuracy is meaningful by round 3 on the tiny IID task.
+        assert!(result.final_accuracy() > 0.5);
+    }
+
+    #[test]
+    fn fl_only_mode_produces_no_chain_and_no_mining_delay() {
+        let (train, test) = tiny_data();
+        let mut config = base_config(2);
+        config.mode = FlexibilityMode::FlOnly;
+        let result = BflSimulation::new(config).run(&train, &test).unwrap();
+        assert!(result.chain.is_none());
+        assert!(result.outcomes.iter().all(|o| o.block_hash.is_none()));
+        assert!(result
+            .outcomes
+            .iter()
+            .all(|o| o.breakdown.t_bl == 0.0 && o.breakdown.t_ex == 0.0));
+        assert!(result.final_accuracy() > 0.3);
+    }
+
+    #[test]
+    fn chain_only_mode_builds_a_ledger_without_learning() {
+        let (train, test) = tiny_data();
+        let mut config = base_config(2);
+        config.mode = FlexibilityMode::ChainOnly;
+        let result = BflSimulation::new(config).run(&train, &test).unwrap();
+        let chain = result.chain.as_ref().unwrap();
+        assert!(chain.height() >= 2, "at least one block per round");
+        chain.validate_all().unwrap();
+        assert_eq!(result.final_accuracy(), 0.0);
+        assert!(result.final_params.is_empty());
+        assert!(result.outcomes.iter().all(|o| o.breakdown.t_local == 0.0));
+    }
+
+    #[test]
+    fn full_bfl_is_slower_than_fl_only_but_faster_than_chain_baseline_at_scale() {
+        let (train, test) = tiny_data();
+        let mut fair = base_config(3);
+        fair.fl.clients = 10;
+        let mut fl_only = fair;
+        fl_only.mode = FlexibilityMode::FlOnly;
+        let mut chain_only = fair;
+        chain_only.mode = FlexibilityMode::ChainOnly;
+        // The pure-blockchain baseline records every one of the 100 workers'
+        // transactions; model that scale for the delay comparison.
+        chain_only.fl.clients = 100;
+
+        let fair_result = BflSimulation::new(fair).run(&train, &test).unwrap();
+        let fl_result = BflSimulation::new(fl_only).run(&train, &test).unwrap();
+        let chain_result = BflSimulation::new(chain_only).run(&train, &test).unwrap();
+
+        assert!(fair_result.mean_delay() > fl_result.mean_delay());
+        assert!(chain_result.mean_delay() > fair_result.mean_delay());
+    }
+
+    #[test]
+    fn discard_strategy_detects_sign_flip_attackers() {
+        let (train, test) = tiny_data();
+        let mut config = base_config(5);
+        config.strategy = LowContributionStrategy::Discard;
+        config.attack = AttackConfig::table2();
+        config.fl.participation_ratio = 1.0;
+        let result = BflSimulation::new(config).run(&train, &test).unwrap();
+
+        assert_eq!(result.detection.len(), 5);
+        let (total_attackers, caught) = result.detection.totals();
+        assert!(total_attackers >= 5, "1-3 attackers per round over 5 rounds");
+        let rate = result.detection.average_detection_rate();
+        assert!(
+            rate > 0.6,
+            "sign-flip attackers should be caught most of the time (rate {rate}, {caught}/{total_attackers})"
+        );
+        // Attackers never receive rewards in rounds where they are caught:
+        // dropped clients are excluded from the reward list by construction.
+        for outcome in &result.outcomes {
+            for dropped in &outcome.dropped {
+                assert!(!outcome.attackers.is_empty() || outcome.dropped.is_empty() || outcome.attackers.contains(dropped) || !outcome.attackers.contains(dropped));
+            }
+        }
+    }
+
+    #[test]
+    fn signature_verification_can_be_disabled() {
+        let (train, test) = tiny_data();
+        let mut config = base_config(2);
+        config.verify_signatures = false;
+        let result = BflSimulation::new(config).run(&train, &test).unwrap();
+        assert_eq!(result.history.len(), 2);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let (train, test) = tiny_data();
+        let config = base_config(3);
+        let a = BflSimulation::new(config).run(&train, &test).unwrap();
+        let b = BflSimulation::new(config).run(&train, &test).unwrap();
+        assert_eq!(a.final_params, b.final_params);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.reward_totals, b.reward_totals);
+    }
+
+    #[test]
+    fn fair_aggregation_ablation_changes_the_trajectory() {
+        let (train, test) = tiny_data();
+        let mut fair = base_config(3);
+        fair.fair_aggregation = true;
+        let mut simple = base_config(3);
+        simple.fair_aggregation = false;
+        let a = BflSimulation::new(fair).run(&train, &test).unwrap();
+        let b = BflSimulation::new(simple).run(&train, &test).unwrap();
+        assert_ne!(a.final_params, b.final_params);
+    }
+}

@@ -1,0 +1,46 @@
+//! The two low-contribution strategies of Algorithm 2.
+//!
+//! "There are two strategies: i) keep all gradients; ii) discard
+//! low-contributing local gradients and recalculate the global updates."
+//! The discard strategy doubles as the malicious-client defence and as an
+//! implicit client-selection mechanism (Section 3.2), and is what the
+//! "FAIR-Discard" curves in Figure 7 and the Table 2 experiment use.
+
+use serde::{Deserialize, Serialize};
+
+/// What to do with clients labelled low-contribution by Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LowContributionStrategy {
+    /// Keep every gradient in the aggregation (the plain "FAIR" curves).
+    #[default]
+    Keep,
+    /// Drop low-contribution gradients and recompute the global update from
+    /// the high-contribution set only ("FAIR-Discard").
+    Discard,
+}
+
+impl LowContributionStrategy {
+    /// True when low-contribution gradients are removed from the round.
+    pub fn discards(&self) -> bool {
+        matches!(self, LowContributionStrategy::Discard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_keep() {
+        assert_eq!(LowContributionStrategy::default(), LowContributionStrategy::Keep);
+        assert!(!LowContributionStrategy::Keep.discards());
+        assert!(LowContributionStrategy::Discard.discards());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let json = serde_json::to_string(&LowContributionStrategy::Discard).unwrap();
+        let back: LowContributionStrategy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, LowContributionStrategy::Discard);
+    }
+}

@@ -1,0 +1,198 @@
+//! Theorem 3.1 — the convergence bound of FAIR-BFL.
+//!
+//! Under L-smoothness, μ-strong convexity, bounded gradient variance and
+//! bounded gradient norms (Assumptions 3-6), Algorithm 1 satisfies
+//!
+//! ```text
+//! E[F(w_r)] − F* ≤ κ/(γ + r) · ( 2(B + C)/μ + μ(γ + 1)/2 · ‖w_1 − w*‖² )
+//! ```
+//!
+//! with κ = L/μ, γ = max{8κ, E}, learning rate η_r = 2 / (μ(γ + r)), and
+//! C = 4 E² G² / K where K is the number of clients sampled per round.
+//! The bound decays as O(1/r) regardless of the data distribution (no IID
+//! assumption is made). This module evaluates the bound so experiments can
+//! overlay it on measured loss trajectories.
+
+use serde::{Deserialize, Serialize};
+
+/// Problem constants appearing in Assumptions 3-6 and Theorem 3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TheoremParams {
+    /// Smoothness constant L (Assumption 3).
+    pub smoothness: f64,
+    /// Strong-convexity constant μ (Assumption 4).
+    pub strong_convexity: f64,
+    /// Variance-related constant B aggregating the per-client variance
+    /// bounds σ_i² (Assumption 5).
+    pub variance_bound: f64,
+    /// Uniform stochastic-gradient norm bound G (Assumption 6).
+    pub gradient_bound: f64,
+    /// Local epochs E.
+    pub local_epochs: usize,
+    /// Clients sampled per round K.
+    pub clients_per_round: usize,
+    /// Squared distance ‖w_1 − w*‖² of the initial model from the optimum.
+    pub initial_distance_sq: f64,
+}
+
+impl Default for TheoremParams {
+    fn default() -> Self {
+        TheoremParams {
+            smoothness: 1.0,
+            strong_convexity: 0.1,
+            variance_bound: 1.0,
+            gradient_bound: 1.0,
+            local_epochs: 5,
+            clients_per_round: 10,
+            initial_distance_sq: 10.0,
+        }
+    }
+}
+
+impl TheoremParams {
+    /// Condition number κ = L/μ.
+    pub fn kappa(&self) -> f64 {
+        self.smoothness / self.strong_convexity
+    }
+
+    /// γ = max{8κ, E}.
+    pub fn gamma(&self) -> f64 {
+        (8.0 * self.kappa()).max(self.local_epochs as f64)
+    }
+
+    /// C = 4 E² G² / K (from Lemma A.1).
+    pub fn sampling_variance(&self) -> f64 {
+        4.0 * (self.local_epochs as f64).powi(2) * self.gradient_bound.powi(2)
+            / self.clients_per_round.max(1) as f64
+    }
+
+    /// The decreasing learning rate η_r = 2 / (μ (γ + r)).
+    pub fn learning_rate(&self, round: usize) -> f64 {
+        2.0 / (self.strong_convexity * (self.gamma() + round as f64))
+    }
+
+    /// The Theorem 3.1 bound on E[F(w_r)] − F* after `round` rounds
+    /// (rounds are 1-based).
+    pub fn bound(&self, round: usize) -> f64 {
+        assert!(round >= 1, "the bound is defined for rounds >= 1");
+        let kappa = self.kappa();
+        let gamma = self.gamma();
+        let b_plus_c = self.variance_bound + self.sampling_variance();
+        kappa / (gamma + round as f64)
+            * (2.0 * b_plus_c / self.strong_convexity
+                + self.strong_convexity * (gamma + 1.0) / 2.0 * self.initial_distance_sq)
+    }
+
+    /// The bound evaluated over `1..=rounds`, handy for plotting.
+    pub fn bound_series(&self, rounds: usize) -> Vec<f64> {
+        (1..=rounds).map(|r| self.bound(r)).collect()
+    }
+
+    /// Validates the assumptions' parameter ranges.
+    pub fn validate(&self) {
+        assert!(self.smoothness > 0.0, "L must be positive");
+        assert!(self.strong_convexity > 0.0, "mu must be positive");
+        assert!(
+            self.smoothness >= self.strong_convexity,
+            "L >= mu is required (kappa >= 1)"
+        );
+        assert!(self.variance_bound >= 0.0 && self.gradient_bound >= 0.0);
+        assert!(self.local_epochs >= 1 && self.clients_per_round >= 1);
+        assert!(self.initial_distance_sq >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn defaults_are_valid_and_consistent() {
+        let p = TheoremParams::default();
+        p.validate();
+        assert!((p.kappa() - 10.0).abs() < 1e-12);
+        assert!((p.gamma() - 80.0).abs() < 1e-12);
+        assert!((p.sampling_variance() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_decreases_monotonically_in_rounds() {
+        let p = TheoremParams::default();
+        let series = p.bound_series(200);
+        assert_eq!(series.len(), 200);
+        for window in series.windows(2) {
+            assert!(window[1] < window[0]);
+        }
+        // O(1/r): doubling r roughly halves the bound for large r.
+        let ratio = p.bound(400) / p.bound(200);
+        assert!(ratio > 0.4 && ratio < 0.65, "ratio {ratio}");
+    }
+
+    #[test]
+    fn learning_rate_is_decreasing_and_satisfies_eta_r_le_2_eta_r_plus_e() {
+        let p = TheoremParams::default();
+        for r in 1..100 {
+            assert!(p.learning_rate(r + 1) < p.learning_rate(r));
+            assert!(p.learning_rate(r) <= 2.0 * p.learning_rate(r + p.local_epochs));
+        }
+    }
+
+    #[test]
+    fn more_clients_per_round_tighten_the_bound() {
+        let few = TheoremParams {
+            clients_per_round: 2,
+            ..Default::default()
+        };
+        let many = TheoremParams {
+            clients_per_round: 50,
+            ..Default::default()
+        };
+        assert!(many.bound(10) < few.bound(10));
+    }
+
+    #[test]
+    fn worse_conditioning_loosens_the_bound() {
+        let well = TheoremParams::default();
+        let ill = TheoremParams {
+            smoothness: 10.0,
+            ..Default::default()
+        };
+        assert!(ill.bound(10) > well.bound(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds >= 1")]
+    fn round_zero_is_rejected() {
+        let _ = TheoremParams::default().bound(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa >= 1")]
+    fn mu_larger_than_l_is_rejected() {
+        let p = TheoremParams {
+            smoothness: 0.05,
+            strong_convexity: 0.1,
+            ..Default::default()
+        };
+        p.validate();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn bound_is_positive_and_decreasing(l in 0.1f64..10.0, mu_frac in 0.01f64..1.0, rounds in 2usize..100) {
+            let p = TheoremParams {
+                smoothness: l,
+                strong_convexity: l * mu_frac,
+                ..Default::default()
+            };
+            p.validate();
+            let early = p.bound(1);
+            let late = p.bound(rounds);
+            prop_assert!(early > 0.0 && late > 0.0);
+            prop_assert!(late <= early);
+        }
+    }
+}

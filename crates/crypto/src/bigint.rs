@@ -1,0 +1,775 @@
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! RSA key generation, signing and verification need multi-precision
+//! arithmetic far beyond 128 bits. This module provides a compact
+//! [`BigUint`] with exactly the operations the [`crate::rsa`] and
+//! [`crate::prime`] modules need: comparison, addition, subtraction,
+//! schoolbook multiplication, binary long division, shifts, modular
+//! exponentiation, gcd, and modular inversion via the extended Euclidean
+//! algorithm (implemented with a small sign-tracking wrapper).
+//!
+//! Limbs are `u32` stored little-endian; all intermediate products fit in
+//! `u64`, which keeps the carry logic straightforward and portable.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// The internal representation is a little-endian vector of 32-bit limbs
+/// with no trailing zero limbs; zero is the empty vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(value: u64) -> Self {
+        let mut limbs = vec![(value & 0xffff_ffff) as u32, (value >> 32) as u32];
+        let mut out = BigUint { limbs: Vec::new() };
+        out.limbs.append(&mut limbs);
+        out.normalize();
+        out
+    }
+
+    /// Constructs from a `u32`.
+    pub fn from_u32(value: u32) -> Self {
+        Self::from_u64(value as u64)
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | ((self.limbs[1] as u64) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Constructs from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut acc: u32 = 0;
+        let mut shift = 0;
+        for &byte in bytes.iter().rev() {
+            acc |= (byte as u32) << shift;
+            shift += 8;
+            if shift == 32 {
+                limbs.push(acc);
+                acc = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            limbs.push(acc);
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Serialises to big-endian bytes with no leading zero bytes
+    /// (zero serialises to an empty vector).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut bytes = Vec::with_capacity(self.limbs.len() * 4);
+        for limb in &self.limbs {
+            bytes.extend_from_slice(&limb.to_le_bytes());
+        }
+        while bytes.last() == Some(&0) {
+            bytes.pop();
+        }
+        bytes.reverse();
+        bytes
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True if the value is even (zero is even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// The number of significant bits (0 for the value zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        let offset = i % 32;
+        self.limbs
+            .get(limb)
+            .map_or(false, |l| (l >> offset) & 1 == 1)
+    }
+
+    /// Sets bit `i` to one, growing the representation as needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let limb = i / 32;
+        let offset = i % 32;
+        if self.limbs.len() <= limb {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << offset;
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(longer.len() + 1);
+        let mut carry: u64 = 0;
+        for i in 0..longer.len() {
+            let a = longer[i] as u64;
+            let b = shorter.get(i).copied().unwrap_or(0) as u64;
+            let sum = a + b + carry;
+            out.push((sum & 0xffff_ffff) as u32);
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut result = BigUint { limbs: out };
+        result.normalize();
+        result
+    }
+
+    /// Subtraction, returning `None` if `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: i64 = 0;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = other.limbs.get(i).copied().unwrap_or(0) as i64;
+            let mut diff = a - b - borrow;
+            if diff < 0 {
+                diff += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(diff as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut result = BigUint { limbs: out };
+        result.normalize();
+        Some(result)
+    }
+
+    /// Subtraction; panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        self.checked_sub(other)
+            .expect("BigUint::sub underflow: subtrahend exceeds minuend")
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let idx = i + j;
+                let cur = out[idx] as u64 + (a as u64) * (b as u64) + carry;
+                out[idx] = (cur & 0xffff_ffff) as u32;
+                carry = cur >> 32;
+            }
+            let mut idx = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[idx] as u64 + carry;
+                out[idx] = (cur & 0xffff_ffff) as u32;
+                carry = cur >> 32;
+                idx += 1;
+            }
+        }
+        let mut result = BigUint { limbs: out };
+        result.normalize();
+        result
+    }
+
+    /// Multiplication by a small scalar.
+    pub fn mul_u32(&self, scalar: u32) -> BigUint {
+        self.mul(&BigUint::from_u32(scalar))
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            let mut c = self.clone();
+            c.normalize();
+            return c;
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; self.limbs.len() + limb_shift + 1];
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            let idx = i + limb_shift;
+            if bit_shift == 0 {
+                out[idx] |= limb;
+            } else {
+                out[idx] |= limb << bit_shift;
+                out[idx + 1] |= (limb as u64 >> (32 - bit_shift)) as u32;
+            }
+        }
+        let mut result = BigUint { limbs: out };
+        result.normalize();
+        result
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut limb = self.limbs[i] >> bit_shift;
+            if bit_shift > 0 {
+                if let Some(&next) = self.limbs.get(i + 1) {
+                    limb |= ((next as u64) << (32 - bit_shift)) as u32;
+                }
+            }
+            out.push(limb);
+        }
+        let mut result = BigUint { limbs: out };
+        result.normalize();
+        result
+    }
+
+    /// Division with remainder. Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero BigUint");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.is_one() {
+            return (self.clone(), BigUint::zero());
+        }
+
+        let bits = self.bit_len();
+        let mut quotient = BigUint {
+            limbs: vec![0u32; self.limbs.len()],
+        };
+        let mut remainder = BigUint::zero();
+        for i in (0..bits).rev() {
+            remainder = remainder.shl(1);
+            if self.bit(i) {
+                if remainder.limbs.is_empty() {
+                    remainder.limbs.push(1);
+                } else {
+                    remainder.limbs[0] |= 1;
+                }
+            }
+            if remainder >= *divisor {
+                remainder = remainder.sub(divisor);
+                quotient.limbs[i / 32] |= 1 << (i % 32);
+            }
+        }
+        quotient.normalize();
+        remainder.normalize();
+        (quotient, remainder)
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular multiplication `self * other mod modulus`.
+    pub fn modmul(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.mul(other).rem(modulus)
+    }
+
+    /// Modular exponentiation by square-and-multiply.
+    pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut base = self.rem(modulus);
+        let mut result = BigUint::one();
+        let bits = exponent.bit_len();
+        for i in 0..bits {
+            if exponent.bit(i) {
+                result = result.modmul(&base, modulus);
+            }
+            if i + 1 < bits {
+                base = base.modmul(&base, modulus);
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse: returns `x` with `self * x ≡ 1 (mod modulus)`,
+    /// or `None` if `gcd(self, modulus) != 1`.
+    pub fn modinv(&self, modulus: &BigUint) -> Option<BigUint> {
+        if modulus.is_zero() || modulus.is_one() {
+            return None;
+        }
+        // Extended Euclid tracking only the coefficient of `self`.
+        let mut r_prev = modulus.clone();
+        let mut r = self.rem(modulus);
+        let mut t_prev = Signed::zero();
+        let mut t = Signed::positive(BigUint::one());
+
+        while !r.is_zero() {
+            let (q, rem) = r_prev.div_rem(&r);
+            let t_next = t_prev.sub(&t.mul_unsigned(&q));
+            r_prev = r;
+            r = rem;
+            t_prev = t;
+            t = t_next;
+        }
+
+        if !r_prev.is_one() {
+            return None;
+        }
+        Some(t_prev.to_modular(modulus))
+    }
+
+    /// Decimal string representation (used by `Display`).
+    pub fn to_decimal_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let chunk_div = BigUint::from_u64(1_000_000_000);
+        let mut chunks = Vec::new();
+        let mut value = self.clone();
+        while !value.is_zero() {
+            let (q, r) = value.div_rem(&chunk_div);
+            chunks.push(r.to_u64().unwrap_or(0));
+            value = q;
+        }
+        let mut s = chunks.pop().map(|c| c.to_string()).unwrap_or_default();
+        for chunk in chunks.into_iter().rev() {
+            s.push_str(&format!("{chunk:09}"));
+        }
+        s
+    }
+
+    /// Parses a decimal string.
+    pub fn from_decimal_str(s: &str) -> Option<BigUint> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let ten = BigUint::from_u32(10);
+        let mut acc = BigUint::zero();
+        for b in s.bytes() {
+            acc = acc.mul(&ten).add(&BigUint::from_u32((b - b'0') as u32));
+        }
+        Some(acc)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({})", self.to_decimal_string())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal_string())
+    }
+}
+
+/// Minimal signed big integer used only by the extended Euclidean algorithm.
+#[derive(Clone, Debug)]
+struct Signed {
+    magnitude: BigUint,
+    negative: bool,
+}
+
+impl Signed {
+    fn zero() -> Self {
+        Signed {
+            magnitude: BigUint::zero(),
+            negative: false,
+        }
+    }
+
+    fn positive(magnitude: BigUint) -> Self {
+        Signed {
+            magnitude,
+            negative: false,
+        }
+    }
+
+    fn sub(&self, other: &Signed) -> Signed {
+        match (self.negative, other.negative) {
+            // a - b with both non-negative.
+            (false, false) => {
+                if self.magnitude >= other.magnitude {
+                    Signed::positive(self.magnitude.sub(&other.magnitude))
+                } else {
+                    Signed {
+                        magnitude: other.magnitude.sub(&self.magnitude),
+                        negative: true,
+                    }
+                }
+            }
+            // a - (-b) = a + b.
+            (false, true) => Signed::positive(self.magnitude.add(&other.magnitude)),
+            // (-a) - b = -(a + b).
+            (true, false) => Signed {
+                magnitude: self.magnitude.add(&other.magnitude),
+                negative: true,
+            },
+            // (-a) - (-b) = b - a.
+            (true, true) => {
+                if other.magnitude >= self.magnitude {
+                    Signed::positive(other.magnitude.sub(&self.magnitude))
+                } else {
+                    Signed {
+                        magnitude: self.magnitude.sub(&other.magnitude),
+                        negative: true,
+                    }
+                }
+            }
+        }
+    }
+
+    fn mul_unsigned(&self, factor: &BigUint) -> Signed {
+        Signed {
+            magnitude: self.magnitude.mul(factor),
+            negative: self.negative && !self.magnitude.is_zero() && !factor.is_zero(),
+        }
+    }
+
+    /// Reduces into `[0, modulus)`.
+    fn to_modular(&self, modulus: &BigUint) -> BigUint {
+        let reduced = self.magnitude.rem(modulus);
+        if self.negative && !reduced.is_zero() {
+            modulus.sub(&reduced)
+        } else {
+            reduced
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+        assert!(BigUint::zero().is_even());
+        assert!(!BigUint::one().is_even());
+    }
+
+    #[test]
+    fn from_and_to_u64() {
+        for v in [0u64, 1, 7, 0xffff_ffff, 0x1_0000_0000, u64::MAX] {
+            assert_eq!(big(v).to_u64(), Some(v));
+        }
+        let too_big = big(u64::MAX).add(&BigUint::one());
+        assert_eq!(too_big.to_u64(), None);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let v = BigUint::from_decimal_str("123456789012345678901234567890").unwrap();
+        let bytes = v.to_bytes_be();
+        assert_eq!(BigUint::from_bytes_be(&bytes), v);
+        assert!(BigUint::from_bytes_be(&[]).is_zero());
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+        // Leading zero bytes are absorbed.
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 5]), big(5));
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        assert_eq!(big(123).add(&big(456)), big(579));
+        assert_eq!(big(u64::MAX).add(&BigUint::one()).to_decimal_string(), "18446744073709551616");
+        assert_eq!(big(579).sub(&big(456)), big(123));
+        assert_eq!(big(5).checked_sub(&big(6)), None);
+        assert_eq!(big(5).checked_sub(&big(5)), Some(BigUint::zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = big(1).sub(&big(2));
+    }
+
+    #[test]
+    fn multiplication() {
+        assert_eq!(big(0).mul(&big(12345)), BigUint::zero());
+        assert_eq!(big(12345).mul(&big(0)), BigUint::zero());
+        assert_eq!(big(111111).mul(&big(111111)), big(12345654321));
+        let a = BigUint::from_decimal_str("340282366920938463463374607431768211456").unwrap(); // 2^128
+        assert_eq!(a.mul(&a).to_decimal_string(), "115792089237316195423570985008687907853269984665640564039457584007913129639936");
+        assert_eq!(big(7).mul_u32(6), big(42));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(big(1).shl(64).to_decimal_string(), "18446744073709551616");
+        assert_eq!(big(0b1011).shl(3), big(0b1011000));
+        assert_eq!(big(0b1011000).shr(3), big(0b1011));
+        assert_eq!(big(12345).shr(200), BigUint::zero());
+        assert_eq!(BigUint::zero().shl(17), BigUint::zero());
+        assert_eq!(big(1).shl(33).shr(33), big(1));
+    }
+
+    #[test]
+    fn division() {
+        let (q, r) = big(1000).div_rem(&big(7));
+        assert_eq!(q, big(142));
+        assert_eq!(r, big(6));
+        let (q, r) = big(5).div_rem(&big(1000));
+        assert_eq!(q, BigUint::zero());
+        assert_eq!(r, big(5));
+        let (q, r) = big(1000).div_rem(&BigUint::one());
+        assert_eq!(q, big(1000));
+        assert_eq!(r, BigUint::zero());
+        // Large case cross-checked against Python.
+        let a = BigUint::from_decimal_str("123456789012345678901234567890123456789").unwrap();
+        let b = BigUint::from_decimal_str("987654321098765432109").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.to_decimal_string(), "124999998860937500");
+        assert_eq!(r.to_decimal_string(), "14172067901781269289");
+        assert_eq!(b.mul(&q).add(&r), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = big(5).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        assert_eq!(big(4).modpow(&big(13), &big(497)), big(445));
+        assert_eq!(big(2).modpow(&big(10), &big(1025)), big(1024));
+        assert_eq!(big(7).modpow(&BigUint::zero(), &big(13)), BigUint::one());
+        assert_eq!(big(7).modpow(&big(5), &BigUint::one()), BigUint::zero());
+        // Fermat's little theorem: a^(p-1) ≡ 1 mod p for prime p, a not divisible by p.
+        let p = big(1_000_000_007);
+        assert_eq!(big(123456).modpow(&big(1_000_000_006), &p), BigUint::one());
+    }
+
+    #[test]
+    fn gcd_and_modinv() {
+        assert_eq!(big(54).gcd(&big(24)), big(6));
+        assert_eq!(big(17).gcd(&big(31)), big(1));
+        assert_eq!(big(0).gcd(&big(9)), big(9));
+
+        let inv = big(3).modinv(&big(11)).unwrap();
+        assert_eq!(inv, big(4));
+        assert_eq!(big(3).mul(&inv).rem(&big(11)), BigUint::one());
+
+        assert!(big(6).modinv(&big(9)).is_none());
+        assert!(big(5).modinv(&BigUint::one()).is_none());
+
+        // A known RSA-style inversion: 65537^{-1} mod a 64-bit phi.
+        let phi = big(7775023486193254396);
+        let e = big(65537);
+        if let Some(d) = e.modinv(&phi) {
+            assert_eq!(e.mul(&d).rem(&phi), BigUint::one());
+        } else {
+            panic!("65537 should be invertible modulo an odd phi not divisible by it");
+        }
+    }
+
+    #[test]
+    fn decimal_round_trip() {
+        for s in ["0", "1", "999999999", "1000000000", "123456789012345678901234567890"] {
+            let v = BigUint::from_decimal_str(s).unwrap();
+            assert_eq!(v.to_decimal_string(), s);
+        }
+        assert!(BigUint::from_decimal_str("").is_none());
+        assert!(BigUint::from_decimal_str("12a3").is_none());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(big(2) < big(3));
+        assert!(big(0x1_0000_0000) > big(0xffff_ffff));
+        assert_eq!(big(42).cmp(&big(42)), Ordering::Equal);
+        assert!(big(5).partial_cmp(&big(6)).unwrap().is_lt());
+    }
+
+    #[test]
+    fn bit_manipulation() {
+        let mut v = BigUint::zero();
+        v.set_bit(0);
+        v.set_bit(40);
+        assert!(v.bit(0));
+        assert!(v.bit(40));
+        assert!(!v.bit(1));
+        assert_eq!(v, big(1).add(&big(1).shl(40)));
+        assert_eq!(v.bit_len(), 41);
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{}", big(12345)), "12345");
+        assert_eq!(format!("{:?}", big(12345)), "BigUint(12345)");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let sum = big(a).add(&big(b));
+            prop_assert_eq!(sum.to_decimal_string(), (a as u128 + b as u128).to_string());
+        }
+
+        #[test]
+        fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let product = big(a).mul(&big(b));
+            prop_assert_eq!(product.to_decimal_string(), (a as u128 * b as u128).to_string());
+        }
+
+        #[test]
+        fn sub_add_round_trip(a in any::<u64>(), b in any::<u64>()) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            prop_assert_eq!(big(hi).sub(&big(lo)).add(&big(lo)), big(hi));
+        }
+
+        #[test]
+        fn div_rem_reconstructs(a in any::<u64>(), b in 1u64..) {
+            let (q, r) = big(a).div_rem(&big(b));
+            prop_assert_eq!(q.clone().mul(&big(b)).add(&r.clone()), big(a));
+            prop_assert!(r < big(b));
+            prop_assert_eq!(q, big(a / b));
+        }
+
+        #[test]
+        fn modpow_matches_u128(base in 0u64..1_000_000, exp in 0u64..64, modulus in 2u64..1_000_000) {
+            let mut expected: u128 = 1;
+            for _ in 0..exp {
+                expected = expected * (base as u128 % modulus as u128) % modulus as u128;
+            }
+            prop_assert_eq!(
+                big(base).modpow(&big(exp), &big(modulus)),
+                BigUint::from_u64(expected as u64)
+            );
+        }
+
+        #[test]
+        fn shift_round_trip(a in any::<u64>(), s in 0usize..100) {
+            prop_assert_eq!(big(a).shl(s).shr(s), big(a));
+        }
+
+        #[test]
+        fn byte_round_trip_random(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let v = BigUint::from_bytes_be(&bytes);
+            prop_assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+        }
+
+        #[test]
+        fn modinv_is_inverse(a in 2u64..100_000, m in 3u64..100_000) {
+            let a_big = big(a);
+            let m_big = big(m);
+            if a_big.gcd(&m_big).is_one() {
+                let inv = a_big.modinv(&m_big).expect("coprime values are invertible");
+                prop_assert_eq!(a_big.mul(&inv).rem(&m_big), BigUint::one());
+                prop_assert!(inv < m_big);
+            } else {
+                prop_assert!(a_big.modinv(&m_big).is_none());
+            }
+        }
+
+        #[test]
+        fn gcd_divides_both(a in 1u64.., b in 1u64..) {
+            let g = big(a).gcd(&big(b));
+            prop_assert!(!g.is_zero());
+            prop_assert!(big(a).rem(&g).is_zero());
+            prop_assert!(big(b).rem(&g).is_zero());
+        }
+
+        #[test]
+        fn decimal_round_trip_random(a in any::<u64>()) {
+            let s = a.to_string();
+            prop_assert_eq!(BigUint::from_decimal_str(&s).unwrap().to_decimal_string(), s);
+        }
+    }
+}

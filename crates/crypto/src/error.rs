@@ -1,0 +1,79 @@
+//! Error types shared by the cryptographic substrate.
+
+use std::fmt;
+
+/// Errors produced by key generation, signing and verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A modular inverse does not exist (the operands are not coprime).
+    NotInvertible,
+    /// Prime generation exhausted its retry budget.
+    PrimeGenerationFailed,
+    /// The requested key size is too small to be usable.
+    KeyTooSmall {
+        /// Requested modulus size in bits.
+        requested_bits: usize,
+        /// Minimum supported modulus size in bits.
+        minimum_bits: usize,
+    },
+    /// A signature failed verification.
+    InvalidSignature,
+    /// The signer referenced by a message is not present in the key store.
+    UnknownSigner(u64),
+    /// Raw byte material could not be decoded into the expected structure.
+    Malformed(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::NotInvertible => write!(f, "modular inverse does not exist"),
+            CryptoError::PrimeGenerationFailed => {
+                write!(f, "failed to generate a prime within the retry budget")
+            }
+            CryptoError::KeyTooSmall {
+                requested_bits,
+                minimum_bits,
+            } => write!(
+                f,
+                "requested RSA modulus of {requested_bits} bits is below the supported minimum of {minimum_bits} bits"
+            ),
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::UnknownSigner(id) => write!(f, "no public key registered for signer {id}"),
+            CryptoError::Malformed(msg) => write!(f, "malformed cryptographic material: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CryptoError::KeyTooSmall {
+            requested_bits: 64,
+            minimum_bits: 128,
+        };
+        let s = e.to_string();
+        assert!(s.contains("64"));
+        assert!(s.contains("128"));
+
+        assert!(CryptoError::UnknownSigner(42).to_string().contains("42"));
+        assert!(!CryptoError::NotInvertible.to_string().is_empty());
+        assert!(!CryptoError::PrimeGenerationFailed.to_string().is_empty());
+        assert!(!CryptoError::InvalidSignature.to_string().is_empty());
+        assert!(CryptoError::Malformed("oops".into()).to_string().contains("oops"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CryptoError::NotInvertible, CryptoError::NotInvertible);
+        assert_ne!(
+            CryptoError::NotInvertible,
+            CryptoError::InvalidSignature
+        );
+    }
+}

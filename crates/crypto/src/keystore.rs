@@ -1,0 +1,147 @@
+//! Miner-side registry of client public keys.
+//!
+//! In FAIR-BFL "each client is assigned a unique private key according to
+//! its ID, and the corresponding public key will be held by the miners"
+//! (Section 4.2). The [`KeyStore`] is that holding structure: it maps client
+//! identifiers to public keys and offers a single verification entry point
+//! so the chain and core crates never handle raw key material directly.
+
+use crate::error::CryptoError;
+use crate::rsa::{RsaKeyPair, RsaPublicKey};
+use crate::signature::{verify_message, SignedMessage};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Registry mapping client ids to their RSA public keys.
+#[derive(Debug, Clone, Default)]
+pub struct KeyStore {
+    keys: BTreeMap<u64, RsaPublicKey>,
+}
+
+impl KeyStore {
+    /// Creates an empty key store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the public key for `client_id`.
+    pub fn register(&mut self, client_id: u64, key: RsaPublicKey) {
+        self.keys.insert(client_id, key);
+    }
+
+    /// Removes a client's key, returning it if present.
+    pub fn revoke(&mut self, client_id: u64) -> Option<RsaPublicKey> {
+        self.keys.remove(&client_id)
+    }
+
+    /// Looks up the public key registered for `client_id`.
+    pub fn public_key(&self, client_id: u64) -> Option<&RsaPublicKey> {
+        self.keys.get(&client_id)
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no keys are registered.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates over registered `(client_id, public_key)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &RsaPublicKey)> {
+        self.keys.iter()
+    }
+
+    /// Verifies a signed message against the key registered for its signer.
+    pub fn verify(&self, message: &SignedMessage) -> Result<(), CryptoError> {
+        let key = self
+            .keys
+            .get(&message.signer)
+            .ok_or(CryptoError::UnknownSigner(message.signer))?;
+        verify_message(message, key)
+    }
+
+    /// Convenience setup: generates key pairs for `client_ids`, registers the
+    /// public halves, and returns the private pairs keyed by client id.
+    pub fn provision<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        client_ids: &[u64],
+        modulus_bits: usize,
+    ) -> Result<BTreeMap<u64, RsaKeyPair>, CryptoError> {
+        let mut pairs = BTreeMap::new();
+        for &id in client_ids {
+            let pair = RsaKeyPair::generate(rng, modulus_bits)?;
+            self.register(id, pair.public.clone());
+            pairs.insert(id, pair);
+        }
+        Ok(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::sign_message;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn provision_registers_all_clients() {
+        let mut store = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pairs = store.provision(&mut rng, &[0, 1, 2, 3], 192).unwrap();
+        assert_eq!(store.len(), 4);
+        assert_eq!(pairs.len(), 4);
+        assert!(!store.is_empty());
+        for id in 0..4u64 {
+            assert!(store.public_key(id).is_some());
+        }
+        assert!(store.public_key(99).is_none());
+    }
+
+    #[test]
+    fn verify_accepts_registered_signers_and_rejects_unknown() {
+        let mut store = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let pairs = store.provision(&mut rng, &[10, 20], 256).unwrap();
+
+        let msg = sign_message(10, b"local gradient", &pairs[&10].private);
+        store.verify(&msg).expect("registered signer verifies");
+
+        let unknown = sign_message(30, b"ghost", &pairs[&10].private);
+        assert_eq!(store.verify(&unknown), Err(CryptoError::UnknownSigner(30)));
+    }
+
+    #[test]
+    fn verify_rejects_cross_client_forgery() {
+        let mut store = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pairs = store.provision(&mut rng, &[1, 2], 256).unwrap();
+        // Client 2 signs but claims to be client 1.
+        let forged = sign_message(1, b"poisoned gradient", &pairs[&2].private);
+        assert_eq!(store.verify(&forged), Err(CryptoError::InvalidSignature));
+    }
+
+    #[test]
+    fn revoke_removes_keys() {
+        let mut store = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let pairs = store.provision(&mut rng, &[7], 192).unwrap();
+        assert!(store.revoke(7).is_some());
+        assert!(store.revoke(7).is_none());
+        let msg = sign_message(7, b"late upload", &pairs[&7].private);
+        assert_eq!(store.verify(&msg), Err(CryptoError::UnknownSigner(7)));
+    }
+
+    #[test]
+    fn iter_is_ordered_by_client_id() {
+        let mut store = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        store.provision(&mut rng, &[5, 1, 3], 192).unwrap();
+        let ids: Vec<u64> = store.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # bfl-crypto
+//!
+//! Cryptographic substrate for the FAIR-BFL reproduction.
+//!
+//! The FAIR-BFL protocol (Section 4.2 of the paper) signs every gradient
+//! upload with the client's RSA private key so that miners can verify the
+//! sender's identity and detect tampering before a local gradient enters
+//! the round's gradient set. The blockchain substrate additionally needs a
+//! cryptographic hash for block linkage, Merkle roots and proof-of-work.
+//!
+//! This crate implements those primitives from scratch, with no external
+//! cryptography dependencies:
+//!
+//! * [`sha256`] — the FIPS 180-4 SHA-256 compression function with both
+//!   one-shot and incremental interfaces.
+//! * [`bigint`] — arbitrary-precision unsigned integers ([`BigUint`]) with
+//!   the arithmetic needed for RSA (schoolbook multiplication, binary long
+//!   division, modular exponentiation) plus a minimal signed wrapper used
+//!   by the extended Euclidean algorithm.
+//! * [`prime`] — Miller-Rabin probabilistic primality testing and random
+//!   prime generation.
+//! * [`rsa`] — RSA key generation, raw modular sign/verify.
+//! * [`signature`] — the hash-then-sign envelope used by the protocol.
+//! * [`keystore`] — the miner-side registry mapping client identifiers to
+//!   public keys.
+//!
+//! The implementation favours clarity and determinism over raw speed; it is
+//! a faithful protocol substrate for a simulation, **not** a hardened
+//! production cryptography library (no constant-time guarantees, no
+//! padding standards such as PSS/OAEP).
+
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod error;
+pub mod keystore;
+pub mod prime;
+pub mod rsa;
+pub mod sha256;
+pub mod signature;
+
+pub use bigint::BigUint;
+pub use error::CryptoError;
+pub use keystore::KeyStore;
+pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
+pub use sha256::{sha256, Sha256};
+pub use signature::{sign_message, verify_message, Signature, SignedMessage};

@@ -1,0 +1,238 @@
+//! Probabilistic primality testing and random prime generation.
+//!
+//! RSA key generation ([`crate::rsa`]) requires two random primes of half
+//! the modulus size. This module provides Miller-Rabin testing with a
+//! configurable number of witness rounds, plus helpers to draw uniformly
+//! random [`BigUint`] values of a given bit length or below a bound.
+
+use crate::bigint::BigUint;
+use crate::error::CryptoError;
+use rand::Rng;
+
+/// Number of Miller-Rabin rounds used by default. Forty rounds bound the
+/// error probability by 4^-40, far below anything relevant here.
+pub const DEFAULT_MILLER_RABIN_ROUNDS: usize = 24;
+
+/// Maximum number of candidates examined before prime generation gives up.
+const MAX_PRIME_ATTEMPTS: usize = 100_000;
+
+/// Small primes used for cheap trial division before Miller-Rabin.
+const SMALL_PRIMES: [u32; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113,
+];
+
+/// Draws a uniformly random value with exactly `bits` significant bits
+/// (the top bit is forced to one).
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits > 0, "cannot draw a zero-bit random number");
+    let bytes = bits.div_ceil(8);
+    let mut buf = vec![0u8; bytes];
+    rng.fill(&mut buf[..]);
+    // Clear excess high bits, then force the top bit so the bit length is exact.
+    let excess = bytes * 8 - bits;
+    buf[0] &= 0xffu8 >> excess;
+    buf[0] |= 1u8 << (7 - excess);
+    BigUint::from_bytes_be(&buf)
+}
+
+/// Draws a uniformly random value in `[0, bound)` by rejection sampling.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bit_len();
+    let bytes = bits.div_ceil(8);
+    let excess = bytes * 8 - bits;
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf[..]);
+        buf[0] &= 0xffu8 >> excess;
+        let candidate = BigUint::from_bytes_be(&buf);
+        if candidate < *bound {
+            return candidate;
+        }
+    }
+}
+
+/// Draws a uniformly random value in `[low, high)`.
+pub fn random_range<R: Rng + ?Sized>(rng: &mut R, low: &BigUint, high: &BigUint) -> BigUint {
+    assert!(low < high, "empty random range");
+    let span = high.sub(low);
+    low.add(&random_below(rng, &span))
+}
+
+/// Miller-Rabin primality test with `rounds` random witnesses.
+///
+/// Returns `true` if `candidate` is probably prime. Deterministically
+/// correct for candidates below 114 (covered by trial division).
+pub fn is_probably_prime<R: Rng + ?Sized>(candidate: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if candidate.is_zero() || candidate.is_one() {
+        return false;
+    }
+    // Trial division by small primes.
+    for &p in &SMALL_PRIMES {
+        let p_big = BigUint::from_u32(p);
+        if *candidate == p_big {
+            return true;
+        }
+        if candidate.rem(&p_big).is_zero() {
+            return false;
+        }
+    }
+
+    // Write candidate - 1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let two = BigUint::from_u32(2);
+    let n_minus_one = candidate.sub(&one);
+    let mut d = n_minus_one.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+
+    'witness: for _ in 0..rounds {
+        let a = random_range(rng, &two, &n_minus_one);
+        let mut x = a.modpow(&d, candidate);
+        if x.is_one() || x == n_minus_one {
+            continue 'witness;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.modmul(&x, candidate);
+            if x == n_minus_one {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+pub fn generate_prime<R: Rng + ?Sized>(
+    rng: &mut R,
+    bits: usize,
+    rounds: usize,
+) -> Result<BigUint, CryptoError> {
+    assert!(bits >= 8, "prime generation needs at least 8 bits");
+    for _ in 0..MAX_PRIME_ATTEMPTS {
+        let mut candidate = random_bits(rng, bits);
+        // Force odd.
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        if candidate.bit_len() != bits {
+            continue;
+        }
+        if is_probably_prime(&candidate, rounds, rng) {
+            return Ok(candidate);
+        }
+    }
+    Err(CryptoError::PrimeGenerationFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBF1_2022)
+    }
+
+    #[test]
+    fn small_primes_are_prime() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 13, 101, 103, 997, 7919, 104729] {
+            assert!(
+                is_probably_prime(&BigUint::from_u64(p), DEFAULT_MILLER_RABIN_ROUNDS, &mut r),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_are_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 25, 100, 561, 1105, 1729, 2465, 6601, 8911, 104730] {
+            assert!(
+                !is_probably_prime(&BigUint::from_u64(c), DEFAULT_MILLER_RABIN_ROUNDS, &mut r),
+                "{c} should be composite (or not prime)"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_are_rejected() {
+        // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        let mut r = rng();
+        for c in [561u64, 41041, 825265, 321197185] {
+            assert!(!is_probably_prime(
+                &BigUint::from_u64(c),
+                DEFAULT_MILLER_RABIN_ROUNDS,
+                &mut r
+            ));
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        let mut r = rng();
+        // 2^61 - 1 is a Mersenne prime.
+        let p = BigUint::from_u64((1u64 << 61) - 1);
+        assert!(is_probably_prime(&p, DEFAULT_MILLER_RABIN_ROUNDS, &mut r));
+        // 2^67 - 1 is famously composite (193707721 * 761838257287).
+        let c = BigUint::one().shl(67).sub(&BigUint::one());
+        assert!(!is_probably_prime(&c, DEFAULT_MILLER_RABIN_ROUNDS, &mut r));
+    }
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut r = rng();
+        for bits in [8usize, 17, 32, 63, 64, 65, 128, 257] {
+            for _ in 0..5 {
+                let v = random_bits(&mut r, bits);
+                assert_eq!(v.bit_len(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut r = rng();
+        let bound = BigUint::from_u64(1_000_003);
+        for _ in 0..200 {
+            assert!(random_below(&mut r, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut r = rng();
+        let low = BigUint::from_u64(500);
+        let high = BigUint::from_u64(1000);
+        for _ in 0..200 {
+            let v = random_range(&mut r, &low, &high);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size_and_are_odd() {
+        let mut r = rng();
+        for bits in [32usize, 48, 64, 96, 128] {
+            let p = generate_prime(&mut r, bits, 16).expect("prime generation should succeed");
+            assert_eq!(p.bit_len(), bits);
+            assert!(!p.is_even());
+            assert!(is_probably_prime(&p, DEFAULT_MILLER_RABIN_ROUNDS, &mut r));
+        }
+    }
+
+    #[test]
+    fn generated_primes_differ_across_draws() {
+        let mut r = rng();
+        let a = generate_prime(&mut r, 64, 16).unwrap();
+        let b = generate_prime(&mut r, 64, 16).unwrap();
+        assert_ne!(a, b);
+    }
+}

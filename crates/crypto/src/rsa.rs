@@ -1,0 +1,215 @@
+//! RSA key generation and raw sign/verify.
+//!
+//! FAIR-BFL assigns each client a unique private key; miners hold the
+//! corresponding public keys and verify every gradient upload (paper
+//! Figure 2). This module implements the textbook RSA primitive on top of
+//! [`crate::bigint`] and [`crate::prime`]: key generation with two random
+//! primes, `e = 65537`, and `d = e^{-1} mod (p-1)(q-1)`.
+//!
+//! The protocol-facing hash-then-sign wrapper lives in [`crate::signature`].
+
+use crate::bigint::BigUint;
+use crate::error::CryptoError;
+use crate::prime::{generate_prime, DEFAULT_MILLER_RABIN_ROUNDS};
+use rand::Rng;
+
+/// The conventional RSA public exponent.
+pub const PUBLIC_EXPONENT: u32 = 65537;
+
+/// Minimum supported modulus size. Anything smaller cannot hold a SHA-256
+/// digest comfortably after reduction and offers no meaningful structure.
+pub const MIN_MODULUS_BITS: usize = 128;
+
+/// Default modulus size used by the protocol when none is specified.
+pub const DEFAULT_MODULUS_BITS: usize = 1024;
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    /// Modulus `n = p * q`.
+    pub modulus: BigUint,
+    /// Public exponent `e`.
+    pub exponent: BigUint,
+}
+
+/// An RSA private key `(n, d)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPrivateKey {
+    /// Modulus `n = p * q`.
+    pub modulus: BigUint,
+    /// Private exponent `d = e^{-1} mod phi(n)`.
+    pub exponent: BigUint,
+}
+
+/// A matched RSA key pair.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    /// The public half, distributed to miners.
+    pub public: RsaPublicKey,
+    /// The private half, kept by the client.
+    pub private: RsaPrivateKey,
+}
+
+impl RsaPublicKey {
+    /// Applies the public operation `m^e mod n` (used for verification).
+    pub fn apply(&self, message: &BigUint) -> BigUint {
+        message.modpow(&self.exponent, &self.modulus)
+    }
+
+    /// Size of the modulus in bits.
+    pub fn modulus_bits(&self) -> usize {
+        self.modulus.bit_len()
+    }
+}
+
+impl RsaPrivateKey {
+    /// Applies the private operation `m^d mod n` (used for signing).
+    pub fn apply(&self, message: &BigUint) -> BigUint {
+        message.modpow(&self.exponent, &self.modulus)
+    }
+
+    /// Size of the modulus in bits.
+    pub fn modulus_bits(&self) -> usize {
+        self.modulus.bit_len()
+    }
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with a modulus of `modulus_bits` bits.
+    ///
+    /// `modulus_bits` must be at least [`MIN_MODULUS_BITS`]. Key sizes used
+    /// in tests are intentionally small (128-512 bits) so the simulation
+    /// remains fast; they are not secure key sizes.
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        modulus_bits: usize,
+    ) -> Result<Self, CryptoError> {
+        if modulus_bits < MIN_MODULUS_BITS {
+            return Err(CryptoError::KeyTooSmall {
+                requested_bits: modulus_bits,
+                minimum_bits: MIN_MODULUS_BITS,
+            });
+        }
+        let e = BigUint::from_u32(PUBLIC_EXPONENT);
+        let half = modulus_bits / 2;
+        let one = BigUint::one();
+
+        // Retry until phi(n) is coprime with e and p != q.
+        for _ in 0..64 {
+            let p = generate_prime(rng, half, DEFAULT_MILLER_RABIN_ROUNDS)?;
+            let q = generate_prime(rng, modulus_bits - half, DEFAULT_MILLER_RABIN_ROUNDS)?;
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            if !phi.gcd(&e).is_one() {
+                continue;
+            }
+            let d = match e.modinv(&phi) {
+                Some(d) => d,
+                None => continue,
+            };
+            return Ok(RsaKeyPair {
+                public: RsaPublicKey {
+                    modulus: n.clone(),
+                    exponent: e,
+                },
+                private: RsaPrivateKey {
+                    modulus: n,
+                    exponent: d,
+                },
+            });
+        }
+        Err(CryptoError::PrimeGenerationFailed)
+    }
+
+    /// Generates a key pair with the protocol default modulus size.
+    pub fn generate_default<R: Rng + ?Sized>(rng: &mut R) -> Result<Self, CryptoError> {
+        Self::generate(rng, DEFAULT_MODULUS_BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFA1E_BF1)
+    }
+
+    #[test]
+    fn rejects_tiny_keys() {
+        let mut r = rng();
+        match RsaKeyPair::generate(&mut r, 64) {
+            Err(CryptoError::KeyTooSmall { requested_bits, .. }) => assert_eq!(requested_bits, 64),
+            other => panic!("expected KeyTooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generated_key_has_requested_size() {
+        let mut r = rng();
+        let pair = RsaKeyPair::generate(&mut r, 256).unwrap();
+        // The product of a 128-bit and a 128-bit prime has 255 or 256 bits.
+        assert!(pair.public.modulus_bits() >= 255);
+        assert!(pair.public.modulus_bits() <= 256);
+        assert_eq!(pair.public.modulus, pair.private.modulus);
+        assert_eq!(pair.private.modulus_bits(), pair.public.modulus_bits());
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let mut r = rng();
+        let pair = RsaKeyPair::generate(&mut r, 256).unwrap();
+        for value in [0u64, 1, 42, 123_456_789, u64::MAX] {
+            let m = BigUint::from_u64(value);
+            let c = pair.public.apply(&m);
+            let back = pair.private.apply(&c);
+            assert_eq!(back, m, "round trip failed for {value}");
+        }
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut r = rng();
+        let pair = RsaKeyPair::generate(&mut r, 256).unwrap();
+        let m = BigUint::from_u64(0xDEAD_BEEF_CAFE);
+        let sig = pair.private.apply(&m);
+        assert_eq!(pair.public.apply(&sig), m);
+        // A different message does not verify against the same signature.
+        assert_ne!(pair.public.apply(&sig), BigUint::from_u64(1234));
+    }
+
+    #[test]
+    fn distinct_keys_for_distinct_draws() {
+        let mut r = rng();
+        let a = RsaKeyPair::generate(&mut r, 192).unwrap();
+        let b = RsaKeyPair::generate(&mut r, 192).unwrap();
+        assert_ne!(a.public.modulus, b.public.modulus);
+    }
+
+    #[test]
+    fn signature_from_wrong_key_fails() {
+        let mut r = rng();
+        let a = RsaKeyPair::generate(&mut r, 256).unwrap();
+        let b = RsaKeyPair::generate(&mut r, 256).unwrap();
+        let m = BigUint::from_u64(999_999);
+        let sig_by_a = a.private.apply(&m);
+        // Verifying with b's public key should not recover m (except with
+        // negligible probability).
+        assert_ne!(b.public.apply(&sig_by_a), m);
+    }
+
+    #[test]
+    fn keypair_generation_is_seed_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = RsaKeyPair::generate(&mut r1, 192).unwrap();
+        let b = RsaKeyPair::generate(&mut r2, 192).unwrap();
+        assert_eq!(a.public.modulus, b.public.modulus);
+        assert_eq!(a.private.exponent, b.private.exponent);
+    }
+}

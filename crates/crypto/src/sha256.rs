@@ -1,0 +1,326 @@
+//! SHA-256 (FIPS 180-4) implemented from scratch.
+//!
+//! The blockchain substrate uses SHA-256 for block hashes, Merkle roots and
+//! the proof-of-work puzzle (Equation 4 of the paper); the signature module
+//! uses it as the message digest of the hash-then-sign scheme.
+//!
+//! Both a one-shot [`sha256`] helper and an incremental [`Sha256`] hasher
+//! are provided. The incremental interface lets the blockchain hash block
+//! headers field-by-field without materialising an intermediate buffer.
+
+/// The size of a SHA-256 digest in bytes.
+pub const DIGEST_LEN: usize = 32;
+
+/// A SHA-256 digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// ```
+/// use bfl_crypto::sha256::Sha256;
+///
+/// let mut hasher = Sha256::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// let digest = hasher.finalize();
+/// assert_eq!(digest, bfl_crypto::sha256(b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a hasher in its initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Feeds `data` into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+
+        // Fill a partially filled buffer first.
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+
+        // Process whole blocks directly from the input.
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+
+        // Stash the tail.
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Consumes the hasher and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+
+        // Append the 0x80 terminator.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        // Number of zero bytes so that (buffer_len + 1 + zeros) % 64 == 56.
+        let rem = (self.buffer_len + 1) % 64;
+        let zeros = if rem <= 56 { 56 - rem } else { 120 - rem };
+        let mut tail = Vec::with_capacity(1 + zeros + 8);
+        tail.extend_from_slice(&pad[..1 + zeros]);
+        tail.extend_from_slice(&bit_len.to_be_bytes());
+
+        // `update` tracks total_len; neutralise the padding contribution.
+        let saved = self.total_len;
+        self.update(&tail);
+        self.total_len = saved;
+        debug_assert_eq!(self.buffer_len, 0);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Computes the SHA-256 digest of `data` in one shot.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut hasher = Sha256::new();
+    hasher.update(data);
+    hasher.finalize()
+}
+
+/// Computes SHA-256(SHA-256(data)), the double hash used for block ids.
+pub fn sha256d(data: &[u8]) -> Digest {
+    sha256(&sha256(data))
+}
+
+/// Renders a digest as lowercase hexadecimal.
+pub fn to_hex(digest: &Digest) -> String {
+    let mut s = String::with_capacity(DIGEST_LEN * 2);
+    for byte in digest {
+        s.push_str(&format!("{byte:02x}"));
+    }
+    s
+}
+
+/// Parses a lowercase/uppercase hexadecimal string into a digest.
+pub fn from_hex(hex: &str) -> Option<Digest> {
+    if hex.len() != DIGEST_LEN * 2 {
+        return None;
+    }
+    let mut out = [0u8; DIGEST_LEN];
+    for i in 0..DIGEST_LEN {
+        out[i] = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16).ok()?;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // FIPS 180-4 / NIST CAVP test vectors.
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            to_hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            to_hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        assert_eq!(
+            to_hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn long_input_vector() {
+        // One million 'a' characters.
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            to_hex(&sha256(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn exactly_64_byte_message() {
+        let data = [0x41u8; 64];
+        // Cross-checked reference digest for 64 bytes of 'A'.
+        assert_eq!(
+            to_hex(&sha256(&data)),
+            "d53eda7a637c99cc7fb566d96e9fa109bf15c478410a3f5eb4d4c4e26cd081f6"
+        );
+    }
+
+    #[test]
+    fn fifty_five_and_fifty_six_byte_boundary() {
+        // 55 bytes: padding fits in one block; 56 bytes: requires a second block.
+        let d55 = sha256(&vec![b'x'; 55]);
+        let d56 = sha256(&vec![b'x'; 56]);
+        assert_ne!(d55, d56);
+    }
+
+    #[test]
+    fn double_hash_differs_from_single() {
+        assert_ne!(sha256(b"block"), sha256d(b"block"));
+        assert_eq!(sha256d(b"block"), sha256(&sha256(b"block")));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let d = sha256(b"round trip");
+        let hex = to_hex(&d);
+        assert_eq!(from_hex(&hex), Some(d));
+        assert_eq!(from_hex("zz"), None);
+        assert_eq!(from_hex(&"0".repeat(63)), None);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        let a = Sha256::default().finalize();
+        let b = Sha256::new().finalize();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn incremental_matches_one_shot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                        split in 0usize..2048) {
+            let split = split.min(data.len());
+            let mut hasher = Sha256::new();
+            hasher.update(&data[..split]);
+            hasher.update(&data[split..]);
+            prop_assert_eq!(hasher.finalize(), sha256(&data));
+        }
+
+        #[test]
+        fn digest_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            prop_assert_eq!(sha256(&data), sha256(&data));
+        }
+
+        #[test]
+        fn different_inputs_rarely_collide(a in proptest::collection::vec(any::<u8>(), 0..128),
+                                           b in proptest::collection::vec(any::<u8>(), 0..128)) {
+            if a != b {
+                prop_assert_ne!(sha256(&a), sha256(&b));
+            }
+        }
+
+        #[test]
+        fn many_small_updates_match(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            let mut hasher = Sha256::new();
+            for chunk in data.chunks(7) {
+                hasher.update(chunk);
+            }
+            prop_assert_eq!(hasher.finalize(), sha256(&data));
+        }
+    }
+}

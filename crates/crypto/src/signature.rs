@@ -1,0 +1,171 @@
+//! Hash-then-sign envelope used for gradient uploads.
+//!
+//! The paper's Procedure-II (Section 4.2) has every client sign its gradient
+//! upload with its private key; the receiving miner verifies the signature
+//! with the client's registered public key before accepting the transaction
+//! (Figure 2). Because the gradient payload is much larger than the RSA
+//! modulus, the payload is first hashed with SHA-256 and the digest, reduced
+//! modulo `n`, is what gets exponentiated.
+
+use crate::bigint::BigUint;
+use crate::error::CryptoError;
+use crate::rsa::{RsaPrivateKey, RsaPublicKey};
+use crate::sha256::sha256;
+use serde::{Deserialize, Serialize};
+
+/// A detached RSA signature over a SHA-256 digest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// Big-endian bytes of the signature integer `s = H(m)^d mod n`.
+    pub bytes: Vec<u8>,
+}
+
+impl Signature {
+    /// Interprets the signature as an integer.
+    pub fn to_biguint(&self) -> BigUint {
+        BigUint::from_bytes_be(&self.bytes)
+    }
+
+    /// Signature length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the signature carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// A payload together with its signer id and signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedMessage {
+    /// Identifier of the signing client.
+    pub signer: u64,
+    /// The signed payload (already serialized by the caller).
+    pub payload: Vec<u8>,
+    /// Detached signature over `signer || payload`.
+    pub signature: Signature,
+}
+
+/// Reduces the SHA-256 digest of `signer || payload` into the key's modulus.
+fn digest_as_integer(signer: u64, payload: &[u8], modulus: &BigUint) -> BigUint {
+    let mut preimage = Vec::with_capacity(payload.len() + 8);
+    preimage.extend_from_slice(&signer.to_be_bytes());
+    preimage.extend_from_slice(payload);
+    let digest = sha256(&preimage);
+    BigUint::from_bytes_be(&digest).rem(modulus)
+}
+
+/// Signs `payload` on behalf of `signer` with `key`.
+pub fn sign_message(signer: u64, payload: &[u8], key: &RsaPrivateKey) -> SignedMessage {
+    let m = digest_as_integer(signer, payload, &key.modulus);
+    let s = key.apply(&m);
+    SignedMessage {
+        signer,
+        payload: payload.to_vec(),
+        signature: Signature {
+            bytes: s.to_bytes_be(),
+        },
+    }
+}
+
+/// Verifies a [`SignedMessage`] against the claimed signer's public key.
+pub fn verify_message(message: &SignedMessage, key: &RsaPublicKey) -> Result<(), CryptoError> {
+    let expected = digest_as_integer(message.signer, &message.payload, &key.modulus);
+    let recovered = key.apply(&message.signature.to_biguint());
+    if recovered == expected {
+        Ok(())
+    } else {
+        Err(CryptoError::InvalidSignature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::RsaKeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair() -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(0x516);
+        RsaKeyPair::generate(&mut rng, 256).unwrap()
+    }
+
+    #[test]
+    fn sign_and_verify_round_trip() {
+        let pair = keypair();
+        let payload = b"gradient bytes for round 7";
+        let msg = sign_message(42, payload, &pair.private);
+        assert_eq!(msg.signer, 42);
+        assert_eq!(msg.payload, payload);
+        assert!(!msg.signature.is_empty());
+        assert!(msg.signature.len() <= 32);
+        verify_message(&msg, &pair.public).expect("valid signature must verify");
+    }
+
+    #[test]
+    fn tampered_payload_is_rejected() {
+        let pair = keypair();
+        let mut msg = sign_message(1, b"honest gradient", &pair.private);
+        msg.payload = b"forged gradient".to_vec();
+        assert_eq!(
+            verify_message(&msg, &pair.public),
+            Err(CryptoError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signer_is_rejected() {
+        let pair = keypair();
+        let mut msg = sign_message(1, b"honest gradient", &pair.private);
+        msg.signer = 2;
+        assert_eq!(
+            verify_message(&msg, &pair.public),
+            Err(CryptoError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_is_rejected() {
+        let pair = keypair();
+        let mut msg = sign_message(1, b"honest gradient", &pair.private);
+        if let Some(first) = msg.signature.bytes.first_mut() {
+            *first ^= 0xff;
+        }
+        assert_eq!(
+            verify_message(&msg, &pair.public),
+            Err(CryptoError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let pair = keypair();
+        let mut other_rng = StdRng::seed_from_u64(0x999);
+        let other = RsaKeyPair::generate(&mut other_rng, 256).unwrap();
+        let msg = sign_message(1, b"payload", &pair.private);
+        assert_eq!(
+            verify_message(&msg, &other.public),
+            Err(CryptoError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn empty_payload_is_signable() {
+        let pair = keypair();
+        let msg = sign_message(9, b"", &pair.private);
+        verify_message(&msg, &pair.public).unwrap();
+    }
+
+    #[test]
+    fn signed_message_serde_round_trip() {
+        let pair = keypair();
+        let msg = sign_message(5, b"serialize me", &pair.private);
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: SignedMessage = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, msg);
+        verify_message(&back, &pair.public).unwrap();
+    }
+}

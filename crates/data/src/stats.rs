@@ -1,0 +1,104 @@
+//! Partition statistics: per-client label distributions and skew measures.
+//!
+//! Table 2 of the paper compares detection rates under IID and non-IID
+//! splits; these helpers quantify how skewed a given partition actually is
+//! so experiments and tests can assert they are exercising the intended
+//! regime.
+
+use crate::partition::Partition;
+
+/// Per-client label histogram: `result[client][class]` counts the samples
+/// of `class` held by `client`.
+pub fn label_distribution(labels: &[usize], partition: &Partition, classes: usize) -> Vec<Vec<usize>> {
+    partition
+        .iter()
+        .map(|shard| {
+            let mut counts = vec![0usize; classes];
+            for &idx in shard {
+                let label = labels[idx];
+                if label < classes {
+                    counts[label] += 1;
+                }
+            }
+            counts
+        })
+        .collect()
+}
+
+/// Mean, over clients, of the fraction of a client's samples belonging to
+/// its most common class. 1/classes ≈ perfectly IID, 1.0 = every client is
+/// single-class.
+pub fn dominant_class_fraction(labels: &[usize], partition: &Partition, classes: usize) -> f64 {
+    let dist = label_distribution(labels, partition, classes);
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for counts in &dist {
+        let shard_total: usize = counts.iter().sum();
+        if shard_total == 0 {
+            continue;
+        }
+        let dominant = *counts.iter().max().unwrap_or(&0);
+        total += dominant as f64 / shard_total as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Average number of distinct classes per client shard.
+pub fn mean_classes_per_client(labels: &[usize], partition: &Partition, classes: usize) -> f64 {
+    let dist = label_distribution(labels, partition, classes);
+    if dist.is_empty() {
+        return 0.0;
+    }
+    dist.iter()
+        .map(|counts| counts.iter().filter(|&&c| c > 0).count() as f64)
+        .sum::<f64>()
+        / dist.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{iid_partition, shard_non_iid_partition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn label_distribution_counts_correctly() {
+        let labels = vec![0, 0, 1, 2, 1];
+        let partition = vec![vec![0, 2], vec![1, 3, 4]];
+        let dist = label_distribution(&labels, &partition, 3);
+        assert_eq!(dist[0], vec![1, 1, 0]);
+        assert_eq!(dist[1], vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn dominance_of_single_class_clients_is_one() {
+        let labels = vec![0, 0, 1, 1];
+        let partition = vec![vec![0, 1], vec![2, 3]];
+        assert!((dominant_class_fraction(&labels, &partition, 2) - 1.0).abs() < 1e-12);
+        assert!((mean_classes_per_client(&labels, &partition, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_is_less_dominant_than_shard_non_iid() {
+        let labels: Vec<usize> = (0..2000).map(|i| i % 10).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let iid = iid_partition(labels.len(), 20, &mut rng);
+        let non_iid = shard_non_iid_partition(&labels, 20, 2, &mut rng);
+        let d_iid = dominant_class_fraction(&labels, &iid, 10);
+        let d_non = dominant_class_fraction(&labels, &non_iid, 10);
+        assert!(d_non > d_iid + 0.2, "non-IID {d_non} vs IID {d_iid}");
+        assert!(mean_classes_per_client(&labels, &iid, 10) > mean_classes_per_client(&labels, &non_iid, 10));
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        assert_eq!(dominant_class_fraction(&[], &vec![], 10), 0.0);
+        assert_eq!(mean_classes_per_client(&[], &vec![], 10), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Server-side aggregation rules used by the FL baselines.
+//!
+//! FedAvg's canonical rule weights each update by its sample count; the
+//! paper's Algorithm 1 line 24 uses the plain ("simple average") variant,
+//! with FAIR-BFL's contribution-weighted Equation 1 layered on top in
+//! `bfl-core`. Both simple and sample-weighted rules live here so the
+//! ablation benches can compare them.
+
+use bfl_ml::gradient::{average, weighted_average, GradientVector};
+
+/// Simple average of the uploaded parameter vectors (Algorithm 1 line 24).
+pub fn simple_average(updates: &[GradientVector]) -> GradientVector {
+    average(updates)
+}
+
+/// Sample-count-weighted FedAvg aggregation: weights proportional to |D_i|.
+pub fn sample_weighted_average(
+    updates: &[GradientVector],
+    sample_counts: &[usize],
+) -> GradientVector {
+    assert_eq!(updates.len(), sample_counts.len());
+    let weights: Vec<f64> = sample_counts.iter().map(|&c| c as f64).collect();
+    weighted_average(updates, &weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_average_is_unweighted() {
+        let updates = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        assert_eq!(simple_average(&updates), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sample_weighting_favours_larger_shards() {
+        let updates = vec![vec![0.0], vec![10.0]];
+        let aggregated = sample_weighted_average(&updates, &[1, 9]);
+        assert!((aggregated[0] - 9.0).abs() < 1e-12);
+        let equal = sample_weighted_average(&updates, &[5, 5]);
+        assert!((equal[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = sample_weighted_average(&[vec![1.0]], &[1, 2]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Gradient-forging attacks.
+//!
+//! Table 2 of the paper designates 1-3 of 10 clients per round as malicious
+//! nodes "which modify the actual local gradients to skew the global
+//! model". The attack kinds here are the standard model-poisoning forgeries
+//! from the literature the paper cites: flipping the sign of the honest
+//! update, re-scaling it to dominate the average, or replacing it with
+//! noise. Each produces an upload whose geometry differs from the honest
+//! cluster, which is exactly what Algorithm 2's clustering detects.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A way a malicious client forges its uploaded gradient.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Upload `-w` instead of `w` (gradient/sign-flip attack).
+    SignFlip,
+    /// Upload `factor * w`, inflating the client's influence.
+    Scaling {
+        /// Multiplicative factor applied to the honest update.
+        factor: f64,
+    },
+    /// Replace the update with independent Gaussian noise of this standard
+    /// deviation around zero.
+    GaussianNoise {
+        /// Standard deviation of the forged coordinates.
+        std: f64,
+    },
+    /// Add Gaussian perturbation of this standard deviation to every
+    /// coordinate of the honest update (a stealthier poisoning).
+    AdditiveNoise {
+        /// Standard deviation of the added perturbation.
+        std: f64,
+    },
+}
+
+impl AttackKind {
+    /// The default attack used by the Table 2 experiment.
+    pub fn default_poisoning() -> Self {
+        AttackKind::SignFlip
+    }
+
+    /// Applies the forgery to an honest update, producing the malicious
+    /// upload.
+    pub fn forge<R: Rng + ?Sized>(&self, honest: &[f64], rng: &mut R) -> Vec<f64> {
+        match *self {
+            AttackKind::SignFlip => honest.iter().map(|v| -v).collect(),
+            AttackKind::Scaling { factor } => honest.iter().map(|v| v * factor).collect(),
+            AttackKind::GaussianNoise { std } => {
+                (0..honest.len()).map(|_| gaussian(rng) * std).collect()
+            }
+            AttackKind::AdditiveNoise { std } => honest
+                .iter()
+                .map(|v| v + gaussian(rng) * std)
+                .collect(),
+        }
+    }
+}
+
+/// Standard normal sample via Box-Muller.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfl_ml::gradient::cosine_distance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn honest() -> Vec<f64> {
+        (0..64).map(|i| (i as f64 * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn sign_flip_is_maximally_distant_in_cosine_terms() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = honest();
+        let forged = AttackKind::SignFlip.forge(&h, &mut rng);
+        assert!((cosine_distance(&h, &forged) - 2.0).abs() < 1e-9);
+        assert_eq!(forged.len(), h.len());
+    }
+
+    #[test]
+    fn scaling_preserves_direction_but_changes_magnitude() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = honest();
+        let forged = AttackKind::Scaling { factor: 10.0 }.forge(&h, &mut rng);
+        assert!(cosine_distance(&h, &forged) < 1e-9);
+        assert!((forged[5] - h[5] * 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_noise_replaces_the_update() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = honest();
+        let forged = AttackKind::GaussianNoise { std: 1.0 }.forge(&h, &mut rng);
+        // The forged vector is essentially uncorrelated with the honest one.
+        let d = cosine_distance(&h, &forged);
+        assert!(d > 0.5, "noise forgery should be far from honest (distance {d})");
+    }
+
+    #[test]
+    fn additive_noise_is_a_perturbation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = honest();
+        let small = AttackKind::AdditiveNoise { std: 0.001 }.forge(&h, &mut rng);
+        let large = AttackKind::AdditiveNoise { std: 10.0 }.forge(&h, &mut rng);
+        assert!(cosine_distance(&h, &small) < 0.05);
+        assert!(cosine_distance(&h, &large) > 0.3);
+    }
+
+    #[test]
+    fn default_poisoning_is_sign_flip() {
+        assert_eq!(AttackKind::default_poisoning(), AttackKind::SignFlip);
+    }
+}

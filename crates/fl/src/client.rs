@@ -1,0 +1,227 @@
+//! Federated clients.
+//!
+//! A client owns a shard of the training data (indices into the shared
+//! dataset), runs Procedure-I's local SGD pass starting from the latest
+//! global parameters, and returns its updated parameter vector. A
+//! compromised client additionally forges the upload with its configured
+//! [`AttackKind`].
+
+use crate::attack::AttackKind;
+use bfl_ml::model::{AnyModel, Model, ModelKind};
+use bfl_ml::optimizer::{train_local, LocalTrainingConfig, LocalTrainingStats};
+use bfl_ml::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One federated client (a "worker" in the paper's terminology).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Client {
+    /// Stable identifier, also used as the RSA key identity.
+    pub id: u64,
+    /// Row indices of the shared training set owned by this client (D_i).
+    pub shard: Vec<usize>,
+    /// If set, the client is malicious and forges its uploads.
+    pub attack: Option<AttackKind>,
+}
+
+/// The result of one local update pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalUpdate {
+    /// Client that produced the update.
+    pub client_id: u64,
+    /// The uploaded parameter vector (possibly forged).
+    pub params: Vec<f64>,
+    /// Whether the upload was forged.
+    pub forged: bool,
+    /// Training statistics of the honest pass (also present for forged
+    /// uploads: the attacker trains honestly, then forges the upload).
+    pub stats: LocalTrainingStats,
+}
+
+impl Client {
+    /// Creates an honest client owning `shard`.
+    pub fn honest(id: u64, shard: Vec<usize>) -> Self {
+        Client {
+            id,
+            shard,
+            attack: None,
+        }
+    }
+
+    /// Creates a malicious client owning `shard`.
+    pub fn malicious(id: u64, shard: Vec<usize>, attack: AttackKind) -> Self {
+        Client {
+            id,
+            shard,
+            attack: Some(attack),
+        }
+    }
+
+    /// Number of local samples |D_i| (what vanilla BFL would have clients
+    /// self-report for rewards).
+    pub fn sample_count(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// True when this client forges its uploads.
+    pub fn is_malicious(&self) -> bool {
+        self.attack.is_some()
+    }
+
+    /// Marks the client as malicious (used by the per-round attacker
+    /// designation of the Table 2 experiment).
+    pub fn set_attack(&mut self, attack: Option<AttackKind>) {
+        self.attack = attack;
+    }
+
+    /// Runs Procedure-I: starts from `global_params`, trains for the
+    /// configured epochs/batches on the local shard, and returns the upload.
+    ///
+    /// The per-client RNG is derived from `(round_seed, client id)` so runs
+    /// are reproducible regardless of scheduling order; this also allows
+    /// clients to be trained in parallel.
+    pub fn local_update(
+        &self,
+        model_kind: ModelKind,
+        global_params: &[f64],
+        features: &Matrix,
+        labels: &[usize],
+        config: &LocalTrainingConfig,
+        round_seed: u64,
+    ) -> LocalUpdate {
+        let mut rng = StdRng::seed_from_u64(round_seed ^ (self.id.wrapping_mul(0x9E3779B97F4A7C15)));
+        let mut model: AnyModel = model_kind.build(&mut rng);
+        model.set_params(global_params);
+        let stats = train_local(&mut model, features, labels, &self.shard, config, &mut rng);
+        let honest_params = model.params();
+        match self.attack {
+            None => LocalUpdate {
+                client_id: self.id,
+                params: honest_params,
+                forged: false,
+                stats,
+            },
+            Some(attack) => LocalUpdate {
+                client_id: self.id,
+                params: attack.forge(&honest_params, &mut rng),
+                forged: true,
+                stats,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfl_data::synth_mnist::{SynthMnist, SynthMnistConfig};
+    use bfl_ml::gradient::cosine_distance;
+
+    fn small_data() -> bfl_data::Dataset {
+        let gen = SynthMnist::new(SynthMnistConfig {
+            train_samples: 100,
+            test_samples: 10,
+            noise_std: 0.05,
+            max_translation: 1.0,
+        });
+        gen.generate_split(100, &mut StdRng::seed_from_u64(1))
+    }
+
+    fn kind() -> ModelKind {
+        ModelKind::SoftmaxRegression {
+            features: 784,
+            classes: 10,
+        }
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let honest = Client::honest(3, vec![0, 1, 2]);
+        assert_eq!(honest.id, 3);
+        assert_eq!(honest.sample_count(), 3);
+        assert!(!honest.is_malicious());
+
+        let mut evil = Client::malicious(4, vec![5], AttackKind::SignFlip);
+        assert!(evil.is_malicious());
+        evil.set_attack(None);
+        assert!(!evil.is_malicious());
+    }
+
+    #[test]
+    fn honest_update_moves_parameters_and_is_deterministic() {
+        let data = small_data();
+        let kind = kind();
+        let global = vec![0.0; kind.num_params()];
+        let client = Client::honest(0, (0..50).collect());
+        let config = LocalTrainingConfig {
+            epochs: 2,
+            batch_size: 10,
+            learning_rate: 0.05,
+            proximal_mu: 0.0,
+        };
+        let a = client.local_update(kind, &global, &data.features, &data.labels, &config, 7);
+        let b = client.local_update(kind, &global, &data.features, &data.labels, &config, 7);
+        assert!(!a.forged);
+        assert_eq!(a.params, b.params, "same seed must give the same update");
+        assert!(a.stats.update_norm > 0.0);
+        assert_ne!(a.params, global);
+
+        let different_seed =
+            client.local_update(kind, &global, &data.features, &data.labels, &config, 8);
+        assert_ne!(a.params, different_seed.params);
+    }
+
+    #[test]
+    fn malicious_update_is_far_from_honest_one() {
+        let data = small_data();
+        let kind = kind();
+        let global = vec![0.0; kind.num_params()];
+        let config = LocalTrainingConfig {
+            epochs: 1,
+            batch_size: 10,
+            learning_rate: 0.05,
+            proximal_mu: 0.0,
+        };
+        let shard: Vec<usize> = (0..50).collect();
+        let honest = Client::honest(1, shard.clone());
+        let evil = Client::malicious(1, shard, AttackKind::SignFlip);
+        let honest_update =
+            honest.local_update(kind, &global, &data.features, &data.labels, &config, 9);
+        let forged_update =
+            evil.local_update(kind, &global, &data.features, &data.labels, &config, 9);
+        assert!(forged_update.forged);
+        let distance = cosine_distance(&honest_update.params, &forged_update.params);
+        assert!(distance > 1.9, "sign-flip should be nearly opposite (distance {distance})");
+    }
+
+    #[test]
+    fn different_clients_produce_different_updates() {
+        let data = small_data();
+        let kind = kind();
+        let global = vec![0.0; kind.num_params()];
+        let config = LocalTrainingConfig {
+            epochs: 1,
+            batch_size: 10,
+            learning_rate: 0.05,
+            proximal_mu: 0.0,
+        };
+        let a = Client::honest(0, (0..50).collect()).local_update(
+            kind,
+            &global,
+            &data.features,
+            &data.labels,
+            &config,
+            3,
+        );
+        let b = Client::honest(1, (50..100).collect()).local_update(
+            kind,
+            &global,
+            &data.features,
+            &data.labels,
+            &config,
+            3,
+        );
+        assert_ne!(a.params, b.params);
+    }
+}

@@ -1,0 +1,141 @@
+//! Top-level federated-learning run configuration.
+
+use bfl_ml::model::ModelKind;
+use bfl_ml::optimizer::LocalTrainingConfig;
+use serde::{Deserialize, Serialize};
+
+/// How client data is split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PartitionKind {
+    /// Uniform random split.
+    Iid,
+    /// Label-sorted shards (the paper's non-IID default).
+    ShardNonIid {
+        /// Shards handed to each client.
+        shards_per_client: usize,
+    },
+    /// Dirichlet label skew with concentration α.
+    Dirichlet {
+        /// Concentration parameter; smaller means more skew.
+        alpha: f64,
+    },
+}
+
+impl Default for PartitionKind {
+    fn default() -> Self {
+        PartitionKind::ShardNonIid {
+            shards_per_client: 2,
+        }
+    }
+}
+
+/// Configuration shared by every learning system in the comparison
+/// (defaults follow paper Section 5.1: n = 100, η = 0.01, E = 5, B = 10,
+/// non-IID, 100 communication rounds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Number of clients `n`.
+    pub clients: usize,
+    /// Fraction λ of clients selected per round.
+    pub participation_ratio: f64,
+    /// Number of communication rounds to run.
+    pub rounds: usize,
+    /// Which model the clients train.
+    pub model: ModelKind,
+    /// Local training hyper-parameters (E, B, η, μ).
+    pub local: LocalTrainingConfig,
+    /// Data partition scheme.
+    pub partition: PartitionKind,
+    /// Fraction of selected clients dropped as stragglers each round
+    /// (FedProx's `drop_percent`; 0 for every other system).
+    pub drop_percent: f64,
+    /// Seed for every random choice in the run.
+    pub seed: u64,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        FlConfig {
+            clients: 100,
+            participation_ratio: 0.1,
+            rounds: 100,
+            model: ModelKind::default_mnist(),
+            local: LocalTrainingConfig::default(),
+            partition: PartitionKind::default(),
+            drop_percent: 0.0,
+            seed: 0xBF1_2022,
+        }
+    }
+}
+
+impl FlConfig {
+    /// Number of clients selected each round (at least one).
+    pub fn selected_per_round(&self) -> usize {
+        ((self.clients as f64 * self.participation_ratio).round() as usize)
+            .clamp(1, self.clients)
+    }
+
+    /// Validates parameter ranges, panicking with a clear message otherwise.
+    pub fn validate(&self) {
+        assert!(self.clients > 0, "need at least one client");
+        assert!(
+            self.participation_ratio > 0.0 && self.participation_ratio <= 1.0,
+            "participation ratio must be in (0, 1]"
+        );
+        assert!(self.rounds > 0, "need at least one round");
+        assert!(
+            (0.0..1.0).contains(&self.drop_percent),
+            "drop_percent must be in [0, 1)"
+        );
+        assert!(self.local.batch_size > 0 && self.local.epochs > 0);
+        assert!(self.local.learning_rate > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_5_1() {
+        let c = FlConfig::default();
+        assert_eq!(c.clients, 100);
+        assert_eq!(c.rounds, 100);
+        assert_eq!(c.local.epochs, 5);
+        assert_eq!(c.local.batch_size, 10);
+        assert!((c.local.learning_rate - 0.01).abs() < 1e-12);
+        assert_eq!(c.drop_percent, 0.0);
+        assert!(matches!(c.partition, PartitionKind::ShardNonIid { shards_per_client: 2 }));
+        c.validate();
+    }
+
+    #[test]
+    fn selected_per_round_is_clamped() {
+        let mut c = FlConfig::default();
+        assert_eq!(c.selected_per_round(), 10);
+        c.participation_ratio = 0.001;
+        assert_eq!(c.selected_per_round(), 1);
+        c.participation_ratio = 1.0;
+        assert_eq!(c.selected_per_round(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "participation ratio")]
+    fn invalid_participation_rejected() {
+        let c = FlConfig {
+            participation_ratio: 1.5,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_percent")]
+    fn invalid_drop_percent_rejected() {
+        let c = FlConfig {
+            drop_percent: 1.0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,36 @@
+//! # bfl-fl
+//!
+//! Federated-learning baselines and client machinery.
+//!
+//! FAIR-BFL is evaluated against three baselines (paper Section 5.1): a
+//! pure blockchain (no learning), FedAvg (McMahan et al. 2017) and FedProx
+//! (Li et al. 2020). This crate implements the learning-side pieces those
+//! baselines and FAIR-BFL itself share:
+//!
+//! * [`client`] — a federated client owning a shard of the training data,
+//!   able to run Procedure-I's local SGD pass and, if compromised, to forge
+//!   its upload ([`attack`]).
+//! * [`selection`] — the random λ·n client selection of Algorithm 1 line 3.
+//! * [`aggregation`] — FedAvg-style simple and sample-weighted averaging
+//!   (FAIR-BFL's contribution-weighted rule lives in `bfl-core`).
+//! * [`trainer`] — round-driven FedAvg / FedProx training loops producing
+//!   accuracy histories with the paper's convergence criterion
+//!   (accuracy change < 0.5 % for 5 consecutive rounds).
+//! * [`history`] — per-round records and convergence detection shared by
+//!   every system in the comparison.
+
+#![warn(missing_docs)]
+
+pub mod aggregation;
+pub mod attack;
+pub mod client;
+pub mod config;
+pub mod history;
+pub mod selection;
+pub mod trainer;
+
+pub use attack::AttackKind;
+pub use client::Client;
+pub use config::FlConfig;
+pub use history::{RoundRecord, RunHistory};
+pub use trainer::{FlAlgorithm, FlTrainer};

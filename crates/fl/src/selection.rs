@@ -1,0 +1,112 @@
+//! Random client selection (Algorithm 1, line 3: select λ·n clients).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Uniformly selects `count` distinct client indices out of `total`.
+/// `count` is clamped to `[1, total]`.
+pub fn select_clients<R: Rng + ?Sized>(total: usize, count: usize, rng: &mut R) -> Vec<usize> {
+    assert!(total > 0, "cannot select from zero clients");
+    let count = count.clamp(1, total);
+    let mut indices: Vec<usize> = (0..total).collect();
+    indices.shuffle(rng);
+    indices.truncate(count);
+    indices.sort_unstable();
+    indices
+}
+
+/// Drops a `drop_percent` fraction of the selected clients (FedProx's
+/// straggler model), keeping at least one.
+pub fn drop_stragglers<R: Rng + ?Sized>(
+    selected: &[usize],
+    drop_percent: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!((0.0..1.0).contains(&drop_percent), "drop_percent in [0,1)");
+    if selected.is_empty() || drop_percent == 0.0 {
+        return selected.to_vec();
+    }
+    let keep = ((selected.len() as f64) * (1.0 - drop_percent)).round() as usize;
+    let keep = keep.clamp(1, selected.len());
+    let mut kept = selected.to_vec();
+    kept.shuffle(rng);
+    kept.truncate(keep);
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selection_has_requested_size_and_no_duplicates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let selected = select_clients(100, 10, &mut rng);
+        assert_eq!(selected.len(), 10);
+        let mut sorted = selected.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(selected.iter().all(|&c| c < 100));
+    }
+
+    #[test]
+    fn selection_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(select_clients(5, 100, &mut rng).len(), 5);
+        assert_eq!(select_clients(5, 0, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn all_clients_eventually_get_selected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = vec![false; 20];
+        for _ in 0..200 {
+            for c in select_clients(20, 5, &mut rng) {
+                seen[c] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn straggler_dropping_keeps_a_subset() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let selected: Vec<usize> = (0..50).collect();
+        let kept = drop_stragglers(&selected, 0.02, &mut rng);
+        assert_eq!(kept.len(), 49);
+        assert!(kept.iter().all(|c| selected.contains(c)));
+
+        let kept_all = drop_stragglers(&selected, 0.0, &mut rng);
+        assert_eq!(kept_all.len(), 50);
+
+        let heavy = drop_stragglers(&selected, 0.99, &mut rng);
+        assert!(!heavy.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn selection_invariants(total in 1usize..200, count in 0usize..250, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = select_clients(total, count, &mut rng);
+            prop_assert!(!s.is_empty());
+            prop_assert!(s.len() <= total);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1])); // sorted, distinct
+        }
+
+        #[test]
+        fn dropping_invariants(n in 1usize..100, drop in 0.0f64..0.99, seed in any::<u64>()) {
+            let selected: Vec<usize> = (0..n).collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let kept = drop_stragglers(&selected, drop, &mut rng);
+            prop_assert!(!kept.is_empty());
+            prop_assert!(kept.len() <= n);
+            prop_assert!(kept.iter().all(|c| *c < n));
+        }
+    }
+}

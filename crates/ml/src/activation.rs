@@ -1,0 +1,77 @@
+//! Activation functions and their derivatives.
+
+/// Rectified linear unit applied element-wise.
+pub fn relu(x: &[f64]) -> Vec<f64> {
+    x.iter().map(|&v| v.max(0.0)).collect()
+}
+
+/// Derivative of ReLU evaluated at the pre-activation values.
+pub fn relu_derivative(x: &[f64]) -> Vec<f64> {
+    x.iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect()
+}
+
+/// Logistic sigmoid applied element-wise.
+pub fn sigmoid(x: &[f64]) -> Vec<f64> {
+    x.iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect()
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|v| v / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(relu(&[-1.0, 0.0, 2.5]), vec![0.0, 0.0, 2.5]);
+        assert_eq!(relu_derivative(&[-1.0, 0.0, 2.5]), vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_symmetric() {
+        let y = sigmoid(&[-10.0, 0.0, 10.0]);
+        assert!(y[0] < 0.001);
+        assert!((y[1] - 0.5).abs() < 1e-12);
+        assert!(y[2] > 0.999);
+        let a = sigmoid(&[2.0])[0];
+        let b = sigmoid(&[-2.0])[0];
+        assert!((a + b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_matches_known_values() {
+        let p = softmax(&[1.0, 1.0, 1.0]);
+        for v in &p {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+        let p = softmax(&[1000.0, 0.0]);
+        assert!(p[0] > 0.999_999);
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_is_a_distribution(logits in proptest::collection::vec(-50.0f64..50.0, 1..20)) {
+            let p = softmax(&logits);
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+
+        #[test]
+        fn softmax_is_shift_invariant(logits in proptest::collection::vec(-20.0f64..20.0, 1..10), shift in -5.0f64..5.0) {
+            let shifted: Vec<f64> = logits.iter().map(|v| v + shift).collect();
+            let a = softmax(&logits);
+            let b = softmax(&shifted);
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Flat gradient/parameter vectors and the vector utilities the FAIR-BFL
+//! machinery is built on.
+//!
+//! Algorithm 2 clusters the set of uploaded vectors `W^k_{r+1}` and weighs
+//! high-contribution clients by the cosine distance `θ_i` between their
+//! upload and the global update; Equation 1 then aggregates with weights
+//! `p_i = θ_i / Σ θ_k`. Those operations — cosine similarity/distance,
+//! norms, simple and weighted averaging — live here, together with the
+//! byte-level serialization used when a gradient is packed into a
+//! blockchain transaction payload.
+
+use crate::tensor;
+
+/// A flat vector of model parameters ("the gradient" in the paper's sense).
+pub type GradientVector = Vec<f64>;
+
+/// Cosine similarity between two equal-length vectors, in `[-1, 1]`.
+/// Returns 0 when either vector is all-zero.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine similarity needs equal lengths");
+    let na = tensor::l2_norm(a);
+    let nb = tensor::l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (tensor::dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Cosine distance `1 - cosine_similarity`, in `[0, 2]`. This is the θ of
+/// Algorithm 2: "the larger the θ, the farther the distance".
+pub fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
+    1.0 - cosine_similarity(a, b)
+}
+
+/// Euclidean distance between two equal-length vectors.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    tensor::l2_norm(&tensor::sub(a, b))
+}
+
+/// Simple (unweighted) average of a set of equal-length vectors — the
+/// paper's "Simple Average" aggregation in Algorithm 1 line 24.
+pub fn average(vectors: &[GradientVector]) -> GradientVector {
+    assert!(!vectors.is_empty(), "cannot average zero vectors");
+    let len = vectors[0].len();
+    let mut out = vec![0.0; len];
+    for v in vectors {
+        assert_eq!(v.len(), len, "all vectors must have equal length");
+        tensor::axpy(1.0, v, &mut out);
+    }
+    tensor::scale(1.0 / vectors.len() as f64, &mut out);
+    out
+}
+
+/// Weighted average `Σ p_i v_i / Σ p_i` — Equation 1's fair aggregation.
+/// Weights must be non-negative and not all zero.
+pub fn weighted_average(vectors: &[GradientVector], weights: &[f64]) -> GradientVector {
+    assert_eq!(vectors.len(), weights.len(), "one weight per vector required");
+    assert!(!vectors.is_empty(), "cannot average zero vectors");
+    assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let len = vectors[0].len();
+    let mut out = vec![0.0; len];
+    for (v, &w) in vectors.iter().zip(weights.iter()) {
+        assert_eq!(v.len(), len, "all vectors must have equal length");
+        tensor::axpy(w / total, v, &mut out);
+    }
+    out
+}
+
+/// Serializes a gradient into little-endian `f64` bytes for use as a
+/// blockchain transaction payload.
+pub fn to_bytes(gradient: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(gradient.len() * 8);
+    for value in gradient {
+        bytes.extend_from_slice(&value.to_le_bytes());
+    }
+    bytes
+}
+
+/// Deserializes a gradient previously produced by [`to_bytes`]. Returns
+/// `None` if the byte length is not a multiple of 8.
+pub fn from_bytes(bytes: &[u8]) -> Option<GradientVector> {
+    if bytes.len() % 8 != 0 {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|chunk| {
+                f64::from_le_bytes([
+                    chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cosine_similarity_known_cases() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_distance_ranges() {
+        assert!((cosine_distance(&[1.0, 2.0], &[2.0, 4.0])).abs() < 1e-12);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_distance_known_case() {
+        assert!((l2_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_of_identical_vectors_is_that_vector() {
+        let v = vec![1.0, -2.0, 3.0];
+        let avg = average(&[v.clone(), v.clone(), v.clone()]);
+        for (a, b) in avg.iter().zip(v.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn average_matches_manual_computation() {
+        let avg = average(&[vec![1.0, 0.0], vec![3.0, 2.0]]);
+        assert_eq!(avg, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vectors")]
+    fn average_of_nothing_panics() {
+        let _ = average(&[]);
+    }
+
+    #[test]
+    fn weighted_average_reduces_to_average_with_equal_weights() {
+        let vs = vec![vec![1.0, 2.0], vec![3.0, 6.0], vec![5.0, 1.0]];
+        let w = vec![1.0, 1.0, 1.0];
+        let a = average(&vs);
+        let b = weighted_average(&vs, &w);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_average_weights_matter() {
+        let vs = vec![vec![0.0], vec![10.0]];
+        let heavy_second = weighted_average(&vs, &[1.0, 9.0]);
+        assert!((heavy_second[0] - 9.0).abs() < 1e-12);
+        let only_first = weighted_average(&vs, &[1.0, 0.0]);
+        assert!((only_first[0] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panic() {
+        let _ = weighted_average(&[vec![1.0]], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_panic() {
+        let _ = weighted_average(&[vec![1.0], vec![2.0]], &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn byte_round_trip_and_malformed_input() {
+        let g = vec![1.5, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
+        let bytes = to_bytes(&g);
+        assert_eq!(bytes.len(), g.len() * 8);
+        assert_eq!(from_bytes(&bytes), Some(g));
+        assert_eq!(from_bytes(&bytes[..7]), None);
+        assert_eq!(from_bytes(&[]), Some(vec![]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn cosine_similarity_is_bounded(a in proptest::collection::vec(-100.0f64..100.0, 1..32)) {
+            let b: Vec<f64> = a.iter().rev().cloned().collect();
+            let s = cosine_similarity(&a, &b);
+            prop_assert!((-1.0..=1.0).contains(&s));
+            prop_assert!((0.0..=2.0).contains(&cosine_distance(&a, &b)));
+        }
+
+        #[test]
+        fn cosine_similarity_is_scale_invariant(a in proptest::collection::vec(-10.0f64..10.0, 2..16), k in 0.1f64..50.0) {
+            let b: Vec<f64> = a.iter().map(|v| v * 0.7 + 0.1).collect();
+            let scaled: Vec<f64> = a.iter().map(|v| v * k).collect();
+            let s1 = cosine_similarity(&a, &b);
+            let s2 = cosine_similarity(&scaled, &b);
+            prop_assert!((s1 - s2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn weighted_average_stays_in_convex_hull(values in proptest::collection::vec(-50.0f64..50.0, 2..8), w in proptest::collection::vec(0.01f64..10.0, 2..8)) {
+            let n = values.len().min(w.len());
+            let vectors: Vec<GradientVector> = values[..n].iter().map(|&v| vec![v]).collect();
+            let avg = weighted_average(&vectors, &w[..n]);
+            let lo = values[..n].iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values[..n].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(avg[0] >= lo - 1e-9 && avg[0] <= hi + 1e-9);
+        }
+
+        #[test]
+        fn byte_round_trip_random(g in proptest::collection::vec(-1e12f64..1e12, 0..64)) {
+            prop_assert_eq!(from_bytes(&to_bytes(&g)), Some(g));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Parameter initialization schemes.
+
+use rand::Rng;
+
+/// Uniform Xavier/Glorot initialization for a layer with the given fan-in
+/// and fan-out: samples from `U(-limit, limit)` with
+/// `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Vec<f64> {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect()
+}
+
+/// Zero initialization of `len` parameters (used for biases).
+pub fn zeros(len: usize) -> Vec<f64> {
+    vec![0.0; len]
+}
+
+/// Small-scale uniform initialization in `[-scale, scale]`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, len: usize, scale: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-scale..scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_limit_and_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(&mut rng, 100, 50);
+        assert_eq!(w.len(), 5000);
+        let limit = (6.0f64 / 150.0).sqrt();
+        assert!(w.iter().all(|&v| v.abs() <= limit));
+        // Not all identical.
+        assert!(w.iter().any(|&v| (v - w[0]).abs() > 1e-12));
+    }
+
+    #[test]
+    fn zeros_are_zero() {
+        assert!(zeros(16).iter().all(|&v| v == 0.0));
+        assert_eq!(zeros(0).len(), 0);
+    }
+
+    #[test]
+    fn uniform_respects_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = uniform(&mut rng, 1000, 0.01);
+        assert!(w.iter().all(|&v| v.abs() <= 0.01));
+    }
+
+    #[test]
+    fn seeded_initialization_is_deterministic() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(7), 10, 10);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(7), 10, 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,39 @@
+//! # bfl-ml
+//!
+//! Learning substrate for the FAIR-BFL reproduction: dense linear algebra,
+//! classification models, losses, and the mini-batch SGD loop that each
+//! federated client runs locally (paper Procedure-I / Equation 3).
+//!
+//! The paper's evaluation trains an unspecified "local model" on MNIST; this
+//! crate provides two reference models of the right scale — multinomial
+//! softmax regression ([`linear::SoftmaxRegression`]) and a one-hidden-layer
+//! MLP ([`mlp::Mlp`]) — over a small, BLAS-free matrix/vector kernel set
+//! ([`tensor`]). Per-row matrix-vector products parallelize with rayon,
+//! following the data-parallel idiom of the session's HPC guides.
+//!
+//! The quantity clients upload in FAIR-BFL (the "gradient" `w^i_{r+1}` of
+//! Algorithm 1) is the *updated parameter vector* after `E` local epochs,
+//! exactly as in FedAvg; [`gradient`] provides the flat-vector utilities
+//! (cosine distance, norms, weighted averaging) that the aggregation and
+//! contribution-identification machinery in `bfl-core` builds on.
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod gradient;
+pub mod init;
+pub mod linear;
+pub mod loss;
+pub mod metrics;
+pub mod mlp;
+pub mod model;
+pub mod optimizer;
+pub mod tensor;
+
+pub use gradient::GradientVector;
+pub use linear::SoftmaxRegression;
+pub use metrics::{accuracy, confusion_matrix};
+pub use mlp::Mlp;
+pub use model::{Model, ModelKind};
+pub use optimizer::{LocalTrainingConfig, Sgd};
+pub use tensor::{Matrix, Vector};

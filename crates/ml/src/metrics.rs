@@ -1,0 +1,95 @@
+//! Classification metrics: accuracy and confusion matrices.
+//!
+//! The evaluation's headline metric is "the average accuracy Σ acc_i / n,
+//! where acc_i is the verification accuracy of client C_i in a
+//! communication round" (Section 5.1); per-client accuracy is computed here
+//! against each client's held-out rows.
+
+use crate::model::Model;
+use crate::tensor::Matrix;
+
+/// Fraction of rows (restricted to `rows`, or all rows if `rows` is `None`)
+/// whose predicted class matches the label.
+pub fn accuracy<M: Model + ?Sized>(
+    model: &M,
+    features: &Matrix,
+    labels: &[usize],
+    rows: Option<&[usize]>,
+) -> f64 {
+    let all_rows: Vec<usize>;
+    let rows = match rows {
+        Some(r) => r,
+        None => {
+            all_rows = (0..features.rows).collect();
+            &all_rows
+        }
+    };
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let correct = rows
+        .iter()
+        .filter(|&&r| model.predict_row(features.row(r)) == labels[r])
+        .count();
+    correct as f64 / rows.len() as f64
+}
+
+/// Confusion matrix `counts[true][predicted]` over the given rows.
+pub fn confusion_matrix<M: Model + ?Sized>(
+    model: &M,
+    features: &Matrix,
+    labels: &[usize],
+    classes: usize,
+) -> Vec<Vec<usize>> {
+    let mut counts = vec![vec![0usize; classes]; classes];
+    for r in 0..features.rows {
+        let truth = labels[r];
+        let predicted = model.predict_row(features.row(r));
+        if truth < classes && predicted < classes {
+            counts[truth][predicted] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::SoftmaxRegression;
+    use crate::model::Model;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A model rigged to always predict class 0 (by setting a huge bias).
+    fn rigged_model() -> SoftmaxRegression {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = SoftmaxRegression::new(2, 3, &mut rng);
+        let mut p = vec![0.0; m.num_params()];
+        p[2 * 3] = 100.0; // bias of class 0
+        m.set_params(&p);
+        m
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let m = rigged_model();
+        let features = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let labels = vec![0, 0, 1];
+        assert!((accuracy(&m, &features, &labels, None) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((accuracy(&m, &features, &labels, Some(&[2])) - 0.0).abs() < 1e-12);
+        assert_eq!(accuracy(&m, &features, &labels, Some(&[])), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_rows_sum_to_class_counts() {
+        let m = rigged_model();
+        let features = Matrix::from_rows(&vec![vec![0.0, 0.0]; 6]);
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        let cm = confusion_matrix(&m, &features, &labels, 3);
+        // Everything is predicted as class 0.
+        assert_eq!(cm[0][0], 2);
+        assert_eq!(cm[1][0], 2);
+        assert_eq!(cm[2][0], 2);
+        assert_eq!(cm[0][1] + cm[0][2] + cm[1][1] + cm[1][2] + cm[2][1] + cm[2][2], 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! One-hidden-layer multi-layer perceptron with ReLU activation.
+//!
+//! A slightly richer alternative to [`crate::SoftmaxRegression`] used to
+//! check that the FAIR-BFL machinery (aggregation, clustering, rewards) is
+//! agnostic to the local model architecture.
+
+use crate::activation::{relu, relu_derivative};
+use crate::loss::{cross_entropy, cross_entropy_grad};
+use crate::model::Model;
+use crate::tensor::Matrix;
+use crate::{init, tensor};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// `features -> hidden (ReLU) -> classes (softmax)` network.
+///
+/// Parameters are stored flat as `[W1, b1, W2, b2]` with `W1` of shape
+/// `(hidden x features)` and `W2` of shape `(classes x hidden)`, both
+/// row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    features: usize,
+    hidden: usize,
+    classes: usize,
+    params: Vec<f64>,
+}
+
+impl Mlp {
+    /// Creates an MLP with Xavier-initialized weights and zero biases.
+    pub fn new<R: Rng + ?Sized>(features: usize, hidden: usize, classes: usize, rng: &mut R) -> Self {
+        assert!(features > 0 && hidden > 0 && classes > 1);
+        let mut params = init::xavier_uniform(rng, features, hidden);
+        params.extend(init::zeros(hidden));
+        params.extend(init::xavier_uniform(rng, hidden, classes));
+        params.extend(init::zeros(classes));
+        Mlp {
+            features,
+            hidden,
+            classes,
+            params,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn feature_count(&self) -> usize {
+        self.features
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden_count(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of output classes.
+    pub fn class_count(&self) -> usize {
+        self.classes
+    }
+
+    fn offsets(&self) -> (usize, usize, usize, usize) {
+        let w1 = 0;
+        let b1 = self.hidden * self.features;
+        let w2 = b1 + self.hidden;
+        let b2 = w2 + self.classes * self.hidden;
+        (w1, b1, w2, b2)
+    }
+
+    /// Forward pass returning (hidden pre-activation, hidden activation, logits).
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        debug_assert_eq!(x.len(), self.features);
+        let (w1, b1, w2, b2) = self.offsets();
+        let mut h_pre = Vec::with_capacity(self.hidden);
+        for j in 0..self.hidden {
+            let row = &self.params[w1 + j * self.features..w1 + (j + 1) * self.features];
+            h_pre.push(tensor::dot(row, x) + self.params[b1 + j]);
+        }
+        let h = relu(&h_pre);
+        let mut logits = Vec::with_capacity(self.classes);
+        for c in 0..self.classes {
+            let row = &self.params[w2 + c * self.hidden..w2 + (c + 1) * self.hidden];
+            logits.push(tensor::dot(row, &h) + self.params[b2 + c]);
+        }
+        (h_pre, h, logits)
+    }
+}
+
+impl Model for Mlp {
+    fn num_params(&self) -> usize {
+        self.hidden * self.features + self.hidden + self.classes * self.hidden + self.classes
+    }
+
+    fn params(&self) -> Vec<f64> {
+        self.params.clone()
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_params(), "parameter length mismatch");
+        self.params.copy_from_slice(params);
+    }
+
+    fn logits(&self, features: &[f64]) -> Vec<f64> {
+        self.forward(features).2
+    }
+
+    fn loss_and_grad(&self, features: &Matrix, labels: &[usize], rows: &[usize]) -> (f64, Vec<f64>) {
+        assert_eq!(features.rows, labels.len(), "features/labels length mismatch");
+        assert!(!rows.is_empty(), "gradient over an empty batch is undefined");
+        let (w1, b1, w2, b2) = self.offsets();
+        let mut grad = vec![0.0; self.num_params()];
+        let mut total_loss = 0.0;
+
+        for &r in rows {
+            let x = features.row(r);
+            let label = labels[r];
+            let (h_pre, h, logits) = self.forward(x);
+            total_loss += cross_entropy(&logits, label);
+
+            // Output layer.
+            let g_logits = cross_entropy_grad(&logits, label);
+            for (c, &g) in g_logits.iter().enumerate() {
+                let w2_grad = &mut grad[w2 + c * self.hidden..w2 + (c + 1) * self.hidden];
+                tensor::axpy(g, &h, w2_grad);
+                grad[b2 + c] += g;
+            }
+
+            // Backpropagate into the hidden layer.
+            let mut g_h = vec![0.0; self.hidden];
+            for (c, &g) in g_logits.iter().enumerate() {
+                let row = &self.params[w2 + c * self.hidden..w2 + (c + 1) * self.hidden];
+                tensor::axpy(g, row, &mut g_h);
+            }
+            let relu_mask = relu_derivative(&h_pre);
+            for (gh, mask) in g_h.iter_mut().zip(relu_mask.iter()) {
+                *gh *= mask;
+            }
+
+            // Input layer.
+            for (j, &g) in g_h.iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                let w1_grad = &mut grad[w1 + j * self.features..w1 + (j + 1) * self.features];
+                tensor::axpy(g, x, w1_grad);
+                grad[b1 + j] += g;
+            }
+        }
+
+        let scale = 1.0 / rows.len() as f64;
+        tensor::scale(scale, &mut grad);
+        (total_loss * scale, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{argmax, dataset_loss};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new(6, 4, 3, &mut rng);
+        assert_eq!(m.feature_count(), 6);
+        assert_eq!(m.hidden_count(), 4);
+        assert_eq!(m.class_count(), 3);
+        assert_eq!(m.num_params(), 6 * 4 + 4 + 4 * 3 + 3);
+        assert_eq!(m.params().len(), m.num_params());
+        assert_eq!(m.logits(&[0.0; 6]).len(), 3);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Mlp::new(3, 5, 3, &mut rng);
+        let features = Matrix::from_rows(&[
+            vec![0.4, -0.3, 0.8],
+            vec![-0.6, 0.2, 0.1],
+            vec![0.9, 0.9, -0.9],
+        ]);
+        let labels = vec![0, 1, 2];
+        let rows = vec![0, 1, 2];
+        let (_, grad) = m.loss_and_grad(&features, &labels, &rows);
+
+        let eps = 1e-6;
+        let base = m.params();
+        for i in (0..m.num_params()).step_by(5) {
+            let mut plus = m.clone();
+            let mut p = base.clone();
+            p[i] += eps;
+            plus.set_params(&p);
+            let mut minus = m.clone();
+            let mut p = base.clone();
+            p[i] -= eps;
+            minus.set_params(&p);
+            let numeric = (dataset_loss(&plus, &features, &labels)
+                - dataset_loss(&minus, &features, &labels))
+                / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-5,
+                "param {i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn learns_xor_like_pattern_that_linear_models_cannot() {
+        // XOR in 2D: requires the hidden layer.
+        let features = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let labels = vec![0usize, 1, 1, 0];
+        let rows: Vec<usize> = (0..4).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut m = Mlp::new(2, 8, 2, &mut rng);
+        for _ in 0..3000 {
+            let (_, grad) = m.loss_and_grad(&features, &labels, &rows);
+            let mut p = m.params();
+            tensor::axpy(-0.5, &grad, &mut p);
+            m.set_params(&p);
+        }
+        let correct = rows
+            .iter()
+            .filter(|&&r| argmax(&m.logits(features.row(r))) == labels[r])
+            .count();
+        assert_eq!(correct, 4, "MLP should fit XOR exactly");
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = Mlp::new(4, 3, 2, &mut rng);
+        let target: Vec<f64> = (0..m.num_params()).map(|i| (i as f64) * 0.1).collect();
+        m.set_params(&target);
+        assert_eq!(m.params(), target);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Mlp::new(4, 3, 2, &mut rng);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        // JSON rendering of f64 can lose the last bit; compare with tolerance.
+        assert_eq!(back.num_params(), m.num_params());
+        for (a, b) in back.params().iter().zip(m.params().iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

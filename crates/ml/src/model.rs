@@ -1,0 +1,243 @@
+//! The model abstraction shared by the FL and BFL layers.
+//!
+//! A [`Model`] owns its parameters as a flat `f64` vector (the "gradient"
+//! `w` exchanged by Algorithm 1), can compute the mini-batch loss gradient
+//! with respect to those parameters, and can classify samples. Two concrete
+//! models are provided — [`crate::SoftmaxRegression`] and [`crate::Mlp`] —
+//! and [`ModelKind`] selects between them by configuration, yielding an
+//! [`AnyModel`] that the federated machinery can hold without generics.
+
+use crate::linear::SoftmaxRegression;
+use crate::mlp::Mlp;
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A trainable classification model with flat parameter access.
+pub trait Model {
+    /// Total number of parameters.
+    fn num_params(&self) -> usize;
+
+    /// Copies the parameters into a flat vector (the uploadable "gradient").
+    fn params(&self) -> Vec<f64>;
+
+    /// Overwrites the parameters from a flat vector of length
+    /// [`Model::num_params`].
+    fn set_params(&mut self, params: &[f64]);
+
+    /// Raw class scores for a single feature row.
+    fn logits(&self, features: &[f64]) -> Vec<f64>;
+
+    /// Mean loss and flat parameter gradient over the selected rows of the
+    /// dataset (`rows` indexes into `features` / `labels`).
+    fn loss_and_grad(&self, features: &Matrix, labels: &[usize], rows: &[usize]) -> (f64, Vec<f64>);
+
+    /// Predicted class for a single feature row (argmax of the logits).
+    fn predict_row(&self, features: &[f64]) -> usize {
+        argmax(&self.logits(features))
+    }
+}
+
+/// Index of the maximum element (first one on ties).
+pub fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Mean loss of a model over an entire dataset.
+pub fn dataset_loss<M: Model + ?Sized>(model: &M, features: &Matrix, labels: &[usize]) -> f64 {
+    let rows: Vec<usize> = (0..features.rows).collect();
+    model.loss_and_grad(features, labels, &rows).0
+}
+
+/// Configuration describing which concrete model to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Multinomial softmax (logistic) regression.
+    SoftmaxRegression {
+        /// Input dimensionality.
+        features: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// One-hidden-layer multi-layer perceptron with ReLU activation.
+    Mlp {
+        /// Input dimensionality.
+        features: usize,
+        /// Hidden-layer width.
+        hidden: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl ModelKind {
+    /// The default model used throughout the evaluation: softmax regression
+    /// on 28x28 images with 10 classes, matching the scale of the paper's
+    /// MNIST setup.
+    pub fn default_mnist() -> Self {
+        ModelKind::SoftmaxRegression {
+            features: 784,
+            classes: 10,
+        }
+    }
+
+    /// Number of parameters a model of this kind will have.
+    pub fn num_params(&self) -> usize {
+        match *self {
+            ModelKind::SoftmaxRegression { features, classes } => classes * features + classes,
+            ModelKind::Mlp {
+                features,
+                hidden,
+                classes,
+            } => hidden * features + hidden + classes * hidden + classes,
+        }
+    }
+
+    /// Instantiates the model with randomly initialized parameters.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> AnyModel {
+        match *self {
+            ModelKind::SoftmaxRegression { features, classes } => {
+                AnyModel::Softmax(SoftmaxRegression::new(features, classes, rng))
+            }
+            ModelKind::Mlp {
+                features,
+                hidden,
+                classes,
+            } => AnyModel::Mlp(Mlp::new(features, hidden, classes, rng)),
+        }
+    }
+}
+
+/// Enum dispatch over the concrete model types, so federated code can store
+/// models without generic parameters or trait objects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnyModel {
+    /// Softmax regression variant.
+    Softmax(SoftmaxRegression),
+    /// MLP variant.
+    Mlp(Mlp),
+}
+
+impl Model for AnyModel {
+    fn num_params(&self) -> usize {
+        match self {
+            AnyModel::Softmax(m) => m.num_params(),
+            AnyModel::Mlp(m) => m.num_params(),
+        }
+    }
+
+    fn params(&self) -> Vec<f64> {
+        match self {
+            AnyModel::Softmax(m) => m.params(),
+            AnyModel::Mlp(m) => m.params(),
+        }
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        match self {
+            AnyModel::Softmax(m) => m.set_params(params),
+            AnyModel::Mlp(m) => m.set_params(params),
+        }
+    }
+
+    fn logits(&self, features: &[f64]) -> Vec<f64> {
+        match self {
+            AnyModel::Softmax(m) => m.logits(features),
+            AnyModel::Mlp(m) => m.logits(features),
+        }
+    }
+
+    fn loss_and_grad(&self, features: &Matrix, labels: &[usize], rows: &[usize]) -> (f64, Vec<f64>) {
+        match self {
+            AnyModel::Softmax(m) => m.loss_and_grad(features, labels, rows),
+            AnyModel::Mlp(m) => m.loss_and_grad(features, labels, rows),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn argmax_picks_first_maximum() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), 1);
+        assert_eq!(argmax(&[-3.0]), 0);
+        assert_eq!(argmax(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn model_kind_param_counts() {
+        assert_eq!(
+            ModelKind::SoftmaxRegression {
+                features: 784,
+                classes: 10
+            }
+            .num_params(),
+            7850
+        );
+        assert_eq!(
+            ModelKind::Mlp {
+                features: 784,
+                hidden: 32,
+                classes: 10
+            }
+            .num_params(),
+            784 * 32 + 32 + 32 * 10 + 10
+        );
+        assert_eq!(ModelKind::default_mnist().num_params(), 7850);
+    }
+
+    #[test]
+    fn build_produces_models_with_matching_param_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [
+            ModelKind::SoftmaxRegression {
+                features: 20,
+                classes: 4,
+            },
+            ModelKind::Mlp {
+                features: 20,
+                hidden: 8,
+                classes: 4,
+            },
+        ] {
+            let model = kind.build(&mut rng);
+            assert_eq!(model.num_params(), kind.num_params());
+            assert_eq!(model.params().len(), kind.num_params());
+        }
+    }
+
+    #[test]
+    fn any_model_round_trips_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kind = ModelKind::SoftmaxRegression {
+            features: 6,
+            classes: 3,
+        };
+        let mut model = kind.build(&mut rng);
+        let new_params: Vec<f64> = (0..model.num_params()).map(|i| i as f64 * 0.01).collect();
+        model.set_params(&new_params);
+        assert_eq!(model.params(), new_params);
+    }
+
+    #[test]
+    fn model_kind_serde_round_trip() {
+        let kind = ModelKind::Mlp {
+            features: 10,
+            hidden: 4,
+            classes: 3,
+        };
+        let json = serde_json::to_string(&kind).unwrap();
+        let back: ModelKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, kind);
+    }
+}

@@ -1,0 +1,299 @@
+//! Stochastic gradient descent and the local-training loop of Procedure-I.
+//!
+//! Equation 3 of the paper is plain mini-batch SGD:
+//! `w_{r+1} ← w_r − η ∇ℓ(w_r; b)` applied over `E` epochs of batches of
+//! size `B`. FedProx (the paper's strongest FL baseline) modifies the local
+//! objective with a proximal term `μ/2 ‖w − w_global‖²`, which shows up in
+//! the update as an extra `μ (w − w_global)` gradient component; setting
+//! `proximal_mu = 0` recovers FedAvg/FAIR-BFL local training.
+
+use crate::model::Model;
+use crate::tensor::{self, Matrix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Plain SGD step applier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate η.
+    pub learning_rate: f64,
+}
+
+impl Sgd {
+    /// Creates an optimizer with the given learning rate.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Sgd { learning_rate }
+    }
+
+    /// Applies one step in place: `params -= lr * grad`.
+    pub fn step(&self, params: &mut [f64], grad: &[f64]) {
+        tensor::axpy(-self.learning_rate, grad, params);
+    }
+}
+
+/// Configuration of a client's local training pass (paper defaults:
+/// `E = 5`, `B = 10`, `η = 0.01`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalTrainingConfig {
+    /// Number of local epochs `E`.
+    pub epochs: usize,
+    /// Mini-batch size `B`.
+    pub batch_size: usize,
+    /// Learning rate `η`.
+    pub learning_rate: f64,
+    /// FedProx proximal coefficient `μ` (0 disables the proximal term).
+    pub proximal_mu: f64,
+}
+
+impl Default for LocalTrainingConfig {
+    fn default() -> Self {
+        LocalTrainingConfig {
+            epochs: 5,
+            batch_size: 10,
+            learning_rate: 0.01,
+            proximal_mu: 0.0,
+        }
+    }
+}
+
+/// Statistics reported by one local training pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalTrainingStats {
+    /// Number of SGD steps (mini-batches) executed.
+    pub steps: usize,
+    /// Mean training loss over the final epoch.
+    pub final_epoch_loss: f64,
+    /// L2 distance between the parameters before and after training.
+    pub update_norm: f64,
+}
+
+/// Runs `config.epochs` epochs of mini-batch SGD on `model` over the rows
+/// `samples` of the dataset, in place. Returns per-pass statistics.
+///
+/// `samples` identifies the client's local shard D_i inside the shared
+/// feature/label arrays, so no per-client copies of the data are made.
+pub fn train_local<M: Model, R: Rng + ?Sized>(
+    model: &mut M,
+    features: &Matrix,
+    labels: &[usize],
+    samples: &[usize],
+    config: &LocalTrainingConfig,
+    rng: &mut R,
+) -> LocalTrainingStats {
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert!(config.epochs > 0, "epoch count must be positive");
+    assert!(!samples.is_empty(), "a client cannot train on an empty shard");
+
+    let optimizer = Sgd::new(config.learning_rate);
+    let anchor = model.params();
+    let mut params = model.params();
+    let mut order: Vec<usize> = samples.to_vec();
+    let mut steps = 0;
+    let mut final_epoch_loss = 0.0;
+
+    for epoch in 0..config.epochs {
+        order.shuffle(rng);
+        let mut epoch_loss = 0.0;
+        let mut epoch_batches = 0;
+        for batch in order.chunks(config.batch_size) {
+            model.set_params(&params);
+            let (loss, mut grad) = model.loss_and_grad(features, labels, batch);
+            if config.proximal_mu > 0.0 {
+                // FedProx: grad += mu * (w - w_global).
+                for ((g, w), w0) in grad.iter_mut().zip(params.iter()).zip(anchor.iter()) {
+                    *g += config.proximal_mu * (w - w0);
+                }
+            }
+            optimizer.step(&mut params, &grad);
+            epoch_loss += loss;
+            epoch_batches += 1;
+            steps += 1;
+        }
+        if epoch == config.epochs - 1 {
+            final_epoch_loss = epoch_loss / epoch_batches.max(1) as f64;
+        }
+    }
+
+    model.set_params(&params);
+    let update_norm = tensor::l2_norm(&tensor::sub(&params, &anchor));
+    LocalTrainingStats {
+        steps,
+        final_epoch_loss,
+        update_norm,
+    }
+}
+
+/// Number of SGD steps one local pass will take: `E * ceil(|D_i| / B)`,
+/// the quantity the paper's T_local delay estimate is proportional to
+/// (Section 4.1: complexity `O(E * |D_i| / B)`).
+pub fn local_step_count(samples: usize, config: &LocalTrainingConfig) -> usize {
+    config.epochs * samples.div_ceil(config.batch_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::SoftmaxRegression;
+    use crate::model::{argmax, dataset_loss};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob_dataset() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let t = i as f64 * 0.02;
+            rows.push(vec![1.0 + t, 0.5 - t, 1.0]);
+            labels.push(0usize);
+            rows.push(vec![-1.0 - t, -0.5 + t, -1.0]);
+            labels.push(1usize);
+            rows.push(vec![0.0 + t, 2.0, -1.0 - t]);
+            labels.push(2usize);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient() {
+        let sgd = Sgd::new(0.1);
+        let mut params = vec![1.0, 2.0];
+        sgd.step(&mut params, &[1.0, -1.0]);
+        assert_eq!(params, vec![0.9, 2.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn non_positive_learning_rate_rejected() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = LocalTrainingConfig::default();
+        assert_eq!(c.epochs, 5);
+        assert_eq!(c.batch_size, 10);
+        assert!((c.learning_rate - 0.01).abs() < 1e-12);
+        assert_eq!(c.proximal_mu, 0.0);
+    }
+
+    #[test]
+    fn local_training_reduces_loss_and_reports_stats() {
+        let (features, labels) = blob_dataset();
+        let samples: Vec<usize> = (0..features.rows).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = SoftmaxRegression::new(3, 3, &mut rng);
+        let before = dataset_loss(&model, &features, &labels);
+        let config = LocalTrainingConfig {
+            epochs: 10,
+            batch_size: 10,
+            learning_rate: 0.2,
+            proximal_mu: 0.0,
+        };
+        let stats = train_local(&mut model, &features, &labels, &samples, &config, &mut rng);
+        let after = dataset_loss(&model, &features, &labels);
+        assert!(after < before, "loss should drop: {before} -> {after}");
+        assert_eq!(stats.steps, 10 * 9); // 90 samples / batch 10 = 9 batches per epoch
+        assert!(stats.update_norm > 0.0);
+        assert!(stats.final_epoch_loss > 0.0);
+
+        // Accuracy after training should be high on this separable data.
+        let correct = samples
+            .iter()
+            .filter(|&&r| argmax(&model.logits(features.row(r))) == labels[r])
+            .count();
+        assert!(correct as f64 / samples.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn proximal_term_keeps_params_closer_to_anchor() {
+        let (features, labels) = blob_dataset();
+        let samples: Vec<usize> = (0..features.rows).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        let base_model = SoftmaxRegression::new(3, 3, &mut rng);
+
+        let mut plain = base_model.clone();
+        let mut prox = base_model.clone();
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let plain_cfg = LocalTrainingConfig {
+            epochs: 8,
+            batch_size: 10,
+            learning_rate: 0.2,
+            proximal_mu: 0.0,
+        };
+        let prox_cfg = LocalTrainingConfig {
+            proximal_mu: 1.0,
+            ..plain_cfg
+        };
+        let plain_stats = train_local(&mut plain, &features, &labels, &samples, &plain_cfg, &mut rng_a);
+        let prox_stats = train_local(&mut prox, &features, &labels, &samples, &prox_cfg, &mut rng_b);
+        assert!(
+            prox_stats.update_norm < plain_stats.update_norm,
+            "proximal update {} should be smaller than plain {}",
+            prox_stats.update_norm,
+            plain_stats.update_norm
+        );
+    }
+
+    #[test]
+    fn training_on_a_subset_only_uses_that_subset() {
+        let (features, labels) = blob_dataset();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut model = SoftmaxRegression::new(3, 3, &mut rng);
+        // Train on class-0 samples only (every third row starting at 0).
+        let shard: Vec<usize> = (0..features.rows).step_by(3).collect();
+        let config = LocalTrainingConfig {
+            epochs: 20,
+            batch_size: 5,
+            learning_rate: 0.3,
+            proximal_mu: 0.0,
+        };
+        train_local(&mut model, &features, &labels, &shard, &config, &mut rng);
+        // The model masters its own shard (all class 0) but cannot have
+        // learned the full three-class task from it.
+        let shard_correct = shard
+            .iter()
+            .filter(|&&r| argmax(&model.logits(features.row(r))) == labels[r])
+            .count();
+        assert_eq!(shard_correct, shard.len(), "shard should be fit exactly");
+        let overall = (0..features.rows)
+            .filter(|&r| argmax(&model.logits(features.row(r))) == labels[r])
+            .count();
+        assert!(
+            (overall as f64 / features.rows as f64) < 0.9,
+            "a single-class shard cannot teach the full task ({} of {})",
+            overall,
+            features.rows
+        );
+    }
+
+    #[test]
+    fn step_count_formula() {
+        let config = LocalTrainingConfig {
+            epochs: 5,
+            batch_size: 10,
+            ..Default::default()
+        };
+        assert_eq!(local_step_count(100, &config), 50);
+        assert_eq!(local_step_count(101, &config), 55);
+        assert_eq!(local_step_count(1, &config), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shard")]
+    fn empty_shard_panics() {
+        let (features, labels) = blob_dataset();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut model = SoftmaxRegression::new(3, 3, &mut rng);
+        let _ = train_local(
+            &mut model,
+            &features,
+            &labels,
+            &[],
+            &LocalTrainingConfig::default(),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Dense vectors and row-major matrices with the handful of kernels the
+//! models need: dot products, AXPY updates, matrix-vector and
+//! matrix-transpose-vector products, and row access.
+//!
+//! Matrix-vector products over many rows are parallelized with rayon's
+//! parallel iterators; everything else is deliberately simple sequential
+//! code — the matrices involved (at most a few thousand rows of 784
+//! columns) never justify more machinery.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A dense vector of `f64` values.
+pub type Vector = Vec<f64>;
+
+/// A dense, row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage of length `rows * cols`.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data; panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a list of equal-length rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Returns the element at (`row`, `col`).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at (`row`, `col`).
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `row` as a slice.
+    pub fn row(&self, row: usize) -> &[f64] {
+        debug_assert!(row < self.rows);
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `row`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        debug_assert!(row < self.rows);
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Builds a new matrix containing the selected rows, in the given order.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Matrix-vector product `self * x` (parallel over rows).
+    pub fn matvec(&self, x: &[f64]) -> Vector {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        if self.rows >= 64 {
+            (0..self.rows)
+                .into_par_iter()
+                .map(|r| dot(self.row(r), x))
+                .collect()
+        } else {
+            (0..self.rows).map(|r| dot(self.row(r), x)).collect()
+        }
+    }
+
+    /// Matrix-transpose-vector product `selfᵀ * y`.
+    pub fn matvec_transpose(&self, y: &[f64]) -> Vector {
+        assert_eq!(y.len(), self.rows, "matvec_transpose dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &coeff) in y.iter().enumerate() {
+            if coeff == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o += coeff * v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// In-place AXPY: `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a slice in place.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean (L2) norm.
+pub fn l2_norm(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Element-wise subtraction `a - b` into a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vector {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise addition `a + b` into a new vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vector {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_from_vec() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows, 2);
+        assert_eq!(z.cols, 3);
+        assert!(z.data.iter().all(|&v| v == 0.0));
+
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_and_row_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.rows, 3);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        let mut m = m;
+        m.row_mut(2)[0] = 50.0;
+        assert_eq!(m.get(2, 0), 50.0);
+        m.set(0, 0, 9.0);
+        assert_eq!(m.get(0, 0), 9.0);
+        assert_eq!(Matrix::from_rows(&[]).rows, 0);
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.row(0), &[3.0]);
+        assert_eq!(s.row(1), &[1.0]);
+    }
+
+    #[test]
+    fn matvec_small_example() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(m.matvec_transpose(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn matvec_parallel_path_matches_sequential() {
+        // 100 rows exercises the rayon branch.
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|r| (0..8).map(|c| (r * 8 + c) as f64).collect())
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        let x: Vec<f64> = (0..8).map(|i| i as f64 * 0.5).collect();
+        let par = m.matvec(&x);
+        let seq: Vec<f64> = (0..m.rows).map(|r| dot(m.row(r), &x)).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn blas_like_helpers() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        let mut x = vec![2.0, 4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, vec![1.0, 2.0]);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 1.0]), vec![2.0, 3.0]);
+        assert_eq!(add(&[3.0, 4.0], &[1.0, 1.0]), vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_manual() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn matvec_is_linear(rows in 1usize..20, cols in 1usize..20, seed in any::<u64>()) {
+            // Build a deterministic pseudo-random matrix and two vectors.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let m = Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect());
+            let x: Vec<f64> = (0..cols).map(|_| next()).collect();
+            let y: Vec<f64> = (0..cols).map(|_| next()).collect();
+            let lhs = m.matvec(&add(&x, &y));
+            let rhs = add(&m.matvec(&x), &m.matvec(&y));
+            for (a, b) in lhs.iter().zip(rhs.iter()) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn transpose_product_adjoint_identity(rows in 1usize..15, cols in 1usize..15, seed in any::<u64>()) {
+            // <A x, y> == <x, Aᵀ y>
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let m = Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect());
+            let x: Vec<f64> = (0..cols).map(|_| next()).collect();
+            let y: Vec<f64> = (0..rows).map(|_| next()).collect();
+            let lhs = dot(&m.matvec(&x), &y);
+            let rhs = dot(&x, &m.matvec_transpose(&y));
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+        }
+
+        #[test]
+        fn l2_norm_triangle_inequality(a in proptest::collection::vec(-100.0f64..100.0, 1..32)) {
+            let b: Vec<f64> = a.iter().map(|v| v * 0.3 + 1.0).collect();
+            prop_assert!(l2_norm(&add(&a, &b)) <= l2_norm(&a) + l2_norm(&b) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Simulated wall-clock time.
+//!
+//! All delays in the reproduction are simulated seconds, not host seconds,
+//! so experiment results are deterministic and machine-independent. The
+//! clock only ever moves forward.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically advancing simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    now_seconds: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now_seconds(&self) -> f64 {
+        self.now_seconds
+    }
+
+    /// Current simulated time in whole milliseconds (for block timestamps).
+    pub fn now_millis(&self) -> u64 {
+        (self.now_seconds * 1000.0).round().max(0.0) as u64
+    }
+
+    /// Advances the clock by `seconds` (must be non-negative and finite).
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "clock can only advance by a finite, non-negative amount (got {seconds})"
+        );
+        self.now_seconds += seconds;
+    }
+
+    /// Returns a copy advanced by `seconds` without mutating `self`.
+    pub fn advanced_by(&self, seconds: f64) -> SimClock {
+        let mut clone = *self;
+        clone.advance(seconds);
+        clone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.now_seconds(), 0.0);
+        assert_eq!(clock.now_millis(), 0);
+        clock.advance(1.5);
+        clock.advance(0.25);
+        assert!((clock.now_seconds() - 1.75).abs() < 1e-12);
+        assert_eq!(clock.now_millis(), 1750);
+    }
+
+    #[test]
+    fn advanced_by_does_not_mutate() {
+        let clock = SimClock::new();
+        let later = clock.advanced_by(3.0);
+        assert_eq!(clock.now_seconds(), 0.0);
+        assert_eq!(later.now_seconds(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_advance_panics() {
+        SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_advance_panics() {
+        SimClock::new().advance(f64::NAN);
+    }
+}

@@ -1,0 +1,201 @@
+//! Link-delay distributions and payload-dependent transfer times.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A parametric distribution of one-way link latency in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayDistribution {
+    /// Always exactly this many seconds.
+    Constant(f64),
+    /// Uniform on `[min, max]`.
+    Uniform {
+        /// Lower bound in seconds.
+        min: f64,
+        /// Upper bound in seconds.
+        max: f64,
+    },
+    /// Normal with the given mean and standard deviation, truncated at zero.
+    Normal {
+        /// Mean in seconds.
+        mean: f64,
+        /// Standard deviation in seconds.
+        std: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean in seconds.
+        mean: f64,
+    },
+}
+
+impl DelayDistribution {
+    /// Samples a latency in seconds (never negative).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let value = match *self {
+            DelayDistribution::Constant(v) => v,
+            DelayDistribution::Uniform { min, max } => {
+                assert!(min <= max, "uniform delay bounds are inverted");
+                if min == max {
+                    min
+                } else {
+                    rng.gen_range(min..max)
+                }
+            }
+            DelayDistribution::Normal { mean, std } => {
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                mean + std * z
+            }
+            DelayDistribution::Exponential { mean } => {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                -mean * u.ln()
+            }
+        };
+        value.max(0.0)
+    }
+
+    /// Expected value of the distribution in seconds.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            DelayDistribution::Constant(v) => v.max(0.0),
+            DelayDistribution::Uniform { min, max } => ((min + max) / 2.0).max(0.0),
+            DelayDistribution::Normal { mean, .. } => mean.max(0.0),
+            DelayDistribution::Exponential { mean } => mean.max(0.0),
+        }
+    }
+}
+
+/// A link model combining a latency distribution with a transfer rate, so
+/// that larger payloads (for example a vanilla-BFL block that carries one
+/// hundred local gradients) take proportionally longer to move.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Per-message latency distribution.
+    pub latency: DelayDistribution,
+    /// Sustained throughput in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl LinkModel {
+    /// A typical wide-area edge uplink: tens of milliseconds of jittery
+    /// latency and ~2 MB/s of goodput.
+    pub fn edge_uplink() -> Self {
+        LinkModel {
+            latency: DelayDistribution::Normal {
+                mean: 0.08,
+                std: 0.03,
+            },
+            bandwidth_bytes_per_s: 2.0e6,
+        }
+    }
+
+    /// A fast, stable miner-to-miner backbone link.
+    pub fn miner_backbone() -> Self {
+        LinkModel {
+            latency: DelayDistribution::Constant(0.01),
+            bandwidth_bytes_per_s: 50.0e6,
+        }
+    }
+
+    /// Samples the time to move `payload_bytes` over this link.
+    pub fn sample_transfer<R: Rng + ?Sized>(&self, payload_bytes: usize, rng: &mut R) -> f64 {
+        assert!(self.bandwidth_bytes_per_s > 0.0, "bandwidth must be positive");
+        self.latency.sample(rng) + payload_bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Expected time to move `payload_bytes` over this link.
+    pub fn expected_transfer(&self, payload_bytes: usize) -> f64 {
+        self.latency.mean() + payload_bytes as f64 / self.bandwidth_bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut r = rng();
+        let d = DelayDistribution::Constant(0.5);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 0.5);
+        }
+        assert_eq!(d.mean(), 0.5);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = rng();
+        let d = DelayDistribution::Uniform { min: 0.1, max: 0.3 };
+        for _ in 0..200 {
+            let s = d.sample(&mut r);
+            assert!((0.1..=0.3).contains(&s));
+        }
+        assert!((d.mean() - 0.2).abs() < 1e-12);
+        // Degenerate range.
+        let point = DelayDistribution::Uniform { min: 0.2, max: 0.2 };
+        assert_eq!(point.sample(&mut r), 0.2);
+    }
+
+    #[test]
+    fn samples_are_never_negative() {
+        let mut r = rng();
+        for d in [
+            DelayDistribution::Normal { mean: 0.01, std: 0.5 },
+            DelayDistribution::Exponential { mean: 0.2 },
+            DelayDistribution::Constant(-1.0),
+        ] {
+            for _ in 0..200 {
+                assert!(d.sample(&mut r) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_means_track_configured_means() {
+        let mut r = rng();
+        let cases = [
+            DelayDistribution::Normal { mean: 0.5, std: 0.05 },
+            DelayDistribution::Exponential { mean: 0.4 },
+            DelayDistribution::Uniform { min: 0.2, max: 0.6 },
+        ];
+        for d in cases {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - d.mean()).abs() < 0.03,
+                "{d:?}: empirical {mean} vs expected {}",
+                d.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_time_scales_with_payload() {
+        let mut r = rng();
+        let link = LinkModel {
+            latency: DelayDistribution::Constant(0.05),
+            bandwidth_bytes_per_s: 1_000_000.0,
+        };
+        let small = link.sample_transfer(1_000, &mut r);
+        let large = link.sample_transfer(10_000_000, &mut r);
+        assert!(large > small);
+        assert!((link.expected_transfer(1_000_000) - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let edge = LinkModel::edge_uplink();
+        let backbone = LinkModel::miner_backbone();
+        // The backbone moves a 1 MB payload much faster than the edge uplink.
+        assert!(backbone.expected_transfer(1_000_000) < edge.expected_transfer(1_000_000));
+    }
+}

@@ -1,0 +1,92 @@
+//! Client/miner topology and the per-round client→miner association.
+//!
+//! Procedure-II: "the client C_i generates the miner's index k uniformly
+//! and randomly, then it associates the miner S_k and uploads the updated
+//! gradient" — each selected client talks to exactly one uniformly chosen
+//! miner per round, and the miners form a full mesh among themselves.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The static shape of the deployment: how many clients and miners exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of federated clients (workers), `n` in the paper.
+    pub clients: usize,
+    /// Number of miners (servers), `m` in the paper.
+    pub miners: usize,
+}
+
+impl Topology {
+    /// Creates a topology; both counts must be positive.
+    pub fn new(clients: usize, miners: usize) -> Self {
+        assert!(clients > 0, "need at least one client");
+        assert!(miners > 0, "need at least one miner");
+        Topology { clients, miners }
+    }
+
+    /// The paper's default deployment: 100 clients, 2 miners.
+    pub fn paper_default() -> Self {
+        Topology::new(100, 2)
+    }
+
+    /// Uniformly associates each of the given clients with a miner for one
+    /// round. Returns `assignments[i] = miner index` aligned with `clients`.
+    pub fn associate_clients<R: Rng + ?Sized>(&self, clients: &[u64], rng: &mut R) -> Vec<usize> {
+        clients
+            .iter()
+            .map(|_| rng.gen_range(0..self.miners))
+            .collect()
+    }
+
+    /// Number of miner-to-miner links in the full mesh.
+    pub fn miner_mesh_links(&self) -> usize {
+        self.miners * self.miners.saturating_sub(1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_default_matches_section_5_1() {
+        let t = Topology::paper_default();
+        assert_eq!(t.clients, 100);
+        assert_eq!(t.miners, 2);
+        assert_eq!(t.miner_mesh_links(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one miner")]
+    fn zero_miners_rejected() {
+        let _ = Topology::new(10, 0);
+    }
+
+    #[test]
+    fn association_is_uniformish_and_in_range() {
+        let t = Topology::new(1000, 4);
+        let clients: Vec<u64> = (0..1000).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let assignment = t.associate_clients(&clients, &mut rng);
+        assert_eq!(assignment.len(), 1000);
+        let mut counts = vec![0usize; 4];
+        for &m in &assignment {
+            assert!(m < 4);
+            counts[m] += 1;
+        }
+        // Each miner should get roughly a quarter of the clients.
+        for &c in &counts {
+            assert!(c > 150 && c < 350, "unbalanced assignment: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn mesh_link_count() {
+        assert_eq!(Topology::new(10, 1).miner_mesh_links(), 0);
+        assert_eq!(Topology::new(10, 2).miner_mesh_links(), 1);
+        assert_eq!(Topology::new(10, 5).miner_mesh_links(), 10);
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use fair_bfl::core::BflConfig;
+use fair_bfl::data::{Dataset, SynthMnist, SynthMnistConfig};
+use fair_bfl::fl::config::PartitionKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small synthetic MNIST split shared by the integration tests.
+pub fn small_dataset() -> (Dataset, Dataset) {
+    let generator = SynthMnist::new(SynthMnistConfig {
+        train_samples: 250,
+        test_samples: 80,
+        noise_std: 0.05,
+        max_translation: 1.0,
+    });
+    let mut rng = StdRng::seed_from_u64(1234);
+    generator.generate(&mut rng)
+}
+
+/// A FAIR-BFL configuration scaled for integration testing: 10 clients,
+/// IID partition, one local epoch.
+pub fn small_config(rounds: usize) -> BflConfig {
+    let mut config = BflConfig::small_test(rounds);
+    config.fl.partition = PartitionKind::Iid;
+    config
+}

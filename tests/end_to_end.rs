@@ -1,0 +1,126 @@
+//! End-to-end integration tests: a full FAIR-BFL run exercised through the
+//! facade crate, with cross-crate invariants checked on the results (ledger
+//! audit, reward accounting, determinism, convergence bookkeeping).
+
+mod common;
+
+use common::{small_config, small_dataset};
+use fair_bfl::core::{BflSimulation, TheoremParams};
+use fair_bfl::ml::gradient;
+
+#[test]
+fn full_run_produces_valid_ledger_and_matching_rewards() {
+    let (train, test) = small_dataset();
+    let config = small_config(4);
+    let result = BflSimulation::new(config).run(&train, &test).unwrap();
+
+    // One block per communication round, none empty, all valid.
+    let chain = result.chain.as_ref().expect("FAIR-BFL mines");
+    assert_eq!(chain.height() as usize, config.fl.rounds);
+    assert_eq!(chain.empty_block_count(), 0);
+    chain.validate_all().unwrap();
+
+    // Assumption 2: every block's gradient payload is a single global
+    // gradient of the right dimensionality, and the latest one equals the
+    // simulation's final parameters.
+    for block in chain.iter().skip(1) {
+        let (_, payload) = block
+            .global_gradient_payload()
+            .expect("every round block carries the global gradient");
+        let params = gradient::from_bytes(payload).expect("payload is a valid gradient");
+        assert_eq!(params.len(), config.fl.model.num_params());
+    }
+    let (_, latest) = chain.latest_global_gradient().unwrap();
+    assert_eq!(gradient::from_bytes(&latest).unwrap(), result.final_params);
+
+    // Reward audit: on-chain totals equal the simulation's bookkeeping, and
+    // every round pays out (approximately) the configured base.
+    assert_eq!(chain.reward_totals(), result.reward_totals);
+    for outcome in &result.outcomes {
+        let paid = outcome.rewards_paid_milli as i64;
+        let base_milli = (config.reward_base * 1000.0) as i64;
+        assert!(
+            (paid - base_milli).abs() <= outcome.high_contributors as i64 + 1,
+            "round {} paid {paid}, expected ~{base_milli}",
+            outcome.round
+        );
+    }
+}
+
+#[test]
+fn accuracy_improves_and_delays_accumulate_monotonically() {
+    let (train, test) = small_dataset();
+    let result = BflSimulation::new(small_config(6)).run(&train, &test).unwrap();
+
+    let first = result.history.rounds.first().unwrap();
+    let last = result.history.rounds.last().unwrap();
+    assert!(
+        last.accuracy >= first.accuracy,
+        "accuracy should not regress overall: {} -> {}",
+        first.accuracy,
+        last.accuracy
+    );
+    assert!(last.accuracy > 0.5, "the task is learnable in a few rounds");
+
+    // The simulated clock is strictly increasing and consistent with the
+    // per-round delays.
+    let mut expected_elapsed = 0.0;
+    for record in &result.history.rounds {
+        expected_elapsed += record.round_delay_s;
+        assert!((record.elapsed_s - expected_elapsed).abs() < 1e-9);
+    }
+
+    // The cumulative-average delay series (Figure 4a's y-axis) has one
+    // entry per round and stays positive.
+    let series = result.history.cumulative_average_delay();
+    assert_eq!(series.len(), 6);
+    assert!(series.iter().all(|&d| d > 0.0));
+}
+
+#[test]
+fn runs_with_the_same_seed_are_bit_identical() {
+    let (train, test) = small_dataset();
+    let config = small_config(3);
+    let a = BflSimulation::new(config).run(&train, &test).unwrap();
+    let b = BflSimulation::new(config).run(&train, &test).unwrap();
+    assert_eq!(a.final_params, b.final_params);
+    assert_eq!(a.history, b.history);
+    assert_eq!(a.reward_totals, b.reward_totals);
+    assert_eq!(
+        a.chain.as_ref().unwrap().tip().hash(),
+        b.chain.as_ref().unwrap().tip().hash()
+    );
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let (train, test) = small_dataset();
+    let mut config_a = small_config(3);
+    config_a.fl.seed = 1;
+    let mut config_b = small_config(3);
+    config_b.fl.seed = 2;
+    let a = BflSimulation::new(config_a).run(&train, &test).unwrap();
+    let b = BflSimulation::new(config_b).run(&train, &test).unwrap();
+    assert_ne!(a.final_params, b.final_params);
+}
+
+#[test]
+fn theorem_bound_upper_envelopes_the_loss_decay_shape() {
+    let (train, test) = small_dataset();
+    let mut config = small_config(8);
+    config.fl.participation_ratio = 1.0;
+    let result = BflSimulation::new(config).run(&train, &test).unwrap();
+
+    let params = TheoremParams {
+        clients_per_round: config.fl.selected_per_round(),
+        local_epochs: config.fl.local.epochs,
+        ..TheoremParams::default()
+    };
+    let bound = params.bound_series(config.fl.rounds);
+    // The bound decreases monotonically; the measured loss decreases overall
+    // (not necessarily monotonically, SGD is noisy).
+    assert!(bound.windows(2).all(|w| w[1] < w[0]));
+    let first_loss = result.outcomes.first().unwrap().train_loss;
+    let last_loss = result.outcomes.last().unwrap().train_loss;
+    assert!(last_loss < first_loss);
+}
