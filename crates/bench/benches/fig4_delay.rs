@@ -11,7 +11,9 @@ use std::time::Duration;
 fn bench_fig4(c: &mut Criterion) {
     let data = dataset(Scale::Smoke);
     let mut group = c.benchmark_group("fig4_general_comparison");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for system in [
         SystemLabel::Fair,

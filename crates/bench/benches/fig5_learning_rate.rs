@@ -11,7 +11,9 @@ use std::time::Duration;
 fn bench_fig5(c: &mut Criterion) {
     let data = dataset(Scale::Smoke);
     let mut group = c.benchmark_group("fig5_learning_rate");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for lr in [0.01f64, 0.10, 0.20] {
         group.bench_with_input(BenchmarkId::new("fair", format!("{lr}")), &lr, |b, &lr| {

@@ -11,7 +11,9 @@ use std::time::Duration;
 fn bench_workers(c: &mut Criterion) {
     let data = dataset(Scale::Smoke);
     let mut group = c.benchmark_group("fig6a_workers");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for workers in [10usize, 20, 40] {
         group.bench_with_input(
@@ -36,7 +38,9 @@ fn bench_workers(c: &mut Criterion) {
 fn bench_miners(c: &mut Criterion) {
     let data = dataset(Scale::Smoke);
     let mut group = c.benchmark_group("fig6b_miners");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for miners in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("fair", miners), &miners, |b, &miners| {

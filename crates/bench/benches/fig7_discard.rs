@@ -10,9 +10,15 @@ use std::time::Duration;
 fn bench_fig7(c: &mut Criterion) {
     let data = dataset(Scale::Smoke);
     let mut group = c.benchmark_group("fig7_discard_strategy");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
-    for system in [SystemLabel::Fair, SystemLabel::FairDiscard, SystemLabel::FedProx] {
+    for system in [
+        SystemLabel::Fair,
+        SystemLabel::FairDiscard,
+        SystemLabel::FedProx,
+    ] {
         group.bench_function(system.name(), |b| {
             b.iter(|| black_box(run_system(system, Scale::Smoke, &data)))
         });

@@ -20,7 +20,9 @@ use std::time::Duration;
 
 fn bench_hashing_and_pow(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_hashing");
-    group.sample_size(30).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(5));
     let payload = vec![0xA5u8; 64 * 1024];
     group.throughput(Throughput::Bytes(payload.len() as u64));
     group.bench_function("sha256_64KiB", |b| b.iter(|| black_box(sha256(&payload))));
@@ -40,7 +42,9 @@ fn bench_hashing_and_pow(c: &mut Criterion) {
 
 fn bench_rsa(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_rsa");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     let mut rng = StdRng::seed_from_u64(1);
     let pair = RsaKeyPair::generate(&mut rng, 512).expect("keygen");
     let payload = vec![7u8; 7850 * 8];
@@ -57,13 +61,21 @@ fn bench_rsa(c: &mut Criterion) {
 
 fn bench_aggregation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_aggregation");
-    group.sample_size(30).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(5));
     let updates: Vec<Vec<f64>> = (0..20)
-        .map(|i| (0..7850).map(|j| ((i * 7850 + j) as f64 * 0.001).sin()).collect())
+        .map(|i| {
+            (0..7850)
+                .map(|j| ((i * 7850 + j) as f64 * 0.001).sin())
+                .collect()
+        })
         .collect();
     let reference = average(&updates);
 
-    group.bench_function("simple_average", |b| b.iter(|| black_box(average(&updates))));
+    group.bench_function("simple_average", |b| {
+        b.iter(|| black_box(average(&updates)))
+    });
     group.bench_function("fair_aggregation_eq1", |b| {
         b.iter(|| black_box(fair_aggregate(&updates, &reference)))
     });
@@ -72,7 +84,9 @@ fn bench_aggregation(c: &mut Criterion) {
 
 fn bench_local_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_local_training");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let mut rng = StdRng::seed_from_u64(2);
     let data = SynthMnist::new(SynthMnistConfig {
         train_samples: 100,

@@ -14,7 +14,9 @@ use std::time::Duration;
 fn bench_attacked_run(c: &mut Criterion) {
     let data = dataset(Scale::Smoke);
     let mut group = c.benchmark_group("table2_attacked_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     group.bench_function("fair_discard_under_attack", |b| {
         b.iter(|| {
@@ -46,7 +48,9 @@ fn bench_clustering_ablation(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("algorithm2_clustering_ablation");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     for (name, algorithm) in [
         ("dbscan", ClusteringAlgorithm::default_dbscan()),
         (

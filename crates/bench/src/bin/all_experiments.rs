@@ -33,7 +33,10 @@ fn main() {
     } else {
         PAPER_WORKER_COUNTS.to_vec()
     };
-    println!("{}", render_figure6(&figure6_workers(scale, &worker_counts), "workers"));
+    println!(
+        "{}",
+        render_figure6(&figure6_workers(scale, &worker_counts), "workers")
+    );
 
     eprintln!("[4/6] Figure 6b (miners)...");
     let miner_counts: Vec<usize> = if scale == Scale::Smoke {
@@ -41,7 +44,10 @@ fn main() {
     } else {
         PAPER_MINER_COUNTS.to_vec()
     };
-    println!("{}", render_figure6(&figure6_miners(scale, &miner_counts), "miners"));
+    println!(
+        "{}",
+        render_figure6(&figure6_miners(scale, &miner_counts), "miners")
+    );
 
     eprintln!("[5/6] Figure 7...");
     println!("{}", render_figure7(&figure7(scale)));

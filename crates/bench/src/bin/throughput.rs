@@ -1,0 +1,196 @@
+//! Throughput benchmark for the batched GEMM training/eval engine.
+//!
+//! Measures, in one process on one machine, the batched engine against
+//! the retained per-sample reference path (toggled through
+//! `bfl_ml::engine::set_reference_mode`):
+//!
+//! 1. **Local SGD** samples/second — Procedure-I's mini-batch training
+//!    loop over an MNIST-scale softmax model.
+//! 2. **Evaluation** samples/second — test-set accuracy of the same
+//!    model.
+//! 3. **End-to-end simulation** rounds/second — a Figure-5-style
+//!    FAIR-BFL run (full pipeline: local SGD, upload, exchange,
+//!    Algorithm 2 clustering, Equation 1, mining, evaluation).
+//!
+//! Writes the measurements and speedups to `BENCH_PR1.json`, recording
+//! the perf trajectory of the repository.
+
+use bfl_bench::experiments::{dataset, system_config, Scale, SystemLabel};
+use bfl_core::BflSimulation;
+use bfl_data::Dataset;
+use bfl_ml::model::{AnyModel, ModelKind};
+use bfl_ml::optimizer::{train_local_with_scratch, LocalTrainingConfig};
+use bfl_ml::tensor::Scratch;
+use bfl_ml::{engine, metrics};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct Measurement {
+    batched: f64,
+    reference: f64,
+    speedup: f64,
+}
+
+impl Measurement {
+    fn from_rates(batched: f64, reference: f64) -> Self {
+        Measurement {
+            batched,
+            reference,
+            speedup: batched / reference,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Report {
+    description: String,
+    local_sgd_samples_per_sec: Measurement,
+    eval_samples_per_sec: Measurement,
+    fig5_sim_rounds_per_sec: Measurement,
+    fig5_sim_wall_clock_speedup: f64,
+}
+
+/// Runs `body` once warm-up, then `reps` individually timed repetitions;
+/// returns the best-repetition rate in work-units per second. Best-of
+/// is deliberate: the machines this runs on are shared, and the fastest
+/// repetition is the least contaminated by scheduling noise.
+fn rate(units: f64, reps: usize, mut body: impl FnMut()) -> f64 {
+    body();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        body();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    units / best
+}
+
+fn local_sgd_rate(train: &Dataset, reference: bool, reps: usize) -> f64 {
+    engine::set_reference_mode(reference);
+    let kind = ModelKind::default_mnist();
+    let config = LocalTrainingConfig {
+        epochs: 5,
+        batch_size: 10,
+        learning_rate: 0.01,
+        proximal_mu: 0.0,
+    };
+    // Shard size matches the paper's per-client reality (6000 training
+    // samples across 100 workers, Section 5.1): Procedure-I always runs
+    // over a small local shard, not the pooled dataset.
+    let shard: Vec<usize> = (0..train.len().min(100)).collect();
+    let mut scratch = Scratch::new();
+    let samples_per_rep = (config.epochs * shard.len()) as f64;
+    let result = rate(samples_per_rep, reps, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model: AnyModel = kind.build(&mut rng);
+        black_box(train_local_with_scratch(
+            &mut model,
+            &train.features,
+            &train.labels,
+            &shard,
+            &config,
+            &mut rng,
+            &mut scratch,
+        ));
+    });
+    engine::set_reference_mode(false);
+    result
+}
+
+fn eval_rate(test: &Dataset, reference: bool, reps: usize) -> f64 {
+    engine::set_reference_mode(reference);
+    let mut rng = StdRng::seed_from_u64(7);
+    let model: AnyModel = ModelKind::default_mnist().build(&mut rng);
+    let result = rate(test.len() as f64, reps, || {
+        black_box(metrics::accuracy(
+            &model,
+            &test.features,
+            &test.labels,
+            None,
+        ));
+    });
+    engine::set_reference_mode(false);
+    result
+}
+
+fn fig5_sim_rate(data: &(Dataset, Dataset), reference: bool, reps: usize) -> f64 {
+    engine::set_reference_mode(reference);
+    // Figure 5 sweeps the learning rate over full FAIR-BFL runs; one
+    // representative point of that sweep is the end-to-end workload,
+    // sized so each round carries the paper's E=5 local epochs over
+    // realistic shards (smoke scale shrinks training to the point where
+    // fixed per-run costs like RSA key provisioning dominate).
+    let mut config = system_config(SystemLabel::Fair, Scale::Smoke);
+    config.fl.local.learning_rate = 0.10;
+    config.fl.local.epochs = 5;
+    config.fl.rounds = 4;
+    // RSA sign/verify takes the same wall-clock in both engine modes and
+    // (at this scale) would bury the learning substrate under constant
+    // crypto cost; it is switched off so the measurement isolates what
+    // this benchmark tracks.
+    config.verify_signatures = false;
+    let rounds = config.fl.rounds as f64;
+    let result = rate(rounds, reps, || {
+        black_box(
+            BflSimulation::new(config)
+                .run(&data.0, &data.1)
+                .expect("simulation completes"),
+        );
+    });
+    engine::set_reference_mode(false);
+    result
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+
+    let data = dataset(Scale::Medium);
+    let (train, test) = &data;
+
+    eprintln!("measuring local SGD ({reps} reps per mode)...");
+    let sgd = Measurement::from_rates(
+        local_sgd_rate(train, false, reps),
+        local_sgd_rate(train, true, reps),
+    );
+    eprintln!(
+        "  batched {:>12.0} samples/s | reference {:>12.0} samples/s | {:.2}x",
+        sgd.batched, sgd.reference, sgd.speedup
+    );
+
+    eprintln!("measuring evaluation ({reps} reps per mode)...");
+    let eval = Measurement::from_rates(eval_rate(test, false, reps), eval_rate(test, true, reps));
+    eprintln!(
+        "  batched {:>12.0} samples/s | reference {:>12.0} samples/s | {:.2}x",
+        eval.batched, eval.reference, eval.speedup
+    );
+
+    eprintln!("measuring fig5-style end-to-end simulation ({reps} reps per mode)...");
+    let sim = Measurement::from_rates(
+        fig5_sim_rate(&data, false, reps),
+        fig5_sim_rate(&data, true, reps),
+    );
+    eprintln!(
+        "  batched {:>8.3} rounds/s | reference {:>8.3} rounds/s | {:.2}x",
+        sim.batched, sim.reference, sim.speedup
+    );
+
+    let report = Report {
+        description: "Batched GEMM engine vs per-sample reference path, same process/machine"
+            .to_string(),
+        local_sgd_samples_per_sec: sgd,
+        eval_samples_per_sec: eval,
+        fig5_sim_wall_clock_speedup: sim.speedup,
+        fig5_sim_rounds_per_sec: sim,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_PR1.json", format!("{json}\n")).expect("BENCH_PR1.json written");
+    println!("{json}");
+}

@@ -143,7 +143,9 @@ pub fn base_config(scale: Scale) -> BflConfig {
     config.fl.local.epochs = scale.epochs();
     config.fl.local.learning_rate = 0.01;
     config.fl.local.batch_size = 10;
-    config.fl.partition = PartitionKind::ShardNonIid { shards_per_client: 2 };
+    config.fl.partition = PartitionKind::ShardNonIid {
+        shards_per_client: 2,
+    };
     config.fl.seed = 0xBF1;
     config.miners = 2;
     config
@@ -175,7 +177,11 @@ pub fn system_config(system: SystemLabel, scale: Scale) -> BflConfig {
 }
 
 /// Runs one system at one scale over the given dataset.
-pub fn run_system(system: SystemLabel, scale: Scale, data: &(Dataset, Dataset)) -> SimulationResult {
+pub fn run_system(
+    system: SystemLabel,
+    scale: Scale,
+    data: &(Dataset, Dataset),
+) -> SimulationResult {
     let config = system_config(system, scale);
     BflSimulation::new(config)
         .run(&data.0, &data.1)
@@ -309,7 +315,11 @@ pub fn figure6_workers(scale: Scale, worker_counts: &[usize]) -> Vec<ScaleRow> {
         .iter()
         .map(|&n| {
             let mut delays = Vec::new();
-            for system in [SystemLabel::Fair, SystemLabel::Blockchain, SystemLabel::FedAvg] {
+            for system in [
+                SystemLabel::Fair,
+                SystemLabel::Blockchain,
+                SystemLabel::FedAvg,
+            ] {
                 let mut config = system_config(system, scale);
                 config.fl.clients = n;
                 // The dataset must cover the clients; reuse a split sized to
@@ -445,7 +455,12 @@ pub fn table2(scale: Scale) -> Vec<Table2Run> {
     };
     let data = dataset(scale);
     [
-        ("Non-IID", PartitionKind::ShardNonIid { shards_per_client: 2 }),
+        (
+            "Non-IID",
+            PartitionKind::ShardNonIid {
+                shards_per_client: 2,
+            },
+        ),
         ("IID", PartitionKind::Iid),
     ]
     .into_iter()

@@ -21,7 +21,9 @@ pub fn render_figure4(figure: &Figure4) -> String {
         out.push_str(&format!("| {} | {:.2} |\n", system.name(), delay));
     }
     out.push_str("\n### Figure 4b — accuracy over time\n\n");
-    out.push_str("| system | mean accuracy | final accuracy | time to final (s) |\n|---|---|---|---|\n");
+    out.push_str(
+        "| system | mean accuracy | final accuracy | time to final (s) |\n|---|---|---|---|\n",
+    );
     for (system, series) in &figure.accuracy_series {
         let final_point = series.last().copied().unwrap_or((0.0, 0.0));
         let mean = figure
@@ -72,13 +74,14 @@ pub fn render_figure6(rows: &[ScaleRow], x_label: &str) -> String {
                 .collect::<Vec<_>>()
                 .join(" | ")
         ));
-        out.push_str(&format!(
-            "|{}|\n",
-            "---|".repeat(first.delays.len() + 1)
-        ));
+        out.push_str(&format!("|{}|\n", "---|".repeat(first.delays.len() + 1)));
     }
     for row in rows {
-        out.push_str(&format!("| {} | {} |\n", row.x, value_cells(&row.delays, 2)));
+        out.push_str(&format!(
+            "| {} | {} |\n",
+            row.x,
+            value_cells(&row.delays, 2)
+        ));
     }
     out
 }

@@ -117,7 +117,12 @@ impl Block {
     /// Total serialized size of the block body in bytes.
     pub fn size_bytes(&self) -> usize {
         const HEADER_BYTES: usize = 104;
-        HEADER_BYTES + self.transactions.iter().map(Transaction::size_bytes).sum::<usize>()
+        HEADER_BYTES
+            + self
+                .transactions
+                .iter()
+                .map(Transaction::size_bytes)
+                .sum::<usize>()
     }
 
     /// Recomputes the Merkle root from the body and compares with the header.

@@ -205,8 +205,13 @@ impl Blockchain {
         config: &PowConfig,
         miner_id: u64,
     ) -> Result<u64, ChainError> {
-        let mut candidate =
-            Block::candidate(self.tip(), transactions, timestamp_ms, config.difficulty, miner_id);
+        let mut candidate = Block::candidate(
+            self.tip(),
+            transactions,
+            timestamp_ms,
+            config.difficulty,
+            miner_id,
+        );
         let attempts = candidate.mine(config);
         self.append(candidate)?;
         Ok(attempts)

@@ -152,7 +152,10 @@ mod tests {
             let outcome = consensus.seal_round(txs, round * 1000, &mut rng).unwrap();
             assert_eq!(outcome.height, round);
             assert_eq!(consensus.agreed_height(), Some(round));
-            assert!(consensus.miners.iter().any(|m| m.id == outcome.mining.winner));
+            assert!(consensus
+                .miners
+                .iter()
+                .any(|m| m.id == outcome.mining.winner));
         }
         // Every replica holds the same 6 blocks (genesis + 5 rounds).
         for replica in &consensus.replicas {

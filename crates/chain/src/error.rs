@@ -41,7 +41,10 @@ impl fmt::Display for ChainError {
                 write!(f, "previous-hash link broken at height {height}")
             }
             ChainError::WrongIndex { expected, found } => {
-                write!(f, "block index mismatch: header says {expected}, position is {found}")
+                write!(
+                    f,
+                    "block index mismatch: header says {expected}, position is {found}"
+                )
             }
             ChainError::InsufficientWork => write!(f, "block hash does not meet the PoW target"),
             ChainError::MerkleMismatch => write!(f, "merkle root does not match block body"),
@@ -62,16 +65,23 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(ChainError::BrokenLink { height: 9 }.to_string().contains('9'));
-        assert!(ChainError::WrongIndex { expected: 3, found: 4 }
+        assert!(ChainError::BrokenLink { height: 9 }
             .to_string()
-            .contains('3'));
+            .contains('9'));
+        assert!(ChainError::WrongIndex {
+            expected: 3,
+            found: 4
+        }
+        .to_string()
+        .contains('3'));
         assert!(ChainError::BlockTooLarge { size: 10, limit: 5 }
             .to_string()
             .contains("10"));
         assert!(!ChainError::InsufficientWork.to_string().is_empty());
         assert!(!ChainError::MerkleMismatch.to_string().is_empty());
-        assert!(ChainError::BadTransaction("sig".into()).to_string().contains("sig"));
+        assert!(ChainError::BadTransaction("sig".into())
+            .to_string()
+            .contains("sig"));
         assert!(!ChainError::EmptyChain.to_string().is_empty());
     }
 }

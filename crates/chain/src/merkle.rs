@@ -42,7 +42,7 @@ pub fn merkle_proof(leaves: &[Digest], index: usize) -> Option<Vec<Digest>> {
     let mut level: Vec<Digest> = leaves.to_vec();
     let mut idx = index;
     while level.len() > 1 {
-        let sibling = if idx % 2 == 0 {
+        let sibling = if idx.is_multiple_of(2) {
             *level.get(idx + 1).unwrap_or(&level[idx])
         } else {
             level[idx - 1]
@@ -69,7 +69,7 @@ pub fn verify_proof(leaf: Digest, index: usize, proof: &[Digest], root: Digest) 
     let mut idx = index;
     for sibling in proof {
         let mut buf = [0u8; 64];
-        if idx % 2 == 0 {
+        if idx.is_multiple_of(2) {
             buf[..32].copy_from_slice(&current);
             buf[32..].copy_from_slice(sibling);
         } else {
@@ -109,7 +109,11 @@ mod tests {
         for i in 0..leaves.len() {
             let mut mutated = leaves.clone();
             mutated[i] = leaf(100 + i as u8);
-            assert_ne!(merkle_root(&mutated), base, "leaf {i} change must alter root");
+            assert_ne!(
+                merkle_root(&mutated),
+                base,
+                "leaf {i} change must alter root"
+            );
         }
     }
 

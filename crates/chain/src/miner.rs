@@ -72,7 +72,10 @@ pub fn sample_competition<R: Rng + ?Sized>(
     config: &PowConfig,
     rng: &mut R,
 ) -> MiningOutcome {
-    assert!(!miners.is_empty(), "a mining competition needs at least one miner");
+    assert!(
+        !miners.is_empty(),
+        "a mining competition needs at least one miner"
+    );
     let mut best_time = f64::INFINITY;
     let mut winner = miners[0].id;
     for miner in miners {
@@ -150,7 +153,11 @@ mod tests {
     #[test]
     fn competition_winner_is_among_participants() {
         let mut rng = StdRng::seed_from_u64(9);
-        let miners = vec![Miner::new(1, 100.0), Miner::new(2, 100.0), Miner::new(3, 100.0)];
+        let miners = vec![
+            Miner::new(1, 100.0),
+            Miner::new(2, 100.0),
+            Miner::new(3, 100.0),
+        ];
         let config = PowConfig::new(1000);
         for _ in 0..50 {
             let outcome = sample_competition(&miners, &config, &mut rng);
@@ -170,7 +177,12 @@ mod tests {
             let outcome = sample_competition(&miners, &config, &mut rng);
             wins[(outcome.winner - 1) as usize] += 1;
         }
-        assert!(wins[0] > wins[1] * 5, "fast miner won {} vs {}", wins[0], wins[1]);
+        assert!(
+            wins[0] > wins[1] * 5,
+            "fast miner won {} vs {}",
+            wins[0],
+            wins[1]
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub struct PowConfig {
 impl Default for PowConfig {
     fn default() -> Self {
         // A light default so unit tests and examples mine instantly.
-        PowConfig { difficulty: 1 << 12 }
+        PowConfig {
+            difficulty: 1 << 12,
+        }
     }
 }
 
@@ -97,14 +99,14 @@ impl PowConfig {
         let stop = AtomicBool::new(false);
         let total_hashes = AtomicU64::new(0);
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for worker in 0..threads {
                 let hash_fn = &hash_with_nonce;
                 let found = &found;
                 let stop = &stop;
                 let total_hashes = &total_hashes;
                 let config = *self;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let start = worker as u64 * budget_per_thread;
                     let mut local_hashes = 0u64;
                     for offset in 0..budget_per_thread {
@@ -124,11 +126,14 @@ impl PowConfig {
                     total_hashes.fetch_add(local_hashes, Ordering::Relaxed);
                 });
             }
-        })
-        .expect("mining worker panicked");
+        });
 
         let winner = found.load(Ordering::SeqCst);
-        let winner = if winner == u64::MAX { None } else { Some(winner) };
+        let winner = if winner == u64::MAX {
+            None
+        } else {
+            Some(winner)
+        };
         (winner, total_hashes.load(Ordering::Relaxed))
     }
 }
@@ -172,7 +177,10 @@ mod tests {
             }
         }
         // The hard config should accept only a tiny fraction.
-        assert!(hard_accepts < 10, "hard difficulty accepted {hard_accepts} of 20000");
+        assert!(
+            hard_accepts < 10,
+            "hard difficulty accepted {hard_accepts} of 20000"
+        );
     }
 
     #[test]

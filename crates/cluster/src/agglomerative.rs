@@ -13,17 +13,28 @@ pub fn agglomerative(
     distance_threshold: f64,
     metric: DistanceMetric,
 ) -> ClusterLabels {
-    let n = vectors.len();
+    if vectors.is_empty() {
+        return ClusterLabels::new(Vec::new());
+    }
+    agglomerative_with_distances(&distance_matrix(vectors, metric), distance_threshold)
+}
+
+/// Single-linkage clustering over a precomputed pairwise distance matrix
+/// (shared with the other backends through the Gram GEMM path).
+pub fn agglomerative_with_distances(
+    distances: &[Vec<f64>],
+    distance_threshold: f64,
+) -> ClusterLabels {
+    let n = distances.len();
     if n == 0 {
         return ClusterLabels::new(Vec::new());
     }
     assert!(distance_threshold >= 0.0, "threshold must be non-negative");
 
-    let distances = distance_matrix(vectors, metric);
     // Union-find over points.
     let mut parent: Vec<usize> = (0..n).collect();
 
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];
@@ -41,9 +52,9 @@ pub fn agglomerative(
     // Candidate merges sorted by distance (single linkage over points is
     // exactly Kruskal's algorithm on the distance graph).
     let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(n * (n - 1) / 2);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            edges.push((distances[i][j], i, j));
+    for (i, row) in distances.iter().enumerate() {
+        for (j, &d) in row.iter().enumerate().skip(i + 1) {
+            edges.push((d, i, j));
         }
     }
     edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));

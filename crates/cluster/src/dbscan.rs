@@ -34,14 +34,23 @@ impl Default for DbscanConfig {
 
 /// Runs DBSCAN over `vectors`, returning cluster labels (noise = `None`).
 pub fn dbscan(vectors: &[Vec<f64>], config: &DbscanConfig) -> ClusterLabels {
-    let n = vectors.len();
+    if vectors.is_empty() {
+        return ClusterLabels::new(Vec::new());
+    }
+    dbscan_with_distances(&distance_matrix(vectors, config.metric), config)
+}
+
+/// DBSCAN over a precomputed pairwise distance matrix — the algorithm
+/// only ever consumes distances, so callers that already hold the shared
+/// Gram-derived matrix (Algorithm 2) skip recomputing it.
+pub fn dbscan_with_distances(distances: &[Vec<f64>], config: &DbscanConfig) -> ClusterLabels {
+    let n = distances.len();
     if n == 0 {
         return ClusterLabels::new(Vec::new());
     }
     assert!(config.eps > 0.0, "eps must be positive");
     assert!(config.min_points >= 1, "min_points must be at least 1");
 
-    let distances = distance_matrix(vectors, config.metric);
     let neighbourhoods: Vec<Vec<usize>> = (0..n)
         .map(|i| {
             (0..n)

@@ -1,6 +1,25 @@
 //! Distance metrics and pairwise distance matrices.
+//!
+//! The pairwise matrix is the shared substrate of every clustering
+//! backend (DBSCAN and agglomerative consume it directly; k-means uses
+//! the rectangular [`cross_distance_matrix`] for its assignment step).
+//! Instead of `k²` independent `O(d)` vector traversals, the vectors are
+//! packed once into a row-major [`Matrix`] and a single Gram GEMM
+//! (`G = V · Vᵀ`, [`bfl_ml::tensor::matmul_transpose_b_into`]) produces
+//! every inner product; cosine and Euclidean distances then derive from
+//! `G` and its diagonal:
+//!
+//! * cosine:    `d_ij = 1 − G_ij / √(G_ii · G_jj)`
+//! * euclidean: `d_ij = √(G_ii + G_jj − 2 G_ij)`
+//!
+//! Identical rows produce bit-identical Gram entries (every output
+//! element accumulates in the same ascending-`k` order), so identical
+//! points keep exactly zero distance — single-linkage clustering at a
+//! zero threshold depends on this. The quadratic per-pair path is
+//! retained as [`distance_matrix_reference`] for the equivalence tests.
 
 use bfl_ml::gradient::{cosine_distance, l2_distance};
+use bfl_ml::tensor::{matmul_transpose_b_into, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Metric used to compare gradient vectors.
@@ -20,10 +39,83 @@ impl DistanceMetric {
             DistanceMetric::Euclidean => l2_distance(a, b),
         }
     }
+
+    /// Distance derived from Gram-matrix entries (`g_ij` the inner
+    /// product, `g_ii`/`g_jj` the squared norms), falling back to an
+    /// exact pass over the two vectors where the Gram form loses
+    /// precision.
+    fn gram_distance(&self, a: &[f64], b: &[f64], g_ij: f64, g_ii: f64, g_jj: f64) -> f64 {
+        match self {
+            DistanceMetric::Cosine => {
+                if g_ii <= 0.0 || g_jj <= 0.0 {
+                    // Reference semantics: similarity with a zero vector is 0.
+                    return 1.0;
+                }
+                let similarity = (g_ij / (g_ii.sqrt() * g_jj.sqrt())).clamp(-1.0, 1.0);
+                1.0 - similarity
+            }
+            DistanceMetric::Euclidean => {
+                // `d² = G_ii + G_jj − 2 G_ij` cancels catastrophically for
+                // near-identical vectors: the subtraction's rounding error
+                // is ~eps·(G_ii+G_jj), which can exceed d² itself. In that
+                // zone recompute the distance exactly; elsewhere the Gram
+                // form is accurate well past the 1e-9 equivalence bound.
+                let d_squared = g_ii + g_jj - 2.0 * g_ij;
+                if d_squared < 1e-9 * (g_ii + g_jj) {
+                    return l2_distance(a, b);
+                }
+                d_squared.sqrt()
+            }
+        }
+    }
 }
 
-/// Full symmetric pairwise distance matrix (row-major `n x n`).
+fn pack(vectors: &[Vec<f64>]) -> Matrix {
+    Matrix::from_rows(vectors)
+}
+
+/// Full symmetric pairwise distance matrix (row-major `n x n`), computed
+/// through one Gram GEMM over the packed vector set.
 pub fn distance_matrix(vectors: &[Vec<f64>], metric: DistanceMetric) -> Vec<Vec<f64>> {
+    if vectors.is_empty() {
+        return Vec::new();
+    }
+    distance_matrix_packed(&pack(vectors), metric)
+}
+
+/// [`distance_matrix`] over an already packed row-major vector set — the
+/// form Algorithm 2 uses so the round's gradient set is packed exactly
+/// once and shared by clustering and the θ weights.
+pub fn distance_matrix_packed(rows: &Matrix, metric: DistanceMetric) -> Vec<Vec<f64>> {
+    let n = rows.rows;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut gram = Matrix::zeros(0, 0);
+    matmul_transpose_b_into(rows, rows, &mut gram);
+
+    let mut matrix = vec![vec![0.0; n]; n];
+    #[allow(clippy::needless_range_loop)] // triangular fill of both halves
+    for i in 0..n {
+        let g_ii = gram.get(i, i);
+        for j in (i + 1)..n {
+            let d = metric.gram_distance(
+                rows.row(i),
+                rows.row(j),
+                gram.get(i, j),
+                g_ii,
+                gram.get(j, j),
+            );
+            matrix[i][j] = d;
+            matrix[j][i] = d;
+        }
+    }
+    matrix
+}
+
+/// Per-pair reference implementation of [`distance_matrix`] (the
+/// pre-batching `O(k²·d)` path), kept for equivalence tests.
+pub fn distance_matrix_reference(vectors: &[Vec<f64>], metric: DistanceMetric) -> Vec<Vec<f64>> {
     let n = vectors.len();
     let mut matrix = vec![vec![0.0; n]; n];
     for i in 0..n {
@@ -34,6 +126,47 @@ pub fn distance_matrix(vectors: &[Vec<f64>], metric: DistanceMetric) -> Vec<Vec<
         }
     }
     matrix
+}
+
+/// Rectangular distance matrix between two vector sets (`a.len() x
+/// b.len()`), computed through one `A · Bᵀ` GEMM — the k-means
+/// assignment step uses this for points against centroids.
+pub fn cross_distance_matrix(
+    a: &[Vec<f64>],
+    b: &[Vec<f64>],
+    metric: DistanceMetric,
+) -> Vec<Vec<f64>> {
+    if a.is_empty() || b.is_empty() {
+        return vec![Vec::new(); a.len()];
+    }
+    cross_distance_matrix_packed(&pack(a), &pack(b), metric)
+}
+
+/// [`cross_distance_matrix`] over already packed row sets.
+pub fn cross_distance_matrix_packed(
+    a: &Matrix,
+    b: &Matrix,
+    metric: DistanceMetric,
+) -> Vec<Vec<f64>> {
+    if a.rows == 0 || b.rows == 0 {
+        return vec![Vec::new(); a.rows];
+    }
+    assert_eq!(a.cols, b.cols, "cross_distance_matrix dimension mismatch");
+    let mut gram = Matrix::zeros(0, 0);
+    matmul_transpose_b_into(a, b, &mut gram);
+
+    let squared_norm = |m: &Matrix, i: usize| m.row(i).iter().map(|x| x * x).sum::<f64>();
+    let norms_a: Vec<f64> = (0..a.rows).map(|i| squared_norm(a, i)).collect();
+    let norms_b: Vec<f64> = (0..b.rows).map(|j| squared_norm(b, j)).collect();
+    (0..a.rows)
+        .map(|i| {
+            (0..b.rows)
+                .map(|j| {
+                    metric.gram_distance(a.row(i), b.row(j), gram.get(i, j), norms_a[i], norms_b[j])
+                })
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -54,13 +187,104 @@ mod tests {
         let vectors = vec![vec![1.0, 2.0], vec![3.0, -1.0], vec![0.5, 0.5]];
         for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
             let m = distance_matrix(&vectors, metric);
-            for i in 0..3 {
-                assert_eq!(m[i][i], 0.0);
-                for j in 0..3 {
-                    assert!((m[i][j] - m[j][i]).abs() < 1e-15);
+            for (i, row) in m.iter().enumerate() {
+                assert_eq!(row[i], 0.0);
+                for (j, &value) in row.iter().enumerate() {
+                    assert!((value - m[j][i]).abs() < 1e-15);
                 }
             }
         }
+    }
+
+    #[test]
+    fn gram_path_matches_reference_on_randomized_vectors() {
+        let mut state = 0x5eed_1234u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 20.0 - 10.0
+        };
+        let vectors: Vec<Vec<f64>> = (0..17).map(|_| (0..23).map(|_| next()).collect()).collect();
+        for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
+            let fast = distance_matrix(&vectors, metric);
+            let reference = distance_matrix_reference(&vectors, metric);
+            for (fast_row, reference_row) in fast.iter().zip(reference.iter()) {
+                for (x, y) in fast_row.iter().zip(reference_row.iter()) {
+                    assert!((x - y).abs() < 1e-9, "{x} vs {y} under {metric:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_vectors_keep_reference_semantics() {
+        let vectors = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.0, 0.0]];
+        let fast = distance_matrix(&vectors, DistanceMetric::Cosine);
+        let reference = distance_matrix_reference(&vectors, DistanceMetric::Cosine);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((fast[i][j] - reference[i][j]).abs() < 1e-12);
+            }
+        }
+        // A zero vector is at cosine distance 1 from everything (including
+        // another zero vector), but 0 from itself on the diagonal.
+        assert_eq!(fast[0][1], 1.0);
+        assert_eq!(fast[0][2], 1.0);
+        assert_eq!(fast[0][0], 0.0);
+    }
+
+    #[test]
+    fn identical_points_have_exactly_zero_euclidean_distance() {
+        // Bit-identical Gram entries make the cancellation exact — the
+        // zero-threshold single-linkage merge relies on this.
+        let vectors = vec![vec![1.5, -2.5, 3.25], vec![1.5, -2.5, 3.25]];
+        let m = distance_matrix(&vectors, DistanceMetric::Euclidean);
+        assert_eq!(m[0][1], 0.0);
+        // Cosine is only zero up to `sqrt(x)·sqrt(x)` rounding, exactly
+        // like the per-pair reference.
+        let m = distance_matrix(&vectors, DistanceMetric::Cosine);
+        assert!(m[0][1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_identical_vectors_keep_reference_precision() {
+        // The Gram form of d² cancels catastrophically here; the guarded
+        // fallback must agree with the reference to the usual bound.
+        let base: Vec<f64> = (0..16).map(|i| (i as f64) * 0.7 - 5.0).collect();
+        let mut nudged = base.clone();
+        nudged[3] += 1e-10;
+        let vectors = vec![base, nudged];
+        for metric in [DistanceMetric::Euclidean, DistanceMetric::Cosine] {
+            let fast = distance_matrix(&vectors, metric);
+            let reference = distance_matrix_reference(&vectors, metric);
+            assert!(
+                (fast[0][1] - reference[0][1]).abs() < 1e-12,
+                "{metric:?}: {} vs {}",
+                fast[0][1],
+                reference[0][1]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_matrix_matches_pairwise_distances() {
+        let a = vec![vec![1.0, 0.0], vec![0.5, 0.5], vec![0.0, 0.0]];
+        let b = vec![vec![0.0, 1.0], vec![1.0, 1.0]];
+        for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
+            let m = cross_distance_matrix(&a, &b, metric);
+            assert_eq!(m.len(), 3);
+            for (i, row) in m.iter().enumerate() {
+                assert_eq!(row.len(), 2);
+                for (j, &d) in row.iter().enumerate() {
+                    assert!((d - metric.distance(&a[i], &b[j])).abs() < 1e-12);
+                }
+            }
+        }
+        assert_eq!(
+            cross_distance_matrix(&[], &b, DistanceMetric::Cosine).len(),
+            0
+        );
     }
 
     proptest! {
@@ -72,6 +296,25 @@ mod tests {
             let n = a.len().min(b.len());
             for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
                 prop_assert!(metric.distance(&a[..n], &b[..n]) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn gram_and_reference_agree_on_random_sets(seed in any::<u64>(), n in 2usize..12, d in 1usize..10) {
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+            };
+            let vectors: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| next()).collect()).collect();
+            for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
+                let fast = distance_matrix(&vectors, metric);
+                let reference = distance_matrix_reference(&vectors, metric);
+                for i in 0..n {
+                    for j in 0..n {
+                        prop_assert!((fast[i][j] - reference[i][j]).abs() < 1e-9);
+                    }
+                }
             }
         }
     }

@@ -1,7 +1,8 @@
 //! Lloyd's k-means, an alternative clustering backend for Algorithm 2.
 
-use crate::distance::DistanceMetric;
+use crate::distance::{cross_distance_matrix_packed, DistanceMetric};
 use crate::labels::ClusterLabels;
+use bfl_ml::tensor::Matrix;
 
 /// k-means parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,13 +42,23 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// Runs k-means over `vectors`. If there are fewer points than `k`, each
 /// point gets its own cluster.
 pub fn kmeans(vectors: &[Vec<f64>], config: &KmeansConfig) -> ClusterLabels {
-    let n = vectors.len();
+    if vectors.is_empty() {
+        return ClusterLabels::new(Vec::new());
+    }
+    kmeans_packed(&Matrix::from_rows(vectors), config)
+}
+
+/// [`kmeans`] over an already packed row-major point set; the assignment
+/// step computes all point-to-centroid distances with one rectangular
+/// Gram GEMM per Lloyd iteration instead of `n·k` vector traversals.
+pub fn kmeans_packed(points: &Matrix, config: &KmeansConfig) -> ClusterLabels {
+    let n = points.rows;
     if n == 0 {
         return ClusterLabels::new(Vec::new());
     }
     assert!(config.k >= 1, "k must be at least 1");
     let k = config.k.min(n);
-    let dim = vectors[0].len();
+    let dim = points.cols;
 
     // Initialize centroids with distinct random points (Forgy).
     let mut state = config.seed;
@@ -58,17 +69,20 @@ pub fn kmeans(vectors: &[Vec<f64>], config: &KmeansConfig) -> ClusterLabels {
             chosen.push(candidate);
         }
     }
-    let mut centroids: Vec<Vec<f64>> = chosen.iter().map(|&i| vectors[i].clone()).collect();
+    let mut centroids = Matrix::zeros(k, dim);
+    for (c, &i) in chosen.iter().enumerate() {
+        centroids.row_mut(c).copy_from_slice(points.row(i));
+    }
     let mut assignments = vec![0usize; n];
 
     for _ in 0..config.max_iterations.max(1) {
         // Assignment step.
         let mut changed = false;
-        for (i, v) in vectors.iter().enumerate() {
+        let distances = cross_distance_matrix_packed(points, &centroids, config.metric);
+        for (i, row) in distances.iter().enumerate() {
             let mut best = 0usize;
             let mut best_distance = f64::INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let d = config.metric.distance(v, centroid);
+            for (c, &d) in row.iter().enumerate() {
                 if d < best_distance {
                     best_distance = d;
                     best = c;
@@ -83,10 +97,9 @@ pub fn kmeans(vectors: &[Vec<f64>], config: &KmeansConfig) -> ClusterLabels {
         // Update step.
         let mut sums = vec![vec![0.0; dim]; k];
         let mut counts = vec![0usize; k];
-        for (i, v) in vectors.iter().enumerate() {
-            let c = assignments[i];
+        for (i, &c) in assignments.iter().enumerate() {
             counts[c] += 1;
-            for (s, x) in sums[c].iter_mut().zip(v.iter()) {
+            for (s, x) in sums[c].iter_mut().zip(points.row(i).iter()) {
                 *s += x;
             }
         }
@@ -94,13 +107,13 @@ pub fn kmeans(vectors: &[Vec<f64>], config: &KmeansConfig) -> ClusterLabels {
             if counts[c] == 0 {
                 // Re-seed an empty cluster with a random point.
                 let pick = (splitmix64(&mut state) % n as u64) as usize;
-                centroids[c] = vectors[pick].clone();
+                centroids.row_mut(c).copy_from_slice(points.row(pick));
                 continue;
             }
             for s in sums[c].iter_mut() {
                 *s /= counts[c] as f64;
             }
-            centroids[c] = sums[c].clone();
+            centroids.row_mut(c).copy_from_slice(&sums[c]);
         }
 
         if !changed {

@@ -22,10 +22,11 @@ pub mod labels;
 pub mod validation;
 
 pub use dbscan::{dbscan, DbscanConfig};
-pub use distance::{distance_matrix, DistanceMetric};
+pub use distance::{cross_distance_matrix, distance_matrix, DistanceMetric};
 pub use kmeans::{kmeans, KmeansConfig};
 pub use labels::ClusterLabels;
 
+use bfl_ml::tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Which clustering algorithm Algorithm 2 should run.
@@ -64,17 +65,28 @@ impl ClusteringAlgorithm {
     /// Runs the selected algorithm over the given vectors with the given
     /// metric, returning per-vector cluster labels.
     pub fn run(&self, vectors: &[Vec<f64>], metric: DistanceMetric) -> ClusterLabels {
+        if vectors.is_empty() {
+            return ClusterLabels::new(Vec::new());
+        }
+        self.run_packed(&Matrix::from_rows(vectors), metric)
+    }
+
+    /// [`ClusteringAlgorithm::run`] over an already packed row-major
+    /// vector set. DBSCAN and agglomerative clustering consume the shared
+    /// Gram-derived distance matrix directly; k-means reuses the packed
+    /// rows for its per-iteration assignment GEMMs.
+    pub fn run_packed(&self, rows: &Matrix, metric: DistanceMetric) -> ClusterLabels {
         match *self {
-            ClusteringAlgorithm::Dbscan { eps, min_points } => dbscan::dbscan(
-                vectors,
+            ClusteringAlgorithm::Dbscan { eps, min_points } => dbscan::dbscan_with_distances(
+                &distance::distance_matrix_packed(rows, metric),
                 &dbscan::DbscanConfig {
                     eps,
                     min_points,
                     metric,
                 },
             ),
-            ClusteringAlgorithm::KMeans { k, max_iterations } => kmeans::kmeans(
-                vectors,
+            ClusteringAlgorithm::KMeans { k, max_iterations } => kmeans::kmeans_packed(
+                rows,
                 &kmeans::KmeansConfig {
                     k,
                     max_iterations,
@@ -83,7 +95,10 @@ impl ClusteringAlgorithm {
                 },
             ),
             ClusteringAlgorithm::Agglomerative { distance_threshold } => {
-                agglomerative::agglomerative(vectors, distance_threshold, metric)
+                agglomerative::agglomerative_with_distances(
+                    &distance::distance_matrix_packed(rows, metric),
+                    distance_threshold,
+                )
             }
         }
     }

@@ -19,8 +19,11 @@ pub fn silhouette_score(
     let mut total = 0.0;
     let mut counted = 0usize;
 
+    #[allow(clippy::needless_range_loop)] // `i` also indexes the distance matrix
     for i in 0..n {
-        let Some(own) = labels.cluster_of(i) else { continue };
+        let Some(own) = labels.cluster_of(i) else {
+            continue;
+        };
         let own_members = labels.members_of(own);
         if own_members.len() <= 1 {
             // Silhouette of a singleton is defined as 0.

@@ -27,7 +27,10 @@ pub fn contribution_scores(updates: &[GradientVector], global: &[f64]) -> Vec<f6
 /// Normalizes raw scores into Equation 1's weights `p_i = θ_i / Σ θ_k`.
 pub fn contribution_weights(scores: &[f64]) -> Vec<f64> {
     assert!(!scores.is_empty(), "cannot normalize zero scores");
-    assert!(scores.iter().all(|&s| s >= 0.0), "scores must be non-negative");
+    assert!(
+        scores.iter().all(|&s| s >= 0.0),
+        "scores must be non-negative"
+    );
     let total: f64 = scores.iter().sum();
     if total <= 0.0 {
         return vec![1.0 / scores.len() as f64; scores.len()];

@@ -13,7 +13,8 @@ use crate::aggregation::WEIGHT_FLOOR;
 use crate::reward::{build_reward_list, RewardEntry};
 use crate::strategy::LowContributionStrategy;
 use bfl_cluster::{ClusteringAlgorithm, DistanceMetric};
-use bfl_ml::gradient::{average, cosine_distance, GradientVector};
+use bfl_ml::gradient::{average_refs, GradientVector};
+use bfl_ml::tensor::{self, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of running Algorithm 2 on one round's gradient set.
@@ -67,24 +68,65 @@ pub fn identify_contributions(
     strategy: LowContributionStrategy,
     reward_base: f64,
 ) -> ContributionReport {
+    let refs: Vec<(u64, &[f64])> = uploads.iter().map(|(id, g)| (*id, g.as_slice())).collect();
+    identify_contributions_refs(&refs, algorithm, metric, strategy, reward_base)
+}
+
+/// [`identify_contributions`] over borrowed gradient slices — the round
+/// driver hands uploads straight from Procedure-III without cloning each
+/// parameter vector first.
+pub fn identify_contributions_refs(
+    uploads: &[(u64, &[f64])],
+    algorithm: &ClusteringAlgorithm,
+    metric: DistanceMetric,
+    strategy: LowContributionStrategy,
+    reward_base: f64,
+) -> ContributionReport {
     assert!(!uploads.is_empty(), "Algorithm 2 needs at least one upload");
 
-    let vectors: Vec<GradientVector> = uploads.iter().map(|(_, g)| g.clone()).collect();
-    let global_gradient = average(&vectors);
+    let upload_refs: Vec<&[f64]> = uploads.iter().map(|(_, g)| *g).collect();
+    let global_gradient = average_refs(&upload_refs);
 
-    // Cluster the uploads together with the global gradient (appended last).
-    let mut clustered: Vec<GradientVector> = vectors.clone();
-    clustered.push(global_gradient.clone());
-    let labels = algorithm.run(&clustered, metric);
-    let global_index = clustered.len() - 1;
+    // Pack the round's gradient set (uploads plus the global gradient,
+    // appended last) into one row-major matrix. This single packed copy
+    // feeds both the clustering backend — whose pairwise distances come
+    // out of one Gram GEMM — and the batched θ computation below.
+    let n = uploads.len();
+    let dim = global_gradient.len();
+    let mut clustered = Matrix::zeros(0, 0);
+    clustered.data.reserve((n + 1) * dim);
+    for upload in &upload_refs {
+        assert_eq!(upload.len(), dim, "all uploads must have equal length");
+        clustered.data.extend_from_slice(upload);
+    }
+    clustered.data.extend_from_slice(&global_gradient);
+    clustered.rows = n + 1;
+    clustered.cols = dim;
+
+    let labels = algorithm.run_packed(&clustered, metric);
+    let global_index = n;
     let cluster_count = labels.cluster_count();
+
+    // Algorithm 2's θ weights — cosine distance of every upload to the
+    // global gradient — as one matrix-vector product plus per-row norms,
+    // instead of one full vector traversal per upload.
+    let inner: Vec<f64> = clustered.matvec(&global_gradient);
+    let global_norm = tensor::l2_norm(&global_gradient);
+    let theta = |i: usize| -> f64 {
+        let upload_norm = tensor::l2_norm(upload_refs[i]);
+        let similarity = if upload_norm == 0.0 || global_norm == 0.0 {
+            0.0
+        } else {
+            (inner[i] / (upload_norm * global_norm)).clamp(-1.0, 1.0)
+        };
+        (1.0 - similarity).max(WEIGHT_FLOOR)
+    };
 
     let mut high_contribution = Vec::new();
     let mut low_contribution = Vec::new();
-    for (i, (client_id, upload)) in uploads.iter().enumerate() {
+    for (i, (client_id, _)) in uploads.iter().enumerate() {
         if labels.same_cluster(i, global_index) {
-            let theta = cosine_distance(upload, &global_gradient).max(WEIGHT_FLOOR);
-            high_contribution.push((*client_id, theta));
+            high_contribution.push((*client_id, theta(i)));
         } else {
             low_contribution.push(*client_id);
         }
@@ -97,12 +139,8 @@ pub fn identify_contributions(
     if high_contribution.is_empty() {
         high_contribution = uploads
             .iter()
-            .map(|(id, upload)| {
-                (
-                    *id,
-                    cosine_distance(upload, &global_gradient).max(WEIGHT_FLOOR),
-                )
-            })
+            .enumerate()
+            .map(|(i, (id, _))| (*id, theta(i)))
             .collect();
         low_contribution.clear();
     }
@@ -112,12 +150,12 @@ pub fn identify_contributions(
     // Apply the strategy: discarding recomputes the global update from the
     // high-contribution uploads only.
     let effective_global = if strategy.discards() && high_contribution.len() < uploads.len() {
-        let kept: Vec<GradientVector> = uploads
+        let kept: Vec<&[f64]> = uploads
             .iter()
             .filter(|(id, _)| high_contribution.iter().any(|(hid, _)| hid == id))
-            .map(|(_, g)| g.clone())
+            .map(|(_, g)| *g)
             .collect();
-        average(&kept)
+        average_refs(&kept)
     } else {
         global_gradient.clone()
     };
@@ -231,7 +269,9 @@ mod tests {
             discard.dropped_clients(LowContributionStrategy::Discard),
             vec![8, 9]
         );
-        assert!(keep.dropped_clients(LowContributionStrategy::Keep).is_empty());
+        assert!(keep
+            .dropped_clients(LowContributionStrategy::Keep)
+            .is_empty());
     }
 
     #[test]

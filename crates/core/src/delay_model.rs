@@ -184,7 +184,8 @@ impl DelayModel {
 
     /// Expected (not sampled) Procedure-V delay.
     pub fn expected_t_bl(&self, miners: usize) -> f64 {
-        expected_competition_time(&self.miners(miners), &self.pow_config()) + self.consensus_overhead_s
+        expected_competition_time(&self.miners(miners), &self.pow_config())
+            + self.consensus_overhead_s
     }
 
     /// Full FAIR-BFL round delay.
@@ -408,9 +409,13 @@ mod tests {
             "fork overhead should accelerate: {blockchain_deltas:?}"
         );
         // FAIR moves by far less than blockchain over the same range.
-        let fair_spread = fair_values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        let fair_spread = fair_values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
             - fair_values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let blockchain_spread = previous.unwrap() - mean_total(|r| model.blockchain_round(100, 2, r));
+        let blockchain_spread =
+            previous.unwrap() - mean_total(|r| model.blockchain_round(100, 2, r));
         assert!(fair_spread < blockchain_spread / 2.0);
     }
 

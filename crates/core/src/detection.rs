@@ -93,7 +93,11 @@ impl DetectionTable {
         for row in &self.rows {
             total += row.attacker_ids.len();
             let dropped: BTreeSet<u64> = row.dropped_ids.iter().copied().collect();
-            caught += row.attacker_ids.iter().filter(|id| dropped.contains(id)).count();
+            caught += row
+                .attacker_ids
+                .iter()
+                .filter(|id| dropped.contains(id))
+                .count();
         }
         (total, caught)
     }
@@ -103,7 +107,11 @@ impl DetectionTable {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(|r| r.false_positives as f64).sum::<f64>() / self.rows.len() as f64
+        self.rows
+            .iter()
+            .map(|r| r.false_positives as f64)
+            .sum::<f64>()
+            / self.rows.len() as f64
     }
 }
 

@@ -59,7 +59,9 @@ mod tests {
         let crypto_err: CoreError = bfl_crypto::CryptoError::InvalidSignature.into();
         assert!(matches!(crypto_err, CoreError::Crypto(_)));
 
-        assert!(CoreError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(CoreError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
         assert!(CoreError::EmptyRound { round: 3 }.to_string().contains('3'));
     }
 }

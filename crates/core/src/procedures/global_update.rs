@@ -8,11 +8,11 @@
 //! the fair-aggregation ablation is disabled.
 
 use crate::aggregation::{contribution_weights, WEIGHT_FLOOR};
-use crate::contribution::{identify_contributions, ContributionReport};
+use crate::contribution::{identify_contributions_refs, ContributionReport};
 use crate::procedures::upload::VerifiedUpload;
 use crate::strategy::LowContributionStrategy;
 use bfl_cluster::{ClusteringAlgorithm, DistanceMetric};
-use bfl_ml::gradient::weighted_average;
+use bfl_ml::gradient::weighted_average_refs;
 
 /// The result of Procedure-IV.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,20 +35,22 @@ pub fn compute_global_update(
     reward_base: f64,
 ) -> GlobalUpdateOutcome {
     assert!(!merged.is_empty(), "Procedure-IV needs at least one upload");
-    let uploads: Vec<(u64, Vec<f64>)> = merged
+    // Borrow the uploads straight out of the exchange result — Algorithm 2
+    // and Equation 1 below never need their own copies.
+    let uploads: Vec<(u64, &[f64])> = merged
         .iter()
-        .map(|u| (u.client_id, u.params.clone()))
+        .map(|u| (u.client_id, u.params.as_slice()))
         .collect();
 
-    let report = identify_contributions(&uploads, clustering, metric, strategy, reward_base);
+    let report = identify_contributions_refs(&uploads, clustering, metric, strategy, reward_base);
     let dropped = report.dropped_clients(strategy);
 
     // Determine which uploads participate in the final aggregation.
-    let kept: Vec<&(u64, Vec<f64>)> = uploads
+    let kept: Vec<&(u64, &[f64])> = uploads
         .iter()
         .filter(|(id, _)| !dropped.contains(id))
         .collect();
-    let kept: Vec<&(u64, Vec<f64>)> = if kept.is_empty() {
+    let kept: Vec<&(u64, &[f64])> = if kept.is_empty() {
         uploads.iter().collect()
     } else {
         kept
@@ -68,8 +70,8 @@ pub fn compute_global_update(
             })
             .collect();
         let weights = contribution_weights(&scores);
-        let vectors: Vec<Vec<f64>> = kept.iter().map(|(_, g)| g.clone()).collect();
-        weighted_average(&vectors, &weights)
+        let vectors: Vec<&[f64]> = kept.iter().map(|(_, g)| *g).collect();
+        weighted_average_refs(&vectors, &weights)
     } else {
         report.effective_global.clone()
     };

@@ -3,19 +3,23 @@
 //! Every selected client reads the global gradient from the latest block,
 //! runs `E` epochs of mini-batch SGD on its own shard, and produces its
 //! updated parameter vector. Clients are independent, so the pass runs in
-//! parallel — one rayon task per participant — exactly the data-parallel
-//! idiom of the session's HPC guides.
+//! parallel — one fork/join task per participant, with each worker
+//! reusing a single scratch workspace across every client in its chunk,
+//! so the batched GEMM engine stays allocation-free for the whole round.
 
 use bfl_data::Dataset;
+use bfl_fl::attack::AttackKind;
 use bfl_fl::client::{Client, LocalUpdate};
 use bfl_ml::model::ModelKind;
 use bfl_ml::optimizer::{local_step_count, LocalTrainingConfig};
-use rayon::prelude::*;
+use bfl_ml::par;
+use bfl_ml::tensor::Scratch;
 
 /// Runs Procedure-I for the given participants.
 ///
 /// `participants` are indices into `clients`. Returns one [`LocalUpdate`]
-/// per participant, in the same order.
+/// per participant, in the same order. Each client forges (or not)
+/// according to its own [`Client::attack`] field.
 pub fn run_local_updates(
     clients: &[Client],
     participants: &[usize],
@@ -25,19 +29,51 @@ pub fn run_local_updates(
     local: &LocalTrainingConfig,
     round_seed: u64,
 ) -> Vec<LocalUpdate> {
-    participants
-        .par_iter()
-        .map(|&idx| {
-            clients[idx].local_update(
-                model,
-                global_params,
-                &train.features,
-                &train.labels,
-                local,
-                round_seed,
-            )
-        })
-        .collect()
+    par::par_map_with(participants, 1, Scratch::new, |scratch, _, &idx| {
+        clients[idx].local_update_with_scratch(
+            model,
+            global_params,
+            &train.features,
+            &train.labels,
+            local,
+            round_seed,
+            scratch,
+        )
+    })
+}
+
+/// [`run_local_updates`] with explicit per-participant attack
+/// designations (aligned with `participants`), overriding each client's
+/// own attack field. The round driver uses this to designate per-round
+/// attackers without cloning the client population.
+#[allow(clippy::too_many_arguments)]
+pub fn run_local_updates_with_attacks(
+    clients: &[Client],
+    participants: &[usize],
+    attacks: &[Option<AttackKind>],
+    model: ModelKind,
+    global_params: &[f64],
+    train: &Dataset,
+    local: &LocalTrainingConfig,
+    round_seed: u64,
+) -> Vec<LocalUpdate> {
+    assert_eq!(
+        participants.len(),
+        attacks.len(),
+        "one attack designation per participant required"
+    );
+    par::par_map_with(participants, 1, Scratch::new, |scratch, position, &idx| {
+        clients[idx].local_update_as(
+            attacks[position],
+            model,
+            global_params,
+            &train.features,
+            &train.labels,
+            local,
+            round_seed,
+            scratch,
+        )
+    })
 }
 
 /// The number of SGD steps taken by the slowest participant — the quantity
@@ -120,6 +156,35 @@ mod tests {
         for (p, s) in parallel.iter().zip(sequential.iter()) {
             assert_eq!(p.params, s.params);
         }
+    }
+
+    #[test]
+    fn attack_overrides_replace_the_clients_own_designation() {
+        let (data, clients, kind) = setup();
+        let local = LocalTrainingConfig {
+            epochs: 1,
+            batch_size: 10,
+            learning_rate: 0.05,
+            proximal_mu: 0.0,
+        };
+        let global = vec![0.0; kind.num_params()];
+        // Client 0 is honest but gets designated; client 2 is malicious
+        // but its designation is cleared for this round.
+        let updates = run_local_updates_with_attacks(
+            &clients,
+            &[0, 2],
+            &[Some(AttackKind::SignFlip), None],
+            kind,
+            &global,
+            &data,
+            &local,
+            7,
+        );
+        assert!(updates[0].forged);
+        assert!(!updates[1].forged);
+        // The honest result matches what the client produces on its own.
+        let own = clients[2].local_update(kind, &global, &data.features, &data.labels, &local, 7);
+        assert_eq!(updates[1].stats.update_norm, own.stats.update_norm);
     }
 
     #[test]

@@ -85,12 +85,16 @@ pub fn upload_gradients<R: Rng + ?Sized>(
             _ => true,
         };
         if accepted {
-            outcome.per_miner.entry(miner).or_default().push(VerifiedUpload {
-                client_id: update.client_id,
-                miner,
-                params: update.params.clone(),
-                forged: update.forged,
-            });
+            outcome
+                .per_miner
+                .entry(miner)
+                .or_default()
+                .push(VerifiedUpload {
+                    client_id: update.client_id,
+                    miner,
+                    params: update.params.clone(),
+                    forged: update.forged,
+                });
         } else {
             outcome.rejected.push(update.client_id);
         }
@@ -153,7 +157,11 @@ mod tests {
         let topology = Topology::new(200, 4);
         let mut rng = StdRng::seed_from_u64(3);
         let outcome = upload_gradients(&updates, &topology, None, None, &mut rng);
-        assert_eq!(outcome.per_miner.len(), 4, "all miners should receive some uploads");
+        assert_eq!(
+            outcome.per_miner.len(),
+            4,
+            "all miners should receive some uploads"
+        );
         for uploads in outcome.per_miner.values() {
             assert!(uploads.len() > 20);
         }

@@ -16,6 +16,7 @@ use bfl_chain::miner::Miner;
 use bfl_chain::{Blockchain, Transaction};
 use bfl_crypto::{KeyStore, RsaKeyPair};
 use bfl_data::Dataset;
+use bfl_fl::attack::AttackKind;
 use bfl_fl::client::Client;
 use bfl_fl::history::{RoundRecord, RunHistory};
 use bfl_fl::selection::{drop_stragglers, select_clients};
@@ -217,10 +218,7 @@ impl BflSimulation {
             let miners: Vec<Miner> = (0..config.miners as u64)
                 .map(|id| Miner::new(id, config.delay.miner_hash_rate))
                 .collect();
-            Some(RoundConsensus::new(
-                miners,
-                bfl_chain::PowConfig::new(64),
-            ))
+            Some(RoundConsensus::new(miners, bfl_chain::PowConfig::new(64)))
         } else {
             None
         };
@@ -248,11 +246,7 @@ impl BflSimulation {
             let active: Vec<usize> = (0..clients.len())
                 .filter(|i| !cooldown.contains_key(&clients[*i].id))
                 .collect();
-            let pool: &[usize] = if active.is_empty() {
-                &[]
-            } else {
-                &active
-            };
+            let pool: &[usize] = if active.is_empty() { &[] } else { &active };
             let selected_positions = if pool.is_empty() {
                 select_clients(clients.len(), config.fl.selected_per_round(), &mut rng)
             } else {
@@ -264,43 +258,43 @@ impl BflSimulation {
             let selected_positions =
                 drop_stragglers(&selected_positions, config.fl.drop_percent, &mut rng);
 
-            // Designate attackers for this round.
-            let mut round_clients: Vec<Client> = selected_positions
-                .iter()
-                .map(|&i| clients[i].clone())
-                .collect();
+            // Designate attackers for this round. Designations live in a
+            // side table aligned with `selected_positions`, so the client
+            // population is never cloned per round.
+            let mut attacks: Vec<Option<AttackKind>> = vec![None; selected_positions.len()];
             let mut attackers = Vec::new();
-            if config.attack.enabled && !round_clients.is_empty() {
-                let max = config.attack.max_attackers.min(round_clients.len());
+            if config.attack.enabled && !selected_positions.is_empty() {
+                let max = config.attack.max_attackers.min(selected_positions.len());
                 let min = config.attack.min_attackers.min(max);
                 let count = if min == max {
                     min
                 } else {
                     rng.gen_range(min..=max)
                 };
-                let mut order: Vec<usize> = (0..round_clients.len()).collect();
+                let mut order: Vec<usize> = (0..selected_positions.len()).collect();
                 use rand::seq::SliceRandom;
                 order.shuffle(&mut rng);
                 for &i in order.iter().take(count) {
-                    round_clients[i].set_attack(Some(config.attack.kind));
-                    attackers.push(round_clients[i].id);
+                    attacks[i] = Some(config.attack.kind);
+                    attackers.push(clients[selected_positions[i]].id);
                 }
                 attackers.sort_unstable();
             }
 
             // Procedure-I: local learning.
-            let participants: Vec<usize> = (0..round_clients.len()).collect();
             let round_seed = config.fl.seed ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15);
-            let updates = local_update::run_local_updates(
-                &round_clients,
-                &participants,
+            let updates = local_update::run_local_updates_with_attacks(
+                &clients,
+                &selected_positions,
+                &attacks,
                 config.fl.model,
                 &global_params,
                 train,
                 &local_config,
                 round_seed,
             );
-            let max_steps = local_update::max_local_steps(&round_clients, &participants, &local_config);
+            let max_steps =
+                local_update::max_local_steps(&clients, &selected_positions, &local_config);
 
             // Procedure-II: upload + verification.
             let uploads = upload::upload_gradients(
@@ -323,7 +317,7 @@ impl BflSimulation {
             }
 
             // Procedure-IV: global update + Algorithm 2.
-            let global = global_update::compute_global_update(
+            let mut global = global_update::compute_global_update(
                 &merged,
                 &config.clustering,
                 config.metric,
@@ -331,7 +325,7 @@ impl BflSimulation {
                 config.fair_aggregation,
                 config.reward_base,
             );
-            global_params = global.global_params.clone();
+            global_params = std::mem::take(&mut global.global_params);
             global_model.set_params(&global_params);
 
             // Procedure-V: mining and consensus.
@@ -366,14 +360,15 @@ impl BflSimulation {
 
             // Delay accounting and the clock.
             let breakdown = match config.mode {
-                FlexibilityMode::FullBfl => config.delay.fair_round(
-                    merged.len(),
-                    max_steps,
-                    config.miners,
-                    &mut rng,
-                ),
+                FlexibilityMode::FullBfl => {
+                    config
+                        .delay
+                        .fair_round(merged.len(), max_steps, config.miners, &mut rng)
+                }
                 FlexibilityMode::FlOnly => {
-                    config.delay.federated_round(merged.len(), max_steps, &mut rng)
+                    config
+                        .delay
+                        .federated_round(merged.len(), max_steps, &mut rng)
                 }
                 FlexibilityMode::ChainOnly => unreachable!("handled by run_chain_only"),
             };
@@ -381,7 +376,10 @@ impl BflSimulation {
 
             // Evaluation.
             let test_accuracy = accuracy(&global_model, &test.features, &test.labels, None);
-            let train_loss = updates.iter().map(|u| u.stats.final_epoch_loss).sum::<f64>()
+            let train_loss = updates
+                .iter()
+                .map(|u| u.stats.final_epoch_loss)
+                .sum::<f64>()
                 / updates.len().max(1) as f64;
 
             detection.push(DetectionRow::new(round, &attackers, &global.dropped));
@@ -536,18 +534,33 @@ mod tests {
 
         assert_eq!(result.detection.len(), 5);
         let (total_attackers, caught) = result.detection.totals();
-        assert!(total_attackers >= 5, "1-3 attackers per round over 5 rounds");
+        assert!(
+            total_attackers >= 5,
+            "1-3 attackers per round over 5 rounds"
+        );
         let rate = result.detection.average_detection_rate();
         assert!(
             rate > 0.6,
             "sign-flip attackers should be caught most of the time (rate {rate}, {caught}/{total_attackers})"
         );
-        // Attackers never receive rewards in rounds where they are caught:
-        // dropped clients are excluded from the reward list by construction.
+        // Dropped clients are excluded from the aggregation and the reward
+        // list by construction: high contributors and dropped (low)
+        // contributors partition the round's participants, and a non-empty
+        // round always keeps at least one contributor.
         for outcome in &result.outcomes {
-            for dropped in &outcome.dropped {
-                assert!(!outcome.attackers.is_empty() || outcome.dropped.is_empty() || outcome.attackers.contains(dropped) || !outcome.attackers.contains(dropped));
-            }
+            assert!(
+                outcome.high_contributors + outcome.dropped.len() <= outcome.participants,
+                "round {}: {} high + {} dropped exceeds {} participants",
+                outcome.round,
+                outcome.high_contributors,
+                outcome.dropped.len(),
+                outcome.participants
+            );
+            assert!(
+                outcome.high_contributors > 0,
+                "round {}: a non-empty round must keep at least one contributor",
+                outcome.round
+            );
         }
     }
 

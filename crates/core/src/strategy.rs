@@ -32,7 +32,10 @@ mod tests {
 
     #[test]
     fn default_is_keep() {
-        assert_eq!(LowContributionStrategy::default(), LowContributionStrategy::Keep);
+        assert_eq!(
+            LowContributionStrategy::default(),
+            LowContributionStrategy::Keep
+        );
         assert!(!LowContributionStrategy::Keep.discards());
         assert!(LowContributionStrategy::Discard.discards());
     }

@@ -109,7 +109,7 @@ impl BigUint {
 
     /// True if the value is even (zero is even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// The number of significant bits (0 for the value zero).
@@ -124,9 +124,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 32;
         let offset = i % 32;
-        self.limbs
-            .get(limb)
-            .map_or(false, |l| (l >> offset) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> offset) & 1 == 1)
     }
 
     /// Sets bit `i` to one, growing the representation as needed.
@@ -154,8 +152,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry: u64 = 0;
-        for i in 0..longer.len() {
-            let a = longer[i] as u64;
+        for (i, &limb) in longer.iter().enumerate() {
+            let a = limb as u64;
             let b = shorter.get(i).copied().unwrap_or(0) as u64;
             let sum = a + b + carry;
             out.push((sum & 0xffff_ffff) as u32);
@@ -565,7 +563,10 @@ mod tests {
     #[test]
     fn addition_and_subtraction() {
         assert_eq!(big(123).add(&big(456)), big(579));
-        assert_eq!(big(u64::MAX).add(&BigUint::one()).to_decimal_string(), "18446744073709551616");
+        assert_eq!(
+            big(u64::MAX).add(&BigUint::one()).to_decimal_string(),
+            "18446744073709551616"
+        );
         assert_eq!(big(579).sub(&big(456)), big(123));
         assert_eq!(big(5).checked_sub(&big(6)), None);
         assert_eq!(big(5).checked_sub(&big(5)), Some(BigUint::zero()));
@@ -583,7 +584,10 @@ mod tests {
         assert_eq!(big(12345).mul(&big(0)), BigUint::zero());
         assert_eq!(big(111111).mul(&big(111111)), big(12345654321));
         let a = BigUint::from_decimal_str("340282366920938463463374607431768211456").unwrap(); // 2^128
-        assert_eq!(a.mul(&a).to_decimal_string(), "115792089237316195423570985008687907853269984665640564039457584007913129639936");
+        assert_eq!(
+            a.mul(&a).to_decimal_string(),
+            "115792089237316195423570985008687907853269984665640564039457584007913129639936"
+        );
         assert_eq!(big(7).mul_u32(6), big(42));
     }
 
@@ -659,7 +663,13 @@ mod tests {
 
     #[test]
     fn decimal_round_trip() {
-        for s in ["0", "1", "999999999", "1000000000", "123456789012345678901234567890"] {
+        for s in [
+            "0",
+            "1",
+            "999999999",
+            "1000000000",
+            "123456789012345678901234567890",
+        ] {
             let v = BigUint::from_decimal_str(s).unwrap();
             assert_eq!(v.to_decimal_string(), s);
         }

@@ -65,15 +65,14 @@ mod tests {
         assert!(!CryptoError::NotInvertible.to_string().is_empty());
         assert!(!CryptoError::PrimeGenerationFailed.to_string().is_empty());
         assert!(!CryptoError::InvalidSignature.to_string().is_empty());
-        assert!(CryptoError::Malformed("oops".into()).to_string().contains("oops"));
+        assert!(CryptoError::Malformed("oops".into())
+            .to_string()
+            .contains("oops"));
     }
 
     #[test]
     fn errors_are_comparable() {
         assert_eq!(CryptoError::NotInvertible, CryptoError::NotInvertible);
-        assert_ne!(
-            CryptoError::NotInvertible,
-            CryptoError::InvalidSignature
-        );
+        assert_ne!(CryptoError::NotInvertible, CryptoError::InvalidSignature);
     }
 }

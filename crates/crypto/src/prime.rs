@@ -18,8 +18,8 @@ const MAX_PRIME_ATTEMPTS: usize = 100_000;
 
 /// Small primes used for cheap trial division before Miller-Rabin.
 const SMALL_PRIMES: [u32; 30] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113,
 ];
 
 /// Draws a uniformly random value with exactly `bits` significant bits
@@ -154,7 +154,9 @@ mod tests {
     #[test]
     fn small_composites_are_rejected() {
         let mut r = rng();
-        for c in [0u64, 1, 4, 6, 9, 15, 21, 25, 100, 561, 1105, 1729, 2465, 6601, 8911, 104730] {
+        for c in [
+            0u64, 1, 4, 6, 9, 15, 21, 25, 100, 561, 1105, 1729, 2465, 6601, 8911, 104730,
+        ] {
             assert!(
                 !is_probably_prime(&BigUint::from_u64(c), DEFAULT_MILLER_RABIN_ROUNDS, &mut r),
                 "{c} should be composite (or not prime)"

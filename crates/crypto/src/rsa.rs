@@ -137,7 +137,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn rng() -> StdRng {
-        StdRng::seed_from_u64(0xFA1E_BF1)
+        StdRng::seed_from_u64(0x0FA1_EBF1)
     }
 
     #[test]

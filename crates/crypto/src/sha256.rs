@@ -263,8 +263,8 @@ mod tests {
     #[test]
     fn fifty_five_and_fifty_six_byte_boundary() {
         // 55 bytes: padding fits in one block; 56 bytes: requires a second block.
-        let d55 = sha256(&vec![b'x'; 55]);
-        let d56 = sha256(&vec![b'x'; 56]);
+        let d55 = sha256(&[b'x'; 55]);
+        let d56 = sha256(&[b'x'; 56]);
         assert_ne!(d55, d56);
     }
 

@@ -146,7 +146,8 @@ pub fn dirichlet_partition<R: Rng + ?Sized>(
     let mut partition: Partition = vec![Vec::new(); clients];
 
     for class in 0..classes {
-        let mut class_indices: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        let mut class_indices: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == class).collect();
         class_indices.shuffle(rng);
         if class_indices.is_empty() {
             continue;
@@ -249,7 +250,10 @@ mod tests {
                 classes.len() <= 3
             })
             .count();
-        assert!(few_classes >= 8, "only {few_classes} of 10 clients are label-skewed");
+        assert!(
+            few_classes >= 8,
+            "only {few_classes} of 10 clients are label-skewed"
+        );
     }
 
     #[test]
@@ -275,7 +279,7 @@ mod tests {
         let dominance = |p: &Partition| -> f64 {
             p.iter()
                 .map(|shard| {
-                    let mut counts = vec![0usize; 10];
+                    let mut counts = [0usize; 10];
                     for &i in shard {
                         counts[labels[i]] += 1;
                     }

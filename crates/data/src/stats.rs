@@ -9,7 +9,11 @@ use crate::partition::Partition;
 
 /// Per-client label histogram: `result[client][class]` counts the samples
 /// of `class` held by `client`.
-pub fn label_distribution(labels: &[usize], partition: &Partition, classes: usize) -> Vec<Vec<usize>> {
+pub fn label_distribution(
+    labels: &[usize],
+    partition: &Partition,
+    classes: usize,
+) -> Vec<Vec<usize>> {
     partition
         .iter()
         .map(|shard| {
@@ -93,7 +97,10 @@ mod tests {
         let d_iid = dominant_class_fraction(&labels, &iid, 10);
         let d_non = dominant_class_fraction(&labels, &non_iid, 10);
         assert!(d_non > d_iid + 0.2, "non-IID {d_non} vs IID {d_iid}");
-        assert!(mean_classes_per_client(&labels, &iid, 10) > mean_classes_per_client(&labels, &non_iid, 10));
+        assert!(
+            mean_classes_per_client(&labels, &iid, 10)
+                > mean_classes_per_client(&labels, &non_iid, 10)
+        );
     }
 
     #[test]

@@ -81,7 +81,14 @@ fn digit_strokes(digit: usize) -> Vec<Stroke> {
 }
 
 /// Paints a stroke onto the canvas with the given thickness and intensity.
-fn render_stroke(canvas: &mut [f64], stroke: &Stroke, thickness: f64, intensity: f64, dx: f64, dy: f64) {
+fn render_stroke(
+    canvas: &mut [f64],
+    stroke: &Stroke,
+    thickness: f64,
+    intensity: f64,
+    dx: f64,
+    dy: f64,
+) {
     let points: Vec<(f64, f64)> = match *stroke {
         Stroke::Line(x0, y0, x1, y1) => {
             let steps = 60;
@@ -234,7 +241,10 @@ mod tests {
             // The glyph should paint a meaningful number of pixels.
             let lit = img.iter().filter(|&&v| v > 0.3).count();
             assert!(lit > 20, "digit {digit} lit only {lit} pixels");
-            assert!(lit < IMAGE_PIXELS / 2, "digit {digit} lit too many pixels: {lit}");
+            assert!(
+                lit < IMAGE_PIXELS / 2,
+                "digit {digit} lit too many pixels: {lit}"
+            );
         }
     }
 

@@ -6,11 +6,17 @@
 //! `bfl-core`. Both simple and sample-weighted rules live here so the
 //! ablation benches can compare them.
 
-use bfl_ml::gradient::{average, weighted_average, GradientVector};
+use bfl_ml::gradient::{average, average_refs, weighted_average, GradientVector};
 
 /// Simple average of the uploaded parameter vectors (Algorithm 1 line 24).
 pub fn simple_average(updates: &[GradientVector]) -> GradientVector {
     average(updates)
+}
+
+/// [`simple_average`] over borrowed slices — the round loop aggregates
+/// uploads in place without cloning each parameter vector first.
+pub fn simple_average_refs(updates: &[&[f64]]) -> GradientVector {
+    average_refs(updates)
 }
 
 /// Sample-count-weighted FedAvg aggregation: weights proportional to |D_i|.

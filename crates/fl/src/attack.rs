@@ -50,10 +50,9 @@ impl AttackKind {
             AttackKind::GaussianNoise { std } => {
                 (0..honest.len()).map(|_| gaussian(rng) * std).collect()
             }
-            AttackKind::AdditiveNoise { std } => honest
-                .iter()
-                .map(|v| v + gaussian(rng) * std)
-                .collect(),
+            AttackKind::AdditiveNoise { std } => {
+                honest.iter().map(|v| v + gaussian(rng) * std).collect()
+            }
         }
     }
 }
@@ -101,7 +100,10 @@ mod tests {
         let forged = AttackKind::GaussianNoise { std: 1.0 }.forge(&h, &mut rng);
         // The forged vector is essentially uncorrelated with the honest one.
         let d = cosine_distance(&h, &forged);
-        assert!(d > 0.5, "noise forgery should be far from honest (distance {d})");
+        assert!(
+            d > 0.5,
+            "noise forgery should be far from honest (distance {d})"
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use crate::attack::AttackKind;
 use bfl_ml::model::{AnyModel, Model, ModelKind};
-use bfl_ml::optimizer::{train_local, LocalTrainingConfig, LocalTrainingStats};
-use bfl_ml::tensor::Matrix;
+use bfl_ml::optimizer::{train_local_with_scratch, LocalTrainingConfig, LocalTrainingStats};
+use bfl_ml::tensor::{Matrix, Scratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -90,12 +90,75 @@ impl Client {
         config: &LocalTrainingConfig,
         round_seed: u64,
     ) -> LocalUpdate {
-        let mut rng = StdRng::seed_from_u64(round_seed ^ (self.id.wrapping_mul(0x9E3779B97F4A7C15)));
+        let mut scratch = Scratch::new();
+        self.local_update_with_scratch(
+            model_kind,
+            global_params,
+            features,
+            labels,
+            config,
+            round_seed,
+            &mut scratch,
+        )
+    }
+
+    /// [`Client::local_update`] with an externally owned scratch
+    /// workspace, so a worker training many clients reuses its buffers
+    /// across all of them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn local_update_with_scratch(
+        &self,
+        model_kind: ModelKind,
+        global_params: &[f64],
+        features: &Matrix,
+        labels: &[usize],
+        config: &LocalTrainingConfig,
+        round_seed: u64,
+        scratch: &mut Scratch,
+    ) -> LocalUpdate {
+        self.local_update_as(
+            self.attack,
+            model_kind,
+            global_params,
+            features,
+            labels,
+            config,
+            round_seed,
+            scratch,
+        )
+    }
+
+    /// Runs the local pass with an explicit attack designation instead of
+    /// the client's own [`Client::attack`] field. The FAIR-BFL round
+    /// driver designates per-round attackers this way without cloning the
+    /// client population.
+    #[allow(clippy::too_many_arguments)]
+    pub fn local_update_as(
+        &self,
+        attack: Option<AttackKind>,
+        model_kind: ModelKind,
+        global_params: &[f64],
+        features: &Matrix,
+        labels: &[usize],
+        config: &LocalTrainingConfig,
+        round_seed: u64,
+        scratch: &mut Scratch,
+    ) -> LocalUpdate {
+        let mut rng =
+            StdRng::seed_from_u64(round_seed ^ (self.id.wrapping_mul(0x9E3779B97F4A7C15)));
         let mut model: AnyModel = model_kind.build(&mut rng);
         model.set_params(global_params);
-        let stats = train_local(&mut model, features, labels, &self.shard, config, &mut rng);
+        let stats = train_local_with_scratch(
+            &mut model,
+            features,
+            labels,
+            &self.shard,
+            config,
+            &mut rng,
+            scratch,
+        );
         let honest_params = model.params();
-        match self.attack {
+        match attack {
             None => LocalUpdate {
                 client_id: self.id,
                 params: honest_params,
@@ -192,7 +255,10 @@ mod tests {
             evil.local_update(kind, &global, &data.features, &data.labels, &config, 9);
         assert!(forged_update.forged);
         let distance = cosine_distance(&honest_update.params, &forged_update.params);
-        assert!(distance > 1.9, "sign-flip should be nearly opposite (distance {distance})");
+        assert!(
+            distance > 1.9,
+            "sign-flip should be nearly opposite (distance {distance})"
+        );
     }
 
     #[test]

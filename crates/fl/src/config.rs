@@ -71,8 +71,7 @@ impl Default for FlConfig {
 impl FlConfig {
     /// Number of clients selected each round (at least one).
     pub fn selected_per_round(&self) -> usize {
-        ((self.clients as f64 * self.participation_ratio).round() as usize)
-            .clamp(1, self.clients)
+        ((self.clients as f64 * self.participation_ratio).round() as usize).clamp(1, self.clients)
     }
 
     /// Validates parameter ranges, panicking with a clear message otherwise.
@@ -105,7 +104,12 @@ mod tests {
         assert_eq!(c.local.batch_size, 10);
         assert!((c.local.learning_rate - 0.01).abs() < 1e-12);
         assert_eq!(c.drop_percent, 0.0);
-        assert!(matches!(c.partition, PartitionKind::ShardNonIid { shards_per_client: 2 }));
+        assert!(matches!(
+            c.partition,
+            PartitionKind::ShardNonIid {
+                shards_per_client: 2
+            }
+        ));
         c.validate();
     }
 

@@ -164,7 +164,9 @@ mod tests {
     fn convergence_requires_five_stable_rounds() {
         let mut h = RunHistory::new();
         // Rapid growth then a plateau from round 6.
-        let accuracies = [0.3, 0.5, 0.65, 0.75, 0.82, 0.90, 0.902, 0.903, 0.901, 0.902, 0.904];
+        let accuracies = [
+            0.3, 0.5, 0.65, 0.75, 0.82, 0.90, 0.902, 0.903, 0.901, 0.902, 0.904,
+        ];
         for (i, &a) in accuracies.iter().enumerate() {
             h.push(record(i + 1, a, 1.0));
         }

@@ -1,14 +1,16 @@
 //! FedAvg and FedProx training loops.
 //!
 //! These are the learning-only baselines of the comparison: clients train
-//! locally (in parallel, one rayon task per selected client), the server
-//! averages the uploads, and the global model is evaluated on the held-out
-//! test set after every communication round. Delay modelling is *not* done
-//! here — the delay decomposition T(n, m) belongs to the coupled system and
-//! lives in `bfl-core::delay_model`, which wraps these same primitives so
-//! that every system in Figure 4/6/7 is timed with one consistent model.
+//! locally (in parallel, one fork/join task per selected client, each
+//! worker reusing one scratch workspace across its chunk of clients), the
+//! server averages the uploads, and the global model is evaluated on the
+//! held-out test set after every communication round. Delay modelling is
+//! *not* done here — the delay decomposition T(n, m) belongs to the
+//! coupled system and lives in `bfl-core::delay_model`, which wraps these
+//! same primitives so that every system in Figure 4/6/7 is timed with one
+//! consistent model.
 
-use crate::aggregation::simple_average;
+use crate::aggregation::simple_average_refs;
 use crate::client::{Client, LocalUpdate};
 use crate::config::{FlConfig, PartitionKind};
 use crate::history::{RoundRecord, RunHistory};
@@ -18,9 +20,10 @@ use bfl_data::Dataset;
 use bfl_ml::metrics::accuracy;
 use bfl_ml::model::{AnyModel, Model};
 use bfl_ml::optimizer::LocalTrainingConfig;
+use bfl_ml::par;
+use bfl_ml::tensor::Scratch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Which baseline algorithm to run.
@@ -102,19 +105,17 @@ impl FlTrainer {
         round_seed: u64,
     ) -> Vec<LocalUpdate> {
         let local = self.local_config();
-        participants
-            .par_iter()
-            .map(|&idx| {
-                clients[idx].local_update(
-                    self.config.model,
-                    global_params,
-                    &train.features,
-                    &train.labels,
-                    &local,
-                    round_seed,
-                )
-            })
-            .collect()
+        par::par_map_with(participants, 1, Scratch::new, |scratch, _, &idx| {
+            clients[idx].local_update_with_scratch(
+                self.config.model,
+                global_params,
+                &train.features,
+                &train.labels,
+                &local,
+                round_seed,
+                scratch,
+            )
+        })
     }
 
     /// Runs the full multi-round training loop.
@@ -134,14 +135,18 @@ impl FlTrainer {
             );
             let participants = drop_stragglers(&selected, self.config.drop_percent, &mut rng);
             let round_seed = self.config.seed ^ (round as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
-            let updates = self.run_round(&clients, &participants, &global_params, train, round_seed);
+            let updates =
+                self.run_round(&clients, &participants, &global_params, train, round_seed);
 
-            let uploads: Vec<Vec<f64>> = updates.iter().map(|u| u.params.clone()).collect();
-            global_params = simple_average(&uploads);
+            let uploads: Vec<&[f64]> = updates.iter().map(|u| u.params.as_slice()).collect();
+            global_params = simple_average_refs(&uploads);
             global_model.set_params(&global_params);
 
             let test_accuracy = accuracy(&global_model, &test.features, &test.labels, None);
-            let train_loss = updates.iter().map(|u| u.stats.final_epoch_loss).sum::<f64>()
+            let train_loss = updates
+                .iter()
+                .map(|u| u.stats.final_epoch_loss)
+                .sum::<f64>()
                 / updates.len().max(1) as f64;
             history.push(RoundRecord {
                 round,
@@ -242,11 +247,7 @@ mod tests {
             .rounds
             .iter()
             .all(|r| r.participants >= 1 && r.participants <= selected));
-        assert!(run
-            .history
-            .rounds
-            .iter()
-            .any(|r| r.participants < selected));
+        assert!(run.history.rounds.iter().any(|r| r.participants < selected));
     }
 
     #[test]
@@ -263,7 +264,8 @@ mod tests {
     fn fedavg_and_fedprox_produce_different_trajectories() {
         let (train, test) = tiny_data();
         let fedavg = FlTrainer::new(tiny_config(3), FlAlgorithm::FedAvg).run(&train, &test);
-        let fedprox = FlTrainer::new(tiny_config(3), FlAlgorithm::FedProx { mu: 1.0 }).run(&train, &test);
+        let fedprox =
+            FlTrainer::new(tiny_config(3), FlAlgorithm::FedProx { mu: 1.0 }).run(&train, &test);
         assert_ne!(fedavg.final_params, fedprox.final_params);
     }
 }

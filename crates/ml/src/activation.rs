@@ -17,10 +17,25 @@ pub fn sigmoid(x: &[f64]) -> Vec<f64> {
 
 /// Numerically stable softmax.
 pub fn softmax(logits: &[f64]) -> Vec<f64> {
-    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|v| v / sum).collect()
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Numerically stable softmax computed in place — the allocation-free
+/// form the batched engine applies row-by-row to a logits matrix. The
+/// operation sequence matches [`softmax`] exactly, so both paths produce
+/// bit-identical probabilities.
+pub fn softmax_in_place(values: &mut [f64]) {
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in values.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in values.iter_mut() {
+        *v /= sum;
+    }
 }
 
 #[cfg(test)]
@@ -53,6 +68,17 @@ mod tests {
         }
         let p = softmax(&[1000.0, 0.0]);
         assert!(p[0] > 0.999_999);
+    }
+
+    #[test]
+    fn softmax_in_place_is_bit_identical_to_softmax() {
+        let logits = [0.3, -1.2, 2.0, 0.0, 17.5];
+        let reference = softmax(&logits);
+        let mut in_place = logits.to_vec();
+        softmax_in_place(&mut in_place);
+        for (a, b) in reference.iter().zip(in_place.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     proptest! {

@@ -40,6 +40,13 @@ pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
 /// Simple (unweighted) average of a set of equal-length vectors — the
 /// paper's "Simple Average" aggregation in Algorithm 1 line 24.
 pub fn average(vectors: &[GradientVector]) -> GradientVector {
+    let refs: Vec<&[f64]> = vectors.iter().map(|v| v.as_slice()).collect();
+    average_refs(&refs)
+}
+
+/// [`average`] over borrowed slices — aggregation call sites use this to
+/// average uploads in place instead of cloning every parameter vector.
+pub fn average_refs(vectors: &[&[f64]]) -> GradientVector {
     assert!(!vectors.is_empty(), "cannot average zero vectors");
     let len = vectors[0].len();
     let mut out = vec![0.0; len];
@@ -54,9 +61,22 @@ pub fn average(vectors: &[GradientVector]) -> GradientVector {
 /// Weighted average `Σ p_i v_i / Σ p_i` — Equation 1's fair aggregation.
 /// Weights must be non-negative and not all zero.
 pub fn weighted_average(vectors: &[GradientVector], weights: &[f64]) -> GradientVector {
-    assert_eq!(vectors.len(), weights.len(), "one weight per vector required");
+    let refs: Vec<&[f64]> = vectors.iter().map(|v| v.as_slice()).collect();
+    weighted_average_refs(&refs, weights)
+}
+
+/// [`weighted_average`] over borrowed slices.
+pub fn weighted_average_refs(vectors: &[&[f64]], weights: &[f64]) -> GradientVector {
+    assert_eq!(
+        vectors.len(),
+        weights.len(),
+        "one weight per vector required"
+    );
     assert!(!vectors.is_empty(), "cannot average zero vectors");
-    assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0),
+        "weights must be non-negative"
+    );
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "weights must not all be zero");
     let len = vectors[0].len();
@@ -81,7 +101,7 @@ pub fn to_bytes(gradient: &[f64]) -> Vec<u8> {
 /// Deserializes a gradient previously produced by [`to_bytes`]. Returns
 /// `None` if the byte length is not a multiple of 8.
 pub fn from_bytes(bytes: &[u8]) -> Option<GradientVector> {
-    if bytes.len() % 8 != 0 {
+    if !bytes.len().is_multiple_of(8) {
         return None;
     }
     Some(

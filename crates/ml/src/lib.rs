@@ -7,9 +7,13 @@
 //! The paper's evaluation trains an unspecified "local model" on MNIST; this
 //! crate provides two reference models of the right scale — multinomial
 //! softmax regression ([`linear::SoftmaxRegression`]) and a one-hidden-layer
-//! MLP ([`mlp::Mlp`]) — over a small, BLAS-free matrix/vector kernel set
-//! ([`tensor`]). Per-row matrix-vector products parallelize with rayon,
-//! following the data-parallel idiom of the session's HPC guides.
+//! MLP ([`mlp::Mlp`]) — over a small, BLAS-free batched GEMM kernel set
+//! ([`tensor`]). Whole minibatches and evaluation sets move through
+//! cache-blocked matrix-matrix kernels that parallelize over output row
+//! blocks ([`par`]), with a reusable [`tensor::Scratch`] workspace keeping
+//! the hot loops allocation-free; the original per-sample implementations
+//! are retained as reference paths behind [`engine::set_reference_mode`]
+//! for equivalence tests and speedup measurements.
 //!
 //! The quantity clients upload in FAIR-BFL (the "gradient" `w^i_{r+1}` of
 //! Algorithm 1) is the *updated parameter vector* after `E` local epochs,
@@ -20,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod engine;
 pub mod gradient;
 pub mod init;
 pub mod linear;
@@ -28,6 +33,7 @@ pub mod metrics;
 pub mod mlp;
 pub mod model;
 pub mod optimizer;
+pub mod par;
 pub mod tensor;
 
 pub use gradient::GradientVector;
@@ -36,4 +42,4 @@ pub use metrics::{accuracy, confusion_matrix};
 pub use mlp::Mlp;
 pub use model::{Model, ModelKind};
 pub use optimizer::{LocalTrainingConfig, Sgd};
-pub use tensor::{Matrix, Vector};
+pub use tensor::{Matrix, Scratch, Vector};

@@ -7,9 +7,10 @@
 //! gradient geometry used by Algorithm 2 (cosine distances between client
 //! updates) behaves like it does in the paper.
 
+use crate::activation::softmax_in_place;
 use crate::loss::{cross_entropy, cross_entropy_grad};
 use crate::model::Model;
-use crate::tensor::Matrix;
+use crate::tensor::{Matrix, Scratch};
 use crate::{init, tensor};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -28,7 +29,10 @@ pub struct SoftmaxRegression {
 impl SoftmaxRegression {
     /// Creates a model with Xavier-initialized weights and zero biases.
     pub fn new<R: Rng + ?Sized>(features: usize, classes: usize, rng: &mut R) -> Self {
-        assert!(features > 0 && classes > 1, "need at least 1 feature and 2 classes");
+        assert!(
+            features > 0 && classes > 1,
+            "need at least 1 feature and 2 classes"
+        );
         let mut params = init::xavier_uniform(rng, features, classes);
         params.extend(init::zeros(classes));
         SoftmaxRegression {
@@ -64,8 +68,12 @@ impl Model for SoftmaxRegression {
         self.classes * self.features + self.classes
     }
 
-    fn params(&self) -> Vec<f64> {
-        self.params.clone()
+    fn params_ref(&self) -> &[f64] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
     }
 
     fn set_params(&mut self, params: &[f64]) {
@@ -83,9 +91,115 @@ impl Model for SoftmaxRegression {
             .collect()
     }
 
-    fn loss_and_grad(&self, features: &Matrix, labels: &[usize], rows: &[usize]) -> (f64, Vec<f64>) {
-        assert_eq!(features.rows, labels.len(), "features/labels length mismatch");
-        assert!(!rows.is_empty(), "gradient over an empty batch is undefined");
+    fn logits_block(&self, x: &[f64], rows: usize, scratch: &mut Scratch) {
+        debug_assert_eq!(x.len(), rows * self.features);
+        scratch.z.resize_in_place(rows, self.classes);
+        // z = X · Wᵀ straight against the row-major parameter window —
+        // the Gram kernel's dot tiles want exactly this layout, so no
+        // transpose or copy is needed.
+        let weights = &self.params[..self.classes * self.features];
+        tensor::gemm_nt(
+            x,
+            weights,
+            &mut scratch.z.data,
+            rows,
+            self.features,
+            self.classes,
+        );
+        let bias = &self.params[self.classes * self.features..];
+        for row in scratch.z.data.chunks_mut(self.classes) {
+            for (v, &b) in row.iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+        }
+    }
+
+    fn loss_and_sum_grad_batched(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        rows: &[usize],
+        grad: &mut Vec<f64>,
+        scratch: &mut Scratch,
+    ) -> f64 {
+        assert_eq!(
+            features.rows,
+            labels.len(),
+            "features/labels length mismatch"
+        );
+        assert!(
+            !rows.is_empty(),
+            "gradient over an empty batch is undefined"
+        );
+        assert_eq!(features.cols, self.features, "feature width mismatch");
+        let batch = rows.len();
+
+        // Forward straight off the dataset rows — the minibatch is never
+        // gathered into a contiguous copy.
+        let weight_len = self.classes * self.features;
+        scratch.z.resize_in_place(batch, self.classes);
+        tensor::gemm_nt_indexed(
+            features,
+            rows,
+            &self.params[..weight_len],
+            &mut scratch.z.data,
+            self.classes,
+        );
+        let bias = &self.params[weight_len..];
+        for row in scratch.z.data.chunks_mut(self.classes) {
+            for (v, &b) in row.iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+        }
+
+        // delta = softmax(z) - one_hot(label), computed row-wise in place;
+        // the loss accumulates from the same probabilities.
+        let mut total_loss = 0.0;
+        scratch.delta.resize_in_place(batch, self.classes);
+        scratch.delta.data.copy_from_slice(&scratch.z.data);
+        for (r, &row_index) in rows.iter().enumerate() {
+            let delta_row = scratch.delta.row_mut(r);
+            softmax_in_place(delta_row);
+            let label = labels[row_index];
+            total_loss += -(delta_row[label].max(1e-15)).ln();
+            delta_row[label] -= 1.0;
+        }
+
+        // grad_W = δᵀ · X as one store-mode GEMM straight into the weight
+        // window of `grad` (no zeroing pass over the buffer); grad_b is
+        // the column sum of δ.
+        let bias_offset = self.classes * self.features;
+        grad.resize(self.num_params(), 0.0);
+        let (grad_w, grad_b) = grad.split_at_mut(bias_offset);
+        tensor::gemm_tn_indexed_overwrite(
+            &scratch.delta.data,
+            features,
+            rows,
+            grad_w,
+            self.classes,
+        );
+        grad_b.fill(0.0);
+        for r in 0..batch {
+            tensor::axpy(1.0, scratch.delta.row(r), grad_b);
+        }
+        total_loss
+    }
+
+    fn loss_and_grad_reference(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        rows: &[usize],
+    ) -> (f64, Vec<f64>) {
+        assert_eq!(
+            features.rows,
+            labels.len(),
+            "features/labels length mismatch"
+        );
+        assert!(
+            !rows.is_empty(),
+            "gradient over an empty batch is undefined"
+        );
         let mut grad = vec![0.0; self.num_params()];
         let mut total_loss = 0.0;
         let bias_offset = self.classes * self.features;
@@ -205,12 +319,18 @@ mod tests {
             m.set_params(&p);
         }
         let final_loss = dataset_loss(&m, &features, &labels);
-        assert!(final_loss < initial_loss * 0.2, "loss {initial_loss} -> {final_loss}");
+        assert!(
+            final_loss < initial_loss * 0.2,
+            "loss {initial_loss} -> {final_loss}"
+        );
         let correct = rows
             .iter()
             .filter(|&&r| argmax(&m.logits(features.row(r))) == labels[r])
             .count();
-        assert_eq!(correct, features.rows, "separable data should be fit exactly");
+        assert_eq!(
+            correct, features.rows,
+            "separable data should be fit exactly"
+        );
     }
 
     #[test]

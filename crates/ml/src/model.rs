@@ -9,17 +9,36 @@
 
 use crate::linear::SoftmaxRegression;
 use crate::mlp::Mlp;
-use crate::tensor::Matrix;
+use crate::tensor::{Matrix, Scratch};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A trainable classification model with flat parameter access.
+///
+/// The compute-heavy entry points come in two flavours: the batched
+/// engine (`loss_and_grad_batched`, `logits_batch`) that moves whole
+/// minibatches through the GEMM kernels of [`crate::tensor`], and the
+/// retained per-sample reference path (`loss_and_grad_reference`) used
+/// by the equivalence tests and the throughput benchmark.
+/// [`Model::loss_and_grad`] dispatches between them according to
+/// [`crate::engine::reference_mode`].
 pub trait Model {
     /// Total number of parameters.
     fn num_params(&self) -> usize;
 
+    /// Borrows the flat parameter vector without copying — the accessor
+    /// hot paths use to read or hash parameters in place.
+    fn params_ref(&self) -> &[f64];
+
     /// Copies the parameters into a flat vector (the uploadable "gradient").
-    fn params(&self) -> Vec<f64>;
+    fn params(&self) -> Vec<f64> {
+        self.params_ref().to_vec()
+    }
+
+    /// Mutably borrows the flat parameter vector, letting optimizers
+    /// apply updates in place instead of round-tripping a copy through
+    /// [`Model::set_params`] every step.
+    fn params_mut(&mut self) -> &mut [f64];
 
     /// Overwrites the parameters from a flat vector of length
     /// [`Model::num_params`].
@@ -28,9 +47,80 @@ pub trait Model {
     /// Raw class scores for a single feature row.
     fn logits(&self, features: &[f64]) -> Vec<f64>;
 
+    /// Batched forward pass over a borrowed row-major block of `rows`
+    /// feature rows, writing logits into `scratch.z` (`rows x classes`).
+    /// Taking the block as a slice lets evaluation run directly on
+    /// contiguous ranges of the dataset without gathering a copy.
+    fn logits_block(&self, x: &[f64], rows: usize, scratch: &mut Scratch);
+
+    /// Batched forward pass: computes logits for every row of the packed
+    /// batch `scratch.x` into `scratch.z` (`batch x classes`).
+    fn logits_batch(&self, scratch: &mut Scratch) {
+        let x = std::mem::take(&mut scratch.x);
+        self.logits_block(&x.data, x.rows, scratch);
+        scratch.x = x;
+    }
+
+    /// Batched loss/gradient over the selected rows, as sums over the
+    /// batch (no `1/B` scaling), writing the flat gradient into `grad`
+    /// (resized as needed) and reusing `scratch` buffers. Returns the
+    /// summed loss. The training loop consumes this form directly,
+    /// folding the `1/B` factor into the SGD step so no extra pass over
+    /// the gradient is spent on scaling.
+    fn loss_and_sum_grad_batched(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        rows: &[usize],
+        grad: &mut Vec<f64>,
+        scratch: &mut Scratch,
+    ) -> f64;
+
+    /// Batched mean loss and gradient over the selected rows, writing the
+    /// flat gradient into `grad` (resized as needed) and reusing
+    /// `scratch` buffers. Returns the mean loss.
+    fn loss_and_grad_batched(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        rows: &[usize],
+        grad: &mut Vec<f64>,
+        scratch: &mut Scratch,
+    ) -> f64 {
+        let summed = self.loss_and_sum_grad_batched(features, labels, rows, grad, scratch);
+        let scale = 1.0 / rows.len() as f64;
+        crate::tensor::scale(scale, grad);
+        summed * scale
+    }
+
+    /// Per-sample reference implementation of [`Model::loss_and_grad`],
+    /// kept verbatim from the pre-batching engine for equivalence tests
+    /// and A/B speedup measurement.
+    fn loss_and_grad_reference(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        rows: &[usize],
+    ) -> (f64, Vec<f64>);
+
     /// Mean loss and flat parameter gradient over the selected rows of the
-    /// dataset (`rows` indexes into `features` / `labels`).
-    fn loss_and_grad(&self, features: &Matrix, labels: &[usize], rows: &[usize]) -> (f64, Vec<f64>);
+    /// dataset (`rows` indexes into `features` / `labels`). Dispatches to
+    /// the batched engine unless the process-wide reference mode is set.
+    fn loss_and_grad(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        rows: &[usize],
+    ) -> (f64, Vec<f64>) {
+        if crate::engine::reference_mode() {
+            self.loss_and_grad_reference(features, labels, rows)
+        } else {
+            let mut scratch = Scratch::new();
+            let mut grad = Vec::new();
+            let loss = self.loss_and_grad_batched(features, labels, rows, &mut grad, &mut scratch);
+            (loss, grad)
+        }
+    }
 
     /// Predicted class for a single feature row (argmax of the logits).
     fn predict_row(&self, features: &[f64]) -> usize {
@@ -132,10 +222,17 @@ impl Model for AnyModel {
         }
     }
 
-    fn params(&self) -> Vec<f64> {
+    fn params_ref(&self) -> &[f64] {
         match self {
-            AnyModel::Softmax(m) => m.params(),
-            AnyModel::Mlp(m) => m.params(),
+            AnyModel::Softmax(m) => m.params_ref(),
+            AnyModel::Mlp(m) => m.params_ref(),
+        }
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        match self {
+            AnyModel::Softmax(m) => m.params_mut(),
+            AnyModel::Mlp(m) => m.params_mut(),
         }
     }
 
@@ -153,10 +250,38 @@ impl Model for AnyModel {
         }
     }
 
-    fn loss_and_grad(&self, features: &Matrix, labels: &[usize], rows: &[usize]) -> (f64, Vec<f64>) {
+    fn logits_block(&self, x: &[f64], rows: usize, scratch: &mut Scratch) {
         match self {
-            AnyModel::Softmax(m) => m.loss_and_grad(features, labels, rows),
-            AnyModel::Mlp(m) => m.loss_and_grad(features, labels, rows),
+            AnyModel::Softmax(m) => m.logits_block(x, rows, scratch),
+            AnyModel::Mlp(m) => m.logits_block(x, rows, scratch),
+        }
+    }
+
+    fn loss_and_sum_grad_batched(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        rows: &[usize],
+        grad: &mut Vec<f64>,
+        scratch: &mut Scratch,
+    ) -> f64 {
+        match self {
+            AnyModel::Softmax(m) => {
+                m.loss_and_sum_grad_batched(features, labels, rows, grad, scratch)
+            }
+            AnyModel::Mlp(m) => m.loss_and_sum_grad_batched(features, labels, rows, grad, scratch),
+        }
+    }
+
+    fn loss_and_grad_reference(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        rows: &[usize],
+    ) -> (f64, Vec<f64>) {
+        match self {
+            AnyModel::Softmax(m) => m.loss_and_grad_reference(features, labels, rows),
+            AnyModel::Mlp(m) => m.loss_and_grad_reference(features, labels, rows),
         }
     }
 }

@@ -8,7 +8,7 @@
 //! `proximal_mu = 0` recovers FedAvg/FAIR-BFL local training.
 
 use crate::model::Model;
-use crate::tensor::{self, Matrix};
+use crate::tensor::{self, Matrix, Scratch};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -74,6 +74,10 @@ pub struct LocalTrainingStats {
 ///
 /// `samples` identifies the client's local shard D_i inside the shared
 /// feature/label arrays, so no per-client copies of the data are made.
+///
+/// Convenience wrapper around [`train_local_with_scratch`] that builds a
+/// one-shot [`Scratch`]; loops that train many clients should hold one
+/// workspace per worker and call the `_with_scratch` form instead.
 pub fn train_local<M: Model, R: Rng + ?Sized>(
     model: &mut M,
     features: &Matrix,
@@ -82,13 +86,43 @@ pub fn train_local<M: Model, R: Rng + ?Sized>(
     config: &LocalTrainingConfig,
     rng: &mut R,
 ) -> LocalTrainingStats {
+    let mut scratch = Scratch::new();
+    train_local_with_scratch(model, features, labels, samples, config, rng, &mut scratch)
+}
+
+/// [`train_local`] with an externally owned [`Scratch`]: after the first
+/// minibatch warms the buffers, every subsequent step of every epoch —
+/// and every later client trained with the same workspace — runs without
+/// heap allocation in the forward/backward pass.
+pub fn train_local_with_scratch<M: Model, R: Rng + ?Sized>(
+    model: &mut M,
+    features: &Matrix,
+    labels: &[usize],
+    samples: &[usize],
+    config: &LocalTrainingConfig,
+    rng: &mut R,
+    scratch: &mut Scratch,
+) -> LocalTrainingStats {
     assert!(config.batch_size > 0, "batch size must be positive");
     assert!(config.epochs > 0, "epoch count must be positive");
-    assert!(!samples.is_empty(), "a client cannot train on an empty shard");
+    assert!(
+        !samples.is_empty(),
+        "a client cannot train on an empty shard"
+    );
 
+    let reference = crate::engine::reference_mode();
     let optimizer = Sgd::new(config.learning_rate);
     let anchor = model.params();
-    let mut params = model.params();
+    // The reference mode reproduces the seed's per-sample loop verbatim,
+    // including its separate parameter vector round-tripped through
+    // `set_params` every step — that loop is the baseline the batched
+    // engine's speedup is measured against.
+    let mut reference_params = if reference {
+        model.params()
+    } else {
+        Vec::new()
+    };
+    let mut grad: Vec<f64> = Vec::new();
     let mut order: Vec<usize> = samples.to_vec();
     let mut steps = 0;
     let mut final_epoch_loss = 0.0;
@@ -98,15 +132,53 @@ pub fn train_local<M: Model, R: Rng + ?Sized>(
         let mut epoch_loss = 0.0;
         let mut epoch_batches = 0;
         for batch in order.chunks(config.batch_size) {
-            model.set_params(&params);
-            let (loss, mut grad) = model.loss_and_grad(features, labels, batch);
-            if config.proximal_mu > 0.0 {
-                // FedProx: grad += mu * (w - w_global).
-                for ((g, w), w0) in grad.iter_mut().zip(params.iter()).zip(anchor.iter()) {
-                    *g += config.proximal_mu * (w - w0);
+            // The model's own parameter vector is the optimizer state:
+            // gradients are computed against it in place and the SGD step
+            // mutates it directly, with no per-step copy. The batched
+            // path leaves the gradient as a sum over the batch and folds
+            // the `1/B` mean into the step's coefficient, saving one full
+            // pass over the gradient per step; the reference path keeps
+            // its original mean-gradient form.
+            let loss = if reference {
+                model.set_params(&reference_params);
+                let (loss, mut reference_grad) =
+                    model.loss_and_grad_reference(features, labels, batch);
+                if config.proximal_mu > 0.0 {
+                    // FedProx: grad += mu * (w - w_global).
+                    for ((g, w), w0) in reference_grad
+                        .iter_mut()
+                        .zip(reference_params.iter())
+                        .zip(anchor.iter())
+                    {
+                        *g += config.proximal_mu * (w - w0);
+                    }
                 }
-            }
-            optimizer.step(&mut params, &grad);
+                optimizer.step(&mut reference_params, &reference_grad);
+                loss
+            } else {
+                let inverse_batch = 1.0 / batch.len() as f64;
+                let loss_sum =
+                    model.loss_and_sum_grad_batched(features, labels, batch, &mut grad, scratch);
+                if config.proximal_mu > 0.0 {
+                    // FedProx on the summed gradient: the proximal pull
+                    // scales by B so the fused `lr/B` step recovers
+                    // `lr * mu * (w - w_global)` exactly.
+                    let mu_times_batch = config.proximal_mu * batch.len() as f64;
+                    for ((g, w), w0) in grad
+                        .iter_mut()
+                        .zip(model.params_ref().iter())
+                        .zip(anchor.iter())
+                    {
+                        *g += mu_times_batch * (w - w0);
+                    }
+                }
+                tensor::axpy(
+                    -config.learning_rate * inverse_batch,
+                    &grad,
+                    model.params_mut(),
+                );
+                loss_sum * inverse_batch
+            };
             epoch_loss += loss;
             epoch_batches += 1;
             steps += 1;
@@ -116,8 +188,10 @@ pub fn train_local<M: Model, R: Rng + ?Sized>(
         }
     }
 
-    model.set_params(&params);
-    let update_norm = tensor::l2_norm(&tensor::sub(&params, &anchor));
+    if reference {
+        model.set_params(&reference_params);
+    }
+    let update_norm = tensor::l2_norm(&tensor::sub(model.params_ref(), &anchor));
     LocalTrainingStats {
         steps,
         final_epoch_loss,
@@ -227,8 +301,12 @@ mod tests {
             proximal_mu: 1.0,
             ..plain_cfg
         };
-        let plain_stats = train_local(&mut plain, &features, &labels, &samples, &plain_cfg, &mut rng_a);
-        let prox_stats = train_local(&mut prox, &features, &labels, &samples, &prox_cfg, &mut rng_b);
+        let plain_stats = train_local(
+            &mut plain, &features, &labels, &samples, &plain_cfg, &mut rng_a,
+        );
+        let prox_stats = train_local(
+            &mut prox, &features, &labels, &samples, &prox_cfg, &mut rng_b,
+        );
         assert!(
             prox_stats.update_norm < plain_stats.update_norm,
             "proximal update {} should be smaller than plain {}",

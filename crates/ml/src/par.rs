@@ -1,0 +1,256 @@
+//! Deterministic data-parallel helpers built on `std::thread::scope`.
+//!
+//! The workspace previously reached for rayon's parallel iterators in
+//! three hot loops (per-row matvecs, per-client local SGD). The offline
+//! build has no rayon, and the loops it parallelized are exactly the
+//! ones the batched GEMM engine restructures — so the replacement is a
+//! deliberately small fork/join layer: inputs are split into one
+//! contiguous chunk per worker, each worker writes its own slice of the
+//! output, and chunks are stitched back in index order. Scheduling can
+//! never reorder results, so parallel runs are bit-identical to
+//! sequential runs — a property the reproducibility tests assert.
+//!
+//! Every entry point degrades to a plain inline loop when the machine
+//! has a single core or the input is too small to amortize a thread
+//! spawn.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Set while the current thread is executing inside one of this
+    /// module's workers. Nested helpers then stay serial instead of
+    /// spawning a second layer of threads over the same cores (e.g. a
+    /// GEMM inside a per-client training task).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn run_as_worker<T>(f: impl FnOnce() -> T) -> T {
+    IN_WORKER.with(|flag| {
+        let previous = flag.replace(true);
+        let result = f();
+        flag.set(previous);
+        result
+    })
+}
+
+/// Number of worker threads the helpers will use at most. Cached:
+/// `available_parallelism` is a syscall, and the kernels consult this on
+/// every dispatch. Returns 1 inside an existing worker, so parallel
+/// regions never nest.
+pub fn max_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    static MAX_THREADS: OnceLock<usize> = OnceLock::new();
+    *MAX_THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Number of workers a row-parallel job of `rows` rows would use, given
+/// the minimum rows worth handing one thread. Kernels use this to pick
+/// the plain serial core when the answer is 1, keeping the hot loop free
+/// of any fork/join machinery.
+pub fn plan_workers(rows: usize, min_rows_per_thread: usize) -> usize {
+    max_threads().min(rows / min_rows_per_thread.max(1)).max(1)
+}
+
+/// Balanced split: chunk sizes differ by at most one.
+fn chunk_len(total: usize, workers: usize, index: usize) -> std::ops::Range<usize> {
+    let base = total / workers;
+    let extra = total % workers;
+    let start = index * base + index.min(extra);
+    let len = base + usize::from(index < extra);
+    start..start + len
+}
+
+/// Maps `f` over `items` (with the item index), preserving order.
+///
+/// `min_per_thread` is the smallest number of items worth giving one
+/// worker; below `2 * min_per_thread` the map runs inline.
+pub fn par_map<T, U, F>(items: &[T], min_per_thread: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_with(
+        items,
+        min_per_thread,
+        || (),
+        |(), index, item| f(index, item),
+    )
+}
+
+/// Like [`par_map`], but each worker first builds a reusable state with
+/// `init` and threads it through every item of its chunk — the hook the
+/// training engine uses to reuse one [`crate::tensor::Scratch`] across
+/// all clients a worker processes.
+#[inline]
+pub fn par_map_with<T, S, U, I, F>(items: &[T], min_per_thread: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    let workers = plan_workers(items.len(), min_per_thread);
+    if workers <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| f(&mut state, index, item))
+            .collect();
+    }
+
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let range = chunk_len(items.len(), workers, w);
+            let chunk = &items[range.clone()];
+            let f = &f;
+            let init = &init;
+            handles.push(scope.spawn(move || {
+                run_as_worker(|| {
+                    let mut state = init();
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(offset, item)| f(&mut state, range.start + offset, item))
+                        .collect::<Vec<U>>()
+                })
+            }));
+        }
+        for handle in handles {
+            results.push(handle.join().expect("par_map worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Runs `f` over disjoint contiguous row-chunks of `data`, in parallel.
+///
+/// `data` is split along `row_len`-sized rows into one chunk per worker;
+/// `f` receives the starting row index and the mutable chunk. Used by
+/// the GEMM kernels to parallelize over blocks of output rows.
+#[inline]
+pub fn par_rows_mut<T, F>(data: &mut [T], row_len: usize, min_rows_per_thread: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    debug_assert_eq!(data.len() % row_len, 0);
+    let rows = data.len() / row_len;
+    let workers = plan_workers(rows, min_rows_per_thread);
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut row_start = 0;
+        for w in 0..workers {
+            let range = chunk_len(rows, workers, w);
+            let (chunk, tail) = rest.split_at_mut(range.len() * row_len);
+            rest = tail;
+            let f = &f;
+            let start = row_start;
+            scope.spawn(move || run_as_worker(|| f(start, chunk)));
+            row_start += range.len();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_indices() {
+        let items: Vec<usize> = (0..97).collect();
+        let out = par_map(&items, 1, |index, &item| {
+            assert_eq!(index, item);
+            item * 3
+        });
+        assert_eq!(out, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::new();
+        assert!(par_map(&empty, 1, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn par_map_with_reuses_state_within_a_worker() {
+        let items: Vec<usize> = (0..40).collect();
+        let out = par_map_with(
+            &items,
+            1,
+            || 0usize,
+            |calls, _, &item| {
+                *calls += 1;
+                (item, *calls)
+            },
+        );
+        // Call counters grow monotonically inside each worker's chunk and
+        // every item is present exactly once, in order.
+        assert_eq!(out.len(), 40);
+        for (i, (item, calls)) in out.iter().enumerate() {
+            assert_eq!(*item, i);
+            assert!(*calls >= 1);
+        }
+    }
+
+    #[test]
+    fn nested_parallel_regions_stay_serial() {
+        let items: Vec<usize> = (0..8).collect();
+        // From inside a worker, further fan-out must collapse to 1.
+        let out = par_map(&items, 1, |_, _| max_threads());
+        // On a single-core host the map runs inline and max_threads is
+        // the host limit; with real workers every one must observe 1.
+        if max_threads() > 1 {
+            assert!(out.iter().all(|&threads| threads == 1));
+        }
+        assert_eq!(out.len(), items.len());
+    }
+
+    #[test]
+    fn par_rows_mut_covers_every_row_once() {
+        let rows = 23;
+        let cols = 5;
+        let mut data = vec![0.0f64; rows * cols];
+        par_rows_mut(&mut data, cols, 1, |row_start, chunk| {
+            for (r, row) in chunk.chunks_mut(cols).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (row_start + r) as f64;
+                }
+            }
+        });
+        for (r, row) in data.chunks(cols).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f64));
+        }
+    }
+
+    #[test]
+    fn chunk_partition_is_balanced_and_complete() {
+        for total in [0usize, 1, 7, 16, 23] {
+            for workers in 1..=5usize {
+                let mut covered = 0;
+                let mut previous_end = 0;
+                for w in 0..workers {
+                    let range = chunk_len(total, workers, w);
+                    assert_eq!(range.start, previous_end);
+                    previous_end = range.end;
+                    covered += range.len();
+                }
+                assert_eq!(covered, total);
+                assert_eq!(previous_end, total);
+            }
+        }
+    }
+}

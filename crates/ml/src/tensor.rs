@@ -1,17 +1,60 @@
-//! Dense vectors and row-major matrices with the handful of kernels the
-//! models need: dot products, AXPY updates, matrix-vector and
-//! matrix-transpose-vector products, and row access.
+//! Dense vectors, row-major matrices, and the batched compute kernels
+//! every model in the workspace runs on.
 //!
-//! Matrix-vector products over many rows are parallelized with rayon's
-//! parallel iterators; everything else is deliberately simple sequential
-//! code — the matrices involved (at most a few thousand rows of 784
-//! columns) never justify more machinery.
+//! # Kernel layer
+//!
+//! Three matrix-matrix kernels cover every shape the training and
+//! evaluation engines need:
+//!
+//! * [`matmul_into`] — `C = A · B`, in `i`/`k`/`j` loop order. The inner
+//!   `j` loop is a pure `c[j] += a_ik * b[j]` stream with no reduction
+//!   dependency, so it auto-vectorizes; the `k` loop is blocked
+//!   ([`K_BLOCK`]) so the touched panel of `B` stays cache-resident for
+//!   large inner dimensions.
+//! * [`matmul_transpose_a_into`] — `C = Aᵀ · B`, the gradient kernel
+//!   (`grad_W = δᵀ · X`). Accumulation over `k` runs in ascending order,
+//!   which keeps the batched gradients numerically aligned with the
+//!   per-sample reference path (same summation order per output element).
+//! * [`matmul_transpose_b_into`] — `C = A · Bᵀ`, the Gram kernel used
+//!   for logits against row-major weights and for cosine-distance
+//!   matrices. The `j` loop is unrolled four wide so four independent
+//!   dot-product accumulators hide the floating-point add latency that
+//!   makes one-at-a-time `dot` calls latency-bound.
+//!
+//! Each kernel has a slice-level core ([`gemm_nn`], [`gemm_tn`],
+//! [`gemm_nt`]) taking raw row-major buffers plus dimensions, so models
+//! can point operands directly at windows of their flat parameter
+//! vector — logits and weight gradients run against the parameters in
+//! place, with no per-step transpose or copy. All three parallelize over
+//! contiguous blocks of output rows via [`crate::par::par_rows_mut`];
+//! each worker owns a disjoint slice of `C`, so results are
+//! bit-identical regardless of thread count.
+//!
+//! # Scratch workspace
+//!
+//! [`Scratch`] owns every intermediate buffer a batched forward/backward
+//! pass needs (packed minibatch, logits, deltas, hidden activations,
+//! prediction buffer). Buffers are resized with
+//! [`Matrix::resize_in_place`], which reuses the underlying allocation,
+//! so a training loop that threads one `Scratch` through all of its
+//! epochs allocates only on the first minibatch and runs allocation-free
+//! afterwards. Each rayon-style worker in the client-parallel loops
+//! builds one `Scratch` and reuses it for every client in its chunk.
 
-use rayon::prelude::*;
+use crate::par;
 use serde::{Deserialize, Serialize};
 
 /// A dense vector of `f64` values.
 pub type Vector = Vec<f64>;
+
+/// Inner-dimension block size for [`matmul_into`]: 256 `f64`s (2 KiB per
+/// row of the `B` panel) keeps the working set inside L1/L2 for the
+/// matrix shapes the models produce.
+pub const K_BLOCK: usize = 256;
+
+/// Minimum number of output rows each GEMM worker thread must receive
+/// before the kernels fan out; below this the spawn overhead dominates.
+const MIN_ROWS_PER_THREAD: usize = 32;
 
 /// A dense, row-major matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -65,6 +108,15 @@ impl Matrix {
         }
     }
 
+    /// Reshapes in place to `rows x cols`, zero-filled, reusing the
+    /// existing allocation whenever its capacity suffices.
+    pub fn resize_in_place(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Returns the element at (`row`, `col`).
     pub fn get(&self, row: usize, col: usize) -> f64 {
         debug_assert!(row < self.rows && col < self.cols);
@@ -91,28 +143,41 @@ impl Matrix {
 
     /// Builds a new matrix containing the selected rows, in the given order.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Packs the selected rows into `out` (reusing its allocation) — the
+    /// minibatch gather of the batched training path.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
         for &i in indices {
-            data.extend_from_slice(self.row(i));
-        }
-        Matrix {
-            rows: indices.len(),
-            cols: self.cols,
-            data,
+            out.data.extend_from_slice(self.row(i));
         }
     }
 
-    /// Matrix-vector product `self * x` (parallel over rows).
+    /// Transposes `self` into `out` (reusing its allocation).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        transpose_slice_into(&self.data, self.rows, self.cols, out);
+    }
+
+    /// Matrix-vector product `self * x` (parallel over row blocks).
     pub fn matvec(&self, x: &[f64]) -> Vector {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        if self.rows >= 64 {
-            (0..self.rows)
-                .into_par_iter()
-                .map(|r| dot(self.row(r), x))
-                .collect()
-        } else {
-            (0..self.rows).map(|r| dot(self.row(r), x)).collect()
+        let mut out = vec![0.0; self.rows];
+        if self.cols == 0 {
+            return out;
         }
+        par::par_rows_mut(&mut out, 1, 64, |row_start, chunk| {
+            for (offset, slot) in chunk.iter_mut().enumerate() {
+                *slot = dot(self.row(row_start + offset), x);
+            }
+        });
+        out
     }
 
     /// Matrix-transpose-vector product `selfᵀ * y`.
@@ -123,10 +188,7 @@ impl Matrix {
             if coeff == 0.0 {
                 continue;
             }
-            let row = self.row(r);
-            for (o, &v) in out.iter_mut().zip(row.iter()) {
-                *o += coeff * v;
-            }
+            axpy(coeff, self.row(r), &mut out);
         }
         out
     }
@@ -137,13 +199,599 @@ impl Matrix {
     }
 }
 
+/// Transposes a row-major `rows x cols` buffer into `out` (`cols x
+/// rows`), reusing `out`'s allocation. Models use this to stage their
+/// row-major weight windows in the layout [`gemm_nn`]'s vectorizable
+/// inner loop wants.
+pub fn transpose_slice_into(src: &[f64], rows: usize, cols: usize, out: &mut Matrix) {
+    debug_assert_eq!(src.len(), rows * cols);
+    out.rows = cols;
+    out.cols = rows;
+    // No clear(): every element is overwritten below.
+    out.data.resize(rows * cols, 0.0);
+    for r in 0..rows {
+        for (c, &v) in src[r * cols..(r + 1) * cols].iter().enumerate() {
+            out.data[c * rows + r] = v;
+        }
+    }
+}
+
+/// `C = A · B`. Allocating front-end for [`matmul_into`].
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(0, 0);
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C = A · B` with `C` reusing its allocation.
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(
+        a.cols, b.rows,
+        "matmul dimension mismatch: {}x{} * {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    c.resize_in_place(a.rows, b.cols);
+    gemm_nn(&a.data, &b.data, &mut c.data, a.rows, a.cols, b.cols);
+}
+
+/// Slice-level `C = A · B` over row-major buffers (`A: m x k`,
+/// `B: k x n`, `C: m x n`, `C` pre-zeroed).
+///
+/// Blocked `i`/`k`/`j` kernel: for each output row, the contribution of
+/// one `A` element is an axpy over a `B` row, so the innermost loop is a
+/// dependency-free vectorizable stream. `k` is tiled by [`K_BLOCK`].
+/// The slice form exists so models can point `A`/`B` at windows of their
+/// flat parameter vector without copying into a [`Matrix`].
+pub fn gemm_nn(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if par::plan_workers(m, MIN_ROWS_PER_THREAD) <= 1 {
+        gemm_nn_serial(a, b, c, 0, k, n);
+    } else {
+        par::par_rows_mut(c, n, MIN_ROWS_PER_THREAD, |row_start, chunk| {
+            gemm_nn_serial(a, b, chunk, row_start, k, n);
+        });
+    }
+}
+
+/// Serial core of [`gemm_nn`] over one contiguous block of output rows
+/// (`chunk` holds the rows starting at `row_start`).
+fn gemm_nn_serial(a: &[f64], b: &[f64], chunk: &mut [f64], row_start: usize, k: usize, n: usize) {
+    for (offset, c_row) in chunk.chunks_mut(n).enumerate() {
+        let a_row = &a[(row_start + offset) * k..(row_start + offset + 1) * k];
+        for k_start in (0..k).step_by(K_BLOCK) {
+            let k_end = (k_start + K_BLOCK).min(k);
+            for (kk, &a_ik) in a_row[k_start..k_end].iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[(k_start + kk) * n..(k_start + kk + 1) * n];
+                axpy(a_ik, b_row, c_row);
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ · B`. Allocating front-end for [`matmul_transpose_a_into`].
+pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(0, 0);
+    matmul_transpose_a_into(a, b, &mut c);
+    c
+}
+
+/// `C = Aᵀ · B` with `C` reusing its allocation — the gradient kernel
+/// (`grad_W = δᵀ · X` with `δ` as `A` and the packed minibatch as `B`).
+pub fn matmul_transpose_a_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(
+        a.rows, b.rows,
+        "matmul_transpose_a dimension mismatch: ({}x{})ᵀ * {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    c.resize_in_place(a.cols, b.cols);
+    gemm_tn(&a.data, &b.data, &mut c.data, a.rows, a.cols, b.cols);
+}
+
+/// Slice-level `C = Aᵀ · B` over row-major buffers (`A: k x m`,
+/// `B: k x n`, `C: m x n`, `C` pre-zeroed).
+///
+/// The `k` (sample) loop is outermost so each `B` row is loaded once and
+/// scattered into every output row it contributes to while hot — the
+/// same locality the per-sample reference gets by construction. Every
+/// output element still accumulates over `k` in ascending order,
+/// matching the reference summation order exactly — the equivalence
+/// tests rely on this.
+pub fn gemm_tn(a: &[f64], b: &[f64], c: &mut [f64], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if par::plan_workers(m, MIN_ROWS_PER_THREAD) <= 1 {
+        gemm_tn_serial::<true>(a, b, c, 0, k, m, n);
+    } else {
+        par::par_rows_mut(c, n, MIN_ROWS_PER_THREAD, |row_start, chunk| {
+            gemm_tn_serial::<true>(a, b, chunk, row_start, k, m, n);
+        });
+    }
+}
+
+/// Indexed-row Gram kernel: `C[i][j] = <features.row(rows[i]), B.row(j)>`
+/// with `B` a row-major `n x k` window. The selected feature rows are
+/// read in place — the minibatch is never gathered into a contiguous
+/// copy. Same dot routine and `k`-blocking as [`gemm_nt`], so results
+/// match a gather-then-`gemm_nt` exactly.
+pub fn gemm_nt_indexed(features: &Matrix, rows: &[usize], b: &[f64], c: &mut [f64], n: usize) {
+    let k = features.cols;
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), rows.len() * n);
+    if rows.is_empty() || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    gemm_nt_core(|r| features.row(rows[r]), rows.len(), b, c, k, n);
+}
+
+/// Indexed-row store-mode gradient kernel:
+/// `C = Aᵀ · X[rows]` (`A: B x m` coefficients, `X[rows]`: the selected
+/// feature rows read in place, `C: m x k` overwritten). The `k` (sample)
+/// contributions accumulate in ascending order like [`gemm_tn`].
+pub fn gemm_tn_indexed_overwrite(
+    a: &[f64],
+    features: &Matrix,
+    rows: &[usize],
+    c: &mut [f64],
+    m: usize,
+) {
+    let n = features.cols;
+    let k = rows.len();
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    gemm_tn_indexed_serial(a, features, rows, c, 0, m, n);
+}
+
+/// Serial core of [`gemm_tn_indexed_overwrite`], mirroring
+/// [`gemm_tn_serial`]'s register tiling with indexed `B` rows.
+fn gemm_tn_indexed_serial(
+    a: &[f64],
+    features: &Matrix,
+    rows: &[usize],
+    chunk: &mut [f64],
+    row_start: usize,
+    m: usize,
+    n: usize,
+) {
+    let k = rows.len();
+    let out_rows = chunk.len() / n;
+    let b_row = |kk: usize| features.row(rows[kk]);
+    let mut r = 0;
+    while r + 4 <= out_rows {
+        let base = row_start + r;
+        let sub = &mut chunk[r * n..(r + 4) * n];
+        let (c0, rest) = sub.split_at_mut(n);
+        let (c1, rest) = rest.split_at_mut(n);
+        let (c2, c3) = rest.split_at_mut(n);
+        let mut j = 0;
+        while j + LANES <= n {
+            let mut acc0 = [0.0f64; LANES];
+            let mut acc1 = [0.0f64; LANES];
+            let mut acc2 = [0.0f64; LANES];
+            let mut acc3 = [0.0f64; LANES];
+            for kk in 0..k {
+                let bv: &[f64; LANES] = b_row(kk)[j..j + LANES].try_into().unwrap();
+                let a_col = &a[kk * m + base..kk * m + base + 4];
+                for l in 0..LANES {
+                    acc0[l] = a_col[0].mul_add(bv[l], acc0[l]);
+                    acc1[l] = a_col[1].mul_add(bv[l], acc1[l]);
+                    acc2[l] = a_col[2].mul_add(bv[l], acc2[l]);
+                    acc3[l] = a_col[3].mul_add(bv[l], acc3[l]);
+                }
+            }
+            c0[j..j + LANES].copy_from_slice(&acc0);
+            c1[j..j + LANES].copy_from_slice(&acc1);
+            c2[j..j + LANES].copy_from_slice(&acc2);
+            c3[j..j + LANES].copy_from_slice(&acc3);
+            j += LANES;
+        }
+        while j < n {
+            let mut s0 = 0.0;
+            let mut s1 = 0.0;
+            let mut s2 = 0.0;
+            let mut s3 = 0.0;
+            for kk in 0..k {
+                let b_j = b_row(kk)[j];
+                let a_col = &a[kk * m + base..kk * m + base + 4];
+                s0 += a_col[0] * b_j;
+                s1 += a_col[1] * b_j;
+                s2 += a_col[2] * b_j;
+                s3 += a_col[3] * b_j;
+            }
+            c0[j] = s0;
+            c1[j] = s1;
+            c2[j] = s2;
+            c3[j] = s3;
+            j += 1;
+        }
+        r += 4;
+    }
+    while r < out_rows {
+        let i = row_start + r;
+        let c_row = &mut chunk[r * n..(r + 1) * n];
+        let mut j = 0;
+        while j + LANES <= n {
+            let mut acc = [0.0f64; LANES];
+            for kk in 0..k {
+                let bv: &[f64; LANES] = b_row(kk)[j..j + LANES].try_into().unwrap();
+                let a_ki = a[kk * m + i];
+                for l in 0..LANES {
+                    acc[l] = a_ki.mul_add(bv[l], acc[l]);
+                }
+            }
+            c_row[j..j + LANES].copy_from_slice(&acc);
+            j += LANES;
+        }
+        while j < n {
+            let mut s = 0.0;
+            for kk in 0..k {
+                s += a[kk * m + i] * b_row(kk)[j];
+            }
+            c_row[j] = s;
+            j += 1;
+        }
+        r += 1;
+    }
+}
+
+/// Store-mode variant of [`gemm_tn`]: `C = Aᵀ · B`, overwriting `C`
+/// without reading it first — callers reusing a gradient buffer skip
+/// zeroing it between steps.
+pub fn gemm_tn_overwrite(a: &[f64], b: &[f64], c: &mut [f64], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    if par::plan_workers(m, MIN_ROWS_PER_THREAD) <= 1 {
+        gemm_tn_serial::<false>(a, b, c, 0, k, m, n);
+    } else {
+        par::par_rows_mut(c, n, MIN_ROWS_PER_THREAD, |row_start, chunk| {
+            gemm_tn_serial::<false>(a, b, chunk, row_start, k, m, n);
+        });
+    }
+}
+
+/// Serial core of [`gemm_tn`] over one contiguous block of output rows.
+///
+/// Register-tiled: four output rows advance together through `j` in
+/// [`LANES`]-wide vectors, with the full `k` (sample) dimension fused
+/// into one pass — each output element is loaded (when `ACCUMULATE`)
+/// and stored exactly once, instead of once per sample. Every element
+/// accumulates its `k` contributions in ascending order, matching the
+/// per-sample reference summation order.
+fn gemm_tn_serial<const ACCUMULATE: bool>(
+    a: &[f64],
+    b: &[f64],
+    chunk: &mut [f64],
+    row_start: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let rows = chunk.len() / n;
+    let mut r = 0;
+    while r + 4 <= rows {
+        let base = row_start + r;
+        let sub = &mut chunk[r * n..(r + 4) * n];
+        let (c0, rest) = sub.split_at_mut(n);
+        let (c1, rest) = rest.split_at_mut(n);
+        let (c2, c3) = rest.split_at_mut(n);
+        let mut j = 0;
+        while j + LANES <= n {
+            let load = |row: &[f64]| -> [f64; LANES] {
+                if ACCUMULATE {
+                    row[j..j + LANES].try_into().unwrap()
+                } else {
+                    [0.0; LANES]
+                }
+            };
+            let mut acc0 = load(c0);
+            let mut acc1 = load(c1);
+            let mut acc2 = load(c2);
+            let mut acc3 = load(c3);
+            for kk in 0..k {
+                let bv: &[f64; LANES] = b[kk * n + j..kk * n + j + LANES].try_into().unwrap();
+                let a_col = &a[kk * m + base..kk * m + base + 4];
+                for l in 0..LANES {
+                    acc0[l] = a_col[0].mul_add(bv[l], acc0[l]);
+                    acc1[l] = a_col[1].mul_add(bv[l], acc1[l]);
+                    acc2[l] = a_col[2].mul_add(bv[l], acc2[l]);
+                    acc3[l] = a_col[3].mul_add(bv[l], acc3[l]);
+                }
+            }
+            c0[j..j + LANES].copy_from_slice(&acc0);
+            c1[j..j + LANES].copy_from_slice(&acc1);
+            c2[j..j + LANES].copy_from_slice(&acc2);
+            c3[j..j + LANES].copy_from_slice(&acc3);
+            j += LANES;
+        }
+        while j < n {
+            let init = |row: &[f64]| if ACCUMULATE { row[j] } else { 0.0 };
+            let mut s0 = init(c0);
+            let mut s1 = init(c1);
+            let mut s2 = init(c2);
+            let mut s3 = init(c3);
+            for kk in 0..k {
+                let b_j = b[kk * n + j];
+                let a_col = &a[kk * m + base..kk * m + base + 4];
+                s0 += a_col[0] * b_j;
+                s1 += a_col[1] * b_j;
+                s2 += a_col[2] * b_j;
+                s3 += a_col[3] * b_j;
+            }
+            c0[j] = s0;
+            c1[j] = s1;
+            c2[j] = s2;
+            c3[j] = s3;
+            j += 1;
+        }
+        r += 4;
+    }
+    // Remainder rows, one at a time with the same full-`k` fusion.
+    while r < rows {
+        let i = row_start + r;
+        let c_row = &mut chunk[r * n..(r + 1) * n];
+        let mut j = 0;
+        while j + LANES <= n {
+            let mut acc: [f64; LANES] = if ACCUMULATE {
+                c_row[j..j + LANES].try_into().unwrap()
+            } else {
+                [0.0; LANES]
+            };
+            for kk in 0..k {
+                let bv: &[f64; LANES] = b[kk * n + j..kk * n + j + LANES].try_into().unwrap();
+                let a_ki = a[kk * m + i];
+                for l in 0..LANES {
+                    acc[l] = a_ki.mul_add(bv[l], acc[l]);
+                }
+            }
+            c_row[j..j + LANES].copy_from_slice(&acc);
+            j += LANES;
+        }
+        while j < n {
+            let mut s = if ACCUMULATE { c_row[j] } else { 0.0 };
+            for kk in 0..k {
+                s += a[kk * m + i] * b[kk * n + j];
+            }
+            c_row[j] = s;
+            j += 1;
+        }
+        r += 1;
+    }
+}
+
+/// `C = A · Bᵀ`. Allocating front-end for [`matmul_transpose_b_into`].
+pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(0, 0);
+    matmul_transpose_b_into(a, b, &mut c);
+    c
+}
+
+/// `C = A · Bᵀ` with `C` reusing its allocation — the Gram kernel
+/// (`C[i][j] = ⟨A.row(i), B.row(j)⟩`).
+pub fn matmul_transpose_b_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(
+        a.cols, b.cols,
+        "matmul_transpose_b dimension mismatch: {}x{} * ({}x{})ᵀ",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    c.resize_in_place(a.rows, b.rows);
+    gemm_nt(&a.data, &b.data, &mut c.data, a.rows, a.cols, b.rows);
+}
+
+/// Slice-level `C = A · Bᵀ` over row-major buffers (`A: m x k`,
+/// `B: n x k`, `C: m x n`).
+///
+/// Four output columns are produced per pass over `A.row(i)`, giving
+/// four independent accumulator chains; a lone dot product is bound by
+/// the floating-point add latency instead. The slice form lets models
+/// point `B` at the weight window of their flat parameter vector, so
+/// logits need no per-step weight transpose or copy.
+pub fn gemm_nt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if par::plan_workers(m, MIN_ROWS_PER_THREAD) <= 1 {
+        gemm_nt_serial(a, b, c, 0, k, n);
+    } else {
+        par::par_rows_mut(c, n, MIN_ROWS_PER_THREAD, |row_start, chunk| {
+            gemm_nt_serial(a, b, chunk, row_start, k, n);
+        });
+    }
+}
+
+/// SIMD lane width of one accumulator vector in the dot kernels: 8
+/// doubles is one AVX-512 register (or two AVX2 registers).
+const LANES: usize = 8;
+
+/// Accumulator stripe of the dot kernels: four [`LANES`]-wide vectors
+/// advance in parallel, giving four independent FMA chains — enough to
+/// hide the floating-point latency that serializes a plain [`dot`].
+const STRIPE: usize = 4 * LANES;
+
+/// Lane-striped dot product: deterministic (fixed stripe layout, fixed
+/// reduction order) and auto-vectorizable. All Gram entries produced by
+/// [`gemm_nt`] go through this one routine, so identical input rows
+/// yield bit-identical entries — the Euclidean-from-Gram cancellation
+/// depends on this.
+#[inline]
+fn dot_lanes(a: &[f64], b: &[f64]) -> f64 {
+    let len = a.len();
+    let mut acc = [0.0f64; STRIPE];
+    let mut i = 0;
+    while i + STRIPE <= len {
+        let av: &[f64; STRIPE] = a[i..i + STRIPE].try_into().unwrap();
+        let bv: &[f64; STRIPE] = b[i..i + STRIPE].try_into().unwrap();
+        for l in 0..STRIPE {
+            acc[l] = av[l].mul_add(bv[l], acc[l]);
+        }
+        i += STRIPE;
+    }
+    // Fold the stripe into one vector, then reduce it left-to-right.
+    let mut folded = [0.0f64; LANES];
+    for (l, value) in acc.iter().enumerate() {
+        folded[l % LANES] += value;
+    }
+    while i + LANES <= len {
+        let av: &[f64; LANES] = a[i..i + LANES].try_into().unwrap();
+        let bv: &[f64; LANES] = b[i..i + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            folded[l] = av[l].mul_add(bv[l], folded[l]);
+        }
+        i += LANES;
+    }
+    let mut out: f64 = folded.iter().sum();
+    while i < len {
+        out += a[i] * b[i];
+        i += 1;
+    }
+    out
+}
+
+/// `k`-block size of the small-row [`gemm_nt`] path: two `16 x 128`
+/// operand tiles (16 KiB each) fit L1 together.
+const NT_K_BLOCK: usize = 128;
+
+/// Serial core of [`gemm_nt`] over one contiguous block of output rows.
+fn gemm_nt_serial(a: &[f64], b: &[f64], chunk: &mut [f64], row_start: usize, k: usize, n: usize) {
+    let rows = chunk.len() / n;
+    gemm_nt_core(
+        |r| &a[(row_start + r) * k..(row_start + r + 1) * k],
+        rows,
+        b,
+        chunk,
+        k,
+        n,
+    );
+}
+
+/// Shared `A · Bᵀ` core, generic over how `A` rows are fetched (a
+/// contiguous buffer for [`gemm_nt`], dataset row indices for
+/// [`gemm_nt_indexed`] — both produce identical results).
+///
+/// Two regimes:
+/// * **Small row blocks** (minibatch logits): both operands are walked
+///   in `[rows x NT_K_BLOCK]` tiles that stay L1-resident together, so
+///   each operand is read from L2 exactly once per call instead of once
+///   per output row — training throughput is then insensitive to L2/L3
+///   bandwidth contention.
+/// * **Large row blocks** (evaluation, Gram matrices): one lane-striped
+///   dot product per output element; the `B` panel stays cache-resident
+///   across rows and `A` streams once.
+///
+/// Every output element accumulates `k`-blocks in ascending order and
+/// each partial is a [`dot_lanes`] reduction, so results are
+/// deterministic and identical input rows yield identical outputs.
+fn gemm_nt_core<'a>(
+    a_row: impl Fn(usize) -> &'a [f64],
+    rows: usize,
+    b: &[f64],
+    c: &mut [f64],
+    k: usize,
+    n: usize,
+) {
+    if rows <= 16 && n <= 32 && k > 2 * NT_K_BLOCK {
+        let mut k0 = 0;
+        while k0 < k {
+            let k_end = (k0 + NT_K_BLOCK).min(k);
+            for (offset, c_row) in c.chunks_mut(n).enumerate() {
+                let a_blk = &a_row(offset)[k0..k_end];
+                for (j, c_j) in c_row.iter_mut().enumerate() {
+                    let partial = dot_lanes(a_blk, &b[j * k + k0..j * k + k_end]);
+                    if k0 == 0 {
+                        *c_j = partial;
+                    } else {
+                        *c_j += partial;
+                    }
+                }
+            }
+            k0 = k_end;
+        }
+        return;
+    }
+    for (offset, c_row) in c.chunks_mut(n).enumerate() {
+        let row = a_row(offset);
+        for (j, c_j) in c_row.iter_mut().enumerate() {
+            *c_j = dot_lanes(row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// Reusable buffers for the batched training/evaluation engine. See the
+/// module docs for the design; build one per worker and thread it
+/// through every batched call the worker makes.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Packed minibatch rows (`B x features`).
+    pub x: Matrix,
+    /// Logits (`B x classes`).
+    pub z: Matrix,
+    /// Loss gradient with respect to the logits (`B x classes`).
+    pub delta: Matrix,
+    /// Hidden pre-activations (`B x hidden`, MLP only).
+    pub h_pre: Matrix,
+    /// Hidden activations (`B x hidden`, MLP only).
+    pub h: Matrix,
+    /// Gradient flowing back into the hidden layer (`B x hidden`).
+    pub g_h: Matrix,
+    /// Predicted class per batch row.
+    pub predictions: Vec<usize>,
+}
+
+impl Scratch {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+/// Default empty `Matrix` (used by `Scratch::default`).
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 /// Dot product of two equal-length slices.
+#[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
 /// In-place AXPY: `y += alpha * x`.
+#[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
@@ -221,6 +869,20 @@ mod tests {
     }
 
     #[test]
+    fn select_rows_into_reuses_allocation() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let mut out = Matrix::zeros(0, 0);
+        m.select_rows_into(&[1, 2], &mut out);
+        assert_eq!(out.rows, 2);
+        assert_eq!(out.row(0), &[3.0, 4.0]);
+        let capacity = out.data.capacity();
+        m.select_rows_into(&[0], &mut out);
+        assert_eq!(out.rows, 1);
+        assert_eq!(out.row(0), &[1.0, 2.0]);
+        assert_eq!(out.data.capacity(), capacity, "no reallocation expected");
+    }
+
+    #[test]
     fn matvec_small_example() {
         let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
@@ -228,8 +890,7 @@ mod tests {
     }
 
     #[test]
-    fn matvec_parallel_path_matches_sequential() {
-        // 100 rows exercises the rayon branch.
+    fn matvec_many_rows_matches_sequential() {
         let rows: Vec<Vec<f64>> = (0..100)
             .map(|r| (0..8).map(|c| (r * 8 + c) as f64).collect())
             .collect();
@@ -258,6 +919,128 @@ mod tests {
     fn frobenius_norm_matches_manual() {
         let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
         assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect())
+    }
+
+    /// Naive triple loop used as the oracle for the blocked kernels.
+    fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for j in 0..b.cols {
+                let mut sum = 0.0;
+                for k in 0..a.cols {
+                    sum += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, sum);
+            }
+        }
+        c
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tolerance: f64) {
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.cols, b.cols);
+        for (x, y) in a.data.iter().zip(b.data.iter()) {
+            assert!((x - y).abs() < tolerance, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_non_square_shapes() {
+        for (m, k, n, seed) in [(3, 5, 7, 1), (1, 9, 4, 2), (8, 1, 3, 3), (13, 300, 5, 4)] {
+            let a = deterministic_matrix(m, k, seed);
+            let b = deterministic_matrix(k, n, seed + 100);
+            assert_close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_a_matches_explicit_transpose() {
+        for (m, k, n, seed) in [(4, 6, 3, 5), (1, 5, 5, 6), (10, 2, 9, 7)] {
+            let a = deterministic_matrix(k, m, seed);
+            let b = deterministic_matrix(k, n, seed + 200);
+            let mut at = Matrix::zeros(0, 0);
+            a.transpose_into(&mut at);
+            assert_close(&matmul_transpose_a(&a, &b), &matmul_naive(&at, &b), 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        // Sizes straddle the 4-wide unroll boundary (n = 1, 4, 5, 11).
+        for (m, k, n, seed) in [(3, 7, 1, 8), (2, 9, 4, 9), (6, 3, 5, 10), (5, 300, 11, 11)] {
+            let a = deterministic_matrix(m, k, seed);
+            let b = deterministic_matrix(n, k, seed + 300);
+            let mut bt = Matrix::zeros(0, 0);
+            b.transpose_into(&mut bt);
+            assert_close(&matmul_transpose_b(&a, &b), &matmul_naive(&a, &bt), 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_kernels_handle_empty_and_degenerate_shapes() {
+        let empty = Matrix::zeros(0, 0);
+        let c = matmul(&empty, &empty);
+        assert_eq!((c.rows, c.cols), (0, 0));
+
+        // Empty inner dimension: the result is a zero matrix.
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let c = matmul(&a, &b);
+        assert_eq!((c.rows, c.cols), (3, 4));
+        assert!(c.data.iter().all(|&v| v == 0.0));
+
+        // Single row times single column.
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(3, 1, vec![4.0, 5.0, 6.0]);
+        let c = matmul(&a, &b);
+        assert_eq!((c.rows, c.cols), (1, 1));
+        assert!((c.get(0, 0) - 32.0).abs() < 1e-12);
+
+        // Transpose kernels on empty inputs.
+        let c = matmul_transpose_a(&Matrix::zeros(0, 2), &Matrix::zeros(0, 3));
+        assert_eq!((c.rows, c.cols), (2, 3));
+        assert!(c.data.iter().all(|&v| v == 0.0));
+        let c = matmul_transpose_b(&Matrix::zeros(0, 5), &Matrix::zeros(0, 5));
+        assert_eq!((c.rows, c.cols), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_mismatched_shapes() {
+        let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn into_variants_reuse_allocations() {
+        let a = deterministic_matrix(6, 5, 21);
+        let b = deterministic_matrix(5, 4, 22);
+        let mut c = Matrix::zeros(0, 0);
+        matmul_into(&a, &b, &mut c);
+        let capacity = c.data.capacity();
+        matmul_into(&a, &b, &mut c);
+        assert_eq!(c.data.capacity(), capacity);
+        assert_close(&c, &matmul_naive(&a, &b), 1e-12);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = deterministic_matrix(4, 7, 31);
+        let mut t = Matrix::zeros(0, 0);
+        let mut back = Matrix::zeros(0, 0);
+        m.transpose_into(&mut t);
+        t.transpose_into(&mut back);
+        assert_eq!(m, back);
     }
 
     proptest! {
@@ -301,6 +1084,24 @@ mod tests {
         fn l2_norm_triangle_inequality(a in proptest::collection::vec(-100.0f64..100.0, 1..32)) {
             let b: Vec<f64> = a.iter().map(|v| v * 0.3 + 1.0).collect();
             prop_assert!(l2_norm(&add(&a, &b)) <= l2_norm(&a) + l2_norm(&b) + 1e-9);
+        }
+
+        #[test]
+        fn gemm_is_associative_with_vectors(m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in any::<u64>()) {
+            // (A·B)·x == A·(B·x)
+            let a = deterministic_matrix(m, k, seed);
+            let b = deterministic_matrix(k, n, seed ^ 0xABCD);
+            let mut state = seed ^ 0x1234;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let x: Vec<f64> = (0..n).map(|_| next()).collect();
+            let lhs = matmul(&a, &b).matvec(&x);
+            let rhs = a.matvec(&b.matvec(&x));
+            for (p, q) in lhs.iter().zip(rhs.iter()) {
+                prop_assert!((p - q).abs() < 1e-9);
+            }
         }
     }
 }

@@ -101,7 +101,10 @@ impl LinkModel {
 
     /// Samples the time to move `payload_bytes` over this link.
     pub fn sample_transfer<R: Rng + ?Sized>(&self, payload_bytes: usize, rng: &mut R) -> f64 {
-        assert!(self.bandwidth_bytes_per_s > 0.0, "bandwidth must be positive");
+        assert!(
+            self.bandwidth_bytes_per_s > 0.0,
+            "bandwidth must be positive"
+        );
         self.latency.sample(rng) + payload_bytes as f64 / self.bandwidth_bytes_per_s
     }
 
@@ -149,7 +152,10 @@ mod tests {
     fn samples_are_never_negative() {
         let mut r = rng();
         for d in [
-            DelayDistribution::Normal { mean: 0.01, std: 0.5 },
+            DelayDistribution::Normal {
+                mean: 0.01,
+                std: 0.5,
+            },
             DelayDistribution::Exponential { mean: 0.2 },
             DelayDistribution::Constant(-1.0),
         ] {
@@ -163,7 +169,10 @@ mod tests {
     fn empirical_means_track_configured_means() {
         let mut r = rng();
         let cases = [
-            DelayDistribution::Normal { mean: 0.5, std: 0.05 },
+            DelayDistribution::Normal {
+                mean: 0.5,
+                std: 0.05,
+            },
             DelayDistribution::Exponential { mean: 0.4 },
             DelayDistribution::Uniform { min: 0.2, max: 0.6 },
         ];

@@ -46,7 +46,10 @@ fn main() {
     params.validate();
     let bound = params.bound_series(config.fl.rounds);
 
-    println!("{:<6} {:>14} {:>18} {:>10}", "round", "train loss", "theorem bound", "accuracy");
+    println!(
+        "{:<6} {:>14} {:>18} {:>10}",
+        "round", "train loss", "theorem bound", "accuracy"
+    );
     for (outcome, bound_value) in result.outcomes.iter().zip(bound.iter()) {
         println!(
             "{:<6} {:>14.4} {:>18.4} {:>10.3}",
@@ -57,7 +60,12 @@ fn main() {
     let measured_ratio = result.outcomes.last().unwrap().train_loss
         / result.outcomes.first().unwrap().train_loss.max(1e-9);
     let bound_ratio = bound.last().unwrap() / bound.first().unwrap();
-    println!("\nloss shrank to {:.1}% of round 1; the bound shrinks to {:.1}% — both decay with r,",
-        measured_ratio * 100.0, bound_ratio * 100.0);
-    println!("and the measured trajectory stays below the (loose) theoretical envelope as expected.");
+    println!(
+        "\nloss shrank to {:.1}% of round 1; the bound shrinks to {:.1}% — both decay with r,",
+        measured_ratio * 100.0,
+        bound_ratio * 100.0
+    );
+    println!(
+        "and the measured trajectory stays below the (loose) theoretical envelope as expected."
+    );
 }

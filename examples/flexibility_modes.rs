@@ -23,8 +23,8 @@ fn main() {
     .generate(&mut rng);
 
     println!(
-        "{:<12} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}  {}",
-        "mode", "accuracy", "delay(s)", "T_local", "T_up", "T_ex", "T_gl", "T_bl", "artifacts"
+        "{:<12} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}  artifacts",
+        "mode", "accuracy", "delay(s)", "T_local", "T_up", "T_ex", "T_gl", "T_bl"
     );
 
     for (mode, label) in [
@@ -44,7 +44,8 @@ fn main() {
             .expect("simulation should complete");
 
         let mean = |f: fn(&fair_bfl::core::DelayBreakdown) -> f64| -> f64 {
-            result.outcomes.iter().map(|o| f(&o.breakdown)).sum::<f64>() / result.outcomes.len() as f64
+            result.outcomes.iter().map(|o| f(&o.breakdown)).sum::<f64>()
+                / result.outcomes.len() as f64
         };
         let artifacts = match (&result.chain, result.final_params.is_empty()) {
             (Some(chain), false) => format!("model + ledger (height {})", chain.height()),
@@ -66,5 +67,7 @@ fn main() {
         );
     }
 
-    println!("\nRemoving Procedures III+V recovers pure FL; removing I+IV recovers a pure blockchain.");
+    println!(
+        "\nRemoving Procedures III+V recovers pure FL; removing I+IV recovers a pure blockchain."
+    );
 }

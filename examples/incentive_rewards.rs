@@ -44,7 +44,10 @@ fn main() {
         .run(&corrupted, &test)
         .expect("simulation should complete");
 
-    println!("per-client cumulative rewards after {} rounds:", config.fl.rounds);
+    println!(
+        "per-client cumulative rewards after {} rounds:",
+        config.fl.rounds
+    );
     println!("{:<8} {:>16} {:>12}", "client", "reward (milli)", "share");
     let total: u64 = result.reward_totals.values().sum();
     let mut rows: Vec<(u64, u64)> = result.reward_totals.iter().map(|(k, v)| (*k, *v)).collect();
@@ -63,6 +66,10 @@ fn main() {
     let chain = result.chain.as_ref().expect("FAIR-BFL mines a ledger");
     assert_eq!(chain.reward_totals(), result.reward_totals);
     println!("\nledger audit: on-chain reward totals match the simulation ✓");
-    println!("total paid out: {} milli-units over {} blocks", total, chain.height());
+    println!(
+        "total paid out: {} milli-units over {} blocks",
+        total,
+        chain.height()
+    );
     println!("final accuracy: {:.3}", result.final_accuracy());
 }

@@ -36,7 +36,10 @@ fn run(partition: PartitionKind, label: &str) {
         .expect("simulation should complete");
 
     println!("\n=== {label} ===");
-    println!("{:<6} {:<18} {:<18} {:>14}", "Round", "Attacker Index", "Drop Index", "Detection Rate");
+    println!(
+        "{:<6} {:<18} {:<18} {:>14}",
+        "Round", "Attacker Index", "Drop Index", "Detection Rate"
+    );
     for row in &result.detection.rows {
         let rate = row
             .detection_rate
@@ -58,12 +61,17 @@ fn run(partition: PartitionKind, label: &str) {
         "Mean false positives per round: {:.2}",
         result.detection.mean_false_positives()
     );
-    println!("Final accuracy despite the attacks: {:.3}", result.final_accuracy());
+    println!(
+        "Final accuracy despite the attacks: {:.3}",
+        result.final_accuracy()
+    );
 }
 
 fn main() {
     run(
-        PartitionKind::ShardNonIid { shards_per_client: 2 },
+        PartitionKind::ShardNonIid {
+            shards_per_client: 2,
+        },
         "Non-IID partition",
     );
     run(PartitionKind::Iid, "IID partition");

@@ -34,7 +34,9 @@ fn main() {
     config.fl.clients = 20;
     config.fl.rounds = 15;
     config.fl.participation_ratio = 0.5;
-    config.fl.partition = PartitionKind::ShardNonIid { shards_per_client: 2 };
+    config.fl.partition = PartitionKind::ShardNonIid {
+        shards_per_client: 2,
+    };
     config.fl.local.epochs = 2;
     config.strategy = LowContributionStrategy::Keep;
 

@@ -37,7 +37,12 @@ fn sign_flip_attackers_are_detected_at_a_high_rate() {
 #[test]
 fn detection_works_under_non_iid_too_and_iid_is_not_worse() {
     let (train, test) = small_dataset();
-    let non_iid = attacked_config(6, PartitionKind::ShardNonIid { shards_per_client: 2 });
+    let non_iid = attacked_config(
+        6,
+        PartitionKind::ShardNonIid {
+            shards_per_client: 2,
+        },
+    );
     let iid = attacked_config(6, PartitionKind::Iid);
 
     let non_iid_rate = BflSimulation::new(non_iid)
@@ -51,7 +56,10 @@ fn detection_works_under_non_iid_too_and_iid_is_not_worse() {
         .detection
         .average_detection_rate();
 
-    assert!(non_iid_rate > 0.3, "non-IID detection still works: {non_iid_rate}");
+    assert!(
+        non_iid_rate > 0.3,
+        "non-IID detection still works: {non_iid_rate}"
+    );
     // The paper reports IID detection >= non-IID detection; allow a small
     // slack because these are short stochastic runs.
     assert!(

@@ -50,7 +50,9 @@ fn full_run_produces_valid_ledger_and_matching_rewards() {
 #[test]
 fn accuracy_improves_and_delays_accumulate_monotonically() {
     let (train, test) = small_dataset();
-    let result = BflSimulation::new(small_config(6)).run(&train, &test).unwrap();
+    let result = BflSimulation::new(small_config(6))
+        .run(&train, &test)
+        .unwrap();
 
     let first = result.history.rounds.first().unwrap();
     let last = result.history.rounds.last().unwrap();

@@ -31,7 +31,10 @@ fn fl_only_mode_matches_a_standalone_fedavg_trainer_in_quality() {
     // compare capability, not bits: both learn the task to a similar level.
     let degraded_acc = degraded.final_accuracy();
     let fedavg_acc = fedavg.history.final_accuracy();
-    assert!(degraded_acc > 0.5, "degraded FL-only mode learns ({degraded_acc})");
+    assert!(
+        degraded_acc > 0.5,
+        "degraded FL-only mode learns ({degraded_acc})"
+    );
     assert!(fedavg_acc > 0.5, "standalone FedAvg learns ({fedavg_acc})");
     assert!(
         (degraded_acc - fedavg_acc).abs() < 0.25,

@@ -27,7 +27,9 @@ fn signed_gradient_transactions_flow_from_clients_to_a_mined_block() {
     // it through the miner's mempool.
     let mut mempool = Mempool::new();
     for id in 1..=3u64 {
-        let grad: Vec<f64> = (0..32).map(|i| (id as f64) * 0.1 + i as f64 * 0.01).collect();
+        let grad: Vec<f64> = (0..32)
+            .map(|i| (id as f64) * 0.1 + i as f64 * 0.01)
+            .collect();
         let payload = gradient::to_bytes(&grad);
         let envelope = sign_message(id, &payload, &pairs[&id].private);
         let tx = Transaction::local_gradient(id, 1, payload);
@@ -148,7 +150,9 @@ fn delay_model_block_interval_matches_chain_expectation() {
     use fair_bfl::core::DelayModel;
 
     let model = DelayModel::default();
-    let miners: Vec<Miner> = (0..2).map(|id| Miner::new(id, model.miner_hash_rate)).collect();
+    let miners: Vec<Miner> = (0..2)
+        .map(|id| Miner::new(id, model.miner_hash_rate))
+        .collect();
     let chain_expectation = expected_competition_time(&miners, &model.pow_config());
     // The delay model's expected T_bl is the chain substrate's expected
     // competition time plus the consensus overhead — the two layers agree.

@@ -1,0 +1,326 @@
+//! Offline vendored shim of the `proptest` API surface this workspace
+//! uses: the `proptest!` macro with an optional `#![proptest_config(..)]`
+//! header, range and `any::<T>()` strategies, `proptest::collection::vec`,
+//! and the `prop_assert*` macros.
+//!
+//! The shim is a plain randomized tester: each property runs `cases`
+//! times against a deterministic per-test RNG (seeded from the test
+//! name), with no shrinking. `prop_assert*` map onto the std `assert*`
+//! macros, so failures still point at the failing property with the
+//! formatted message.
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+pub mod test_runner {
+    /// Number of random cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Overrides the case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps offline CI fast while
+            // still exercising the properties broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-test RNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for a named test, seeded from the name.
+        pub fn for_test(name: &str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                seed ^= byte as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw below `n`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty integer range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (*self.start() as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    Strategy::sample(&(self.start..=<$t>::MAX), rng)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for "any value of `T`" (full-range draws).
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    /// Builds the [`Any`] strategy, mirroring `proptest::prelude::any`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+
+    macro_rules! impl_any_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_uint!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric values across a wide dynamic range.
+            let magnitude = (rng.unit_f64() * 600.0 - 300.0).exp2();
+            if rng.next_u64() & 1 == 1 {
+                magnitude
+            } else {
+                -magnitude
+            }
+        }
+    }
+
+    /// Constant strategy, mirroring `proptest::strategy::Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Vector strategy with a random length drawn from a range.
+    pub struct VecStrategy<S: Strategy> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                Range {
+                    start: self.size.start,
+                    end: self.size.end,
+                }
+                .sample(rng)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// `Vec` strategy: `len` drawn from `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Property-test entry point. Supports the upstream surface this
+/// workspace uses: an optional `#![proptest_config(expr)]` header and
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Case precondition: skips the current random case when the condition
+/// does not hold (expands to a `continue` of the case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Property assertion; maps onto `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion; maps onto `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion; maps onto `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn config_carries_cases() {
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+        assert!(ProptestConfig::default().cases >= 32);
+    }
+
+    #[test]
+    fn strategies_respect_ranges() {
+        let mut rng = crate::test_runner::TestRng::for_test("strategies_respect_ranges");
+        for _ in 0..500 {
+            let v = Strategy::sample(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let f = Strategy::sample(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let xs = Strategy::sample(&crate::collection::vec(0u8..5, 2..6), &mut rng);
+            assert!(xs.len() >= 2 && xs.len() < 6);
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_expands(a in 0usize..10, b in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b.len().min(4), b.len());
+            prop_assert_ne!(a, 10);
+        }
+    }
+}

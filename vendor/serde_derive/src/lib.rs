@@ -1,0 +1,407 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim.
+//!
+//! The build environment has no crates.io registry, so `syn`/`quote` are
+//! unavailable; this macro parses the item declaration directly from the
+//! `proc_macro` token stream. It supports exactly the shapes this
+//! workspace derives on: non-generic structs (unit, tuple, named) and
+//! enums whose variants are unit, tuple or struct-like. Representation
+//! matches upstream serde's externally-tagged default, so round-trips
+//! through the `serde_json` shim look like upstream JSON.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at the
+/// cursor position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Advances past one type expression, stopping at a top-level `,` (angle
+/// brackets tracked manually since they are plain puncts).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while let Some(token) = tokens.get(i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `name: Type, ...` named fields from a brace group body.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect `:` then the type, then optionally `,`.
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!(
+                "serde_derive shim: expected `:` after field `{}`",
+                fields.last().unwrap()
+            ),
+        }
+        i = skip_type(body, i);
+        if let Some(TokenTree::Punct(p)) = body.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a paren group body.
+fn tuple_arity(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        arity += 1;
+        i = skip_type(body, i);
+        i += 1; // past the comma, if any
+    }
+    arity
+}
+
+fn group_tokens(tree: &TokenTree) -> Vec<TokenTree> {
+    match tree {
+        TokenTree::Group(g) => g.stream().into_iter().collect(),
+        _ => panic!("serde_derive shim: expected a delimited group"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (derive on `{name}`)");
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                None => Shape::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                Some(tree @ TokenTree::Group(g)) => match g.delimiter() {
+                    Delimiter::Brace => Shape::Named(parse_named_fields(&group_tokens(tree))),
+                    Delimiter::Parenthesis => Shape::Tuple(tuple_arity(&group_tokens(tree))),
+                    other => {
+                        panic!("serde_derive shim: unexpected struct body delimiter {other:?}")
+                    }
+                },
+                other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+            };
+            Item {
+                name,
+                kind: ItemKind::Struct(shape),
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(tree @ TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    group_tokens(tree)
+                }
+                other => panic!("serde_derive shim: expected enum body, found {other:?}"),
+            };
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs_and_vis(&body, j);
+                let Some(TokenTree::Ident(vname)) = body.get(j) else {
+                    break;
+                };
+                let vname = vname.to_string();
+                j += 1;
+                let shape = match body.get(j) {
+                    Some(tree @ TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        Shape::Named(parse_named_fields(&group_tokens(tree)))
+                    }
+                    Some(tree @ TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        Shape::Tuple(tuple_arity(&group_tokens(tree)))
+                    }
+                    _ => Shape::Unit,
+                };
+                variants.push((vname, shape));
+                // Skip to past the next top-level comma.
+                while j < body.len() {
+                    if let TokenTree::Punct(p) = &body[j] {
+                        if p.as_char() == ',' {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            Item {
+                name,
+                kind: ItemKind::Enum(variants),
+            }
+        }
+        other => panic!("serde_derive shim: cannot derive on `{other}` items"),
+    }
+}
+
+fn serialize_struct_body(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn deserialize_struct_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(value)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "match value {{ ::serde::Value::Arr(items) if items.len() == {n} => \
+                 Ok({name}({fields})), other => Err(::serde::Error::custom(format!(\
+                 \"expected {n}-element array for {name}, found {{}}\", other.kind()))) }}",
+                fields = items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", items.join(", "))
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[(String, Shape)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(vname, shape)| match shape {
+            Shape::Unit => format!(
+                "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string())"
+            ),
+            Shape::Tuple(1) => format!(
+                "{name}::{vname}(f0) => ::serde::Value::Obj(vec![(\"{vname}\".to_string(), \
+                 ::serde::Serialize::to_value(f0))])"
+            ),
+            Shape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({binds}) => ::serde::Value::Obj(vec![(\"{vname}\".to_string(), \
+                     ::serde::Value::Arr(vec![{items}]))])",
+                    binds = binders.join(", "),
+                    items = items.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let binds = fields.join(", ");
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                    })
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {binds} }} => ::serde::Value::Obj(vec![(\"{vname}\".to_string(), \
+                     ::serde::Value::Obj(vec![{items}]))])",
+                    items = items.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(", "))
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, Shape)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, shape)| matches!(shape, Shape::Unit))
+        .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname})"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, shape)| !matches!(shape, Shape::Unit))
+        .map(|(vname, shape)| match shape {
+            Shape::Tuple(1) => format!(
+                "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+            ),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                format!(
+                    "\"{vname}\" => match inner {{ ::serde::Value::Arr(items) if items.len() == {n} => \
+                     Ok({name}::{vname}({fields})), other => Err(::serde::Error::custom(format!(\
+                     \"expected {n}-element array for {name}::{vname}, found {{}}\", other.kind()))) }}",
+                    fields = items.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"{vname}\" => Ok({name}::{vname} {{ {} }})",
+                    items.join(", ")
+                )
+            }
+            Shape::Unit => unreachable!(),
+        })
+        .collect();
+    format!(
+        "match value {{ \
+           ::serde::Value::Str(tag) => match tag.as_str() {{ \
+             {units} \
+             other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))), \
+           }}, \
+           ::serde::Value::Obj(fields) if fields.len() == 1 => {{ \
+             let (tag, inner) = &fields[0]; \
+             match tag.as_str() {{ \
+               {tagged} \
+               other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))), \
+             }} \
+           }}, \
+           other => Err(::serde::Error::custom(format!(\"expected {name} enum value, found {{}}\", other.kind()))), \
+         }}",
+        units = if unit_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", unit_arms.join(", "))
+        },
+        tagged = if tagged_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", tagged_arms.join(", "))
+        },
+    )
+}
+
+/// Derives the shim's `serde::Serialize` (conversion to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(shape) => serialize_struct_body(shape),
+        ItemKind::Enum(variants) => serialize_enum_body(&item.name, variants),
+    };
+    let out = format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}",
+        name = item.name
+    );
+    out.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derives the shim's `serde::Deserialize` (reconstruction from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(shape) => deserialize_struct_body(&item.name, shape),
+        ItemKind::Enum(variants) => deserialize_enum_body(&item.name, variants),
+    };
+    let out = format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{ \
+             #[allow(unused_variables)] let value = value; {body} \
+           }} \
+         }}",
+        name = item.name
+    );
+    out.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
