@@ -1,22 +1,40 @@
-//! Throughput benchmark for the batched GEMM training/eval engine.
+//! Throughput benchmark for the compute substrates, in one process on
+//! one machine.
 //!
-//! Measures, in one process on one machine, the batched engine against
-//! the retained per-sample reference path (toggled through
-//! `bfl_ml::engine::set_reference_mode`):
+//! **Learning substrate** (PR 1, written to `BENCH_PR1.json`): the
+//! batched GEMM engine against the retained per-sample reference path,
+//! toggled through `bfl_ml::engine::set_reference_mode`:
 //!
 //! 1. **Local SGD** samples/second — Procedure-I's mini-batch training
 //!    loop over an MNIST-scale softmax model.
 //! 2. **Evaluation** samples/second — test-set accuracy of the same
 //!    model.
 //! 3. **End-to-end simulation** rounds/second — a Figure-5-style
-//!    FAIR-BFL run (full pipeline: local SGD, upload, exchange,
-//!    Algorithm 2 clustering, Equation 1, mining, evaluation).
+//!    FAIR-BFL run with signatures off (isolates the learning substrate).
 //!
-//! Writes the measurements and speedups to `BENCH_PR1.json`, recording
-//! the perf trajectory of the repository.
+//! **Ledger substrate** (PR 2, written to `BENCH_PR2.json`): the
+//! Montgomery/CRT crypto engine against the retained seed paths, toggled
+//! through `bfl_crypto::engine::set_reference_mode`, plus the PoW
+//! midstate fast path against full-header hashing:
+//!
+//! 4. **RSA keygen/sign/verify** operations/second at
+//!    `DEFAULT_MODULUS_BITS`.
+//! 5. **PoW hash rate** — midstate (one compression per nonce) vs
+//!    hashing the full 104-byte header per nonce.
+//! 6. **FullBfl** rounds/second — a smoke-scale FAIR-BFL run *with*
+//!    signature verification on (the workload the ROADMAP flagged as
+//!    ~97% crypto), and the crypto share of its wall-clock.
+//!
+//! Usage: `throughput [reps] [all|ml|crypto|smoke]`. `smoke` runs a
+//! seconds-scale version of both sections (for CI) and writes
+//! `BENCH_SMOKE.json` instead of the tracked reports.
 
 use bfl_bench::experiments::{dataset, system_config, Scale, SystemLabel};
+use bfl_chain::Block;
 use bfl_core::BflSimulation;
+use bfl_crypto::engine as crypto_engine;
+use bfl_crypto::rsa::{RsaKeyPair, DEFAULT_MODULUS_BITS};
+use bfl_crypto::signature::{sign_message, verify_message};
 use bfl_data::Dataset;
 use bfl_ml::model::{AnyModel, ModelKind};
 use bfl_ml::optimizer::{train_local_with_scratch, LocalTrainingConfig};
@@ -45,13 +63,66 @@ impl Measurement {
     }
 }
 
+/// Fast-engine vs reference-engine rates for one crypto operation.
 #[derive(Debug, Clone, Serialize)]
-struct Report {
+struct EnginePair {
+    fast: f64,
+    reference: f64,
+    speedup: f64,
+}
+
+impl EnginePair {
+    fn from_rates(fast: f64, reference: f64) -> Self {
+        EnginePair {
+            fast,
+            reference,
+            speedup: fast / reference,
+        }
+    }
+}
+
+/// Midstate vs full-header PoW hash rates.
+#[derive(Debug, Clone, Serialize)]
+struct PowPair {
+    midstate: f64,
+    full_header: f64,
+    speedup: f64,
+}
+
+/// Wall-clock split of a FullBfl run with and without signatures.
+#[derive(Debug, Clone, Serialize)]
+struct CryptoShare {
+    signatures_on_seconds: f64,
+    signatures_off_seconds: f64,
+    crypto_share: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct MlReport {
     description: String,
     local_sgd_samples_per_sec: Measurement,
     eval_samples_per_sec: Measurement,
     fig5_sim_rounds_per_sec: Measurement,
     fig5_sim_wall_clock_speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct CryptoReport {
+    description: String,
+    modulus_bits: usize,
+    keygen_per_sec: EnginePair,
+    sign_per_sec: EnginePair,
+    verify_per_sec: EnginePair,
+    pow_hash_per_sec: PowPair,
+    fullbfl_rounds_per_sec: EnginePair,
+    fullbfl_crypto_share: CryptoShare,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct SmokeReport {
+    description: String,
+    ml: MlReport,
+    crypto: CryptoReport,
 }
 
 /// Runs `body` once warm-up, then `reps` individually timed repetitions;
@@ -68,6 +139,22 @@ fn rate(units: f64, reps: usize, mut body: impl FnMut()) -> f64 {
     }
     units / best
 }
+
+/// Like [`rate`] but returns the best wall-clock seconds directly.
+fn best_seconds(reps: usize, mut body: impl FnMut()) -> f64 {
+    body();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        body();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Learning substrate (PR 1 metrics).
+// ---------------------------------------------------------------------------
 
 fn local_sgd_rate(train: &Dataset, reference: bool, reps: usize) -> f64 {
     engine::set_reference_mode(reference);
@@ -131,7 +218,8 @@ fn fig5_sim_rate(data: &(Dataset, Dataset), reference: bool, reps: usize) -> f64
     // RSA sign/verify takes the same wall-clock in both engine modes and
     // (at this scale) would bury the learning substrate under constant
     // crypto cost; it is switched off so the measurement isolates what
-    // this benchmark tracks.
+    // this benchmark tracks. The FullBfl metric below measures the
+    // signatures-on workload.
     config.verify_signatures = false;
     let rounds = config.fl.rounds as f64;
     let result = rate(rounds, reps, || {
@@ -145,15 +233,8 @@ fn fig5_sim_rate(data: &(Dataset, Dataset), reference: bool, reps: usize) -> f64
     result
 }
 
-fn main() {
-    let reps: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3)
-        .max(1);
-
-    let data = dataset(Scale::Medium);
-    let (train, test) = &data;
+fn ml_section(data: &(Dataset, Dataset), reps: usize) -> MlReport {
+    let (train, test) = data;
 
     eprintln!("measuring local SGD ({reps} reps per mode)...");
     let sgd = Measurement::from_rates(
@@ -174,23 +255,295 @@ fn main() {
 
     eprintln!("measuring fig5-style end-to-end simulation ({reps} reps per mode)...");
     let sim = Measurement::from_rates(
-        fig5_sim_rate(&data, false, reps),
-        fig5_sim_rate(&data, true, reps),
+        fig5_sim_rate(data, false, reps),
+        fig5_sim_rate(data, true, reps),
     );
     eprintln!(
         "  batched {:>8.3} rounds/s | reference {:>8.3} rounds/s | {:.2}x",
         sim.batched, sim.reference, sim.speedup
     );
 
-    let report = Report {
+    MlReport {
         description: "Batched GEMM engine vs per-sample reference path, same process/machine"
             .to_string(),
         local_sgd_samples_per_sec: sgd,
         eval_samples_per_sec: eval,
         fig5_sim_wall_clock_speedup: sim.speedup,
         fig5_sim_rounds_per_sec: sim,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ledger substrate (PR 2 metrics).
+// ---------------------------------------------------------------------------
+
+fn keygen_rate(modulus_bits: usize, reference: bool, reps: usize) -> f64 {
+    crypto_engine::set_reference_mode(reference);
+    // Reseed per repetition: prime-search length is geometrically
+    // distributed, so every rep must walk the identical candidate
+    // sequence or best-of-reps would measure the luckiest draw instead
+    // of the engine.
+    let result = rate(1.0, reps, || {
+        let mut rng = StdRng::seed_from_u64(0x2B2B);
+        black_box(RsaKeyPair::generate(&mut rng, modulus_bits).expect("keygen"));
+    });
+    crypto_engine::set_reference_mode(false);
+    result
+}
+
+fn sign_rate(pair: &RsaKeyPair, messages: usize, reference: bool, reps: usize) -> f64 {
+    crypto_engine::set_reference_mode(reference);
+    let payloads: Vec<Vec<u8>> = (0..messages)
+        .map(|i| format!("gradient upload {i} for Procedure-II").into_bytes())
+        .collect();
+    let result = rate(messages as f64, reps, || {
+        for (i, payload) in payloads.iter().enumerate() {
+            black_box(sign_message(i as u64, payload, &pair.private));
+        }
+    });
+    crypto_engine::set_reference_mode(false);
+    result
+}
+
+fn verify_rate(pair: &RsaKeyPair, messages: usize, reference: bool, reps: usize) -> f64 {
+    let signed: Vec<_> = (0..messages)
+        .map(|i| {
+            sign_message(
+                i as u64,
+                format!("gradient upload {i}").as_bytes(),
+                &pair.private,
+            )
+        })
+        .collect();
+    crypto_engine::set_reference_mode(reference);
+    let result = rate(messages as f64, reps, || {
+        for msg in &signed {
+            verify_message(msg, &pair.public).expect("signature verifies");
+        }
+    });
+    crypto_engine::set_reference_mode(false);
+    result
+}
+
+fn pow_hash_rate(nonces: u64, midstate: bool, reps: usize) -> f64 {
+    let genesis = Block::genesis();
+    let header = Block::candidate(&genesis, vec![], 12345, 1 << 20, 7).header;
+    if midstate {
+        // One prefix compression per attempt, one padded block per nonce.
+        rate(nonces as f64, reps, || {
+            let mid = header.pow_midstate();
+            for nonce in 0..nonces {
+                black_box(mid.hash_with_nonce(nonce));
+            }
+        })
+    } else {
+        // The seed path: serialize and hash all 104 header bytes per nonce.
+        rate(nonces as f64, reps, || {
+            for nonce in 0..nonces {
+                black_box(header.hash_with_nonce(nonce));
+            }
+        })
+    }
+}
+
+fn fullbfl_rate(
+    data: &(Dataset, Dataset),
+    rounds: usize,
+    signatures: bool,
+    reference: bool,
+    reps: usize,
+) -> (f64, f64) {
+    crypto_engine::set_reference_mode(reference);
+    // The workload the ROADMAP open item flagged: a smoke-scale FAIR
+    // run with every gradient upload signed and miner-verified.
+    let mut config = system_config(SystemLabel::Fair, Scale::Smoke);
+    config.fl.rounds = rounds;
+    config.verify_signatures = signatures;
+    let seconds = best_seconds(reps, || {
+        black_box(
+            BflSimulation::new(config)
+                .run(&data.0, &data.1)
+                .expect("simulation completes"),
+        );
+    });
+    crypto_engine::set_reference_mode(false);
+    (rounds as f64 / seconds, seconds)
+}
+
+struct CryptoScale {
+    modulus_bits: usize,
+    sign_messages: usize,
+    verify_messages: usize,
+    pow_nonces: u64,
+    fullbfl_rounds: usize,
+    /// Reference keygen runs a full prime search per repetition; its rep
+    /// count is capped separately because one 1024-bit reference keygen
+    /// costs seconds.
+    reference_keygen_reps: usize,
+}
+
+fn crypto_section(data: &(Dataset, Dataset), reps: usize, scale: &CryptoScale) -> CryptoReport {
+    let bits = scale.modulus_bits;
+
+    eprintln!("measuring RSA keygen at {bits} bits ({reps} fast reps)...");
+    let keygen = EnginePair::from_rates(
+        keygen_rate(bits, false, reps),
+        keygen_rate(bits, true, scale.reference_keygen_reps),
+    );
+    eprintln!(
+        "  fast {:>10.2} keys/s | reference {:>10.4} keys/s | {:.1}x",
+        keygen.fast, keygen.reference, keygen.speedup
+    );
+
+    let mut rng = StdRng::seed_from_u64(0x51_6E);
+    let pair = RsaKeyPair::generate(&mut rng, bits).expect("bench keypair");
+
+    eprintln!("measuring RSA sign at {bits} bits ({reps} reps per mode)...");
+    let sign = EnginePair::from_rates(
+        sign_rate(&pair, scale.sign_messages, false, reps),
+        sign_rate(&pair, scale.sign_messages, true, reps),
+    );
+    eprintln!(
+        "  fast {:>10.1} sig/s | reference {:>10.2} sig/s | {:.1}x",
+        sign.fast, sign.reference, sign.speedup
+    );
+
+    eprintln!("measuring RSA verify at {bits} bits ({reps} reps per mode)...");
+    let verify = EnginePair::from_rates(
+        verify_rate(&pair, scale.verify_messages, false, reps),
+        verify_rate(&pair, scale.verify_messages, true, reps),
+    );
+    eprintln!(
+        "  fast {:>10.0} verif/s | reference {:>10.1} verif/s | {:.1}x",
+        verify.fast, verify.reference, verify.speedup
+    );
+
+    eprintln!(
+        "measuring PoW hash rate over {} nonces ({reps} reps per path)...",
+        scale.pow_nonces
+    );
+    let midstate = pow_hash_rate(scale.pow_nonces, true, reps);
+    let full_header = pow_hash_rate(scale.pow_nonces, false, reps);
+    let pow = PowPair {
+        midstate,
+        full_header,
+        speedup: midstate / full_header,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_PR1.json", format!("{json}\n")).expect("BENCH_PR1.json written");
+    eprintln!(
+        "  midstate {:>12.0} hash/s | full header {:>12.0} hash/s | {:.2}x",
+        pow.midstate, pow.full_header, pow.speedup
+    );
+
+    eprintln!(
+        "measuring FullBfl smoke run with signatures on ({} rounds, {reps} reps per mode)...",
+        scale.fullbfl_rounds
+    );
+    let (fullbfl_fast, fast_seconds) = fullbfl_rate(data, scale.fullbfl_rounds, true, false, reps);
+    let (fullbfl_ref, _) = fullbfl_rate(data, scale.fullbfl_rounds, true, true, reps);
+    let fullbfl = EnginePair::from_rates(fullbfl_fast, fullbfl_ref);
+    eprintln!(
+        "  fast {:>8.3} rounds/s | reference {:>8.3} rounds/s | {:.2}x",
+        fullbfl.fast, fullbfl.reference, fullbfl.speedup
+    );
+
+    let (_, off_seconds) = fullbfl_rate(data, scale.fullbfl_rounds, false, false, reps);
+    let share = CryptoShare {
+        signatures_on_seconds: fast_seconds,
+        signatures_off_seconds: off_seconds,
+        crypto_share: (fast_seconds - off_seconds).max(0.0) / fast_seconds,
+    };
+    eprintln!(
+        "  crypto share of FullBfl wall-clock: {:.1}% (was ~97% on the seed path)",
+        share.crypto_share * 100.0
+    );
+
+    CryptoReport {
+        description: "Montgomery/CRT crypto engine vs retained seed paths; PoW midstate vs \
+                      full-header hashing, same process/machine"
+            .to_string(),
+        modulus_bits: bits,
+        keygen_per_sec: keygen,
+        sign_per_sec: sign,
+        verify_per_sec: verify,
+        pow_hash_per_sec: pow,
+        fullbfl_rounds_per_sec: fullbfl,
+        fullbfl_crypto_share: share,
+    }
+}
+
+fn write_report<T: Serialize>(path: &str, report: &T) {
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| panic!("{path} written: {e}"));
     println!("{json}");
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let mut reps: usize = 3;
+    let mut section = "all".to_string();
+    for arg in std::env::args().skip(1) {
+        if let Ok(n) = arg.parse::<usize>() {
+            reps = n.max(1);
+        } else {
+            section = arg;
+        }
+    }
+
+    // The tracked full-scale crypto workload; `throughput crypto` and
+    // `throughput all` must measure the identical thing into
+    // BENCH_PR2.json.
+    let full_crypto_scale = CryptoScale {
+        modulus_bits: DEFAULT_MODULUS_BITS,
+        sign_messages: 4,
+        verify_messages: 16,
+        pow_nonces: 200_000,
+        fullbfl_rounds: 4,
+        reference_keygen_reps: 1,
+    };
+
+    match section.as_str() {
+        "ml" => {
+            let data = dataset(Scale::Medium);
+            write_report("BENCH_PR1.json", &ml_section(&data, reps));
+        }
+        "crypto" => {
+            let data = dataset(Scale::Smoke);
+            write_report(
+                "BENCH_PR2.json",
+                &crypto_section(&data, reps, &full_crypto_scale),
+            );
+        }
+        "smoke" => {
+            // Seconds-scale end-to-end exercise of both engines for CI:
+            // catches perf-harness breakage, not regressions.
+            let data = dataset(Scale::Smoke);
+            let scale = CryptoScale {
+                modulus_bits: 256,
+                sign_messages: 2,
+                verify_messages: 4,
+                pow_nonces: 20_000,
+                fullbfl_rounds: 2,
+                reference_keygen_reps: 1,
+            };
+            let report = SmokeReport {
+                description: "CI smoke run at reduced scale; not a tracked measurement".to_string(),
+                ml: ml_section(&data, reps),
+                crypto: crypto_section(&data, reps, &scale),
+            };
+            write_report("BENCH_SMOKE.json", &report);
+        }
+        "all" => {
+            let ml_data = dataset(Scale::Medium);
+            let ml = ml_section(&ml_data, reps);
+            let crypto_data = dataset(Scale::Smoke);
+            let crypto = crypto_section(&crypto_data, reps, &full_crypto_scale);
+            write_report("BENCH_PR1.json", &ml);
+            write_report("BENCH_PR2.json", &crypto);
+        }
+        other => {
+            // A typo must not silently regenerate the tracked reports.
+            eprintln!("unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|smoke]");
+            std::process::exit(2);
+        }
+    }
 }

@@ -11,7 +11,7 @@
 use crate::merkle::merkle_root;
 use crate::pow::{Difficulty, PowConfig};
 use crate::transaction::Transaction;
-use bfl_crypto::sha256::{sha256, to_hex, Digest};
+use bfl_crypto::sha256::{sha256, to_hex, Digest, Sha256};
 use serde::{Deserialize, Serialize};
 
 /// Header committed to by the proof-of-work.
@@ -33,23 +33,73 @@ pub struct BlockHeader {
     pub miner_id: u64,
 }
 
+/// Serialized header length in bytes: five `u64` fields plus two
+/// 32-byte digests.
+const HEADER_LEN: usize = 104;
+/// Byte offset of the nonce — the final header field, so everything
+/// before it is nonce-independent and can be absorbed into a midstate.
+const NONCE_OFFSET: usize = HEADER_LEN - 8;
+
 impl BlockHeader {
-    /// Serializes the header (with the given nonce substituted) and hashes it.
+    /// Serializes the header with the given nonce substituted. The nonce
+    /// is the **last** field so that mining can precompute the SHA-256
+    /// midstate of the 96-byte prefix once and re-hash only the final
+    /// padded block per nonce (Equation 4's `H(nonce + Block)`).
+    fn serialize_with_nonce(&self, nonce: u64) -> [u8; HEADER_LEN] {
+        let mut bytes = [0u8; HEADER_LEN];
+        bytes[0..8].copy_from_slice(&self.index.to_be_bytes());
+        bytes[8..40].copy_from_slice(&self.previous_hash);
+        bytes[40..72].copy_from_slice(&self.merkle_root);
+        bytes[72..80].copy_from_slice(&self.timestamp_ms.to_be_bytes());
+        bytes[80..88].copy_from_slice(&self.difficulty.to_be_bytes());
+        bytes[88..96].copy_from_slice(&self.miner_id.to_be_bytes());
+        bytes[NONCE_OFFSET..].copy_from_slice(&nonce.to_be_bytes());
+        bytes
+    }
+
+    /// Hashes the full header (with the given nonce substituted).
+    ///
+    /// This is the reference hash: [`PowMidstate::hash_with_nonce`] is
+    /// pinned to it bit-for-bit by the equivalence tests.
     pub fn hash_with_nonce(&self, nonce: u64) -> Digest {
-        let mut bytes = Vec::with_capacity(96);
-        bytes.extend_from_slice(&self.index.to_be_bytes());
-        bytes.extend_from_slice(&self.previous_hash);
-        bytes.extend_from_slice(&self.merkle_root);
-        bytes.extend_from_slice(&self.timestamp_ms.to_be_bytes());
-        bytes.extend_from_slice(&self.difficulty.to_be_bytes());
-        bytes.extend_from_slice(&nonce.to_be_bytes());
-        bytes.extend_from_slice(&self.miner_id.to_be_bytes());
-        sha256(&bytes)
+        sha256(&self.serialize_with_nonce(nonce))
+    }
+
+    /// Precomputes the SHA-256 midstate over the nonce-independent
+    /// 96-byte header prefix. Per-nonce hashing through the midstate
+    /// compresses one padded block instead of two and allocates nothing.
+    ///
+    /// The midstate commits to every header field except the nonce;
+    /// mutate the header and the midstate is stale.
+    pub fn pow_midstate(&self) -> PowMidstate {
+        let bytes = self.serialize_with_nonce(0);
+        let mut hasher = Sha256::new();
+        hasher.update(&bytes[..NONCE_OFFSET]);
+        PowMidstate { hasher }
     }
 
     /// Hash of the header with its recorded nonce.
     pub fn hash(&self) -> Digest {
         self.hash_with_nonce(self.nonce)
+    }
+}
+
+/// SHA-256 midstate of a block header's nonce-independent prefix.
+///
+/// Cheap to clone (eight words of state plus half a block of buffered
+/// bytes), so parallel miners hand each worker its own copy.
+#[derive(Debug, Clone)]
+pub struct PowMidstate {
+    hasher: Sha256,
+}
+
+impl PowMidstate {
+    /// Hashes the committed header with `nonce` appended — only the
+    /// final padded SHA-256 block is processed.
+    pub fn hash_with_nonce(&self, nonce: u64) -> Digest {
+        let mut hasher = self.hasher.clone();
+        hasher.update(&nonce.to_be_bytes());
+        hasher.finalize()
     }
 }
 
@@ -116,8 +166,7 @@ impl Block {
 
     /// Total serialized size of the block body in bytes.
     pub fn size_bytes(&self) -> usize {
-        const HEADER_BYTES: usize = 104;
-        HEADER_BYTES
+        HEADER_LEN
             + self
                 .transactions
                 .iter()
@@ -142,11 +191,12 @@ impl Block {
     /// difficulty 1 typically succeed on the first try.
     pub fn mine(&mut self, config: &PowConfig) -> u64 {
         self.header.difficulty = config.difficulty;
+        let midstate = self.header.pow_midstate();
         let mut attempts = 0u64;
         let mut nonce = 0u64;
         loop {
             attempts += 1;
-            let hash = self.header.hash_with_nonce(nonce);
+            let hash = midstate.hash_with_nonce(nonce);
             if config.meets_target(&hash) {
                 self.header.nonce = nonce;
                 return attempts;
@@ -248,6 +298,33 @@ mod tests {
     #[test]
     fn hash_hex_is_64_chars() {
         assert_eq!(Block::genesis().hash_hex().len(), 64);
+    }
+
+    #[test]
+    fn midstate_hash_matches_full_header_hash() {
+        let g = Block::genesis();
+        let b = Block::candidate(&g, vec![Transaction::reward(3, 2, 9, 11)], 123, 17, 4);
+        let midstate = b.header.pow_midstate();
+        for nonce in [0u64, 1, 42, u32::MAX as u64, u64::MAX] {
+            assert_eq!(
+                midstate.hash_with_nonce(nonce),
+                b.header.hash_with_nonce(nonce),
+                "midstate diverged at nonce {nonce}"
+            );
+        }
+    }
+
+    #[test]
+    fn midstate_commits_to_all_prefix_fields() {
+        let g = Block::genesis();
+        let b = Block::candidate(&g, vec![Transaction::reward(1, 1, 2, 10)], 5, 8, 1);
+        let before = b.header.pow_midstate().hash_with_nonce(7);
+        let mut tampered = b.clone();
+        tampered.header.timestamp_ms += 1;
+        assert_ne!(tampered.header.pow_midstate().hash_with_nonce(7), before);
+        let mut tampered = b;
+        tampered.header.miner_id += 1;
+        assert_ne!(tampered.header.pow_midstate().hash_with_nonce(7), before);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod miner;
 pub mod pow;
 pub mod transaction;
 
-pub use block::{Block, BlockHeader};
+pub use block::{Block, BlockHeader, PowMidstate};
 pub use chain::Blockchain;
 pub use consensus::{ConsensusOutcome, RoundConsensus};
 pub use error::ChainError;

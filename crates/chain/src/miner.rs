@@ -53,8 +53,7 @@ impl Miner {
     ) -> Option<u64> {
         candidate.header.difficulty = config.difficulty;
         candidate.header.miner_id = self.id;
-        let header = candidate.header.clone();
-        let nonce = config.search(0, budget, |n| header.hash_with_nonce(n))?;
+        let nonce = config.search_header(&candidate.header, 0, budget)?;
         candidate.header.nonce = nonce;
         Some(nonce + 1)
     }

@@ -11,7 +11,16 @@
 //! difficulty into seconds; this module also implements *actual* nonce
 //! searches (sequential and multi-threaded) so the ledger substrate is a
 //! real PoW chain, not a mock.
+//!
+//! The header searches ([`PowConfig::search_header`],
+//! [`PowConfig::search_header_parallel`]) go through the block header's
+//! SHA-256 midstate ([`crate::block::BlockHeader::pow_midstate`]): the
+//! nonce is the last header field, so the 96-byte prefix is compressed
+//! once per mining attempt and each nonce costs one final padded block —
+//! half the compressions of hashing the full header, with no per-nonce
+//! allocation.
 
+use crate::block::{BlockHeader, PowMidstate};
 use bfl_crypto::sha256::Digest;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -136,6 +145,33 @@ impl PowConfig {
         };
         (winner, total_hashes.load(Ordering::Relaxed))
     }
+
+    /// Sequential nonce search over `header`, hashing through its
+    /// precomputed midstate (one compression per nonce).
+    pub fn search_header(
+        &self,
+        header: &BlockHeader,
+        start_nonce: u64,
+        budget: u64,
+    ) -> Option<u64> {
+        let midstate = header.pow_midstate();
+        self.search(start_nonce, budget, |nonce| midstate.hash_with_nonce(nonce))
+    }
+
+    /// Multi-threaded nonce search over `header` through its midstate;
+    /// each worker hashes via a clone of the midstate, so the 96-byte
+    /// prefix is compressed once for the whole race.
+    pub fn search_header_parallel(
+        &self,
+        header: &BlockHeader,
+        threads: usize,
+        budget_per_thread: u64,
+    ) -> (Option<u64>, u64) {
+        let midstate: PowMidstate = header.pow_midstate();
+        self.search_parallel(threads, budget_per_thread, move |nonce| {
+            midstate.hash_with_nonce(nonce)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -234,5 +270,30 @@ mod tests {
         let config = PowConfig::new(16);
         let (nonce, _) = config.search_parallel(0, 100_000, header_hash);
         assert!(nonce.is_some());
+    }
+
+    fn sample_header() -> crate::block::BlockHeader {
+        let genesis = crate::block::Block::genesis();
+        crate::block::Block::candidate(&genesis, vec![], 99, 1, 7).header
+    }
+
+    #[test]
+    fn header_search_matches_full_header_search() {
+        let header = sample_header();
+        let config = PowConfig::new(64);
+        let via_midstate = config.search_header(&header, 0, 1_000_000);
+        let via_full = config.search(0, 1_000_000, |n| header.hash_with_nonce(n));
+        assert_eq!(via_midstate, via_full);
+        assert!(via_midstate.is_some());
+    }
+
+    #[test]
+    fn parallel_header_search_finds_valid_nonce() {
+        let header = sample_header();
+        let config = PowConfig::new(64);
+        let (nonce, hashes) = config.search_header_parallel(&header, 4, 250_000);
+        let nonce = nonce.expect("difficulty 64 must be solvable");
+        assert!(config.meets_target(&header.hash_with_nonce(nonce)));
+        assert!(hashes > 0);
     }
 }

@@ -200,13 +200,18 @@ impl BflSimulation {
             local
         };
 
-        // Key provisioning (Procedure-II's RSA identities).
+        // Key provisioning (Procedure-II's RSA identities). Keys come
+        // from a dedicated RNG stream so the learning trajectory is
+        // invariant to crypto details: how many candidates a prime
+        // search consumes — or whether signatures are enabled at all —
+        // must not reshuffle client selection and training randomness.
         let (keystore, keypairs): (Option<KeyStore>, Option<BTreeMap<u64, RsaKeyPair>>) =
             if config.verify_signatures {
+                let mut key_rng = StdRng::seed_from_u64(config.fl.seed ^ 0x5EED_0F4B);
                 let mut store = KeyStore::new();
                 let ids: Vec<u64> = clients.iter().map(|c| c.id).collect();
                 let pairs = store
-                    .provision(&mut rng, &ids, config.rsa_modulus_bits)
+                    .provision(&mut key_rng, &ids, config.rsa_modulus_bits)
                     .map_err(CoreError::from)?;
                 (Some(store), Some(pairs))
             } else {

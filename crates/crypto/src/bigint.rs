@@ -4,13 +4,24 @@
 //! arithmetic far beyond 128 bits. This module provides a compact
 //! [`BigUint`] with exactly the operations the [`crate::rsa`] and
 //! [`crate::prime`] modules need: comparison, addition, subtraction,
-//! schoolbook multiplication, binary long division, shifts, modular
-//! exponentiation, gcd, and modular inversion via the extended Euclidean
-//! algorithm (implemented with a small sign-tracking wrapper).
+//! schoolbook multiplication, division, shifts, modular exponentiation,
+//! gcd, and modular inversion via the extended Euclidean algorithm
+//! (implemented with a small sign-tracking wrapper).
+//!
+//! Division and modular exponentiation each have two implementations.
+//! The hot path uses word-level Knuth Algorithm D division and
+//! Montgomery/REDC exponentiation (see [`crate::montgomery`]); the seed
+//! implementations — binary long division and square-and-multiply over
+//! `div_rem`-based `modmul` — are retained behind
+//! [`crate::engine::set_reference_mode`] and pinned to the fast paths
+//! bit-for-bit by the equivalence test suite.
 //!
 //! Limbs are `u32` stored little-endian; all intermediate products fit in
 //! `u64`, which keeps the carry logic straightforward and portable.
 
+use crate::engine;
+use crate::montgomery::MontgomeryCtx;
+use serde::{Deserialize, Serialize, Value};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -36,11 +47,15 @@ impl BigUint {
 
     /// Constructs from a `u64`.
     pub fn from_u64(value: u64) -> Self {
-        let mut limbs = vec![(value & 0xffff_ffff) as u32, (value >> 32) as u32];
-        let mut out = BigUint { limbs: Vec::new() };
-        out.limbs.append(&mut limbs);
-        out.normalize();
-        out
+        let (lo, hi) = (value as u32, (value >> 32) as u32);
+        let limbs = if hi != 0 {
+            vec![lo, hi]
+        } else if lo != 0 {
+            vec![lo]
+        } else {
+            Vec::new()
+        };
+        BigUint { limbs }
     }
 
     /// Constructs from a `u32`.
@@ -97,6 +112,18 @@ impl BigUint {
         bytes
     }
 
+    /// Little-endian limb view (no trailing zero limbs).
+    pub(crate) fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// Builds from little-endian limbs, normalizing trailing zeros.
+    pub(crate) fn from_limbs(limbs: Vec<u32>) -> Self {
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
     /// True if the value is zero.
     pub fn is_zero(&self) -> bool {
         self.limbs.is_empty()
@@ -145,26 +172,30 @@ impl BigUint {
 
     /// Addition.
     pub fn add(&self, other: &BigUint) -> BigUint {
-        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
-            (&self.limbs, &other.limbs)
-        } else {
-            (&other.limbs, &self.limbs)
-        };
-        let mut out = Vec::with_capacity(longer.len() + 1);
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// In-place addition: `self += other`. Reuses `self`'s allocation
+    /// whenever the sum fits its current capacity.
+    pub fn add_assign(&mut self, other: &BigUint) {
+        if self.limbs.len() < other.limbs.len() {
+            self.limbs.resize(other.limbs.len(), 0);
+        }
         let mut carry: u64 = 0;
-        for (i, &limb) in longer.iter().enumerate() {
-            let a = limb as u64;
-            let b = shorter.get(i).copied().unwrap_or(0) as u64;
-            let sum = a + b + carry;
-            out.push((sum & 0xffff_ffff) as u32);
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let b = other.limbs.get(i).copied().unwrap_or(0) as u64;
+            if carry == 0 && b == 0 && i >= other.limbs.len() {
+                break;
+            }
+            let sum = *limb as u64 + b + carry;
+            *limb = sum as u32;
             carry = sum >> 32;
         }
         if carry > 0 {
-            out.push(carry as u32);
+            self.limbs.push(carry as u32);
         }
-        let mut result = BigUint { limbs: out };
-        result.normalize();
-        result
     }
 
     /// Subtraction, returning `None` if `other > self`.
@@ -172,24 +203,9 @@ impl BigUint {
         if self < other {
             return None;
         }
-        let mut out = Vec::with_capacity(self.limbs.len());
-        let mut borrow: i64 = 0;
-        for i in 0..self.limbs.len() {
-            let a = self.limbs[i] as i64;
-            let b = other.limbs.get(i).copied().unwrap_or(0) as i64;
-            let mut diff = a - b - borrow;
-            if diff < 0 {
-                diff += 1 << 32;
-                borrow = 1;
-            } else {
-                borrow = 0;
-            }
-            out.push(diff as u32);
-        }
-        debug_assert_eq!(borrow, 0);
-        let mut result = BigUint { limbs: out };
-        result.normalize();
-        Some(result)
+        let mut out = self.clone();
+        out.sub_assign(other);
+        Some(out)
     }
 
     /// Subtraction; panics if `other > self`.
@@ -198,44 +214,118 @@ impl BigUint {
             .expect("BigUint::sub underflow: subtrahend exceeds minuend")
     }
 
+    /// In-place subtraction: `self -= other`.
+    ///
+    /// # Panics
+    /// Panics if `other > self`.
+    pub fn sub_assign(&mut self, other: &BigUint) {
+        assert!(
+            *self >= *other,
+            "BigUint::sub underflow: subtrahend exceeds minuend"
+        );
+        let mut borrow: i64 = 0;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0) as i64;
+            if borrow == 0 && b == 0 && i >= other.limbs.len() {
+                break;
+            }
+            let mut diff = self.limbs[i] as i64 - b - borrow;
+            if diff < 0 {
+                diff += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            self.limbs[i] = diff as u32;
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+
     /// Schoolbook multiplication.
     pub fn mul(&self, other: &BigUint) -> BigUint {
+        let mut out = BigUint::zero();
+        self.mul_to(other, &mut out);
+        out
+    }
+
+    /// Schoolbook multiplication into `out`, reusing `out`'s allocation.
+    /// `out` must not alias `self` or `other` (enforced by `&mut`).
+    pub fn mul_to(&self, other: &BigUint, out: &mut BigUint) {
+        out.limbs.clear();
         if self.is_zero() || other.is_zero() {
-            return BigUint::zero();
+            return;
         }
-        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        out.limbs.resize(self.limbs.len() + other.limbs.len(), 0);
         for (i, &a) in self.limbs.iter().enumerate() {
             let mut carry: u64 = 0;
             for (j, &b) in other.limbs.iter().enumerate() {
                 let idx = i + j;
-                let cur = out[idx] as u64 + (a as u64) * (b as u64) + carry;
-                out[idx] = (cur & 0xffff_ffff) as u32;
+                let cur = out.limbs[idx] as u64 + (a as u64) * (b as u64) + carry;
+                out.limbs[idx] = cur as u32;
                 carry = cur >> 32;
             }
             let mut idx = i + other.limbs.len();
             while carry > 0 {
-                let cur = out[idx] as u64 + carry;
-                out[idx] = (cur & 0xffff_ffff) as u32;
+                let cur = out.limbs[idx] as u64 + carry;
+                out.limbs[idx] = cur as u32;
                 carry = cur >> 32;
                 idx += 1;
             }
         }
-        let mut result = BigUint { limbs: out };
-        result.normalize();
-        result
+        out.normalize();
     }
 
-    /// Multiplication by a small scalar.
+    /// Multiplication by a small scalar, at the limb level (single pass,
+    /// no temporary `BigUint`).
     pub fn mul_u32(&self, scalar: u32) -> BigUint {
-        self.mul(&BigUint::from_u32(scalar))
+        if self.is_zero() || scalar == 0 {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: u64 = 0;
+        for &limb in &self.limbs {
+            let cur = limb as u64 * scalar as u64 + carry;
+            out.push(cur as u32);
+            carry = cur >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// Division by a small scalar, at the limb level: returns the quotient
+    /// and the `u32` remainder in a single high-to-low pass.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_u32(&self, divisor: u32) -> (BigUint, u32) {
+        assert!(divisor != 0, "division by zero BigUint");
+        let mut quotient = self.clone();
+        let rem = quotient.div_assign_u32(divisor);
+        (quotient, rem)
+    }
+
+    /// In-place division by a small scalar, returning the remainder.
+    fn div_assign_u32(&mut self, divisor: u32) -> u32 {
+        debug_assert!(divisor != 0);
+        let mut rem: u64 = 0;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 32) | *limb as u64;
+            *limb = (cur / divisor as u64) as u32;
+            rem = cur % divisor as u64;
+        }
+        self.normalize();
+        rem as u32
     }
 
     /// Left shift by `bits`.
     pub fn shl(&self, bits: usize) -> BigUint {
         if self.is_zero() || bits == 0 {
-            let mut c = self.clone();
-            c.normalize();
-            return c;
+            // Limbs are always normalized, so the clone can be returned
+            // directly without building a shifted buffer.
+            return self.clone();
         }
         let limb_shift = bits / 32;
         let bit_shift = bits % 32;
@@ -256,6 +346,9 @@ impl BigUint {
 
     /// Right shift by `bits`.
     pub fn shr(&self, bits: usize) -> BigUint {
+        if bits == 0 {
+            return self.clone();
+        }
         let limb_shift = bits / 32;
         if limb_shift >= self.limbs.len() {
             return BigUint::zero();
@@ -277,7 +370,106 @@ impl BigUint {
     }
 
     /// Division with remainder. Panics if `divisor` is zero.
+    ///
+    /// Routes to word-level Knuth Algorithm D by default; the seed
+    /// binary long division is retained behind
+    /// [`crate::engine::set_reference_mode`] as [`Self::div_rem_reference`].
     pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        if engine::reference_mode() {
+            return self.div_rem_reference(divisor);
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Word-level division (Knuth TAOCP Vol. 2, Algorithm 4.3.1 D).
+    ///
+    /// Processes one 32-bit quotient limb per step against a normalized
+    /// divisor, instead of one bit per step, and performs the
+    /// multiply-subtract in place — no allocation inside the loop.
+    pub fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero BigUint");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u32(divisor.limbs[0]);
+            return (q, BigUint::from_u32(r));
+        }
+
+        let n = divisor.limbs.len();
+        let m = self.limbs.len() - n;
+        // D1: normalize so the divisor's top limb has its high bit set;
+        // this bounds the quotient-digit estimate error by 2.
+        let shift = divisor.limbs[n - 1].leading_zeros() as usize;
+        let v = divisor.shl(shift).limbs;
+        debug_assert_eq!(v.len(), n);
+        let mut u = self.shl(shift).limbs;
+        u.resize(self.limbs.len() + 1, 0);
+
+        let vn1 = v[n - 1] as u64;
+        let vn2 = v[n - 2] as u64;
+        let mut q = vec![0u32; m + 1];
+        for j in (0..=m).rev() {
+            // D3: estimate the quotient digit from the top two dividend
+            // limbs; correct it (at most twice) using the third.
+            let top = ((u[j + n] as u64) << 32) | u[j + n - 1] as u64;
+            let mut qhat = top / vn1;
+            let mut rhat = top % vn1;
+            loop {
+                // `qhat >= 2^32` short-circuits before the product, which
+                // only fits u64 once qhat is a single limb.
+                if qhat > 0xffff_ffff || qhat * vn2 > (rhat << 32) | u[j + n - 2] as u64 {
+                    qhat -= 1;
+                    rhat += vn1;
+                    if rhat <= 0xffff_ffff {
+                        continue;
+                    }
+                }
+                break;
+            }
+
+            // D4: multiply and subtract qhat * v from u[j..j+n] in place.
+            let mut carry: u64 = 0;
+            let mut borrow: i64 = 0;
+            for i in 0..n {
+                let p = qhat * v[i] as u64 + carry;
+                carry = p >> 32;
+                let diff = u[j + i] as i64 - (p as u32) as i64 - borrow;
+                if diff < 0 {
+                    u[j + i] = (diff + (1 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    u[j + i] = diff as u32;
+                    borrow = 0;
+                }
+            }
+            let diff = u[j + n] as i64 - carry as i64 - borrow;
+            if diff < 0 {
+                // D6: the estimate was one too large — add the divisor back.
+                u[j + n] = (diff + (1 << 32)) as u32;
+                qhat -= 1;
+                let mut c: u64 = 0;
+                for i in 0..n {
+                    let s = u[j + i] as u64 + v[i] as u64 + c;
+                    u[j + i] = s as u32;
+                    c = s >> 32;
+                }
+                u[j + n] = u[j + n].wrapping_add(c as u32);
+            } else {
+                u[j + n] = diff as u32;
+            }
+            q[j] = qhat as u32;
+        }
+
+        u.truncate(n);
+        let remainder = BigUint::from_limbs(u).shr(shift);
+        (BigUint::from_limbs(q), remainder)
+    }
+
+    /// The seed binary long division, one quotient bit per step. Retained
+    /// as the reference path for [`Self::div_rem_knuth`]'s equivalence
+    /// tests and the throughput benchmark.
+    pub fn div_rem_reference(&self, divisor: &BigUint) -> (BigUint, BigUint) {
         assert!(!divisor.is_zero(), "division by zero BigUint");
         if self < divisor {
             return (BigUint::zero(), self.clone());
@@ -320,11 +512,21 @@ impl BigUint {
         self.mul(other).rem(modulus)
     }
 
-    /// Modular exponentiation by square-and-multiply.
+    /// Modular exponentiation.
+    ///
+    /// Routes to Montgomery/REDC with fixed 4-bit windows for odd moduli
+    /// (see [`crate::montgomery`]); even moduli and
+    /// [`crate::engine::set_reference_mode`] fall back to binary
+    /// square-and-multiply over `modmul`.
     pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "modpow with zero modulus");
         if modulus.is_one() {
             return BigUint::zero();
+        }
+        if !engine::reference_mode() {
+            if let Some(ctx) = MontgomeryCtx::new(modulus) {
+                return ctx.modpow(self, exponent);
+            }
         }
         let mut base = self.rem(modulus);
         let mut result = BigUint::one();
@@ -380,17 +582,18 @@ impl BigUint {
     }
 
     /// Decimal string representation (used by `Display`).
+    ///
+    /// Peels nine digits per in-place single-limb division — a linear
+    /// pass per chunk instead of a full `div_rem` against a `BigUint`
+    /// divisor.
     pub fn to_decimal_string(&self) -> String {
         if self.is_zero() {
             return "0".to_string();
         }
-        let chunk_div = BigUint::from_u64(1_000_000_000);
-        let mut chunks = Vec::new();
+        let mut chunks = Vec::with_capacity(self.limbs.len() * 2);
         let mut value = self.clone();
         while !value.is_zero() {
-            let (q, r) = value.div_rem(&chunk_div);
-            chunks.push(r.to_u64().unwrap_or(0));
-            value = q;
+            chunks.push(value.div_assign_u32(1_000_000_000));
         }
         let mut s = chunks.pop().map(|c| c.to_string()).unwrap_or_default();
         for chunk in chunks.into_iter().rev() {
@@ -404,12 +607,47 @@ impl BigUint {
         if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
             return None;
         }
-        let ten = BigUint::from_u32(10);
         let mut acc = BigUint::zero();
         for b in s.bytes() {
-            acc = acc.mul(&ten).add(&BigUint::from_u32((b - b'0') as u32));
+            acc = acc.mul_u32(10);
+            acc.add_assign(&BigUint::from_u32((b - b'0') as u32));
         }
         Some(acc)
+    }
+
+    /// Lowercase hexadecimal representation (no leading zeros, no prefix;
+    /// zero renders as `"0"`). Used by the serde impl so serialized keys
+    /// stay compact and byte-order unambiguous.
+    pub fn to_hex_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::with_capacity(self.limbs.len() * 8);
+        let mut limbs = self.limbs.iter().rev();
+        if let Some(top) = limbs.next() {
+            s.push_str(&format!("{top:x}"));
+        }
+        for limb in limbs {
+            s.push_str(&format!("{limb:08x}"));
+        }
+        s
+    }
+
+    /// Parses a (case-insensitive) hexadecimal string without prefix.
+    pub fn from_hex_str(s: &str) -> Option<BigUint> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let mut limbs = Vec::with_capacity(s.len() / 8 + 1);
+        let bytes = s.as_bytes();
+        let mut end = bytes.len();
+        while end > 0 {
+            let start = end.saturating_sub(8);
+            let chunk = std::str::from_utf8(&bytes[start..end]).ok()?;
+            limbs.push(u32::from_str_radix(chunk, 16).ok()?);
+            end = start;
+        }
+        Some(BigUint::from_limbs(limbs))
     }
 }
 
@@ -443,6 +681,25 @@ impl fmt::Debug for BigUint {
 impl fmt::Display for BigUint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.to_decimal_string())
+    }
+}
+
+impl Serialize for BigUint {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_hex_string())
+    }
+}
+
+impl Deserialize for BigUint {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        match value {
+            Value::Str(s) => BigUint::from_hex_str(s)
+                .ok_or_else(|| serde::Error::custom(format!("invalid BigUint hex string `{s}`"))),
+            other => Err(serde::Error::custom(format!(
+                "expected hex string for BigUint, found {}",
+                other.kind()
+            ))),
+        }
     }
 }
 
@@ -550,6 +807,13 @@ mod tests {
     }
 
     #[test]
+    fn from_u64_is_normalized() {
+        assert!(big(0).limbs.is_empty());
+        assert_eq!(big(7).limbs, vec![7]);
+        assert_eq!(big(1 << 40).limbs.len(), 2);
+    }
+
+    #[test]
     fn byte_round_trip() {
         let v = BigUint::from_decimal_str("123456789012345678901234567890").unwrap();
         let bytes = v.to_bytes_be();
@@ -573,9 +837,27 @@ mod tests {
     }
 
     #[test]
+    fn in_place_add_sub_match_functional() {
+        let mut a = big(u64::MAX);
+        a.add_assign(&big(u64::MAX));
+        assert_eq!(a, big(u64::MAX).add(&big(u64::MAX)));
+        a.sub_assign(&big(u64::MAX));
+        assert_eq!(a, big(u64::MAX));
+        a.sub_assign(&big(u64::MAX));
+        assert!(a.is_zero());
+    }
+
+    #[test]
     #[should_panic(expected = "underflow")]
     fn subtraction_underflow_panics() {
         let _ = big(1).sub(&big(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_assign_underflow_panics() {
+        let mut a = big(1);
+        a.sub_assign(&big(2));
     }
 
     #[test]
@@ -592,6 +874,30 @@ mod tests {
     }
 
     #[test]
+    fn mul_to_reuses_output() {
+        let mut out = BigUint::zero();
+        big(111111).mul_to(&big(111111), &mut out);
+        assert_eq!(out, big(12345654321));
+        big(0).mul_to(&big(5), &mut out);
+        assert!(out.is_zero());
+        big(3).mul_to(&big(4), &mut out);
+        assert_eq!(out, big(12));
+    }
+
+    #[test]
+    fn mul_u32_and_div_rem_u32_are_inverse() {
+        let v = BigUint::from_decimal_str("987654321098765432109876543210").unwrap();
+        let scaled = v.mul_u32(999_999_937);
+        let (q, r) = scaled.div_rem_u32(999_999_937);
+        assert_eq!(q, v);
+        assert_eq!(r, 0);
+        let (q, r) = scaled.add(&big(17)).div_rem_u32(999_999_937);
+        assert_eq!(q, v);
+        assert_eq!(r, 17);
+        assert_eq!(v.mul_u32(0), BigUint::zero());
+    }
+
+    #[test]
     fn shifts() {
         assert_eq!(big(1).shl(64).to_decimal_string(), "18446744073709551616");
         assert_eq!(big(0b1011).shl(3), big(0b1011000));
@@ -599,6 +905,8 @@ mod tests {
         assert_eq!(big(12345).shr(200), BigUint::zero());
         assert_eq!(BigUint::zero().shl(17), BigUint::zero());
         assert_eq!(big(1).shl(33).shr(33), big(1));
+        assert_eq!(big(12345).shl(0), big(12345));
+        assert_eq!(big(12345).shr(0), big(12345));
     }
 
     #[test]
@@ -625,6 +933,33 @@ mod tests {
     #[should_panic(expected = "division by zero")]
     fn division_by_zero_panics() {
         let _ = big(5).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn reference_division_by_zero_panics() {
+        let _ = big(5).div_rem_reference(&BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_u32_panics() {
+        let _ = big(5).div_rem_u32(0);
+    }
+
+    #[test]
+    fn knuth_division_add_back_case() {
+        // Crafted so the quotient-digit estimate overshoots and Algorithm
+        // D's add-back step (D6) runs: dividend chosen with maximal top
+        // limbs against a divisor just below a power of two.
+        let a = BigUint::from_limbs(vec![0, 0xffff_fffe, 0xffff_ffff]);
+        let b = BigUint::from_limbs(vec![0xffff_ffff, 0xffff_ffff]);
+        let (q, r) = a.div_rem_knuth(&b);
+        assert_eq!(b.mul(&q).add(&r), a);
+        assert!(r < b);
+        let (q_ref, r_ref) = a.div_rem_reference(&b);
+        assert_eq!(q, q_ref);
+        assert_eq!(r, r_ref);
     }
 
     #[test]
@@ -678,6 +1013,38 @@ mod tests {
     }
 
     #[test]
+    fn hex_round_trip() {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
+            let v = BigUint::from_hex_str(s).unwrap();
+            assert_eq!(v.to_hex_string(), s);
+        }
+        assert_eq!(BigUint::from_hex_str("FF"), Some(big(255)));
+        assert!(BigUint::from_hex_str("").is_none());
+        assert!(BigUint::from_hex_str("12g3").is_none());
+        // Leading zeros parse but do not round-trip verbatim.
+        assert_eq!(BigUint::from_hex_str("000ff"), Some(big(255)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = BigUint::from_decimal_str("123456789012345678901234567890").unwrap();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: BigUint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        let zero_json = serde_json::to_string(&BigUint::zero()).unwrap();
+        let zero: BigUint = serde_json::from_str(&zero_json).unwrap();
+        assert!(zero.is_zero());
+        assert!(serde_json::from_str::<BigUint>("42").is_err());
+        assert!(serde_json::from_str::<BigUint>("\"12g3\"").is_err());
+    }
+
+    #[test]
     fn ordering_is_numeric() {
         assert!(big(2) < big(3));
         assert!(big(0x1_0000_0000) > big(0xffff_ffff));
@@ -716,6 +1083,19 @@ mod tests {
         fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
             let product = big(a).mul(&big(b));
             prop_assert_eq!(product.to_decimal_string(), (a as u128 * b as u128).to_string());
+        }
+
+        #[test]
+        fn mul_u32_matches_mul(a in any::<u64>(), s in any::<u32>()) {
+            prop_assert_eq!(big(a).mul_u32(s), big(a).mul(&BigUint::from_u32(s)));
+        }
+
+        #[test]
+        fn div_rem_u32_matches_div_rem(a in any::<u64>(), d in 1u32..) {
+            let (q, r) = big(a).div_rem_u32(d);
+            let (q_big, r_big) = big(a).div_rem(&BigUint::from_u32(d));
+            prop_assert_eq!(q, q_big);
+            prop_assert_eq!(BigUint::from_u32(r), r_big);
         }
 
         #[test]
@@ -780,6 +1160,25 @@ mod tests {
         fn decimal_round_trip_random(a in any::<u64>()) {
             let s = a.to_string();
             prop_assert_eq!(BigUint::from_decimal_str(&s).unwrap().to_decimal_string(), s);
+        }
+
+        #[test]
+        fn hex_round_trip_random(a in any::<u64>()) {
+            let s = format!("{a:x}");
+            prop_assert_eq!(BigUint::from_hex_str(&s).unwrap().to_hex_string(), s);
+        }
+
+        #[test]
+        fn in_place_ops_match_functional(a in any::<u64>(), b in any::<u64>()) {
+            let mut sum = big(a);
+            sum.add_assign(&big(b));
+            prop_assert_eq!(&sum, &big(a).add(&big(b)));
+            let mut diff = sum.clone();
+            diff.sub_assign(&big(b));
+            prop_assert_eq!(diff, big(a));
+            let mut product = BigUint::zero();
+            big(a).mul_to(&big(b), &mut product);
+            prop_assert_eq!(product, big(a).mul(&big(b)));
         }
     }
 }

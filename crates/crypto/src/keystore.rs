@@ -10,10 +10,14 @@ use crate::error::CryptoError;
 use crate::rsa::{RsaKeyPair, RsaPublicKey};
 use crate::signature::{verify_message, SignedMessage};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Registry mapping client ids to their RSA public keys.
-#[derive(Debug, Clone, Default)]
+///
+/// Serializable so a miner's registry can be persisted and restored
+/// alongside the chain state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KeyStore {
     keys: BTreeMap<u64, RsaPublicKey>,
 }
@@ -134,6 +138,18 @@ mod tests {
         assert!(store.revoke(7).is_none());
         let msg = sign_message(7, b"late upload", &pairs[&7].private);
         assert_eq!(store.verify(&msg), Err(CryptoError::UnknownSigner(7)));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_verification() {
+        let mut store = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let pairs = store.provision(&mut rng, &[2, 4], 192).unwrap();
+        let json = serde_json::to_string(&store).unwrap();
+        let restored: KeyStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.len(), 2);
+        let msg = sign_message(4, b"gradient", &pairs[&4].private);
+        restored.verify(&msg).expect("restored store verifies");
     }
 
     #[test]

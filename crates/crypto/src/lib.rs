@@ -12,28 +12,39 @@
 //! cryptography dependencies:
 //!
 //! * [`sha256`] — the FIPS 180-4 SHA-256 compression function with both
-//!   one-shot and incremental interfaces.
+//!   one-shot and incremental interfaces; `Clone` on the incremental
+//!   hasher exposes midstates, which the PoW loop exploits to hash one
+//!   padded block per nonce.
 //! * [`bigint`] — arbitrary-precision unsigned integers ([`BigUint`]) with
-//!   the arithmetic needed for RSA (schoolbook multiplication, binary long
-//!   division, modular exponentiation) plus a minimal signed wrapper used
-//!   by the extended Euclidean algorithm.
-//! * [`prime`] — Miller-Rabin probabilistic primality testing and random
-//!   prime generation.
-//! * [`rsa`] — RSA key generation, raw modular sign/verify.
+//!   the arithmetic needed for RSA: schoolbook multiplication, word-level
+//!   Knuth Algorithm D division (seed binary long division retained as
+//!   the reference path), modular exponentiation, and a minimal signed
+//!   wrapper used by the extended Euclidean algorithm.
+//! * [`montgomery`] — REDC-based modular multiplication and fixed-window
+//!   exponentiation behind every hot `modpow`.
+//! * [`prime`] — Miller-Rabin probabilistic primality testing (Montgomery
+//!   accelerated) and random prime generation.
+//! * [`rsa`] — RSA key generation, raw modular sign/verify; private keys
+//!   carry CRT factors so signing runs two half-size exponentiations.
 //! * [`signature`] — the hash-then-sign envelope used by the protocol.
 //! * [`keystore`] — the miner-side registry mapping client identifiers to
 //!   public keys.
+//! * [`engine`] — the process-wide switch that reroutes division,
+//!   exponentiation and signing through the retained seed
+//!   implementations for equivalence tests and benchmarks.
 //!
-//! The implementation favours clarity and determinism over raw speed; it is
-//! a faithful protocol substrate for a simulation, **not** a hardened
+//! The implementation favours determinism and measured speed; it is a
+//! faithful protocol substrate for a simulation, **not** a hardened
 //! production cryptography library (no constant-time guarantees, no
 //! padding standards such as PSS/OAEP).
 
 #![warn(missing_docs)]
 
 pub mod bigint;
+pub mod engine;
 pub mod error;
 pub mod keystore;
+pub mod montgomery;
 pub mod prime;
 pub mod rsa;
 pub mod sha256;
@@ -42,6 +53,7 @@ pub mod signature;
 pub use bigint::BigUint;
 pub use error::CryptoError;
 pub use keystore::KeyStore;
-pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
+pub use montgomery::MontgomeryCtx;
+pub use rsa::{CrtFactors, RsaKeyPair, RsaPrivateKey, RsaPublicKey};
 pub use sha256::{sha256, Sha256};
 pub use signature::{sign_message, verify_message, Signature, SignedMessage};

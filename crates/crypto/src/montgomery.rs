@@ -1,0 +1,364 @@
+//! Montgomery (REDC) modular arithmetic.
+//!
+//! Every RSA sign/verify and every Miller-Rabin witness is a modular
+//! exponentiation, and the seed implementation reduced each intermediate
+//! product with a full division. Montgomery multiplication replaces that
+//! division with two multiplications and a shift: operands are mapped
+//! into the residue representation `aR mod n` (with `R = 2^(32k)` for a
+//! `k`-limb modulus), where products reduce by the REDC interleaved
+//! multiply-accumulate (CIOS) using only the precomputed single-limb
+//! inverse `n' = -n^{-1} mod 2^32`.
+//!
+//! [`MontgomeryCtx`] carries the per-modulus precomputation (`n'` and
+//! `R^2 mod n`) and implements fixed 4-bit-window exponentiation whose
+//! inner loop is allocation-free: the window table is built once per
+//! exponentiation and every multiply writes through reusable scratch
+//! buffers.
+//!
+//! Montgomery reduction requires an odd modulus; [`MontgomeryCtx::new`]
+//! returns `None` otherwise and callers fall back to the reference
+//! square-and-multiply path.
+
+use crate::bigint::BigUint;
+
+/// Bits per limb window processed by the fixed-window exponentiation.
+const WINDOW_BITS: usize = 4;
+/// Size of the window table (`2^WINDOW_BITS`).
+const TABLE_LEN: usize = 1 << WINDOW_BITS;
+/// Exponents at or below this bit length skip the window table: the
+/// table build costs `TABLE_LEN - 2` multiplies, which a short (or
+/// sparse, like 65537) exponent never earns back.
+const SHORT_EXPONENT_BITS: usize = 64;
+
+/// Per-modulus Montgomery precomputation: the modulus limbs, the negated
+/// single-limb inverse `n' = -n^{-1} mod 2^32`, and `R^2 mod n` used to
+/// map values into the Montgomery domain.
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx {
+    /// Modulus limbs, little-endian, length `k`.
+    n: Vec<u32>,
+    /// `-n^{-1} mod 2^32`.
+    n0_inv: u32,
+    /// `R^2 mod n` where `R = 2^(32k)`, as `k` limbs.
+    r2: Vec<u32>,
+}
+
+/// A residue in the Montgomery domain (`aR mod n`), tied to the
+/// [`MontgomeryCtx`] that produced it. Stored as exactly `k` limbs.
+///
+/// The map `a -> aR mod n` is a bijection on residues, so comparing two
+/// `MontElem`s for equality compares the underlying residues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MontElem {
+    limbs: Vec<u32>,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for `modulus`. Returns `None` unless the modulus
+    /// is odd and greater than one (REDC requires `gcd(n, 2^32) = 1`).
+    pub fn new(modulus: &BigUint) -> Option<Self> {
+        if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
+            return None;
+        }
+        let n = modulus.limbs().to_vec();
+        let k = n.len();
+        // Newton's iteration doubles correct low bits each step: five
+        // steps lift the trivially-correct low bit of n^{-1} past 32.
+        let mut inv: u32 = n[0];
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(n[0].wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n[0].wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+
+        // R^2 mod n = 2^(64k) mod n; one division at setup time.
+        let r2 = BigUint::one().shl(64 * k).div_rem_knuth(modulus).1;
+        let mut r2_limbs = r2.limbs().to_vec();
+        r2_limbs.resize(k, 0);
+        Some(MontgomeryCtx {
+            n,
+            n0_inv,
+            r2: r2_limbs,
+        })
+    }
+
+    /// Number of limbs in the modulus.
+    fn k(&self) -> usize {
+        self.n.len()
+    }
+
+    /// The modulus as a `BigUint`.
+    pub fn modulus(&self) -> BigUint {
+        BigUint::from_limbs(self.n.clone())
+    }
+
+    /// Maps `a` into the Montgomery domain (`aR mod n`), reducing `a`
+    /// modulo `n` first if needed.
+    pub fn convert(&self, a: &BigUint) -> MontElem {
+        let modulus = self.modulus();
+        let reduced = if *a < modulus {
+            a.clone()
+        } else {
+            a.div_rem_knuth(&modulus).1
+        };
+        let mut limbs = reduced.limbs().to_vec();
+        limbs.resize(self.k(), 0);
+        let mut out = vec![0u32; self.k()];
+        let mut scratch = vec![0u32; self.k() + 2];
+        self.mul_into(&limbs, &self.r2, &mut scratch, &mut out);
+        MontElem { limbs: out }
+    }
+
+    /// Maps a Montgomery-domain element back to an ordinary residue.
+    pub fn recover(&self, a: &MontElem) -> BigUint {
+        let one = {
+            let mut v = vec![0u32; self.k()];
+            v[0] = 1;
+            v
+        };
+        let mut out = vec![0u32; self.k()];
+        let mut scratch = vec![0u32; self.k() + 2];
+        self.mul_into(&a.limbs, &one, &mut scratch, &mut out);
+        BigUint::from_limbs(out)
+    }
+
+    /// The multiplicative identity in the Montgomery domain (`R mod n`).
+    pub fn one(&self) -> MontElem {
+        self.convert(&BigUint::one())
+    }
+
+    /// Montgomery product of two domain elements.
+    pub fn mul(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        let mut out = vec![0u32; self.k()];
+        let mut scratch = vec![0u32; self.k() + 2];
+        self.mul_into(&a.limbs, &b.limbs, &mut scratch, &mut out);
+        MontElem { limbs: out }
+    }
+
+    /// Exponentiation in the Montgomery domain.
+    ///
+    /// Long exponents (private/CRT exponents, Miller-Rabin's `d`) use
+    /// fixed 4-bit windows: the table (`base^0 .. base^15`) is built
+    /// once, then four squarings and at most one table multiply per
+    /// window. Short exponents — above all the RSA public exponent
+    /// 65537 on the verify path — cannot amortize the 14-multiply table
+    /// build, so they run plain left-to-right square-and-multiply (one
+    /// multiply per set bit). Both loops go through preallocated scratch
+    /// buffers; no allocation per step.
+    pub fn pow(&self, base: &MontElem, exponent: &BigUint) -> MontElem {
+        let k = self.k();
+        if exponent.is_zero() {
+            return self.one();
+        }
+        let bits = exponent.bit_len();
+        let mut scratch = vec![0u32; k + 2];
+        let mut tmp = vec![0u32; k];
+
+        if bits <= SHORT_EXPONENT_BITS {
+            let mut result = base.limbs.clone();
+            for i in (0..bits - 1).rev() {
+                self.mul_into(&result, &result, &mut scratch, &mut tmp);
+                std::mem::swap(&mut result, &mut tmp);
+                if exponent.bit(i) {
+                    self.mul_into(&result, &base.limbs, &mut scratch, &mut tmp);
+                    std::mem::swap(&mut result, &mut tmp);
+                }
+            }
+            return MontElem { limbs: result };
+        }
+
+        // table[i] = base^(i+1) in the Montgomery domain; digit 0 never
+        // multiplies, so base^0 needs no entry.
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(TABLE_LEN - 1);
+        table.push(base.limbs.clone());
+        for i in 1..TABLE_LEN - 1 {
+            let mut next = vec![0u32; k];
+            self.mul_into(&table[i - 1], &base.limbs, &mut scratch, &mut next);
+            table.push(next);
+        }
+
+        let windows = bits.div_ceil(WINDOW_BITS);
+        // The top window holds the exponent's most significant bit, so
+        // its digit is never zero.
+        let mut result = table[Self::window(exponent, windows - 1) - 1].clone();
+        for w in (0..windows - 1).rev() {
+            for _ in 0..WINDOW_BITS {
+                self.mul_into(&result, &result, &mut scratch, &mut tmp);
+                std::mem::swap(&mut result, &mut tmp);
+            }
+            let digit = Self::window(exponent, w);
+            if digit != 0 {
+                self.mul_into(&result, &table[digit - 1], &mut scratch, &mut tmp);
+                std::mem::swap(&mut result, &mut tmp);
+            }
+        }
+        MontElem { limbs: result }
+    }
+
+    /// Convenience: full modular exponentiation `base^exponent mod n`
+    /// through the Montgomery domain.
+    pub fn modpow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        self.recover(&self.pow(&self.convert(base), exponent))
+    }
+
+    /// Extracts the `w`-th 4-bit window of `exponent` (window 0 holds the
+    /// least significant bits). Windows never straddle a limb because 32
+    /// is a multiple of [`WINDOW_BITS`].
+    fn window(exponent: &BigUint, w: usize) -> usize {
+        let bit = w * WINDOW_BITS;
+        let limbs = exponent.limbs();
+        let limb = limbs.get(bit / 32).copied().unwrap_or(0);
+        ((limb >> (bit % 32)) & (TABLE_LEN as u32 - 1)) as usize
+    }
+
+    /// CIOS Montgomery multiply-accumulate: `out = a * b * R^{-1} mod n`.
+    ///
+    /// `a`, `b` and `out` are `k`-limb little-endian buffers holding
+    /// values below `n`; `scratch` must hold `k + 2` limbs. No heap
+    /// allocation occurs here — this is the innermost loop of every
+    /// exponentiation.
+    fn mul_into(&self, a: &[u32], b: &[u32], scratch: &mut [u32], out: &mut [u32]) {
+        let k = self.k();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        debug_assert_eq!(out.len(), k);
+        debug_assert!(scratch.len() >= k + 2);
+        let t = &mut scratch[..k + 2];
+        t.fill(0);
+
+        for &ai in a.iter().take(k) {
+            // t += a[i] * b
+            let mut carry: u64 = 0;
+            for j in 0..k {
+                let s = t[j] as u64 + ai as u64 * b[j] as u64 + carry;
+                t[j] = s as u32;
+                carry = s >> 32;
+            }
+            let s = t[k] as u64 + carry;
+            t[k] = s as u32;
+            t[k + 1] = (s >> 32) as u32;
+
+            // m = t[0] * n' mod 2^32; t = (t + m * n) / 2^32. Adding
+            // m * n clears t[0] exactly, so the shift drops no bits.
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let s = t[0] as u64 + m as u64 * self.n[0] as u64;
+            debug_assert_eq!(s as u32, 0);
+            let mut carry = s >> 32;
+            for j in 1..k {
+                let s = t[j] as u64 + m as u64 * self.n[j] as u64 + carry;
+                t[j - 1] = s as u32;
+                carry = s >> 32;
+            }
+            let s = t[k] as u64 + carry;
+            t[k - 1] = s as u32;
+            t[k] = t[k + 1].wrapping_add((s >> 32) as u32);
+            t[k + 1] = 0;
+        }
+
+        // The CIOS invariant keeps t < 2n; one conditional subtract
+        // brings the result into [0, n).
+        let needs_sub = t[k] != 0 || !Self::less_than(&t[..k], &self.n);
+        if needs_sub {
+            let mut borrow: i64 = 0;
+            for j in 0..k {
+                let diff = t[j] as i64 - self.n[j] as i64 - borrow;
+                if diff < 0 {
+                    out[j] = (diff + (1 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    out[j] = diff as u32;
+                    borrow = 0;
+                }
+            }
+            debug_assert_eq!(borrow, t[k] as i64);
+        } else {
+            out.copy_from_slice(&t[..k]);
+        }
+    }
+
+    /// Limb-slice comparison `a < b` for equal-length buffers.
+    fn less_than(a: &[u32], b: &[u32]) -> bool {
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                std::cmp::Ordering::Less => return true,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(MontgomeryCtx::new(&big(10)).is_none());
+        assert!(MontgomeryCtx::new(&big(1)).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_none());
+        assert!(MontgomeryCtx::new(&big(9)).is_some());
+    }
+
+    #[test]
+    fn convert_recover_round_trip() {
+        let ctx = MontgomeryCtx::new(&big(1_000_003)).unwrap();
+        for v in [0u64, 1, 2, 999_999, 1_000_002, 123_456] {
+            assert_eq!(ctx.recover(&ctx.convert(&big(v))), big(v));
+        }
+        // Values at or above the modulus reduce first.
+        assert_eq!(ctx.recover(&ctx.convert(&big(1_000_003))), big(0));
+        assert_eq!(ctx.recover(&ctx.convert(&big(2_000_007))), big(1));
+    }
+
+    #[test]
+    fn mul_matches_modmul() {
+        let _guard = engine::mode_lock();
+        let m = big(0xffff_fffb); // prime near 2^32
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for (a, b) in [(3u64, 5u64), (0xdead_beef, 0xcafe_babe), (1, 0)] {
+            let expected = big(a).modmul(&big(b), &m);
+            let got = ctx.recover(&ctx.mul(&ctx.convert(&big(a)), &ctx.convert(&big(b))));
+            assert_eq!(got, expected, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn modpow_matches_reference_small() {
+        let _guard = engine::mode_lock();
+        let m = big(497); // odd composite
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        assert_eq!(ctx.modpow(&big(4), &big(13)), big(445));
+        assert_eq!(ctx.modpow(&big(7), &BigUint::zero()), BigUint::one());
+        let p = big(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        assert_eq!(
+            ctx.modpow(&big(123456), &big(1_000_000_006)),
+            BigUint::one()
+        );
+    }
+
+    #[test]
+    fn equality_in_domain_matches_equality_of_residues() {
+        let ctx = MontgomeryCtx::new(&big(1_000_003)).unwrap();
+        assert_eq!(ctx.convert(&big(42)), ctx.convert(&big(42)));
+        assert_ne!(ctx.convert(&big(42)), ctx.convert(&big(43)));
+        assert_eq!(ctx.one(), ctx.convert(&big(1)));
+    }
+
+    #[test]
+    fn multi_limb_modulus_round_trips() {
+        let m = BigUint::from_decimal_str("340282366920938463463374607431768211507").unwrap(); // 2^128 + 51, odd
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let a = BigUint::from_decimal_str("123456789012345678901234567890").unwrap();
+        assert_eq!(ctx.recover(&ctx.convert(&a)), a);
+        let sq = ctx.modpow(&a, &big(2));
+        assert_eq!(sq, a.modmul(&a, &m));
+    }
+}

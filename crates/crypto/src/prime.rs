@@ -6,7 +6,9 @@
 //! random [`BigUint`] values of a given bit length or below a bound.
 
 use crate::bigint::BigUint;
+use crate::engine;
 use crate::error::CryptoError;
+use crate::montgomery::MontgomeryCtx;
 use rand::Rng;
 
 /// Number of Miller-Rabin rounds used by default. Forty rounds bound the
@@ -90,6 +92,36 @@ pub fn is_probably_prime<R: Rng + ?Sized>(candidate: &BigUint, rounds: usize, rn
         s += 1;
     }
 
+    // One Montgomery context serves every witness of this candidate; the
+    // witness chain then squares entirely inside the Montgomery domain
+    // (the domain map is a bijection, so comparing in-domain values is
+    // comparing residues). Trial division already removed even
+    // candidates, so the context only fails in reference mode.
+    let ctx = if engine::reference_mode() {
+        None
+    } else {
+        MontgomeryCtx::new(candidate)
+    };
+    if let Some(ctx) = ctx {
+        let one_m = ctx.one();
+        let minus_one_m = ctx.convert(&n_minus_one);
+        'mont_witness: for _ in 0..rounds {
+            let a = random_range(rng, &two, &n_minus_one);
+            let mut x = ctx.pow(&ctx.convert(&a), &d);
+            if x == one_m || x == minus_one_m {
+                continue 'mont_witness;
+            }
+            for _ in 0..s.saturating_sub(1) {
+                x = ctx.mul(&x, &x);
+                if x == minus_one_m {
+                    continue 'mont_witness;
+                }
+            }
+            return false;
+        }
+        return true;
+    }
+
     'witness: for _ in 0..rounds {
         let a = random_range(rng, &two, &n_minus_one);
         let mut x = a.modpow(&d, candidate);
@@ -107,7 +139,13 @@ pub fn is_probably_prime<R: Rng + ?Sized>(candidate: &BigUint, rounds: usize, rn
     true
 }
 
-/// Generates a random probable prime with exactly `bits` bits.
+/// Generates a random probable prime with exactly `bits` bits and its top
+/// two bits set.
+///
+/// Forcing the second-highest bit keeps every candidate at or above
+/// `1.5 * 2^(bits-1)`, so the product of two such primes always reaches
+/// the full `2 * bits` (standard RSA practice: without it a requested
+/// 256-bit modulus could come out at 255 bits).
 pub fn generate_prime<R: Rng + ?Sized>(
     rng: &mut R,
     bits: usize,
@@ -116,6 +154,7 @@ pub fn generate_prime<R: Rng + ?Sized>(
     assert!(bits >= 8, "prime generation needs at least 8 bits");
     for _ in 0..MAX_PRIME_ATTEMPTS {
         let mut candidate = random_bits(rng, bits);
+        candidate.set_bit(bits - 2);
         // Force odd.
         if candidate.is_even() {
             candidate = candidate.add(&BigUint::one());
@@ -227,6 +266,51 @@ mod tests {
             assert_eq!(p.bit_len(), bits);
             assert!(!p.is_even());
             assert!(is_probably_prime(&p, DEFAULT_MILLER_RABIN_ROUNDS, &mut r));
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_top_two_bits_set() {
+        let mut r = rng();
+        for bits in [32usize, 64, 128] {
+            for _ in 0..3 {
+                let p = generate_prime(&mut r, bits, 16).unwrap();
+                assert!(
+                    p.bit(bits - 1),
+                    "{bits}-bit prime must set bit {}",
+                    bits - 1
+                );
+                assert!(
+                    p.bit(bits - 2),
+                    "{bits}-bit prime must set bit {}",
+                    bits - 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_and_montgomery_paths_agree_on_primality() {
+        use crate::engine;
+        let _guard = engine::mode_lock();
+        for v in [
+            104729u64,
+            (1u64 << 61) - 1,
+            825265,
+            6601,
+            999999999989,
+            999999999990,
+        ] {
+            let candidate = BigUint::from_u64(v);
+            let fast = {
+                let mut r = StdRng::seed_from_u64(42);
+                is_probably_prime(&candidate, 16, &mut r)
+            };
+            let reference = engine::with_reference_mode(|| {
+                let mut r = StdRng::seed_from_u64(42);
+                is_probably_prime(&candidate, 16, &mut r)
+            });
+            assert_eq!(fast, reference, "paths disagree on {v}");
         }
     }
 

@@ -6,12 +6,25 @@
 //! [`crate::bigint`] and [`crate::prime`]: key generation with two random
 //! primes, `e = 65537`, and `d = e^{-1} mod (p-1)(q-1)`.
 //!
+//! Generated private keys carry the CRT factors `(p, q, d_p, d_q,
+//! q_inv)`, so [`RsaPrivateKey::apply`] runs two half-size Montgomery
+//! exponentiations and recombines by Garner's formula — roughly 4x
+//! faster than a full-size exponentiation, on top of the Montgomery
+//! speedup itself. Keys built from `(n, d)` alone (deserialized legacy
+//! material, external test vectors) still work through the plain path,
+//! and [`crate::engine::set_reference_mode`] forces the retained
+//! seed-path square-and-multiply for equivalence testing and
+//! benchmarking.
+//!
 //! The protocol-facing hash-then-sign wrapper lives in [`crate::signature`].
 
 use crate::bigint::BigUint;
+use crate::engine;
 use crate::error::CryptoError;
+use crate::montgomery::MontgomeryCtx;
 use crate::prime::{generate_prime, DEFAULT_MILLER_RABIN_ROUNDS};
 use rand::Rng;
+use serde::{Deserialize, Serialize, Value};
 
 /// The conventional RSA public exponent.
 pub const PUBLIC_EXPONENT: u32 = 65537;
@@ -24,7 +37,7 @@ pub const MIN_MODULUS_BITS: usize = 128;
 pub const DEFAULT_MODULUS_BITS: usize = 1024;
 
 /// An RSA public key `(n, e)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RsaPublicKey {
     /// Modulus `n = p * q`.
     pub modulus: BigUint,
@@ -32,17 +45,35 @@ pub struct RsaPublicKey {
     pub exponent: BigUint,
 }
 
-/// An RSA private key `(n, d)`.
+/// Chinese-remainder factors of an RSA private key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrtFactors {
+    /// First prime factor of the modulus.
+    pub p: BigUint,
+    /// Second prime factor of the modulus.
+    pub q: BigUint,
+    /// `d mod (p - 1)`.
+    pub d_p: BigUint,
+    /// `d mod (q - 1)`.
+    pub d_q: BigUint,
+    /// `q^{-1} mod p` (Garner recombination coefficient).
+    pub q_inv: BigUint,
+}
+
+/// An RSA private key: `(n, d)` plus optional CRT factors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RsaPrivateKey {
     /// Modulus `n = p * q`.
     pub modulus: BigUint,
     /// Private exponent `d = e^{-1} mod phi(n)`.
     pub exponent: BigUint,
+    /// CRT factors, present on generated keys; `None` on keys built from
+    /// `(n, d)` alone, which fall back to a full-size exponentiation.
+    pub crt: Option<CrtFactors>,
 }
 
 /// A matched RSA key pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RsaKeyPair {
     /// The public half, distributed to miners.
     pub public: RsaPublicKey,
@@ -63,9 +94,61 @@ impl RsaPublicKey {
 }
 
 impl RsaPrivateKey {
+    /// Builds a private key from `(n, d)` alone — the compatibility path
+    /// for key material without CRT factors. Signing works but runs the
+    /// full-size exponentiation.
+    pub fn from_components(modulus: BigUint, exponent: BigUint) -> Self {
+        RsaPrivateKey {
+            modulus,
+            exponent,
+            crt: None,
+        }
+    }
+
     /// Applies the private operation `m^d mod n` (used for signing).
+    ///
+    /// With CRT factors present (and the reference mode off) this runs
+    /// two half-size Montgomery exponentiations mod `p` and `q` and
+    /// recombines with Garner's formula; otherwise a single full-size
+    /// exponentiation.
     pub fn apply(&self, message: &BigUint) -> BigUint {
+        if !engine::reference_mode() {
+            if let Some(crt) = &self.crt {
+                return self.apply_crt(message, crt);
+            }
+        }
         message.modpow(&self.exponent, &self.modulus)
+    }
+
+    /// CRT signing: `s_p = m^{d_p} mod p`, `s_q = m^{d_q} mod q`,
+    /// `s = s_q + q * (q_inv (s_p - s_q) mod p)`.
+    fn apply_crt(&self, message: &BigUint, crt: &CrtFactors) -> BigUint {
+        let m = if *message < self.modulus {
+            message.clone()
+        } else {
+            message.rem(&self.modulus)
+        };
+        let (s_p, s_q) = match (MontgomeryCtx::new(&crt.p), MontgomeryCtx::new(&crt.q)) {
+            (Some(ctx_p), Some(ctx_q)) => (ctx_p.modpow(&m, &crt.d_p), ctx_q.modpow(&m, &crt.d_q)),
+            // Unreachable for generated keys (primes are odd), but keeps
+            // hand-built factors correct.
+            _ => (
+                m.rem(&crt.p).modpow(&crt.d_p, &crt.p),
+                m.rem(&crt.q).modpow(&crt.d_q, &crt.q),
+            ),
+        };
+        // Garner: h = q_inv * (s_p - s_q) mod p, lifting s_q by h * q.
+        let s_q_mod_p = s_q.rem(&crt.p);
+        let diff = if s_p >= s_q_mod_p {
+            s_p.sub(&s_q_mod_p)
+        } else {
+            s_p.add(&crt.p).sub(&s_q_mod_p)
+        };
+        let h = crt.q_inv.modmul(&diff, &crt.p);
+        let mut lift = BigUint::zero();
+        h.mul_to(&crt.q, &mut lift);
+        lift.add_assign(&s_q);
+        lift
     }
 
     /// Size of the modulus in bits.
@@ -74,12 +157,52 @@ impl RsaPrivateKey {
     }
 }
 
+// Hand-written serde keeps deserialization compatible with key material
+// serialized before CRT factors existed: a missing or null `crt` field
+// reads back as `None` instead of erroring.
+impl Serialize for RsaPrivateKey {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("modulus".to_string(), self.modulus.to_value()),
+            ("exponent".to_string(), self.exponent.to_value()),
+            (
+                "crt".to_string(),
+                match &self.crt {
+                    Some(crt) => crt.to_value(),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+impl Deserialize for RsaPrivateKey {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let modulus = BigUint::from_value(value.field("modulus")?)?;
+        let exponent = BigUint::from_value(value.field("exponent")?)?;
+        let crt = match value.field("crt") {
+            Err(_) => None,
+            Ok(Value::Null) => None,
+            Ok(v) => Some(CrtFactors::from_value(v)?),
+        };
+        Ok(RsaPrivateKey {
+            modulus,
+            exponent,
+            crt,
+        })
+    }
+}
+
 impl RsaKeyPair {
-    /// Generates a fresh key pair with a modulus of `modulus_bits` bits.
+    /// Generates a fresh key pair with a modulus of exactly
+    /// `modulus_bits` bits.
     ///
-    /// `modulus_bits` must be at least [`MIN_MODULUS_BITS`]. Key sizes used
-    /// in tests are intentionally small (128-512 bits) so the simulation
-    /// remains fast; they are not secure key sizes.
+    /// Prime candidates have their top two bits forced (see
+    /// [`crate::prime::generate_prime`]), so the product always reaches
+    /// the requested size. `modulus_bits` must be at least
+    /// [`MIN_MODULUS_BITS`]. Key sizes used in tests are intentionally
+    /// small (128-512 bits) so the simulation remains fast; they are not
+    /// secure key sizes.
     pub fn generate<R: Rng + ?Sized>(
         rng: &mut R,
         modulus_bits: usize,
@@ -102,13 +225,26 @@ impl RsaKeyPair {
                 continue;
             }
             let n = p.mul(&q);
-            let phi = p.sub(&one).mul(&q.sub(&one));
+            let p_minus_one = p.sub(&one);
+            let q_minus_one = q.sub(&one);
+            let phi = p_minus_one.mul(&q_minus_one);
             if !phi.gcd(&e).is_one() {
                 continue;
             }
             let d = match e.modinv(&phi) {
                 Some(d) => d,
                 None => continue,
+            };
+            let q_inv = match q.modinv(&p) {
+                Some(inv) => inv,
+                None => continue, // p == q is excluded above, but stay safe
+            };
+            let crt = CrtFactors {
+                d_p: d.rem(&p_minus_one),
+                d_q: d.rem(&q_minus_one),
+                q_inv,
+                p,
+                q,
             };
             return Ok(RsaKeyPair {
                 public: RsaPublicKey {
@@ -118,6 +254,7 @@ impl RsaKeyPair {
                 private: RsaPrivateKey {
                     modulus: n,
                     exponent: d,
+                    crt: Some(crt),
                 },
             });
         }
@@ -152,12 +289,25 @@ mod tests {
     #[test]
     fn generated_key_has_requested_size() {
         let mut r = rng();
+        for bits in [256usize, 257, 320] {
+            let pair = RsaKeyPair::generate(&mut r, bits).unwrap();
+            // Top-two-bit forcing makes the size exact, not approximate.
+            assert_eq!(pair.public.modulus_bits(), bits);
+            assert_eq!(pair.public.modulus, pair.private.modulus);
+            assert_eq!(pair.private.modulus_bits(), pair.public.modulus_bits());
+        }
+    }
+
+    #[test]
+    fn generated_key_carries_consistent_crt_factors() {
+        let mut r = rng();
         let pair = RsaKeyPair::generate(&mut r, 256).unwrap();
-        // The product of a 128-bit and a 128-bit prime has 255 or 256 bits.
-        assert!(pair.public.modulus_bits() >= 255);
-        assert!(pair.public.modulus_bits() <= 256);
-        assert_eq!(pair.public.modulus, pair.private.modulus);
-        assert_eq!(pair.private.modulus_bits(), pair.public.modulus_bits());
+        let crt = pair.private.crt.as_ref().expect("generated keys carry CRT");
+        assert_eq!(crt.p.mul(&crt.q), pair.private.modulus);
+        let one = BigUint::one();
+        assert_eq!(crt.d_p, pair.private.exponent.rem(&crt.p.sub(&one)),);
+        assert_eq!(crt.d_q, pair.private.exponent.rem(&crt.q.sub(&one)),);
+        assert_eq!(crt.q_inv.modmul(&crt.q, &crt.p), one);
     }
 
     #[test]
@@ -181,6 +331,21 @@ mod tests {
         assert_eq!(pair.public.apply(&sig), m);
         // A different message does not verify against the same signature.
         assert_ne!(pair.public.apply(&sig), BigUint::from_u64(1234));
+    }
+
+    #[test]
+    fn key_without_crt_signs_identically() {
+        let mut r = rng();
+        let pair = RsaKeyPair::generate(&mut r, 256).unwrap();
+        let plain = RsaPrivateKey::from_components(
+            pair.private.modulus.clone(),
+            pair.private.exponent.clone(),
+        );
+        assert!(plain.crt.is_none());
+        for value in [0u64, 1, 77, u64::MAX] {
+            let m = BigUint::from_u64(value);
+            assert_eq!(pair.private.apply(&m), plain.apply(&m));
+        }
     }
 
     #[test]
@@ -211,5 +376,35 @@ mod tests {
         let b = RsaKeyPair::generate(&mut r2, 192).unwrap();
         assert_eq!(a.public.modulus, b.public.modulus);
         assert_eq!(a.private.exponent, b.private.exponent);
+        assert_eq!(a.private.crt, b.private.crt);
+    }
+
+    #[test]
+    fn keypair_serde_round_trip() {
+        let mut r = rng();
+        let pair = RsaKeyPair::generate(&mut r, 192).unwrap();
+        let json = serde_json::to_string(&pair).unwrap();
+        let back: RsaKeyPair = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.public, pair.public);
+        assert_eq!(back.private, pair.private);
+        assert!(back.private.crt.is_some());
+    }
+
+    #[test]
+    fn legacy_private_key_json_deserializes_without_crt() {
+        let mut r = rng();
+        let pair = RsaKeyPair::generate(&mut r, 192).unwrap();
+        // Key material serialized before CRT factors existed: only (n, d).
+        let legacy = format!(
+            "{{\"modulus\":\"{}\",\"exponent\":\"{}\"}}",
+            pair.private.modulus.to_hex_string(),
+            pair.private.exponent.to_hex_string()
+        );
+        let key: RsaPrivateKey = serde_json::from_str(&legacy).unwrap();
+        assert!(key.crt.is_none());
+        assert_eq!(key.modulus, pair.private.modulus);
+        // And it still signs compatibly with the CRT-bearing original.
+        let m = BigUint::from_u64(0xABCD_EF01);
+        assert_eq!(key.apply(&m), pair.private.apply(&m));
     }
 }

@@ -100,22 +100,25 @@ impl Sha256 {
     }
 
     /// Consumes the hasher and returns the digest.
+    ///
+    /// Allocation-free: the padding is staged in a stack buffer, so
+    /// per-nonce mining hashes (midstate clone + 8-byte nonce + finalize)
+    /// never touch the heap.
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.total_len.wrapping_mul(8);
 
-        // Append the 0x80 terminator.
-        let mut pad = [0u8; 72];
-        pad[0] = 0x80;
-        // Number of zero bytes so that (buffer_len + 1 + zeros) % 64 == 56.
+        // 0x80 terminator, zeros to the next 56 (mod 64) boundary, then
+        // the 64-bit message length; at most 72 bytes in total.
+        let mut tail = [0u8; 72];
+        tail[0] = 0x80;
         let rem = (self.buffer_len + 1) % 64;
         let zeros = if rem <= 56 { 56 - rem } else { 120 - rem };
-        let mut tail = Vec::with_capacity(1 + zeros + 8);
-        tail.extend_from_slice(&pad[..1 + zeros]);
-        tail.extend_from_slice(&bit_len.to_be_bytes());
+        let tail_len = 1 + zeros + 8;
+        tail[1 + zeros..tail_len].copy_from_slice(&bit_len.to_be_bytes());
 
         // `update` tracks total_len; neutralise the padding contribution.
         let saved = self.total_len;
-        self.update(&tail);
+        self.update(&tail[..tail_len]);
         self.total_len = saved;
         debug_assert_eq!(self.buffer_len, 0);
 

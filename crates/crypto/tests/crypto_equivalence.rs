@@ -1,0 +1,174 @@
+//! Equivalence suites pinning the optimized crypto engine to the
+//! retained reference implementations, bit-for-bit.
+//!
+//! Mirrors `crates/ml/tests/batched_equivalence.rs` from the batched
+//! GEMM PR, with one difference: this is integer arithmetic, so every
+//! comparison is exact equality — no tolerances.
+//!
+//! Three pairings are pinned:
+//! * Knuth Algorithm D division ≡ the seed binary long division,
+//! * Montgomery fixed-window `modpow` ≡ square-and-multiply `modpow`,
+//! * CRT signing ≡ plain `(n, d)` signing.
+
+use bfl_crypto::bigint::BigUint;
+use bfl_crypto::engine;
+use bfl_crypto::montgomery::MontgomeryCtx;
+use bfl_crypto::rsa::RsaKeyPair;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// A non-zero value built from random bytes (falls back to `fallback`).
+fn nonzero(bytes: &[u8], fallback: u32) -> BigUint {
+    let v = BigUint::from_bytes_be(bytes);
+    if v.is_zero() {
+        BigUint::from_u32(fallback.max(1))
+    } else {
+        v
+    }
+}
+
+/// An odd value >= 3 built from random bytes.
+fn odd_modulus(bytes: &[u8]) -> BigUint {
+    let mut v = BigUint::from_bytes_be(bytes);
+    v.set_bit(0);
+    if v.is_one() {
+        v.set_bit(1);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Knuth division ≡ binary long division over operands up to 2048 bits.
+    #[test]
+    fn knuth_div_rem_matches_reference(
+        a_bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        b_bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        fallback in 1u32..,
+    ) {
+        let a = BigUint::from_bytes_be(&a_bytes);
+        let b = nonzero(&b_bytes, fallback);
+        let (q_fast, r_fast) = a.div_rem_knuth(&b);
+        let (q_ref, r_ref) = a.div_rem_reference(&b);
+        prop_assert_eq!(&q_fast, &q_ref);
+        prop_assert_eq!(&r_fast, &r_ref);
+        // Independent reconstruction check.
+        prop_assert_eq!(b.mul(&q_fast).add(&r_fast), a);
+        prop_assert!(r_fast < b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Montgomery modpow ≡ reference modpow, moduli up to 1024 bits
+    /// (exponents capped at 64 bits: the bit-by-bit reference bounds
+    /// what a test budget affords at this width).
+    #[test]
+    fn montgomery_modpow_matches_reference(
+        base_bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        exp_bytes in proptest::collection::vec(any::<u8>(), 0..8),
+        mod_bytes in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let base = BigUint::from_bytes_be(&base_bytes);
+        let exponent = BigUint::from_bytes_be(&exp_bytes);
+        let modulus = odd_modulus(&mod_bytes);
+        let ctx = MontgomeryCtx::new(&modulus).expect("odd modulus >= 3");
+        let fast = ctx.modpow(&base, &exponent);
+        let _guard = engine::mode_lock();
+        let reference =
+            engine::with_reference_mode(|| base.modpow(&exponent, &modulus));
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// Full-size exponents on smaller moduli.
+    #[test]
+    fn montgomery_modpow_full_exponent_matches_reference(
+        base_bytes in proptest::collection::vec(any::<u8>(), 0..48),
+        exp_bytes in proptest::collection::vec(any::<u8>(), 0..48),
+        mod_bytes in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let base = BigUint::from_bytes_be(&base_bytes);
+        let exponent = BigUint::from_bytes_be(&exp_bytes);
+        let modulus = odd_modulus(&mod_bytes);
+        let ctx = MontgomeryCtx::new(&modulus).expect("odd modulus >= 3");
+        let fast = ctx.modpow(&base, &exponent);
+        let _guard = engine::mode_lock();
+        let reference =
+            engine::with_reference_mode(|| base.modpow(&exponent, &modulus));
+        prop_assert_eq!(fast, reference);
+    }
+}
+
+/// A deterministic 2048-bit modulus exercise: the widest operand class
+/// the proptest budget cannot afford against the bit-by-bit reference.
+#[test]
+fn montgomery_modpow_matches_reference_at_2048_bits() {
+    let mut seed_bytes = Vec::with_capacity(256);
+    for i in 0..256u32 {
+        seed_bytes.push((i.wrapping_mul(2_654_435_761) >> 13) as u8);
+    }
+    let mut modulus = BigUint::from_bytes_be(&seed_bytes);
+    modulus.set_bit(0);
+    modulus.set_bit(2047);
+    let base = BigUint::from_bytes_be(&seed_bytes[3..201]);
+    let exponent = BigUint::from_u64(0xF00D_FACE_CAFE_BEEF);
+
+    let ctx = MontgomeryCtx::new(&modulus).expect("odd 2048-bit modulus");
+    let fast = ctx.modpow(&base, &exponent);
+    let _guard = engine::mode_lock();
+    let reference = engine::with_reference_mode(|| base.modpow(&exponent, &modulus));
+    assert_eq!(fast, reference);
+}
+
+/// Keys generated once and shared across the signing equivalence cases
+/// (keygen dominates otherwise).
+fn shared_keys() -> &'static Vec<RsaKeyPair> {
+    static KEYS: OnceLock<Vec<RsaKeyPair>> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xC127_5160);
+        [256usize, 320, 384]
+            .iter()
+            .map(|&bits| RsaKeyPair::generate(&mut rng, bits).expect("keygen"))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CRT signing ≡ plain (n, d) signing, across every shared key size.
+    #[test]
+    fn crt_sign_matches_plain_sign(
+        msg_bytes in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let message = BigUint::from_bytes_be(&msg_bytes);
+        for pair in shared_keys() {
+            prop_assert!(pair.private.crt.is_some());
+            let _guard = engine::mode_lock();
+            let fast = pair.private.apply(&message);
+            let reference = engine::with_reference_mode(|| pair.private.apply(&message));
+            prop_assert_eq!(&fast, &reference);
+            // The signature round-trips through the public operation.
+            let m_reduced = message.rem(&pair.private.modulus);
+            prop_assert_eq!(pair.public.apply(&fast), m_reduced);
+        }
+    }
+
+    /// Verification agrees across engines: a signature produced by the
+    /// fast path verifies under the reference public operation.
+    #[test]
+    fn cross_engine_sign_verify_round_trip(
+        msg_bytes in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let message = BigUint::from_bytes_be(&msg_bytes);
+        let pair = &shared_keys()[0];
+        let _guard = engine::mode_lock();
+        let sig_fast = pair.private.apply(&message);
+        let recovered_ref = engine::with_reference_mode(|| pair.public.apply(&sig_fast));
+        prop_assert_eq!(recovered_ref, message.rem(&pair.private.modulus));
+    }
+}
