@@ -12,10 +12,12 @@
 //! 3. **End-to-end simulation** rounds/second — a Figure-5-style
 //!    FAIR-BFL run with signatures off (isolates the learning substrate).
 //!
-//! **Ledger substrate** (PR 2, written to `BENCH_PR2.json`): the
-//! Montgomery/CRT crypto engine against the retained seed paths, toggled
-//! through `bfl_crypto::engine::set_reference_mode`, plus the PoW
-//! midstate fast path against full-header hashing:
+//! **Ledger substrate** (PR 2's section, now written to
+//! `BENCH_CRYPTO.json`; the tracked `BENCH_PR2.json` is a frozen record
+//! of the 32-bit-limb engine and is never rewritten): the crypto engine
+//! against the retained seed paths, toggled through
+//! `bfl_crypto::engine::set_reference_mode`, plus the PoW midstate fast
+//! path against full-header hashing:
 //!
 //! 4. **RSA keygen/sign/verify** operations/second at
 //!    `DEFAULT_MODULUS_BITS`.
@@ -25,24 +27,38 @@
 //!    signature verification on (the workload the ROADMAP flagged as
 //!    ~97% crypto), and the crypto share of its wall-clock.
 //!
-//! Usage: `throughput [reps] [all|ml|crypto|smoke]`. `smoke` runs a
-//! seconds-scale version of both sections (for CI) and writes
+//! **u64-limb bigint core + parallel verification** (PR 3, written to
+//! `BENCH_PR3.json`): the 64-bit-limb engine with cached per-key
+//! Montgomery contexts against the retained reference paths, plus the
+//! Procedure-II-style parallel verification batch:
+//!
+//! 7. **bigint** — `modpow` and `div_rem` operations/second, fast engine
+//!    vs reference, at RSA-scale operand widths.
+//! 8. **verify-batch** — a round's worth of signature verifications
+//!    fanned out over `bfl_ml::par` vs the serial loop.
+//! 9. **vs-PR2** — current sign/verify rates against the rates recorded
+//!    in `BENCH_PR2.json` (the 32-bit-limb engine on this machine
+//!    class), and the crypto share of a signed smoke FullBfl run.
+//!
+//! Usage: `throughput [reps] [all|ml|crypto|pr3|smoke]`. `smoke` runs a
+//! seconds-scale version of every section (for CI) and writes
 //! `BENCH_SMOKE.json` instead of the tracked reports.
 
 use bfl_bench::experiments::{dataset, system_config, Scale, SystemLabel};
 use bfl_chain::Block;
 use bfl_core::BflSimulation;
+use bfl_crypto::bigint::BigUint;
 use bfl_crypto::engine as crypto_engine;
 use bfl_crypto::rsa::{RsaKeyPair, DEFAULT_MODULUS_BITS};
-use bfl_crypto::signature::{sign_message, verify_message};
+use bfl_crypto::signature::{sign_message, verify_message, SignedMessage};
 use bfl_data::Dataset;
 use bfl_ml::model::{AnyModel, ModelKind};
 use bfl_ml::optimizer::{train_local_with_scratch, LocalTrainingConfig};
 use bfl_ml::tensor::Scratch;
-use bfl_ml::{engine, metrics};
+use bfl_ml::{engine, metrics, par};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -64,7 +80,7 @@ impl Measurement {
 }
 
 /// Fast-engine vs reference-engine rates for one crypto operation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct EnginePair {
     fast: f64,
     reference: f64,
@@ -123,6 +139,7 @@ struct SmokeReport {
     description: String,
     ml: MlReport,
     crypto: CryptoReport,
+    pr3: Pr3Report,
 }
 
 /// Runs `body` once warm-up, then `reps` individually timed repetitions;
@@ -471,6 +488,290 @@ fn crypto_section(data: &(Dataset, Dataset), reps: usize, scale: &CryptoScale) -
     }
 }
 
+// ---------------------------------------------------------------------------
+// u64-limb bigint core + parallel verification (PR 3 metrics).
+// ---------------------------------------------------------------------------
+
+/// Fast vs reference rates of the bigint micro-operations.
+#[derive(Debug, Clone, Serialize)]
+struct BigintReport {
+    /// Montgomery modpow vs square-and-multiply: 64-bit exponent at the
+    /// section's modulus width (the reference path bounds what a bench
+    /// budget affords at full exponents).
+    modpow_per_sec: EnginePair,
+    /// Knuth Algorithm D vs binary long division: a double-width
+    /// dividend over a modulus-width divisor.
+    div_rem_per_sec: EnginePair,
+}
+
+/// Parallel vs serial verification of one round's signature batch.
+#[derive(Debug, Clone, Serialize)]
+struct VerifyBatchReport {
+    batch: usize,
+    threads: usize,
+    parallel_per_sec: f64,
+    serial_per_sec: f64,
+    speedup: f64,
+}
+
+/// Current engine rates against the numbers recorded in `BENCH_PR2.json`
+/// (the 32-bit-limb engine, same machine class).
+#[derive(Debug, Clone, Serialize)]
+struct Pr2Comparison {
+    pr2_sign_per_sec: f64,
+    pr2_verify_per_sec: f64,
+    sign_speedup_vs_pr2: f64,
+    verify_speedup_vs_pr2: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Pr3Report {
+    description: String,
+    modulus_bits: usize,
+    bigint: BigintReport,
+    sign_per_sec: EnginePair,
+    verify_per_sec: EnginePair,
+    verify_batch: VerifyBatchReport,
+    vs_pr2: Option<Pr2Comparison>,
+    fullbfl_rounds_per_sec: EnginePair,
+    fullbfl_crypto_share: CryptoShare,
+}
+
+/// The slice of `BENCH_PR2.json` the comparison needs.
+#[derive(Debug, Clone, Deserialize)]
+struct Pr2File {
+    sign_per_sec: EnginePair,
+    verify_per_sec: EnginePair,
+}
+
+/// Deterministic odd modulus / base pair of the requested width.
+fn bench_operands(bits: usize) -> (BigUint, BigUint) {
+    let mut rng = StdRng::seed_from_u64(0xB161_0000 + bits as u64);
+    let mut bytes = vec![0u8; bits / 8];
+    rng.fill(&mut bytes[..]);
+    let mut modulus = BigUint::from_bytes_be(&bytes);
+    modulus.set_bit(0);
+    modulus.set_bit(bits - 1);
+    rng.fill(&mut bytes[..]);
+    let base = BigUint::from_bytes_be(&bytes).rem(&modulus);
+    (modulus, base)
+}
+
+fn bigint_rates(modulus_bits: usize, reps: usize) -> BigintReport {
+    let (modulus, base) = bench_operands(modulus_bits);
+    let exponent = BigUint::from_u64(0xF00D_FACE_CAFE_BEEF);
+
+    let modpow_ops = 4.0;
+    let modpow = |reference: bool, reps: usize| {
+        crypto_engine::set_reference_mode(reference);
+        let result = rate(modpow_ops, reps, || {
+            for _ in 0..modpow_ops as usize {
+                black_box(base.modpow(&exponent, &modulus));
+            }
+        });
+        crypto_engine::set_reference_mode(false);
+        result
+    };
+    let modpow_pair = EnginePair::from_rates(modpow(false, reps), modpow(true, reps));
+    eprintln!(
+        "  modpow ({modulus_bits}-bit modulus, 64-bit exp): fast {:>10.0} op/s | reference {:>8.1} op/s | {:.1}x",
+        modpow_pair.fast, modpow_pair.reference, modpow_pair.speedup
+    );
+
+    // Double-width dividend over the modulus, the shape every reduction
+    // in sign/verify takes.
+    let dividend = base.mul(&modulus).add(&base);
+    let div_ops = 64.0;
+    let div_rem = |reference: bool, reps: usize| {
+        rate(div_ops, reps, || {
+            for _ in 0..div_ops as usize {
+                if reference {
+                    black_box(dividend.div_rem_reference(&modulus));
+                } else {
+                    black_box(dividend.div_rem_knuth(&modulus));
+                }
+            }
+        })
+    };
+    let div_pair = EnginePair::from_rates(div_rem(false, reps), div_rem(true, reps));
+    eprintln!(
+        "  div_rem ({}-bit / {modulus_bits}-bit): fast {:>10.0} op/s | reference {:>8.1} op/s | {:.1}x",
+        dividend.bit_len(),
+        div_pair.fast,
+        div_pair.reference,
+        div_pair.speedup
+    );
+
+    BigintReport {
+        modpow_per_sec: modpow_pair,
+        div_rem_per_sec: div_pair,
+    }
+}
+
+fn verify_batch_rates(pair: &RsaKeyPair, batch: usize, reps: usize) -> VerifyBatchReport {
+    let signed: Vec<SignedMessage> = (0..batch)
+        .map(|i| {
+            sign_message(
+                i as u64,
+                format!("batched gradient upload {i}").as_bytes(),
+                &pair.private,
+            )
+        })
+        .collect();
+    // Procedure-II's fan-out shape: independent verifications against a
+    // shared public key, stitched back in order.
+    let parallel = rate(batch as f64, reps, || {
+        let ok = par::par_map(&signed, 1, |_, msg| {
+            verify_message(msg, &pair.public).is_ok()
+        });
+        assert!(ok.iter().all(|&v| v));
+    });
+    let serial = rate(batch as f64, reps, || {
+        for msg in &signed {
+            verify_message(msg, &pair.public).expect("signature verifies");
+        }
+    });
+    VerifyBatchReport {
+        batch,
+        threads: par::max_threads(),
+        parallel_per_sec: parallel,
+        serial_per_sec: serial,
+        speedup: parallel / serial,
+    }
+}
+
+/// The PR 3 measurements. `measured` carries an already-run
+/// [`crypto_section`] at the same scale (the `all`/`smoke` modes run
+/// both sections back to back): its sign/verify/FullBfl numbers are
+/// reused instead of re-measured, so the shared metrics are timed once
+/// per invocation.
+fn pr3_section(
+    data: &(Dataset, Dataset),
+    reps: usize,
+    scale: &CryptoScale,
+    measured: Option<&CryptoReport>,
+) -> Pr3Report {
+    let bits = scale.modulus_bits;
+    eprintln!("measuring bigint micro-operations at {bits} bits ({reps} reps per mode)...");
+    let bigint = bigint_rates(bits, reps);
+
+    let mut rng = StdRng::seed_from_u64(0x51_6E);
+    let pair = RsaKeyPair::generate(&mut rng, bits).expect("bench keypair");
+
+    let sign = match measured {
+        Some(crypto) => crypto.sign_per_sec.clone(),
+        None => {
+            eprintln!("measuring RSA sign at {bits} bits ({reps} reps per mode)...");
+            let sign = EnginePair::from_rates(
+                sign_rate(&pair, scale.sign_messages, false, reps),
+                sign_rate(&pair, scale.sign_messages, true, reps),
+            );
+            eprintln!(
+                "  fast {:>10.1} sig/s | reference {:>10.2} sig/s | {:.1}x",
+                sign.fast, sign.reference, sign.speedup
+            );
+            sign
+        }
+    };
+
+    let verify = match measured {
+        Some(crypto) => crypto.verify_per_sec.clone(),
+        None => {
+            eprintln!("measuring RSA verify at {bits} bits ({reps} reps per mode)...");
+            let verify = EnginePair::from_rates(
+                verify_rate(&pair, scale.verify_messages, false, reps),
+                verify_rate(&pair, scale.verify_messages, true, reps),
+            );
+            eprintln!(
+                "  fast {:>10.0} verif/s | reference {:>10.1} verif/s | {:.1}x",
+                verify.fast, verify.reference, verify.speedup
+            );
+            verify
+        }
+    };
+
+    eprintln!("measuring parallel verify batch ({reps} reps per mode)...");
+    let verify_batch = verify_batch_rates(&pair, scale.verify_messages.max(32), reps);
+    eprintln!(
+        "  parallel {:>10.0} verif/s ({} threads) | serial {:>10.0} verif/s | {:.2}x",
+        verify_batch.parallel_per_sec,
+        verify_batch.threads,
+        verify_batch.serial_per_sec,
+        verify_batch.speedup
+    );
+
+    // The PR 2 record only matches at the tracked modulus size; smoke
+    // runs (256-bit) skip the comparison.
+    let vs_pr2 = if bits == DEFAULT_MODULUS_BITS {
+        std::fs::read_to_string("BENCH_PR2.json")
+            .ok()
+            .and_then(|json| serde_json::from_str::<Pr2File>(&json).ok())
+            .map(|pr2| {
+                let comparison = Pr2Comparison {
+                    pr2_sign_per_sec: pr2.sign_per_sec.fast,
+                    pr2_verify_per_sec: pr2.verify_per_sec.fast,
+                    sign_speedup_vs_pr2: sign.fast / pr2.sign_per_sec.fast,
+                    verify_speedup_vs_pr2: verify.fast / pr2.verify_per_sec.fast,
+                };
+                eprintln!(
+                    "  vs PR2 engine: sign {:.2}x, verify {:.2}x",
+                    comparison.sign_speedup_vs_pr2, comparison.verify_speedup_vs_pr2
+                );
+                comparison
+            })
+    } else {
+        None
+    };
+    if vs_pr2.is_none() {
+        eprintln!("  (no PR2 comparison: BENCH_PR2.json missing or modulus size differs)");
+    }
+
+    let (fullbfl, share) = match measured {
+        Some(crypto) => (
+            crypto.fullbfl_rounds_per_sec.clone(),
+            crypto.fullbfl_crypto_share.clone(),
+        ),
+        None => {
+            eprintln!(
+                "measuring FullBfl smoke run with signatures on ({} rounds, {reps} reps per mode)...",
+                scale.fullbfl_rounds
+            );
+            let (fullbfl_fast, fast_seconds) =
+                fullbfl_rate(data, scale.fullbfl_rounds, true, false, reps);
+            let (fullbfl_ref, _) = fullbfl_rate(data, scale.fullbfl_rounds, true, true, reps);
+            let fullbfl = EnginePair::from_rates(fullbfl_fast, fullbfl_ref);
+            let (_, off_seconds) = fullbfl_rate(data, scale.fullbfl_rounds, false, false, reps);
+            let share = CryptoShare {
+                signatures_on_seconds: fast_seconds,
+                signatures_off_seconds: off_seconds,
+                crypto_share: (fast_seconds - off_seconds).max(0.0) / fast_seconds,
+            };
+            eprintln!(
+                "  fast {:>8.3} rounds/s | reference {:>8.3} rounds/s | crypto share {:.1}% (was ~70% after PR 2)",
+                fullbfl.fast,
+                fullbfl.reference,
+                share.crypto_share * 100.0
+            );
+            (fullbfl, share)
+        }
+    };
+
+    Pr3Report {
+        description: "u64-limb bigint engine with cached Montgomery contexts and parallel \
+                      Procedure-II verification vs retained reference paths, same \
+                      process/machine"
+            .to_string(),
+        modulus_bits: bits,
+        bigint,
+        sign_per_sec: sign,
+        verify_per_sec: verify,
+        verify_batch,
+        vs_pr2,
+        fullbfl_rounds_per_sec: fullbfl,
+        fullbfl_crypto_share: share,
+    }
+}
+
 fn write_report<T: Serialize>(path: &str, report: &T) {
     let json = serde_json::to_string_pretty(report).expect("report serializes");
     std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| panic!("{path} written: {e}"));
@@ -489,9 +790,11 @@ fn main() {
         }
     }
 
-    // The tracked full-scale crypto workload; `throughput crypto` and
-    // `throughput all` must measure the identical thing into
-    // BENCH_PR2.json.
+    // The tracked full-scale crypto workload; `throughput crypto`,
+    // `throughput pr3` and `throughput all` must measure the identical
+    // thing. BENCH_PR2.json is a *frozen* record of the PR 2 (32-bit
+    // limb) engine and is never rewritten — the current engine's crypto
+    // numbers go to BENCH_CRYPTO.json / BENCH_PR3.json.
     let full_crypto_scale = CryptoScale {
         modulus_bits: DEFAULT_MODULUS_BITS,
         sign_messages: 4,
@@ -509,12 +812,19 @@ fn main() {
         "crypto" => {
             let data = dataset(Scale::Smoke);
             write_report(
-                "BENCH_PR2.json",
+                "BENCH_CRYPTO.json",
                 &crypto_section(&data, reps, &full_crypto_scale),
             );
         }
+        "pr3" => {
+            let data = dataset(Scale::Smoke);
+            write_report(
+                "BENCH_PR3.json",
+                &pr3_section(&data, reps, &full_crypto_scale, None),
+            );
+        }
         "smoke" => {
-            // Seconds-scale end-to-end exercise of both engines for CI:
+            // Seconds-scale end-to-end exercise of every engine for CI:
             // catches perf-harness breakage, not regressions.
             let data = dataset(Scale::Smoke);
             let scale = CryptoScale {
@@ -525,10 +835,14 @@ fn main() {
                 fullbfl_rounds: 2,
                 reference_keygen_reps: 1,
             };
+            let ml = ml_section(&data, reps);
+            let crypto = crypto_section(&data, reps, &scale);
+            let pr3 = pr3_section(&data, reps, &scale, Some(&crypto));
             let report = SmokeReport {
                 description: "CI smoke run at reduced scale; not a tracked measurement".to_string(),
-                ml: ml_section(&data, reps),
-                crypto: crypto_section(&data, reps, &scale),
+                ml,
+                crypto,
+                pr3,
             };
             write_report("BENCH_SMOKE.json", &report);
         }
@@ -537,12 +851,16 @@ fn main() {
             let ml = ml_section(&ml_data, reps);
             let crypto_data = dataset(Scale::Smoke);
             let crypto = crypto_section(&crypto_data, reps, &full_crypto_scale);
+            let pr3 = pr3_section(&crypto_data, reps, &full_crypto_scale, Some(&crypto));
             write_report("BENCH_PR1.json", &ml);
-            write_report("BENCH_PR2.json", &crypto);
+            write_report("BENCH_CRYPTO.json", &crypto);
+            write_report("BENCH_PR3.json", &pr3);
         }
         other => {
             // A typo must not silently regenerate the tracked reports.
-            eprintln!("unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|smoke]");
+            eprintln!(
+                "unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|pr3|smoke]"
+            );
             std::process::exit(2);
         }
     }

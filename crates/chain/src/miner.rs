@@ -45,6 +45,14 @@ impl Miner {
 
     /// Performs a real bounded nonce search on `candidate`, returning the
     /// number of hashes spent if a proof was found.
+    ///
+    /// With [`PowConfig::mining_threads`] above one, the search fans out
+    /// over the configured worker count through the deterministic
+    /// parallel search covering exactly the serial range `[0, budget)`:
+    /// the winning nonce is the smallest satisfying nonce of that range
+    /// at every worker count, so the sealed block — and whether the
+    /// budget suffices at all — is identical to the serial search. Only
+    /// the wall-clock changes.
     pub fn mine_block(
         &self,
         candidate: &mut Block,
@@ -53,7 +61,14 @@ impl Miner {
     ) -> Option<u64> {
         candidate.header.difficulty = config.difficulty;
         candidate.header.miner_id = self.id;
-        let nonce = config.search_header(&candidate.header, 0, budget)?;
+        let threads = config.effective_mining_threads();
+        let nonce = if threads > 1 {
+            config
+                .search_header_parallel_budget(&candidate.header, threads, budget)
+                .0?
+        } else {
+            config.search_header(&candidate.header, 0, budget)?
+        };
         candidate.header.nonce = nonce;
         Some(nonce + 1)
     }
@@ -141,12 +156,39 @@ mod tests {
     }
 
     #[test]
+    fn parallel_mining_seals_the_same_block_as_serial() {
+        let miner = Miner::new(3, 1000.0);
+        let genesis = Block::genesis();
+        let serial_config = PowConfig::new(64);
+        let parallel_config = PowConfig::new(64).with_mining_threads(4);
+
+        let mut serial_block = Block::candidate(&genesis, vec![], 0, 1, 0);
+        miner
+            .mine_block(&mut serial_block, &serial_config, 1_000_000)
+            .expect("serial mining succeeds");
+        let mut parallel_block = Block::candidate(&genesis, vec![], 0, 1, 0);
+        miner
+            .mine_block(&mut parallel_block, &parallel_config, 1_000_000)
+            .expect("parallel mining succeeds");
+
+        assert_eq!(serial_block.header.nonce, parallel_block.header.nonce);
+        assert_eq!(serial_block.hash(), parallel_block.hash());
+        assert!(parallel_block.proof_is_valid());
+    }
+
+    #[test]
     fn mine_block_respects_budget() {
         let miner = Miner::new(3, 1000.0);
         let genesis = Block::genesis();
         let mut candidate = Block::candidate(&genesis, vec![], 0, 1, 0);
         let config = PowConfig::new(u64::MAX / 2);
         assert!(miner.mine_block(&mut candidate, &config, 16).is_none());
+        // The parallel search covers the identical [0, budget) range, so
+        // it fails on exactly the budgets the serial search fails on —
+        // including budgets not divisible by the worker count.
+        let parallel = config.with_mining_threads(3);
+        assert!(miner.mine_block(&mut candidate, &parallel, 16).is_none());
+        assert!(miner.mine_block(&mut candidate, &parallel, 17).is_none());
     }
 
     #[test]

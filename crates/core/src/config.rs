@@ -75,6 +75,11 @@ pub struct BflConfig {
     /// Rounds a discarded client sits out before becoming selectable again
     /// (the "clients selection" effect of the discard strategy).
     pub discard_cooldown_rounds: usize,
+    /// Worker threads the PoW nonce search uses when sealing a block:
+    /// `1` keeps the serial loop, `0` uses one worker per core, any other
+    /// value is the exact count. The parallel search is deterministic, so
+    /// this changes wall-clock time but never the mined chain.
+    pub mining_threads: usize,
 }
 
 impl Default for BflConfig {
@@ -93,6 +98,7 @@ impl Default for BflConfig {
             verify_signatures: true,
             rsa_modulus_bits: 256,
             discard_cooldown_rounds: 3,
+            mining_threads: 1,
         }
     }
 }

@@ -33,9 +33,11 @@ impl ExchangeOutcome {
 /// Runs Procedure-III over the per-miner upload sets for `miners` miners.
 ///
 /// Miners that received no uploads still participate in the exchange and
-/// end up with the full merged set.
-pub fn exchange_gradients(uploads: &UploadOutcome, miners: usize) -> ExchangeOutcome {
-    let merged = uploads.all_accepted();
+/// end up with the full merged set. Consumes the upload outcome: the
+/// merge moves each accepted upload (and its parameter vector) exactly
+/// once instead of deep-cloning the round's gradient set.
+pub fn exchange_gradients(uploads: UploadOutcome, miners: usize) -> ExchangeOutcome {
+    let merged = uploads.into_all_accepted();
     let ids: Vec<u64> = merged.iter().map(|u| u.client_id).collect();
     let per_miner: BTreeMap<usize, Vec<u64>> =
         (0..miners.max(1)).map(|m| (m, ids.clone())).collect();
@@ -71,7 +73,7 @@ mod tests {
 
     #[test]
     fn all_miners_end_with_the_same_complete_set() {
-        let outcome = exchange_gradients(&uploads(20, 4), 4);
+        let outcome = exchange_gradients(uploads(20, 4), 4);
         assert_eq!(outcome.merged.len(), 20);
         assert!(outcome.all_miners_agree());
         assert_eq!(outcome.per_miner.len(), 4);
@@ -87,14 +89,14 @@ mod tests {
 
     #[test]
     fn empty_round_is_handled() {
-        let outcome = exchange_gradients(&UploadOutcome::default(), 3);
+        let outcome = exchange_gradients(UploadOutcome::default(), 3);
         assert!(outcome.merged.is_empty());
         assert!(outcome.all_miners_agree());
     }
 
     #[test]
     fn single_miner_degenerate_case() {
-        let outcome = exchange_gradients(&uploads(5, 1), 1);
+        let outcome = exchange_gradients(uploads(5, 1), 1);
         assert_eq!(outcome.merged.len(), 5);
         assert!(outcome.all_miners_agree());
     }

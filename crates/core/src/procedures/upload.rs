@@ -5,11 +5,19 @@
 //! verifies the signature against the registered public key before
 //! accepting the transaction (Figure 2). Uploads that fail verification are
 //! rejected and never enter the round's gradient set.
+//!
+//! Signing and verification are independent across uploads (each client
+//! signs with its own key; each miner checks against the registered
+//! public key), so the round's crypto fans out across the machine's
+//! cores through [`bfl_ml::par`]: miner association is drawn from the
+//! round RNG *before* the fan-out and results are stitched back in
+//! upload order, so a parallel round is bit-identical to a serial one.
 
 use bfl_crypto::signature::sign_message;
 use bfl_crypto::{KeyStore, RsaKeyPair};
 use bfl_fl::client::LocalUpdate;
 use bfl_ml::gradient;
+use bfl_ml::par;
 use bfl_net::Topology;
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -39,12 +47,11 @@ pub struct UploadOutcome {
 
 impl UploadOutcome {
     /// All accepted uploads across miners, ordered by client id.
-    pub fn all_accepted(&self) -> Vec<VerifiedUpload> {
-        let mut all: Vec<VerifiedUpload> = self
-            .per_miner
-            .values()
-            .flat_map(|uploads| uploads.iter().cloned())
-            .collect();
+    ///
+    /// Consumes the outcome so the merge moves the uploads (with their
+    /// full parameter vectors) instead of deep-cloning every one.
+    pub fn into_all_accepted(self) -> Vec<VerifiedUpload> {
+        let mut all: Vec<VerifiedUpload> = self.per_miner.into_values().flatten().collect();
         all.sort_by_key(|u| u.client_id);
         all
     }
@@ -53,6 +60,13 @@ impl UploadOutcome {
     pub fn accepted_count(&self) -> usize {
         self.per_miner.values().map(Vec::len).sum()
     }
+}
+
+/// Per-upload verdict of the signing/verification fan-out, in the same
+/// order as the round's updates.
+enum Verdict {
+    Accepted(VerifiedUpload),
+    Rejected(u64),
 }
 
 /// Runs Procedure-II: associates every update with a random miner, signs
@@ -70,36 +84,60 @@ pub fn upload_gradients<R: Rng + ?Sized>(
 ) -> UploadOutcome {
     let client_ids: Vec<u64> = updates.iter().map(|u| u.client_id).collect();
     let assignment = topology.associate_clients(&client_ids, rng);
+    let items: Vec<(&LocalUpdate, usize)> =
+        updates.iter().zip(assignment.iter().copied()).collect();
+
+    let verdicts: Vec<Verdict> = match (keypairs, keystore) {
+        (Some(pairs), Some(store)) => {
+            // One RSA sign plus one verify per upload: the round's serial
+            // chain of modexps becomes a parallel batch. Each task only
+            // reads shared state (keys, store), and `par_map` returns
+            // results in input order, so acceptance, rejection order and
+            // per-miner grouping match the serial loop exactly.
+            par::par_map(&items, 1, |_, &(update, miner)| {
+                match pairs.get(&update.client_id) {
+                    Some(pair) => {
+                        let payload = gradient::to_bytes(&update.params);
+                        let envelope = sign_message(update.client_id, &payload, &pair.private);
+                        if store.verify(&envelope).is_ok() {
+                            Verdict::Accepted(verified(update, miner))
+                        } else {
+                            Verdict::Rejected(update.client_id)
+                        }
+                    }
+                    None => Verdict::Rejected(update.client_id),
+                }
+            })
+        }
+        // Signature handling off: nothing to compute per upload, so the
+        // fan-out would only pay thread overhead.
+        _ => items
+            .iter()
+            .map(|&(update, miner)| Verdict::Accepted(verified(update, miner)))
+            .collect(),
+    };
 
     let mut outcome = UploadOutcome::default();
-    for (update, &miner) in updates.iter().zip(assignment.iter()) {
-        let accepted = match (keypairs, keystore) {
-            (Some(pairs), Some(store)) => match pairs.get(&update.client_id) {
-                Some(pair) => {
-                    let payload = gradient::to_bytes(&update.params);
-                    let envelope = sign_message(update.client_id, &payload, &pair.private);
-                    store.verify(&envelope).is_ok()
-                }
-                None => false,
-            },
-            _ => true,
-        };
-        if accepted {
-            outcome
+    for verdict in verdicts {
+        match verdict {
+            Verdict::Accepted(upload) => outcome
                 .per_miner
-                .entry(miner)
+                .entry(upload.miner)
                 .or_default()
-                .push(VerifiedUpload {
-                    client_id: update.client_id,
-                    miner,
-                    params: update.params.clone(),
-                    forged: update.forged,
-                });
-        } else {
-            outcome.rejected.push(update.client_id);
+                .push(upload),
+            Verdict::Rejected(client_id) => outcome.rejected.push(client_id),
         }
     }
     outcome
+}
+
+fn verified(update: &LocalUpdate, miner: usize) -> VerifiedUpload {
+    VerifiedUpload {
+        client_id: update.client_id,
+        miner,
+        params: update.params.clone(),
+        forged: update.forged,
+    }
 }
 
 #[cfg(test)]
@@ -130,7 +168,7 @@ mod tests {
         let outcome = upload_gradients(&updates, &topology, None, None, &mut rng);
         assert_eq!(outcome.accepted_count(), 5);
         assert!(outcome.rejected.is_empty());
-        let all = outcome.all_accepted();
+        let all = outcome.into_all_accepted();
         assert_eq!(all.len(), 5);
         // Ordered by client id and assigned to valid miners.
         assert!(all.windows(2).all(|w| w[0].client_id < w[1].client_id));
@@ -149,6 +187,36 @@ mod tests {
         let outcome = upload_gradients(&updates, &topology, Some(&pairs), Some(&store), &mut rng);
         assert_eq!(outcome.accepted_count(), 3);
         assert_eq!(outcome.rejected, vec![4]);
+    }
+
+    #[test]
+    fn parallel_signed_round_matches_unsigned_grouping() {
+        // The signed (parallel) and unsigned (serial) paths must produce
+        // the same association and ordering for the same RNG stream —
+        // the fan-out may not reorder or drop accepted uploads.
+        let mut store = KeyStore::new();
+        let mut key_rng = StdRng::seed_from_u64(7);
+        let ids: Vec<u64> = (0..12).collect();
+        let pairs = store.provision(&mut key_rng, &ids, 256).unwrap();
+        let updates: Vec<LocalUpdate> = ids.iter().map(|&id| update(id)).collect();
+        let topology = Topology::new(12, 3);
+
+        let mut rng_signed = StdRng::seed_from_u64(42);
+        let signed = upload_gradients(
+            &updates,
+            &topology,
+            Some(&pairs),
+            Some(&store),
+            &mut rng_signed,
+        );
+        let mut rng_unsigned = StdRng::seed_from_u64(42);
+        let unsigned = upload_gradients(&updates, &topology, None, None, &mut rng_unsigned);
+
+        assert!(signed.rejected.is_empty());
+        assert_eq!(signed.per_miner.len(), unsigned.per_miner.len());
+        for (miner, uploads) in &signed.per_miner {
+            assert_eq!(uploads, &unsigned.per_miner[miner], "miner {miner}");
+        }
     }
 
     #[test]

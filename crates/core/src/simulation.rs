@@ -117,7 +117,10 @@ impl BflSimulation {
             .collect();
         // Real mining uses a light difficulty so wall-clock time stays
         // negligible; the *simulated* delay comes from the delay model.
-        let mut consensus = RoundConsensus::new(miners, bfl_chain::PowConfig::new(64));
+        let mut consensus = RoundConsensus::new(
+            miners,
+            bfl_chain::PowConfig::new(64).with_mining_threads(config.mining_threads),
+        );
         consensus
             .replicas
             .iter_mut()
@@ -223,7 +226,10 @@ impl BflSimulation {
             let miners: Vec<Miner> = (0..config.miners as u64)
                 .map(|id| Miner::new(id, config.delay.miner_hash_rate))
                 .collect();
-            Some(RoundConsensus::new(miners, bfl_chain::PowConfig::new(64)))
+            Some(RoundConsensus::new(
+                miners,
+                bfl_chain::PowConfig::new(64).with_mining_threads(config.mining_threads),
+            ))
         } else {
             None
         };
@@ -312,10 +318,12 @@ impl BflSimulation {
 
             // Procedure-III: miner exchange (skipped in FL-only mode, where
             // the single aggregator already holds every accepted upload).
+            // Both paths consume the upload outcome, moving the round's
+            // parameter vectors into the merged set instead of cloning.
             let merged = if config.mode.runs(crate::flexibility::Procedure::Exchange) {
-                exchange::exchange_gradients(&uploads, config.miners).merged
+                exchange::exchange_gradients(uploads, config.miners).merged
             } else {
-                uploads.all_accepted()
+                uploads.into_all_accepted()
             };
             if merged.is_empty() {
                 return Err(CoreError::EmptyRound { round });
@@ -576,6 +584,24 @@ mod tests {
         config.verify_signatures = false;
         let result = BflSimulation::new(config).run(&train, &test).unwrap();
         assert_eq!(result.history.len(), 2);
+    }
+
+    #[test]
+    fn parallel_mining_produces_an_identical_run() {
+        let (train, test) = tiny_data();
+        let serial = base_config(2);
+        let mut parallel = serial;
+        parallel.mining_threads = 0; // one worker per core
+        let a = BflSimulation::new(serial).run(&train, &test).unwrap();
+        let b = BflSimulation::new(parallel).run(&train, &test).unwrap();
+        // The deterministic parallel nonce search seals the same blocks,
+        // so the entire trajectory is bit-identical.
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.final_params, b.final_params);
+        assert_eq!(
+            a.chain.as_ref().unwrap().tip().hash(),
+            b.chain.as_ref().unwrap().tip().hash()
+        );
     }
 
     #[test]

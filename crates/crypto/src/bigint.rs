@@ -8,16 +8,31 @@
 //! gcd, and modular inversion via the extended Euclidean algorithm
 //! (implemented with a small sign-tracking wrapper).
 //!
-//! Division and modular exponentiation each have two implementations.
-//! The hot path uses word-level Knuth Algorithm D division and
-//! Montgomery/REDC exponentiation (see [`crate::montgomery`]); the seed
-//! implementations — binary long division and square-and-multiply over
-//! `div_rem`-based `modmul` — are retained behind
-//! [`crate::engine::set_reference_mode`] and pinned to the fast paths
-//! bit-for-bit by the equivalence test suite.
+//! # Representation
 //!
-//! Limbs are `u32` stored little-endian; all intermediate products fit in
-//! `u64`, which keeps the carry logic straightforward and portable.
+//! Limbs are `u64` stored little-endian with **no trailing zero limbs**;
+//! zero is the empty vector. Every constructor normalizes, so two equal
+//! values always have identical limb vectors (`Eq`/`Hash` are
+//! representation equality). All intermediate products and carries fit
+//! in `u128`, which keeps the carry logic straightforward and portable
+//! while halving the limb count and quartering the number of inner-loop
+//! multiply-accumulate steps relative to the earlier 32-bit layout.
+//!
+//! The external representations are *value*-based and therefore
+//! independent of the limb width: [`BigUint::to_bytes_be`] emits
+//! minimal big-endian bytes, [`BigUint::to_hex_string`] minimal
+//! lowercase hex (the serde wire format), and both round-trip
+//! bit-for-bit with what the 32-bit layout produced.
+//!
+//! # Fast and reference paths
+//!
+//! Division and modular exponentiation each have two implementations.
+//! The hot path uses word-level Knuth Algorithm D division (one 64-bit
+//! quotient digit per step) and Montgomery/REDC exponentiation (see
+//! [`crate::montgomery`]); the seed implementations — binary long
+//! division and square-and-multiply over `div_rem`-based `modmul` — are
+//! retained behind [`crate::engine::set_reference_mode`] and pinned to
+//! the fast paths bit-for-bit by the equivalence test suite.
 
 use crate::engine;
 use crate::montgomery::MontgomeryCtx;
@@ -27,11 +42,11 @@ use std::fmt;
 
 /// An arbitrary-precision unsigned integer.
 ///
-/// The internal representation is a little-endian vector of 32-bit limbs
+/// The internal representation is a little-endian vector of 64-bit limbs
 /// with no trailing zero limbs; zero is the empty vector.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct BigUint {
-    limbs: Vec<u32>,
+    limbs: Vec<u64>,
 }
 
 impl BigUint {
@@ -47,14 +62,7 @@ impl BigUint {
 
     /// Constructs from a `u64`.
     pub fn from_u64(value: u64) -> Self {
-        let (lo, hi) = (value as u32, (value >> 32) as u32);
-        let limbs = if hi != 0 {
-            vec![lo, hi]
-        } else if lo != 0 {
-            vec![lo]
-        } else {
-            Vec::new()
-        };
+        let limbs = if value != 0 { vec![value] } else { Vec::new() };
         BigUint { limbs }
     }
 
@@ -67,21 +75,20 @@ impl BigUint {
     pub fn to_u64(&self) -> Option<u64> {
         match self.limbs.len() {
             0 => Some(0),
-            1 => Some(self.limbs[0] as u64),
-            2 => Some(self.limbs[0] as u64 | ((self.limbs[1] as u64) << 32)),
+            1 => Some(self.limbs[0]),
             _ => None,
         }
     }
 
     /// Constructs from big-endian bytes.
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
-        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
-        let mut acc: u32 = 0;
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut acc: u64 = 0;
         let mut shift = 0;
         for &byte in bytes.iter().rev() {
-            acc |= (byte as u32) << shift;
+            acc |= (byte as u64) << shift;
             shift += 8;
-            if shift == 32 {
+            if shift == 64 {
                 limbs.push(acc);
                 acc = 0;
                 shift = 0;
@@ -101,7 +108,7 @@ impl BigUint {
         if self.is_zero() {
             return Vec::new();
         }
-        let mut bytes = Vec::with_capacity(self.limbs.len() * 4);
+        let mut bytes = Vec::with_capacity(self.limbs.len() * 8);
         for limb in &self.limbs {
             bytes.extend_from_slice(&limb.to_le_bytes());
         }
@@ -113,12 +120,12 @@ impl BigUint {
     }
 
     /// Little-endian limb view (no trailing zero limbs).
-    pub(crate) fn limbs(&self) -> &[u32] {
+    pub(crate) fn limbs(&self) -> &[u64] {
         &self.limbs
     }
 
     /// Builds from little-endian limbs, normalizing trailing zeros.
-    pub(crate) fn from_limbs(limbs: Vec<u32>) -> Self {
+    pub(crate) fn from_limbs(limbs: Vec<u64>) -> Self {
         let mut out = BigUint { limbs };
         out.normalize();
         out
@@ -143,21 +150,21 @@ impl BigUint {
     pub fn bit_len(&self) -> usize {
         match self.limbs.last() {
             None => 0,
-            Some(top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+            Some(top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
         }
     }
 
     /// Returns bit `i` (little-endian bit order).
     pub fn bit(&self, i: usize) -> bool {
-        let limb = i / 32;
-        let offset = i % 32;
+        let limb = i / 64;
+        let offset = i % 64;
         self.limbs.get(limb).is_some_and(|l| (l >> offset) & 1 == 1)
     }
 
     /// Sets bit `i` to one, growing the representation as needed.
     pub fn set_bit(&mut self, i: usize) {
-        let limb = i / 32;
-        let offset = i % 32;
+        let limb = i / 64;
+        let offset = i % 64;
         if self.limbs.len() <= limb {
             self.limbs.resize(limb + 1, 0);
         }
@@ -183,18 +190,18 @@ impl BigUint {
         if self.limbs.len() < other.limbs.len() {
             self.limbs.resize(other.limbs.len(), 0);
         }
-        let mut carry: u64 = 0;
+        let mut carry: u128 = 0;
         for (i, limb) in self.limbs.iter_mut().enumerate() {
-            let b = other.limbs.get(i).copied().unwrap_or(0) as u64;
+            let b = other.limbs.get(i).copied().unwrap_or(0) as u128;
             if carry == 0 && b == 0 && i >= other.limbs.len() {
                 break;
             }
-            let sum = *limb as u64 + b + carry;
-            *limb = sum as u32;
-            carry = sum >> 32;
+            let sum = *limb as u128 + b + carry;
+            *limb = sum as u64;
+            carry = sum >> 64;
         }
         if carry > 0 {
-            self.limbs.push(carry as u32);
+            self.limbs.push(carry as u64);
         }
     }
 
@@ -223,20 +230,16 @@ impl BigUint {
             *self >= *other,
             "BigUint::sub underflow: subtrahend exceeds minuend"
         );
-        let mut borrow: i64 = 0;
+        let mut borrow: u64 = 0;
         for i in 0..self.limbs.len() {
-            let b = other.limbs.get(i).copied().unwrap_or(0) as i64;
+            let b = other.limbs.get(i).copied().unwrap_or(0);
             if borrow == 0 && b == 0 && i >= other.limbs.len() {
                 break;
             }
-            let mut diff = self.limbs[i] as i64 - b - borrow;
-            if diff < 0 {
-                diff += 1 << 32;
-                borrow = 1;
-            } else {
-                borrow = 0;
-            }
-            self.limbs[i] = diff as u32;
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = (b1 | b2) as u64;
         }
         debug_assert_eq!(borrow, 0);
         self.normalize();
@@ -258,18 +261,18 @@ impl BigUint {
         }
         out.limbs.resize(self.limbs.len() + other.limbs.len(), 0);
         for (i, &a) in self.limbs.iter().enumerate() {
-            let mut carry: u64 = 0;
+            let mut carry: u128 = 0;
             for (j, &b) in other.limbs.iter().enumerate() {
                 let idx = i + j;
-                let cur = out.limbs[idx] as u64 + (a as u64) * (b as u64) + carry;
-                out.limbs[idx] = cur as u32;
-                carry = cur >> 32;
+                let cur = out.limbs[idx] as u128 + (a as u128) * (b as u128) + carry;
+                out.limbs[idx] = cur as u64;
+                carry = cur >> 64;
             }
             let mut idx = i + other.limbs.len();
             while carry > 0 {
-                let cur = out.limbs[idx] as u64 + carry;
-                out.limbs[idx] = cur as u32;
-                carry = cur >> 32;
+                let cur = out.limbs[idx] as u128 + carry;
+                out.limbs[idx] = cur as u64;
+                carry = cur >> 64;
                 idx += 1;
             }
         }
@@ -278,46 +281,75 @@ impl BigUint {
 
     /// Multiplication by a small scalar, at the limb level (single pass,
     /// no temporary `BigUint`).
-    pub fn mul_u32(&self, scalar: u32) -> BigUint {
+    pub fn mul_u64(&self, scalar: u64) -> BigUint {
         if self.is_zero() || scalar == 0 {
             return BigUint::zero();
         }
         let mut out = Vec::with_capacity(self.limbs.len() + 1);
-        let mut carry: u64 = 0;
+        let mut carry: u128 = 0;
         for &limb in &self.limbs {
-            let cur = limb as u64 * scalar as u64 + carry;
-            out.push(cur as u32);
-            carry = cur >> 32;
+            let cur = limb as u128 * scalar as u128 + carry;
+            out.push(cur as u64);
+            carry = cur >> 64;
         }
         if carry > 0 {
-            out.push(carry as u32);
+            out.push(carry as u64);
         }
         BigUint { limbs: out }
     }
 
+    /// Multiplication by a `u32` scalar (see [`Self::mul_u64`]).
+    pub fn mul_u32(&self, scalar: u32) -> BigUint {
+        self.mul_u64(scalar as u64)
+    }
+
     /// Division by a small scalar, at the limb level: returns the quotient
-    /// and the `u32` remainder in a single high-to-low pass.
+    /// and the `u64` remainder in a single high-to-low pass.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_u64(&self, divisor: u64) -> (BigUint, u64) {
+        assert!(divisor != 0, "division by zero BigUint");
+        let mut quotient = self.clone();
+        let rem = quotient.div_assign_u64(divisor);
+        (quotient, rem)
+    }
+
+    /// Division by a `u32` scalar (see [`Self::div_rem_u64`]).
     ///
     /// # Panics
     /// Panics if `divisor` is zero.
     pub fn div_rem_u32(&self, divisor: u32) -> (BigUint, u32) {
+        let (q, r) = self.div_rem_u64(divisor as u64);
+        (q, r as u32)
+    }
+
+    /// Remainder of division by a small scalar, in one high-to-low pass
+    /// with no allocation (the quotient is never materialized). Used by
+    /// the grouped small-prime trial division in [`crate::prime`].
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn rem_u64(&self, divisor: u64) -> u64 {
         assert!(divisor != 0, "division by zero BigUint");
-        let mut quotient = self.clone();
-        let rem = quotient.div_assign_u32(divisor);
-        (quotient, rem)
+        let mut rem: u128 = 0;
+        for &limb in self.limbs.iter().rev() {
+            rem = ((rem << 64) | limb as u128) % divisor as u128;
+        }
+        rem as u64
     }
 
     /// In-place division by a small scalar, returning the remainder.
-    fn div_assign_u32(&mut self, divisor: u32) -> u32 {
+    fn div_assign_u64(&mut self, divisor: u64) -> u64 {
         debug_assert!(divisor != 0);
-        let mut rem: u64 = 0;
+        let mut rem: u128 = 0;
         for limb in self.limbs.iter_mut().rev() {
-            let cur = (rem << 32) | *limb as u64;
-            *limb = (cur / divisor as u64) as u32;
-            rem = cur % divisor as u64;
+            let cur = (rem << 64) | *limb as u128;
+            *limb = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
         }
         self.normalize();
-        rem as u32
+        rem as u64
     }
 
     /// Left shift by `bits`.
@@ -327,16 +359,16 @@ impl BigUint {
             // directly without building a shifted buffer.
             return self.clone();
         }
-        let limb_shift = bits / 32;
-        let bit_shift = bits % 32;
-        let mut out = vec![0u32; self.limbs.len() + limb_shift + 1];
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
         for (i, &limb) in self.limbs.iter().enumerate() {
             let idx = i + limb_shift;
             if bit_shift == 0 {
                 out[idx] |= limb;
             } else {
                 out[idx] |= limb << bit_shift;
-                out[idx + 1] |= (limb as u64 >> (32 - bit_shift)) as u32;
+                out[idx + 1] |= limb >> (64 - bit_shift);
             }
         }
         let mut result = BigUint { limbs: out };
@@ -349,17 +381,17 @@ impl BigUint {
         if bits == 0 {
             return self.clone();
         }
-        let limb_shift = bits / 32;
+        let limb_shift = bits / 64;
         if limb_shift >= self.limbs.len() {
             return BigUint::zero();
         }
-        let bit_shift = bits % 32;
+        let bit_shift = bits % 64;
         let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
         for i in limb_shift..self.limbs.len() {
             let mut limb = self.limbs[i] >> bit_shift;
             if bit_shift > 0 {
                 if let Some(&next) = self.limbs.get(i + 1) {
-                    limb |= ((next as u64) << (32 - bit_shift)) as u32;
+                    limb |= next << (64 - bit_shift);
                 }
             }
             out.push(limb);
@@ -383,7 +415,7 @@ impl BigUint {
 
     /// Word-level division (Knuth TAOCP Vol. 2, Algorithm 4.3.1 D).
     ///
-    /// Processes one 32-bit quotient limb per step against a normalized
+    /// Processes one 64-bit quotient limb per step against a normalized
     /// divisor, instead of one bit per step, and performs the
     /// multiply-subtract in place — no allocation inside the loop.
     pub fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
@@ -392,8 +424,8 @@ impl BigUint {
             return (BigUint::zero(), self.clone());
         }
         if divisor.limbs.len() == 1 {
-            let (q, r) = self.div_rem_u32(divisor.limbs[0]);
-            return (q, BigUint::from_u32(r));
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
         }
 
         let n = divisor.limbs.len();
@@ -406,22 +438,22 @@ impl BigUint {
         let mut u = self.shl(shift).limbs;
         u.resize(self.limbs.len() + 1, 0);
 
-        let vn1 = v[n - 1] as u64;
-        let vn2 = v[n - 2] as u64;
-        let mut q = vec![0u32; m + 1];
+        let vn1 = v[n - 1] as u128;
+        let vn2 = v[n - 2] as u128;
+        let mut q = vec![0u64; m + 1];
         for j in (0..=m).rev() {
             // D3: estimate the quotient digit from the top two dividend
             // limbs; correct it (at most twice) using the third.
-            let top = ((u[j + n] as u64) << 32) | u[j + n - 1] as u64;
+            let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
             let mut qhat = top / vn1;
             let mut rhat = top % vn1;
             loop {
-                // `qhat >= 2^32` short-circuits before the product, which
-                // only fits u64 once qhat is a single limb.
-                if qhat > 0xffff_ffff || qhat * vn2 > (rhat << 32) | u[j + n - 2] as u64 {
+                // `qhat >= 2^64` short-circuits before the product, which
+                // only fits u128 once qhat is a single limb.
+                if qhat > u64::MAX as u128 || qhat * vn2 > (rhat << 64) | u[j + n - 2] as u128 {
                     qhat -= 1;
                     rhat += vn1;
-                    if rhat <= 0xffff_ffff {
+                    if rhat <= u64::MAX as u128 {
                         continue;
                     }
                 }
@@ -429,36 +461,33 @@ impl BigUint {
             }
 
             // D4: multiply and subtract qhat * v from u[j..j+n] in place.
-            let mut carry: u64 = 0;
-            let mut borrow: i64 = 0;
+            let mut carry: u128 = 0;
+            let mut borrow: u64 = 0;
             for i in 0..n {
-                let p = qhat * v[i] as u64 + carry;
-                carry = p >> 32;
-                let diff = u[j + i] as i64 - (p as u32) as i64 - borrow;
-                if diff < 0 {
-                    u[j + i] = (diff + (1 << 32)) as u32;
-                    borrow = 1;
-                } else {
-                    u[j + i] = diff as u32;
-                    borrow = 0;
-                }
+                let p = qhat * v[i] as u128 + carry;
+                carry = p >> 64;
+                let (d1, b1) = u[j + i].overflowing_sub(p as u64);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                u[j + i] = d2;
+                borrow = (b1 | b2) as u64;
             }
-            let diff = u[j + n] as i64 - carry as i64 - borrow;
-            if diff < 0 {
+            let (d1, b1) = u[j + n].overflowing_sub(carry as u64);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            if b1 | b2 {
                 // D6: the estimate was one too large — add the divisor back.
-                u[j + n] = (diff + (1 << 32)) as u32;
+                u[j + n] = d2;
                 qhat -= 1;
-                let mut c: u64 = 0;
+                let mut c: u128 = 0;
                 for i in 0..n {
-                    let s = u[j + i] as u64 + v[i] as u64 + c;
-                    u[j + i] = s as u32;
-                    c = s >> 32;
+                    let s = u[j + i] as u128 + v[i] as u128 + c;
+                    u[j + i] = s as u64;
+                    c = s >> 64;
                 }
-                u[j + n] = u[j + n].wrapping_add(c as u32);
+                u[j + n] = u[j + n].wrapping_add(c as u64);
             } else {
-                u[j + n] = diff as u32;
+                u[j + n] = d2;
             }
-            q[j] = qhat as u32;
+            q[j] = qhat as u64;
         }
 
         u.truncate(n);
@@ -480,7 +509,7 @@ impl BigUint {
 
         let bits = self.bit_len();
         let mut quotient = BigUint {
-            limbs: vec![0u32; self.limbs.len()],
+            limbs: vec![0u64; self.limbs.len()],
         };
         let mut remainder = BigUint::zero();
         for i in (0..bits).rev() {
@@ -494,7 +523,7 @@ impl BigUint {
             }
             if remainder >= *divisor {
                 remainder = remainder.sub(divisor);
-                quotient.limbs[i / 32] |= 1 << (i % 32);
+                quotient.limbs[i / 64] |= 1 << (i % 64);
             }
         }
         quotient.normalize();
@@ -583,21 +612,23 @@ impl BigUint {
 
     /// Decimal string representation (used by `Display`).
     ///
-    /// Peels nine digits per in-place single-limb division — a linear
-    /// pass per chunk instead of a full `div_rem` against a `BigUint`
-    /// divisor.
+    /// Peels nineteen digits per in-place single-limb division — a
+    /// linear pass per chunk instead of a full `div_rem` against a
+    /// `BigUint` divisor (`10^19` is the largest power of ten below
+    /// `2^64`).
     pub fn to_decimal_string(&self) -> String {
+        const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
         if self.is_zero() {
             return "0".to_string();
         }
-        let mut chunks = Vec::with_capacity(self.limbs.len() * 2);
+        let mut chunks = Vec::with_capacity(self.limbs.len() + 1);
         let mut value = self.clone();
         while !value.is_zero() {
-            chunks.push(value.div_assign_u32(1_000_000_000));
+            chunks.push(value.div_assign_u64(CHUNK));
         }
         let mut s = chunks.pop().map(|c| c.to_string()).unwrap_or_default();
         for chunk in chunks.into_iter().rev() {
-            s.push_str(&format!("{chunk:09}"));
+            s.push_str(&format!("{chunk:019}"));
         }
         s
     }
@@ -609,7 +640,7 @@ impl BigUint {
         }
         let mut acc = BigUint::zero();
         for b in s.bytes() {
-            acc = acc.mul_u32(10);
+            acc = acc.mul_u64(10);
             acc.add_assign(&BigUint::from_u32((b - b'0') as u32));
         }
         Some(acc)
@@ -622,13 +653,13 @@ impl BigUint {
         if self.is_zero() {
             return "0".to_string();
         }
-        let mut s = String::with_capacity(self.limbs.len() * 8);
+        let mut s = String::with_capacity(self.limbs.len() * 16);
         let mut limbs = self.limbs.iter().rev();
         if let Some(top) = limbs.next() {
             s.push_str(&format!("{top:x}"));
         }
         for limb in limbs {
-            s.push_str(&format!("{limb:08x}"));
+            s.push_str(&format!("{limb:016x}"));
         }
         s
     }
@@ -638,13 +669,13 @@ impl BigUint {
         if s.is_empty() || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
             return None;
         }
-        let mut limbs = Vec::with_capacity(s.len() / 8 + 1);
+        let mut limbs = Vec::with_capacity(s.len() / 16 + 1);
         let bytes = s.as_bytes();
         let mut end = bytes.len();
         while end > 0 {
-            let start = end.saturating_sub(8);
+            let start = end.saturating_sub(16);
             let chunk = std::str::from_utf8(&bytes[start..end]).ok()?;
-            limbs.push(u32::from_str_radix(chunk, 16).ok()?);
+            limbs.push(u64::from_str_radix(chunk, 16).ok()?);
             end = start;
         }
         Some(BigUint::from_limbs(limbs))
@@ -810,7 +841,8 @@ mod tests {
     fn from_u64_is_normalized() {
         assert!(big(0).limbs.is_empty());
         assert_eq!(big(7).limbs, vec![7]);
-        assert_eq!(big(1 << 40).limbs.len(), 2);
+        assert_eq!(big(1 << 40).limbs.len(), 1);
+        assert_eq!(big(u64::MAX).add(&BigUint::one()).limbs.len(), 2);
     }
 
     #[test]
@@ -871,6 +903,10 @@ mod tests {
             "115792089237316195423570985008687907853269984665640564039457584007913129639936"
         );
         assert_eq!(big(7).mul_u32(6), big(42));
+        assert_eq!(
+            big(u64::MAX).mul_u64(u64::MAX),
+            big(u64::MAX).mul(&big(u64::MAX))
+        );
     }
 
     #[test]
@@ -885,16 +921,22 @@ mod tests {
     }
 
     #[test]
-    fn mul_u32_and_div_rem_u32_are_inverse() {
+    fn mul_u64_and_div_rem_u64_are_inverse() {
         let v = BigUint::from_decimal_str("987654321098765432109876543210").unwrap();
-        let scaled = v.mul_u32(999_999_937);
-        let (q, r) = scaled.div_rem_u32(999_999_937);
+        let scalar: u64 = 9_999_999_999_999_999_937;
+        let scaled = v.mul_u64(scalar);
+        let (q, r) = scaled.div_rem_u64(scalar);
         assert_eq!(q, v);
         assert_eq!(r, 0);
-        let (q, r) = scaled.add(&big(17)).div_rem_u32(999_999_937);
+        let (q, r) = scaled.add(&big(17)).div_rem_u64(scalar);
         assert_eq!(q, v);
         assert_eq!(r, 17);
-        assert_eq!(v.mul_u32(0), BigUint::zero());
+        assert_eq!(v.mul_u64(0), BigUint::zero());
+        // The u32 wrappers agree with the u64 forms.
+        let (q32, r32) = v.div_rem_u32(999_999_937);
+        let (q64, r64) = v.div_rem_u64(999_999_937);
+        assert_eq!(q32, q64);
+        assert_eq!(r32 as u64, r64);
     }
 
     #[test]
@@ -905,8 +947,10 @@ mod tests {
         assert_eq!(big(12345).shr(200), BigUint::zero());
         assert_eq!(BigUint::zero().shl(17), BigUint::zero());
         assert_eq!(big(1).shl(33).shr(33), big(1));
+        assert_eq!(big(1).shl(65).shr(65), big(1));
         assert_eq!(big(12345).shl(0), big(12345));
         assert_eq!(big(12345).shr(0), big(12345));
+        assert_eq!(big(12345).shl(128).shr(128), big(12345));
     }
 
     #[test]
@@ -943,8 +987,8 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "division by zero")]
-    fn division_by_zero_u32_panics() {
-        let _ = big(5).div_rem_u32(0);
+    fn division_by_zero_u64_panics() {
+        let _ = big(5).div_rem_u64(0);
     }
 
     #[test]
@@ -952,8 +996,8 @@ mod tests {
         // Crafted so the quotient-digit estimate overshoots and Algorithm
         // D's add-back step (D6) runs: dividend chosen with maximal top
         // limbs against a divisor just below a power of two.
-        let a = BigUint::from_limbs(vec![0, 0xffff_fffe, 0xffff_ffff]);
-        let b = BigUint::from_limbs(vec![0xffff_ffff, 0xffff_ffff]);
+        let a = BigUint::from_limbs(vec![0, u64::MAX - 1, u64::MAX]);
+        let b = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
         let (q, r) = a.div_rem_knuth(&b);
         assert_eq!(b.mul(&q).add(&r), a);
         assert!(r < b);
@@ -1003,6 +1047,8 @@ mod tests {
             "1",
             "999999999",
             "1000000000",
+            "9999999999999999999",
+            "10000000000000000000",
             "123456789012345678901234567890",
         ] {
             let v = BigUint::from_decimal_str(s).unwrap();
@@ -1048,6 +1094,7 @@ mod tests {
     fn ordering_is_numeric() {
         assert!(big(2) < big(3));
         assert!(big(0x1_0000_0000) > big(0xffff_ffff));
+        assert!(big(u64::MAX).add(&BigUint::one()) > big(u64::MAX));
         assert_eq!(big(42).cmp(&big(42)), Ordering::Equal);
         assert!(big(5).partial_cmp(&big(6)).unwrap().is_lt());
     }
@@ -1057,11 +1104,13 @@ mod tests {
         let mut v = BigUint::zero();
         v.set_bit(0);
         v.set_bit(40);
+        v.set_bit(70);
         assert!(v.bit(0));
         assert!(v.bit(40));
+        assert!(v.bit(70));
         assert!(!v.bit(1));
-        assert_eq!(v, big(1).add(&big(1).shl(40)));
-        assert_eq!(v.bit_len(), 41);
+        assert_eq!(v, big(1).add(&big(1).shl(40)).add(&big(1).shl(70)));
+        assert_eq!(v.bit_len(), 71);
     }
 
     #[test]
@@ -1086,16 +1135,26 @@ mod tests {
         }
 
         #[test]
-        fn mul_u32_matches_mul(a in any::<u64>(), s in any::<u32>()) {
-            prop_assert_eq!(big(a).mul_u32(s), big(a).mul(&BigUint::from_u32(s)));
+        fn mul_u64_matches_mul(a in any::<u64>(), s in any::<u64>()) {
+            prop_assert_eq!(big(a).mul_u64(s), big(a).mul(&BigUint::from_u64(s)));
         }
 
         #[test]
-        fn div_rem_u32_matches_div_rem(a in any::<u64>(), d in 1u32..) {
-            let (q, r) = big(a).div_rem_u32(d);
-            let (q_big, r_big) = big(a).div_rem(&BigUint::from_u32(d));
+        fn div_rem_u64_matches_div_rem(a in any::<u64>(), d in 1u64..) {
+            let (q, r) = big(a).div_rem_u64(d);
+            let (q_big, r_big) = big(a).div_rem(&BigUint::from_u64(d));
             prop_assert_eq!(q, q_big);
-            prop_assert_eq!(BigUint::from_u32(r), r_big);
+            prop_assert_eq!(BigUint::from_u64(r), r_big);
+            prop_assert_eq!(big(a).rem_u64(d), r);
+        }
+
+        #[test]
+        fn rem_u64_matches_div_rem_wide(
+            bytes in proptest::collection::vec(any::<u8>(), 0..48),
+            d in 1u64..,
+        ) {
+            let v = BigUint::from_bytes_be(&bytes);
+            prop_assert_eq!(BigUint::from_u64(v.rem_u64(d)), v.rem(&big(d)));
         }
 
         #[test]
@@ -1125,7 +1184,7 @@ mod tests {
         }
 
         #[test]
-        fn shift_round_trip(a in any::<u64>(), s in 0usize..100) {
+        fn shift_round_trip(a in any::<u64>(), s in 0usize..200) {
             prop_assert_eq!(big(a).shl(s).shr(s), big(a));
         }
 

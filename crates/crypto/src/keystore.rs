@@ -16,7 +16,10 @@ use std::collections::BTreeMap;
 /// Registry mapping client ids to their RSA public keys.
 ///
 /// Serializable so a miner's registry can be persisted and restored
-/// alongside the chain state.
+/// alongside the chain state. Each held [`RsaPublicKey`] carries its
+/// lazily-built Montgomery context (see [`crate::rsa::MontCache`]), so
+/// the per-modulus precomputation is paid once per registered key, not
+/// once per verified upload; the caches never enter the serialized form.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KeyStore {
     keys: BTreeMap<u64, RsaPublicKey>,

@@ -14,18 +14,24 @@
 //! * [`sha256`] — the FIPS 180-4 SHA-256 compression function with both
 //!   one-shot and incremental interfaces; `Clone` on the incremental
 //!   hasher exposes midstates, which the PoW loop exploits to hash one
-//!   padded block per nonce.
-//! * [`bigint`] — arbitrary-precision unsigned integers ([`BigUint`]) with
-//!   the arithmetic needed for RSA: schoolbook multiplication, word-level
-//!   Knuth Algorithm D division (seed binary long division retained as
-//!   the reference path), modular exponentiation, and a minimal signed
-//!   wrapper used by the extended Euclidean algorithm.
-//! * [`montgomery`] — REDC-based modular multiplication and fixed-window
-//!   exponentiation behind every hot `modpow`.
+//!   padded block per nonce. On x86-64 with the SHA extensions the
+//!   compression dispatches to the hardware instruction sequence.
+//! * [`bigint`] — arbitrary-precision unsigned integers ([`BigUint`])
+//!   over 64-bit limbs with `u128` intermediates: schoolbook
+//!   multiplication, word-level Knuth Algorithm D division (seed binary
+//!   long division retained as the reference path), modular
+//!   exponentiation, and a minimal signed wrapper used by the extended
+//!   Euclidean algorithm.
+//! * [`montgomery`] — REDC-based modular multiplication (64-bit CIOS)
+//!   and fixed-window exponentiation behind every hot `modpow`, with a
+//!   reusable workspace for allocation-free exponentiation chains.
 //! * [`prime`] — Miller-Rabin probabilistic primality testing (Montgomery
-//!   accelerated) and random prime generation.
+//!   accelerated, grouped small-prime trial division) and random prime
+//!   generation.
 //! * [`rsa`] — RSA key generation, raw modular sign/verify; private keys
-//!   carry CRT factors so signing runs two half-size exponentiations.
+//!   carry CRT factors so signing runs two half-size exponentiations,
+//!   and both key types cache their per-modulus Montgomery contexts
+//!   across operations.
 //! * [`signature`] — the hash-then-sign envelope used by the protocol.
 //! * [`keystore`] — the miner-side registry mapping client identifiers to
 //!   public keys.

@@ -4,16 +4,22 @@
 //! exponentiation, and the seed implementation reduced each intermediate
 //! product with a full division. Montgomery multiplication replaces that
 //! division with two multiplications and a shift: operands are mapped
-//! into the residue representation `aR mod n` (with `R = 2^(32k)` for a
+//! into the residue representation `aR mod n` (with `R = 2^(64k)` for a
 //! `k`-limb modulus), where products reduce by the REDC interleaved
 //! multiply-accumulate (CIOS) using only the precomputed single-limb
-//! inverse `n' = -n^{-1} mod 2^32`.
+//! inverse `n' = -n^{-1} mod 2^64`.
 //!
 //! [`MontgomeryCtx`] carries the per-modulus precomputation (`n'` and
 //! `R^2 mod n`) and implements fixed 4-bit-window exponentiation whose
 //! inner loop is allocation-free: the window table is built once per
 //! exponentiation and every multiply writes through reusable scratch
-//! buffers.
+//! buffers. The CIOS words are the 64-bit limbs of [`BigUint`], so a
+//! 1024-bit modulus runs 16-limb inner loops with `u128`
+//! multiply-accumulates.
+//!
+//! Building a context costs one full division (`R^2 mod n`), which is
+//! why the RSA key types ([`crate::rsa`]) cache one context per key
+//! instead of rebuilding it on every sign/verify.
 //!
 //! Montgomery reduction requires an odd modulus; [`MontgomeryCtx::new`]
 //! returns `None` otherwise and callers fall back to the reference
@@ -31,16 +37,16 @@ const TABLE_LEN: usize = 1 << WINDOW_BITS;
 const SHORT_EXPONENT_BITS: usize = 64;
 
 /// Per-modulus Montgomery precomputation: the modulus limbs, the negated
-/// single-limb inverse `n' = -n^{-1} mod 2^32`, and `R^2 mod n` used to
+/// single-limb inverse `n' = -n^{-1} mod 2^64`, and `R^2 mod n` used to
 /// map values into the Montgomery domain.
 #[derive(Debug, Clone)]
 pub struct MontgomeryCtx {
     /// Modulus limbs, little-endian, length `k`.
-    n: Vec<u32>,
-    /// `-n^{-1} mod 2^32`.
-    n0_inv: u32,
-    /// `R^2 mod n` where `R = 2^(32k)`, as `k` limbs.
-    r2: Vec<u32>,
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod n` where `R = 2^(64k)`, as `k` limbs.
+    r2: Vec<u64>,
 }
 
 /// A residue in the Montgomery domain (`aR mod n`), tied to the
@@ -50,29 +56,52 @@ pub struct MontgomeryCtx {
 /// `MontElem`s for equality compares the underlying residues.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MontElem {
-    limbs: Vec<u32>,
+    limbs: Vec<u64>,
+}
+
+/// Reusable buffers for a sequence of Montgomery operations against one
+/// context: the CIOS scratch, a swap buffer, the fixed-window table, and
+/// the current working element. Allocated once (all sizes are functions
+/// of the context's limb count `k`), then shared by every
+/// load/pow/square in a chain — Miller-Rabin drives its whole witness
+/// sequence through one workspace with zero per-operation allocation.
+#[derive(Debug)]
+pub struct MontWorkspace {
+    /// CIOS accumulator, `k + 2` limbs.
+    scratch: Vec<u64>,
+    /// Swap target for in-place multiplies, `k` limbs.
+    tmp: Vec<u64>,
+    /// Flat window table, grown on first use by [`MontgomeryCtx::pow_in_place`]
+    /// (`k` limbs for short exponents, `(TABLE_LEN - 1) * k` for the
+    /// windowed path; entry `i` holds `base^(i+1)`). Starts empty so
+    /// conversion-only workspaces — and the short-exponent verify path —
+    /// never pay for the full table.
+    table: Vec<u64>,
+    /// The current working element, `k` limbs.
+    value: Vec<u64>,
 }
 
 impl MontgomeryCtx {
     /// Builds a context for `modulus`. Returns `None` unless the modulus
-    /// is odd and greater than one (REDC requires `gcd(n, 2^32) = 1`).
+    /// is odd and greater than one (REDC requires `gcd(n, 2^64) = 1`).
     pub fn new(modulus: &BigUint) -> Option<Self> {
         if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
             return None;
         }
         let n = modulus.limbs().to_vec();
         let k = n.len();
-        // Newton's iteration doubles correct low bits each step: five
-        // steps lift the trivially-correct low bit of n^{-1} past 32.
-        let mut inv: u32 = n[0];
-        for _ in 0..5 {
-            inv = inv.wrapping_mul(2u32.wrapping_sub(n[0].wrapping_mul(inv)));
+        // Newton's iteration doubles correct low bits each step: an odd
+        // word is its own inverse modulo 8, and six steps lift those
+        // three correct bits past 64.
+        let mut inv: u64 = n[0];
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n[0].wrapping_mul(inv)));
         }
         debug_assert_eq!(n[0].wrapping_mul(inv), 1);
         let n0_inv = inv.wrapping_neg();
 
-        // R^2 mod n = 2^(64k) mod n; one division at setup time.
-        let r2 = BigUint::one().shl(64 * k).div_rem_knuth(modulus).1;
+        // R^2 mod n = 2^(128k) mod n; one division at setup time.
+        let r2 = BigUint::one().shl(128 * k).div_rem_knuth(modulus).1;
         let mut r2_limbs = r2.limbs().to_vec();
         r2_limbs.resize(k, 0);
         Some(MontgomeryCtx {
@@ -92,32 +121,88 @@ impl MontgomeryCtx {
         BigUint::from_limbs(self.n.clone())
     }
 
+    /// Builds a reusable workspace sized for this context.
+    pub fn workspace(&self) -> MontWorkspace {
+        let k = self.k();
+        MontWorkspace {
+            scratch: vec![0u64; k + 2],
+            tmp: vec![0u64; k],
+            table: Vec::new(),
+            value: vec![0u64; k],
+        }
+    }
+
+    /// Whether `a` is already below the modulus (limb-level; avoids
+    /// materialising the modulus as a `BigUint`).
+    fn below_modulus(&self, a: &BigUint) -> bool {
+        let limbs = a.limbs();
+        match limbs.len().cmp(&self.k()) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => Self::less_than(limbs, &self.n),
+        }
+    }
+
+    /// Loads `a` into the workspace's working element (the Montgomery
+    /// image `aR mod n`), reducing modulo `n` first if needed.
+    pub fn load(&self, a: &BigUint, ws: &mut MontWorkspace) {
+        let k = self.k();
+        if self.below_modulus(a) {
+            ws.tmp[..a.limbs().len()].copy_from_slice(a.limbs());
+            ws.tmp[a.limbs().len()..k].fill(0);
+        } else {
+            let reduced = a.div_rem_knuth(&self.modulus()).1;
+            ws.tmp[..reduced.limbs().len()].copy_from_slice(reduced.limbs());
+            ws.tmp[reduced.limbs().len()..k].fill(0);
+        }
+        self.mul_into_split(true, ws);
+    }
+
+    /// `ws.value = ws.tmp * r2` (used by [`Self::load`]) or
+    /// `ws.value = ws.value^2` — both need `value` and `tmp` split from
+    /// the borrow on `self`.
+    fn mul_into_split(&self, from_tmp: bool, ws: &mut MontWorkspace) {
+        let MontWorkspace {
+            scratch,
+            tmp,
+            value,
+            ..
+        } = ws;
+        if from_tmp {
+            self.mul_into(tmp, &self.r2, scratch, value);
+        } else {
+            self.mul_into(value, value, scratch, tmp);
+            std::mem::swap(value, tmp);
+        }
+    }
+
+    /// Squares the workspace's working element in place.
+    pub fn square_in_place(&self, ws: &mut MontWorkspace) {
+        self.mul_into_split(false, ws);
+    }
+
+    /// Whether the workspace's working element equals `elem`.
+    pub fn element_equals(&self, ws: &MontWorkspace, elem: &MontElem) -> bool {
+        ws.value == elem.limbs
+    }
+
     /// Maps `a` into the Montgomery domain (`aR mod n`), reducing `a`
     /// modulo `n` first if needed.
     pub fn convert(&self, a: &BigUint) -> MontElem {
-        let modulus = self.modulus();
-        let reduced = if *a < modulus {
-            a.clone()
-        } else {
-            a.div_rem_knuth(&modulus).1
-        };
-        let mut limbs = reduced.limbs().to_vec();
-        limbs.resize(self.k(), 0);
-        let mut out = vec![0u32; self.k()];
-        let mut scratch = vec![0u32; self.k() + 2];
-        self.mul_into(&limbs, &self.r2, &mut scratch, &mut out);
-        MontElem { limbs: out }
+        let mut ws = self.workspace();
+        self.load(a, &mut ws);
+        MontElem { limbs: ws.value }
     }
 
     /// Maps a Montgomery-domain element back to an ordinary residue.
     pub fn recover(&self, a: &MontElem) -> BigUint {
         let one = {
-            let mut v = vec![0u32; self.k()];
+            let mut v = vec![0u64; self.k()];
             v[0] = 1;
             v
         };
-        let mut out = vec![0u32; self.k()];
-        let mut scratch = vec![0u32; self.k() + 2];
+        let mut out = vec![0u64; self.k()];
+        let mut scratch = vec![0u64; self.k() + 2];
         self.mul_into(&a.limbs, &one, &mut scratch, &mut out);
         BigUint::from_limbs(out)
     }
@@ -129,8 +214,8 @@ impl MontgomeryCtx {
 
     /// Montgomery product of two domain elements.
     pub fn mul(&self, a: &MontElem, b: &MontElem) -> MontElem {
-        let mut out = vec![0u32; self.k()];
-        let mut scratch = vec![0u32; self.k() + 2];
+        let mut out = vec![0u64; self.k()];
+        let mut scratch = vec![0u64; self.k() + 2];
         self.mul_into(&a.limbs, &b.limbs, &mut scratch, &mut out);
         MontElem { limbs: out }
     }
@@ -146,53 +231,76 @@ impl MontgomeryCtx {
     /// multiply per set bit). Both loops go through preallocated scratch
     /// buffers; no allocation per step.
     pub fn pow(&self, base: &MontElem, exponent: &BigUint) -> MontElem {
+        let mut ws = self.workspace();
+        ws.value.copy_from_slice(&base.limbs);
+        self.pow_in_place(exponent, &mut ws);
+        MontElem { limbs: ws.value }
+    }
+
+    /// Exponentiation in place: `ws.value = ws.value^exponent`. The
+    /// workspace's table, scratch and swap buffers are reused across
+    /// calls — no allocation (see [`Self::pow`] for the algorithm).
+    pub fn pow_in_place(&self, exponent: &BigUint, ws: &mut MontWorkspace) {
         let k = self.k();
         if exponent.is_zero() {
-            return self.one();
+            ws.value.copy_from_slice(&self.one().limbs);
+            return;
         }
         let bits = exponent.bit_len();
-        let mut scratch = vec![0u32; k + 2];
-        let mut tmp = vec![0u32; k];
+        let table_limbs = if bits <= SHORT_EXPONENT_BITS {
+            k
+        } else {
+            (TABLE_LEN - 1) * k
+        };
+        if ws.table.len() < table_limbs {
+            ws.table.resize(table_limbs, 0);
+        }
+        let MontWorkspace {
+            scratch,
+            tmp,
+            table,
+            value,
+        } = ws;
 
         if bits <= SHORT_EXPONENT_BITS {
-            let mut result = base.limbs.clone();
+            // The base lives in the table's first slot so `value` can be
+            // squared in place over it.
+            table[..k].copy_from_slice(value);
             for i in (0..bits - 1).rev() {
-                self.mul_into(&result, &result, &mut scratch, &mut tmp);
-                std::mem::swap(&mut result, &mut tmp);
+                self.mul_into(value, value, scratch, tmp);
+                std::mem::swap(value, tmp);
                 if exponent.bit(i) {
-                    self.mul_into(&result, &base.limbs, &mut scratch, &mut tmp);
-                    std::mem::swap(&mut result, &mut tmp);
+                    self.mul_into(value, &table[..k], scratch, tmp);
+                    std::mem::swap(value, tmp);
                 }
             }
-            return MontElem { limbs: result };
+            return;
         }
 
         // table[i] = base^(i+1) in the Montgomery domain; digit 0 never
         // multiplies, so base^0 needs no entry.
-        let mut table: Vec<Vec<u32>> = Vec::with_capacity(TABLE_LEN - 1);
-        table.push(base.limbs.clone());
+        table[..k].copy_from_slice(value);
         for i in 1..TABLE_LEN - 1 {
-            let mut next = vec![0u32; k];
-            self.mul_into(&table[i - 1], &base.limbs, &mut scratch, &mut next);
-            table.push(next);
+            let (built, next) = table.split_at_mut(i * k);
+            self.mul_into(&built[(i - 1) * k..], &built[..k], scratch, &mut next[..k]);
         }
 
         let windows = bits.div_ceil(WINDOW_BITS);
         // The top window holds the exponent's most significant bit, so
         // its digit is never zero.
-        let mut result = table[Self::window(exponent, windows - 1) - 1].clone();
+        let top = Self::window(exponent, windows - 1);
+        value.copy_from_slice(&table[(top - 1) * k..top * k]);
         for w in (0..windows - 1).rev() {
             for _ in 0..WINDOW_BITS {
-                self.mul_into(&result, &result, &mut scratch, &mut tmp);
-                std::mem::swap(&mut result, &mut tmp);
+                self.mul_into(value, value, scratch, tmp);
+                std::mem::swap(value, tmp);
             }
             let digit = Self::window(exponent, w);
             if digit != 0 {
-                self.mul_into(&result, &table[digit - 1], &mut scratch, &mut tmp);
-                std::mem::swap(&mut result, &mut tmp);
+                self.mul_into(value, &table[(digit - 1) * k..digit * k], scratch, tmp);
+                std::mem::swap(value, tmp);
             }
         }
-        MontElem { limbs: result }
     }
 
     /// Convenience: full modular exponentiation `base^exponent mod n`
@@ -202,13 +310,13 @@ impl MontgomeryCtx {
     }
 
     /// Extracts the `w`-th 4-bit window of `exponent` (window 0 holds the
-    /// least significant bits). Windows never straddle a limb because 32
+    /// least significant bits). Windows never straddle a limb because 64
     /// is a multiple of [`WINDOW_BITS`].
     fn window(exponent: &BigUint, w: usize) -> usize {
         let bit = w * WINDOW_BITS;
         let limbs = exponent.limbs();
-        let limb = limbs.get(bit / 32).copied().unwrap_or(0);
-        ((limb >> (bit % 32)) & (TABLE_LEN as u32 - 1)) as usize
+        let limb = limbs.get(bit / 64).copied().unwrap_or(0);
+        ((limb >> (bit % 64)) & (TABLE_LEN as u64 - 1)) as usize
     }
 
     /// CIOS Montgomery multiply-accumulate: `out = a * b * R^{-1} mod n`.
@@ -217,41 +325,48 @@ impl MontgomeryCtx {
     /// values below `n`; `scratch` must hold `k + 2` limbs. No heap
     /// allocation occurs here — this is the innermost loop of every
     /// exponentiation.
-    fn mul_into(&self, a: &[u32], b: &[u32], scratch: &mut [u32], out: &mut [u32]) {
+    fn mul_into(&self, a: &[u64], b: &[u64], scratch: &mut [u64], out: &mut [u64]) {
         let k = self.k();
         debug_assert_eq!(a.len(), k);
         debug_assert_eq!(b.len(), k);
         debug_assert_eq!(out.len(), k);
         debug_assert!(scratch.len() >= k + 2);
+        if k == 2 {
+            // Two-limb moduli (the CRT primes of 256-bit simulation keys,
+            // every Miller-Rabin witness behind them) are the hottest
+            // case: a fully unrolled CIOS keeps the accumulator in
+            // registers instead of walking the scratch slice.
+            return self.mul_into_k2(a, b, out);
+        }
         let t = &mut scratch[..k + 2];
         t.fill(0);
 
         for &ai in a.iter().take(k) {
             // t += a[i] * b
-            let mut carry: u64 = 0;
+            let mut carry: u128 = 0;
             for j in 0..k {
-                let s = t[j] as u64 + ai as u64 * b[j] as u64 + carry;
-                t[j] = s as u32;
-                carry = s >> 32;
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
             }
-            let s = t[k] as u64 + carry;
-            t[k] = s as u32;
-            t[k + 1] = (s >> 32) as u32;
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
 
-            // m = t[0] * n' mod 2^32; t = (t + m * n) / 2^32. Adding
+            // m = t[0] * n' mod 2^64; t = (t + m * n) / 2^64. Adding
             // m * n clears t[0] exactly, so the shift drops no bits.
             let m = t[0].wrapping_mul(self.n0_inv);
-            let s = t[0] as u64 + m as u64 * self.n[0] as u64;
-            debug_assert_eq!(s as u32, 0);
-            let mut carry = s >> 32;
+            let s = t[0] as u128 + m as u128 * self.n[0] as u128;
+            debug_assert_eq!(s as u64, 0);
+            let mut carry = s >> 64;
             for j in 1..k {
-                let s = t[j] as u64 + m as u64 * self.n[j] as u64 + carry;
-                t[j - 1] = s as u32;
-                carry = s >> 32;
+                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
             }
-            let s = t[k] as u64 + carry;
-            t[k - 1] = s as u32;
-            t[k] = t[k + 1].wrapping_add((s >> 32) as u32);
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1].wrapping_add((s >> 64) as u64);
             t[k + 1] = 0;
         }
 
@@ -259,25 +374,66 @@ impl MontgomeryCtx {
         // brings the result into [0, n).
         let needs_sub = t[k] != 0 || !Self::less_than(&t[..k], &self.n);
         if needs_sub {
-            let mut borrow: i64 = 0;
+            let mut borrow: u64 = 0;
             for j in 0..k {
-                let diff = t[j] as i64 - self.n[j] as i64 - borrow;
-                if diff < 0 {
-                    out[j] = (diff + (1 << 32)) as u32;
-                    borrow = 1;
-                } else {
-                    out[j] = diff as u32;
-                    borrow = 0;
-                }
+                let (d1, b1) = t[j].overflowing_sub(self.n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 | b2) as u64;
             }
-            debug_assert_eq!(borrow, t[k] as i64);
+            debug_assert_eq!(borrow, t[k]);
         } else {
             out.copy_from_slice(&t[..k]);
         }
     }
 
+    /// Fully unrolled CIOS for `k == 2`: same recurrence as the generic
+    /// loop, with the four-limb accumulator held in scalars.
+    #[inline]
+    fn mul_into_k2(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        let (b0, b1) = (b[0], b[1]);
+        let (n0, n1) = (self.n[0], self.n[1]);
+
+        let mut t0: u64 = 0;
+        let mut t1: u64 = 0;
+        let mut t2: u64 = 0;
+        for &ai in &a[..2] {
+            // t += a_i * b
+            let s0 = t0 as u128 + ai as u128 * b0 as u128;
+            let s1 = t1 as u128 + ai as u128 * b1 as u128 + (s0 >> 64);
+            let s2 = t2 as u128 + (s1 >> 64);
+            t0 = s0 as u64;
+            t1 = s1 as u64;
+            t2 = s2 as u64;
+            let t3 = (s2 >> 64) as u64;
+
+            // m = t0 * n' mod 2^64; t = (t + m * n) / 2^64.
+            let m = t0.wrapping_mul(self.n0_inv);
+            let r0 = t0 as u128 + m as u128 * n0 as u128;
+            debug_assert_eq!(r0 as u64, 0);
+            let r1 = t1 as u128 + m as u128 * n1 as u128 + (r0 >> 64);
+            let r2 = t2 as u128 + (r1 >> 64);
+            t0 = r1 as u64;
+            t1 = r2 as u64;
+            t2 = t3.wrapping_add((r2 >> 64) as u64);
+        }
+
+        // t < 2n, one conditional subtract (t2 is the overflow limb).
+        if t2 != 0 || (t1, t0) >= (n1, n0) {
+            let (d0, borrow0) = t0.overflowing_sub(n0);
+            let (d1, borrow1a) = t1.overflowing_sub(n1);
+            let (d1, borrow1b) = d1.overflowing_sub(borrow0 as u64);
+            debug_assert_eq!((borrow1a | borrow1b) as u64, t2);
+            out[0] = d0;
+            out[1] = d1;
+        } else {
+            out[0] = t0;
+            out[1] = t1;
+        }
+    }
+
     /// Limb-slice comparison `a < b` for equal-length buffers.
-    fn less_than(a: &[u32], b: &[u32]) -> bool {
+    fn less_than(a: &[u64], b: &[u64]) -> bool {
         for i in (0..a.len()).rev() {
             match a[i].cmp(&b[i]) {
                 std::cmp::Ordering::Less => return true,
@@ -320,9 +476,13 @@ mod tests {
     #[test]
     fn mul_matches_modmul() {
         let _guard = engine::mode_lock();
-        let m = big(0xffff_fffb); // prime near 2^32
+        let m = big(0xffff_ffff_ffff_ffc5); // largest prime below 2^64
         let ctx = MontgomeryCtx::new(&m).unwrap();
-        for (a, b) in [(3u64, 5u64), (0xdead_beef, 0xcafe_babe), (1, 0)] {
+        for (a, b) in [
+            (3u64, 5u64),
+            (0xdead_beef_dead_beef, 0xcafe_babe_cafe_babe),
+            (1, 0),
+        ] {
             let expected = big(a).modmul(&big(b), &m);
             let got = ctx.recover(&ctx.mul(&ctx.convert(&big(a)), &ctx.convert(&big(b))));
             assert_eq!(got, expected, "a={a} b={b}");
@@ -350,6 +510,29 @@ mod tests {
         assert_eq!(ctx.convert(&big(42)), ctx.convert(&big(42)));
         assert_ne!(ctx.convert(&big(42)), ctx.convert(&big(43)));
         assert_eq!(ctx.one(), ctx.convert(&big(1)));
+    }
+
+    #[test]
+    fn two_limb_modulus_uses_the_unrolled_path_correctly() {
+        let _guard = engine::mode_lock();
+        // 2^127 - 1 is a Mersenne prime: exactly two limbs.
+        let m = BigUint::one().shl(127).sub(&BigUint::one());
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let a = BigUint::from_decimal_str("123456789012345678901234567890123456").unwrap();
+        let b = BigUint::from_decimal_str("98765432109876543210987654321").unwrap();
+        assert_eq!(ctx.recover(&ctx.convert(&a)), a.rem(&m));
+        let got = ctx.recover(&ctx.mul(&ctx.convert(&a), &ctx.convert(&b)));
+        assert_eq!(got, a.modmul(&b, &m));
+        // Fermat: a^(m-1) ≡ 1 (mod m) for this prime modulus.
+        assert_eq!(ctx.modpow(&a, &m.sub(&BigUint::one())), BigUint::one());
+        // And the workspace chain agrees with the one-shot ops.
+        let mut ws = ctx.workspace();
+        ctx.load(&a, &mut ws);
+        ctx.pow_in_place(&BigUint::from_u32(2), &mut ws);
+        assert!(ctx.element_equals(&ws, &ctx.convert(&a.modmul(&a, &m))));
+        ctx.square_in_place(&mut ws);
+        let a2 = a.modmul(&a, &m);
+        assert!(ctx.element_equals(&ws, &ctx.convert(&a2.modmul(&a2, &m))));
     }
 
     #[test]

@@ -10,9 +10,11 @@ use crate::engine;
 use crate::error::CryptoError;
 use crate::montgomery::MontgomeryCtx;
 use rand::Rng;
+use std::sync::OnceLock;
 
-/// Number of Miller-Rabin rounds used by default. Forty rounds bound the
-/// error probability by 4^-40, far below anything relevant here.
+/// Number of Miller-Rabin rounds used by default for *arbitrary*
+/// candidates (worst-case bound 4^-24). Randomly *generated* candidates
+/// get away with far fewer rounds — see [`miller_rabin_rounds`].
 pub const DEFAULT_MILLER_RABIN_ROUNDS: usize = 24;
 
 /// Maximum number of candidates examined before prime generation gives up.
@@ -23,6 +25,52 @@ const SMALL_PRIMES: [u32; 30] = [
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
     101, 103, 107, 109, 113,
 ];
+
+/// [`SMALL_PRIMES`] packed greedily into `u64` products, so trial
+/// division costs one allocation-free [`BigUint::rem_u64`] pass per
+/// group (three groups) instead of one full division per prime: the
+/// residue modulo each member prime is recovered from the group residue
+/// with word arithmetic.
+fn small_prime_groups() -> &'static [(u64, &'static [u32])] {
+    static GROUPS: OnceLock<Vec<(u64, &'static [u32])>> = OnceLock::new();
+    GROUPS.get_or_init(|| {
+        let mut groups: Vec<(u64, &'static [u32])> = Vec::new();
+        let mut product: u64 = 1;
+        let mut start = 0usize;
+        for (i, &p) in SMALL_PRIMES.iter().enumerate() {
+            match product.checked_mul(p as u64) {
+                Some(next) => product = next,
+                None => {
+                    groups.push((product, &SMALL_PRIMES[start..i]));
+                    product = p as u64;
+                    start = i;
+                }
+            }
+        }
+        groups.push((product, &SMALL_PRIMES[start..]));
+        groups
+    })
+}
+
+/// Miller-Rabin rounds sufficient for candidates drawn *uniformly at
+/// random*, as in [`generate_prime`].
+///
+/// The worst-case 4^-t bound is pessimistic for random inputs: the
+/// Damgård-Landrock-Pomerance average-case analysis (the basis of FIPS
+/// 186-5's reduced round counts) bounds the error for random `k`-bit
+/// odd candidates by `k^(3/2) 2^t t^(-1/2) 4^(2-sqrt(tk))`, which for
+/// every row below is under 2^-40 — far beyond anything a simulation
+/// can observe. Adversarially *chosen* candidates must keep using
+/// [`DEFAULT_MILLER_RABIN_ROUNDS`].
+pub fn miller_rabin_rounds(bits: usize) -> usize {
+    match bits {
+        _ if bits >= 1024 => 4,
+        _ if bits >= 512 => 5,
+        _ if bits >= 256 => 6,
+        _ if bits >= 128 => 8,
+        _ => DEFAULT_MILLER_RABIN_ROUNDS,
+    }
+}
 
 /// Draws a uniformly random value with exactly `bits` significant bits
 /// (the top bit is forced to one).
@@ -70,14 +118,14 @@ pub fn is_probably_prime<R: Rng + ?Sized>(candidate: &BigUint, rounds: usize, rn
     if candidate.is_zero() || candidate.is_one() {
         return false;
     }
-    // Trial division by small primes.
-    for &p in &SMALL_PRIMES {
-        let p_big = BigUint::from_u32(p);
-        if *candidate == p_big {
-            return true;
-        }
-        if candidate.rem(&p_big).is_zero() {
-            return false;
+    // Trial division by small primes, one remainder pass per group.
+    for &(product, primes) in small_prime_groups() {
+        let group_rem = candidate.rem_u64(product);
+        for &p in primes {
+            if group_rem.is_multiple_of(p as u64) {
+                // Divisible by p: prime exactly when the candidate *is* p.
+                return *candidate == BigUint::from_u32(p);
+            }
         }
     }
 
@@ -105,15 +153,19 @@ pub fn is_probably_prime<R: Rng + ?Sized>(candidate: &BigUint, rounds: usize, rn
     if let Some(ctx) = ctx {
         let one_m = ctx.one();
         let minus_one_m = ctx.convert(&n_minus_one);
+        // One workspace serves every witness: the whole chain (domain
+        // conversion, windowed pow, squarings) runs allocation-free.
+        let mut ws = ctx.workspace();
         'mont_witness: for _ in 0..rounds {
             let a = random_range(rng, &two, &n_minus_one);
-            let mut x = ctx.pow(&ctx.convert(&a), &d);
-            if x == one_m || x == minus_one_m {
+            ctx.load(&a, &mut ws);
+            ctx.pow_in_place(&d, &mut ws);
+            if ctx.element_equals(&ws, &one_m) || ctx.element_equals(&ws, &minus_one_m) {
                 continue 'mont_witness;
             }
             for _ in 0..s.saturating_sub(1) {
-                x = ctx.mul(&x, &x);
-                if x == minus_one_m {
+                ctx.square_in_place(&mut ws);
+                if ctx.element_equals(&ws, &minus_one_m) {
                     continue 'mont_witness;
                 }
             }
@@ -155,10 +207,9 @@ pub fn generate_prime<R: Rng + ?Sized>(
     for _ in 0..MAX_PRIME_ATTEMPTS {
         let mut candidate = random_bits(rng, bits);
         candidate.set_bit(bits - 2);
-        // Force odd.
-        if candidate.is_even() {
-            candidate = candidate.add(&BigUint::one());
-        }
+        // Force odd (setting bit 0 on an even value is the +1 the seed
+        // path applied, without the temporary).
+        candidate.set_bit(0);
         if candidate.bit_len() != bits {
             continue;
         }
@@ -177,6 +228,32 @@ mod tests {
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xBF1_2022)
+    }
+
+    #[test]
+    fn prime_groups_cover_all_small_primes_without_overflow() {
+        let groups = small_prime_groups();
+        assert!(groups.len() >= 2);
+        let flattened: Vec<u32> = groups
+            .iter()
+            .flat_map(|(_, primes)| primes.iter().copied())
+            .collect();
+        assert_eq!(flattened, SMALL_PRIMES);
+        for &(product, primes) in groups {
+            let expected: u128 = primes.iter().map(|&p| p as u128).product();
+            assert_eq!(product as u128, expected, "group product must not wrap");
+        }
+    }
+
+    #[test]
+    fn adaptive_rounds_shrink_with_size_but_never_vanish() {
+        assert_eq!(miller_rabin_rounds(2048), 4);
+        assert_eq!(miller_rabin_rounds(512), 5);
+        assert_eq!(miller_rabin_rounds(128), 8);
+        assert_eq!(miller_rabin_rounds(64), DEFAULT_MILLER_RABIN_ROUNDS);
+        for bits in [64usize, 128, 256, 512, 1024, 4096] {
+            assert!(miller_rabin_rounds(bits) >= 4);
+        }
     }
 
     #[test]

@@ -16,15 +16,26 @@
 //! seed-path square-and-multiply for equivalence testing and
 //! benchmarking.
 //!
+//! Both key types carry a lazily-built, shareable [`MontgomeryCtx`]
+//! cache ([`MontCache`]): constructing a context costs a full division
+//! (`R^2 mod n`), so the first sign/verify through a key builds it once
+//! and every later operation — including every verification through a
+//! [`crate::keystore::KeyStore`]-held key — reuses it. Private keys
+//! additionally cache the CRT `p`/`q` context pair. The caches are pure
+//! acceleration state: they are excluded from equality, cloning keeps
+//! them warm, and the hand-written serde impls never write them to the
+//! wire.
+//!
 //! The protocol-facing hash-then-sign wrapper lives in [`crate::signature`].
 
 use crate::bigint::BigUint;
 use crate::engine;
 use crate::error::CryptoError;
 use crate::montgomery::MontgomeryCtx;
-use crate::prime::{generate_prime, DEFAULT_MILLER_RABIN_ROUNDS};
+use crate::prime::{generate_prime, miller_rabin_rounds};
 use rand::Rng;
 use serde::{Deserialize, Serialize, Value};
+use std::sync::OnceLock;
 
 /// The conventional RSA public exponent.
 pub const PUBLIC_EXPONENT: u32 = 65537;
@@ -36,13 +47,52 @@ pub const MIN_MODULUS_BITS: usize = 128;
 /// Default modulus size used by the protocol when none is specified.
 pub const DEFAULT_MODULUS_BITS: usize = 1024;
 
+/// A lazily-built per-modulus [`MontgomeryCtx`] cache.
+///
+/// The first caller pays the context construction (one division for
+/// `R^2 mod n`); every later call through the same key — or a clone of
+/// it — reuses the finished context. `None` is cached for even moduli,
+/// where Montgomery reduction does not apply. The cache is invisible to
+/// equality and serialization: it is rebuilt on demand after
+/// deserialization and never enters the wire format.
+#[derive(Debug, Default, Clone)]
+pub struct MontCache {
+    cell: OnceLock<Option<MontgomeryCtx>>,
+}
+
+impl MontCache {
+    /// An empty (not yet built) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached context for `modulus`, building it on first use.
+    fn get_or_build(&self, modulus: &BigUint) -> Option<&MontgomeryCtx> {
+        self.cell
+            .get_or_init(|| MontgomeryCtx::new(modulus))
+            .as_ref()
+    }
+
+    /// Whether the context has been built already (test/diagnostic hook).
+    pub fn is_warm(&self) -> bool {
+        self.cell.get().is_some()
+    }
+}
+
 /// An RSA public key `(n, e)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Carries a lazily-built Montgomery context so repeated verifications
+/// against the same key (the miner-side hot path) do not rebuild the
+/// per-modulus precomputation. Equality and the serialized form cover
+/// only `(n, e)`.
+#[derive(Debug, Clone, Default)]
 pub struct RsaPublicKey {
     /// Modulus `n = p * q`.
-    pub modulus: BigUint,
+    modulus: BigUint,
     /// Public exponent `e`.
-    pub exponent: BigUint,
+    exponent: BigUint,
+    /// Cached Montgomery context for `modulus` (see [`MontCache`]).
+    mont: MontCache,
 }
 
 /// Chinese-remainder factors of an RSA private key.
@@ -61,15 +111,26 @@ pub struct CrtFactors {
 }
 
 /// An RSA private key: `(n, d)` plus optional CRT factors.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Carries lazily-built Montgomery contexts — one for the modulus, and
+/// (when CRT factors are present) one per prime factor — so repeated
+/// signing through the same key reuses the per-modulus precomputation.
+/// Equality and the serialized form cover only `(n, d, crt)`.
+#[derive(Debug, Clone, Default)]
 pub struct RsaPrivateKey {
     /// Modulus `n = p * q`.
-    pub modulus: BigUint,
+    modulus: BigUint,
     /// Private exponent `d = e^{-1} mod phi(n)`.
-    pub exponent: BigUint,
+    exponent: BigUint,
     /// CRT factors, present on generated keys; `None` on keys built from
     /// `(n, d)` alone, which fall back to a full-size exponentiation.
-    pub crt: Option<CrtFactors>,
+    crt: Option<CrtFactors>,
+    /// Cached Montgomery context for `modulus` (see [`MontCache`]).
+    mont: MontCache,
+    /// Cached Montgomery context for the CRT prime `p`.
+    crt_p_mont: MontCache,
+    /// Cached Montgomery context for the CRT prime `q`.
+    crt_q_mont: MontCache,
 }
 
 /// A matched RSA key pair.
@@ -82,14 +143,75 @@ pub struct RsaKeyPair {
 }
 
 impl RsaPublicKey {
-    /// Applies the public operation `m^e mod n` (used for verification).
+    /// Builds a public key from `(n, e)` with a cold context cache.
+    pub fn new(modulus: BigUint, exponent: BigUint) -> Self {
+        RsaPublicKey {
+            modulus,
+            exponent,
+            mont: MontCache::new(),
+        }
+    }
+
+    /// Applies the public operation `m^e mod n` (used for verification)
+    /// through the cached Montgomery context.
     pub fn apply(&self, message: &BigUint) -> BigUint {
+        if !engine::reference_mode() {
+            if let Some(ctx) = self.mont.get_or_build(&self.modulus) {
+                return ctx.modpow(message, &self.exponent);
+            }
+        }
         message.modpow(&self.exponent, &self.modulus)
+    }
+
+    /// The modulus `n`. Read-only: the cached context is derived from
+    /// it, so changing the modulus means building a new key via
+    /// [`RsaPublicKey::new`].
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// The public exponent `e`.
+    pub fn exponent(&self) -> &BigUint {
+        &self.exponent
     }
 
     /// Size of the modulus in bits.
     pub fn modulus_bits(&self) -> usize {
         self.modulus.bit_len()
+    }
+
+    /// Whether the Montgomery context has been built (test hook).
+    pub fn context_is_warm(&self) -> bool {
+        self.mont.is_warm()
+    }
+}
+
+// Equality ignores the context cache: two keys are the same key if they
+// hold the same `(n, e)`, warm or cold.
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.modulus == other.modulus && self.exponent == other.exponent
+    }
+}
+
+impl Eq for RsaPublicKey {}
+
+// Hand-written serde keeps the context cache out of the wire format.
+impl Serialize for RsaPublicKey {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("modulus".to_string(), self.modulus.to_value()),
+            ("exponent".to_string(), self.exponent.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RsaPublicKey {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        Ok(RsaPublicKey::new(
+            BigUint::from_value(value.field("modulus")?)?,
+            BigUint::from_value(value.field("exponent")?)?,
+        ))
     }
 }
 
@@ -98,10 +220,19 @@ impl RsaPrivateKey {
     /// for key material without CRT factors. Signing works but runs the
     /// full-size exponentiation.
     pub fn from_components(modulus: BigUint, exponent: BigUint) -> Self {
+        Self::with_crt(modulus, exponent, None)
+    }
+
+    /// Builds a private key from `(n, d)` plus optional CRT factors,
+    /// with cold context caches.
+    pub fn with_crt(modulus: BigUint, exponent: BigUint, crt: Option<CrtFactors>) -> Self {
         RsaPrivateKey {
             modulus,
             exponent,
-            crt: None,
+            crt,
+            mont: MontCache::new(),
+            crt_p_mont: MontCache::new(),
+            crt_q_mont: MontCache::new(),
         }
     }
 
@@ -110,14 +241,19 @@ impl RsaPrivateKey {
     /// With CRT factors present (and the reference mode off) this runs
     /// two half-size Montgomery exponentiations mod `p` and `q` and
     /// recombines with Garner's formula; otherwise a single full-size
-    /// exponentiation.
+    /// exponentiation. All Montgomery contexts come from the per-key
+    /// caches.
     pub fn apply(&self, message: &BigUint) -> BigUint {
-        if !engine::reference_mode() {
-            if let Some(crt) = &self.crt {
-                return self.apply_crt(message, crt);
-            }
+        if engine::reference_mode() {
+            return message.modpow(&self.exponent, &self.modulus);
         }
-        message.modpow(&self.exponent, &self.modulus)
+        if let Some(crt) = &self.crt {
+            return self.apply_crt(message, crt);
+        }
+        match self.mont.get_or_build(&self.modulus) {
+            Some(ctx) => ctx.modpow(message, &self.exponent),
+            None => message.modpow(&self.exponent, &self.modulus),
+        }
     }
 
     /// CRT signing: `s_p = m^{d_p} mod p`, `s_q = m^{d_q} mod q`,
@@ -128,7 +264,10 @@ impl RsaPrivateKey {
         } else {
             message.rem(&self.modulus)
         };
-        let (s_p, s_q) = match (MontgomeryCtx::new(&crt.p), MontgomeryCtx::new(&crt.q)) {
+        let (s_p, s_q) = match (
+            self.crt_p_mont.get_or_build(&crt.p),
+            self.crt_q_mont.get_or_build(&crt.q),
+        ) {
             (Some(ctx_p), Some(ctx_q)) => (ctx_p.modpow(&m, &crt.d_p), ctx_q.modpow(&m, &crt.d_q)),
             // Unreachable for generated keys (primes are odd), but keeps
             // hand-built factors correct.
@@ -151,15 +290,47 @@ impl RsaPrivateKey {
         lift
     }
 
+    /// The modulus `n`. Read-only: the cached contexts are derived from
+    /// the key material, so changed material means a new key via
+    /// [`RsaPrivateKey::with_crt`].
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// The private exponent `d`.
+    pub fn exponent(&self) -> &BigUint {
+        &self.exponent
+    }
+
+    /// The CRT factors, when the key carries them.
+    pub fn crt(&self) -> Option<&CrtFactors> {
+        self.crt.as_ref()
+    }
+
     /// Size of the modulus in bits.
     pub fn modulus_bits(&self) -> usize {
         self.modulus.bit_len()
     }
+
+    /// Whether any of the Montgomery contexts have been built (test hook).
+    pub fn context_is_warm(&self) -> bool {
+        self.mont.is_warm() || self.crt_p_mont.is_warm() || self.crt_q_mont.is_warm()
+    }
 }
+
+// Equality ignores the context caches (see `RsaPublicKey`).
+impl PartialEq for RsaPrivateKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.modulus == other.modulus && self.exponent == other.exponent && self.crt == other.crt
+    }
+}
+
+impl Eq for RsaPrivateKey {}
 
 // Hand-written serde keeps deserialization compatible with key material
 // serialized before CRT factors existed: a missing or null `crt` field
-// reads back as `None` instead of erroring.
+// reads back as `None` instead of erroring. The context caches never
+// enter the wire format.
 impl Serialize for RsaPrivateKey {
     fn to_value(&self) -> Value {
         Value::Obj(vec![
@@ -185,11 +356,7 @@ impl Deserialize for RsaPrivateKey {
             Ok(Value::Null) => None,
             Ok(v) => Some(CrtFactors::from_value(v)?),
         };
-        Ok(RsaPrivateKey {
-            modulus,
-            exponent,
-            crt,
-        })
+        Ok(RsaPrivateKey::with_crt(modulus, exponent, crt))
     }
 }
 
@@ -217,10 +384,13 @@ impl RsaKeyPair {
         let half = modulus_bits / 2;
         let one = BigUint::one();
 
-        // Retry until phi(n) is coprime with e and p != q.
+        // Retry until phi(n) is coprime with e and p != q. Candidates are
+        // uniformly random, so the round count follows the average-case
+        // analysis (see `prime::miller_rabin_rounds`), not the worst case.
+        let rounds = miller_rabin_rounds(half);
         for _ in 0..64 {
-            let p = generate_prime(rng, half, DEFAULT_MILLER_RABIN_ROUNDS)?;
-            let q = generate_prime(rng, modulus_bits - half, DEFAULT_MILLER_RABIN_ROUNDS)?;
+            let p = generate_prime(rng, half, rounds)?;
+            let q = generate_prime(rng, modulus_bits - half, rounds)?;
             if p == q {
                 continue;
             }
@@ -228,9 +398,8 @@ impl RsaKeyPair {
             let p_minus_one = p.sub(&one);
             let q_minus_one = q.sub(&one);
             let phi = p_minus_one.mul(&q_minus_one);
-            if !phi.gcd(&e).is_one() {
-                continue;
-            }
+            // `modinv` returns `None` exactly when gcd(e, phi) != 1, so
+            // no separate gcd pass is needed.
             let d = match e.modinv(&phi) {
                 Some(d) => d,
                 None => continue,
@@ -247,15 +416,8 @@ impl RsaKeyPair {
                 q,
             };
             return Ok(RsaKeyPair {
-                public: RsaPublicKey {
-                    modulus: n.clone(),
-                    exponent: e,
-                },
-                private: RsaPrivateKey {
-                    modulus: n,
-                    exponent: d,
-                    crt: Some(crt),
-                },
+                public: RsaPublicKey::new(n.clone(), e),
+                private: RsaPrivateKey::with_crt(n, d, Some(crt)),
             });
         }
         Err(CryptoError::PrimeGenerationFailed)
@@ -346,6 +508,30 @@ mod tests {
             let m = BigUint::from_u64(value);
             assert_eq!(pair.private.apply(&m), plain.apply(&m));
         }
+    }
+
+    #[test]
+    fn contexts_warm_up_lazily_and_cloning_keeps_them() {
+        let mut r = rng();
+        let pair = RsaKeyPair::generate(&mut r, 256).unwrap();
+        assert!(!pair.public.context_is_warm());
+        assert!(!pair.private.context_is_warm());
+        let m = BigUint::from_u64(0xFEED);
+        let sig = pair.private.apply(&m);
+        let _ = pair.public.apply(&sig);
+        assert!(pair.public.context_is_warm());
+        assert!(pair.private.context_is_warm());
+        // Clones share the already-built contexts.
+        assert!(pair.public.clone().context_is_warm());
+        assert!(pair.private.clone().context_is_warm());
+        // Warm and cold keys compare equal and sign identically.
+        let cold = RsaPrivateKey::with_crt(
+            pair.private.modulus.clone(),
+            pair.private.exponent.clone(),
+            pair.private.crt.clone(),
+        );
+        assert_eq!(cold, pair.private);
+        assert_eq!(cold.apply(&m), sig);
     }
 
     #[test]

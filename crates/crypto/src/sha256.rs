@@ -7,6 +7,13 @@
 //! Both a one-shot [`sha256`] helper and an incremental [`Sha256`] hasher
 //! are provided. The incremental interface lets the blockchain hash block
 //! headers field-by-field without materialising an intermediate buffer.
+//!
+//! On x86-64 machines with the SHA extensions the compression function
+//! dispatches (runtime-detected, cached) to the `sha256rnds2`/`sha256msg`
+//! instruction sequence, which hashes a block in a handful of cycles;
+//! every other target runs the portable scalar rounds. Both paths
+//! produce identical digests — the NIST vectors and the cross-path test
+//! below pin them together.
 
 /// The size of a SHA-256 digest in bytes.
 pub const DIGEST_LEN: usize = 32;
@@ -84,12 +91,13 @@ impl Sha256 {
             }
         }
 
-        // Process whole blocks directly from the input.
-        while input.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&input[..64]);
-            self.compress(&block);
-            input = &input[64..];
+        // Process whole blocks directly from the input, in one batch:
+        // the hardware path keeps the state in registers for the entire
+        // run instead of repacking it per block.
+        let whole = input.len() - input.len() % 64;
+        if whole > 0 {
+            self.compress_many(&input[..whole]);
+            input = &input[whole..];
         }
 
         // Stash the tail.
@@ -130,6 +138,32 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if shani::available() {
+            // Safety: `available` checked the sha/ssse3/sse4.1 features.
+            unsafe { shani::compress_blocks(&mut self.state, block) };
+            return;
+        }
+        self.compress_soft(block);
+    }
+
+    /// Compresses a run of whole blocks (`data.len()` a multiple of 64).
+    fn compress_many(&mut self, data: &[u8]) {
+        debug_assert_eq!(data.len() % 64, 0);
+        #[cfg(target_arch = "x86_64")]
+        if shani::available() {
+            // Safety: `available` checked the sha/ssse3/sse4.1 features.
+            unsafe { shani::compress_blocks(&mut self.state, data) };
+            return;
+        }
+        for block in data.chunks_exact(64) {
+            self.compress_soft(block.try_into().expect("64-byte chunk"));
+        }
+    }
+
+    /// Portable scalar compression (the reference the hardware path is
+    /// pinned against).
+    fn compress_soft(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -175,6 +209,133 @@ impl Sha256 {
         self.state[5] = self.state[5].wrapping_add(f);
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Hardware SHA-256 compression via the x86 SHA extensions.
+///
+/// The round core is two `sha256rnds2` instructions per four rounds over
+/// the `ABEF`/`CDGH` register split, with the message schedule advanced
+/// by `sha256msg1`/`sha256msg2` — the standard Intel sequence. Feature
+/// availability is detected once and cached.
+#[cfg(target_arch = "x86_64")]
+mod shani {
+    use super::K;
+    use std::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    /// Whether this machine has the required feature set.
+    pub fn available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            is_x86_feature_detected!("sha")
+                && is_x86_feature_detected!("ssse3")
+                && is_x86_feature_detected!("sse4.1")
+        })
+    }
+
+    /// Computes the schedule quad `w[i..i+4]` from the previous four quads.
+    #[inline(always)]
+    unsafe fn schedule(v0: __m128i, v1: __m128i, v2: __m128i, v3: __m128i) -> __m128i {
+        let t1 = _mm_sha256msg1_epu32(v0, v1);
+        let t2 = _mm_alignr_epi8(v3, v2, 4);
+        let t3 = _mm_add_epi32(t1, t2);
+        _mm_sha256msg2_epu32(t3, v3)
+    }
+
+    /// Runs four rounds: the low two via `rnds2` on `CDGH`, the high two
+    /// (shuffled into the low lanes) on `ABEF`.
+    macro_rules! rounds4 {
+        ($abef:ident, $cdgh:ident, $w:expr, $i:expr) => {{
+            let kv = _mm_set_epi32(
+                K[4 * $i + 3] as i32,
+                K[4 * $i + 2] as i32,
+                K[4 * $i + 1] as i32,
+                K[4 * $i] as i32,
+            );
+            let t1 = _mm_add_epi32($w, kv);
+            $cdgh = _mm_sha256rnds2_epu32($cdgh, $abef, t1);
+            let t2 = _mm_shuffle_epi32(t1, 0x0E);
+            $abef = _mm_sha256rnds2_epu32($abef, $cdgh, t2);
+        }};
+    }
+
+    macro_rules! schedule_rounds4 {
+        ($abef:ident, $cdgh:ident, $w0:expr, $w1:expr, $w2:expr, $w3:expr, $w4:expr, $i:expr) => {{
+            $w4 = schedule($w0, $w1, $w2, $w3);
+            rounds4!($abef, $cdgh, $w4, $i);
+        }};
+    }
+
+    /// Compresses a run of 64-byte blocks into `state`, keeping the
+    /// working state in registers between blocks.
+    ///
+    /// `data.len()` must be a non-zero multiple of 64.
+    ///
+    /// # Safety
+    /// Requires the `sha`, `ssse3` and `sse4.1` target features (checked
+    /// by [`available`]).
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub unsafe fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+        debug_assert_eq!(data.len() % 64, 0);
+        // Byte shuffle mask turning little-endian loads into the
+        // big-endian words FIPS 180-4 specifies.
+        let mask = _mm_set_epi64x(
+            0x0C0D_0E0F_0809_0A0Bu64 as i64,
+            0x0405_0607_0001_0203u64 as i64,
+        );
+
+        // Repack [a,b,c,d]/[e,f,g,h] into the ABEF/CDGH layout the
+        // rnds2 instruction expects.
+        let state_ptr = state.as_ptr() as *const __m128i;
+        let dcba = _mm_loadu_si128(state_ptr);
+        let hgfe = _mm_loadu_si128(state_ptr.add(1));
+        let cdab = _mm_shuffle_epi32(dcba, 0xB1);
+        let efgh = _mm_shuffle_epi32(hgfe, 0x1B);
+        let mut abef = _mm_alignr_epi8(cdab, efgh, 8);
+        let mut cdgh = _mm_blend_epi16(efgh, cdab, 0xF0);
+
+        for block in data.chunks_exact(64) {
+            let abef_save = abef;
+            let cdgh_save = cdgh;
+
+            let data_ptr = block.as_ptr() as *const __m128i;
+            let mut w0 = _mm_shuffle_epi8(_mm_loadu_si128(data_ptr), mask);
+            let mut w1 = _mm_shuffle_epi8(_mm_loadu_si128(data_ptr.add(1)), mask);
+            let mut w2 = _mm_shuffle_epi8(_mm_loadu_si128(data_ptr.add(2)), mask);
+            let mut w3 = _mm_shuffle_epi8(_mm_loadu_si128(data_ptr.add(3)), mask);
+            let mut w4;
+
+            rounds4!(abef, cdgh, w0, 0);
+            rounds4!(abef, cdgh, w1, 1);
+            rounds4!(abef, cdgh, w2, 2);
+            rounds4!(abef, cdgh, w3, 3);
+            schedule_rounds4!(abef, cdgh, w0, w1, w2, w3, w4, 4);
+            schedule_rounds4!(abef, cdgh, w1, w2, w3, w4, w0, 5);
+            schedule_rounds4!(abef, cdgh, w2, w3, w4, w0, w1, 6);
+            schedule_rounds4!(abef, cdgh, w3, w4, w0, w1, w2, 7);
+            schedule_rounds4!(abef, cdgh, w4, w0, w1, w2, w3, 8);
+            schedule_rounds4!(abef, cdgh, w0, w1, w2, w3, w4, 9);
+            schedule_rounds4!(abef, cdgh, w1, w2, w3, w4, w0, 10);
+            schedule_rounds4!(abef, cdgh, w2, w3, w4, w0, w1, 11);
+            schedule_rounds4!(abef, cdgh, w3, w4, w0, w1, w2, 12);
+            schedule_rounds4!(abef, cdgh, w4, w0, w1, w2, w3, 13);
+            schedule_rounds4!(abef, cdgh, w0, w1, w2, w3, w4, 14);
+            schedule_rounds4!(abef, cdgh, w1, w2, w3, w4, w0, 15);
+
+            abef = _mm_add_epi32(abef, abef_save);
+            cdgh = _mm_add_epi32(cdgh, cdgh_save);
+        }
+
+        // Unpack ABEF/CDGH back to [a,b,c,d]/[e,f,g,h].
+        let feba = _mm_shuffle_epi32(abef, 0x1B);
+        let dchg = _mm_shuffle_epi32(cdgh, 0xB1);
+        let dcba = _mm_blend_epi16(feba, dchg, 0xF0);
+        let hgfe = _mm_alignr_epi8(dchg, feba, 8);
+
+        let out_ptr = state.as_mut_ptr() as *mut __m128i;
+        _mm_storeu_si128(out_ptr, dcba);
+        _mm_storeu_si128(out_ptr.add(1), hgfe);
     }
 }
 
@@ -294,6 +455,31 @@ mod tests {
     }
 
     proptest! {
+        /// The dispatching compression (hardware when available) and the
+        /// portable scalar rounds must agree on every block and state.
+        #[test]
+        fn compression_paths_agree(
+            block_bytes in proptest::collection::vec(any::<u8>(), 64..65),
+            s0 in any::<u64>(),
+            s1 in any::<u64>(),
+            s2 in any::<u64>(),
+            s3 in any::<u64>(),
+        ) {
+            let block: [u8; 64] = block_bytes.try_into().unwrap();
+            let mut state = [0u32; 8];
+            for (i, seed) in [s0, s1, s2, s3].iter().enumerate() {
+                state[2 * i] = *seed as u32;
+                state[2 * i + 1] = (*seed >> 32) as u32;
+            }
+            let mut dispatched = Sha256::new();
+            dispatched.state = state;
+            let mut scalar = Sha256::new();
+            scalar.state = state;
+            dispatched.compress(&block);
+            scalar.compress_soft(&block);
+            prop_assert_eq!(dispatched.state, scalar.state);
+        }
+
         #[test]
         fn incremental_matches_one_shot(data in proptest::collection::vec(any::<u8>(), 0..2048),
                                         split in 0usize..2048) {

@@ -59,7 +59,7 @@ fn digest_as_integer(signer: u64, payload: &[u8], modulus: &BigUint) -> BigUint 
 
 /// Signs `payload` on behalf of `signer` with `key`.
 pub fn sign_message(signer: u64, payload: &[u8], key: &RsaPrivateKey) -> SignedMessage {
-    let m = digest_as_integer(signer, payload, &key.modulus);
+    let m = digest_as_integer(signer, payload, key.modulus());
     let s = key.apply(&m);
     SignedMessage {
         signer,
@@ -72,7 +72,7 @@ pub fn sign_message(signer: u64, payload: &[u8], key: &RsaPrivateKey) -> SignedM
 
 /// Verifies a [`SignedMessage`] against the claimed signer's public key.
 pub fn verify_message(message: &SignedMessage, key: &RsaPublicKey) -> Result<(), CryptoError> {
-    let expected = digest_as_integer(message.signer, &message.payload, &key.modulus);
+    let expected = digest_as_integer(message.signer, &message.payload, key.modulus());
     let recovered = key.apply(&message.signature.to_biguint());
     if recovered == expected {
         Ok(())

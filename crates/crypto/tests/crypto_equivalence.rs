@@ -5,15 +5,24 @@
 //! GEMM PR, with one difference: this is integer arithmetic, so every
 //! comparison is exact equality — no tolerances.
 //!
-//! Three pairings are pinned:
-//! * Knuth Algorithm D division ≡ the seed binary long division,
+//! Four pairings are pinned:
+//! * u64-limb carry/borrow arithmetic (`add`/`sub`/`mul`) ≡ an
+//!   independent byte-level (base-256) schoolbook implementation kept in
+//!   this file, up to 4096-bit operands,
+//! * Knuth Algorithm D division ≡ the seed binary long division, up to
+//!   4096-bit operands,
 //! * Montgomery fixed-window `modpow` ≡ square-and-multiply `modpow`,
 //! * CRT signing ≡ plain `(n, d)` signing.
+//!
+//! A further suite checks that the per-key Montgomery-context caches are
+//! pure acceleration state: serialized keys are byte-identical whether
+//! the caches are warm or cold, and a round-trip through the wire
+//! produces a key that signs/verifies identically.
 
 use bfl_crypto::bigint::BigUint;
 use bfl_crypto::engine;
 use bfl_crypto::montgomery::MontgomeryCtx;
-use bfl_crypto::rsa::RsaKeyPair;
+use bfl_crypto::rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,6 +35,119 @@ fn nonzero(bytes: &[u8], fallback: u32) -> BigUint {
         BigUint::from_u32(fallback.max(1))
     } else {
         v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level (base-256) reference arithmetic, independent of the limb
+// representation under test. Operands are little-endian byte vectors.
+// ---------------------------------------------------------------------------
+
+fn le_bytes(v: &BigUint) -> Vec<u8> {
+    let mut bytes = v.to_bytes_be();
+    bytes.reverse();
+    bytes
+}
+
+fn from_le_bytes(mut bytes: Vec<u8>) -> BigUint {
+    bytes.reverse();
+    BigUint::from_bytes_be(&bytes)
+}
+
+fn byte_add(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(a.len().max(b.len()) + 1);
+    let mut carry = 0u16;
+    for i in 0..a.len().max(b.len()) {
+        let sum = *a.get(i).unwrap_or(&0) as u16 + *b.get(i).unwrap_or(&0) as u16 + carry;
+        out.push(sum as u8);
+        carry = sum >> 8;
+    }
+    if carry > 0 {
+        out.push(carry as u8);
+    }
+    out
+}
+
+/// `a - b`; requires `a >= b`.
+fn byte_sub(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i16;
+    for (i, &x) in a.iter().enumerate() {
+        let mut diff = x as i16 - *b.get(i).unwrap_or(&0) as i16 - borrow;
+        if diff < 0 {
+            diff += 256;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.push(diff as u8);
+    }
+    assert_eq!(borrow, 0, "byte_sub underflow");
+    out
+}
+
+fn byte_mul(a: &[u8], b: &[u8]) -> Vec<u8> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u8; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        let mut carry = 0u16;
+        for (j, &y) in b.iter().enumerate() {
+            let cur = out[i + j] as u16 + x as u16 * y as u16 + carry;
+            out[i + j] = cur as u8;
+            carry = cur >> 8;
+        }
+        let mut idx = i + b.len();
+        while carry > 0 {
+            let cur = out[idx] as u16 + carry;
+            out[idx] = cur as u8;
+            carry = cur >> 8;
+            idx += 1;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// u64-limb addition and subtraction ≡ byte-level arithmetic over
+    /// operands up to 4096 bits: every carry/borrow across the 64-bit
+    /// limb boundaries must agree with the base-256 reference.
+    #[test]
+    fn add_sub_match_byte_reference(
+        a_bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        b_bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let a = BigUint::from_bytes_be(&a_bytes);
+        let b = BigUint::from_bytes_be(&b_bytes);
+        let sum = a.add(&b);
+        prop_assert_eq!(&sum, &from_le_bytes(byte_add(&le_bytes(&a), &le_bytes(&b))));
+        // sum - b == a and sum - a == b, both against the byte reference.
+        prop_assert_eq!(
+            sum.sub(&b),
+            from_le_bytes(byte_sub(&le_bytes(&sum), &le_bytes(&b)))
+        );
+        prop_assert_eq!(&sum.sub(&b), &a);
+        prop_assert_eq!(&sum.sub(&a), &b);
+    }
+
+    /// u64-limb schoolbook multiplication ≡ byte-level schoolbook over
+    /// operands up to 4096 bits (products up to 8192 bits).
+    #[test]
+    fn mul_matches_byte_reference(
+        a_bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        b_bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let a = BigUint::from_bytes_be(&a_bytes);
+        let b = BigUint::from_bytes_be(&b_bytes);
+        let product = a.mul(&b);
+        prop_assert_eq!(
+            &product,
+            &from_le_bytes(byte_mul(&le_bytes(&a), &le_bytes(&b)))
+        );
+        prop_assert_eq!(product, b.mul(&a));
     }
 }
 
@@ -42,11 +164,12 @@ fn odd_modulus(bytes: &[u8]) -> BigUint {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Knuth division ≡ binary long division over operands up to 2048 bits.
+    /// Knuth division (64-bit quotient digits) ≡ binary long division
+    /// over operands up to 4096 bits.
     #[test]
     fn knuth_div_rem_matches_reference(
-        a_bytes in proptest::collection::vec(any::<u8>(), 0..256),
-        b_bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        a_bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        b_bytes in proptest::collection::vec(any::<u8>(), 0..512),
         fallback in 1u32..,
     ) {
         let a = BigUint::from_bytes_be(&a_bytes);
@@ -124,6 +247,29 @@ fn montgomery_modpow_matches_reference_at_2048_bits() {
     assert_eq!(fast, reference);
 }
 
+/// A deterministic 4096-bit modulus exercise for the u64-limb engine:
+/// the widest operand class the protocol could plausibly configure. The
+/// exponent is kept short because the reference path reduces every
+/// intermediate product with bit-by-bit division at 8192-bit dividends.
+#[test]
+fn montgomery_modpow_matches_reference_at_4096_bits() {
+    let mut seed_bytes = Vec::with_capacity(512);
+    for i in 0..512u32 {
+        seed_bytes.push((i.wrapping_mul(2_246_822_519).wrapping_add(0x9E37) >> 11) as u8);
+    }
+    let mut modulus = BigUint::from_bytes_be(&seed_bytes);
+    modulus.set_bit(0);
+    modulus.set_bit(4095);
+    let base = BigUint::from_bytes_be(&seed_bytes[5..397]);
+    let exponent = BigUint::from_u64(0xB007);
+
+    let ctx = MontgomeryCtx::new(&modulus).expect("odd 4096-bit modulus");
+    let fast = ctx.modpow(&base, &exponent);
+    let _guard = engine::mode_lock();
+    let reference = engine::with_reference_mode(|| base.modpow(&exponent, &modulus));
+    assert_eq!(fast, reference);
+}
+
 /// Keys generated once and shared across the signing equivalence cases
 /// (keygen dominates otherwise).
 fn shared_keys() -> &'static Vec<RsaKeyPair> {
@@ -147,13 +293,13 @@ proptest! {
     ) {
         let message = BigUint::from_bytes_be(&msg_bytes);
         for pair in shared_keys() {
-            prop_assert!(pair.private.crt.is_some());
+            prop_assert!(pair.private.crt().is_some());
             let _guard = engine::mode_lock();
             let fast = pair.private.apply(&message);
             let reference = engine::with_reference_mode(|| pair.private.apply(&message));
             prop_assert_eq!(&fast, &reference);
             // The signature round-trips through the public operation.
-            let m_reduced = message.rem(&pair.private.modulus);
+            let m_reduced = message.rem(pair.private.modulus());
             prop_assert_eq!(pair.public.apply(&fast), m_reduced);
         }
     }
@@ -169,6 +315,66 @@ proptest! {
         let _guard = engine::mode_lock();
         let sig_fast = pair.private.apply(&message);
         let recovered_ref = engine::with_reference_mode(|| pair.public.apply(&sig_fast));
-        prop_assert_eq!(recovered_ref, message.rem(&pair.private.modulus));
+        prop_assert_eq!(recovered_ref, message.rem(pair.private.modulus()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-key Montgomery-context caches must never leak into the wire format.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn warm_context_caches_do_not_change_serialized_keys() {
+    let pair = &shared_keys()[0];
+    // Cold copies built from the same material, never used for crypto.
+    let cold_public = RsaPublicKey::new(
+        pair.public.modulus().clone(),
+        pair.public.exponent().clone(),
+    );
+    let cold_private = RsaPrivateKey::with_crt(
+        pair.private.modulus().clone(),
+        pair.private.exponent().clone(),
+        pair.private.crt().cloned(),
+    );
+    assert!(!cold_public.context_is_warm());
+    assert!(!cold_private.context_is_warm());
+
+    // Warm the shared pair's caches (signing touches the CRT contexts,
+    // verification the public one).
+    let message = BigUint::from_u64(0xCAC4E);
+    let sig = pair.private.apply(&message);
+    let _ = pair.public.apply(&sig);
+    assert!(pair.public.context_is_warm());
+    assert!(pair.private.context_is_warm());
+
+    // Byte-identical wire format, warm or cold.
+    assert_eq!(
+        serde_json::to_string(&pair.public).unwrap(),
+        serde_json::to_string(&cold_public).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&pair.private).unwrap(),
+        serde_json::to_string(&cold_private).unwrap()
+    );
+    // And no cache-shaped fields appear at all.
+    let private_json = serde_json::to_string(&pair.private).unwrap();
+    assert!(!private_json.contains("mont"));
+    assert!(!private_json.contains("cache"));
+}
+
+#[test]
+fn keys_round_trip_through_serde_and_keep_signing_identically() {
+    for pair in shared_keys() {
+        let message = BigUint::from_u64(0x5E_7DE5);
+        let sig = pair.private.apply(&message); // warm the caches
+        let json = serde_json::to_string(pair).unwrap();
+        let back: RsaKeyPair = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.public, pair.public);
+        assert_eq!(back.private, pair.private);
+        assert!(!back.private.context_is_warm(), "caches must arrive cold");
+        assert!(!back.public.context_is_warm(), "caches must arrive cold");
+        // The rebuilt key signs and verifies identically.
+        assert_eq!(back.private.apply(&message), sig);
+        assert_eq!(back.public.apply(&sig), pair.public.apply(&sig));
     }
 }
