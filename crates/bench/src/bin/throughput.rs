@@ -40,13 +40,22 @@
 //!    in `BENCH_PR2.json` (the 32-bit-limb engine on this machine
 //!    class), and the crypto share of a signed smoke FullBfl run.
 //!
-//! Usage: `throughput [reps] [all|ml|crypto|pr3|smoke]`. `smoke` runs a
-//! seconds-scale version of every section (for CI) and writes
+//! **Scenario sweeps** (PR 4, written to `BENCH_PR4.json`): the
+//! [`bfl_core::SweepRunner`] fanning the design-space grid of
+//! `experiments::scenario_grid` across cores vs the same grid run
+//! serially:
+//!
+//! 10. **sweep** — scenarios/second, serial vs parallel, after asserting
+//!     every grid cell completes and per-cell results are bit-identical
+//!     regardless of sweep parallelism.
+//!
+//! Usage: `throughput [reps] [all|ml|crypto|pr3|pr4|smoke]`. `smoke` runs
+//! a seconds-scale version of every section (for CI) and writes
 //! `BENCH_SMOKE.json` instead of the tracked reports.
 
-use bfl_bench::experiments::{dataset, system_config, Scale, SystemLabel};
+use bfl_bench::experiments::{dataset, scenario_grid, system_config, Scale, SystemLabel};
 use bfl_chain::Block;
-use bfl_core::BflSimulation;
+use bfl_core::{BflSimulation, SweepRunner};
 use bfl_crypto::bigint::BigUint;
 use bfl_crypto::engine as crypto_engine;
 use bfl_crypto::rsa::{RsaKeyPair, DEFAULT_MODULUS_BITS};
@@ -140,6 +149,7 @@ struct SmokeReport {
     ml: MlReport,
     crypto: CryptoReport,
     pr3: Pr3Report,
+    pr4: Pr4Report,
 }
 
 /// Runs `body` once warm-up, then `reps` individually timed repetitions;
@@ -772,6 +782,99 @@ fn pr3_section(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scenario sweep throughput (PR 4 metrics).
+// ---------------------------------------------------------------------------
+
+/// Summary of one completed sweep cell.
+#[derive(Debug, Clone, Serialize)]
+struct SweepCellSummary {
+    label: String,
+    final_accuracy: f64,
+    detection_rate: f64,
+    mean_delay_s: f64,
+}
+
+/// Serial vs parallel throughput of the scenario-grid sweep.
+#[derive(Debug, Clone, Serialize)]
+struct Pr4Report {
+    description: String,
+    grid_cells: usize,
+    rounds_per_cell: usize,
+    threads: usize,
+    serial_scenarios_per_sec: f64,
+    parallel_scenarios_per_sec: f64,
+    speedup: f64,
+    cells: Vec<SweepCellSummary>,
+}
+
+fn pr4_section(data: &(Dataset, Dataset), reps: usize, rounds: usize) -> Pr4Report {
+    let grid = scenario_grid(Scale::Smoke, rounds);
+    let serial_runner = SweepRunner::with_threads(1);
+    let parallel_runner = SweepRunner::new();
+
+    eprintln!(
+        "running the {}-cell scenario grid serially and in parallel...",
+        grid.len()
+    );
+    // Correctness before speed: every cell completes under both runners,
+    // and per-cell results are independent of sweep parallelism.
+    let serial_cells = serial_runner
+        .run(&grid, &data.0, &data.1)
+        .expect("every grid cell completes serially");
+    let parallel_cells = parallel_runner
+        .run(&grid, &data.0, &data.1)
+        .expect("every grid cell completes in parallel");
+    assert_eq!(serial_cells.len(), grid.len());
+    assert_eq!(parallel_cells.len(), grid.len());
+    for (a, b) in serial_cells.iter().zip(parallel_cells.iter()) {
+        assert_eq!(a.label, b.label, "sweep order is stable");
+        assert_eq!(
+            a.result.history, b.result.history,
+            "cell `{}` must not depend on sweep parallelism",
+            a.label
+        );
+        assert_eq!(a.result.final_params, b.result.final_params);
+        assert_eq!(a.result.reward_totals, b.result.reward_totals);
+    }
+
+    eprintln!("measuring sweep throughput ({reps} reps per runner)...");
+    let cells = grid.len() as f64;
+    let serial_rate = rate(cells, reps, || {
+        black_box(serial_runner.run(&grid, &data.0, &data.1).expect("sweep"));
+    });
+    let parallel_rate = rate(cells, reps, || {
+        black_box(parallel_runner.run(&grid, &data.0, &data.1).expect("sweep"));
+    });
+    let threads = par::max_threads();
+    eprintln!(
+        "  serial {serial_rate:>8.2} scenarios/s | parallel {parallel_rate:>8.2} scenarios/s \
+         ({threads} threads) | {:.2}x",
+        parallel_rate / serial_rate
+    );
+
+    Pr4Report {
+        description: "SweepRunner scenario grid (modes x anchors x strategies under the \
+                      Table 2 attack), parallel fan-out vs serial loop, same process/machine"
+            .to_string(),
+        grid_cells: grid.len(),
+        rounds_per_cell: rounds,
+        threads,
+        serial_scenarios_per_sec: serial_rate,
+        parallel_scenarios_per_sec: parallel_rate,
+        speedup: parallel_rate / serial_rate,
+        cells: serial_cells
+            .iter()
+            .map(|cell| SweepCellSummary {
+                label: cell.label.clone(),
+                final_accuracy: cell.result.final_accuracy().unwrap_or(0.0),
+                detection_rate: cell.result.detection.average_detection_rate(),
+                mean_delay_s: cell.result.mean_delay(),
+            })
+            .collect(),
+    }
+}
+
 fn write_report<T: Serialize>(path: &str, report: &T) {
     let json = serde_json::to_string_pretty(report).expect("report serializes");
     std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| panic!("{path} written: {e}"));
@@ -823,6 +926,10 @@ fn main() {
                 &pr3_section(&data, reps, &full_crypto_scale, None),
             );
         }
+        "pr4" => {
+            let data = dataset(Scale::Smoke);
+            write_report("BENCH_PR4.json", &pr4_section(&data, reps, 3));
+        }
         "smoke" => {
             // Seconds-scale end-to-end exercise of every engine for CI:
             // catches perf-harness breakage, not regressions.
@@ -838,11 +945,13 @@ fn main() {
             let ml = ml_section(&data, reps);
             let crypto = crypto_section(&data, reps, &scale);
             let pr3 = pr3_section(&data, reps, &scale, Some(&crypto));
+            let pr4 = pr4_section(&data, reps, 2);
             let report = SmokeReport {
                 description: "CI smoke run at reduced scale; not a tracked measurement".to_string(),
                 ml,
                 crypto,
                 pr3,
+                pr4,
             };
             write_report("BENCH_SMOKE.json", &report);
         }
@@ -852,14 +961,16 @@ fn main() {
             let crypto_data = dataset(Scale::Smoke);
             let crypto = crypto_section(&crypto_data, reps, &full_crypto_scale);
             let pr3 = pr3_section(&crypto_data, reps, &full_crypto_scale, Some(&crypto));
+            let pr4 = pr4_section(&crypto_data, reps, 3);
             write_report("BENCH_PR1.json", &ml);
             write_report("BENCH_CRYPTO.json", &crypto);
             write_report("BENCH_PR3.json", &pr3);
+            write_report("BENCH_PR4.json", &pr4);
         }
         other => {
             // A typo must not silently regenerate the tracked reports.
             eprintln!(
-                "unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|pr3|smoke]"
+                "unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|pr3|pr4|smoke]"
             );
             std::process::exit(2);
         }

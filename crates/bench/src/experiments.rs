@@ -1,8 +1,8 @@
 //! Scenario construction and the per-figure experiment runners.
 
 use bfl_core::{
-    AttackConfig, BflConfig, BflSimulation, DetectionTable, FlexibilityMode,
-    LowContributionStrategy, SimulationResult,
+    AggregationAnchor, AttackConfig, BflConfig, BflSimulation, DetectionTable, FlexibilityMode,
+    LowContributionStrategy, Scenario, SimulationResult, SweepPoint,
 };
 use bfl_data::{Dataset, SynthMnist, SynthMnistConfig};
 use bfl_fl::config::PartitionKind;
@@ -417,7 +417,7 @@ pub fn figure7(scale: Scale) -> Figure7 {
                     .map(|r| (r.elapsed_s, r.accuracy))
                     .collect(),
             ));
-            final_accuracies.push((system, result.final_accuracy()));
+            final_accuracies.push((system, result.final_accuracy().unwrap_or(0.0)));
             convergence_times.push((system, result.history.convergence_time()));
         }
     }
@@ -429,6 +429,56 @@ pub fn figure7(scale: Scale) -> Figure7 {
         final_accuracies,
         convergence_times,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario sweeps (the PR 4 grid).
+// ---------------------------------------------------------------------------
+
+/// A small design-space grid for the sweep runner: every learning mode ×
+/// aggregation anchor × low-contribution strategy, under the Table 2
+/// attack, plus the chain-only baseline. Signatures are off so cell cost
+/// is dominated by the learning substrate the sweep actually varies.
+pub fn scenario_grid(scale: Scale, rounds: usize) -> Vec<SweepPoint> {
+    let mut grid = Vec::new();
+    for (mode, mode_name) in [
+        (FlexibilityMode::FullBfl, "full"),
+        (FlexibilityMode::FlOnly, "fl-only"),
+    ] {
+        for anchor in [
+            AggregationAnchor::Mean,
+            AggregationAnchor::Median,
+            AggregationAnchor::TrimmedMean { trim_ratio: 0.2 },
+        ] {
+            for (strategy, strategy_name) in [
+                (LowContributionStrategy::Keep, "keep"),
+                (LowContributionStrategy::Discard, "discard"),
+            ] {
+                let mut config = base_config(scale);
+                config.fl.clients = 10;
+                config.fl.participation_ratio = 1.0;
+                config.fl.rounds = rounds;
+                config.mode = mode;
+                config.anchor = anchor;
+                config.strategy = strategy;
+                config.attack = AttackConfig::table2();
+                config.verify_signatures = false;
+                grid.push(SweepPoint::new(
+                    format!("{mode_name}/{}/{strategy_name}", anchor.name()),
+                    Scenario::from_config(config).expect("grid cell is valid"),
+                ));
+            }
+        }
+    }
+    let mut chain = base_config(scale);
+    chain.fl.rounds = rounds;
+    chain.mode = FlexibilityMode::ChainOnly;
+    chain.verify_signatures = false;
+    grid.push(SweepPoint::new(
+        "chain-only",
+        Scenario::from_config(chain).expect("grid cell is valid"),
+    ));
+    grid
 }
 
 // ---------------------------------------------------------------------------
@@ -475,7 +525,7 @@ pub fn table2(scale: Scale) -> Vec<Table2Run> {
         let result = BflSimulation::new(config)
             .run(&data.0, &data.1)
             .expect("table 2 run should complete");
-        let final_accuracy = result.final_accuracy();
+        let final_accuracy = result.final_accuracy().unwrap_or(0.0);
         Table2Run {
             label,
             detection: result.detection,
@@ -516,7 +566,7 @@ mod tests {
         assert!(fedprox.fl.local.proximal_mu > 0.0);
         assert!(fedprox.fl.drop_percent > 0.0);
         for config in [fair, discard, chain, fedavg, fedprox] {
-            config.validate();
+            config.validate().unwrap();
         }
         assert_eq!(SystemLabel::FairDiscard.name(), "FAIR-Discard");
     }
@@ -537,6 +587,22 @@ mod tests {
         };
         // FedAvg is the cheapest of the three delay curves even at smoke scale.
         assert!(delay_of(SystemLabel::FedAvg) < delay_of(SystemLabel::Fair));
+    }
+
+    #[test]
+    fn scenario_grid_covers_the_design_space_and_completes() {
+        let grid = scenario_grid(Scale::Smoke, 1);
+        // 2 modes x 3 anchors x 2 strategies + chain-only.
+        assert_eq!(grid.len(), 13);
+        let labels: Vec<&str> = grid.iter().map(|p| p.label.as_str()).collect();
+        assert!(labels.contains(&"full/median/discard"));
+        assert!(labels.contains(&"fl-only/mean/keep"));
+        assert!(labels.contains(&"chain-only"));
+        // Labels are unique — sweep reports key on them.
+        let mut deduped = labels.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), labels.len());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! FAIR-BFL run configuration.
 
 use crate::delay_model::DelayModel;
+use crate::error::CoreError;
 use crate::flexibility::FlexibilityMode;
+use crate::policy::AggregationAnchor;
 use crate::strategy::LowContributionStrategy;
 use bfl_cluster::{ClusteringAlgorithm, DistanceMetric};
 use bfl_fl::attack::AttackKind;
@@ -59,6 +61,10 @@ pub struct BflConfig {
     pub clustering: ClusteringAlgorithm,
     /// Distance metric for clustering and θ scores.
     pub metric: DistanceMetric,
+    /// The anchor gradient Algorithm 2 clusters against and measures θ
+    /// from (the paper's plain mean by default; median/trimmed-mean resist
+    /// anchor-corrupting scaling attackers).
+    pub anchor: AggregationAnchor,
     /// Whether the final aggregation uses Equation 1's contribution weights
     /// (`true`) or plain simple averaging (`false`, an ablation).
     pub fair_aggregation: bool,
@@ -91,6 +97,7 @@ impl Default for BflConfig {
             strategy: LowContributionStrategy::Keep,
             clustering: ClusteringAlgorithm::default_dbscan(),
             metric: DistanceMetric::Cosine,
+            anchor: AggregationAnchor::Mean,
             fair_aggregation: true,
             reward_base: 100.0,
             delay: DelayModel::default(),
@@ -104,26 +111,33 @@ impl Default for BflConfig {
 }
 
 impl BflConfig {
-    /// Validates the configuration, panicking with a descriptive message on
-    /// inconsistency.
-    pub fn validate(&self) {
-        self.fl.validate();
-        assert!(self.miners >= 1, "need at least one miner");
-        assert!(self.reward_base >= 0.0, "reward base must be non-negative");
-        assert!(
-            self.rsa_modulus_bits >= bfl_crypto::rsa::MIN_MODULUS_BITS,
-            "RSA modulus too small"
-        );
-        if self.attack.enabled {
-            assert!(
-                self.attack.min_attackers <= self.attack.max_attackers,
-                "attacker range inverted"
-            );
-            assert!(
-                self.attack.max_attackers <= self.fl.clients,
-                "more attackers than clients"
-            );
+    /// Validates the configuration, returning
+    /// [`CoreError::InvalidConfig`] describing the first inconsistency.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.fl.validate().map_err(CoreError::invalid)?;
+        if self.miners < 1 {
+            return Err(CoreError::invalid("need at least one miner"));
         }
+        if self.reward_base < 0.0 {
+            return Err(CoreError::invalid("reward base must be non-negative"));
+        }
+        if self.rsa_modulus_bits < bfl_crypto::rsa::MIN_MODULUS_BITS {
+            return Err(CoreError::invalid(format!(
+                "RSA modulus too small: {} bits (minimum {})",
+                self.rsa_modulus_bits,
+                bfl_crypto::rsa::MIN_MODULUS_BITS
+            )));
+        }
+        self.anchor.validate()?;
+        if self.attack.enabled {
+            if self.attack.min_attackers > self.attack.max_attackers {
+                return Err(CoreError::invalid("attacker range inverted"));
+            }
+            if self.attack.max_attackers > self.fl.clients {
+                return Err(CoreError::invalid("more attackers than clients"));
+            }
+        }
+        Ok(())
     }
 
     /// A configuration scaled down for fast unit/integration tests: ten
@@ -148,7 +162,7 @@ mod tests {
     #[test]
     fn defaults_match_paper() {
         let config = BflConfig::default();
-        config.validate();
+        config.validate().unwrap();
         assert_eq!(config.miners, 2);
         assert_eq!(config.fl.clients, 100);
         assert_eq!(config.fl.rounds, 100);
@@ -172,23 +186,79 @@ mod tests {
     #[test]
     fn small_test_config_is_valid() {
         let config = BflConfig::small_test(3);
-        config.validate();
+        config.validate().unwrap();
         assert_eq!(config.fl.rounds, 3);
         assert_eq!(config.fl.clients, 10);
     }
 
-    #[test]
-    #[should_panic(expected = "at least one miner")]
-    fn zero_miners_rejected() {
-        let config = BflConfig {
-            miners: 0,
-            ..Default::default()
-        };
-        config.validate();
+    /// Asserts validation rejects `config` with an
+    /// [`CoreError::InvalidConfig`] mentioning `needle`.
+    fn assert_rejected(config: BflConfig, needle: &str) {
+        match config.validate() {
+            Err(CoreError::InvalidConfig(msg)) => {
+                assert!(msg.contains(needle), "error `{msg}` mentions `{needle}`")
+            }
+            other => panic!("expected InvalidConfig({needle}), got {other:?}"),
+        }
     }
 
     #[test]
-    #[should_panic(expected = "more attackers than clients")]
+    fn zero_miners_rejected() {
+        assert_rejected(
+            BflConfig {
+                miners: 0,
+                ..Default::default()
+            },
+            "at least one miner",
+        );
+    }
+
+    #[test]
+    fn negative_reward_base_rejected() {
+        assert_rejected(
+            BflConfig {
+                reward_base: -1.0,
+                ..Default::default()
+            },
+            "reward base",
+        );
+    }
+
+    #[test]
+    fn tiny_rsa_modulus_rejected() {
+        assert_rejected(
+            BflConfig {
+                rsa_modulus_bits: 8,
+                ..Default::default()
+            },
+            "RSA modulus too small",
+        );
+    }
+
+    #[test]
+    fn invalid_anchor_rejected() {
+        assert_rejected(
+            BflConfig {
+                anchor: AggregationAnchor::TrimmedMean { trim_ratio: 0.9 },
+                ..Default::default()
+            },
+            "trim_ratio",
+        );
+    }
+
+    #[test]
+    fn inverted_attacker_range_rejected() {
+        let mut config = BflConfig::small_test(1);
+        config.attack = AttackConfig {
+            enabled: true,
+            min_attackers: 3,
+            max_attackers: 1,
+            kind: AttackKind::SignFlip,
+        };
+        assert_rejected(config, "attacker range inverted");
+    }
+
+    #[test]
     fn too_many_attackers_rejected() {
         let mut config = BflConfig::small_test(1);
         config.attack = AttackConfig {
@@ -197,7 +267,14 @@ mod tests {
             max_attackers: 50,
             kind: AttackKind::SignFlip,
         };
-        config.validate();
+        assert_rejected(config, "more attackers than clients");
+    }
+
+    #[test]
+    fn invalid_fl_settings_surface_as_invalid_config() {
+        let mut config = BflConfig::default();
+        config.fl.clients = 0;
+        assert_rejected(config, "at least one client");
     }
 
     #[test]

@@ -10,10 +10,11 @@
 //! handled by the configured [`LowContributionStrategy`].
 
 use crate::aggregation::WEIGHT_FLOOR;
-use crate::reward::{build_reward_list, RewardEntry};
+use crate::policy::{AggregationAnchor, ProportionalReward, RewardPolicy};
+use crate::reward::RewardEntry;
 use crate::strategy::LowContributionStrategy;
 use bfl_cluster::{ClusteringAlgorithm, DistanceMetric};
-use bfl_ml::gradient::{average_refs, GradientVector};
+use bfl_ml::gradient::GradientVector;
 use bfl_ml::tensor::{self, Matrix};
 use serde::{Deserialize, Serialize};
 
@@ -24,14 +25,18 @@ pub struct ContributionReport {
     pub high_contribution: Vec<(u64, f64)>,
     /// Client ids labelled low contribution.
     pub low_contribution: Vec<u64>,
-    /// The reward list ⟨C_i, θ_i/Σθ_k · base⟩ for the high contributors.
+    /// The reward list the configured [`RewardPolicy`] produced for the
+    /// high contributors (⟨C_i, θ_i/Σθ_k · base⟩ under the default
+    /// proportional policy).
     pub rewards: Vec<RewardEntry>,
-    /// The global gradient the report was computed against (the simple
-    /// average of all uploads, before any discarding).
+    /// The anchor gradient the report was computed against — the simple
+    /// average of all uploads under [`AggregationAnchor::Mean`] (the
+    /// paper's behaviour), or the configured robust anchor.
     pub global_gradient: GradientVector,
-    /// The global gradient after applying the strategy: equal to
+    /// The anchor gradient after applying the strategy: equal to
     /// `global_gradient` under [`LowContributionStrategy::Keep`], or the
-    /// recomputed high-contribution-only aggregate under `Discard`.
+    /// anchor recomputed over the high-contribution uploads only under
+    /// `Discard`.
     pub effective_global: GradientVector,
     /// Number of clusters the algorithm found (for diagnostics/ablations).
     pub cluster_count: usize,
@@ -49,18 +54,14 @@ impl ContributionReport {
     }
 }
 
-/// Runs Algorithm 2.
+/// Runs Algorithm 2 with the paper's default policies (mean anchor,
+/// proportional rewards).
 ///
 /// * `uploads` — (client id, uploaded gradient) pairs for the round.
 /// * `algorithm` / `metric` — the clustering backend (DBSCAN + cosine by
 ///   default, matching the paper).
 /// * `strategy` — keep or discard low contributors.
 /// * `reward_base` — the per-round reward pool.
-///
-/// The global gradient is computed internally as the simple average of all
-/// uploads (Algorithm 1 line 24) and appended to the set before clustering,
-/// exactly as in the paper's Algorithm 2 (the global gradient is the last
-/// element of the clustered set).
 pub fn identify_contributions(
     uploads: &[(u64, GradientVector)],
     algorithm: &ClusteringAlgorithm,
@@ -82,12 +83,40 @@ pub fn identify_contributions_refs(
     strategy: LowContributionStrategy,
     reward_base: f64,
 ) -> ContributionReport {
+    identify_contributions_with(
+        uploads,
+        algorithm,
+        metric,
+        strategy,
+        AggregationAnchor::Mean,
+        0,
+        &ProportionalReward { base: reward_base },
+    )
+}
+
+/// Runs Algorithm 2 with pluggable policies — the full Scenario-API form.
+///
+/// The anchor gradient is computed over all uploads by the configured
+/// [`AggregationAnchor`] (the simple average of Algorithm 1 line 24 under
+/// `Mean`) and appended to the set before clustering, exactly as in the
+/// paper's Algorithm 2 (the anchor is the last element of the clustered
+/// set). `round` is forwarded to the [`RewardPolicy`] so round-dependent
+/// incentive schemes can be plugged in.
+pub fn identify_contributions_with(
+    uploads: &[(u64, &[f64])],
+    algorithm: &ClusteringAlgorithm,
+    metric: DistanceMetric,
+    strategy: LowContributionStrategy,
+    anchor: AggregationAnchor,
+    round: usize,
+    reward: &dyn RewardPolicy,
+) -> ContributionReport {
     assert!(!uploads.is_empty(), "Algorithm 2 needs at least one upload");
 
     let upload_refs: Vec<&[f64]> = uploads.iter().map(|(_, g)| *g).collect();
-    let global_gradient = average_refs(&upload_refs);
+    let global_gradient = anchor.compute(&upload_refs);
 
-    // Pack the round's gradient set (uploads plus the global gradient,
+    // Pack the round's gradient set (uploads plus the anchor gradient,
     // appended last) into one row-major matrix. This single packed copy
     // feeds both the clustering backend — whose pairwise distances come
     // out of one Gram GEMM — and the batched θ computation below.
@@ -132,10 +161,10 @@ pub fn identify_contributions_refs(
         }
     }
 
-    // Degenerate case: if the clustering failed to place the global gradient
-    // in any cluster (for example every point is noise under a tiny eps),
-    // treat every client as high contribution rather than discarding the
-    // whole round.
+    // Degenerate case: if the clustering failed to place the anchor
+    // gradient in any cluster (for example every point is noise under a
+    // tiny eps), treat every client as high contribution rather than
+    // discarding the whole round.
     if high_contribution.is_empty() {
         high_contribution = uploads
             .iter()
@@ -145,9 +174,9 @@ pub fn identify_contributions_refs(
         low_contribution.clear();
     }
 
-    let rewards = build_reward_list(&high_contribution, reward_base);
+    let rewards = reward.round_rewards(round, &high_contribution);
 
-    // Apply the strategy: discarding recomputes the global update from the
+    // Apply the strategy: discarding recomputes the anchor from the
     // high-contribution uploads only.
     let effective_global = if strategy.discards() && high_contribution.len() < uploads.len() {
         let kept: Vec<&[f64]> = uploads
@@ -155,7 +184,7 @@ pub fn identify_contributions_refs(
             .filter(|(id, _)| high_contribution.iter().any(|(hid, _)| hid == id))
             .map(|(_, g)| *g)
             .collect();
-        average_refs(&kept)
+        anchor.compute(&kept)
     } else {
         global_gradient.clone()
     };
@@ -307,6 +336,130 @@ mod tests {
         );
         assert_eq!(report.high_contribution.len(), 1);
         assert!(report.low_contribution.is_empty());
+    }
+
+    /// Nine honest uploads near the base direction plus one -8x scaling
+    /// attacker. The attacker's own honest gradient deviates slightly from
+    /// the crowd; amplified by -8 that deviation dominates the simple
+    /// average, so the mean anchor points in an essentially arbitrary
+    /// direction far (cosine-wise) from *both* clusters — the corruption
+    /// the ROADMAP open item recorded.
+    fn uploads_with_scaling_attacker() -> Vec<(u64, GradientVector)> {
+        let mut out = Vec::new();
+        for i in 0..9 {
+            let t = i as f64 * 0.01;
+            out.push((i as u64, vec![1.0 + t, 0.5 - t, 0.2 + t]));
+        }
+        // -8 x (1.05, 0.8, -0.05): a plausible honest gradient with a
+        // modest deviation, scaled hard.
+        out.push((9, vec![-8.4, -6.4, 0.4]));
+        out
+    }
+
+    #[test]
+    fn mean_anchor_is_corrupted_by_a_strong_scaling_attacker() {
+        // With the plain-average anchor the -8x upload drags the anchor
+        // onto itself: the anchor leaves the honest cluster and the
+        // degenerate keep-everyone fallback (or a mislabelling) results.
+        let uploads = uploads_with_scaling_attacker();
+        let report = identify_contributions(
+            &uploads,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Discard,
+            100.0,
+        );
+        assert!(
+            !report.low_contribution.contains(&9),
+            "the mean anchor fails to isolate the -8x attacker (got low = {:?})",
+            report.low_contribution
+        );
+    }
+
+    #[test]
+    fn robust_anchors_survive_the_scaling_attacker_that_corrupts_the_mean() {
+        let uploads = uploads_with_scaling_attacker();
+        let refs: Vec<(u64, &[f64])> = uploads.iter().map(|(id, g)| (*id, g.as_slice())).collect();
+        for anchor in [
+            AggregationAnchor::Median,
+            AggregationAnchor::TrimmedMean { trim_ratio: 0.2 },
+        ] {
+            let report = identify_contributions_with(
+                &refs,
+                &dbscan(),
+                DistanceMetric::Cosine,
+                LowContributionStrategy::Discard,
+                anchor,
+                1,
+                &ProportionalReward { base: 100.0 },
+            );
+            assert_eq!(
+                report.low_contribution,
+                vec![9],
+                "{anchor:?} should isolate exactly the attacker"
+            );
+            assert_eq!(report.high_contribution.len(), 9);
+            // The effective global is recomputed from the honest uploads
+            // and stays in the honest direction.
+            assert!(report.effective_global[0] > 0.9);
+            assert!(report.rewards.iter().all(|r| r.client_id < 9));
+        }
+    }
+
+    #[test]
+    fn custom_reward_policies_plug_into_algorithm_2() {
+        /// Pays every high contributor a flat amount, ignoring θ.
+        struct FlatReward;
+        impl RewardPolicy for FlatReward {
+            fn round_rewards(&self, round: usize, scores: &[(u64, f64)]) -> Vec<RewardEntry> {
+                scores
+                    .iter()
+                    .map(|&(client_id, theta)| RewardEntry {
+                        client_id,
+                        theta,
+                        share: 1.0 / scores.len() as f64,
+                        amount_milli: 1000 + round as u64,
+                    })
+                    .collect()
+            }
+        }
+
+        let uploads = uploads_with_forgeries(4, 0);
+        let refs: Vec<(u64, &[f64])> = uploads.iter().map(|(id, g)| (*id, g.as_slice())).collect();
+        let report = identify_contributions_with(
+            &refs,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Keep,
+            AggregationAnchor::Mean,
+            7,
+            &FlatReward,
+        );
+        assert_eq!(report.rewards.len(), 4);
+        assert!(report.rewards.iter().all(|r| r.amount_milli == 1007));
+    }
+
+    #[test]
+    fn mean_anchor_form_matches_the_default_wrapper() {
+        let uploads = uploads_with_forgeries(6, 2);
+        let refs: Vec<(u64, &[f64])> = uploads.iter().map(|(id, g)| (*id, g.as_slice())).collect();
+        let via_wrapper = identify_contributions(
+            &uploads,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Discard,
+            50.0,
+        );
+        let via_full = identify_contributions_with(
+            &refs,
+            &dbscan(),
+            DistanceMetric::Cosine,
+            LowContributionStrategy::Discard,
+            AggregationAnchor::Mean,
+            0,
+            &ProportionalReward { base: 50.0 },
+        );
+        assert_eq!(via_wrapper, via_full);
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! The stepwise round engine behind every FAIR-BFL run.
+//!
+//! PR 1–3 made the substrates fast; this module makes the round loop
+//! *composable*. [`SimulationRun`] owns all of a run's state — clients,
+//! keys, consensus group, clock, accumulated history — and advances one
+//! communication round per [`SimulationRun::step`] call, so drivers can
+//! interleave their own logic (early stopping, logging, checkpointing,
+//! sweep bookkeeping) between rounds instead of handing control to a
+//! monolithic `run()` for the whole experiment. A full run is literally
+//! `while run.step()?.is_some() {}` — which is exactly what the legacy
+//! [`crate::simulation::BflSimulation::run`] wrapper and the
+//! [`crate::scenario::Scenario`] drivers do, so a step-driven run is
+//! bit-identical to a one-shot run by construction.
+
+use crate::config::BflConfig;
+use crate::detection::{DetectionRow, DetectionTable};
+use crate::error::CoreError;
+use crate::flexibility::FlexibilityMode;
+use crate::policy::{ProportionalReward, RewardPolicy};
+use crate::procedures::global_update::GlobalUpdatePolicy;
+use crate::procedures::{exchange, global_update, local_update, mining, upload};
+use crate::simulation::{RoundOutcome, SimulationResult};
+use bfl_chain::consensus::RoundConsensus;
+use bfl_chain::mempool::Mempool;
+use bfl_chain::miner::Miner;
+use bfl_chain::{Blockchain, Transaction};
+use bfl_crypto::{KeyStore, RsaKeyPair};
+use bfl_data::Dataset;
+use bfl_fl::attack::AttackKind;
+use bfl_fl::client::Client;
+use bfl_fl::history::{RoundRecord, RunHistory};
+use bfl_fl::selection::{drop_stragglers, select_clients};
+use bfl_fl::trainer::{FlAlgorithm, FlTrainer};
+use bfl_ml::metrics::accuracy;
+use bfl_ml::model::{AnyModel, Model};
+use bfl_ml::optimizer::LocalTrainingConfig;
+use bfl_net::{SimClock, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// A resumable FAIR-BFL run: construct once, [`step`](Self::step) per
+/// round, [`into_result`](Self::into_result) when done (or bail early —
+/// the result covers the completed rounds).
+pub struct SimulationRun<'a> {
+    config: BflConfig,
+    reward: Box<dyn RewardPolicy + 'a>,
+    state: RunState<'a>,
+    round: usize,
+    finished: bool,
+    history: RunHistory,
+    outcomes: Vec<RoundOutcome>,
+    detection: DetectionTable,
+    reward_totals: BTreeMap<u64, u64>,
+}
+
+/// Mode-specific live state.
+enum RunState<'a> {
+    Learning(Box<LearningState<'a>>),
+    ChainOnly(ChainOnlyState),
+}
+
+/// Live state of the learning modes (full FAIR-BFL and FL-only).
+struct LearningState<'a> {
+    train: &'a Dataset,
+    test: &'a Dataset,
+    rng: StdRng,
+    clients: Vec<Client>,
+    local_config: LocalTrainingConfig,
+    keystore: Option<KeyStore>,
+    keypairs: Option<BTreeMap<u64, RsaKeyPair>>,
+    consensus: Option<RoundConsensus>,
+    topology: Topology,
+    global_model: AnyModel,
+    global_params: Vec<f64>,
+    clock: SimClock,
+    /// Clients currently sitting out after being discarded.
+    cooldown: BTreeMap<u64, usize>,
+}
+
+/// Live state of the chain-only (pure blockchain) mode.
+struct ChainOnlyState {
+    rng: StdRng,
+    consensus: RoundConsensus,
+    mempool: Mempool,
+    clock: SimClock,
+}
+
+impl<'a> SimulationRun<'a> {
+    /// Validates the configuration and provisions the run's state (client
+    /// population, data shards, RSA identities, consensus group, model).
+    /// No rounds execute until [`step`](Self::step) is called.
+    pub fn new(
+        config: BflConfig,
+        train: &'a Dataset,
+        test: &'a Dataset,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        let state = match config.mode {
+            FlexibilityMode::ChainOnly => RunState::ChainOnly(ChainOnlyState::new(&config)),
+            _ => RunState::Learning(Box::new(LearningState::new(&config, train, test)?)),
+        };
+        Ok(SimulationRun {
+            reward: Box::new(ProportionalReward {
+                base: config.reward_base,
+            }),
+            config,
+            state,
+            round: 0,
+            finished: false,
+            history: RunHistory::new(),
+            outcomes: Vec::new(),
+            detection: DetectionTable::new(),
+            reward_totals: BTreeMap::new(),
+        })
+    }
+
+    /// Replaces the reward policy (defaults to the paper's
+    /// [`ProportionalReward`] over the configured `reward_base`). Swap it
+    /// before the first step — rounds already executed keep their payouts.
+    pub fn with_reward_policy(mut self, reward: Box<dyn RewardPolicy + 'a>) -> Self {
+        self.reward = reward;
+        self
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &BflConfig {
+        &self.config
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_completed(&self) -> usize {
+        self.round
+    }
+
+    /// True once every configured round has run (or a round failed).
+    pub fn is_finished(&self) -> bool {
+        self.finished || self.round >= self.config.fl.rounds
+    }
+
+    /// The accuracy/delay history accumulated so far.
+    pub fn history(&self) -> &RunHistory {
+        &self.history
+    }
+
+    /// Per-round outcomes accumulated so far.
+    pub fn outcomes(&self) -> &[RoundOutcome] {
+        &self.outcomes
+    }
+
+    /// The detection table accumulated so far.
+    pub fn detection(&self) -> &DetectionTable {
+        &self.detection
+    }
+
+    /// Cumulative rewards per client so far, in milli-units.
+    pub fn reward_totals(&self) -> &BTreeMap<u64, u64> {
+        &self.reward_totals
+    }
+
+    /// The canonical ledger, when the mode mines.
+    pub fn chain(&self) -> Option<&Blockchain> {
+        match &self.state {
+            RunState::Learning(state) => state.consensus.as_ref().map(|c| c.canonical_chain()),
+            RunState::ChainOnly(state) => Some(state.consensus.canonical_chain()),
+        }
+    }
+
+    /// Advances one communication round. Returns the round's outcome, or
+    /// `None` once all configured rounds have run. A failed round (ledger
+    /// rejection, empty gradient set) finishes the run and surfaces its
+    /// error.
+    pub fn step(&mut self) -> Result<Option<RoundOutcome>, CoreError> {
+        if self.is_finished() {
+            self.finished = true;
+            return Ok(None);
+        }
+        let round = self.round + 1;
+        let stepped = match &mut self.state {
+            RunState::Learning(state) => state.step(&self.config, self.reward.as_ref(), round),
+            RunState::ChainOnly(state) => state.step(&self.config, round),
+        };
+        let (outcome, elapsed_s, detection_row) = match stepped {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.finished = true;
+                return Err(e);
+            }
+        };
+        self.round = round;
+
+        for reward in &outcome.rewards {
+            *self.reward_totals.entry(reward.client_id).or_insert(0) += reward.amount_milli;
+        }
+        if let Some(row) = detection_row {
+            self.detection.push(row);
+        }
+        self.history.push(RoundRecord {
+            round,
+            accuracy: outcome.accuracy,
+            train_loss: outcome.train_loss,
+            round_delay_s: outcome.breakdown.total(),
+            elapsed_s,
+            participants: outcome.participants,
+        });
+        self.outcomes.push(outcome.clone());
+        Ok(Some(outcome))
+    }
+
+    /// Runs every remaining round.
+    pub fn run_to_completion(&mut self) -> Result<(), CoreError> {
+        while self.step()?.is_some() {}
+        Ok(())
+    }
+
+    /// Finalizes the run into a [`SimulationResult`] covering the rounds
+    /// completed so far.
+    pub fn into_result(self) -> SimulationResult {
+        let (chain, final_params) = match self.state {
+            RunState::Learning(state) => (
+                state.consensus.map(|c| c.canonical_chain().clone()),
+                state.global_params,
+            ),
+            RunState::ChainOnly(state) => {
+                (Some(state.consensus.canonical_chain().clone()), Vec::new())
+            }
+        };
+        SimulationResult {
+            history: self.history,
+            outcomes: self.outcomes,
+            chain,
+            detection: self.detection,
+            reward_totals: self.reward_totals,
+            final_params,
+            mode: self.config.mode,
+        }
+    }
+}
+
+/// What one round hands back to the accumulator: the outcome record, the
+/// simulated clock after the round, and the round's detection row (absent
+/// in chain-only mode, which never runs Algorithm 2).
+type SteppedRound = (RoundOutcome, f64, Option<DetectionRow>);
+
+impl<'a> LearningState<'a> {
+    fn new(config: &BflConfig, train: &'a Dataset, test: &'a Dataset) -> Result<Self, CoreError> {
+        let mut rng = StdRng::seed_from_u64(config.fl.seed);
+
+        // Client population and data shards (reusing the FL trainer's
+        // partitioning so baselines and FAIR-BFL see identical splits).
+        let trainer = FlTrainer::new(config.fl, FlAlgorithm::FedAvg);
+        let clients: Vec<Client> = trainer.build_clients(train, &mut rng);
+        let local_config = config.fl.local;
+
+        // Key provisioning (Procedure-II's RSA identities). Keys come
+        // from a dedicated RNG stream so the learning trajectory is
+        // invariant to crypto details: how many candidates a prime
+        // search consumes — or whether signatures are enabled at all —
+        // must not reshuffle client selection and training randomness.
+        let (keystore, keypairs): (Option<KeyStore>, Option<BTreeMap<u64, RsaKeyPair>>) =
+            if config.verify_signatures {
+                let mut key_rng = StdRng::seed_from_u64(config.fl.seed ^ 0x5EED_0F4B);
+                let mut store = KeyStore::new();
+                let ids: Vec<u64> = clients.iter().map(|c| c.id).collect();
+                let pairs = store
+                    .provision(&mut key_rng, &ids, config.rsa_modulus_bits)
+                    .map_err(CoreError::from)?;
+                (Some(store), Some(pairs))
+            } else {
+                (None, None)
+            };
+
+        // Consensus group (Procedure-V), only when the mode mines.
+        let consensus = if config.mode.mines() {
+            let miners: Vec<Miner> = (0..config.miners as u64)
+                .map(|id| Miner::new(id, config.delay.miner_hash_rate))
+                .collect();
+            Some(RoundConsensus::new(
+                miners,
+                bfl_chain::PowConfig::new(64).with_mining_threads(config.mining_threads),
+            ))
+        } else {
+            None
+        };
+
+        let topology = Topology::new(config.fl.clients, config.miners);
+        let global_model: AnyModel = config.fl.model.build(&mut rng);
+        let global_params = global_model.params();
+
+        Ok(LearningState {
+            train,
+            test,
+            rng,
+            clients,
+            local_config,
+            keystore,
+            keypairs,
+            consensus,
+            topology,
+            global_model,
+            global_params,
+            clock: SimClock::new(),
+            cooldown: BTreeMap::new(),
+        })
+    }
+
+    /// One full pass through Procedures I–V plus bookkeeping.
+    fn step(
+        &mut self,
+        config: &BflConfig,
+        reward_policy: &dyn RewardPolicy,
+        round: usize,
+    ) -> Result<SteppedRound, CoreError> {
+        // Advance cooldowns.
+        self.cooldown.retain(|_, remaining| {
+            *remaining = remaining.saturating_sub(1);
+            *remaining > 0
+        });
+
+        // Select participants among active (non-cooling-down) clients.
+        let active: Vec<usize> = (0..self.clients.len())
+            .filter(|i| !self.cooldown.contains_key(&self.clients[*i].id))
+            .collect();
+        let pool: &[usize] = if active.is_empty() { &[] } else { &active };
+        let selected_positions = if pool.is_empty() {
+            select_clients(
+                self.clients.len(),
+                config.fl.selected_per_round(),
+                &mut self.rng,
+            )
+        } else {
+            select_clients(pool.len(), config.fl.selected_per_round(), &mut self.rng)
+                .into_iter()
+                .map(|i| pool[i])
+                .collect()
+        };
+        let selected_positions =
+            drop_stragglers(&selected_positions, config.fl.drop_percent, &mut self.rng);
+
+        // Designate attackers for this round. Designations live in a
+        // side table aligned with `selected_positions`, so the client
+        // population is never cloned per round.
+        let mut attacks: Vec<Option<AttackKind>> = vec![None; selected_positions.len()];
+        let mut attackers = Vec::new();
+        if config.attack.enabled && !selected_positions.is_empty() {
+            let max = config.attack.max_attackers.min(selected_positions.len());
+            let min = config.attack.min_attackers.min(max);
+            let count = if min == max {
+                min
+            } else {
+                self.rng.gen_range(min..=max)
+            };
+            let mut order: Vec<usize> = (0..selected_positions.len()).collect();
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut self.rng);
+            for &i in order.iter().take(count) {
+                attacks[i] = Some(config.attack.kind);
+                attackers.push(self.clients[selected_positions[i]].id);
+            }
+            attackers.sort_unstable();
+        }
+
+        // Procedure-I: local learning.
+        let round_seed = config.fl.seed ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let updates = local_update::run_local_updates_with_attacks(
+            &self.clients,
+            &selected_positions,
+            &attacks,
+            config.fl.model,
+            &self.global_params,
+            self.train,
+            &self.local_config,
+            round_seed,
+        );
+        let max_steps =
+            local_update::max_local_steps(&self.clients, &selected_positions, &self.local_config);
+
+        // Procedure-II: upload + verification.
+        let uploads = upload::upload_gradients(
+            &updates,
+            &self.topology,
+            self.keypairs.as_ref(),
+            self.keystore.as_ref(),
+            &mut self.rng,
+        );
+
+        // Procedure-III: miner exchange (skipped in FL-only mode, where
+        // the single aggregator already holds every accepted upload).
+        // Both paths consume the upload outcome, moving the round's
+        // parameter vectors into the merged set instead of cloning.
+        let merged = if config.mode.runs(crate::flexibility::Procedure::Exchange) {
+            exchange::exchange_gradients(uploads, config.miners).merged
+        } else {
+            uploads.into_all_accepted()
+        };
+        if merged.is_empty() {
+            return Err(CoreError::EmptyRound { round });
+        }
+
+        // Procedure-IV: global update + Algorithm 2, under the scenario's
+        // anchor and reward policies.
+        let mut global = global_update::compute_global_update(
+            &merged,
+            &GlobalUpdatePolicy {
+                clustering: &config.clustering,
+                metric: config.metric,
+                strategy: config.strategy,
+                fair_aggregation: config.fair_aggregation,
+                anchor: config.anchor,
+                round,
+                reward: reward_policy,
+            },
+        );
+        self.global_params = std::mem::take(&mut global.global_params);
+        self.global_model.set_params(&self.global_params);
+
+        // Procedure-V: mining and consensus.
+        let block_hash = if let Some(consensus) = self.consensus.as_mut() {
+            let outcome = mining::mine_round(
+                consensus,
+                round as u64,
+                &self.global_params,
+                &global.report.rewards,
+                self.clock.now_millis(),
+                &mut self.rng,
+            )?;
+            Some(outcome.block.hash_hex())
+        } else {
+            None
+        };
+
+        // Discard strategy: dropped clients sit out the next few rounds
+        // (the "clients selection" effect of Section 3.2).
+        if config.strategy.discards() {
+            for &id in &global.dropped {
+                self.cooldown
+                    .insert(id, config.discard_cooldown_rounds.max(1));
+            }
+        }
+
+        // Delay accounting and the clock.
+        let breakdown = match config.mode {
+            FlexibilityMode::FullBfl => {
+                config
+                    .delay
+                    .fair_round(merged.len(), max_steps, config.miners, &mut self.rng)
+            }
+            FlexibilityMode::FlOnly => {
+                config
+                    .delay
+                    .federated_round(merged.len(), max_steps, &mut self.rng)
+            }
+            FlexibilityMode::ChainOnly => unreachable!("handled by ChainOnlyState"),
+        };
+        self.clock.advance(breakdown.total());
+
+        // Evaluation.
+        let test_accuracy = accuracy(
+            &self.global_model,
+            &self.test.features,
+            &self.test.labels,
+            None,
+        );
+        let train_loss = updates
+            .iter()
+            .map(|u| u.stats.final_epoch_loss)
+            .sum::<f64>()
+            / updates.len().max(1) as f64;
+
+        let rewards_paid = global.report.rewards.iter().map(|r| r.amount_milli).sum();
+        let detection_row = DetectionRow::new(round, &attackers, &global.dropped);
+        let outcome = RoundOutcome {
+            round,
+            breakdown,
+            accuracy: test_accuracy,
+            train_loss,
+            participants: merged.len(),
+            attackers,
+            dropped: global.dropped,
+            high_contributors: global.report.high_contribution.len(),
+            rewards_paid_milli: rewards_paid,
+            rewards: global.report.rewards,
+            block_hash,
+        };
+        Ok((outcome, self.clock.now_seconds(), Some(detection_row)))
+    }
+}
+
+impl ChainOnlyState {
+    /// Chain-only mode: workers submit generic transactions, miners drain
+    /// the mempool into blocks — the pure-blockchain baseline.
+    fn new(config: &BflConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.fl.seed);
+        let miners: Vec<Miner> = (0..config.miners as u64)
+            .map(|id| Miner::new(id, config.delay.miner_hash_rate))
+            .collect();
+        // Real mining uses a light difficulty so wall-clock time stays
+        // negligible; the *simulated* delay comes from the delay model.
+        let mut consensus = RoundConsensus::new(
+            miners,
+            bfl_chain::PowConfig::new(64).with_mining_threads(config.mining_threads),
+        );
+        consensus
+            .replicas
+            .iter_mut()
+            .for_each(|c| c.max_block_bytes = config.delay.max_block_bytes);
+        ChainOnlyState {
+            rng,
+            consensus,
+            mempool: Mempool::new(),
+            clock: SimClock::new(),
+        }
+    }
+
+    fn step(&mut self, config: &BflConfig, round: usize) -> Result<SteppedRound, CoreError> {
+        // Every worker submits one transaction.
+        for worker in 0..config.fl.clients as u64 {
+            self.mempool.submit(Transaction::local_gradient(
+                worker,
+                round as u64,
+                vec![0u8; config.delay.baseline_tx_bytes],
+            ));
+        }
+        // Miners clear the backlog, one block at a time.
+        while !self.mempool.is_empty() {
+            let batch = self.mempool.drain_block(config.delay.max_block_bytes);
+            self.consensus
+                .seal_round(batch, self.clock.now_millis(), &mut self.rng)
+                .map_err(CoreError::from)?;
+        }
+
+        let breakdown =
+            config
+                .delay
+                .blockchain_round(config.fl.clients, config.miners, &mut self.rng);
+        self.clock.advance(breakdown.total());
+        let outcome = RoundOutcome {
+            round,
+            breakdown,
+            accuracy: 0.0,
+            train_loss: 0.0,
+            participants: config.fl.clients,
+            attackers: Vec::new(),
+            dropped: Vec::new(),
+            high_contributors: 0,
+            rewards_paid_milli: 0,
+            rewards: Vec::new(),
+            block_hash: Some(self.consensus.canonical_chain().tip().hash_hex()),
+        };
+        Ok((outcome, self.clock.now_seconds(), None))
+    }
+}

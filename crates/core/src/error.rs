@@ -19,6 +19,13 @@ pub enum CoreError {
     },
 }
 
+impl CoreError {
+    /// Shorthand for an [`CoreError::InvalidConfig`] with the given message.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        CoreError::InvalidConfig(message.into())
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -27,7 +27,21 @@
 //! vanilla baselines pay), [`detection`] implements the Table 2 bookkeeping,
 //! and [`theory`] evaluates the Theorem 3.1 convergence bound.
 //!
-//! The entry point for end-to-end runs is [`simulation::BflSimulation`].
+//! ## The Scenario API
+//!
+//! Runs are composed through [`scenario::Scenario`] — a validated point
+//! of the design space built fluently
+//! (`Scenario::builder().mode(..).clients(..).build()?`) — and executed
+//! by the stepwise round engine [`engine::SimulationRun`], one
+//! [`step`](engine::SimulationRun::step) per communication round. The
+//! pluggable seams live in [`policy`]: the [`policy::AggregationAnchor`]
+//! Algorithm 2 measures against (mean / median / trimmed mean), the
+//! [`policy::RewardPolicy`] that turns θ scores into payouts, and the
+//! [`policy::RoundObserver`] that streams per-round events to the driver.
+//! [`sweep::SweepRunner`] fans grids of scenarios across cores with
+//! order-stable, thread-count-invariant results. The legacy one-shot
+//! entry point [`simulation::BflSimulation`] remains as a thin wrapper
+//! over the engine.
 
 #![warn(missing_docs)]
 
@@ -36,12 +50,16 @@ pub mod config;
 pub mod contribution;
 pub mod delay_model;
 pub mod detection;
+pub mod engine;
 pub mod error;
 pub mod flexibility;
+pub mod policy;
 pub mod procedures;
 pub mod reward;
+pub mod scenario;
 pub mod simulation;
 pub mod strategy;
+pub mod sweep;
 pub mod theory;
 
 pub use aggregation::{contribution_weights, fair_aggregate};
@@ -49,9 +67,15 @@ pub use config::{AttackConfig, BflConfig};
 pub use contribution::{identify_contributions, ContributionReport};
 pub use delay_model::{DelayBreakdown, DelayModel, SystemKind};
 pub use detection::{DetectionRow, DetectionTable};
+pub use engine::SimulationRun;
 pub use error::CoreError;
 pub use flexibility::FlexibilityMode;
+pub use policy::{
+    AggregationAnchor, ObserverControl, ProportionalReward, RewardPolicy, RoundEvent, RoundObserver,
+};
 pub use reward::RewardEntry;
+pub use scenario::{Scenario, ScenarioBuilder};
 pub use simulation::{BflSimulation, RoundOutcome, SimulationResult};
 pub use strategy::LowContributionStrategy;
+pub use sweep::{SweepCell, SweepPoint, SweepRunner};
 pub use theory::TheoremParams;

@@ -1,0 +1,201 @@
+//! Pluggable scenario policies — the trait seams of the Scenario API.
+//!
+//! FAIR-BFL's contribution is a *redesign space*: which gradient the round
+//! anchors on, how the reward pool is split, and what a driver does with
+//! each round's events are all design choices, not fixed code paths. This
+//! module exposes each choice as a policy with the paper's behaviour as
+//! the default:
+//!
+//! * [`AggregationAnchor`] — the reference gradient Algorithm 2 clusters
+//!   against and measures θ from. The paper uses the plain average
+//!   ([`AggregationAnchor::Mean`]); the median and trimmed-mean anchors
+//!   survive scaling attackers strong enough to corrupt the mean itself.
+//! * [`RewardPolicy`] — how a round's θ scores become paid rewards. The
+//!   default [`ProportionalReward`] is the paper's `θ_i / Σ θ_k · base`.
+//! * [`RoundObserver`] — a streaming consumer of per-round events
+//!   (outcome, detection row, sealed block) that can stop a run early
+//!   without owning the round loop.
+
+use crate::detection::DetectionRow;
+use crate::error::CoreError;
+use crate::reward::{build_reward_list, RewardEntry};
+use crate::simulation::RoundOutcome;
+use bfl_chain::Block;
+use bfl_ml::gradient::{average_refs, trimmed_mean_refs, GradientVector};
+use serde::{Deserialize, Serialize};
+
+/// The reference gradient of a round: what Algorithm 2 appends to the
+/// clustered set, measures every upload's θ against, and (under the
+/// discard strategy) recomputes from the kept uploads.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum AggregationAnchor {
+    /// The simple average of all uploads — Algorithm 1 line 24, the
+    /// paper's behaviour. Corruptible: a scaling attacker much stronger
+    /// than the honest head-count drags the anchor onto itself.
+    #[default]
+    Mean,
+    /// The coordinate-wise median. Robust to a minority of arbitrarily
+    /// scaled uploads.
+    Median,
+    /// The coordinate-wise trimmed mean: `floor(trim_ratio · n)` values
+    /// are discarded from each end of every coordinate before averaging.
+    TrimmedMean {
+        /// Fraction trimmed from each end, in `[0, 0.5]`.
+        trim_ratio: f64,
+    },
+}
+
+impl AggregationAnchor {
+    /// Validates the anchor's parameters.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match self {
+            AggregationAnchor::TrimmedMean { trim_ratio } if !(0.0..=0.5).contains(trim_ratio) => {
+                Err(CoreError::invalid(format!(
+                    "trimmed-mean trim_ratio must be in [0, 0.5], got {trim_ratio}"
+                )))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Computes the anchor gradient over the given uploads.
+    pub fn compute(&self, uploads: &[&[f64]]) -> GradientVector {
+        assert!(!uploads.is_empty(), "cannot anchor on zero uploads");
+        match self {
+            AggregationAnchor::Mean => average_refs(uploads),
+            AggregationAnchor::Median => trimmed_mean_refs(uploads, 0.5),
+            AggregationAnchor::TrimmedMean { trim_ratio } => {
+                trimmed_mean_refs(uploads, *trim_ratio)
+            }
+        }
+    }
+
+    /// Short display name (used by sweep labels and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregationAnchor::Mean => "mean",
+            AggregationAnchor::Median => "median",
+            AggregationAnchor::TrimmedMean { .. } => "trimmed-mean",
+        }
+    }
+}
+
+/// How a round's high-contribution θ scores become paid rewards.
+///
+/// Implementations must be deterministic in `(round, scores)`: sweep
+/// reproducibility and the step/run equivalence guarantees rely on it.
+pub trait RewardPolicy: Send + Sync {
+    /// Builds the reward list for one round from the (client, θ) pairs of
+    /// the clients labelled high contribution.
+    fn round_rewards(&self, round: usize, scores: &[(u64, f64)]) -> Vec<RewardEntry>;
+}
+
+/// The paper's incentive mechanism: every high contributor is paid
+/// `θ_i / Σ θ_k · base` (Algorithm 2's reward list).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProportionalReward {
+    /// The per-round reward pool.
+    pub base: f64,
+}
+
+impl RewardPolicy for ProportionalReward {
+    fn round_rewards(&self, _round: usize, scores: &[(u64, f64)]) -> Vec<RewardEntry> {
+        build_reward_list(scores, self.base)
+    }
+}
+
+/// Everything observable at the end of one communication round.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundEvent<'a> {
+    /// The round's outcome record.
+    pub outcome: &'a RoundOutcome,
+    /// The round's detection row (absent in modes that skip Algorithm 2).
+    pub detection: Option<&'a DetectionRow>,
+    /// The block sealed this round (absent when the mode does not mine;
+    /// the last block of the round when a round seals several).
+    pub block: Option<&'a Block>,
+}
+
+/// What an observer wants the driver to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverControl {
+    /// Keep stepping.
+    Continue,
+    /// Stop the run after this round; the result covers the completed
+    /// rounds only.
+    Stop,
+}
+
+/// A streaming consumer of per-round events. Drivers plug one in to log,
+/// checkpoint, or early-stop without re-implementing the round loop.
+pub trait RoundObserver {
+    /// Called once per completed round, in round order.
+    fn on_round(&mut self, event: &RoundEvent<'_>) -> ObserverControl;
+}
+
+/// The trivial observer: watch every round, never stop the run.
+impl<F: FnMut(&RoundEvent<'_>)> RoundObserver for F {
+    fn on_round(&mut self, event: &RoundEvent<'_>) -> ObserverControl {
+        self(event);
+        ObserverControl::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_anchor_matches_plain_average() {
+        let uploads = [&[1.0, 2.0][..], &[3.0, 4.0][..]];
+        assert_eq!(AggregationAnchor::Mean.compute(&uploads), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn median_anchor_ignores_a_wild_upload() {
+        let uploads = [
+            &[1.0][..],
+            &[1.1][..],
+            &[0.9][..],
+            &[-80.0][..],
+            &[1.05][..],
+        ];
+        let anchor = AggregationAnchor::Median.compute(&uploads);
+        assert!((anchor[0] - 1.0).abs() < 0.11);
+    }
+
+    #[test]
+    fn trimmed_mean_anchor_validates_its_ratio() {
+        assert!(AggregationAnchor::TrimmedMean { trim_ratio: 0.25 }
+            .validate()
+            .is_ok());
+        let err = AggregationAnchor::TrimmedMean { trim_ratio: 0.7 }
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+        assert!(AggregationAnchor::TrimmedMean { trim_ratio: -0.1 }
+            .validate()
+            .is_err());
+        assert!(AggregationAnchor::Mean.validate().is_ok());
+    }
+
+    #[test]
+    fn anchors_serialize_and_default_to_mean() {
+        assert_eq!(AggregationAnchor::default(), AggregationAnchor::Mean);
+        let json =
+            serde_json::to_string(&AggregationAnchor::TrimmedMean { trim_ratio: 0.2 }).unwrap();
+        let back: AggregationAnchor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, AggregationAnchor::TrimmedMean { trim_ratio: 0.2 });
+        assert_eq!(AggregationAnchor::Median.name(), "median");
+    }
+
+    #[test]
+    fn proportional_reward_matches_the_reward_list() {
+        let scores = [(1u64, 0.25), (2u64, 0.75)];
+        let policy = ProportionalReward { base: 10.0 };
+        assert_eq!(
+            policy.round_rewards(3, &scores),
+            build_reward_list(&scores, 10.0)
+        );
+    }
+}

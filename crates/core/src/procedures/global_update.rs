@@ -1,23 +1,45 @@
 //! Procedure-IV: computing global updates (paper Section 4.4).
 //!
-//! The miners first compute the simple-average global gradient (Algorithm 1
-//! line 24), then run Algorithm 2 on the gradient set to identify
-//! contributions and build the reward list, and finally produce the
-//! round's effective global parameters — with Equation 1's fair
-//! (contribution-weighted) aggregation by default, or plain averaging when
-//! the fair-aggregation ablation is disabled.
+//! The miners first compute the round's anchor gradient (the simple
+//! average of Algorithm 1 line 24 under the default mean anchor), then run
+//! Algorithm 2 on the gradient set to identify contributions and build the
+//! reward list, and finally produce the round's effective global
+//! parameters — with Equation 1's fair (contribution-weighted) aggregation
+//! by default, or plain averaging when the fair-aggregation ablation is
+//! disabled. Every policy choice arrives through [`GlobalUpdatePolicy`],
+//! the Scenario API's seam for this procedure.
 
 use crate::aggregation::{contribution_weights, WEIGHT_FLOOR};
-use crate::contribution::{identify_contributions_refs, ContributionReport};
+use crate::contribution::{identify_contributions_with, ContributionReport};
+use crate::policy::{AggregationAnchor, RewardPolicy};
 use crate::procedures::upload::VerifiedUpload;
 use crate::strategy::LowContributionStrategy;
 use bfl_cluster::{ClusteringAlgorithm, DistanceMetric};
 use bfl_ml::gradient::weighted_average_refs;
 
+/// The policy bundle Procedure-IV runs under — one round's view of the
+/// scenario configuration plus the pluggable reward policy.
+pub struct GlobalUpdatePolicy<'a> {
+    /// Clustering backend for Algorithm 2.
+    pub clustering: &'a ClusteringAlgorithm,
+    /// Distance metric for clustering and θ scores.
+    pub metric: DistanceMetric,
+    /// Keep or discard low contributors.
+    pub strategy: LowContributionStrategy,
+    /// Equation 1 fair aggregation (`true`) or plain averaging (`false`).
+    pub fair_aggregation: bool,
+    /// The anchor gradient Algorithm 2 measures against.
+    pub anchor: AggregationAnchor,
+    /// The communication round (1-based), forwarded to the reward policy.
+    pub round: usize,
+    /// How θ scores become paid rewards.
+    pub reward: &'a dyn RewardPolicy,
+}
+
 /// The result of Procedure-IV.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GlobalUpdateOutcome {
-    /// Algorithm 2's report (contribution labels, rewards, global gradient).
+    /// Algorithm 2's report (contribution labels, rewards, anchor gradient).
     pub report: ContributionReport,
     /// The parameters recorded in the block and used by clients next round.
     pub global_params: Vec<f64>,
@@ -28,11 +50,7 @@ pub struct GlobalUpdateOutcome {
 /// Runs Procedure-IV over the merged gradient set.
 pub fn compute_global_update(
     merged: &[VerifiedUpload],
-    clustering: &ClusteringAlgorithm,
-    metric: DistanceMetric,
-    strategy: LowContributionStrategy,
-    fair_aggregation: bool,
-    reward_base: f64,
+    policy: &GlobalUpdatePolicy<'_>,
 ) -> GlobalUpdateOutcome {
     assert!(!merged.is_empty(), "Procedure-IV needs at least one upload");
     // Borrow the uploads straight out of the exchange result — Algorithm 2
@@ -42,8 +60,16 @@ pub fn compute_global_update(
         .map(|u| (u.client_id, u.params.as_slice()))
         .collect();
 
-    let report = identify_contributions_refs(&uploads, clustering, metric, strategy, reward_base);
-    let dropped = report.dropped_clients(strategy);
+    let report = identify_contributions_with(
+        &uploads,
+        policy.clustering,
+        policy.metric,
+        policy.strategy,
+        policy.anchor,
+        policy.round,
+        policy.reward,
+    );
+    let dropped = report.dropped_clients(policy.strategy);
 
     // Determine which uploads participate in the final aggregation.
     let kept: Vec<&(u64, &[f64])> = uploads
@@ -56,7 +82,7 @@ pub fn compute_global_update(
         kept
     };
 
-    let global_params = if fair_aggregation {
+    let global_params = if policy.fair_aggregation {
         // Equation 1: weights from the θ scores of the kept clients.
         let scores: Vec<f64> = kept
             .iter()
@@ -86,6 +112,7 @@ pub fn compute_global_update(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::ProportionalReward;
 
     fn upload(client_id: u64, params: Vec<f64>, forged: bool) -> VerifiedUpload {
         VerifiedUpload {
@@ -109,29 +136,43 @@ mod tests {
         ClusteringAlgorithm::default_dbscan()
     }
 
+    /// The paper-default policy over the given clustering backend.
+    fn policy<'a>(
+        clustering: &'a ClusteringAlgorithm,
+        strategy: LowContributionStrategy,
+        fair_aggregation: bool,
+        reward: &'a ProportionalReward,
+    ) -> GlobalUpdatePolicy<'a> {
+        GlobalUpdatePolicy {
+            clustering,
+            metric: DistanceMetric::Cosine,
+            strategy,
+            fair_aggregation,
+            anchor: AggregationAnchor::Mean,
+            round: 1,
+            reward,
+        }
+    }
+
+    const BASE_100: ProportionalReward = ProportionalReward { base: 100.0 };
+
     #[test]
     #[should_panic(expected = "at least one upload")]
     fn empty_merged_set_panics() {
+        let clustering = dbscan();
         let _ = compute_global_update(
             &[],
-            &dbscan(),
-            DistanceMetric::Cosine,
-            LowContributionStrategy::Keep,
-            true,
-            100.0,
+            &policy(&clustering, LowContributionStrategy::Keep, true, &BASE_100),
         );
     }
 
     #[test]
     fn honest_round_keeps_everyone_and_aggregates_sensibly() {
         let merged = honest_set();
+        let clustering = dbscan();
         let outcome = compute_global_update(
             &merged,
-            &dbscan(),
-            DistanceMetric::Cosine,
-            LowContributionStrategy::Keep,
-            true,
-            100.0,
+            &policy(&clustering, LowContributionStrategy::Keep, true, &BASE_100),
         );
         assert!(outcome.dropped.is_empty());
         assert_eq!(outcome.report.high_contribution.len(), 6);
@@ -146,21 +187,19 @@ mod tests {
         merged.push(upload(10, vec![-1.0, -0.5, -0.25], true));
         merged.push(upload(11, vec![-1.02, -0.49, -0.26], true));
 
+        let clustering = dbscan();
         let keep = compute_global_update(
             &merged,
-            &dbscan(),
-            DistanceMetric::Cosine,
-            LowContributionStrategy::Keep,
-            true,
-            100.0,
+            &policy(&clustering, LowContributionStrategy::Keep, true, &BASE_100),
         );
         let discard = compute_global_update(
             &merged,
-            &dbscan(),
-            DistanceMetric::Cosine,
-            LowContributionStrategy::Discard,
-            true,
-            100.0,
+            &policy(
+                &clustering,
+                LowContributionStrategy::Discard,
+                true,
+                &BASE_100,
+            ),
         );
         assert!(keep.dropped.is_empty());
         assert_eq!(discard.dropped, vec![10, 11]);
@@ -178,25 +217,16 @@ mod tests {
             upload(1, vec![1.0, 0.05], false),
             upload(2, vec![0.8, 0.6], false),
         ];
+        let clustering = ClusteringAlgorithm::Agglomerative {
+            distance_threshold: 2.0,
+        };
         let fair = compute_global_update(
             &merged,
-            &ClusteringAlgorithm::Agglomerative {
-                distance_threshold: 2.0,
-            },
-            DistanceMetric::Cosine,
-            LowContributionStrategy::Keep,
-            true,
-            100.0,
+            &policy(&clustering, LowContributionStrategy::Keep, true, &BASE_100),
         );
         let simple = compute_global_update(
             &merged,
-            &ClusteringAlgorithm::Agglomerative {
-                distance_threshold: 2.0,
-            },
-            DistanceMetric::Cosine,
-            LowContributionStrategy::Keep,
-            false,
-            100.0,
+            &policy(&clustering, LowContributionStrategy::Keep, false, &BASE_100),
         );
         assert_ne!(fair.global_params, simple.global_params);
         // Both remain within the hull.
@@ -209,18 +239,35 @@ mod tests {
     fn rewards_cover_exactly_the_high_contributors() {
         let mut merged = honest_set();
         merged.push(upload(20, vec![-1.0, -0.5, -0.25], true));
+        let clustering = dbscan();
+        let reward = ProportionalReward { base: 50.0 };
         let outcome = compute_global_update(
             &merged,
-            &dbscan(),
-            DistanceMetric::Cosine,
-            LowContributionStrategy::Discard,
-            true,
-            50.0,
+            &policy(&clustering, LowContributionStrategy::Discard, true, &reward),
         );
         let rewarded: Vec<u64> = outcome.report.rewards.iter().map(|r| r.client_id).collect();
         assert_eq!(rewarded.len(), 6);
         assert!(!rewarded.contains(&20));
         let total: u64 = outcome.report.rewards.iter().map(|r| r.amount_milli).sum();
         assert!((total as i64 - 50_000).abs() <= 6);
+    }
+
+    #[test]
+    fn median_anchor_drops_a_mean_corrupting_attacker() {
+        // Six honest uploads plus one -8x-scaled deviating attacker; the
+        // median anchor isolates it where the mean anchor cannot.
+        let mut merged = honest_set();
+        merged.push(upload(30, vec![-8.4, -6.4, 0.4], true));
+        let clustering = dbscan();
+        let mut robust = policy(
+            &clustering,
+            LowContributionStrategy::Discard,
+            true,
+            &BASE_100,
+        );
+        robust.anchor = AggregationAnchor::Median;
+        let outcome = compute_global_update(&merged, &robust);
+        assert_eq!(outcome.dropped, vec![30]);
+        assert!(outcome.global_params[0] > 0.9);
     }
 }

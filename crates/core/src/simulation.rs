@@ -1,32 +1,23 @@
-//! End-to-end FAIR-BFL simulation: the round driver that composes the five
-//! procedures under a flexibility mode, advances the simulated clock with
-//! the delay model, and records everything the experiments need (accuracy
-//! trajectories, per-procedure delays, contribution labels, rewards,
-//! attacker detection, and the resulting ledger).
+//! Run-level record types and the legacy one-shot simulation facade.
+//!
+//! The round loop itself lives in the stepwise engine
+//! ([`crate::engine::SimulationRun`]); scenarios are composed and driven
+//! through [`crate::scenario::Scenario`]. This module keeps the shared
+//! result types ([`RoundOutcome`], [`SimulationResult`]) and
+//! [`BflSimulation`], the original `run(&train, &test)` entry point —
+//! now a thin wrapper over the engine, retained so existing drivers and
+//! the figure/table binaries keep working unchanged.
 
 use crate::config::BflConfig;
 use crate::delay_model::DelayBreakdown;
-use crate::detection::{DetectionRow, DetectionTable};
+use crate::detection::DetectionTable;
 use crate::error::CoreError;
 use crate::flexibility::FlexibilityMode;
-use crate::procedures::{exchange, global_update, local_update, mining, upload};
-use bfl_chain::consensus::RoundConsensus;
-use bfl_chain::mempool::Mempool;
-use bfl_chain::miner::Miner;
-use bfl_chain::{Blockchain, Transaction};
-use bfl_crypto::{KeyStore, RsaKeyPair};
+use crate::reward::RewardEntry;
+use crate::scenario::Scenario;
+use bfl_chain::Blockchain;
 use bfl_data::Dataset;
-use bfl_fl::attack::AttackKind;
-use bfl_fl::client::Client;
-use bfl_fl::history::{RoundRecord, RunHistory};
-use bfl_fl::selection::{drop_stragglers, select_clients};
-use bfl_fl::trainer::{FlAlgorithm, FlTrainer};
-use bfl_ml::metrics::accuracy;
-use bfl_ml::model::{AnyModel, Model};
-use bfl_net::{SimClock, Topology};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use bfl_fl::history::RunHistory;
 use std::collections::BTreeMap;
 
 /// Everything recorded about one communication round.
@@ -50,6 +41,9 @@ pub struct RoundOutcome {
     pub high_contributors: usize,
     /// Total reward paid this round, in milli-units of the base.
     pub rewards_paid_milli: u64,
+    /// The round's full reward list (what the block records), so
+    /// observers can stream payouts without re-reading the ledger.
+    pub rewards: Vec<RewardEntry>,
     /// Hash of the block sealed this round (when mining is active).
     pub block_hash: Option<String>,
 }
@@ -79,13 +73,16 @@ impl SimulationResult {
         self.history.mean_round_delay()
     }
 
-    /// Final test accuracy.
-    pub fn final_accuracy(&self) -> f64 {
+    /// Final test accuracy, or `None` when no round completed.
+    pub fn final_accuracy(&self) -> Option<f64> {
         self.history.final_accuracy()
     }
 }
 
-/// The FAIR-BFL simulation driver.
+/// The legacy one-shot FAIR-BFL driver, kept as a thin compatibility
+/// wrapper over the Scenario API: `BflSimulation::new(config).run(..)`
+/// is exactly `Scenario::from_config(config)?.run(..)` — the same
+/// stepwise engine, stepped to completion.
 #[derive(Debug, Clone)]
 pub struct BflSimulation {
     /// The run configuration.
@@ -93,340 +90,20 @@ pub struct BflSimulation {
 }
 
 impl BflSimulation {
-    /// Creates a simulation after validating the configuration.
+    /// Creates a simulation after validating the configuration, panicking
+    /// on an invalid one (the original contract). Use
+    /// [`Scenario::builder`] or [`Scenario::from_config`] for the
+    /// non-panicking form.
     pub fn new(config: BflConfig) -> Self {
-        config.validate();
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
         BflSimulation { config }
     }
 
     /// Runs the configured number of communication rounds.
     pub fn run(&self, train: &Dataset, test: &Dataset) -> Result<SimulationResult, CoreError> {
-        match self.config.mode {
-            FlexibilityMode::ChainOnly => self.run_chain_only(),
-            _ => self.run_learning(train, test),
-        }
-    }
-
-    /// Chain-only mode: workers submit generic transactions, miners drain
-    /// the mempool into blocks — the pure-blockchain baseline.
-    fn run_chain_only(&self) -> Result<SimulationResult, CoreError> {
-        let config = &self.config;
-        let mut rng = StdRng::seed_from_u64(config.fl.seed);
-        let miners: Vec<Miner> = (0..config.miners as u64)
-            .map(|id| Miner::new(id, config.delay.miner_hash_rate))
-            .collect();
-        // Real mining uses a light difficulty so wall-clock time stays
-        // negligible; the *simulated* delay comes from the delay model.
-        let mut consensus = RoundConsensus::new(
-            miners,
-            bfl_chain::PowConfig::new(64).with_mining_threads(config.mining_threads),
-        );
-        consensus
-            .replicas
-            .iter_mut()
-            .for_each(|c| c.max_block_bytes = config.delay.max_block_bytes);
-        let mut mempool = Mempool::new();
-        let mut clock = SimClock::new();
-        let mut history = RunHistory::new();
-        let mut outcomes = Vec::new();
-
-        for round in 1..=config.fl.rounds {
-            // Every worker submits one transaction.
-            for worker in 0..config.fl.clients as u64 {
-                mempool.submit(Transaction::local_gradient(
-                    worker,
-                    round as u64,
-                    vec![0u8; config.delay.baseline_tx_bytes],
-                ));
-            }
-            // Miners clear the backlog, one block at a time.
-            let mut blocks = 0;
-            while !mempool.is_empty() {
-                let batch = mempool.drain_block(config.delay.max_block_bytes);
-                consensus
-                    .seal_round(batch, clock.now_millis(), &mut rng)
-                    .map_err(CoreError::from)?;
-                blocks += 1;
-            }
-
-            let breakdown =
-                config
-                    .delay
-                    .blockchain_round(config.fl.clients, config.miners, &mut rng);
-            clock.advance(breakdown.total());
-            history.push(RoundRecord {
-                round,
-                accuracy: 0.0,
-                train_loss: 0.0,
-                round_delay_s: breakdown.total(),
-                elapsed_s: clock.now_seconds(),
-                participants: config.fl.clients,
-            });
-            outcomes.push(RoundOutcome {
-                round,
-                breakdown,
-                accuracy: 0.0,
-                train_loss: 0.0,
-                participants: config.fl.clients,
-                attackers: Vec::new(),
-                dropped: Vec::new(),
-                high_contributors: 0,
-                rewards_paid_milli: 0,
-                block_hash: Some(consensus.canonical_chain().tip().hash_hex()),
-            });
-            let _ = blocks;
-        }
-
-        Ok(SimulationResult {
-            history,
-            outcomes,
-            chain: Some(consensus.canonical_chain().clone()),
-            detection: DetectionTable::new(),
-            reward_totals: BTreeMap::new(),
-            final_params: Vec::new(),
-            mode: config.mode,
-        })
-    }
-
-    /// Learning modes: full FAIR-BFL or FL-only.
-    fn run_learning(&self, train: &Dataset, test: &Dataset) -> Result<SimulationResult, CoreError> {
-        let config = &self.config;
-        let mut rng = StdRng::seed_from_u64(config.fl.seed);
-
-        // Client population and data shards (reusing the FL trainer's
-        // partitioning so baselines and FAIR-BFL see identical splits).
-        let trainer = FlTrainer::new(config.fl, FlAlgorithm::FedAvg);
-        let clients: Vec<Client> = trainer.build_clients(train, &mut rng);
-        let local_config = {
-            let mut local = config.fl.local;
-            local.proximal_mu = config.fl.local.proximal_mu;
-            local
-        };
-
-        // Key provisioning (Procedure-II's RSA identities). Keys come
-        // from a dedicated RNG stream so the learning trajectory is
-        // invariant to crypto details: how many candidates a prime
-        // search consumes — or whether signatures are enabled at all —
-        // must not reshuffle client selection and training randomness.
-        let (keystore, keypairs): (Option<KeyStore>, Option<BTreeMap<u64, RsaKeyPair>>) =
-            if config.verify_signatures {
-                let mut key_rng = StdRng::seed_from_u64(config.fl.seed ^ 0x5EED_0F4B);
-                let mut store = KeyStore::new();
-                let ids: Vec<u64> = clients.iter().map(|c| c.id).collect();
-                let pairs = store
-                    .provision(&mut key_rng, &ids, config.rsa_modulus_bits)
-                    .map_err(CoreError::from)?;
-                (Some(store), Some(pairs))
-            } else {
-                (None, None)
-            };
-
-        // Consensus group (Procedure-V), only when the mode mines.
-        let mut consensus = if config.mode.mines() {
-            let miners: Vec<Miner> = (0..config.miners as u64)
-                .map(|id| Miner::new(id, config.delay.miner_hash_rate))
-                .collect();
-            Some(RoundConsensus::new(
-                miners,
-                bfl_chain::PowConfig::new(64).with_mining_threads(config.mining_threads),
-            ))
-        } else {
-            None
-        };
-
-        let topology = Topology::new(config.fl.clients, config.miners);
-        let mut global_model: AnyModel = config.fl.model.build(&mut rng);
-        let mut global_params = global_model.params();
-
-        let mut clock = SimClock::new();
-        let mut history = RunHistory::new();
-        let mut outcomes = Vec::new();
-        let mut detection = DetectionTable::new();
-        let mut reward_totals: BTreeMap<u64, u64> = BTreeMap::new();
-        // Clients currently sitting out after being discarded.
-        let mut cooldown: BTreeMap<u64, usize> = BTreeMap::new();
-
-        for round in 1..=config.fl.rounds {
-            // Advance cooldowns.
-            cooldown.retain(|_, remaining| {
-                *remaining = remaining.saturating_sub(1);
-                *remaining > 0
-            });
-
-            // Select participants among active (non-cooling-down) clients.
-            let active: Vec<usize> = (0..clients.len())
-                .filter(|i| !cooldown.contains_key(&clients[*i].id))
-                .collect();
-            let pool: &[usize] = if active.is_empty() { &[] } else { &active };
-            let selected_positions = if pool.is_empty() {
-                select_clients(clients.len(), config.fl.selected_per_round(), &mut rng)
-            } else {
-                select_clients(pool.len(), config.fl.selected_per_round(), &mut rng)
-                    .into_iter()
-                    .map(|i| pool[i])
-                    .collect()
-            };
-            let selected_positions =
-                drop_stragglers(&selected_positions, config.fl.drop_percent, &mut rng);
-
-            // Designate attackers for this round. Designations live in a
-            // side table aligned with `selected_positions`, so the client
-            // population is never cloned per round.
-            let mut attacks: Vec<Option<AttackKind>> = vec![None; selected_positions.len()];
-            let mut attackers = Vec::new();
-            if config.attack.enabled && !selected_positions.is_empty() {
-                let max = config.attack.max_attackers.min(selected_positions.len());
-                let min = config.attack.min_attackers.min(max);
-                let count = if min == max {
-                    min
-                } else {
-                    rng.gen_range(min..=max)
-                };
-                let mut order: Vec<usize> = (0..selected_positions.len()).collect();
-                use rand::seq::SliceRandom;
-                order.shuffle(&mut rng);
-                for &i in order.iter().take(count) {
-                    attacks[i] = Some(config.attack.kind);
-                    attackers.push(clients[selected_positions[i]].id);
-                }
-                attackers.sort_unstable();
-            }
-
-            // Procedure-I: local learning.
-            let round_seed = config.fl.seed ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15);
-            let updates = local_update::run_local_updates_with_attacks(
-                &clients,
-                &selected_positions,
-                &attacks,
-                config.fl.model,
-                &global_params,
-                train,
-                &local_config,
-                round_seed,
-            );
-            let max_steps =
-                local_update::max_local_steps(&clients, &selected_positions, &local_config);
-
-            // Procedure-II: upload + verification.
-            let uploads = upload::upload_gradients(
-                &updates,
-                &topology,
-                keypairs.as_ref(),
-                keystore.as_ref(),
-                &mut rng,
-            );
-
-            // Procedure-III: miner exchange (skipped in FL-only mode, where
-            // the single aggregator already holds every accepted upload).
-            // Both paths consume the upload outcome, moving the round's
-            // parameter vectors into the merged set instead of cloning.
-            let merged = if config.mode.runs(crate::flexibility::Procedure::Exchange) {
-                exchange::exchange_gradients(uploads, config.miners).merged
-            } else {
-                uploads.into_all_accepted()
-            };
-            if merged.is_empty() {
-                return Err(CoreError::EmptyRound { round });
-            }
-
-            // Procedure-IV: global update + Algorithm 2.
-            let mut global = global_update::compute_global_update(
-                &merged,
-                &config.clustering,
-                config.metric,
-                config.strategy,
-                config.fair_aggregation,
-                config.reward_base,
-            );
-            global_params = std::mem::take(&mut global.global_params);
-            global_model.set_params(&global_params);
-
-            // Procedure-V: mining and consensus.
-            let block_hash = if let Some(consensus) = consensus.as_mut() {
-                let outcome = mining::mine_round(
-                    consensus,
-                    round as u64,
-                    &global_params,
-                    &global.report.rewards,
-                    clock.now_millis(),
-                    &mut rng,
-                )?;
-                Some(outcome.block.hash_hex())
-            } else {
-                None
-            };
-
-            // Rewards bookkeeping.
-            let mut rewards_paid = 0u64;
-            for reward in &global.report.rewards {
-                rewards_paid += reward.amount_milli;
-                *reward_totals.entry(reward.client_id).or_insert(0) += reward.amount_milli;
-            }
-
-            // Discard strategy: dropped clients sit out the next few rounds
-            // (the "clients selection" effect of Section 3.2).
-            if config.strategy.discards() {
-                for &id in &global.dropped {
-                    cooldown.insert(id, config.discard_cooldown_rounds.max(1));
-                }
-            }
-
-            // Delay accounting and the clock.
-            let breakdown = match config.mode {
-                FlexibilityMode::FullBfl => {
-                    config
-                        .delay
-                        .fair_round(merged.len(), max_steps, config.miners, &mut rng)
-                }
-                FlexibilityMode::FlOnly => {
-                    config
-                        .delay
-                        .federated_round(merged.len(), max_steps, &mut rng)
-                }
-                FlexibilityMode::ChainOnly => unreachable!("handled by run_chain_only"),
-            };
-            clock.advance(breakdown.total());
-
-            // Evaluation.
-            let test_accuracy = accuracy(&global_model, &test.features, &test.labels, None);
-            let train_loss = updates
-                .iter()
-                .map(|u| u.stats.final_epoch_loss)
-                .sum::<f64>()
-                / updates.len().max(1) as f64;
-
-            detection.push(DetectionRow::new(round, &attackers, &global.dropped));
-            history.push(RoundRecord {
-                round,
-                accuracy: test_accuracy,
-                train_loss,
-                round_delay_s: breakdown.total(),
-                elapsed_s: clock.now_seconds(),
-                participants: merged.len(),
-            });
-            outcomes.push(RoundOutcome {
-                round,
-                breakdown,
-                accuracy: test_accuracy,
-                train_loss,
-                participants: merged.len(),
-                attackers,
-                dropped: global.dropped.clone(),
-                high_contributors: global.report.high_contribution.len(),
-                rewards_paid_milli: rewards_paid,
-                block_hash,
-            });
-        }
-
-        Ok(SimulationResult {
-            history,
-            outcomes,
-            chain: consensus.map(|c| c.canonical_chain().clone()),
-            detection,
-            reward_totals,
-            final_params: global_params,
-            mode: config.mode,
-        })
+        Scenario::from_config(self.config)?.run(train, test)
     }
 }
 
@@ -437,6 +114,8 @@ mod tests {
     use crate::strategy::LowContributionStrategy;
     use bfl_data::synth_mnist::{SynthMnist, SynthMnistConfig};
     use bfl_fl::config::PartitionKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn tiny_data() -> (Dataset, Dataset) {
         let gen = SynthMnist::new(SynthMnistConfig {
@@ -476,14 +155,19 @@ mod tests {
             bfl_ml::gradient::from_bytes(&payload).unwrap(),
             result.final_params
         );
-        // Rewards recorded on chain agree with the totals we tracked.
+        // Rewards recorded on chain agree with the totals we tracked, and
+        // the per-round reward lists sum to the per-round totals.
         assert_eq!(chain.reward_totals(), result.reward_totals);
+        for outcome in &result.outcomes {
+            let listed: u64 = outcome.rewards.iter().map(|r| r.amount_milli).sum();
+            assert_eq!(listed, outcome.rewards_paid_milli);
+        }
         // Delays are positive and the clock is cumulative.
         assert!(result.history.rounds.iter().all(|r| r.round_delay_s > 0.0));
         let elapsed: Vec<f64> = result.history.rounds.iter().map(|r| r.elapsed_s).collect();
         assert!(elapsed.windows(2).all(|w| w[1] > w[0]));
         // Accuracy is meaningful by round 3 on the tiny IID task.
-        assert!(result.final_accuracy() > 0.5);
+        assert!(result.final_accuracy().unwrap() > 0.5);
     }
 
     #[test]
@@ -498,7 +182,7 @@ mod tests {
             .outcomes
             .iter()
             .all(|o| o.breakdown.t_bl == 0.0 && o.breakdown.t_ex == 0.0));
-        assert!(result.final_accuracy() > 0.3);
+        assert!(result.final_accuracy().unwrap() > 0.3);
     }
 
     #[test]
@@ -510,7 +194,9 @@ mod tests {
         let chain = result.chain.as_ref().unwrap();
         assert!(chain.height() >= 2, "at least one block per round");
         chain.validate_all().unwrap();
-        assert_eq!(result.final_accuracy(), 0.0);
+        // Chain-only rounds record the 0.0 accuracy sentinel per round —
+        // the history is non-empty, so final_accuracy is Some(0.0).
+        assert_eq!(result.final_accuracy(), Some(0.0));
         assert!(result.final_params.is_empty());
         assert!(result.outcomes.iter().all(|o| o.breakdown.t_local == 0.0));
     }
@@ -625,5 +311,14 @@ mod tests {
         let a = BflSimulation::new(fair).run(&train, &test).unwrap();
         let b = BflSimulation::new(simple).run(&train, &test).unwrap();
         assert_ne!(a.final_params, b.final_params);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid configuration")]
+    fn legacy_constructor_still_panics_on_invalid_configs() {
+        let _ = BflSimulation::new(BflConfig {
+            miners: 0,
+            ..Default::default()
+        });
     }
 }

@@ -74,20 +74,28 @@ impl FlConfig {
         ((self.clients as f64 * self.participation_ratio).round() as usize).clamp(1, self.clients)
     }
 
-    /// Validates parameter ranges, panicking with a clear message otherwise.
-    pub fn validate(&self) {
-        assert!(self.clients > 0, "need at least one client");
-        assert!(
-            self.participation_ratio > 0.0 && self.participation_ratio <= 1.0,
-            "participation ratio must be in (0, 1]"
-        );
-        assert!(self.rounds > 0, "need at least one round");
-        assert!(
-            (0.0..1.0).contains(&self.drop_percent),
-            "drop_percent must be in [0, 1)"
-        );
-        assert!(self.local.batch_size > 0 && self.local.epochs > 0);
-        assert!(self.local.learning_rate > 0.0);
+    /// Validates parameter ranges, returning a description of the first
+    /// inconsistency found (callers that want a panic can `unwrap`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clients == 0 {
+            return Err("need at least one client".into());
+        }
+        if !(self.participation_ratio > 0.0 && self.participation_ratio <= 1.0) {
+            return Err("participation ratio must be in (0, 1]".into());
+        }
+        if self.rounds == 0 {
+            return Err("need at least one round".into());
+        }
+        if !(0.0..1.0).contains(&self.drop_percent) {
+            return Err("drop_percent must be in [0, 1)".into());
+        }
+        if self.local.batch_size == 0 || self.local.epochs == 0 {
+            return Err("batch size and local epochs must be positive".into());
+        }
+        if self.local.learning_rate <= 0.0 {
+            return Err("learning rate must be positive".into());
+        }
+        Ok(())
     }
 }
 
@@ -110,7 +118,7 @@ mod tests {
                 shards_per_client: 2
             }
         ));
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
@@ -124,22 +132,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "participation ratio")]
-    fn invalid_participation_rejected() {
-        let c = FlConfig {
-            participation_ratio: 1.5,
-            ..Default::default()
-        };
-        c.validate();
-    }
+    fn invalid_configurations_are_rejected_with_typed_errors() {
+        let cases: Vec<(FlConfig, &str)> = vec![
+            (
+                FlConfig {
+                    clients: 0,
+                    ..Default::default()
+                },
+                "at least one client",
+            ),
+            (
+                FlConfig {
+                    participation_ratio: 1.5,
+                    ..Default::default()
+                },
+                "participation ratio",
+            ),
+            (
+                FlConfig {
+                    participation_ratio: 0.0,
+                    ..Default::default()
+                },
+                "participation ratio",
+            ),
+            (
+                FlConfig {
+                    rounds: 0,
+                    ..Default::default()
+                },
+                "at least one round",
+            ),
+            (
+                FlConfig {
+                    drop_percent: 1.0,
+                    ..Default::default()
+                },
+                "drop_percent",
+            ),
+        ];
+        for (config, needle) in cases {
+            let err = config.validate().expect_err("configuration is invalid");
+            assert!(err.contains(needle), "error `{err}` mentions `{needle}`");
+        }
 
-    #[test]
-    #[should_panic(expected = "drop_percent")]
-    fn invalid_drop_percent_rejected() {
-        let c = FlConfig {
-            drop_percent: 1.0,
-            ..Default::default()
-        };
-        c.validate();
+        let mut bad_local = FlConfig::default();
+        bad_local.local.epochs = 0;
+        assert!(bad_local.validate().unwrap_err().contains("epochs"));
+        let mut bad_lr = FlConfig::default();
+        bad_lr.local.learning_rate = 0.0;
+        assert!(bad_lr.validate().unwrap_err().contains("learning rate"));
     }
 }

@@ -56,9 +56,12 @@ impl RunHistory {
         self.rounds.is_empty()
     }
 
-    /// Final accuracy, or 0 if the run is empty.
-    pub fn final_accuracy(&self) -> f64 {
-        self.rounds.last().map_or(0.0, |r| r.accuracy)
+    /// Accuracy after the last recorded round, or `None` for an empty
+    /// history (an empty run has no accuracy — callers that used to rely
+    /// on the old `0.0` sentinel should decide explicitly what an empty
+    /// run means for them).
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.rounds.last().map(|r| r.accuracy)
     }
 
     /// Mean per-round delay in seconds.
@@ -140,7 +143,7 @@ mod tests {
     fn empty_history_defaults() {
         let h = RunHistory::new();
         assert!(h.is_empty());
-        assert_eq!(h.final_accuracy(), 0.0);
+        assert_eq!(h.final_accuracy(), None);
         assert_eq!(h.mean_round_delay(), 0.0);
         assert_eq!(h.mean_accuracy(), 0.0);
         assert!(h.convergence_round().is_none());
@@ -153,7 +156,7 @@ mod tests {
         h.push(record(1, 0.5, 2.0));
         h.push(record(2, 0.7, 4.0));
         assert_eq!(h.len(), 2);
-        assert!((h.final_accuracy() - 0.7).abs() < 1e-12);
+        assert!((h.final_accuracy().unwrap() - 0.7).abs() < 1e-12);
         assert!((h.mean_round_delay() - 3.0).abs() < 1e-12);
         assert!((h.mean_accuracy() - 0.6).abs() < 1e-12);
         let cum = h.cumulative_average_delay();

@@ -63,7 +63,9 @@ pub struct FlTrainer {
 impl FlTrainer {
     /// Creates a trainer.
     pub fn new(config: FlConfig, algorithm: FlAlgorithm) -> Self {
-        config.validate();
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid FL configuration: {e}"));
         FlTrainer { config, algorithm }
     }
 
@@ -223,7 +225,7 @@ mod tests {
         let run = trainer.run(&train, &test);
         assert_eq!(run.history.len(), 8);
         let first = run.history.rounds.first().unwrap().accuracy;
-        let last = run.history.final_accuracy();
+        let last = run.history.final_accuracy().unwrap();
         assert!(
             last > first && last > 0.6,
             "accuracy should improve: round1 {first} -> round8 {last}"

@@ -58,6 +58,47 @@ pub fn average_refs(vectors: &[&[f64]]) -> GradientVector {
     out
 }
 
+/// Coordinate-wise median of a set of equal-length vectors — the robust
+/// anchor that stays near the honest mass even when a single upload is
+/// scaled far beyond the honest head-count (the attack that corrupts the
+/// plain average).
+pub fn median_refs(vectors: &[&[f64]]) -> GradientVector {
+    trimmed_mean_refs(vectors, 0.5)
+}
+
+/// Coordinate-wise trimmed mean: per coordinate, the smallest and largest
+/// `floor(trim_ratio * n)` values are discarded and the rest averaged.
+/// `trim_ratio` must be in `[0, 0.5]`; `0` is the plain average and `0.5`
+/// degenerates to the coordinate-wise median (for even counts, the mean of
+/// the two middle values).
+pub fn trimmed_mean_refs(vectors: &[&[f64]], trim_ratio: f64) -> GradientVector {
+    assert!(!vectors.is_empty(), "cannot aggregate zero vectors");
+    assert!(
+        (0.0..=0.5).contains(&trim_ratio),
+        "trim_ratio must be in [0, 0.5]"
+    );
+    let n = vectors.len();
+    let len = vectors[0].len();
+    for v in vectors {
+        assert_eq!(v.len(), len, "all vectors must have equal length");
+    }
+    // Number trimmed from each end; always leave at least one value (for
+    // ratio 0.5 and even n that means the two middle values, i.e. the
+    // conventional even-count median).
+    let trim = ((n as f64 * trim_ratio).floor() as usize).min((n - 1) / 2);
+    let kept = n - 2 * trim;
+    let mut out = Vec::with_capacity(len);
+    let mut column = vec![0.0f64; n];
+    for coordinate in 0..len {
+        for (row, v) in vectors.iter().enumerate() {
+            column[row] = v[coordinate];
+        }
+        column.sort_by(|a, b| a.partial_cmp(b).expect("gradient values are not NaN"));
+        out.push(column[trim..n - trim].iter().sum::<f64>() / kept as f64);
+    }
+    out
+}
+
 /// Weighted average `Σ p_i v_i / Σ p_i` — Equation 1's fair aggregation.
 /// Weights must be non-negative and not all zero.
 pub fn weighted_average(vectors: &[GradientVector], weights: &[f64]) -> GradientVector {
@@ -162,6 +203,67 @@ mod tests {
     }
 
     #[test]
+    fn median_is_robust_to_one_wild_vector() {
+        let honest = vec![vec![1.0, -1.0], vec![1.1, -0.9], vec![0.9, -1.1]];
+        let mut with_attacker = honest.clone();
+        with_attacker.push(vec![-8.0, 8.0]);
+        let refs: Vec<&[f64]> = with_attacker.iter().map(|v| v.as_slice()).collect();
+        let median = median_refs(&refs);
+        // The attacker drags the mean negative but barely moves the median.
+        let mean = average(&with_attacker);
+        assert!(mean[0] < 0.0);
+        assert!(median[0] > 0.9 && median[0] < 1.1);
+        assert!(median[1] < -0.8);
+    }
+
+    #[test]
+    fn median_of_odd_count_is_the_middle_value() {
+        let vs = [vec![5.0], vec![1.0], vec![3.0]];
+        let refs: Vec<&[f64]> = vs.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(median_refs(&refs), vec![3.0]);
+    }
+
+    #[test]
+    fn median_of_even_count_averages_the_middle_pair() {
+        let vs = [vec![1.0], vec![2.0], vec![10.0], vec![4.0]];
+        let refs: Vec<&[f64]> = vs.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(median_refs(&refs), vec![3.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_interpolates_between_mean_and_median() {
+        let vs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![100.0]];
+        let refs: Vec<&[f64]> = vs.iter().map(|v| v.as_slice()).collect();
+        // ratio 0 is the plain mean (up to summation rounding).
+        assert!((trimmed_mean_refs(&refs, 0.0)[0] - average(&vs)[0]).abs() < 1e-12);
+        // ratio 0.2 trims one value from each end: mean of 1, 2, 3.
+        assert_eq!(trimmed_mean_refs(&refs, 0.2), vec![2.0]);
+        // ratio 0.5 is the median.
+        assert_eq!(trimmed_mean_refs(&refs, 0.5), vec![2.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_never_trims_everything() {
+        let vs = [vec![1.0], vec![3.0]];
+        let refs: Vec<&[f64]> = vs.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(trimmed_mean_refs(&refs, 0.5), vec![2.0]);
+        let single = [&[7.0][..]];
+        assert_eq!(trimmed_mean_refs(&single, 0.5), vec![7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vectors")]
+    fn median_of_nothing_panics() {
+        let _ = median_refs(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim_ratio")]
+    fn out_of_range_trim_ratio_panics() {
+        let _ = trimmed_mean_refs(&[&[1.0][..]], 0.6);
+    }
+
+    #[test]
     fn weighted_average_reduces_to_average_with_equal_weights() {
         let vs = vec![vec![1.0, 2.0], vec![3.0, 6.0], vec![5.0, 1.0]];
         let w = vec![1.0, 1.0, 1.0];
@@ -236,6 +338,16 @@ mod tests {
         #[test]
         fn byte_round_trip_random(g in proptest::collection::vec(-1e12f64..1e12, 0..64)) {
             prop_assert_eq!(from_bytes(&to_bytes(&g)), Some(g));
+        }
+
+        #[test]
+        fn trimmed_mean_stays_in_convex_hull(values in proptest::collection::vec(-50.0f64..50.0, 1..12), ratio in 0.0f64..0.5) {
+            let vectors: Vec<GradientVector> = values.iter().map(|&v| vec![v]).collect();
+            let refs: Vec<&[f64]> = vectors.iter().map(|v| v.as_slice()).collect();
+            let trimmed = trimmed_mean_refs(&refs, ratio);
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(trimmed[0] >= lo - 1e-9 && trimmed[0] <= hi + 1e-9);
         }
     }
 }

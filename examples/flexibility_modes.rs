@@ -1,14 +1,15 @@
 //! Flexibility by design (paper Section 4.6 / Figure 3).
 //!
-//! The same workload is run three times: as the full FAIR-BFL system, as
-//! the degraded FL-only composition (Procedures I, II, IV — no exchange, no
-//! mining), and as the degraded chain-only composition (Procedures II, III,
-//! V — no learning). The example prints the per-procedure delay budget of
-//! each mode and what each mode produces (a model, a ledger, or both).
+//! The same workload is composed three times through the Scenario
+//! builder: as the full FAIR-BFL system, as the degraded FL-only
+//! composition (Procedures I, II, IV — no exchange, no mining), and as
+//! the degraded chain-only composition (Procedures II, III, V — no
+//! learning). The example prints the per-procedure delay budget of each
+//! mode and what each mode produces (a model, a ledger, or both).
 //!
 //! Run with: `cargo run --release --example flexibility_modes`
 
-use fair_bfl::core::{BflConfig, BflSimulation, FlexibilityMode};
+use fair_bfl::core::{FlexibilityMode, Scenario};
 use fair_bfl::data::{SynthMnist, SynthMnistConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,14 +33,19 @@ fn main() {
         (FlexibilityMode::FlOnly, "FL-only"),
         (FlexibilityMode::ChainOnly, "chain-only"),
     ] {
-        let mut config = BflConfig::default();
-        config.fl.clients = 20;
-        config.fl.rounds = 8;
-        config.fl.participation_ratio = 0.5;
-        config.fl.local.epochs = 2;
-        config.mode = mode;
+        // One builder chain per mode — everything else stays at the
+        // paper's defaults, so the three scenarios differ only in which
+        // procedures run.
+        let scenario = Scenario::builder()
+            .clients(20)
+            .rounds(8)
+            .participation_ratio(0.5)
+            .local_epochs(2)
+            .mode(mode)
+            .build()
+            .expect("scenario is consistent");
 
-        let result = BflSimulation::new(config)
+        let result = scenario
             .run(&train, &test)
             .expect("simulation should complete");
 
@@ -56,7 +62,7 @@ fn main() {
         println!(
             "{:<12} {:>9.3} {:>9.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}  {}",
             label,
-            result.final_accuracy(),
+            result.final_accuracy().unwrap_or(0.0),
             result.mean_delay(),
             mean(|b| b.t_local),
             mean(|b| b.t_up),

@@ -71,5 +71,8 @@ fn main() {
         total,
         chain.height()
     );
-    println!("final accuracy: {:.3}", result.final_accuracy());
+    println!(
+        "final accuracy: {:.3}",
+        result.final_accuracy().unwrap_or(0.0)
+    );
 }

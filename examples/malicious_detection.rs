@@ -63,7 +63,7 @@ fn run(partition: PartitionKind, label: &str) {
     );
     println!(
         "Final accuracy despite the attacks: {:.3}",
-        result.final_accuracy()
+        result.final_accuracy().unwrap_or(0.0)
     );
 }
 

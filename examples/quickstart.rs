@@ -1,10 +1,11 @@
-//! Quickstart: run a small FAIR-BFL deployment end to end and inspect the
-//! results — accuracy trajectory, per-procedure delays, the ledger, and the
-//! rewards the incentive mechanism paid out.
+//! Quickstart: compose a small FAIR-BFL scenario with the builder API,
+//! stream every round through an observer while it runs, and inspect the
+//! results — accuracy trajectory, per-procedure delays, the ledger, and
+//! the rewards the incentive mechanism paid out.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use fair_bfl::core::{BflConfig, BflSimulation, LowContributionStrategy};
+use fair_bfl::core::{LowContributionStrategy, RoundEvent, Scenario};
 use fair_bfl::data::{SynthMnist, SynthMnistConfig};
 use fair_bfl::fl::config::PartitionKind;
 use rand::rngs::StdRng;
@@ -27,40 +28,53 @@ fn main() {
         train.feature_count()
     );
 
-    // 2. Configure FAIR-BFL: 20 clients, 2 miners, non-IID shards, the
+    // 2. Compose the scenario: 20 clients, 2 miners, non-IID shards, the
     //    contribution-weighted (Equation 1) aggregation, and DBSCAN-based
-    //    contribution identification with the keep strategy.
-    let mut config = BflConfig::default();
-    config.fl.clients = 20;
-    config.fl.rounds = 15;
-    config.fl.participation_ratio = 0.5;
-    config.fl.partition = PartitionKind::ShardNonIid {
-        shards_per_client: 2,
-    };
-    config.fl.local.epochs = 2;
-    config.strategy = LowContributionStrategy::Keep;
+    //    contribution identification with the keep strategy. `build()`
+    //    validates the composition and returns a typed error instead of
+    //    panicking on an inconsistent one.
+    let scenario = Scenario::builder()
+        .clients(20)
+        .rounds(15)
+        .participation_ratio(0.5)
+        .partition(PartitionKind::ShardNonIid {
+            shards_per_client: 2,
+        })
+        .local_epochs(2)
+        .strategy(LowContributionStrategy::Keep)
+        .build()
+        .expect("scenario is consistent");
 
-    // 3. Run the simulation.
-    let result = BflSimulation::new(config)
-        .run(&train, &test)
+    // 3. Run it, watching every round as it completes. The observer sees
+    //    the round outcome (and, in mining modes, the sealed block) the
+    //    moment the round finishes — no waiting for the whole run.
+    println!("\nround  accuracy  delay(s)   T_local  T_up   T_gl   T_bl   block");
+    let mut watch = |event: &RoundEvent<'_>| {
+        let o = event.outcome;
+        println!(
+            "{:>5}  {:>8.3}  {:>8.2}   {:>6.2}  {:>5.2}  {:>5.2}  {:>5.2}   {}",
+            o.round,
+            o.accuracy,
+            o.breakdown.total(),
+            o.breakdown.t_local,
+            o.breakdown.t_up,
+            o.breakdown.t_gl,
+            o.breakdown.t_bl,
+            event
+                .block
+                .map(|b| b.hash_hex()[..10].to_string())
+                .unwrap_or_default()
+        );
+    };
+    let result = scenario
+        .run_observed(&train, &test, &mut watch)
         .expect("simulation should complete");
 
     // 4. Inspect what happened.
-    println!("\nround  accuracy  delay(s)   T_local  T_up   T_gl   T_bl");
-    for outcome in &result.outcomes {
-        println!(
-            "{:>5}  {:>8.3}  {:>8.2}   {:>6.2}  {:>5.2}  {:>5.2}  {:>5.2}",
-            outcome.round,
-            outcome.accuracy,
-            outcome.breakdown.total(),
-            outcome.breakdown.t_local,
-            outcome.breakdown.t_up,
-            outcome.breakdown.t_gl,
-            outcome.breakdown.t_bl
-        );
-    }
-
-    println!("\nfinal accuracy     : {:.3}", result.final_accuracy());
+    println!(
+        "\nfinal accuracy     : {:.3}",
+        result.final_accuracy().unwrap_or(0.0)
+    );
     println!("mean round delay   : {:.2} s", result.mean_delay());
     if let Some(round) = result.history.convergence_round() {
         println!("converged at round : {round}");
@@ -77,4 +91,20 @@ fn main() {
     for (client, amount) in rewards.iter().take(5) {
         println!("  client {client:>3}: {amount}");
     }
+
+    // 5. The same scenario can also be driven round by round: `start()`
+    //    returns a stepwise run whose `step()` yields one outcome per
+    //    round — handy for early stopping or interleaved bookkeeping.
+    let mut run = scenario.start(&train, &test).expect("run provisions");
+    while let Some(outcome) = run.step().expect("round completes") {
+        if outcome.accuracy > 0.8 {
+            break; // good enough — stop paying for more rounds
+        }
+    }
+    let early = run.into_result();
+    println!(
+        "\nstep-driven rerun stopped after {} rounds at accuracy {:.3}",
+        early.history.len(),
+        early.final_accuracy().unwrap_or(0.0)
+    );
 }

@@ -19,16 +19,29 @@
 //!
 //! ## Quickstart
 //!
+//! Scenarios are composed with a validating builder, run either in one
+//! shot or round by round through the stepwise engine, and fanned out in
+//! grids by the sweep runner:
+//!
 //! ```no_run
-//! use fair_bfl::core::{BflConfig, BflSimulation};
+//! use fair_bfl::core::{AggregationAnchor, Scenario};
 //! use fair_bfl::data::{SynthMnist, SynthMnistConfig};
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
 //! let (train, test) = SynthMnist::new(SynthMnistConfig::default()).generate(&mut rng);
-//! let config = BflConfig::default();
-//! let result = BflSimulation::new(config).run(&train, &test).unwrap();
-//! println!("final accuracy {:.3}, mean delay {:.2}s", result.final_accuracy(), result.mean_delay());
+//! let scenario = Scenario::builder()
+//!     .clients(20)
+//!     .rounds(10)
+//!     .anchor(AggregationAnchor::Median)
+//!     .build()
+//!     .unwrap();
+//! let result = scenario.run(&train, &test).unwrap();
+//! println!(
+//!     "final accuracy {:.3}, mean delay {:.2}s",
+//!     result.final_accuracy().unwrap_or(0.0),
+//!     result.mean_delay()
+//! );
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `crates/bench` for the

@@ -5,7 +5,9 @@
 mod common;
 
 use common::{small_config, small_dataset};
-use fair_bfl::core::{AttackConfig, BflSimulation, LowContributionStrategy};
+use fair_bfl::core::{
+    AggregationAnchor, AttackConfig, BflSimulation, LowContributionStrategy, Scenario,
+};
 use fair_bfl::fl::attack::AttackKind;
 use fair_bfl::fl::config::PartitionKind;
 
@@ -73,36 +75,87 @@ fn discarding_protects_accuracy_against_poisoning() {
     let (train, test) = small_dataset();
 
     // Same attack, with and without the discard defence. A single attacker
-    // per round uploads a large negatively-scaled update: under plain
+    // per round uploads a hugely negatively-scaled update: under plain
     // averaging it drags the model backwards and stalls learning, while
-    // Algorithm 2 + discard isolates it. The factor stays inside the
-    // defence's operating envelope: Algorithm 2 anchors on the average
-    // gradient, and a scaling much past the honest head-count corrupts
-    // the anchor itself (the attacker's amplified deviation dominates the
-    // mean), collapsing clustering into the keep-everyone fallback. At
-    // -5x detection is reliably 100% across seeds while plain averaging
-    // still loses half its accuracy.
+    // Algorithm 2 + discard isolates it. At -8x the attacker's amplified
+    // deviation dominates the plain average — the mean anchor points
+    // nowhere near the honest cluster — so the defended run anchors on
+    // the coordinate-wise median, which the attacker cannot move.
     let mut defended = attacked_config(6, PartitionKind::Iid);
-    defended.attack.kind = AttackKind::Scaling { factor: -5.0 };
+    defended.anchor = AggregationAnchor::Median;
+    defended.attack.kind = AttackKind::Scaling { factor: -8.0 };
     defended.attack.min_attackers = 1;
     defended.attack.max_attackers = 1;
     let mut undefended = defended;
     undefended.strategy = LowContributionStrategy::Keep;
+    undefended.anchor = AggregationAnchor::Mean;
     undefended.fair_aggregation = false;
 
     let defended_result = BflSimulation::new(defended).run(&train, &test).unwrap();
     let undefended_result = BflSimulation::new(undefended).run(&train, &test).unwrap();
 
+    let defended_acc = defended_result.final_accuracy().unwrap();
+    let undefended_acc = undefended_result.final_accuracy().unwrap();
     assert!(
-        defended_result.final_accuracy() > undefended_result.final_accuracy(),
-        "discarding should protect the model: defended {:.3} vs undefended {:.3}",
-        defended_result.final_accuracy(),
-        undefended_result.final_accuracy()
+        defended_acc > undefended_acc,
+        "discarding should protect the model: defended {defended_acc:.3} vs undefended {undefended_acc:.3}"
     );
     assert!(
-        defended_result.final_accuracy() > 0.5,
-        "defended run should keep learning: accuracy {:.3}",
-        defended_result.final_accuracy()
+        defended_acc > 0.5,
+        "defended run should keep learning: accuracy {defended_acc:.3}"
+    );
+    let rate = defended_result.detection.average_detection_rate();
+    assert!(
+        rate > 0.8,
+        "the median anchor should catch the -8x attacker nearly every round: {rate}"
+    );
+}
+
+#[test]
+fn robust_anchors_catch_the_scaling_attacker_that_defeats_the_mean() {
+    let (train, test) = small_dataset();
+
+    // The ROADMAP open item: a -8x scaling attacker against 9 honest
+    // uploads corrupts the plain-average anchor itself, collapsing
+    // Algorithm 2 into the keep-everyone fallback. Rebuilding the same
+    // scenario with the builder and swapping only the anchor shows the
+    // mean anchor failing and both robust anchors succeeding.
+    let scenario_with = |anchor: AggregationAnchor| {
+        let mut config = attacked_config(6, PartitionKind::Iid);
+        config.attack.kind = AttackKind::Scaling { factor: -8.0 };
+        config.attack.min_attackers = 1;
+        config.attack.max_attackers = 1;
+        config.anchor = anchor;
+        Scenario::from_config(config).unwrap()
+    };
+
+    let mean_rate = scenario_with(AggregationAnchor::Mean)
+        .run(&train, &test)
+        .unwrap()
+        .detection
+        .average_detection_rate();
+    let median_rate = scenario_with(AggregationAnchor::Median)
+        .run(&train, &test)
+        .unwrap()
+        .detection
+        .average_detection_rate();
+    let trimmed_rate = scenario_with(AggregationAnchor::TrimmedMean { trim_ratio: 0.2 })
+        .run(&train, &test)
+        .unwrap()
+        .detection
+        .average_detection_rate();
+
+    assert!(
+        mean_rate < 0.5,
+        "-8x corrupts the mean anchor, detection should mostly fail: {mean_rate}"
+    );
+    assert!(
+        median_rate > 0.8,
+        "the median anchor should catch the -8x attacker: {median_rate}"
+    );
+    assert!(
+        trimmed_rate > 0.8,
+        "the trimmed-mean anchor should catch the -8x attacker: {trimmed_rate}"
     );
 }
 

@@ -29,8 +29,8 @@ fn fl_only_mode_matches_a_standalone_fedavg_trainer_in_quality() {
 
     // They are distinct implementations with independent randomness, so we
     // compare capability, not bits: both learn the task to a similar level.
-    let degraded_acc = degraded.final_accuracy();
-    let fedavg_acc = fedavg.history.final_accuracy();
+    let degraded_acc = degraded.final_accuracy().unwrap();
+    let fedavg_acc = fedavg.history.final_accuracy().unwrap();
     assert!(
         degraded_acc > 0.5,
         "degraded FL-only mode learns ({degraded_acc})"
@@ -56,7 +56,7 @@ fn chain_only_mode_produces_a_ledger_and_no_model() {
     chain.validate_all().unwrap();
     assert!(chain.height() >= 3);
     assert!(result.final_params.is_empty());
-    assert_eq!(result.final_accuracy(), 0.0);
+    assert_eq!(result.final_accuracy(), Some(0.0));
     // Every block carries the submitted worker transactions.
     let transactions: usize = chain.iter().skip(1).map(|b| b.transactions.len()).sum();
     assert_eq!(transactions, config.fl.clients * config.fl.rounds);

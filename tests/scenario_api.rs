@@ -1,0 +1,228 @@
+//! Integration tests for the Scenario API: the builder's typed
+//! validation, the stepwise engine's equivalence with the one-shot
+//! driver, streaming observers, pluggable reward policies, and the
+//! parallel sweep runner — all exercised through the facade crate.
+
+mod common;
+
+use common::{small_config, small_dataset};
+use fair_bfl::core::reward::RewardEntry;
+use fair_bfl::core::{
+    AggregationAnchor, BflSimulation, CoreError, FlexibilityMode, ObserverControl, RewardPolicy,
+    RoundEvent, RoundObserver, Scenario, SimulationResult, SweepPoint, SweepRunner,
+};
+use std::sync::Mutex;
+
+/// The batched/reference engine switches are process-global; tests that
+/// flip them (or compare two runs bit-for-bit) serialize through this
+/// lock so a concurrent flip cannot land between their runs.
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Asserts two results are bit-identical in every artifact the paper's
+/// experiments read: history, detection table, reward totals, final
+/// parameters, and the sealed chain.
+fn assert_bit_identical(a: &SimulationResult, b: &SimulationResult) {
+    assert_eq!(a.history, b.history);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.detection, b.detection);
+    assert_eq!(a.reward_totals, b.reward_totals);
+    assert_eq!(a.final_params, b.final_params);
+    let hashes = |r: &SimulationResult| {
+        r.chain
+            .as_ref()
+            .map(|c| c.iter().map(|block| block.hash_hex()).collect::<Vec<_>>())
+    };
+    assert_eq!(hashes(a), hashes(b));
+}
+
+#[test]
+fn step_driven_run_is_bit_identical_to_one_shot_run_in_both_engine_modes() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    let config = small_config(3);
+    let scenario = Scenario::from_config(config).unwrap();
+
+    for reference in [false, true] {
+        fair_bfl::ml::engine::set_reference_mode(reference);
+        fair_bfl::crypto::engine::set_reference_mode(reference);
+
+        // The one-shot legacy driver...
+        let one_shot = BflSimulation::new(config).run(&train, &test).unwrap();
+        // ...and an explicitly step()-driven run of the same scenario.
+        let mut run = scenario.start(&train, &test).unwrap();
+        let mut rounds = 0;
+        while let Some(outcome) = run.step().unwrap() {
+            rounds += 1;
+            assert_eq!(outcome.round, rounds);
+            assert_eq!(run.rounds_completed(), rounds);
+        }
+        let stepped = run.into_result();
+
+        fair_bfl::ml::engine::set_reference_mode(false);
+        fair_bfl::crypto::engine::set_reference_mode(false);
+
+        assert_eq!(rounds, config.fl.rounds);
+        assert_bit_identical(&one_shot, &stepped);
+    }
+}
+
+#[test]
+fn observers_stream_rounds_and_can_stop_early() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    let scenario = Scenario::from_config(small_config(5)).unwrap();
+
+    // A closure observer sees every round in order, with the sealed block.
+    let mut seen = Vec::new();
+    let mut watch = |event: &RoundEvent<'_>| {
+        assert_eq!(
+            event.block.map(|b| b.hash_hex()),
+            event.outcome.block_hash.clone(),
+            "the event's block is the one the outcome references"
+        );
+        assert!(event.detection.is_some(), "learning modes run Algorithm 2");
+        seen.push(event.outcome.round);
+    };
+    let full = scenario.run_observed(&train, &test, &mut watch).unwrap();
+    assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+    assert_eq!(full.history.len(), 5);
+
+    // A stopping observer truncates the run after its round.
+    struct StopAfter(usize);
+    impl RoundObserver for StopAfter {
+        fn on_round(&mut self, event: &RoundEvent<'_>) -> ObserverControl {
+            if event.outcome.round >= self.0 {
+                ObserverControl::Stop
+            } else {
+                ObserverControl::Continue
+            }
+        }
+    }
+    let stopped = scenario
+        .run_observed(&train, &test, &mut StopAfter(2))
+        .unwrap();
+    assert_eq!(stopped.history.len(), 2);
+    assert_eq!(stopped.chain.as_ref().unwrap().height(), 2);
+    // The completed prefix matches the full run exactly.
+    assert_eq!(stopped.history.rounds, full.history.rounds[..2]);
+}
+
+#[test]
+fn custom_reward_policies_reach_the_ledger() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    let scenario = Scenario::from_config(small_config(3)).unwrap();
+
+    /// Pays a flat 2 units to every high contributor, whatever its θ.
+    struct FlatReward;
+    impl RewardPolicy for FlatReward {
+        fn round_rewards(&self, _round: usize, scores: &[(u64, f64)]) -> Vec<RewardEntry> {
+            scores
+                .iter()
+                .map(|&(client_id, theta)| RewardEntry {
+                    client_id,
+                    theta,
+                    share: 1.0 / scores.len() as f64,
+                    amount_milli: 2_000,
+                })
+                .collect()
+        }
+    }
+
+    let result = scenario
+        .run_with_reward(&train, &test, Box::new(FlatReward))
+        .unwrap();
+    assert!(result
+        .reward_totals
+        .values()
+        .all(|&total| total % 2_000 == 0));
+    // The flat payouts are what the blocks actually record.
+    let chain = result.chain.as_ref().unwrap();
+    assert_eq!(chain.reward_totals(), result.reward_totals);
+    for outcome in &result.outcomes {
+        assert_eq!(
+            outcome.rewards_paid_milli,
+            2_000 * outcome.high_contributors as u64
+        );
+    }
+}
+
+#[test]
+fn sweep_runner_is_order_stable_and_thread_invariant_through_the_facade() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    let base = small_config(2);
+    let grid: Vec<SweepPoint> = vec![
+        ("mean", AggregationAnchor::Mean),
+        ("median", AggregationAnchor::Median),
+        (
+            "trimmed",
+            AggregationAnchor::TrimmedMean { trim_ratio: 0.2 },
+        ),
+    ]
+    .into_iter()
+    .map(|(label, anchor)| {
+        let mut config = base;
+        config.anchor = anchor;
+        config.verify_signatures = false;
+        SweepPoint::new(label, Scenario::from_config(config).unwrap())
+    })
+    .collect();
+
+    let serial = SweepRunner::with_threads(1)
+        .run(&grid, &train, &test)
+        .unwrap();
+    let parallel = SweepRunner::new().run(&grid, &train, &test).unwrap();
+    assert_eq!(serial.len(), 3);
+    for (a, b) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(a.label, b.label);
+        assert_bit_identical(&a.result, &b.result);
+    }
+    // Each cell equals its standalone run (seed isolation).
+    for (point, cell) in grid.iter().zip(serial.iter()) {
+        let standalone = point.scenario.run(&train, &test).unwrap();
+        assert_bit_identical(&standalone, &cell.result);
+    }
+}
+
+#[test]
+fn chain_only_scenarios_step_too() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    let scenario = Scenario::builder()
+        .mode(FlexibilityMode::ChainOnly)
+        .clients(10)
+        .rounds(2)
+        .build()
+        .unwrap();
+    let mut run = scenario.start(&train, &test).unwrap();
+    let mut blocks = Vec::new();
+    while let Some(outcome) = run.step().unwrap() {
+        blocks.push(outcome.block_hash.expect("chain-only seals blocks"));
+    }
+    assert_eq!(blocks.len(), 2);
+    let result = run.into_result();
+    assert_eq!(result.final_accuracy(), Some(0.0));
+    assert!(result.final_params.is_empty());
+    result.chain.as_ref().unwrap().validate_all().unwrap();
+}
+
+#[test]
+fn invalid_scenarios_surface_typed_errors_through_the_facade() {
+    let err = Scenario::builder().rounds(0).build().unwrap_err();
+    assert!(matches!(err, CoreError::InvalidConfig(_)));
+    let err = Scenario::builder()
+        .attack(fair_bfl::core::AttackConfig {
+            enabled: true,
+            min_attackers: 5,
+            max_attackers: 2,
+            kind: fair_bfl::fl::attack::AttackKind::SignFlip,
+        })
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("attacker range inverted"));
+}
