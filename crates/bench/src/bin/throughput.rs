@@ -49,8 +49,19 @@
 //!     every grid cell completes and per-cell results are bit-identical
 //!     regardless of sweep parallelism.
 //!
-//! Usage: `throughput [reps] [all|ml|crypto|pr3|pr4|smoke]`. `smoke` runs
-//! a seconds-scale version of every section (for CI) and writes
+//! **Event-driven engine** (PR 5, written to `BENCH_PR5.json`): the
+//! flexible-block-quota engine on a heterogeneous straggler population:
+//!
+//! 11. **async sweep** — the quota × latency × churn grid through
+//!     [`bfl_core::SweepRunner`], serial vs parallel, after asserting the
+//!     event-driven cells are bit-identical regardless of parallelism.
+//! 12. **quota comparison** — simulated makespan and wall-clock rounds/s
+//!     of the same straggler population with the block quota at "wait
+//!     for everyone" vs 60% of the participants (the paper's flexible
+//!     block size); asserts the flexible quota's makespan is lower.
+//!
+//! Usage: `throughput [reps] [all|ml|crypto|pr3|pr4|pr5|smoke]`. `smoke`
+//! runs a seconds-scale version of every section (for CI) and writes
 //! `BENCH_SMOKE.json` instead of the tracked reports.
 
 use bfl_bench::experiments::{dataset, scenario_grid, system_config, Scale, SystemLabel};
@@ -150,6 +161,7 @@ struct SmokeReport {
     crypto: CryptoReport,
     pr3: Pr3Report,
     pr4: Pr4Report,
+    pr5: Pr5Report,
 }
 
 /// Runs `body` once warm-up, then `reps` individually timed repetitions;
@@ -875,6 +887,172 @@ fn pr4_section(data: &(Dataset, Dataset), reps: usize, rounds: usize) -> Pr4Repo
     }
 }
 
+// ---------------------------------------------------------------------------
+// Event-driven engine: flexible block quotas (PR 5 metrics).
+// ---------------------------------------------------------------------------
+
+/// Summary of one asynchronous grid cell.
+#[derive(Debug, Clone, Serialize)]
+struct AsyncCellSummary {
+    label: String,
+    /// Simulated seconds from the start of the run to the last sealed
+    /// round — the quantity the flexible block size optimizes.
+    simulated_makespan_s: f64,
+    mean_round_delay_s: f64,
+    /// Stale uploads carried into blocks across the run.
+    stale_included: usize,
+    final_accuracy: f64,
+}
+
+/// Synchronous-wait vs flexible-quota comparison on the heterogeneous
+/// straggler population.
+#[derive(Debug, Clone, Serialize)]
+struct QuotaComparison {
+    rounds: usize,
+    /// Quota = all participants: every block waits for the 8x straggler.
+    sync_simulated_makespan_s: f64,
+    /// Quota at 60% of the participants.
+    flexible_simulated_makespan_s: f64,
+    /// sync / flexible — how much simulated time the flexible block
+    /// quota saves under stragglers.
+    makespan_speedup: f64,
+    /// Host wall-clock execution rates (the engine's own overhead).
+    sync_rounds_per_sec: f64,
+    flexible_rounds_per_sec: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Pr5Report {
+    description: String,
+    grid_cells: usize,
+    rounds_per_cell: usize,
+    threads: usize,
+    serial_scenarios_per_sec: f64,
+    parallel_scenarios_per_sec: f64,
+    speedup: f64,
+    quota_comparison: QuotaComparison,
+    cells: Vec<AsyncCellSummary>,
+}
+
+fn simulated_makespan(result: &bfl_core::SimulationResult) -> f64 {
+    result
+        .history
+        .rounds
+        .last()
+        .map(|r| r.elapsed_s)
+        .unwrap_or(0.0)
+}
+
+fn pr5_section(data: &(Dataset, Dataset), reps: usize, rounds: usize) -> Pr5Report {
+    use bfl_bench::experiments::{async_grid, quota_comparison_configs};
+
+    let grid = async_grid(Scale::Smoke, rounds);
+    let serial_runner = SweepRunner::with_threads(1);
+    let parallel_runner = SweepRunner::new();
+
+    eprintln!(
+        "running the {}-cell quota/latency/churn grid serially and in parallel...",
+        grid.len()
+    );
+    // Determinism before speed: event-driven cells must not depend on
+    // sweep parallelism (the acceptance contract of the event engine).
+    let serial_cells = serial_runner
+        .run(&grid, &data.0, &data.1)
+        .expect("every async grid cell completes serially");
+    let parallel_cells = parallel_runner
+        .run(&grid, &data.0, &data.1)
+        .expect("every async grid cell completes in parallel");
+    assert_eq!(serial_cells.len(), grid.len());
+    for (a, b) in serial_cells.iter().zip(parallel_cells.iter()) {
+        assert_eq!(a.label, b.label, "sweep order is stable");
+        assert_eq!(
+            a.result.history, b.result.history,
+            "event-driven cell `{}` must not depend on sweep parallelism",
+            a.label
+        );
+        assert_eq!(a.result.final_params, b.result.final_params);
+        assert_eq!(a.result.reward_totals, b.result.reward_totals);
+    }
+
+    eprintln!("measuring async sweep throughput ({reps} reps per runner)...");
+    let cells_per_run = grid.len() as f64;
+    let serial_rate = rate(cells_per_run, reps, || {
+        black_box(serial_runner.run(&grid, &data.0, &data.1).expect("sweep"));
+    });
+    let parallel_rate = rate(cells_per_run, reps, || {
+        black_box(parallel_runner.run(&grid, &data.0, &data.1).expect("sweep"));
+    });
+
+    // The headline number: simulated makespan with and without the
+    // flexible block quota on the same straggler-heavy population.
+    eprintln!("comparing synchronous-wait vs flexible-quota makespan ({reps} reps)...");
+    let (waiting, flexible) = quota_comparison_configs(Scale::Smoke, rounds.max(3));
+    let comparison_rounds = waiting.fl.rounds;
+    let run_one = |config: bfl_core::BflConfig| {
+        bfl_core::Scenario::from_config(config)
+            .expect("comparison scenario is valid")
+            .run(&data.0, &data.1)
+            .expect("comparison run completes")
+    };
+    let sync_result = run_one(waiting);
+    let flexible_result = run_one(flexible);
+    let sync_makespan = simulated_makespan(&sync_result);
+    let flexible_makespan = simulated_makespan(&flexible_result);
+    assert!(
+        flexible_makespan < sync_makespan,
+        "the flexible quota must undercut the straggler-gated makespan \
+         ({flexible_makespan:.2}s vs {sync_makespan:.2}s)"
+    );
+    let sync_wall = best_seconds(reps, || {
+        black_box(run_one(waiting));
+    });
+    let flexible_wall = best_seconds(reps, || {
+        black_box(run_one(flexible));
+    });
+    let comparison = QuotaComparison {
+        rounds: comparison_rounds,
+        sync_simulated_makespan_s: sync_makespan,
+        flexible_simulated_makespan_s: flexible_makespan,
+        makespan_speedup: sync_makespan / flexible_makespan,
+        sync_rounds_per_sec: comparison_rounds as f64 / sync_wall,
+        flexible_rounds_per_sec: comparison_rounds as f64 / flexible_wall,
+    };
+    eprintln!(
+        "  simulated makespan: sync-wait {:.2}s | flexible-quota {:.2}s | {:.2}x \
+         (wall-clock {:.1} vs {:.1} rounds/s)",
+        comparison.sync_simulated_makespan_s,
+        comparison.flexible_simulated_makespan_s,
+        comparison.makespan_speedup,
+        comparison.sync_rounds_per_sec,
+        comparison.flexible_rounds_per_sec,
+    );
+
+    Pr5Report {
+        description: "Event-driven engine: quota/latency/churn grid through SweepRunner \
+                      (parallel == serial asserted) and synchronous-wait vs flexible-quota \
+                      simulated makespan on a heterogeneous straggler population, same \
+                      process/machine"
+            .to_string(),
+        grid_cells: grid.len(),
+        rounds_per_cell: rounds,
+        threads: par::max_threads(),
+        serial_scenarios_per_sec: serial_rate,
+        parallel_scenarios_per_sec: parallel_rate,
+        speedup: parallel_rate / serial_rate,
+        quota_comparison: comparison,
+        cells: serial_cells
+            .iter()
+            .map(|cell| AsyncCellSummary {
+                label: cell.label.clone(),
+                simulated_makespan_s: simulated_makespan(&cell.result),
+                mean_round_delay_s: cell.result.mean_delay(),
+                stale_included: cell.result.outcomes.iter().map(|o| o.stale_included).sum(),
+                final_accuracy: cell.result.final_accuracy().unwrap_or(0.0),
+            })
+            .collect(),
+    }
+}
+
 fn write_report<T: Serialize>(path: &str, report: &T) {
     let json = serde_json::to_string_pretty(report).expect("report serializes");
     std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| panic!("{path} written: {e}"));
@@ -930,6 +1108,10 @@ fn main() {
             let data = dataset(Scale::Smoke);
             write_report("BENCH_PR4.json", &pr4_section(&data, reps, 3));
         }
+        "pr5" => {
+            let data = dataset(Scale::Smoke);
+            write_report("BENCH_PR5.json", &pr5_section(&data, reps, 3));
+        }
         "smoke" => {
             // Seconds-scale end-to-end exercise of every engine for CI:
             // catches perf-harness breakage, not regressions.
@@ -946,12 +1128,14 @@ fn main() {
             let crypto = crypto_section(&data, reps, &scale);
             let pr3 = pr3_section(&data, reps, &scale, Some(&crypto));
             let pr4 = pr4_section(&data, reps, 2);
+            let pr5 = pr5_section(&data, reps, 2);
             let report = SmokeReport {
                 description: "CI smoke run at reduced scale; not a tracked measurement".to_string(),
                 ml,
                 crypto,
                 pr3,
                 pr4,
+                pr5,
             };
             write_report("BENCH_SMOKE.json", &report);
         }
@@ -962,15 +1146,17 @@ fn main() {
             let crypto = crypto_section(&crypto_data, reps, &full_crypto_scale);
             let pr3 = pr3_section(&crypto_data, reps, &full_crypto_scale, Some(&crypto));
             let pr4 = pr4_section(&crypto_data, reps, 3);
+            let pr5 = pr5_section(&crypto_data, reps, 3);
             write_report("BENCH_PR1.json", &ml);
             write_report("BENCH_CRYPTO.json", &crypto);
             write_report("BENCH_PR3.json", &pr3);
             write_report("BENCH_PR4.json", &pr4);
+            write_report("BENCH_PR5.json", &pr5);
         }
         other => {
             // A typo must not silently regenerate the tracked reports.
             eprintln!(
-                "unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|pr3|pr4|smoke]"
+                "unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|pr3|pr4|pr5|smoke]"
             );
             std::process::exit(2);
         }

@@ -2,10 +2,12 @@
 
 use bfl_core::{
     AggregationAnchor, AttackConfig, BflConfig, BflSimulation, DetectionTable, FlexibilityMode,
-    LowContributionStrategy, Scenario, SimulationResult, SweepPoint,
+    LowContributionStrategy, ProfileConfig, Scenario, SimulationResult, StalenessPolicy,
+    SweepPoint, SyncMode,
 };
 use bfl_data::{Dataset, SynthMnist, SynthMnistConfig};
 use bfl_fl::config::PartitionKind;
+use bfl_net::DelayDistribution;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -482,6 +484,90 @@ pub fn scenario_grid(scale: Scale, rounds: usize) -> Vec<SweepPoint> {
 }
 
 // ---------------------------------------------------------------------------
+// Asynchronous scenario sweeps (the PR 5 grid).
+// ---------------------------------------------------------------------------
+
+/// The heterogeneous population every asynchronous grid cell runs on:
+/// 30% of the clients are stragglers up to `straggler_slowdown` slower
+/// than the baseline.
+fn async_profile(straggler_slowdown: f64, uplink: DelayDistribution, churn: bool) -> ProfileConfig {
+    ProfileConfig {
+        straggler_slowdown,
+        straggler_fraction: 0.3,
+        uplink,
+        // Short online windows so departures land inside the few-round
+        // simulated horizon of a bench cell (~1.5 simulated s per round).
+        churn_fraction: if churn { 0.2 } else { 0.0 },
+        churn_online_s: 2.0,
+        churn_offline_s: 3.0,
+    }
+}
+
+/// The quota × latency × churn grid of the event-driven engine: block
+/// quotas from "wait for everyone" down to half the population, calm and
+/// jittery uplinks, with and without client churn — all over the same
+/// straggler-heavy population, with decayed staleness carry-over.
+/// Signatures are off so cell cost is dominated by what the sweep varies.
+pub fn async_grid(scale: Scale, rounds: usize) -> Vec<SweepPoint> {
+    let clients = 10usize;
+    let mut grid = Vec::new();
+    for (quota, quota_name) in [(clients, "quota-all"), (7, "quota-7"), (5, "quota-5")] {
+        for (uplink, uplink_name) in [
+            (DelayDistribution::Constant(0.02), "calm-uplink"),
+            (
+                DelayDistribution::Normal {
+                    mean: 0.08,
+                    std: 0.03,
+                },
+                "jittery-uplink",
+            ),
+        ] {
+            for (churn, churn_name) in [(false, "stable"), (true, "churn")] {
+                let mut config = base_config(scale);
+                config.fl.clients = clients;
+                config.fl.participation_ratio = 1.0;
+                config.fl.rounds = rounds;
+                config.verify_signatures = false;
+                config.sync = SyncMode::FlexibleQuota { quota };
+                config.staleness = StalenessPolicy::DecayedInclude { decay: 0.5 };
+                config.profiles = async_profile(8.0, uplink, churn);
+                grid.push(SweepPoint::new(
+                    format!("{quota_name}/{uplink_name}/{churn_name}"),
+                    Scenario::from_config(config).expect("grid cell is valid"),
+                ));
+            }
+        }
+    }
+    grid
+}
+
+/// The synchronous-vs-flexible comparison pair of the PR 5 bench: the
+/// same straggler-heavy population run with the block quota at "wait for
+/// everyone" (the synchronous behaviour under heterogeneity) and at 60%
+/// of the participants (the paper's flexible block size).
+pub fn quota_comparison_configs(scale: Scale, rounds: usize) -> (BflConfig, BflConfig) {
+    let clients = 10usize;
+    let mut waiting = base_config(scale);
+    waiting.fl.clients = clients;
+    waiting.fl.participation_ratio = 1.0;
+    waiting.fl.rounds = rounds;
+    waiting.verify_signatures = false;
+    waiting.sync = SyncMode::FlexibleQuota { quota: clients };
+    waiting.staleness = StalenessPolicy::Discard;
+    waiting.profiles = async_profile(
+        8.0,
+        DelayDistribution::Normal {
+            mean: 0.08,
+            std: 0.03,
+        },
+        false,
+    );
+    let mut flexible = waiting;
+    flexible.sync = SyncMode::FlexibleQuota { quota: 6 };
+    (waiting, flexible)
+}
+
+// ---------------------------------------------------------------------------
 // Table 2: attack detection.
 // ---------------------------------------------------------------------------
 
@@ -603,6 +689,32 @@ mod tests {
         deduped.sort_unstable();
         deduped.dedup();
         assert_eq!(deduped.len(), labels.len());
+    }
+
+    #[test]
+    fn async_grid_covers_quota_latency_and_churn() {
+        let grid = async_grid(Scale::Smoke, 1);
+        // 3 quotas x 2 uplinks x 2 churn settings.
+        assert_eq!(grid.len(), 12);
+        let labels: Vec<&str> = grid.iter().map(|p| p.label.as_str()).collect();
+        assert!(labels.contains(&"quota-all/calm-uplink/stable"));
+        assert!(labels.contains(&"quota-5/jittery-uplink/churn"));
+        let mut deduped = labels.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), labels.len());
+    }
+
+    #[test]
+    fn quota_comparison_pair_differs_only_in_the_quota() {
+        let (waiting, flexible) = quota_comparison_configs(Scale::Smoke, 2);
+        waiting.validate().unwrap();
+        flexible.validate().unwrap();
+        assert_eq!(waiting.sync, SyncMode::FlexibleQuota { quota: 10 });
+        assert_eq!(flexible.sync, SyncMode::FlexibleQuota { quota: 6 });
+        let mut aligned = flexible;
+        aligned.sync = waiting.sync;
+        assert_eq!(aligned, waiting);
     }
 
     #[test]

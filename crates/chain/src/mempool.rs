@@ -87,6 +87,17 @@ impl Mempool {
         batch
     }
 
+    /// Drains every pending transaction in FIFO order, regardless of
+    /// block-size limits.
+    ///
+    /// This is the miner-side drain of FAIR-BFL's flexible-block round:
+    /// under Assumption 2 the sealed block carries only the *global*
+    /// gradient, so the pending local-gradient uploads are consumed as a
+    /// working set when the quota fires rather than packed into blocks.
+    pub fn drain_all(&mut self) -> Vec<Transaction> {
+        self.pending.drain(..).collect()
+    }
+
     /// How many blocks of size `max_block_bytes` are needed to clear the
     /// current backlog. Used by the vanilla-BFL delay model.
     pub fn blocks_needed(&self, max_block_bytes: usize) -> usize {
@@ -172,6 +183,26 @@ mod tests {
         }
         assert_eq!(needed, count);
         assert_eq!(pool.blocks_needed(4096), 0);
+    }
+
+    #[test]
+    fn drain_all_empties_the_pool_in_fifo_order() {
+        let mut pool = Mempool::new();
+        for client in 0..5u64 {
+            pool.submit(gradient_tx(client, 100_000));
+        }
+        let drained = pool.drain_all();
+        assert!(pool.is_empty());
+        assert_eq!(drained.len(), 5);
+        let ids: Vec<u64> = drained
+            .iter()
+            .map(|tx| match &tx.kind {
+                crate::transaction::TransactionKind::LocalGradient { client_id, .. } => *client_id,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(pool.drain_all().is_empty());
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! practice, mostly forged gradients from malicious clients).
 //!
 //! "Any suitable clustering algorithm can be used here as needed. However,
-//! we use DBSCAN in experiments by default" — so [`dbscan`] is the default,
-//! with [`kmeans`] and [`agglomerative`] provided as the alternatives the
+//! we use DBSCAN in experiments by default" — so [`mod@dbscan`] is the default,
+//! with [`mod@kmeans`] and [`agglomerative`] provided as the alternatives the
 //! ablation benches compare.
 
 #![warn(missing_docs)]

@@ -3,12 +3,179 @@
 use crate::delay_model::DelayModel;
 use crate::error::CoreError;
 use crate::flexibility::FlexibilityMode;
-use crate::policy::AggregationAnchor;
+use crate::policy::{AggregationAnchor, StalenessPolicy};
 use crate::strategy::LowContributionStrategy;
 use bfl_cluster::{ClusteringAlgorithm, DistanceMetric};
 use bfl_fl::attack::AttackKind;
 use bfl_fl::config::FlConfig;
+use bfl_net::{ChurnSchedule, DelayDistribution, NodeProfile};
 use serde::{Deserialize, Serialize};
+
+/// When a round's block is sealed: the paper's flexible block size.
+///
+/// Vanilla BFL waits for *every* selected client before a block can be
+/// mined, so one straggler gates the whole round. FAIR-BFL's flexibility
+/// redesign lets a block aggregate a flexible number of local updates:
+/// under [`SyncMode::FlexibleQuota`] the round engine runs on a
+/// discrete-event scheduler and Procedures IV/V fire as soon as `quota`
+/// uploads have arrived; the rest become stale and are handled by the
+/// configured [`StalenessPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// Lockstep rounds: every selected client reports before Procedure IV
+    /// runs. This is the PR 4 engine, unchanged and bit-identical.
+    #[default]
+    Synchronous,
+    /// Event-driven rounds: the block seals once `quota` uploads have
+    /// arrived (capped at the number of outstanding uploads, so a small
+    /// round still completes).
+    FlexibleQuota {
+        /// Uploads a block waits for before Procedures IV/V fire (>= 1).
+        quota: usize,
+    },
+}
+
+impl SyncMode {
+    /// True for the lockstep mode.
+    pub fn is_synchronous(&self) -> bool {
+        matches!(self, SyncMode::Synchronous)
+    }
+
+    /// Validates the mode's parameters.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match self {
+            SyncMode::FlexibleQuota { quota: 0 } => Err(CoreError::invalid(
+                "flexible block quota must be at least one upload",
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Short display name (used by sweep labels and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyncMode::Synchronous => "synchronous",
+            SyncMode::FlexibleQuota { .. } => "flexible-quota",
+        }
+    }
+}
+
+/// Parametric description of the client population's heterogeneity, from
+/// which per-client [`NodeProfile`]s are derived deterministically (no
+/// RNG: straggler and churn assignments are pure functions of the client
+/// index, so a scenario value fully determines the population).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileConfig {
+    /// Compute-time multiplier of the slowest straggler (>= 1; stragglers
+    /// interpolate between the baseline rate and this).
+    pub straggler_slowdown: f64,
+    /// Fraction of clients that are stragglers, in `[0, 1]`. The slow
+    /// tail is assigned to the *highest* client indices.
+    pub straggler_fraction: f64,
+    /// Per-upload one-way uplink latency of every client.
+    pub uplink: DelayDistribution,
+    /// Fraction of clients that churn (periodically leave and rejoin), in
+    /// `[0, 1]`. Churners are assigned to the *lowest* client indices,
+    /// with staggered first departures.
+    pub churn_fraction: f64,
+    /// Simulated seconds a churning client stays online between
+    /// departures (> 0 whenever `churn_fraction > 0`).
+    pub churn_online_s: f64,
+    /// Simulated seconds a churning client stays offline per departure
+    /// (> 0 whenever `churn_fraction > 0`).
+    pub churn_offline_s: f64,
+}
+
+impl Default for ProfileConfig {
+    /// The degenerate population: uniform compute, zero uplink latency,
+    /// no churn — the event engine's behaviour collapses toward the
+    /// synchronous one.
+    fn default() -> Self {
+        ProfileConfig {
+            straggler_slowdown: 1.0,
+            straggler_fraction: 0.0,
+            uplink: DelayDistribution::Constant(0.0),
+            churn_fraction: 0.0,
+            churn_online_s: 60.0,
+            churn_offline_s: 30.0,
+        }
+    }
+}
+
+impl ProfileConfig {
+    /// Validates the profile parameters.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.straggler_slowdown.is_finite() && self.straggler_slowdown >= 1.0) {
+            return Err(CoreError::invalid(format!(
+                "straggler_slowdown must be finite and >= 1, got {}",
+                self.straggler_slowdown
+            )));
+        }
+        for (name, fraction) in [
+            ("straggler_fraction", self.straggler_fraction),
+            ("churn_fraction", self.churn_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&fraction) || !fraction.is_finite() {
+                return Err(CoreError::invalid(format!(
+                    "{name} must be in [0, 1], got {fraction}"
+                )));
+            }
+        }
+        self.uplink.validate().map_err(CoreError::invalid)?;
+        if self.churn_fraction > 0.0 {
+            // Delegate the churn-window checks to the schedule the
+            // profiles will actually be built with, so the canonical
+            // rules live in one place (`bfl_net::ChurnSchedule`).
+            ChurnSchedule::Periodic {
+                first_leave_s: 0.0,
+                offline_s: self.churn_offline_s,
+                online_s: self.churn_online_s,
+            }
+            .validate()
+            .map_err(CoreError::invalid)?;
+        }
+        Ok(())
+    }
+
+    /// Derives the per-client profile population for `clients` clients.
+    ///
+    /// Deterministic by construction: client `i` of `n` is a straggler
+    /// iff `i >= n - round(straggler_fraction · n)` (multipliers ramp
+    /// linearly up to `straggler_slowdown`), and a churner iff
+    /// `i < round(churn_fraction · n)` (first departures staggered across
+    /// the online period so the population never vanishes at once).
+    pub fn build_profiles(&self, clients: usize) -> Vec<NodeProfile> {
+        let stragglers = ((clients as f64) * self.straggler_fraction).round() as usize;
+        let churners = ((clients as f64) * self.churn_fraction).round() as usize;
+        (0..clients)
+            .map(|i| {
+                let compute_multiplier = if stragglers > 0 && i >= clients - stragglers {
+                    // Rank within the straggler tail, 1-based; the last
+                    // client gets the full slowdown.
+                    let rank = (i - (clients - stragglers) + 1) as f64;
+                    1.0 + (self.straggler_slowdown - 1.0) * rank / stragglers as f64
+                } else {
+                    1.0
+                };
+                let churn = if i < churners {
+                    ChurnSchedule::Periodic {
+                        first_leave_s: self.churn_online_s * (1.0 + i as f64)
+                            / (churners as f64 + 1.0),
+                        offline_s: self.churn_offline_s,
+                        online_s: self.churn_online_s,
+                    }
+                } else {
+                    ChurnSchedule::AlwaysOn
+                };
+                NodeProfile {
+                    compute_multiplier,
+                    uplink: self.uplink,
+                    churn,
+                }
+            })
+            .collect()
+    }
+}
 
 /// How malicious clients are injected into a run (the Table 2 experiment).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,6 +253,17 @@ pub struct BflConfig {
     /// value is the exact count. The parallel search is deterministic, so
     /// this changes wall-clock time but never the mined chain.
     pub mining_threads: usize,
+    /// When a round's block seals: lockstep ([`SyncMode::Synchronous`],
+    /// the PR 4 engine) or after a flexible quota of uploads has arrived
+    /// on the discrete-event scheduler.
+    pub sync: SyncMode,
+    /// What the event engine does with uploads that arrive after their
+    /// round's block was sealed (ignored in synchronous mode, which never
+    /// produces stale uploads).
+    pub staleness: StalenessPolicy,
+    /// The client population's heterogeneity (compute spread, uplink
+    /// latency, churn), consulted only by the event-driven engine.
+    pub profiles: ProfileConfig,
 }
 
 impl Default for BflConfig {
@@ -106,6 +284,9 @@ impl Default for BflConfig {
             rsa_modulus_bits: 256,
             discard_cooldown_rounds: 3,
             mining_threads: 1,
+            sync: SyncMode::Synchronous,
+            staleness: StalenessPolicy::Discard,
+            profiles: ProfileConfig::default(),
         }
     }
 }
@@ -129,6 +310,15 @@ impl BflConfig {
             )));
         }
         self.anchor.validate()?;
+        self.sync.validate()?;
+        self.staleness.validate()?;
+        self.profiles.validate()?;
+        if !self.sync.is_synchronous() && self.mode == FlexibilityMode::ChainOnly {
+            return Err(CoreError::invalid(
+                "flexible block quotas apply to learning modes; chain-only rounds have no \
+                 upload quota",
+            ));
+        }
         if self.attack.enabled {
             if self.attack.min_attackers > self.attack.max_attackers {
                 return Err(CoreError::invalid("attacker range inverted"));
@@ -279,9 +469,126 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let config = BflConfig::default();
+        let mut config = BflConfig {
+            sync: SyncMode::FlexibleQuota { quota: 4 },
+            staleness: StalenessPolicy::DecayedInclude { decay: 0.5 },
+            ..Default::default()
+        };
+        config.profiles.straggler_fraction = 0.3;
+        config.profiles.straggler_slowdown = 4.0;
         let json = serde_json::to_string(&config).unwrap();
         let back: BflConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, config);
+    }
+
+    #[test]
+    fn defaults_keep_the_synchronous_engine() {
+        let config = BflConfig::default();
+        assert_eq!(config.sync, SyncMode::Synchronous);
+        assert!(config.sync.is_synchronous());
+        assert_eq!(config.staleness, StalenessPolicy::Discard);
+        assert_eq!(config.profiles, ProfileConfig::default());
+        assert_eq!(config.sync.name(), "synchronous");
+        assert_eq!(
+            SyncMode::FlexibleQuota { quota: 3 }.name(),
+            "flexible-quota"
+        );
+    }
+
+    #[test]
+    fn zero_quota_rejected() {
+        assert_rejected(
+            BflConfig {
+                sync: SyncMode::FlexibleQuota { quota: 0 },
+                ..Default::default()
+            },
+            "quota",
+        );
+    }
+
+    #[test]
+    fn chain_only_mode_rejects_flexible_quotas() {
+        assert_rejected(
+            BflConfig {
+                mode: FlexibilityMode::ChainOnly,
+                sync: SyncMode::FlexibleQuota { quota: 2 },
+                ..Default::default()
+            },
+            "chain-only",
+        );
+    }
+
+    #[test]
+    fn invalid_staleness_and_profiles_rejected() {
+        assert_rejected(
+            BflConfig {
+                staleness: StalenessPolicy::DecayedInclude { decay: 2.0 },
+                ..Default::default()
+            },
+            "staleness decay",
+        );
+        let mut config = BflConfig::default();
+        config.profiles.straggler_slowdown = 0.5;
+        assert_rejected(config, "straggler_slowdown");
+        let mut config = BflConfig::default();
+        config.profiles.churn_fraction = 1.5;
+        assert_rejected(config, "churn_fraction");
+        let mut config = BflConfig::default();
+        config.profiles.churn_fraction = 0.5;
+        config.profiles.churn_offline_s = 0.0;
+        assert_rejected(config, "offline_s");
+        let mut config = BflConfig::default();
+        config.profiles.uplink = DelayDistribution::Uniform { min: 0.4, max: 0.1 };
+        assert_rejected(config, "inverted");
+    }
+
+    #[test]
+    fn profile_population_is_deterministic_and_shaped() {
+        let profiles = ProfileConfig {
+            straggler_slowdown: 8.0,
+            straggler_fraction: 0.3,
+            churn_fraction: 0.2,
+            churn_online_s: 100.0,
+            churn_offline_s: 50.0,
+            ..ProfileConfig::default()
+        };
+        profiles.validate().unwrap();
+        let population = profiles.build_profiles(10);
+        assert_eq!(population, profiles.build_profiles(10));
+        assert_eq!(population.len(), 10);
+        // The slow tail sits at the highest indices, ramping up to the
+        // configured slowdown.
+        assert_eq!(population[0].compute_multiplier, 1.0);
+        assert_eq!(population[6].compute_multiplier, 1.0);
+        assert!(population[7].compute_multiplier > 1.0);
+        assert!(population[8].compute_multiplier > population[7].compute_multiplier);
+        assert_eq!(population[9].compute_multiplier, 8.0);
+        // Churners sit at the lowest indices with staggered departures.
+        assert!(matches!(
+            population[0].churn,
+            bfl_net::ChurnSchedule::Periodic { .. }
+        ));
+        assert!(matches!(
+            population[1].churn,
+            bfl_net::ChurnSchedule::Periodic { .. }
+        ));
+        assert!(matches!(
+            population[2].churn,
+            bfl_net::ChurnSchedule::AlwaysOn
+        ));
+        if let (
+            bfl_net::ChurnSchedule::Periodic {
+                first_leave_s: a, ..
+            },
+            bfl_net::ChurnSchedule::Periodic {
+                first_leave_s: b, ..
+            },
+        ) = (population[0].churn, population[1].churn)
+        {
+            assert!(a < b, "departures are staggered");
+        }
+        // The degenerate default population is uniform and always online.
+        let uniform = ProfileConfig::default().build_profiles(5);
+        assert!(uniform.iter().all(|p| *p == NodeProfile::uniform()));
     }
 }

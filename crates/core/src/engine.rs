@@ -61,22 +61,28 @@ enum RunState<'a> {
     ChainOnly(ChainOnlyState),
 }
 
-/// Live state of the learning modes (full FAIR-BFL and FL-only).
-struct LearningState<'a> {
-    train: &'a Dataset,
-    test: &'a Dataset,
-    rng: StdRng,
-    clients: Vec<Client>,
-    local_config: LocalTrainingConfig,
-    keystore: Option<KeyStore>,
-    keypairs: Option<BTreeMap<u64, RsaKeyPair>>,
-    consensus: Option<RoundConsensus>,
-    topology: Topology,
-    global_model: AnyModel,
-    global_params: Vec<f64>,
-    clock: SimClock,
+/// Live state of the learning modes (full FAIR-BFL and FL-only). Fields
+/// are crate-visible because the event-driven engine
+/// ([`crate::events`]) drives the same state through its handlers.
+pub(crate) struct LearningState<'a> {
+    pub(crate) train: &'a Dataset,
+    pub(crate) test: &'a Dataset,
+    pub(crate) rng: StdRng,
+    pub(crate) clients: Vec<Client>,
+    pub(crate) local_config: LocalTrainingConfig,
+    pub(crate) keystore: Option<KeyStore>,
+    pub(crate) keypairs: Option<BTreeMap<u64, RsaKeyPair>>,
+    pub(crate) consensus: Option<RoundConsensus>,
+    pub(crate) topology: Topology,
+    pub(crate) global_model: AnyModel,
+    pub(crate) global_params: Vec<f64>,
+    pub(crate) clock: SimClock,
     /// Clients currently sitting out after being discarded.
-    cooldown: BTreeMap<u64, usize>,
+    pub(crate) cooldown: BTreeMap<u64, usize>,
+    /// The event-driven runtime, present when the scenario runs a
+    /// flexible block quota ([`SyncMode::FlexibleQuota`]); `None` keeps
+    /// the lockstep engine with zero overhead.
+    pub(crate) async_rt: Option<Box<crate::events::AsyncRuntime>>,
 }
 
 /// Live state of the chain-only (pure blockchain) mode.
@@ -157,6 +163,21 @@ impl<'a> SimulationRun<'a> {
     /// Cumulative rewards per client so far, in milli-units.
     pub fn reward_totals(&self) -> &BTreeMap<u64, u64> {
         &self.reward_totals
+    }
+
+    /// The deterministic event trace accumulated so far. Empty for
+    /// synchronous runs (lockstep rounds schedule no events); under a
+    /// flexible quota, the same scenario and seed always produce the
+    /// identical trace — a property the tests pin.
+    pub fn event_trace(&self) -> &[crate::events::EventRecord] {
+        match &self.state {
+            RunState::Learning(state) => state
+                .async_rt
+                .as_deref()
+                .map(|rt| rt.trace())
+                .unwrap_or(&[]),
+            RunState::ChainOnly(_) => &[],
+        }
     }
 
     /// The canonical ledger, when the mode mines.
@@ -241,7 +262,7 @@ impl<'a> SimulationRun<'a> {
 /// What one round hands back to the accumulator: the outcome record, the
 /// simulated clock after the round, and the round's detection row (absent
 /// in chain-only mode, which never runs Algorithm 2).
-type SteppedRound = (RoundOutcome, f64, Option<DetectionRow>);
+pub(crate) type SteppedRound = (RoundOutcome, f64, Option<DetectionRow>);
 
 impl<'a> LearningState<'a> {
     fn new(config: &BflConfig, train: &'a Dataset, test: &'a Dataset) -> Result<Self, CoreError> {
@@ -288,6 +309,15 @@ impl<'a> LearningState<'a> {
         let global_model: AnyModel = config.fl.model.build(&mut rng);
         let global_params = global_model.params();
 
+        // The event-driven runtime only exists when the scenario asks for
+        // a flexible block quota; the synchronous path stays untouched.
+        let async_rt = if config.sync.is_synchronous() {
+            None
+        } else {
+            let ids: Vec<u64> = clients.iter().map(|c| c.id).collect();
+            Some(Box::new(crate::events::AsyncRuntime::new(config, &ids)))
+        };
+
         Ok(LearningState {
             train,
             test,
@@ -302,21 +332,90 @@ impl<'a> LearningState<'a> {
             global_params,
             clock: SimClock::new(),
             cooldown: BTreeMap::new(),
+            async_rt,
         })
     }
 
-    /// One full pass through Procedures I–V plus bookkeeping.
+    /// One communication round, dispatched on the scenario's sync mode:
+    /// the lockstep pass (the PR 4 engine, bit-identical) or the
+    /// event-driven flexible-quota round of [`crate::events`].
     fn step(
         &mut self,
         config: &BflConfig,
         reward_policy: &dyn RewardPolicy,
         round: usize,
     ) -> Result<SteppedRound, CoreError> {
-        // Advance cooldowns.
+        match config.sync {
+            crate::config::SyncMode::Synchronous => {
+                self.step_synchronous(config, reward_policy, round)
+            }
+            crate::config::SyncMode::FlexibleQuota { quota } => {
+                crate::events::step_flexible(self, config, reward_policy, round, quota)
+            }
+        }
+    }
+
+    /// Advances the discard cooldowns by one round (shared verbatim by
+    /// both engines — the RNG is untouched, so extraction cannot perturb
+    /// the lockstep path).
+    pub(crate) fn advance_cooldowns(&mut self) {
         self.cooldown.retain(|_, remaining| {
             *remaining = remaining.saturating_sub(1);
             *remaining > 0
         });
+    }
+
+    /// Designates this round's attackers among `selected_positions`.
+    /// Returns the per-participant attack side table (aligned with the
+    /// selection, so the client population is never cloned per round)
+    /// and the sorted ground-truth attacker ids. Shared verbatim by both
+    /// engines: the RNG draw order is part of the bit-identity contract.
+    pub(crate) fn designate_attackers(
+        &mut self,
+        config: &BflConfig,
+        selected_positions: &[usize],
+    ) -> (Vec<Option<AttackKind>>, Vec<u64>) {
+        let mut attacks: Vec<Option<AttackKind>> = vec![None; selected_positions.len()];
+        let mut attackers = Vec::new();
+        if config.attack.enabled && !selected_positions.is_empty() {
+            let max = config.attack.max_attackers.min(selected_positions.len());
+            let min = config.attack.min_attackers.min(max);
+            let count = if min == max {
+                min
+            } else {
+                self.rng.gen_range(min..=max)
+            };
+            let mut order: Vec<usize> = (0..selected_positions.len()).collect();
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut self.rng);
+            for &i in order.iter().take(count) {
+                attacks[i] = Some(config.attack.kind);
+                attackers.push(self.clients[selected_positions[i]].id);
+            }
+            attackers.sort_unstable();
+        }
+        (attacks, attackers)
+    }
+
+    /// Puts the round's dropped clients on the discard cooldown (the
+    /// "clients selection" effect of Section 3.2). Shared by both engines.
+    pub(crate) fn apply_discard_cooldowns(&mut self, config: &BflConfig, dropped: &[u64]) {
+        if config.strategy.discards() {
+            for &id in dropped {
+                self.cooldown
+                    .insert(id, config.discard_cooldown_rounds.max(1));
+            }
+        }
+    }
+
+    /// One full lockstep pass through Procedures I–V plus bookkeeping.
+    fn step_synchronous(
+        &mut self,
+        config: &BflConfig,
+        reward_policy: &dyn RewardPolicy,
+        round: usize,
+    ) -> Result<SteppedRound, CoreError> {
+        self.advance_cooldowns();
 
         // Select participants among active (non-cooling-down) clients.
         let active: Vec<usize> = (0..self.clients.len())
@@ -338,28 +437,7 @@ impl<'a> LearningState<'a> {
         let selected_positions =
             drop_stragglers(&selected_positions, config.fl.drop_percent, &mut self.rng);
 
-        // Designate attackers for this round. Designations live in a
-        // side table aligned with `selected_positions`, so the client
-        // population is never cloned per round.
-        let mut attacks: Vec<Option<AttackKind>> = vec![None; selected_positions.len()];
-        let mut attackers = Vec::new();
-        if config.attack.enabled && !selected_positions.is_empty() {
-            let max = config.attack.max_attackers.min(selected_positions.len());
-            let min = config.attack.min_attackers.min(max);
-            let count = if min == max {
-                min
-            } else {
-                self.rng.gen_range(min..=max)
-            };
-            let mut order: Vec<usize> = (0..selected_positions.len()).collect();
-            use rand::seq::SliceRandom;
-            order.shuffle(&mut self.rng);
-            for &i in order.iter().take(count) {
-                attacks[i] = Some(config.attack.kind);
-                attackers.push(self.clients[selected_positions[i]].id);
-            }
-            attackers.sort_unstable();
-        }
+        let (attacks, attackers) = self.designate_attackers(config, &selected_positions);
 
         // Procedure-I: local learning.
         let round_seed = config.fl.seed ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15);
@@ -430,14 +508,8 @@ impl<'a> LearningState<'a> {
             None
         };
 
-        // Discard strategy: dropped clients sit out the next few rounds
-        // (the "clients selection" effect of Section 3.2).
-        if config.strategy.discards() {
-            for &id in &global.dropped {
-                self.cooldown
-                    .insert(id, config.discard_cooldown_rounds.max(1));
-            }
-        }
+        // Discard strategy: dropped clients sit out the next few rounds.
+        self.apply_discard_cooldowns(config, &global.dropped);
 
         // Delay accounting and the clock.
         let breakdown = match config.mode {
@@ -476,6 +548,7 @@ impl<'a> LearningState<'a> {
             accuracy: test_accuracy,
             train_loss,
             participants: merged.len(),
+            stale_included: 0,
             attackers,
             dropped: global.dropped,
             high_contributors: global.report.high_contribution.len(),
@@ -541,6 +614,7 @@ impl ChainOnlyState {
             accuracy: 0.0,
             train_loss: 0.0,
             participants: config.fl.clients,
+            stale_included: 0,
             attackers: Vec::new(),
             dropped: Vec::new(),
             high_contributors: 0,

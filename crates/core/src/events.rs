@@ -1,0 +1,652 @@
+//! The event-driven round engine: flexible block quotas, stragglers, and
+//! client churn on the simulated clock.
+//!
+//! Under [`SyncMode::FlexibleQuota`](crate::config::SyncMode) Procedures
+//! I–V stop executing in lockstep and become *event handlers* on
+//! `bfl-net`'s deterministic [`EventQueue`]:
+//!
+//! * **Procedure-I** is scheduled: each selected client's local pass
+//!   finishes at `round start + t_local · compute_multiplier` of its
+//!   [`NodeProfile`], producing a `TrainingFinished` event.
+//! * **Procedure-II** is the `TrainingFinished` handler: the client signs
+//!   its gradient, associates with a random miner, and the upload is
+//!   scheduled to arrive after its profile's uplink latency plus the
+//!   payload transfer and miner-side processing time.
+//! * The `UploadArrived` handler verifies the signature and admits the
+//!   upload into the chain's [`Mempool`] (via
+//!   [`Mempool::submit_signed`], the Figure 2 verification step). Stale
+//!   uploads — commissioned in an earlier round, arriving after that
+//!   round's block sealed — pass through the configured
+//!   [`StalenessPolicy`](crate::policy::StalenessPolicy) first.
+//! * **Procedures III–V** fire when the *flexible block quota* `K` of
+//!   uploads has arrived — the paper's flexible block size — rather than
+//!   when every participant reports: the miner drains the mempool,
+//!   computes the global update under the scenario's anchor/reward
+//!   policies, and seals the block at the quota's simulated time.
+//!
+//! Stragglers beyond the quota keep their events in the queue across
+//! rounds; clients leave and rejoin mid-run according to their profile's
+//! churn schedule (FAIR-BFL's dynamic-join property), and every event is
+//! appended to a deterministic [`EventRecord`] trace that tests pin:
+//! the same scenario and seed produce the identical trace on any machine
+//! and under any sweep parallelism.
+
+use crate::config::BflConfig;
+use crate::delay_model::DelayBreakdown;
+use crate::detection::DetectionRow;
+use crate::engine::{LearningState, SteppedRound};
+use crate::error::CoreError;
+use crate::flexibility::FlexibilityMode;
+use crate::policy::RewardPolicy;
+use crate::procedures::global_update::{self, GlobalUpdatePolicy};
+use crate::procedures::local_update;
+use crate::procedures::mining;
+use crate::procedures::upload::VerifiedUpload;
+use crate::simulation::RoundOutcome;
+use bfl_chain::mempool::Mempool;
+use bfl_chain::Transaction;
+use bfl_crypto::signature::sign_message;
+use bfl_fl::client::LocalUpdate;
+use bfl_fl::selection::{drop_stragglers, select_clients};
+use bfl_ml::gradient;
+use bfl_ml::metrics::accuracy;
+use bfl_ml::model::Model;
+use bfl_ml::optimizer::local_step_count;
+use bfl_net::{EventQueue, NodeProfile};
+use rand::Rng;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What happened when an event resolved — the observable half of the
+/// deterministic event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EventKind {
+    /// Procedure-I scheduled: the client started its local pass.
+    TrainingScheduled,
+    /// Procedure-I finished: the client's local pass completed.
+    TrainingFinished,
+    /// Procedure-II completed: the upload arrived and was admitted.
+    UploadArrived,
+    /// The upload arrived but its signature failed verification.
+    UploadRejected,
+    /// The upload was lost: its client churned offline before it landed.
+    UploadLost,
+    /// A stale upload was discarded by the staleness policy.
+    StaleDiscarded,
+    /// A stale upload was decayed and carried into the next block.
+    StaleIncluded,
+    /// The flexible block quota was reached; Procedures III–V fired.
+    QuotaReached,
+}
+
+/// One entry of the deterministic event trace.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EventRecord {
+    /// Simulated second at which the event resolved.
+    pub time_s: f64,
+    /// The round being executed when it resolved.
+    pub round: usize,
+    /// The round that commissioned the work (differs for stale uploads).
+    pub born_round: usize,
+    /// The client involved (`u64::MAX` for round-level events).
+    pub client_id: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Timed payloads flowing through the engine's event queue.
+enum EngineEvent {
+    /// Procedure-I completion, carrying the computed local update.
+    TrainingFinished {
+        born_round: usize,
+        update: LocalUpdate,
+    },
+    /// Procedure-II arrival at the associated miner.
+    UploadArrived {
+        born_round: usize,
+        miner: usize,
+        train_finished_s: f64,
+        update: LocalUpdate,
+    },
+}
+
+/// An upload admitted to the pending pool, awaiting the block quota.
+struct ArrivedUpload {
+    upload: VerifiedUpload,
+    born_round: usize,
+    /// Finish time of its Procedure-I pass (for the delay breakdown).
+    train_finished_s: f64,
+    /// The pass's final-epoch training loss (for the round record, which
+    /// averages over the uploads that actually entered the block).
+    final_epoch_loss: f64,
+}
+
+/// The event engine's live state, embedded in
+/// [`LearningState`](crate::engine::LearningState) when the scenario runs
+/// a flexible quota.
+pub(crate) struct AsyncRuntime {
+    queue: EventQueue<EngineEvent>,
+    /// Miner-side pending pool: verified uploads waiting for the quota.
+    mempool: Mempool,
+    /// Per-client heterogeneity profiles, keyed by client id.
+    profiles: BTreeMap<u64, NodeProfile>,
+    /// Clients with a commissioned pass or in-flight upload.
+    in_flight: BTreeSet<u64>,
+    /// Decoded uploads admitted this round, keyed by client id (so the
+    /// merged set is ordered by client id, like the synchronous engine's).
+    arrived: BTreeMap<u64, ArrivedUpload>,
+    trace: Vec<EventRecord>,
+}
+
+impl AsyncRuntime {
+    pub(crate) fn new(config: &BflConfig, client_ids: &[u64]) -> Self {
+        let profiles = client_ids
+            .iter()
+            .copied()
+            .zip(config.profiles.build_profiles(client_ids.len()))
+            .collect();
+        AsyncRuntime {
+            queue: EventQueue::new(),
+            mempool: Mempool::new(),
+            profiles,
+            in_flight: BTreeSet::new(),
+            arrived: BTreeMap::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    pub(crate) fn trace(&self) -> &[EventRecord] {
+        &self.trace
+    }
+
+    fn record(
+        &mut self,
+        time_s: f64,
+        round: usize,
+        born_round: usize,
+        client_id: u64,
+        kind: EventKind,
+    ) {
+        self.trace.push(EventRecord {
+            time_s,
+            round,
+            born_round,
+            client_id,
+            kind,
+        });
+    }
+}
+
+/// Executes one flexible-quota round: schedules this round's Procedure-I
+/// passes, pumps the event queue until the block quota is reached, and
+/// runs Procedures III–V at the quota's simulated time.
+pub(crate) fn step_flexible(
+    state: &mut LearningState<'_>,
+    config: &BflConfig,
+    reward_policy: &dyn RewardPolicy,
+    round: usize,
+    quota: usize,
+) -> Result<SteppedRound, CoreError> {
+    let mut rt = state
+        .async_rt
+        .take()
+        .expect("flexible-quota runs hold an async runtime");
+    let mut result = step_flexible_inner(state, &mut rt, config, reward_policy, round, quota);
+    // A heavily churning population can produce an attempt whose every
+    // possible arrival was lost or discarded (e.g. all free clients
+    // offline while the only in-flight uploads are doomed stale ones).
+    // That is a stall, not the end of the run: fast-forward the clock to
+    // the next rejoin and try the round again, bounded so a schedule
+    // with no future joins still surfaces `EmptyRound`. (Each retry
+    // re-runs the round prologue, so cooldowns may tick once per
+    // attempt — acceptable for the pathological schedules this covers.)
+    for _ in 0..8 {
+        if !matches!(result, Err(CoreError::EmptyRound { .. }))
+            || !fast_forward_to_next_join(state, &rt)
+        {
+            break;
+        }
+        result = step_flexible_inner(state, &mut rt, config, reward_policy, round, quota);
+    }
+    state.async_rt = Some(rt);
+    result
+}
+
+/// The next simulated second strictly after `now` at which any
+/// non-cooling-down client is online, if one ever will be.
+fn next_join_after(state: &LearningState<'_>, rt: &AsyncRuntime, now: f64) -> Option<f64> {
+    let next = (0..state.clients.len())
+        .filter(|&i| !state.cooldown.contains_key(&state.clients[i].id))
+        .map(|i| rt.profiles[&state.clients[i].id].next_online_from(now))
+        .fold(f64::INFINITY, f64::min);
+    (next.is_finite() && next > now).then_some(next)
+}
+
+/// Advances the clock to the next rejoin (see [`next_join_after`]).
+/// Returns `false` when that would not make progress (events still
+/// pending, someone already online, or no client ever rejoins). The
+/// epsilon absorbs the churn arithmetic's floating-point slack so the
+/// rejoining client is online at the new instant.
+fn fast_forward_to_next_join(state: &mut LearningState<'_>, rt: &AsyncRuntime) -> bool {
+    if !rt.queue.is_empty() {
+        return false;
+    }
+    let now = state.clock.now_seconds();
+    match next_join_after(state, rt, now) {
+        Some(next) => {
+            state.clock.advance(next - now + 1e-9);
+            true
+        }
+        None => false,
+    }
+}
+
+fn step_flexible_inner(
+    state: &mut LearningState<'_>,
+    rt: &mut AsyncRuntime,
+    config: &BflConfig,
+    reward_policy: &dyn RewardPolicy,
+    round: usize,
+    quota: usize,
+) -> Result<SteppedRound, CoreError> {
+    // Cooldowns advance exactly as in the synchronous engine.
+    state.advance_cooldowns();
+
+    // Select this round's participants among clients that are not cooling
+    // down, not still busy with an earlier round's work, and online at the
+    // round's start (the churn schedule's dynamic-join property). When
+    // churn has taken every selectable client offline and nothing is in
+    // flight, the round fast-forwards the clock to the next rejoin
+    // instead of aborting — the system waits for someone to join.
+    let mut round_start = state.clock.now_seconds();
+    let build_pool = |state: &LearningState<'_>, rt: &AsyncRuntime, now: f64| -> Vec<usize> {
+        (0..state.clients.len())
+            .filter(|&i| {
+                let id = state.clients[i].id;
+                !state.cooldown.contains_key(&id)
+                    && !rt.in_flight.contains(&id)
+                    && rt.profiles[&id].is_online(now)
+            })
+            .collect()
+    };
+    let mut pool = build_pool(state, rt, round_start);
+    if pool.is_empty() && rt.in_flight.is_empty() && fast_forward_to_next_join(state, rt) {
+        round_start = state.clock.now_seconds();
+        pool = build_pool(state, rt, round_start);
+    }
+    let pool = pool;
+    let selected_positions: Vec<usize> = if pool.is_empty() {
+        Vec::new()
+    } else {
+        select_clients(pool.len(), config.fl.selected_per_round(), &mut state.rng)
+            .into_iter()
+            .map(|i| pool[i])
+            .collect()
+    };
+    let selected_positions =
+        drop_stragglers(&selected_positions, config.fl.drop_percent, &mut state.rng);
+
+    // Designation drives Procedure-I's forging; the outcome's attacker
+    // list is rebuilt later from the uploads that entered the block, so
+    // stale attackers land in the round they were actually judged in.
+    let (attacks, _designated) = state.designate_attackers(config, &selected_positions);
+
+    // Procedure-I: the local passes are computed eagerly (their *content*
+    // is a pure function of the round seed) but *finish* at profile-scaled
+    // simulated times — that is what the events model.
+    let round_seed = config.fl.seed ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    let updates = local_update::run_local_updates_with_attacks(
+        &state.clients,
+        &selected_positions,
+        &attacks,
+        config.fl.model,
+        &state.global_params,
+        state.train,
+        &state.local_config,
+        round_seed,
+    );
+    for (&position, update) in selected_positions.iter().zip(updates) {
+        let id = update.client_id;
+        let steps = local_step_count(state.clients[position].sample_count(), &state.local_config);
+        let finish = round_start + rt.profiles[&id].training_seconds(config.delay.t_local(steps));
+        rt.record(round_start, round, round, id, EventKind::TrainingScheduled);
+        rt.in_flight.insert(id);
+        rt.queue.push(
+            finish,
+            EngineEvent::TrainingFinished {
+                born_round: round,
+                update,
+            },
+        );
+    }
+
+    // The flexible block quota: K uploads seal the block, capped at what
+    // can still possibly arrive so a small round cannot deadlock.
+    let target = quota.min(rt.in_flight.len());
+    if target == 0 {
+        return Err(CoreError::EmptyRound { round });
+    }
+
+    // Pump the queue until the quota is reached (or nothing is left in
+    // flight — churn losses and rejections can shrink a round).
+    let mut quota_time = round_start;
+    while rt.arrived.len() < target {
+        let Some(event) = rt.queue.pop() else { break };
+        let time = event.time_s;
+        match event.payload {
+            EngineEvent::TrainingFinished { born_round, update } => {
+                let id = update.client_id;
+                rt.record(time, round, born_round, id, EventKind::TrainingFinished);
+                // Procedure-II send: random miner association, then the
+                // uplink latency + payload transfer + miner processing.
+                let miner = state.rng.gen_range(0..config.miners);
+                let transfer =
+                    config.delay.gradient_bytes as f64 / config.delay.uplink.bandwidth_bytes_per_s;
+                let latency = rt.profiles[&id].uplink.sample(&mut state.rng);
+                let arrival = time + latency + transfer + config.delay.upload_processing_s;
+                rt.queue.push(
+                    arrival,
+                    EngineEvent::UploadArrived {
+                        born_round,
+                        miner,
+                        train_finished_s: time,
+                        update,
+                    },
+                );
+            }
+            EngineEvent::UploadArrived {
+                born_round,
+                miner,
+                train_finished_s,
+                update,
+            } => {
+                let id = update.client_id;
+                rt.in_flight.remove(&id);
+                if let Some(kind) = admit_upload(
+                    state,
+                    rt,
+                    config,
+                    round,
+                    born_round,
+                    miner,
+                    time,
+                    train_finished_s,
+                    update,
+                ) {
+                    rt.record(time, round, born_round, id, kind);
+                    if kind == EventKind::UploadArrived || kind == EventKind::StaleIncluded {
+                        quota_time = time;
+                    }
+                } else {
+                    rt.record(time, round, born_round, id, EventKind::UploadRejected);
+                }
+            }
+        }
+    }
+
+    if rt.arrived.is_empty() {
+        return Err(CoreError::EmptyRound { round });
+    }
+    // Only record the quota as *reached* when it actually was: churn
+    // losses and rejections can drain the queue short, in which case the
+    // round seals with what arrived but the trace must not claim K.
+    if rt.arrived.len() >= target {
+        rt.record(quota_time, round, round, u64::MAX, EventKind::QuotaReached);
+    }
+
+    // Assemble the round's gradient set. When signature verification is
+    // on, mining modes drain the miner's mempool — the pool the signed
+    // uploads were admitted through — and the drained transactions must
+    // agree with the arrival metadata by construction. (The unsigned
+    // ablation has nothing to verify, so it bypasses the pool entirely.)
+    let arrived: Vec<(u64, ArrivedUpload)> = std::mem::take(&mut rt.arrived).into_iter().collect();
+    if config.mode.mines() && state.keystore.is_some() {
+        let drained = rt.mempool.drain_all();
+        debug_assert_eq!(
+            drained.len(),
+            arrived.len(),
+            "the mempool holds exactly the pending uploads"
+        );
+        debug_assert_eq!(
+            drained
+                .iter()
+                .map(|tx| tx.submitter)
+                .collect::<BTreeSet<u64>>(),
+            arrived.iter().map(|(id, _)| *id).collect::<BTreeSet<u64>>(),
+            "the mempool and the arrival metadata agree on the pending clients"
+        );
+    }
+    let stale_included = arrived.iter().filter(|(_, a)| a.born_round < round).count();
+    let max_own_finish = arrived
+        .iter()
+        .filter(|(_, a)| a.born_round == round)
+        .map(|(_, a)| a.train_finished_s - round_start)
+        .fold(0.0f64, f64::max);
+    // The round record averages the losses of the passes that actually
+    // entered the block (never empty here), so a stale-heavy round
+    // reports its real training loss instead of a 0.0 sentinel.
+    let train_loss =
+        arrived.iter().map(|(_, a)| a.final_epoch_loss).sum::<f64>() / arrived.len() as f64;
+    let merged: Vec<VerifiedUpload> = arrived.into_iter().map(|(_, a)| a.upload).collect();
+    // Ground truth for the detection row: the forged uploads *in this
+    // block* — a stale attacker is attributed to the round whose block
+    // (and Algorithm 2 pass) it actually entered, keeping attacker and
+    // dropped sets over the same population.
+    let block_attackers: Vec<u64> = merged
+        .iter()
+        .filter(|u| u.forged)
+        .map(|u| u.client_id)
+        .collect();
+
+    // Procedure-IV at the quota's simulated time, under the scenario's
+    // anchor and reward policies (identical to the synchronous engine).
+    let mut global = global_update::compute_global_update(
+        &merged,
+        &GlobalUpdatePolicy {
+            clustering: &config.clustering,
+            metric: config.metric,
+            strategy: config.strategy,
+            fair_aggregation: config.fair_aggregation,
+            anchor: config.anchor,
+            round,
+            reward: reward_policy,
+        },
+    );
+    state.global_params = std::mem::take(&mut global.global_params);
+    state.global_model.set_params(&state.global_params);
+
+    // The round's delay breakdown, read off the event clock: the wait for
+    // the quota decomposes into the slowest counted own-round local pass
+    // (T_local) and the remaining upload tail (T_up); exchange,
+    // aggregation and mining costs come from the delay model as in the
+    // synchronous engine.
+    let wait = (quota_time - round_start).max(0.0);
+    let t_local = max_own_finish.clamp(0.0, wait);
+    let full = config.mode == FlexibilityMode::FullBfl;
+    let t_ex = if full {
+        config
+            .delay
+            .t_ex(merged.len(), config.miners, &mut state.rng)
+    } else {
+        0.0
+    };
+    let t_gl = if full {
+        config.delay.t_gl(merged.len() + 1)
+    } else {
+        config.delay.aggregation_seconds
+    };
+
+    // Procedure-V: the winning miner seals the block at the quota time
+    // (plus exchange and aggregation), while late events stay queued.
+    state.clock.advance(wait + t_ex + t_gl);
+    let block_hash = if let Some(consensus) = state.consensus.as_mut() {
+        let outcome = mining::mine_round(
+            consensus,
+            round as u64,
+            &state.global_params,
+            &global.report.rewards,
+            state.clock.now_millis(),
+            &mut state.rng,
+        )?;
+        Some(outcome.block.hash_hex())
+    } else {
+        None
+    };
+    let t_bl = if full {
+        config.delay.t_bl(config.miners, &mut state.rng)
+    } else {
+        0.0
+    };
+    state.clock.advance(t_bl);
+
+    state.apply_discard_cooldowns(config, &global.dropped);
+
+    let breakdown = DelayBreakdown {
+        t_local,
+        t_up: wait - t_local,
+        t_ex,
+        t_gl,
+        t_bl,
+        t_queue: 0.0,
+        t_fork: 0.0,
+    };
+
+    let test_accuracy = accuracy(
+        &state.global_model,
+        &state.test.features,
+        &state.test.labels,
+        None,
+    );
+    let rewards_paid = global.report.rewards.iter().map(|r| r.amount_milli).sum();
+    let detection_row = DetectionRow::new(round, &block_attackers, &global.dropped);
+    let outcome = RoundOutcome {
+        round,
+        breakdown,
+        accuracy: test_accuracy,
+        train_loss,
+        participants: merged.len(),
+        stale_included,
+        attackers: block_attackers,
+        dropped: global.dropped,
+        high_contributors: global.report.high_contribution.len(),
+        rewards_paid_milli: rewards_paid,
+        rewards: global.report.rewards,
+        block_hash,
+    };
+    Ok((outcome, state.clock.now_seconds(), Some(detection_row)))
+}
+
+/// The `UploadArrived` handler's admission step: churn loss, signature
+/// verification (through the chain's mempool in mining modes — the
+/// Figure 2 step), and the staleness policy for late uploads. Returns the
+/// trace kind of the resolution, or `None` when the signature failed.
+#[allow(clippy::too_many_arguments)]
+fn admit_upload(
+    state: &mut LearningState<'_>,
+    rt: &mut AsyncRuntime,
+    config: &BflConfig,
+    round: usize,
+    born_round: usize,
+    miner: usize,
+    time_s: f64,
+    train_finished_s: f64,
+    update: LocalUpdate,
+) -> Option<EventKind> {
+    let id = update.client_id;
+    let forged = update.forged;
+    let final_epoch_loss = update.stats.final_epoch_loss;
+    let age = round - born_round;
+    let mines = config.mode.mines();
+
+    // A client that churned offline mid-flight loses its upload.
+    if !rt.profiles[&id].is_online(time_s) {
+        return Some(EventKind::UploadLost);
+    }
+
+    // Stale uploads consult the staleness policy first: a `Discard`
+    // verdict must not pay for an RSA signing operation it throws away.
+    let decayed = if age > 0 {
+        match config
+            .staleness
+            .apply(&state.global_params, &update.params, age)
+        {
+            None => return Some(EventKind::StaleDiscarded),
+            Some(decayed) => Some(decayed),
+        }
+    } else {
+        None
+    };
+
+    // Procedure-II signing: the client signs what it *sent* (the original
+    // upload). The sent gradient is serialized at most once — the buffer
+    // doubles as a fresh upload's transaction payload below.
+    let signing_key = match (state.keypairs.as_ref(), state.keystore.as_ref()) {
+        (Some(pairs), Some(_)) => match pairs.get(&id) {
+            Some(pair) => Some(pair),
+            None => return None,
+        },
+        _ => None,
+    };
+    let sent_bytes = signing_key
+        .is_some()
+        .then(|| gradient::to_bytes(&update.params));
+    let envelope = signing_key.map(|pair| {
+        sign_message(
+            id,
+            sent_bytes
+                .as_deref()
+                .expect("signing serialized the upload"),
+            &pair.private,
+        )
+    });
+
+    // What the block may aggregate: the decayed vector for carried stale
+    // uploads, the sent vector (moved, not cloned) for fresh ones.
+    let signed = envelope.is_some();
+    let (params, tx_bytes, kind) = match decayed {
+        Some(decayed) => {
+            let bytes = (mines && signed).then(|| gradient::to_bytes(&decayed));
+            (decayed, bytes, EventKind::StaleIncluded)
+        }
+        None => (update.params, sent_bytes, EventKind::UploadArrived),
+    };
+
+    // Miner-side verification against the registered key, at mempool
+    // admission (Figure 2); FL-only mode verifies without a pool, and
+    // the unsigned ablation has nothing to verify so it bypasses the
+    // mempool entirely.
+    if let (Some(envelope), Some(store)) = (&envelope, state.keystore.as_ref()) {
+        if mines {
+            let tx = Transaction::local_gradient(
+                id,
+                born_round as u64,
+                tx_bytes.expect("signed uploads serialized the admitted payload"),
+            );
+            if rt.mempool.submit_signed(tx, envelope, store).is_err() {
+                return None;
+            }
+        } else if store.verify(envelope).is_err() {
+            return None;
+        }
+    }
+
+    let previous = rt.arrived.insert(
+        id,
+        ArrivedUpload {
+            upload: VerifiedUpload {
+                client_id: id,
+                miner,
+                params,
+                forged,
+            },
+            born_round,
+            train_finished_s,
+            final_epoch_loss,
+        },
+    );
+    debug_assert!(
+        previous.is_none(),
+        "a client never has two uploads pending at once"
+    );
+    Some(kind)
+}

@@ -40,22 +40,27 @@ pub enum FlexibilityMode {
 
 impl FlexibilityMode {
     /// The procedures active under this mode, in execution order.
-    pub fn active_procedures(&self) -> Vec<Procedure> {
+    ///
+    /// Returns a static slice: the composition per mode is a compile-time
+    /// constant, and this accessor sits on the per-procedure, per-round
+    /// path (`runs()` is consulted for every procedure of every round), so
+    /// it must not allocate.
+    pub fn active_procedures(&self) -> &'static [Procedure] {
         match self {
-            FlexibilityMode::FullBfl => vec![
+            FlexibilityMode::FullBfl => &[
                 Procedure::LocalUpdate,
                 Procedure::Upload,
                 Procedure::Exchange,
                 Procedure::GlobalUpdate,
                 Procedure::Mining,
             ],
-            FlexibilityMode::FlOnly => vec![
+            FlexibilityMode::FlOnly => &[
                 Procedure::LocalUpdate,
                 Procedure::Upload,
                 Procedure::GlobalUpdate,
             ],
             FlexibilityMode::ChainOnly => {
-                vec![Procedure::Upload, Procedure::Exchange, Procedure::Mining]
+                &[Procedure::Upload, Procedure::Exchange, Procedure::Mining]
             }
         }
     }

@@ -52,6 +52,7 @@ pub mod delay_model;
 pub mod detection;
 pub mod engine;
 pub mod error;
+pub mod events;
 pub mod flexibility;
 pub mod policy;
 pub mod procedures;
@@ -63,15 +64,17 @@ pub mod sweep;
 pub mod theory;
 
 pub use aggregation::{contribution_weights, fair_aggregate};
-pub use config::{AttackConfig, BflConfig};
+pub use config::{AttackConfig, BflConfig, ProfileConfig, SyncMode};
 pub use contribution::{identify_contributions, ContributionReport};
 pub use delay_model::{DelayBreakdown, DelayModel, SystemKind};
 pub use detection::{DetectionRow, DetectionTable};
 pub use engine::SimulationRun;
 pub use error::CoreError;
+pub use events::EventRecord;
 pub use flexibility::FlexibilityMode;
 pub use policy::{
-    AggregationAnchor, ObserverControl, ProportionalReward, RewardPolicy, RoundEvent, RoundObserver,
+    AggregationAnchor, ObserverControl, ProportionalReward, RewardPolicy, RoundEvent,
+    RoundObserver, StalenessPolicy,
 };
 pub use reward::RewardEntry;
 pub use scenario::{Scenario, ScenarioBuilder};

@@ -80,6 +80,64 @@ impl AggregationAnchor {
     }
 }
 
+/// What the asynchronous engine does with a *stale* upload — one that was
+/// commissioned in an earlier round but arrived after that round's
+/// flexible block quota had already been reached and its block sealed.
+///
+/// The synchronous engine never produces stale uploads (a round waits for
+/// every participant); under a flexible quota they are the normal fate of
+/// stragglers, and the policy decides whether their work is wasted or
+/// carried into the next block.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum StalenessPolicy {
+    /// Drop stale uploads on arrival. Straggler work is wasted, but the
+    /// aggregate only ever mixes gradients computed against the current
+    /// global model.
+    #[default]
+    Discard,
+    /// Carry stale uploads into the next block, decayed toward the
+    /// current global parameters by `decay^age` (see
+    /// [`bfl_fl::aggregation::decay_stale_update`]): an `age`-rounds-late
+    /// upload contributes `global + decay^age · (upload − global)`.
+    DecayedInclude {
+        /// Per-round decay factor, in `(0, 1]`. `1` includes stale
+        /// uploads verbatim; smaller values fade them toward the current
+        /// global model the later they arrive.
+        decay: f64,
+    },
+}
+
+impl StalenessPolicy {
+    /// Validates the policy's parameters.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match self {
+            StalenessPolicy::DecayedInclude { decay } if !(*decay > 0.0 && *decay <= 1.0) => Err(
+                CoreError::invalid(format!("staleness decay must be in (0, 1], got {decay}")),
+            ),
+            _ => Ok(()),
+        }
+    }
+
+    /// Applies the policy to a stale upload `age >= 1` rounds old:
+    /// `None` discards it, `Some(params)` is what enters the block.
+    pub fn apply(&self, global: &[f64], params: &[f64], age: usize) -> Option<Vec<f64>> {
+        match *self {
+            StalenessPolicy::Discard => None,
+            StalenessPolicy::DecayedInclude { decay } => Some(
+                bfl_fl::aggregation::decay_stale_update(global, params, decay, age),
+            ),
+        }
+    }
+
+    /// Short display name (used by sweep labels and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StalenessPolicy::Discard => "discard",
+            StalenessPolicy::DecayedInclude { .. } => "decayed-include",
+        }
+    }
+}
+
 /// How a round's high-contribution θ scores become paid rewards.
 ///
 /// Implementations must be deterministic in `(round, scores)`: sweep
@@ -187,6 +245,33 @@ mod tests {
         let back: AggregationAnchor = serde_json::from_str(&json).unwrap();
         assert_eq!(back, AggregationAnchor::TrimmedMean { trim_ratio: 0.2 });
         assert_eq!(AggregationAnchor::Median.name(), "median");
+    }
+
+    #[test]
+    fn staleness_policies_validate_and_apply() {
+        assert!(StalenessPolicy::Discard.validate().is_ok());
+        assert!(StalenessPolicy::DecayedInclude { decay: 0.5 }
+            .validate()
+            .is_ok());
+        assert!(StalenessPolicy::DecayedInclude { decay: 0.0 }
+            .validate()
+            .is_err());
+        assert!(StalenessPolicy::DecayedInclude { decay: 1.5 }
+            .validate()
+            .is_err());
+
+        let global = [0.0, 0.0];
+        let params = [4.0, -2.0];
+        assert_eq!(StalenessPolicy::Discard.apply(&global, &params, 1), None);
+        assert_eq!(
+            StalenessPolicy::DecayedInclude { decay: 0.5 }.apply(&global, &params, 1),
+            Some(vec![2.0, -1.0])
+        );
+        assert_eq!(StalenessPolicy::default(), StalenessPolicy::Discard);
+        assert_eq!(
+            StalenessPolicy::DecayedInclude { decay: 0.9 }.name(),
+            "decayed-include"
+        );
     }
 
     #[test]

@@ -26,12 +26,14 @@
 //! but streams every round through a [`RoundObserver`] that may stop the
 //! run early.
 
-use crate::config::{AttackConfig, BflConfig};
+use crate::config::{AttackConfig, BflConfig, ProfileConfig, SyncMode};
 use crate::delay_model::DelayModel;
 use crate::engine::SimulationRun;
 use crate::error::CoreError;
 use crate::flexibility::FlexibilityMode;
-use crate::policy::{AggregationAnchor, ObserverControl, RewardPolicy, RoundEvent, RoundObserver};
+use crate::policy::{
+    AggregationAnchor, ObserverControl, RewardPolicy, RoundEvent, RoundObserver, StalenessPolicy,
+};
 use crate::simulation::SimulationResult;
 use crate::strategy::LowContributionStrategy;
 use bfl_cluster::{ClusteringAlgorithm, DistanceMetric};
@@ -264,6 +266,33 @@ impl ScenarioBuilder {
         self
     }
 
+    /// When a round's block seals: lockstep or after a flexible quota of
+    /// uploads on the event-driven engine.
+    pub fn sync(mut self, sync: SyncMode) -> Self {
+        self.config.sync = sync;
+        self
+    }
+
+    /// Shorthand for [`sync`](Self::sync) with
+    /// [`SyncMode::FlexibleQuota`]: seal each block after `quota` uploads.
+    pub fn flexible_quota(self, quota: usize) -> Self {
+        self.sync(SyncMode::FlexibleQuota { quota })
+    }
+
+    /// What happens to uploads that arrive after their round's block was
+    /// sealed (event-driven engine only).
+    pub fn staleness(mut self, staleness: StalenessPolicy) -> Self {
+        self.config.staleness = staleness;
+        self
+    }
+
+    /// The client population's heterogeneity: compute spread, uplink
+    /// latency, churn (event-driven engine only).
+    pub fn profiles(mut self, profiles: ProfileConfig) -> Self {
+        self.config.profiles = profiles;
+        self
+    }
+
     /// Delay-model calibration.
     pub fn delay(mut self, delay: DelayModel) -> Self {
         self.config.delay = delay;
@@ -336,6 +365,41 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("participation ratio"));
+    }
+
+    #[test]
+    fn async_setters_land_in_the_config_and_validate() {
+        let scenario = Scenario::builder()
+            .flexible_quota(4)
+            .staleness(StalenessPolicy::DecayedInclude { decay: 0.7 })
+            .profiles(ProfileConfig {
+                straggler_fraction: 0.2,
+                straggler_slowdown: 6.0,
+                ..ProfileConfig::default()
+            })
+            .build()
+            .unwrap();
+        let config = scenario.config();
+        assert_eq!(config.sync, SyncMode::FlexibleQuota { quota: 4 });
+        assert_eq!(
+            config.staleness,
+            StalenessPolicy::DecayedInclude { decay: 0.7 }
+        );
+        assert_eq!(config.profiles.straggler_slowdown, 6.0);
+
+        let err = Scenario::builder().flexible_quota(0).build().unwrap_err();
+        assert!(err.to_string().contains("quota"));
+        let err = Scenario::builder()
+            .mode(FlexibilityMode::ChainOnly)
+            .flexible_quota(2)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("chain-only"));
+        let err = Scenario::builder()
+            .staleness(StalenessPolicy::DecayedInclude { decay: 0.0 })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("staleness decay"));
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct RoundOutcome {
     pub train_loss: f64,
     /// Number of uploads that entered the aggregation.
     pub participants: usize,
+    /// How many of those uploads were *stale* — commissioned in an
+    /// earlier round and carried into this block by the staleness policy.
+    /// Always zero in synchronous mode.
+    pub stale_included: usize,
     /// Ground-truth attacker ids of the round.
     pub attackers: Vec<u64>,
     /// Clients dropped by the discard strategy this round.

@@ -11,7 +11,7 @@
 //! This crate implements those primitives from scratch, with no external
 //! cryptography dependencies:
 //!
-//! * [`sha256`] — the FIPS 180-4 SHA-256 compression function with both
+//! * [`mod@sha256`] — the FIPS 180-4 SHA-256 compression function with both
 //!   one-shot and incremental interfaces; `Clone` on the incremental
 //!   hasher exposes midstates, which the PoW loop exploits to hash one
 //!   padded block per nonce. On x86-64 with the SHA extensions the

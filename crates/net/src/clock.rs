@@ -24,8 +24,20 @@ impl SimClock {
     }
 
     /// Current simulated time in whole milliseconds (for block timestamps).
+    ///
+    /// Unit contract: the clock counts *seconds* internally and only
+    /// [`advance`](Self::advance) can move it, which rejects negative and
+    /// non-finite increments — so the stored time is always a finite,
+    /// non-negative number of seconds and the conversion cannot go below
+    /// zero. The assertion documents (and, in debug builds, enforces)
+    /// that invariant instead of silently clamping.
     pub fn now_millis(&self) -> u64 {
-        (self.now_seconds * 1000.0).round().max(0.0) as u64
+        debug_assert!(
+            self.now_seconds.is_finite() && self.now_seconds >= 0.0,
+            "SimClock invariant violated: time must be finite and non-negative (got {})",
+            self.now_seconds
+        );
+        (self.now_seconds * 1000.0).round() as u64
     }
 
     /// Advances the clock by `seconds` (must be non-negative and finite).

@@ -56,6 +56,41 @@ impl DelayDistribution {
         value.max(0.0)
     }
 
+    /// Validates the distribution's parameters, so configuration errors
+    /// surface at build time instead of as mid-run panics in
+    /// [`sample`](Self::sample).
+    ///
+    /// Every parameter must be finite; `Uniform` bounds must not be
+    /// inverted, `Normal` needs a non-negative spread, and `Exponential`
+    /// a non-negative mean. (Negative *locations* — a negative constant
+    /// or normal mean — are tolerated: the sampler clamps them to zero.)
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            DelayDistribution::Constant(v) if !v.is_finite() => {
+                Err(format!("constant delay must be finite, got {v}"))
+            }
+            DelayDistribution::Uniform { min, max } if !(min.is_finite() && max.is_finite()) => {
+                Err(format!(
+                    "uniform delay bounds must be finite, got [{min}, {max}]"
+                ))
+            }
+            DelayDistribution::Uniform { min, max } if min > max => {
+                Err(format!("uniform delay bounds are inverted: [{min}, {max}]"))
+            }
+            DelayDistribution::Normal { mean, std }
+                if !(mean.is_finite() && std.is_finite() && std >= 0.0) =>
+            {
+                Err(format!(
+                    "normal delay needs a finite mean and non-negative std, got N({mean}, {std})"
+                ))
+            }
+            DelayDistribution::Exponential { mean } if !(mean.is_finite() && mean >= 0.0) => Err(
+                format!("exponential delay needs a finite non-negative mean, got {mean}"),
+            ),
+            _ => Ok(()),
+        }
+    }
+
     /// Expected value of the distribution in seconds.
     pub fn mean(&self) -> f64 {
         match *self {
@@ -198,6 +233,89 @@ mod tests {
         let large = link.sample_transfer(10_000_000, &mut r);
         assert!(large > small);
         assert!((link.expected_transfer(1_000_000) - 1.05).abs() < 1e-9);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Builds one distribution per variant from the drawn parameters,
+        /// including deliberately hostile ones (negative constants and
+        /// means) that the sampler's non-negativity contract must absorb.
+        fn distribution_under_test(variant: usize, a: f64, b: f64) -> DelayDistribution {
+            match variant % 4 {
+                0 => DelayDistribution::Constant(a - 2.5),
+                1 => DelayDistribution::Uniform {
+                    min: a.min(b),
+                    max: a.max(b),
+                },
+                2 => DelayDistribution::Normal {
+                    mean: a - 2.5,
+                    std: b * 0.6,
+                },
+                _ => DelayDistribution::Exponential { mean: a },
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn every_variant_samples_non_negative(
+                variant in 0usize..4,
+                a in 0.0f64..5.0,
+                b in 0.0f64..5.0,
+                seed in any::<u64>(),
+            ) {
+                let d = distribution_under_test(variant, a, b);
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..64 {
+                    let s = d.sample(&mut rng);
+                    prop_assert!(s >= 0.0, "{d:?} sampled {s}");
+                    prop_assert!(s.is_finite(), "{d:?} sampled {s}");
+                }
+                prop_assert!(d.mean() >= 0.0);
+            }
+
+            #[test]
+            fn uniform_stays_within_its_bounds(
+                a in 0.0f64..10.0,
+                b in 0.0f64..10.0,
+                seed in any::<u64>(),
+            ) {
+                let (min, max) = (a.min(b), a.max(b));
+                let d = DelayDistribution::Uniform { min, max };
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..64 {
+                    let s = d.sample(&mut rng);
+                    prop_assert!((min..=max).contains(&s), "{s} outside [{min}, {max}]");
+                }
+            }
+
+            #[test]
+            fn normal_honours_its_truncation_at_zero(
+                mean in -1.0f64..1.0,
+                std in 0.5f64..4.0,
+                seed in any::<u64>(),
+            ) {
+                // Wide spreads around a near-zero mean would go negative
+                // roughly half the time untruncated; the documented
+                // contract clamps those draws to exactly zero.
+                let d = DelayDistribution::Normal { mean, std };
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut clamped = 0usize;
+                for _ in 0..256 {
+                    let s = d.sample(&mut rng);
+                    prop_assert!(s >= 0.0);
+                    if s == 0.0 {
+                        clamped += 1;
+                    }
+                }
+                // With std >= 0.5 and |mean| <= 1, a 256-draw sample hits
+                // the truncation with overwhelming probability.
+                prop_assert!(clamped > 0, "no draw hit the zero truncation");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! A deterministic discrete-event queue for the simulated clock.
+//!
+//! The asynchronous round engine (PR 5) schedules training completions and
+//! upload arrivals as timed events instead of executing Procedures I–V in
+//! lockstep. Determinism is the whole point: two runs of the same scenario
+//! must pop the exact same events in the exact same order, on any machine
+//! and under any sweep parallelism. The queue therefore orders events by
+//! `(simulated time, insertion sequence)` — the sequence number breaks
+//! time ties FIFO, so simultaneous events (for example two zero-delay
+//! uploads) resolve in the order they were scheduled, never in allocator
+//! or hash order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event popped from the queue: when it fires, its insertion sequence
+/// number, and the scheduled payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent<T> {
+    /// Simulated time in seconds at which the event fires.
+    pub time_s: f64,
+    /// Insertion sequence number (unique per queue, monotonically
+    /// increasing; ties on `time_s` pop in `seq` order).
+    pub seq: u64,
+    /// The scheduled payload.
+    pub payload: T,
+}
+
+/// Heap entry with inverted ordering so the `BinaryHeap` max-heap pops the
+/// earliest `(time, seq)` first.
+struct Entry<T> {
+    time_s: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the max-heap's "largest" entry is the earliest event.
+        // `total_cmp` is safe because `push` rejects non-finite times.
+        other
+            .time_s
+            .total_cmp(&self.time_s)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of timed events with deterministic FIFO tie-breaking.
+#[derive(Default)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at simulated second `time_s` (must be finite
+    /// and non-negative), returning its sequence number.
+    pub fn push(&mut self, time_s: f64, payload: T) -> u64 {
+        assert!(
+            time_s.is_finite() && time_s >= 0.0,
+            "events must be scheduled at a finite, non-negative time (got {time_s})"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time_s,
+            seq,
+            payload,
+        });
+        seq
+    }
+
+    /// Removes and returns the earliest pending event (ties broken by
+    /// insertion order), or `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        self.heap.pop().map(|e| ScheduledEvent {
+            time_s: e.time_s,
+            seq: e.seq,
+            payload: e.payload,
+        })
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time_s)
+    }
+
+    /// Drops every pending event (the sequence counter keeps advancing so
+    /// event identities stay unique across the run).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(1.0));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(1.5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequence_numbers_survive_clear() {
+        let mut q = EventQueue::new();
+        let first = q.push(1.0, ());
+        q.clear();
+        assert!(q.is_empty());
+        let second = q.push(1.0, ());
+        assert!(second > first, "event identities stay unique across clear");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite, non-negative")]
+    fn rejects_nan_times() {
+        EventQueue::new().push(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite, non-negative")]
+    fn rejects_negative_times() {
+        EventQueue::new().push(-0.5, ());
+    }
+}

@@ -8,7 +8,11 @@
 //! the edge of the network, and the quality of the channel is difficult to
 //! guarantee". This crate provides the simulated clock the whole system
 //! runs on, parametric per-link delay distributions (constant, uniform,
-//! normal, exponential) with payload-size-dependent transfer times, and the
+//! normal, exponential) with payload-size-dependent transfer times, the
+//! discrete-event substrate of the asynchronous round engine — a
+//! deterministic [`EventQueue`] ordered by `(simulated time, insertion
+//! sequence)` plus per-client [`NodeProfile`]s (compute rate, uplink
+//! latency, churn schedule) — and the
 //! client↔miner topology (uniform random association per round, miner full
 //! mesh).
 
@@ -16,8 +20,12 @@
 
 pub mod clock;
 pub mod delay;
+pub mod event;
+pub mod profile;
 pub mod topology;
 
 pub use clock::SimClock;
 pub use delay::{DelayDistribution, LinkModel};
+pub use event::{EventQueue, ScheduledEvent};
+pub use profile::{ChurnSchedule, NodeProfile};
 pub use topology::Topology;

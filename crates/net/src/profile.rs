@@ -1,0 +1,263 @@
+//! Per-client node profiles: compute heterogeneity, uplink quality, and
+//! churn schedules.
+//!
+//! The synchronous engine treats every client as identical — a round waits
+//! for the slowest participant, so heterogeneity is invisible. The
+//! event-driven engine gives each client a [`NodeProfile`]: a compute-rate
+//! multiplier (stragglers train slower), its own uplink
+//! [`DelayDistribution`], and a [`ChurnSchedule`] of dropout/rejoin windows
+//! (FAIR-BFL's dynamic-join property). Profiles are plain deterministic
+//! values — every delay sample is drawn from the round RNG by the engine,
+//! so a profile itself never holds mutable state.
+
+use crate::delay::DelayDistribution;
+use serde::{Deserialize, Serialize};
+
+/// When a node is online, as a function of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ChurnSchedule {
+    /// The node never leaves.
+    #[default]
+    AlwaysOn,
+    /// The node periodically departs and rejoins: online until
+    /// `first_leave_s`, then alternating `offline_s` seconds offline and
+    /// `online_s` seconds online, forever.
+    Periodic {
+        /// Simulated second of the first departure.
+        first_leave_s: f64,
+        /// Seconds spent offline per departure (> 0).
+        offline_s: f64,
+        /// Seconds spent online between departures (> 0).
+        online_s: f64,
+    },
+}
+
+impl ChurnSchedule {
+    /// True when the node is online at simulated second `t`.
+    pub fn is_online(&self, t: f64) -> bool {
+        match *self {
+            ChurnSchedule::AlwaysOn => true,
+            ChurnSchedule::Periodic {
+                first_leave_s,
+                offline_s,
+                online_s,
+            } => {
+                if t < first_leave_s {
+                    return true;
+                }
+                let phase = (t - first_leave_s) % (offline_s + online_s);
+                phase >= offline_s
+            }
+        }
+    }
+
+    /// The earliest simulated second `>= t` at which the node is online:
+    /// `t` itself when already online, otherwise the end of the current
+    /// offline window. The event engine uses this to fast-forward the
+    /// clock when churn has taken every selectable client offline.
+    pub fn next_online_from(&self, t: f64) -> f64 {
+        match *self {
+            ChurnSchedule::AlwaysOn => t,
+            ChurnSchedule::Periodic {
+                first_leave_s,
+                offline_s,
+                online_s,
+            } => {
+                if self.is_online(t) {
+                    return t;
+                }
+                let phase = (t - first_leave_s) % (offline_s + online_s);
+                t + (offline_s - phase)
+            }
+        }
+    }
+
+    /// Validates the schedule's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ChurnSchedule::AlwaysOn => Ok(()),
+            ChurnSchedule::Periodic {
+                first_leave_s,
+                offline_s,
+                online_s,
+            } => {
+                if !(first_leave_s.is_finite() && first_leave_s >= 0.0) {
+                    return Err(format!(
+                        "churn first_leave_s must be finite and non-negative, got {first_leave_s}"
+                    ));
+                }
+                if !(offline_s.is_finite() && offline_s > 0.0) {
+                    return Err(format!("churn offline_s must be positive, got {offline_s}"));
+                }
+                if !(online_s.is_finite() && online_s > 0.0) {
+                    return Err(format!("churn online_s must be positive, got {online_s}"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One client's heterogeneity profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeProfile {
+    /// Multiplier on the client's local-training time (1.0 = the
+    /// baseline rate of the delay model; stragglers are > 1).
+    pub compute_multiplier: f64,
+    /// Per-upload one-way uplink latency.
+    pub uplink: DelayDistribution,
+    /// When the client is online.
+    pub churn: ChurnSchedule,
+}
+
+impl Default for NodeProfile {
+    fn default() -> Self {
+        NodeProfile::uniform()
+    }
+}
+
+impl NodeProfile {
+    /// The degenerate profile: baseline compute rate, zero uplink
+    /// latency, always online. A population of uniform profiles makes the
+    /// event engine behave like the synchronous one.
+    pub fn uniform() -> Self {
+        NodeProfile {
+            compute_multiplier: 1.0,
+            uplink: DelayDistribution::Constant(0.0),
+            churn: ChurnSchedule::AlwaysOn,
+        }
+    }
+
+    /// True when the client is online at simulated second `t`.
+    pub fn is_online(&self, t: f64) -> bool {
+        self.churn.is_online(t)
+    }
+
+    /// The earliest simulated second `>= t` at which the client is online
+    /// (see [`ChurnSchedule::next_online_from`]).
+    pub fn next_online_from(&self, t: f64) -> f64 {
+        self.churn.next_online_from(t)
+    }
+
+    /// Local-training seconds for this client, given the baseline seconds
+    /// the delay model would charge a nominal client.
+    pub fn training_seconds(&self, baseline_s: f64) -> f64 {
+        baseline_s * self.compute_multiplier
+    }
+
+    /// Validates the profile's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.compute_multiplier.is_finite() && self.compute_multiplier > 0.0) {
+            return Err(format!(
+                "compute_multiplier must be finite and positive, got {}",
+                self.compute_multiplier
+            ));
+        }
+        self.churn.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_is_always_online() {
+        let p = NodeProfile::uniform();
+        for t in [0.0, 1.0, 1e9] {
+            assert!(p.is_online(t));
+        }
+        assert_eq!(p.training_seconds(2.5), 2.5);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn periodic_schedule_cycles() {
+        let churn = ChurnSchedule::Periodic {
+            first_leave_s: 10.0,
+            offline_s: 5.0,
+            online_s: 20.0,
+        };
+        churn.validate().unwrap();
+        assert!(churn.is_online(0.0));
+        assert!(churn.is_online(9.99));
+        // Offline window [10, 15).
+        assert!(!churn.is_online(10.0));
+        assert!(!churn.is_online(14.9));
+        // Online window [15, 35).
+        assert!(churn.is_online(15.0));
+        assert!(churn.is_online(34.9));
+        // Next offline window [35, 40).
+        assert!(!churn.is_online(35.0));
+        assert!(churn.is_online(40.0));
+    }
+
+    #[test]
+    fn next_online_lands_at_the_end_of_the_offline_window() {
+        let churn = ChurnSchedule::Periodic {
+            first_leave_s: 10.0,
+            offline_s: 5.0,
+            online_s: 20.0,
+        };
+        // Already online: identity.
+        assert_eq!(churn.next_online_from(3.0), 3.0);
+        assert_eq!(churn.next_online_from(16.0), 16.0);
+        // Inside the first offline window [10, 15): jump to 15.
+        assert!((churn.next_online_from(10.0) - 15.0).abs() < 1e-12);
+        assert!((churn.next_online_from(14.5) - 15.0).abs() < 1e-12);
+        // Inside the second offline window [35, 40): jump to 40.
+        assert!((churn.next_online_from(36.0) - 40.0).abs() < 1e-12);
+        // The returned instant is actually online.
+        for t in [0.0, 10.0, 12.3, 14.999, 36.0, 39.9] {
+            assert!(churn.is_online(churn.next_online_from(t)));
+        }
+        assert_eq!(ChurnSchedule::AlwaysOn.next_online_from(7.0), 7.0);
+    }
+
+    #[test]
+    fn straggler_profile_scales_training_time() {
+        let slow = NodeProfile {
+            compute_multiplier: 8.0,
+            ..NodeProfile::uniform()
+        };
+        assert_eq!(slow.training_seconds(3.0), 24.0);
+        slow.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let bad = NodeProfile {
+            compute_multiplier: 0.0,
+            ..NodeProfile::uniform()
+        };
+        assert!(bad.validate().unwrap_err().contains("compute_multiplier"));
+        let bad_churn = ChurnSchedule::Periodic {
+            first_leave_s: f64::NAN,
+            offline_s: 1.0,
+            online_s: 1.0,
+        };
+        assert!(bad_churn.validate().is_err());
+        let zero_offline = ChurnSchedule::Periodic {
+            first_leave_s: 0.0,
+            offline_s: 0.0,
+            online_s: 1.0,
+        };
+        assert!(zero_offline.validate().unwrap_err().contains("offline_s"));
+    }
+
+    #[test]
+    fn profiles_serialize() {
+        let p = NodeProfile {
+            compute_multiplier: 2.0,
+            uplink: DelayDistribution::Uniform { min: 0.1, max: 0.4 },
+            churn: ChurnSchedule::Periodic {
+                first_leave_s: 30.0,
+                offline_s: 10.0,
+                online_s: 60.0,
+            },
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: NodeProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

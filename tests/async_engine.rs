@@ -1,0 +1,398 @@
+//! Integration tests for the event-driven round engine (PR 5): the
+//! synchronous mode's bit-identity with the PR 4 engine, the determinism
+//! of flexible-quota runs (event traces and sweep thread-invariance), the
+//! flexible block quota's straggler behaviour, staleness policies, and
+//! churn schedules.
+
+mod common;
+
+use common::{small_config, small_dataset};
+use fair_bfl::core::events::EventKind;
+use fair_bfl::core::{
+    ProfileConfig, Scenario, SimulationResult, StalenessPolicy, SweepPoint, SweepRunner, SyncMode,
+};
+use fair_bfl::fl::config::PartitionKind;
+use fair_bfl::net::DelayDistribution;
+use std::sync::Mutex;
+
+/// The batched/reference engine switches are process-global; tests that
+/// flip them serialize through this lock.
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Canonical digest over every artifact the experiments read: block
+/// hashes, per-round history records (bit-exact), detection rows, reward
+/// totals, and the final parameter vector.
+fn run_digest(result: &SimulationResult) -> String {
+    let mut canon = String::new();
+    if let Some(chain) = &result.chain {
+        for block in chain.iter() {
+            canon.push_str(&block.hash_hex());
+            canon.push('\n');
+        }
+    }
+    for r in &result.history.rounds {
+        canon.push_str(&format!(
+            "round {} acc {:016x} loss {:016x} delay {:016x} elapsed {:016x} n {}\n",
+            r.round,
+            r.accuracy.to_bits(),
+            r.train_loss.to_bits(),
+            r.round_delay_s.to_bits(),
+            r.elapsed_s.to_bits(),
+            r.participants
+        ));
+    }
+    for row in &result.detection.rows {
+        canon.push_str(&format!(
+            "detect {} attackers {:?} dropped {:?}\n",
+            row.round, row.attacker_ids, row.dropped_ids
+        ));
+    }
+    for (client, total) in &result.reward_totals {
+        canon.push_str(&format!("reward {client} {total}\n"));
+    }
+    for p in &result.final_params {
+        canon.push_str(&format!("{:016x}", p.to_bits()));
+    }
+    let digest = fair_bfl::crypto::sha256::sha256(canon.as_bytes());
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The synchronous mode (the degenerate case of the event-driven
+/// redesign: zero delays, quota = all participants) must stay
+/// bit-identical to the PR 4 step engine. The digests below were captured
+/// on the PR 4 engine *before* this refactor landed, over every artifact
+/// the experiments read — history, detection rows, reward totals, final
+/// parameters, and every block hash — in both engine modes.
+#[test]
+fn synchronous_mode_is_bit_identical_to_the_pr4_engine_in_both_engine_modes() {
+    const PR4_BATCHED: &str = "49e74382d7ab1bec34dbf20e11088ad99656afb8b2eb3f2c14036611cc0340dc";
+    const PR4_REFERENCE: &str = "4ddc2d5d580a1fa38e2007973e80841fcc26d8751e88380b8a3b84a391ebcbcc";
+
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    let config = small_config(3);
+    assert!(config.sync.is_synchronous(), "the default mode is lockstep");
+
+    for (reference, expected) in [(false, PR4_BATCHED), (true, PR4_REFERENCE)] {
+        fair_bfl::ml::engine::set_reference_mode(reference);
+        fair_bfl::crypto::engine::set_reference_mode(reference);
+        let result = Scenario::from_config(config)
+            .unwrap()
+            .run(&train, &test)
+            .unwrap();
+        fair_bfl::ml::engine::set_reference_mode(false);
+        fair_bfl::crypto::engine::set_reference_mode(false);
+        assert_eq!(
+            run_digest(&result),
+            expected,
+            "synchronous run diverged from the PR 4 engine (reference={reference})"
+        );
+        assert!(result.outcomes.iter().all(|o| o.stale_included == 0));
+    }
+}
+
+/// A heterogeneous scenario: stragglers, jitter-free but non-zero uplink
+/// latency, full participation.
+fn straggler_scenario(quota: usize, staleness: StalenessPolicy, rounds: usize) -> Scenario {
+    Scenario::builder()
+        .clients(8)
+        .rounds(rounds)
+        .participation_ratio(1.0)
+        .partition(PartitionKind::Iid)
+        .local_epochs(1)
+        .batch_size(10)
+        .verify_signatures(false)
+        .seed(42)
+        .sync(SyncMode::FlexibleQuota { quota })
+        .staleness(staleness)
+        .profiles(ProfileConfig {
+            straggler_slowdown: 8.0,
+            straggler_fraction: 0.25,
+            uplink: DelayDistribution::Constant(0.05),
+            ..ProfileConfig::default()
+        })
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn flexible_quota_runs_are_deterministic_with_identical_event_traces() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    let scenario = straggler_scenario(6, StalenessPolicy::DecayedInclude { decay: 0.5 }, 3);
+
+    let mut traces = Vec::new();
+    let mut digests = Vec::new();
+    for _ in 0..2 {
+        let mut run = scenario.start(&train, &test).unwrap();
+        run.run_to_completion().unwrap();
+        traces.push(run.event_trace().to_vec());
+        digests.push(run_digest(&run.into_result()));
+    }
+    assert!(!traces[0].is_empty(), "flexible runs schedule events");
+    assert_eq!(traces[0], traces[1], "the event trace is deterministic");
+    assert_eq!(digests[0], digests[1], "the run result is deterministic");
+}
+
+#[test]
+fn flexible_sweeps_are_bit_identical_for_any_thread_count() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    let grid: Vec<SweepPoint> = [
+        ("quota-8", 8),
+        ("quota-6", 6),
+        ("quota-4", 4),
+        ("quota-3", 3),
+        ("quota-2", 2),
+    ]
+    .into_iter()
+    .map(|(label, quota)| {
+        SweepPoint::new(
+            label,
+            straggler_scenario(quota, StalenessPolicy::DecayedInclude { decay: 0.5 }, 2),
+        )
+    })
+    .collect();
+
+    let serial = SweepRunner::with_threads(1)
+        .run(&grid, &train, &test)
+        .unwrap();
+    for threads in [0usize, 2, 3] {
+        let cells = SweepRunner::with_threads(threads)
+            .run(&grid, &train, &test)
+            .unwrap();
+        assert_eq!(cells.len(), serial.len());
+        for (a, b) in serial.iter().zip(cells.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(
+                run_digest(&a.result),
+                run_digest(&b.result),
+                "cell `{}` must not depend on sweep parallelism",
+                a.label
+            );
+        }
+    }
+}
+
+#[test]
+fn flexible_quota_seals_blocks_without_waiting_for_stragglers() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    let rounds = 4;
+    // Quota = all participants: every block waits for the 8x straggler.
+    let waiting = straggler_scenario(8, StalenessPolicy::Discard, rounds)
+        .run(&train, &test)
+        .unwrap();
+    // Quota of six: blocks seal once the fast clients have reported.
+    let flexible = straggler_scenario(6, StalenessPolicy::Discard, rounds)
+        .run(&train, &test)
+        .unwrap();
+
+    let makespan = |r: &SimulationResult| r.history.rounds.last().unwrap().elapsed_s;
+    assert!(
+        makespan(&flexible) < makespan(&waiting),
+        "the flexible quota must undercut the straggler-gated makespan \
+         ({:.2}s vs {:.2}s)",
+        makespan(&flexible),
+        makespan(&waiting)
+    );
+    // Both modes still learn and still seal one block per round.
+    assert_eq!(waiting.chain.as_ref().unwrap().height(), rounds as u64);
+    assert_eq!(flexible.chain.as_ref().unwrap().height(), rounds as u64);
+    flexible.chain.as_ref().unwrap().validate_all().unwrap();
+    assert!(flexible.final_accuracy().unwrap() > 0.3);
+}
+
+#[test]
+fn staleness_policies_govern_what_late_uploads_contribute() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    let rounds = 4;
+
+    // Discard: stragglers' late uploads are dropped on arrival; no block
+    // ever carries a stale gradient.
+    let discard = straggler_scenario(6, StalenessPolicy::Discard, rounds);
+    let mut run = discard.start(&train, &test).unwrap();
+    run.run_to_completion().unwrap();
+    let discard_trace = run.event_trace().to_vec();
+    let discard_result = run.into_result();
+    assert!(discard_result
+        .outcomes
+        .iter()
+        .all(|o| o.stale_included == 0));
+    assert!(
+        discard_trace
+            .iter()
+            .any(|e| e.kind == EventKind::StaleDiscarded),
+        "the 8x stragglers must miss the quota and arrive stale"
+    );
+
+    // DecayedInclude: the same stragglers are carried into later blocks.
+    let include = straggler_scenario(6, StalenessPolicy::DecayedInclude { decay: 0.5 }, rounds);
+    let mut run = include.start(&train, &test).unwrap();
+    run.run_to_completion().unwrap();
+    let include_trace = run.event_trace().to_vec();
+    let include_result = run.into_result();
+    assert!(
+        include_trace
+            .iter()
+            .any(|e| e.kind == EventKind::StaleIncluded),
+        "decayed stale uploads enter later blocks"
+    );
+    let carried: usize = include_result
+        .outcomes
+        .iter()
+        .map(|o| o.stale_included)
+        .sum();
+    assert!(carried > 0, "at least one block aggregates a stale upload");
+    // The carried gradients change the trajectory relative to discarding.
+    assert_ne!(discard_result.final_params, include_result.final_params);
+}
+
+#[test]
+fn churn_schedules_gate_selection_and_can_lose_in_flight_uploads() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    let rounds = 6;
+    let scenario = Scenario::builder()
+        .clients(6)
+        .rounds(rounds)
+        .participation_ratio(1.0)
+        .partition(PartitionKind::Iid)
+        .local_epochs(1)
+        .batch_size(10)
+        .verify_signatures(false)
+        .seed(7)
+        .sync(SyncMode::FlexibleQuota { quota: 4 })
+        .profiles(ProfileConfig {
+            churn_fraction: 0.5,
+            churn_online_s: 4.0,
+            churn_offline_s: 50.0,
+            ..ProfileConfig::default()
+        })
+        .build()
+        .unwrap();
+
+    let mut run = scenario.start(&train, &test).unwrap();
+    run.run_to_completion().unwrap();
+    let trace = run.event_trace().to_vec();
+    let result = run.into_result();
+    assert_eq!(result.history.len(), rounds);
+
+    // Offline clients are never selected: every scheduled pass respects
+    // the profile's churn schedule.
+    let profiles = scenario.config().profiles.build_profiles(6);
+    for event in &trace {
+        if event.kind == EventKind::TrainingScheduled {
+            assert!(
+                profiles[event.client_id as usize].is_online(event.time_s),
+                "client {} was scheduled while offline at t={}",
+                event.client_id,
+                event.time_s
+            );
+        }
+    }
+    // The churners (clients 0-2) leave within seconds and stay away for
+    // 50 simulated seconds, so they must miss rounds.
+    let scheduled_rounds = |client: u64| {
+        trace
+            .iter()
+            .filter(|e| e.kind == EventKind::TrainingScheduled && e.client_id == client)
+            .count()
+    };
+    assert!(
+        scheduled_rounds(0) < rounds,
+        "churned client 0 participates in fewer than {rounds} rounds"
+    );
+    // The always-on clients participate far more often than the churners
+    // (they can still sit out a selection while an earlier upload of
+    // theirs is in flight beyond the quota).
+    assert!(
+        scheduled_rounds(0) < scheduled_rounds(5),
+        "churned client 0 ({}) must participate less than always-on client 5 ({})",
+        scheduled_rounds(0),
+        scheduled_rounds(5)
+    );
+}
+
+#[test]
+fn a_fully_churning_population_fast_forwards_instead_of_aborting() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+    // Every client churns with overlapping offline windows: rounds whose
+    // start lands in an all-offline window must fast-forward the clock
+    // to the next rejoin (the dynamic-join property), not abort the run.
+    let rounds = 5;
+    let scenario = Scenario::builder()
+        .clients(4)
+        .rounds(rounds)
+        .participation_ratio(1.0)
+        .partition(PartitionKind::Iid)
+        .local_epochs(1)
+        .batch_size(10)
+        .verify_signatures(false)
+        .seed(11)
+        .sync(SyncMode::FlexibleQuota { quota: 2 })
+        .profiles(ProfileConfig {
+            churn_fraction: 1.0,
+            churn_online_s: 2.0,
+            churn_offline_s: 3.0,
+            ..ProfileConfig::default()
+        })
+        .build()
+        .unwrap();
+    let mut run = scenario.start(&train, &test).unwrap();
+    run.run_to_completion().unwrap();
+    let trace = run.event_trace().to_vec();
+    let result = run.into_result();
+    assert_eq!(result.history.len(), rounds, "no round aborts");
+    // Scheduling still respects every churn schedule.
+    let profiles = scenario.config().profiles.build_profiles(4);
+    for event in &trace {
+        if event.kind == EventKind::TrainingScheduled {
+            assert!(profiles[event.client_id as usize].is_online(event.time_s));
+        }
+    }
+}
+
+#[test]
+fn flexible_quota_works_with_signatures_and_in_fl_only_mode() {
+    let _guard = lock();
+    let (train, test) = small_dataset();
+
+    // Signatures on: uploads are signed by the client, verified at the
+    // miner's mempool, and the sealed chain validates.
+    let mut config = small_config(2);
+    config.sync = SyncMode::FlexibleQuota { quota: 3 };
+    let signed = Scenario::from_config(config)
+        .unwrap()
+        .run(&train, &test)
+        .unwrap();
+    assert_eq!(signed.history.len(), 2);
+    let chain = signed.chain.as_ref().unwrap();
+    assert_eq!(chain.height(), 2);
+    chain.validate_all().unwrap();
+    assert!(signed
+        .outcomes
+        .iter()
+        .all(|o| o.participants == 3 && o.block_hash.is_some()));
+
+    // FL-only: the aggregator fires at the quota without any chain.
+    let mut config = small_config(2);
+    config.mode = fair_bfl::core::FlexibilityMode::FlOnly;
+    config.verify_signatures = false;
+    config.sync = SyncMode::FlexibleQuota { quota: 3 };
+    let fl_only = Scenario::from_config(config)
+        .unwrap()
+        .run(&train, &test)
+        .unwrap();
+    assert!(fl_only.chain.is_none());
+    assert!(fl_only
+        .outcomes
+        .iter()
+        .all(|o| o.participants == 3 && o.block_hash.is_none() && o.breakdown.t_bl == 0.0));
+}
