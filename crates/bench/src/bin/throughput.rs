@@ -60,9 +60,21 @@
 //!     for everyone" vs 60% of the participants (the paper's flexible
 //!     block size); asserts the flexible quota's makespan is lower.
 //!
-//! Usage: `throughput [reps] [all|ml|crypto|pr3|pr4|pr5|smoke]`. `smoke`
-//! runs a seconds-scale version of every section (for CI) and writes
-//! `BENCH_SMOKE.json` instead of the tracked reports.
+//! **Fault injection** (PR 6, written to `BENCH_PR6.json`): the
+//! deterministic fault plans on the event engine:
+//!
+//! 13. **fault sweep** — the loss-rate × partition grid through
+//!     [`bfl_core::SweepRunner`], asserted bit-identical across thread
+//!     counts *while faults are active* (drop coins, retry jitter, and
+//!     fork healing draw from a per-run stream), then measured serial vs
+//!     parallel.
+//! 14. **resilience curve** — per-cell accuracy, simulated makespan,
+//!     delivered uploads, salvaged stale carry-over, and fork resolution
+//!     time against the fault-free baseline corner.
+//!
+//! Usage: `throughput [reps] [all|ml|crypto|pr3|pr4|pr5|pr6|smoke]`.
+//! `smoke` runs a seconds-scale version of every section (for CI) and
+//! writes `BENCH_SMOKE.json` instead of the tracked reports.
 
 use bfl_bench::experiments::{dataset, scenario_grid, system_config, Scale, SystemLabel};
 use bfl_chain::Block;
@@ -162,6 +174,7 @@ struct SmokeReport {
     pr3: Pr3Report,
     pr4: Pr4Report,
     pr5: Pr5Report,
+    pr6: Pr6Report,
 }
 
 /// Runs `body` once warm-up, then `reps` individually timed repetitions;
@@ -1053,6 +1066,154 @@ fn pr5_section(data: &(Dataset, Dataset), reps: usize, rounds: usize) -> Pr5Repo
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection: the resilience curve (PR 6 metrics).
+// ---------------------------------------------------------------------------
+
+/// One point of the resilience curve: what a loss-rate × partition cell
+/// costs in accuracy, simulated time, and delivered uploads.
+#[derive(Debug, Clone, Serialize)]
+struct FaultCellSummary {
+    label: String,
+    final_accuracy: f64,
+    simulated_makespan_s: f64,
+    mean_round_delay_s: f64,
+    /// Uploads that entered aggregations across the run — what survived
+    /// the drops, crashes, and strandings.
+    total_participants: usize,
+    /// Stale uploads carried into blocks (salvaged orphans included).
+    stale_included: usize,
+    /// Total simulated seconds spent resolving partition-driven forks.
+    fork_resolution_s: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Pr6Report {
+    description: String,
+    grid_cells: usize,
+    rounds_per_cell: usize,
+    threads: usize,
+    serial_scenarios_per_sec: f64,
+    parallel_scenarios_per_sec: f64,
+    speedup: f64,
+    /// The resilience curve, one row per loss-rate × partition cell; the
+    /// `drop-00/joined` row is the fault-free baseline.
+    cells: Vec<FaultCellSummary>,
+}
+
+fn pr6_section(data: &(Dataset, Dataset), reps: usize, rounds: usize) -> Pr6Report {
+    use bfl_bench::experiments::fault_grid;
+
+    let grid = fault_grid(Scale::Smoke, rounds);
+    let serial_runner = SweepRunner::with_threads(1);
+    let parallel_runner = SweepRunner::new();
+
+    eprintln!(
+        "running the {}-cell loss x partition fault grid across thread counts...",
+        grid.len()
+    );
+    // The determinism gate under *active* faults: drop coins, retry
+    // jitter, and fork healing must replay identically no matter how the
+    // sweep is parallelized — the fault stream is per-run, so thread
+    // count cannot leak into the coin-flips.
+    let serial_cells = serial_runner
+        .run(&grid, &data.0, &data.1)
+        .expect("every fault grid cell completes serially");
+    assert_eq!(serial_cells.len(), grid.len());
+    for threads in [0usize, 2] {
+        let cells = SweepRunner::with_threads(threads)
+            .run(&grid, &data.0, &data.1)
+            .expect("every fault grid cell completes in parallel");
+        for (a, b) in serial_cells.iter().zip(cells.iter()) {
+            assert_eq!(a.label, b.label, "sweep order is stable");
+            assert_eq!(
+                a.result.history, b.result.history,
+                "faulted cell `{}` must not depend on sweep parallelism",
+                a.label
+            );
+            assert_eq!(a.result.final_params, b.result.final_params);
+            assert_eq!(a.result.reward_totals, b.result.reward_totals);
+        }
+    }
+
+    eprintln!("measuring fault sweep throughput ({reps} reps per runner)...");
+    let cells_per_run = grid.len() as f64;
+    let serial_rate = rate(cells_per_run, reps, || {
+        black_box(serial_runner.run(&grid, &data.0, &data.1).expect("sweep"));
+    });
+    let parallel_rate = rate(cells_per_run, reps, || {
+        black_box(parallel_runner.run(&grid, &data.0, &data.1).expect("sweep"));
+    });
+    let threads = par::max_threads();
+    eprintln!(
+        "  serial {serial_rate:>8.2} scenarios/s | parallel {parallel_rate:>8.2} scenarios/s \
+         ({threads} threads) | {:.2}x",
+        parallel_rate / serial_rate
+    );
+
+    let cells: Vec<FaultCellSummary> = serial_cells
+        .iter()
+        .map(|cell| FaultCellSummary {
+            label: cell.label.clone(),
+            final_accuracy: cell.result.final_accuracy().unwrap_or(0.0),
+            simulated_makespan_s: simulated_makespan(&cell.result),
+            mean_round_delay_s: cell.result.mean_delay(),
+            total_participants: cell.result.outcomes.iter().map(|o| o.participants).sum(),
+            stale_included: cell.result.outcomes.iter().map(|o| o.stale_included).sum(),
+            fork_resolution_s: cell
+                .result
+                .outcomes
+                .iter()
+                .map(|o| o.breakdown.t_fork)
+                .sum(),
+        })
+        .collect();
+    for cell in &cells {
+        eprintln!(
+            "  {:<20} acc {:.3} | makespan {:>6.2}s | delivered {:>3} | stale {:>2} | \
+             t_fork {:>5.2}s",
+            cell.label,
+            cell.final_accuracy,
+            cell.simulated_makespan_s,
+            cell.total_participants,
+            cell.stale_included,
+            cell.fork_resolution_s,
+        );
+    }
+    // The curve must actually bend: faults cost delivered uploads
+    // relative to the fault-free baseline, and partition cells pay fork
+    // resolution time.
+    let baseline = cells
+        .iter()
+        .find(|c| c.label == "drop-00/joined")
+        .expect("the fault-free corner is part of the grid");
+    assert!(
+        cells
+            .iter()
+            .filter(|c| c.label != baseline.label)
+            .any(
+                |c| c.total_participants < baseline.total_participants || c.fork_resolution_s > 0.0
+            ),
+        "active faults must leave a measurable mark on the curve"
+    );
+
+    Pr6Report {
+        description: "Fault injection: loss-rate x partition grid through SweepRunner \
+                      (bit-identical across thread counts asserted while faults are active), \
+                      with the per-cell resilience curve — accuracy, simulated makespan, \
+                      delivered uploads, salvaged stale carry-over, and fork resolution time, \
+                      same process/machine"
+            .to_string(),
+        grid_cells: grid.len(),
+        rounds_per_cell: rounds,
+        threads,
+        serial_scenarios_per_sec: serial_rate,
+        parallel_scenarios_per_sec: parallel_rate,
+        speedup: parallel_rate / serial_rate,
+        cells,
+    }
+}
+
 fn write_report<T: Serialize>(path: &str, report: &T) {
     let json = serde_json::to_string_pretty(report).expect("report serializes");
     std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| panic!("{path} written: {e}"));
@@ -1112,6 +1273,10 @@ fn main() {
             let data = dataset(Scale::Smoke);
             write_report("BENCH_PR5.json", &pr5_section(&data, reps, 3));
         }
+        "pr6" => {
+            let data = dataset(Scale::Smoke);
+            write_report("BENCH_PR6.json", &pr6_section(&data, reps, 3));
+        }
         "smoke" => {
             // Seconds-scale end-to-end exercise of every engine for CI:
             // catches perf-harness breakage, not regressions.
@@ -1129,6 +1294,7 @@ fn main() {
             let pr3 = pr3_section(&data, reps, &scale, Some(&crypto));
             let pr4 = pr4_section(&data, reps, 2);
             let pr5 = pr5_section(&data, reps, 2);
+            let pr6 = pr6_section(&data, reps, 2);
             let report = SmokeReport {
                 description: "CI smoke run at reduced scale; not a tracked measurement".to_string(),
                 ml,
@@ -1136,6 +1302,7 @@ fn main() {
                 pr3,
                 pr4,
                 pr5,
+                pr6,
             };
             write_report("BENCH_SMOKE.json", &report);
         }
@@ -1147,16 +1314,18 @@ fn main() {
             let pr3 = pr3_section(&crypto_data, reps, &full_crypto_scale, Some(&crypto));
             let pr4 = pr4_section(&crypto_data, reps, 3);
             let pr5 = pr5_section(&crypto_data, reps, 3);
+            let pr6 = pr6_section(&crypto_data, reps, 3);
             write_report("BENCH_PR1.json", &ml);
             write_report("BENCH_CRYPTO.json", &crypto);
             write_report("BENCH_PR3.json", &pr3);
             write_report("BENCH_PR4.json", &pr4);
             write_report("BENCH_PR5.json", &pr5);
+            write_report("BENCH_PR6.json", &pr6);
         }
         other => {
             // A typo must not silently regenerate the tracked reports.
             eprintln!(
-                "unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|pr3|pr4|pr5|smoke]"
+                "unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|pr3|pr4|pr5|pr6|smoke]"
             );
             std::process::exit(2);
         }

@@ -2,12 +2,12 @@
 
 use bfl_core::{
     AggregationAnchor, AttackConfig, BflConfig, BflSimulation, DetectionTable, FlexibilityMode,
-    LowContributionStrategy, ProfileConfig, Scenario, SimulationResult, StalenessPolicy,
-    SweepPoint, SyncMode,
+    LowContributionStrategy, ProfileConfig, ReorgPolicy, RetryPolicy, Scenario, SimulationResult,
+    StalenessPolicy, SweepPoint, SyncMode,
 };
 use bfl_data::{Dataset, SynthMnist, SynthMnistConfig};
 use bfl_fl::config::PartitionKind;
-use bfl_net::DelayDistribution;
+use bfl_net::{DelayDistribution, FaultPlan, LinkFaults, Partition};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -541,6 +541,68 @@ pub fn async_grid(scale: Scale, rounds: usize) -> Vec<SweepPoint> {
     grid
 }
 
+/// The loss-rate × partition grid of the fault-injection subsystem
+/// (PR 6): uplink drop rates crossed with mesh-splitting partitions of
+/// increasing length, every faulted cell retrying lost uploads under
+/// exponential backoff and salvaging orphaned ones at heal time. The
+/// zero-fault/zero-split corner is the resilience curve's baseline. At
+/// [`Scale::Smoke`] the grid shrinks to its four corners.
+pub fn fault_grid(scale: Scale, rounds: usize) -> Vec<SweepPoint> {
+    let clients = 10usize;
+    let loss_rates: &[(f64, &str)] = match scale {
+        Scale::Smoke => &[(0.0, "drop-00"), (0.3, "drop-30")],
+        _ => &[(0.0, "drop-00"), (0.15, "drop-15"), (0.3, "drop-30")],
+    };
+    // Partition windows in absolute simulated seconds; rounds on this
+    // population run ~1-3 simulated seconds each, so the splits cover
+    // roughly one to two rounds and heal well before the run ends.
+    let splits: &[(f64, &str)] = match scale {
+        Scale::Smoke => &[(0.0, "joined"), (2.0, "split-2s")],
+        _ => &[(0.0, "joined"), (2.0, "split-2s"), (4.0, "split-4s")],
+    };
+    let mut grid = Vec::new();
+    for &(drop_rate, drop_name) in loss_rates {
+        for &(split_s, split_name) in splits {
+            let mut config = base_config(scale);
+            config.fl.clients = clients;
+            config.fl.participation_ratio = 1.0;
+            config.fl.rounds = rounds;
+            config.verify_signatures = false;
+            config.miners = 3;
+            config.sync = SyncMode::FlexibleQuota { quota: 7 };
+            config.staleness = StalenessPolicy::DecayedInclude { decay: 0.5 };
+            config.profiles = async_profile(8.0, DelayDistribution::Constant(0.05), false);
+            config.fault = FaultPlan {
+                uplink: LinkFaults {
+                    drop_rate,
+                    ..LinkFaults::default()
+                },
+                partition: (split_s > 0.0).then_some(Partition {
+                    start_s: 1.0,
+                    duration_s: split_s,
+                    boundary: 2,
+                }),
+                ..FaultPlan::default()
+            };
+            if drop_rate > 0.0 {
+                config.retry = RetryPolicy::Backoff {
+                    max_attempts: 3,
+                    timeout_s: 0.5,
+                    base_s: 0.5,
+                    factor: 2.0,
+                    jitter_s: 0.1,
+                };
+            }
+            config.reorg = ReorgPolicy::Salvage;
+            grid.push(SweepPoint::new(
+                format!("{drop_name}/{split_name}"),
+                Scenario::from_config(config).expect("fault grid cell is valid"),
+            ));
+        }
+    }
+    grid
+}
+
 /// The synchronous-vs-flexible comparison pair of the PR 5 bench: the
 /// same straggler-heavy population run with the block quota at "wait for
 /// everyone" (the synchronous behaviour under heterogeneity) and at 60%
@@ -703,6 +765,29 @@ mod tests {
         deduped.sort_unstable();
         deduped.dedup();
         assert_eq!(deduped.len(), labels.len());
+    }
+
+    #[test]
+    fn fault_grid_covers_loss_and_partition_axes() {
+        let grid = fault_grid(Scale::Smoke, 1);
+        // 2 loss rates x 2 partition windows at smoke scale.
+        assert_eq!(grid.len(), 4);
+        let full = fault_grid(Scale::Medium, 1);
+        // 3 loss rates x 3 partition windows otherwise.
+        assert_eq!(full.len(), 9);
+        let labels: Vec<&str> = grid.iter().map(|p| p.label.as_str()).collect();
+        assert!(labels.contains(&"drop-00/joined"), "baseline corner exists");
+        assert!(labels.contains(&"drop-30/split-2s"));
+        let mut deduped = labels.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), labels.len());
+        // The baseline corner carries no active faults; every other cell
+        // carries at least one.
+        for point in &full {
+            let active = point.scenario.config().fault.is_active();
+            assert_eq!(active, point.label != "drop-00/joined", "{}", point.label);
+        }
     }
 
     #[test]

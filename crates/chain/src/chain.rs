@@ -160,6 +160,39 @@ impl Blockchain {
         }
     }
 
+    /// Tie-breaking resolution for healing a fork whose branches grew to
+    /// the *same* length: adopts `other` when it is fully valid, at least
+    /// as long, and ends in a different tip. [`resolve_longest`] strictly
+    /// prefers length; this is the deterministic "first-seen branch wins"
+    /// rule the consensus layer applies to the equal-length remainder, with
+    /// the preferred branch always passed as `other`. Returns true when a
+    /// reorganisation happened.
+    ///
+    /// [`resolve_longest`]: Blockchain::resolve_longest
+    pub fn resolve_preferred(&mut self, other: &Blockchain) -> bool {
+        if other.len() >= self.len()
+            && other.tip().hash() != self.tip().hash()
+            && other.validate_all().is_ok()
+        {
+            self.blocks = other.blocks.clone();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The blocks of `self` that do not appear in `canonical` (compared by
+    /// hash): the orphaned branch left behind after a reorganisation.
+    pub fn orphaned_against(&self, canonical: &Blockchain) -> Vec<Block> {
+        let canonical_hashes: std::collections::BTreeSet<[u8; 32]> =
+            canonical.blocks.iter().map(Block::hash).collect();
+        self.blocks
+            .iter()
+            .filter(|b| !canonical_hashes.contains(&b.hash()))
+            .cloned()
+            .collect()
+    }
+
     /// The most recent global-gradient payload on the chain, if any,
     /// together with the round it was recorded for. This is what clients
     /// read at the start of Procedure-I ("read global gradient w_r from the
@@ -360,6 +393,47 @@ mod tests {
     }
 
     #[test]
+    fn preferred_resolution_breaks_equal_length_ties() {
+        let mut a = Blockchain::new();
+        let mut b = Blockchain::new();
+        a.mine_and_append(vec![], 0, &easy_pow(), 1).unwrap();
+        b.mine_and_append(vec![], 1, &easy_pow(), 2).unwrap();
+        assert_ne!(a.tip().hash(), b.tip().hash());
+
+        // Longest-chain cannot resolve an equal-length fork...
+        assert!(!a.resolve_longest(&b));
+        // ...but the preferred branch wins the tie.
+        let preferred = b.clone();
+        assert!(a.resolve_preferred(&preferred));
+        assert_eq!(a.tip().hash(), b.tip().hash());
+        // Re-applying is a no-op (same tip).
+        assert!(!a.resolve_preferred(&preferred));
+        // A shorter chain is never adopted.
+        let genesis_only = Blockchain::new();
+        assert!(!a.resolve_preferred(&genesis_only));
+        assert_eq!(a.height(), 1);
+    }
+
+    #[test]
+    fn orphaned_against_lists_the_losing_branch() {
+        let mut common = Blockchain::new();
+        common.mine_and_append(vec![], 0, &easy_pow(), 1).unwrap();
+        let mut winner = common.clone();
+        let mut loser = common.clone();
+        winner.mine_and_append(vec![], 1, &easy_pow(), 1).unwrap();
+        winner.mine_and_append(vec![], 2, &easy_pow(), 1).unwrap();
+        loser
+            .mine_and_append(vec![Transaction::reward(2, 2, 7, 10)], 3, &easy_pow(), 2)
+            .unwrap();
+
+        let orphans = loser.orphaned_against(&winner);
+        assert_eq!(orphans.len(), 1);
+        assert_eq!(orphans[0].hash(), loser.tip().hash());
+        // The winning branch has no orphans against itself.
+        assert!(winner.orphaned_against(&winner).is_empty());
+    }
+
+    #[test]
     fn latest_global_gradient_returns_most_recent() {
         let mut chain = Blockchain::new();
         chain
@@ -401,5 +475,65 @@ mod tests {
         let back: Blockchain = serde_json::from_str(&json).unwrap();
         assert_eq!(back, chain);
         back.validate_all().unwrap();
+    }
+
+    mod fork_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// After an arbitrary valid fork — a shared prefix plus two
+            /// divergent branches of arbitrary lengths — longest-chain
+            /// resolution (with the preferred-branch tiebreak on equal
+            /// lengths) converges both replicas to one tip.
+            #[test]
+            fn resolution_converges_an_arbitrary_valid_fork(
+                prefix_len in 0usize..3,
+                a_len in 1usize..4,
+                b_len in 1usize..4,
+            ) {
+                let pow = easy_pow();
+                let mut common = Blockchain::new();
+                for i in 0..prefix_len {
+                    common.mine_and_append(vec![], i as u64, &pow, 1).unwrap();
+                }
+                let mut a = common.clone();
+                let mut b = common;
+                // Distinct miner ids + timestamps force distinct branch
+                // blocks even at equal heights.
+                for i in 0..a_len {
+                    a.mine_and_append(vec![], 100 + i as u64, &pow, 1).unwrap();
+                }
+                for i in 0..b_len {
+                    b.mine_and_append(vec![], 200 + i as u64, &pow, 2).unwrap();
+                }
+                prop_assert_ne!(a.tip().hash(), b.tip().hash());
+
+                // Each side applies the longest-chain rule; the
+                // equal-length remainder is broken toward branch A (the
+                // deterministic first-seen preference).
+                let snapshot_a = a.clone();
+                let reorg_a = a.resolve_longest(&b);
+                let reorg_b = b.resolve_longest(&snapshot_a);
+                if a.tip().hash() != b.tip().hash() {
+                    b.resolve_preferred(&a);
+                }
+
+                prop_assert_eq!(a.tip().hash(), b.tip().hash());
+                prop_assert_eq!(a.height(), b.height());
+                prop_assert_eq!(a.height() as usize, prefix_len + a_len.max(b_len));
+                a.validate_all().unwrap();
+                b.validate_all().unwrap();
+                // Exactly one side reorganised on unequal lengths; neither
+                // did on ties (the tiebreak handled it).
+                if a_len != b_len {
+                    prop_assert!(reorg_a ^ reorg_b);
+                } else {
+                    prop_assert!(!reorg_a && !reorg_b);
+                }
+            }
+        }
     }
 }

@@ -75,16 +75,40 @@ impl RoundConsensus {
         timestamp_ms: u64,
         rng: &mut R,
     ) -> Result<ConsensusOutcome, ChainError> {
-        let mining = sample_competition(&self.miners, &self.pow, rng);
+        let members: Vec<usize> = (0..self.miners.len()).collect();
+        let outcome = self.seal_round_among(&members, transactions, timestamp_ms, rng)?;
+        self.agreed_height().expect("replicas remain in agreement");
+        Ok(outcome)
+    }
+
+    /// Seals one round among a *subset* of the miners — a mesh component
+    /// during a partition, or the survivors of a miner crash. The
+    /// competition runs over the member miners only, the block extends the
+    /// first member's replica, and only member replicas append it; the
+    /// rest of the mesh is unreachable and keeps its own tip.
+    ///
+    /// With every miner a member this is exactly [`seal_round`], drawing
+    /// identically from `rng`.
+    ///
+    /// [`seal_round`]: RoundConsensus::seal_round
+    pub fn seal_round_among<R: Rng + ?Sized>(
+        &mut self,
+        members: &[usize],
+        transactions: Vec<Transaction>,
+        timestamp_ms: u64,
+        rng: &mut R,
+    ) -> Result<ConsensusOutcome, ChainError> {
+        assert!(!members.is_empty(), "a component needs at least one miner");
+        let member_miners: Vec<Miner> = members.iter().map(|&i| self.miners[i].clone()).collect();
+        let mining = sample_competition(&member_miners, &self.pow, rng);
 
         // The winner assembles and actually mines the block (bounded search
         // with a generous budget; difficulty in simulations is modest).
-        let winner = self
-            .miners
+        let winner = member_miners
             .iter()
             .find(|m| m.id == mining.winner)
-            .expect("winner is one of the miners");
-        let tip = self.replicas[0].tip().clone();
+            .expect("winner is one of the members");
+        let tip = self.replicas[members[0]].tip().clone();
         let mut candidate = Block::candidate(
             &tip,
             transactions,
@@ -100,17 +124,51 @@ impl RoundConsensus {
             .mine_block(&mut candidate, &self.pow, budget)
             .ok_or(ChainError::InsufficientWork)?;
 
-        // Broadcast: every replica validates and appends the same block.
-        for replica in &mut self.replicas {
-            replica.append(candidate.clone())?;
+        // Broadcast within the component: every member replica validates
+        // and appends the same block.
+        for &i in members {
+            self.replicas[i].append(candidate.clone())?;
         }
 
-        let height = self.agreed_height().expect("replicas remain in agreement");
+        let height = self.replicas[members[0]].height();
         Ok(ConsensusOutcome {
             mining,
             block: candidate,
             height,
         })
+    }
+
+    /// Heals a fork after a partition or crash left the replicas on
+    /// divergent tips: the longest replica wins (ties broken toward the
+    /// lowest miner index, deterministically), every other replica adopts
+    /// it, and the blocks of the losing branches are returned (deduped by
+    /// hash, in replica order) so the round engine can salvage or discard
+    /// their contents per the configured reorg policy.
+    ///
+    /// A no-op returning an empty list when the replicas already agree.
+    pub fn heal(&mut self) -> Vec<Block> {
+        if self.agreed_height().is_some() {
+            return Vec::new();
+        }
+        let winner_index = (0..self.replicas.len())
+            .max_by_key(|&i| (self.replicas[i].height(), std::cmp::Reverse(i)))
+            .expect("consensus holds at least one replica");
+        let winner = self.replicas[winner_index].clone();
+
+        let mut orphans: Vec<Block> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for replica in &mut self.replicas {
+            for orphan in replica.orphaned_against(&winner) {
+                if seen.insert(orphan.hash()) {
+                    orphans.push(orphan);
+                }
+            }
+            if !replica.resolve_longest(&winner) {
+                replica.resolve_preferred(&winner);
+            }
+        }
+        debug_assert!(self.agreed_height().is_some(), "healed replicas agree");
+        orphans
     }
 
     /// Returns a reference to the (agreed) canonical chain.
@@ -174,6 +232,108 @@ mod tests {
         }
         assert_eq!(consensus.canonical_chain().empty_block_count(), 0);
         assert_eq!(consensus.canonical_chain().height(), 3);
+    }
+
+    #[test]
+    fn full_membership_seal_matches_seal_round() {
+        let mut via_seal = group(3);
+        let mut via_among = group(3);
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let txs = vec![Transaction::global_gradient(0, 1, vec![9])];
+        let a = via_seal.seal_round(txs.clone(), 500, &mut rng_a).unwrap();
+        let b = via_among
+            .seal_round_among(&[0, 1, 2], txs, 500, &mut rng_b)
+            .unwrap();
+        assert_eq!(a.mining.winner, b.mining.winner);
+        assert_eq!(a.block.hash(), b.block.hash());
+        assert_eq!(a.height, b.height);
+    }
+
+    #[test]
+    fn partitioned_components_fork_and_heal_to_one_tip() {
+        let mut consensus = group(3);
+        let mut rng = StdRng::seed_from_u64(12);
+
+        // One shared round before the split.
+        consensus
+            .seal_round(
+                vec![Transaction::global_gradient(0, 1, vec![1])],
+                1000,
+                &mut rng,
+            )
+            .unwrap();
+
+        // Partition: {0, 1} and {2} each mine their own branch; the
+        // primary component seals two rounds, the secondary one.
+        for round in 2..=3u64 {
+            consensus
+                .seal_round_among(
+                    &[0, 1],
+                    vec![Transaction::global_gradient(0, round, vec![round as u8])],
+                    round * 1000,
+                    &mut rng,
+                )
+                .unwrap();
+        }
+        consensus
+            .seal_round_among(
+                &[2],
+                vec![Transaction::global_gradient(2, 2, vec![99])],
+                2500,
+                &mut rng,
+            )
+            .unwrap();
+
+        // A real fork: the replicas disagree.
+        assert_eq!(consensus.agreed_height(), None);
+        assert_eq!(consensus.replicas[0].height(), 3);
+        assert_eq!(consensus.replicas[2].height(), 2);
+        assert_ne!(
+            consensus.replicas[0].tip().hash(),
+            consensus.replicas[2].tip().hash()
+        );
+
+        // Heal: the longer primary branch wins, the secondary block is
+        // orphaned and surfaced for the reorg policy.
+        let orphans = consensus.heal();
+        assert_eq!(orphans.len(), 1);
+        assert_eq!(orphans[0].header.miner_id, 2);
+        assert_eq!(consensus.agreed_height(), Some(3));
+        for replica in &consensus.replicas {
+            replica.validate_all().unwrap();
+        }
+
+        // Healing an agreed mesh is a no-op.
+        assert!(consensus.heal().is_empty());
+    }
+
+    #[test]
+    fn equal_length_fork_heals_toward_the_lowest_replica() {
+        let mut consensus = group(2);
+        let mut rng = StdRng::seed_from_u64(13);
+        consensus
+            .seal_round_among(
+                &[0],
+                vec![Transaction::global_gradient(0, 1, vec![1])],
+                1000,
+                &mut rng,
+            )
+            .unwrap();
+        consensus
+            .seal_round_among(
+                &[1],
+                vec![Transaction::global_gradient(1, 1, vec![2])],
+                1100,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(consensus.agreed_height(), None);
+        let expected_tip = consensus.replicas[0].tip().hash();
+        let orphans = consensus.heal();
+        assert_eq!(orphans.len(), 1);
+        assert_eq!(consensus.agreed_height(), Some(1));
+        assert_eq!(consensus.replicas[1].tip().hash(), expected_tip);
     }
 
     #[test]

@@ -9,14 +9,33 @@
 //! verification against a [`bfl_crypto::KeyStore`]), FIFO ordering, and
 //! draining into block-sized batches.
 
-use crate::transaction::Transaction;
+use crate::transaction::{Transaction, TransactionKind};
 use bfl_crypto::{CryptoError, KeyStore, SignedMessage};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// A FIFO pool of transactions waiting to be packed into blocks.
+///
+/// Local-gradient uploads are additionally keyed by `(round, client)`:
+/// when the network retries a lost upload *and* the original copy turns
+/// out to have been delivered after all (or a faulty link duplicates the
+/// send), the second arrival is recognised and ignored instead of
+/// double-counting in aggregation.
 #[derive(Debug, Clone, Default)]
 pub struct Mempool {
     pending: VecDeque<Transaction>,
+    /// `(round, client)` keys of the pending local-gradient uploads.
+    upload_keys: BTreeSet<(u64, u64)>,
+}
+
+/// The `(round, client)` dedup key of a local-gradient upload; `None`
+/// for transaction kinds that are never retransmitted.
+fn upload_key(tx: &Transaction) -> Option<(u64, u64)> {
+    match &tx.kind {
+        TransactionKind::LocalGradient {
+            round, client_id, ..
+        } => Some((*round, *client_id)),
+        _ => None,
+    }
 }
 
 impl Mempool {
@@ -42,6 +61,9 @@ impl Mempool {
 
     /// Admits a transaction without verification.
     pub fn submit(&mut self, tx: Transaction) {
+        if let Some(key) = upload_key(&tx) {
+            self.upload_keys.insert(key);
+        }
         self.pending.push_back(tx);
     }
 
@@ -51,15 +73,39 @@ impl Mempool {
     /// `envelope` is the signed message that carried `tx` over the network;
     /// the mempool does not interpret its payload, it only checks the
     /// signature (the paper's Figure 2 verification step).
+    ///
+    /// Returns `Ok(true)` when the transaction was admitted and
+    /// `Ok(false)` when it was a retransmit of a pending local-gradient
+    /// upload for the same `(round, client)` and was ignored.
     pub fn submit_signed(
         &mut self,
         tx: Transaction,
         envelope: &SignedMessage,
         keys: &KeyStore,
-    ) -> Result<(), CryptoError> {
+    ) -> Result<bool, CryptoError> {
         keys.verify(envelope)?;
+        if let Some(key) = upload_key(&tx) {
+            if !self.upload_keys.insert(key) {
+                return Ok(false);
+            }
+        }
         self.pending.push_back(tx);
-        Ok(())
+        Ok(true)
+    }
+
+    /// Removes the pending local-gradient upload of `(round, client)`,
+    /// returning it when one was pending. Models a miner crash losing
+    /// (part of) its mempool.
+    pub fn remove_upload(&mut self, round: u64, client: u64) -> Option<Transaction> {
+        if !self.upload_keys.remove(&(round, client)) {
+            return None;
+        }
+        let position = self
+            .pending
+            .iter()
+            .position(|tx| upload_key(tx) == Some((round, client)))
+            .expect("keyed upload is pending");
+        self.pending.remove(position)
     }
 
     /// Drains the oldest transactions that fit within `max_block_bytes`
@@ -76,7 +122,11 @@ impl Mempool {
             let tx_size = tx.size_bytes();
             if batch.is_empty() || used + tx_size <= max_block_bytes {
                 used += tx_size;
-                batch.push(self.pending.pop_front().expect("front exists"));
+                let tx = self.pending.pop_front().expect("front exists");
+                if let Some(key) = upload_key(&tx) {
+                    self.upload_keys.remove(&key);
+                }
+                batch.push(tx);
                 if used > max_block_bytes {
                     break;
                 }
@@ -95,6 +145,7 @@ impl Mempool {
     /// gradient, so the pending local-gradient uploads are consumed as a
     /// working set when the quota fires rather than packed into blocks.
     pub fn drain_all(&mut self) -> Vec<Transaction> {
+        self.upload_keys.clear();
         self.pending.drain(..).collect()
     }
 
@@ -116,6 +167,7 @@ impl Mempool {
     /// Discards everything (used when a round is abandoned).
     pub fn clear(&mut self) {
         self.pending.clear();
+        self.upload_keys.clear();
     }
 }
 
@@ -233,6 +285,61 @@ mod tests {
     }
 
     #[test]
+    fn retransmitted_upload_is_deduplicated_by_round_and_client() {
+        let mut store = KeyStore::new();
+        let mut rng = StdRng::seed_from_u64(44);
+        let pairs = store.provision(&mut rng, &[1, 2], 256).unwrap();
+
+        let mut pool = Mempool::new();
+        let tx = gradient_tx(1, 16);
+        let envelope = sign_message(1, b"upload r1", &pairs[&1].private);
+        assert!(pool.submit_signed(tx.clone(), &envelope, &store).unwrap());
+        // The retry + the duplicated link both deliver the same upload
+        // again: recognised and ignored, not double-counted.
+        assert!(!pool.submit_signed(tx.clone(), &envelope, &store).unwrap());
+        assert!(!pool.submit_signed(tx, &envelope, &store).unwrap());
+        assert_eq!(pool.len(), 1);
+
+        // A different client or a different round is not a duplicate.
+        let other_client = gradient_tx(2, 16);
+        let env2 = sign_message(2, b"upload r1", &pairs[&2].private);
+        assert!(pool.submit_signed(other_client, &env2, &store).unwrap());
+        let later_round = Transaction::local_gradient(1, 2, vec![0u8; 16]);
+        assert!(pool.submit_signed(later_round, &envelope, &store).unwrap());
+        assert_eq!(pool.len(), 3);
+
+        // Draining frees the keys: a fresh upload for the same round is
+        // admissible again (a new block's working set).
+        let drained = pool.drain_all();
+        assert_eq!(drained.len(), 3);
+        let tx = gradient_tx(1, 16);
+        assert!(pool.submit_signed(tx, &envelope, &store).unwrap());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn remove_upload_models_a_lost_mempool_entry() {
+        let mut pool = Mempool::new();
+        pool.submit(gradient_tx(1, 16));
+        pool.submit(Transaction::local_gradient(2, 1, vec![0u8; 16]));
+        pool.submit(Transaction::reward(9, 1, 2, 100));
+
+        // Unknown key: no-op.
+        assert!(pool.remove_upload(1, 7).is_none());
+        assert_eq!(pool.len(), 3);
+
+        let removed = pool.remove_upload(1, 2).unwrap();
+        match &removed.kind {
+            TransactionKind::LocalGradient { client_id, .. } => assert_eq!(*client_id, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(pool.len(), 2);
+        // Removed means re-admissible.
+        pool.submit(Transaction::local_gradient(2, 1, vec![0u8; 16]));
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
     fn unknown_signer_is_rejected() {
         let store = KeyStore::new();
         let mut rng = StdRng::seed_from_u64(43);
@@ -243,5 +350,50 @@ mod tests {
             .submit_signed(gradient_tx(7, 4), &envelope, &store)
             .unwrap_err();
         assert_eq!(err, CryptoError::UnknownSigner(7));
+    }
+
+    mod corruption_properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// One provisioned signer shared across proptest cases (RSA key
+        /// generation is the expensive part).
+        fn signer() -> &'static (KeyStore, bfl_crypto::RsaKeyPair) {
+            static SIGNER: OnceLock<(KeyStore, bfl_crypto::RsaKeyPair)> = OnceLock::new();
+            SIGNER.get_or_init(|| {
+                let mut store = KeyStore::new();
+                let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+                let pairs = store.provision(&mut rng, &[1], 256).unwrap();
+                let pair = pairs[&1].clone();
+                (store, pair)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Any single-byte corruption of a signed upload in transit is
+            /// rejected by `submit_signed` — the signature check is the
+            /// fault detector for corrupt-bytes link faults.
+            #[test]
+            fn single_byte_corruption_is_rejected(
+                payload in proptest::collection::vec(any::<u8>(), 1..64),
+                index_seed in any::<usize>(),
+                flip in 1u8..=255,
+            ) {
+                let (store, pair) = signer();
+                let mut envelope = sign_message(1, &payload, &pair.private);
+                let index = index_seed % envelope.payload.len();
+                envelope.payload[index] ^= flip;
+
+                let mut pool = Mempool::new();
+                let err = pool
+                    .submit_signed(gradient_tx(1, 16), &envelope, store)
+                    .unwrap_err();
+                prop_assert_eq!(err, CryptoError::InvalidSignature);
+                prop_assert!(pool.is_empty());
+            }
+        }
     }
 }

@@ -3,12 +3,12 @@
 use crate::delay_model::DelayModel;
 use crate::error::CoreError;
 use crate::flexibility::FlexibilityMode;
-use crate::policy::{AggregationAnchor, StalenessPolicy};
+use crate::policy::{AggregationAnchor, ReorgPolicy, RetryPolicy, StalenessPolicy};
 use crate::strategy::LowContributionStrategy;
 use bfl_cluster::{ClusteringAlgorithm, DistanceMetric};
 use bfl_fl::attack::AttackKind;
 use bfl_fl::config::FlConfig;
-use bfl_net::{ChurnSchedule, DelayDistribution, NodeProfile};
+use bfl_net::{ChurnSchedule, DelayDistribution, FaultPlan, NodeProfile};
 use serde::{Deserialize, Serialize};
 
 /// When a round's block is sealed: the paper's flexible block size.
@@ -264,6 +264,18 @@ pub struct BflConfig {
     /// The client population's heterogeneity (compute spread, uplink
     /// latency, churn), consulted only by the event-driven engine.
     pub profiles: ProfileConfig,
+    /// Deterministic fault injection (link drops/duplicates/corruption,
+    /// miner crashes, mesh partitions), consulted only by the event-driven
+    /// engine. The default plan injects nothing and leaves runs
+    /// bit-identical to a fault-free engine.
+    pub fault: FaultPlan,
+    /// What a client does when its upload is lost (link drop, corruption,
+    /// crashed miner): give up for the round, or resend with exponential
+    /// backoff.
+    pub retry: RetryPolicy,
+    /// What becomes of uploads stranded on the losing branch of a healed
+    /// fork (discard, or salvage through the staleness policy).
+    pub reorg: ReorgPolicy,
 }
 
 impl Default for BflConfig {
@@ -287,6 +299,9 @@ impl Default for BflConfig {
             sync: SyncMode::Synchronous,
             staleness: StalenessPolicy::Discard,
             profiles: ProfileConfig::default(),
+            fault: FaultPlan::default(),
+            retry: RetryPolicy::None,
+            reorg: ReorgPolicy::Discard,
         }
     }
 }
@@ -313,6 +328,29 @@ impl BflConfig {
         self.sync.validate()?;
         self.staleness.validate()?;
         self.profiles.validate()?;
+        self.fault.validate().map_err(CoreError::invalid)?;
+        self.retry.validate()?;
+        if let Some(crash) = &self.fault.crash {
+            if crash.miner >= self.miners {
+                return Err(CoreError::invalid(format!(
+                    "crash miner index {} out of range (have {} miners)",
+                    crash.miner, self.miners
+                )));
+            }
+        }
+        if let Some(partition) = &self.fault.partition {
+            if partition.boundary >= self.miners {
+                return Err(CoreError::invalid(format!(
+                    "partition boundary {} must split {} miners into two non-empty components",
+                    partition.boundary, self.miners
+                )));
+            }
+        }
+        if self.fault.is_active() && self.sync.is_synchronous() {
+            return Err(CoreError::invalid(
+                "fault injection requires the event-driven engine; set a flexible quota",
+            ));
+        }
         if !self.sync.is_synchronous() && self.mode == FlexibilityMode::ChainOnly {
             return Err(CoreError::invalid(
                 "flexible block quotas apply to learning modes; chain-only rounds have no \
@@ -540,6 +578,72 @@ mod tests {
         let mut config = BflConfig::default();
         config.profiles.uplink = DelayDistribution::Uniform { min: 0.4, max: 0.1 };
         assert_rejected(config, "inverted");
+    }
+
+    #[test]
+    fn fault_plans_validate_against_the_topology_and_engine() {
+        use bfl_net::{CrashSchedule, Partition};
+
+        // Crash index must name an existing miner.
+        let mut config = BflConfig::small_test(1);
+        config.sync = SyncMode::FlexibleQuota { quota: 3 };
+        config.fault.crash = Some(CrashSchedule {
+            miner: 5,
+            crash_at_s: 1.0,
+            down_for_s: 2.0,
+        });
+        assert_rejected(config, "crash miner index");
+
+        // Partition boundary must leave both components non-empty.
+        let mut config = BflConfig::small_test(1);
+        config.sync = SyncMode::FlexibleQuota { quota: 3 };
+        config.fault.partition = Some(Partition {
+            start_s: 0.0,
+            duration_s: 5.0,
+            boundary: 2,
+        });
+        assert_rejected(config, "partition boundary");
+
+        // An active plan needs the event engine.
+        let mut config = BflConfig::small_test(1);
+        config.fault.uplink.drop_rate = 0.2;
+        assert_rejected(config, "event-driven engine");
+
+        // Bad rates are caught by the plan's own validation.
+        let mut config = BflConfig::small_test(1);
+        config.sync = SyncMode::FlexibleQuota { quota: 3 };
+        config.fault.uplink.drop_rate = 1.5;
+        assert_rejected(config, "drop_rate");
+
+        // Retry parameters are validated too.
+        let mut config = BflConfig::small_test(1);
+        config.retry = RetryPolicy::Backoff {
+            max_attempts: 0,
+            timeout_s: 1.0,
+            base_s: 1.0,
+            factor: 2.0,
+            jitter_s: 0.0,
+        };
+        assert_rejected(config, "max_attempts");
+
+        // A valid plan on the event engine passes.
+        let mut config = BflConfig::small_test(1);
+        config.sync = SyncMode::FlexibleQuota { quota: 3 };
+        config.fault.uplink.drop_rate = 0.2;
+        config.fault.partition = Some(Partition {
+            start_s: 0.0,
+            duration_s: 5.0,
+            boundary: 1,
+        });
+        config.retry = RetryPolicy::Backoff {
+            max_attempts: 3,
+            timeout_s: 1.0,
+            base_s: 0.5,
+            factor: 2.0,
+            jitter_s: 0.1,
+        };
+        config.reorg = ReorgPolicy::Salvage;
+        config.validate().unwrap();
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The event-driven round engine: flexible block quotas, stragglers, and
-//! client churn on the simulated clock.
+//! The event-driven round engine: flexible block quotas, stragglers,
+//! client churn, and deterministic fault injection on the simulated clock.
 //!
 //! Under [`SyncMode::FlexibleQuota`](crate::config::SyncMode) Procedures
 //! I–V stop executing in lockstep and become *event handlers* on
@@ -9,9 +9,10 @@
 //!   finishes at `round start + t_local · compute_multiplier` of its
 //!   [`NodeProfile`], producing a `TrainingFinished` event.
 //! * **Procedure-II** is the `TrainingFinished` handler: the client signs
-//!   its gradient, associates with a random miner, and the upload is
-//!   scheduled to arrive after its profile's uplink latency plus the
-//!   payload transfer and miner-side processing time.
+//!   its gradient, associates with a miner through the run's
+//!   [`Topology`](bfl_net::Topology), and the upload is scheduled to
+//!   arrive after its profile's uplink latency plus the payload transfer
+//!   and miner-side processing time.
 //! * The `UploadArrived` handler verifies the signature and admits the
 //!   upload into the chain's [`Mempool`] (via
 //!   [`Mempool::submit_signed`], the Figure 2 verification step). Stale
@@ -23,6 +24,32 @@
 //!   when every participant reports: the miner drains the mempool,
 //!   computes the global update under the scenario's anchor/reward
 //!   policies, and seals the block at the quota's simulated time.
+//!
+//! ## Fault injection
+//!
+//! A [`FaultPlan`](bfl_net::FaultPlan) threads adversity through the same
+//! handlers. Link faults strike each send: a *dropped* upload never
+//! arrives (the client retransmits per the
+//! [`RetryPolicy`] seam), a *duplicated*
+//! upload arrives twice (the mempool's `(round, client)` dedup and the
+//! engine's delivery ledger squash the copy), and a *corrupted* upload
+//! arrives with one payload byte flipped — the mempool's signature check
+//! is the detector and rejects it. A [`CrashSchedule`](bfl_net::CrashSchedule)
+//! takes one miner down: uploads landing on it are swallowed, its pending
+//! mempool entries are lost at the crash instant, and it rejoins sealing
+//! only after resynchronising its replica. A
+//! [`Partition`](bfl_net::Partition) splits the miner mesh: each
+//! component seals its own branch (a real fork), and the first round
+//! prologue after the window heals it by longest-chain adoption
+//! ([`RoundConsensus::heal`]) — the losing branch's uploads are salvaged
+//! or discarded per the [`ReorgPolicy`], and
+//! the resolution cost is charged to the round as `T_fork` from the
+//! configured [`ForkModel`](bfl_chain::ForkModel). When faults leave the
+//! quota unreachable, `FaultPlan::deadline_s` degrades the round
+//! gracefully: it seals with whatever arrived. Every fault coin-flip
+//! draws from a dedicated RNG stream (`seed ^ 0xFA17_5EED`), so an
+//! inactive plan performs **zero** extra draws and replays the fault-free
+//! engine bit-for-bit.
 //!
 //! Stragglers beyond the quota keep their events in the queue across
 //! rounds; clients leave and rejoin mid-run according to their profile's
@@ -37,12 +64,13 @@ use crate::detection::DetectionRow;
 use crate::engine::{LearningState, SteppedRound};
 use crate::error::CoreError;
 use crate::flexibility::FlexibilityMode;
-use crate::policy::RewardPolicy;
+use crate::policy::{ReorgPolicy, RetryPolicy, RewardPolicy};
 use crate::procedures::global_update::{self, GlobalUpdatePolicy};
 use crate::procedures::local_update;
 use crate::procedures::mining;
 use crate::procedures::upload::VerifiedUpload;
 use crate::simulation::RoundOutcome;
+use bfl_chain::consensus::RoundConsensus;
 use bfl_chain::mempool::Mempool;
 use bfl_chain::Transaction;
 use bfl_crypto::signature::sign_message;
@@ -53,9 +81,14 @@ use bfl_ml::metrics::accuracy;
 use bfl_ml::model::Model;
 use bfl_ml::optimizer::local_step_count;
 use bfl_net::{EventQueue, NodeProfile};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// XOR'd into the scenario seed to derive the fault stream, so fault
+/// coin-flips never perturb the learning stream's draw sequence.
+const FAULT_STREAM: u64 = 0xFA17_5EED;
 
 /// What happened when an event resolved — the observable half of the
 /// deterministic event trace.
@@ -69,7 +102,8 @@ pub enum EventKind {
     UploadArrived,
     /// The upload arrived but its signature failed verification.
     UploadRejected,
-    /// The upload was lost: its client churned offline before it landed.
+    /// The upload was lost: its client churned offline before it landed,
+    /// or a miner crash wiped it from the pending pool.
     UploadLost,
     /// A stale upload was discarded by the staleness policy.
     StaleDiscarded,
@@ -77,6 +111,23 @@ pub enum EventKind {
     StaleIncluded,
     /// The flexible block quota was reached; Procedures III–V fired.
     QuotaReached,
+    /// A link fault dropped the upload in transit (or a downed miner
+    /// swallowed it on arrival).
+    UploadDropped,
+    /// The client's retransmission timer fired and the upload was resent.
+    UploadRetried,
+    /// A redundant delivery (duplicate fault, or a retransmission racing
+    /// its original) was recognised and ignored.
+    DuplicateIgnored,
+    /// The upload landed on the partition's secondary component and is
+    /// stranded off the primary pool until the mesh heals.
+    UploadStranded,
+    /// The mesh healed a fork (or caught a lagging component up) by
+    /// longest-chain adoption.
+    ForkHealed,
+    /// The round's fault deadline expired and it sealed with whatever
+    /// had arrived.
+    DeadlineSealed,
 }
 
 /// One entry of the deterministic event trace.
@@ -107,6 +158,22 @@ enum EngineEvent {
         miner: usize,
         train_finished_s: f64,
         update: LocalUpdate,
+        /// Which send attempt this delivery belongs to (1-based).
+        attempt: u32,
+        /// In-transit corruption: `(byte index seed, xor mask)` applied
+        /// to the signed envelope's payload at admission.
+        corrupt: Option<(u64, u8)>,
+        /// A retransmission is already armed for this commission, so the
+        /// client stays busy regardless of this delivery's outcome.
+        retry_pending: bool,
+    },
+    /// The client-side retransmission timer for a failed attempt.
+    RetryTimer {
+        born_round: usize,
+        train_finished_s: f64,
+        update: LocalUpdate,
+        /// The attempt number the resend will carry.
+        attempt: u32,
     },
 }
 
@@ -121,9 +188,18 @@ struct ArrivedUpload {
     final_epoch_loss: f64,
 }
 
+/// An upload that landed on the partition's secondary component, held
+/// there until the mesh heals.
+struct StrandedUpload {
+    update: LocalUpdate,
+    born_round: usize,
+    miner: usize,
+    train_finished_s: f64,
+}
+
 /// The event engine's live state, embedded in
 /// [`LearningState`](crate::engine::LearningState) when the scenario runs
-/// a flexible quota.
+/// a flexible block quota.
 pub(crate) struct AsyncRuntime {
     queue: EventQueue<EngineEvent>,
     /// Miner-side pending pool: verified uploads waiting for the quota.
@@ -136,6 +212,20 @@ pub(crate) struct AsyncRuntime {
     /// merged set is ordered by client id, like the synchronous engine's).
     arrived: BTreeMap<u64, ArrivedUpload>,
     trace: Vec<EventRecord>,
+    /// Dedicated RNG stream for fault coin-flips: an inactive plan draws
+    /// nothing from it, keeping fault-free runs bit-identical.
+    fault_rng: StdRng,
+    /// Highest commissioning round delivered per client — squashes
+    /// redundant deliveries (duplicates, retransmission races).
+    delivered: BTreeMap<u64, usize>,
+    /// Uploads held on the partition's secondary component until heal.
+    stranded: Vec<StrandedUpload>,
+    /// The (single-shot) partition has been healed.
+    fork_healed: bool,
+    /// The crashed miner's pending pool has been wiped.
+    crash_purged: bool,
+    /// The recovered miner has resynchronised its replica.
+    crash_resynced: bool,
 }
 
 impl AsyncRuntime {
@@ -152,6 +242,12 @@ impl AsyncRuntime {
             in_flight: BTreeSet::new(),
             arrived: BTreeMap::new(),
             trace: Vec::new(),
+            fault_rng: StdRng::seed_from_u64(config.fl.seed ^ FAULT_STREAM),
+            delivered: BTreeMap::new(),
+            stranded: Vec::new(),
+            fork_healed: false,
+            crash_purged: false,
+            crash_resynced: false,
         }
     }
 
@@ -194,15 +290,20 @@ pub(crate) fn step_flexible(
     let mut result = step_flexible_inner(state, &mut rt, config, reward_policy, round, quota);
     // A heavily churning population can produce an attempt whose every
     // possible arrival was lost or discarded (e.g. all free clients
-    // offline while the only in-flight uploads are doomed stale ones).
-    // That is a stall, not the end of the run: fast-forward the clock to
-    // the next rejoin and try the round again, bounded so a schedule
-    // with no future joins still surfaces `EmptyRound`. (Each retry
-    // re-runs the round prologue, so cooldowns may tick once per
-    // attempt — acceptable for the pathological schedules this covers.)
+    // offline while the only in-flight uploads are doomed stale ones),
+    // and a harsh partition can strand every upload on the secondary
+    // component. That is a stall, not the end of the run: fast-forward
+    // the clock to the next rejoin (or past the partition) and try the
+    // round again, bounded so a schedule with no future joins still
+    // surfaces `EmptyRound`. (Each retry re-runs the round prologue, so
+    // cooldowns may tick once per attempt — acceptable for the
+    // pathological schedules this covers.)
     for _ in 0..8 {
-        if !matches!(result, Err(CoreError::EmptyRound { .. }))
-            || !fast_forward_to_next_join(state, &rt)
+        if !matches!(result, Err(CoreError::EmptyRound { .. })) {
+            break;
+        }
+        if !fast_forward_to_next_join(state, &rt)
+            && !fast_forward_past_partition(state, config, &rt)
         {
             break;
         }
@@ -241,6 +342,217 @@ fn fast_forward_to_next_join(state: &mut LearningState<'_>, rt: &AsyncRuntime) -
     }
 }
 
+/// Advances the clock past an active partition's heal instant, so a
+/// round whose every upload stranded on the secondary component retries
+/// after the mesh (and its pool, under `ReorgPolicy::Salvage`) is whole
+/// again. Returns `false` when no partition is active or events are
+/// still pending.
+fn fast_forward_past_partition(
+    state: &mut LearningState<'_>,
+    config: &BflConfig,
+    rt: &AsyncRuntime,
+) -> bool {
+    if !rt.queue.is_empty() || rt.fork_healed {
+        return false;
+    }
+    let now = state.clock.now_seconds();
+    match config.fault.partition {
+        Some(p) if p.is_active(now) => {
+            state.clock.advance(p.end_s() - now + 1e-9);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// The round prologue's fault bookkeeping: wipes the crashed miner's
+/// pending pool at the crash instant, heals the partition fork once its
+/// window has passed (charging the `ForkModel` resolution cost and
+/// applying the reorg policy to the stranded uploads), and resynchronises
+/// a recovered miner's replica. Returns the `T_fork` seconds charged to
+/// this round. A no-op (zero draws, zero clock movement) when the fault
+/// plan is inactive.
+fn fault_prologue(
+    state: &mut LearningState<'_>,
+    rt: &mut AsyncRuntime,
+    config: &BflConfig,
+    round: usize,
+) -> f64 {
+    if !config.fault.is_active() {
+        return 0.0;
+    }
+    let now = state.clock.now_seconds();
+    purge_crashed_mempool(rt, config, round, now);
+
+    let mut t_fork = 0.0;
+    if let Some(partition) = config.fault.partition {
+        if !rt.fork_healed && now >= partition.end_s() && state.consensus.is_some() {
+            rt.fork_healed = true;
+            let consensus = state.consensus.as_mut().expect("checked above");
+            if consensus.agreed_height().is_none() {
+                let orphans = consensus.heal();
+                let fork = &config.delay.fork;
+                t_fork =
+                    fork.resolution_overhead_s + fork.propagation_delay_s * orphans.len() as f64;
+                state.clock.advance(t_fork);
+                rt.record(now, round, round, u64::MAX, EventKind::ForkHealed);
+            }
+            salvage_stranded(state, rt, config, round);
+        }
+    }
+
+    if let Some(crash) = config.fault.crash {
+        let partition_live = config
+            .fault
+            .partition
+            .is_some_and(|p| p.is_active(now) && !rt.fork_healed);
+        if !rt.crash_resynced && now >= crash.recover_at_s() && !partition_live {
+            rt.crash_resynced = true;
+            // The rebooted miner pulls the canonical chain from the
+            // surviving miners; no orphans, it was strictly behind.
+            if let Some(consensus) = state.consensus.as_mut() {
+                consensus.heal();
+            }
+        }
+    }
+    t_fork
+}
+
+/// The crash instant: every upload pending at the crashed miner vanishes
+/// from the pool (and from the delivery ledger, so a redundant copy or a
+/// retransmission may still save it).
+fn purge_crashed_mempool(rt: &mut AsyncRuntime, config: &BflConfig, round: usize, now: f64) {
+    let Some(crash) = config.fault.crash else {
+        return;
+    };
+    if rt.crash_purged || now < crash.crash_at_s {
+        return;
+    }
+    rt.crash_purged = true;
+    let victims: Vec<u64> = rt
+        .arrived
+        .iter()
+        .filter(|(_, a)| a.upload.miner == crash.miner)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in victims {
+        let lost = rt.arrived.remove(&id).expect("victim is pending");
+        rt.mempool.remove_upload(lost.born_round as u64, id);
+        rt.delivered.remove(&id);
+        rt.record(
+            crash.crash_at_s,
+            round,
+            lost.born_round,
+            id,
+            EventKind::UploadLost,
+        );
+    }
+}
+
+/// Applies the reorg policy to the uploads stranded on the healed
+/// partition's losing side: `Salvage` re-admits them to the winning
+/// branch's pool through the staleness policy (they are by definition at
+/// least one round old), `Discard` wastes their training work.
+fn salvage_stranded(
+    state: &mut LearningState<'_>,
+    rt: &mut AsyncRuntime,
+    config: &BflConfig,
+    round: usize,
+) {
+    let stranded = std::mem::take(&mut rt.stranded);
+    if stranded.is_empty() {
+        return;
+    }
+    let now = state.clock.now_seconds();
+    for s in stranded {
+        let id = s.update.client_id;
+        if config.reorg == ReorgPolicy::Discard {
+            rt.record(now, round, s.born_round, id, EventKind::StaleDiscarded);
+            continue;
+        }
+        // A stranded upload was never delivered — stranding happens
+        // *instead of* delivery — so the client's high-water mark says
+        // nothing about it even when fresher rounds delivered meanwhile.
+        // The only real collision is an upload by the same client already
+        // awaiting this round's seal.
+        if rt.arrived.contains_key(&id) {
+            rt.record(now, round, s.born_round, id, EventKind::DuplicateIgnored);
+            continue;
+        }
+        let kind = admit_upload(
+            state,
+            rt,
+            config,
+            round,
+            s.born_round,
+            s.miner,
+            s.train_finished_s,
+            s.update,
+            None,
+        );
+        if matches!(
+            kind,
+            EventKind::UploadArrived | EventKind::StaleIncluded | EventKind::StaleDiscarded
+        ) {
+            // Never lower the high-water mark: the client may have
+            // delivered fresher rounds while this upload sat stranded.
+            let mark = rt.delivered.entry(id).or_insert(s.born_round);
+            *mark = (*mark).max(s.born_round);
+        }
+        rt.record(now, round, s.born_round, id, kind);
+    }
+}
+
+/// The replica indices of one mesh component that can seal together right
+/// now: alive (not mid-crash), on `component`'s side of an active
+/// partition, and on the component's longest tip (a just-recovered miner
+/// lags until the next heal and must not co-sign a block it cannot
+/// append). Falls back to the full mesh if every primary miner is down,
+/// rather than deadlocking the round.
+fn sealing_members(
+    consensus: &RoundConsensus,
+    config: &BflConfig,
+    now: f64,
+    component: usize,
+) -> Vec<usize> {
+    let down = config
+        .fault
+        .crash
+        .filter(|c| c.is_down(now))
+        .map(|c| c.miner);
+    let candidates: Vec<usize> = (0..consensus.miner_count())
+        .filter(|&m| Some(m) != down)
+        .filter(|&m| match config.fault.partition {
+            Some(p) if p.is_active(now) => p.component_of(m) == component,
+            _ => component == 0,
+        })
+        .collect();
+    if candidates.is_empty() {
+        if component != 0 {
+            return Vec::new();
+        }
+        let all: Vec<usize> = (0..consensus.miner_count()).collect();
+        return agreeing_subset(consensus, &all);
+    }
+    agreeing_subset(consensus, &candidates)
+}
+
+/// The subset of `candidates` sharing the longest tip among them (ties
+/// toward the lowest index, deterministically).
+fn agreeing_subset(consensus: &RoundConsensus, candidates: &[usize]) -> Vec<usize> {
+    let leader = candidates
+        .iter()
+        .copied()
+        .max_by_key(|&i| (consensus.replicas[i].height(), std::cmp::Reverse(i)))
+        .expect("candidates is non-empty");
+    let tip = consensus.replicas[leader].tip().hash();
+    candidates
+        .iter()
+        .copied()
+        .filter(|&i| consensus.replicas[i].tip().hash() == tip)
+        .collect()
+}
+
 fn step_flexible_inner(
     state: &mut LearningState<'_>,
     rt: &mut AsyncRuntime,
@@ -251,6 +563,11 @@ fn step_flexible_inner(
 ) -> Result<SteppedRound, CoreError> {
     // Cooldowns advance exactly as in the synchronous engine.
     state.advance_cooldowns();
+
+    // Fault bookkeeping precedes selection: a heal both advances the
+    // clock (the fork resolution cost) and, under `Salvage`, seeds this
+    // round's pool with the rescued uploads.
+    let t_fork = fault_prologue(state, rt, config, round);
 
     // Select this round's participants among clients that are not cooling
     // down, not still busy with an earlier round's work, and online at the
@@ -265,6 +582,7 @@ fn step_flexible_inner(
                 let id = state.clients[i].id;
                 !state.cooldown.contains_key(&id)
                     && !rt.in_flight.contains(&id)
+                    && !rt.arrived.contains_key(&id)
                     && rt.profiles[&id].is_online(now)
             })
             .collect()
@@ -321,37 +639,55 @@ fn step_flexible_inner(
     }
 
     // The flexible block quota: K uploads seal the block, capped at what
-    // can still possibly arrive so a small round cannot deadlock.
+    // can still possibly arrive so a small round cannot deadlock. A round
+    // seeded by salvaged uploads may seal on them alone.
     let target = quota.min(rt.in_flight.len());
-    if target == 0 {
+    if target == 0 && rt.arrived.is_empty() {
         return Err(CoreError::EmptyRound { round });
     }
 
     // Pump the queue until the quota is reached (or nothing is left in
-    // flight — churn losses and rejections can shrink a round).
+    // flight — churn losses, drops and rejections can shrink a round, and
+    // the fault deadline cuts the wait short).
+    let deadline = (config.fault.deadline_s > 0.0).then_some(round_start + config.fault.deadline_s);
+    let stranded_mark = rt.stranded.len();
     let mut quota_time = round_start;
+    let mut deadline_hit = false;
     while rt.arrived.len() < target {
+        if let (Some(deadline), Some(next)) = (deadline, rt.queue.peek_time()) {
+            if next > deadline && !rt.arrived.is_empty() {
+                deadline_hit = true;
+                break;
+            }
+        }
         let Some(event) = rt.queue.pop() else { break };
         let time = event.time_s;
+        // A crash mid-pump wipes the victim miner's pending pool.
+        purge_crashed_mempool(rt, config, round, time);
         match event.payload {
             EngineEvent::TrainingFinished { born_round, update } => {
                 let id = update.client_id;
                 rt.record(time, round, born_round, id, EventKind::TrainingFinished);
-                // Procedure-II send: random miner association, then the
-                // uplink latency + payload transfer + miner processing.
-                let miner = state.rng.gen_range(0..config.miners);
-                let transfer =
-                    config.delay.gradient_bytes as f64 / config.delay.uplink.bandwidth_bytes_per_s;
-                let latency = rt.profiles[&id].uplink.sample(&mut state.rng);
-                let arrival = time + latency + transfer + config.delay.upload_processing_s;
-                rt.queue.push(
-                    arrival,
-                    EngineEvent::UploadArrived {
-                        born_round,
-                        miner,
-                        train_finished_s: time,
-                        update,
-                    },
+                send_upload(state, rt, config, round, time, born_round, time, update, 1);
+            }
+            EngineEvent::RetryTimer {
+                born_round,
+                train_finished_s,
+                update,
+                attempt,
+            } => {
+                let id = update.client_id;
+                rt.record(time, round, born_round, id, EventKind::UploadRetried);
+                send_upload(
+                    state,
+                    rt,
+                    config,
+                    round,
+                    time,
+                    born_round,
+                    train_finished_s,
+                    update,
+                    attempt,
                 );
             }
             EngineEvent::UploadArrived {
@@ -359,26 +695,91 @@ fn step_flexible_inner(
                 miner,
                 train_finished_s,
                 update,
+                attempt,
+                corrupt,
+                retry_pending,
             } => {
                 let id = update.client_id;
-                rt.in_flight.remove(&id);
-                if let Some(kind) = admit_upload(
+                if !retry_pending {
+                    rt.in_flight.remove(&id);
+                }
+                // A client that churned offline mid-flight loses its
+                // upload (and retransmits once back online, when the
+                // policy allows).
+                if !rt.profiles[&id].is_online(time) {
+                    rt.record(time, round, born_round, id, EventKind::UploadLost);
+                    if !retry_pending {
+                        let earliest = rt.profiles[&id].next_online_from(time);
+                        if earliest.is_finite()
+                            && schedule_retry(
+                                rt,
+                                config,
+                                time,
+                                born_round,
+                                train_finished_s,
+                                update,
+                                attempt,
+                                earliest,
+                            )
+                        {
+                            rt.in_flight.insert(id);
+                        }
+                    }
+                    continue;
+                }
+                // Partition: an upload landing on the secondary component
+                // is verified there but stranded off the primary pool
+                // until the mesh heals.
+                let stranded_here = state.consensus.is_some()
+                    && config
+                        .fault
+                        .partition
+                        .is_some_and(|p| p.is_active(time) && p.component_of(miner) == 1);
+                if stranded_here {
+                    if corrupt.is_some() && state.keystore.is_some() {
+                        // The secondary miner checks signatures too.
+                        rt.record(time, round, born_round, id, EventKind::UploadRejected);
+                    } else {
+                        rt.record(time, round, born_round, id, EventKind::UploadStranded);
+                        rt.stranded.push(StrandedUpload {
+                            update,
+                            born_round,
+                            miner,
+                            train_finished_s,
+                        });
+                    }
+                    continue;
+                }
+                // Redundant deliveries (duplicate fault, or a
+                // retransmission racing its original) are squashed by the
+                // per-commission delivery ledger.
+                if rt.delivered.get(&id).is_some_and(|&r| r >= born_round)
+                    || rt.arrived.contains_key(&id)
+                {
+                    rt.record(time, round, born_round, id, EventKind::DuplicateIgnored);
+                    continue;
+                }
+                let kind = admit_upload(
                     state,
                     rt,
                     config,
                     round,
                     born_round,
                     miner,
-                    time,
                     train_finished_s,
                     update,
-                ) {
-                    rt.record(time, round, born_round, id, kind);
-                    if kind == EventKind::UploadArrived || kind == EventKind::StaleIncluded {
+                    corrupt,
+                );
+                rt.record(time, round, born_round, id, kind);
+                match kind {
+                    EventKind::UploadArrived | EventKind::StaleIncluded => {
+                        rt.delivered.insert(id, born_round);
                         quota_time = time;
                     }
-                } else {
-                    rt.record(time, round, born_round, id, EventKind::UploadRejected);
+                    EventKind::StaleDiscarded => {
+                        rt.delivered.insert(id, born_round);
+                    }
+                    _ => {}
                 }
             }
         }
@@ -392,6 +793,9 @@ fn step_flexible_inner(
     // round seals with what arrived but the trace must not claim K.
     if rt.arrived.len() >= target {
         rt.record(quota_time, round, round, u64::MAX, EventKind::QuotaReached);
+    } else if deadline_hit {
+        let expired = deadline.expect("deadline_hit implies a deadline");
+        rt.record(expired, round, round, u64::MAX, EventKind::DeadlineSealed);
     }
 
     // Assemble the round's gradient set. When signature verification is
@@ -478,16 +882,57 @@ fn step_flexible_inner(
 
     // Procedure-V: the winning miner seals the block at the quota time
     // (plus exchange and aggregation), while late events stay queued.
+    // Under a partition or crash only the reachable component seals —
+    // and while the mesh is split, the secondary component seals its own
+    // block over the uploads stranded on its side, growing the divergent
+    // branch the heal will have to resolve.
     state.clock.advance(wait + t_ex + t_gl);
     let block_hash = if let Some(consensus) = state.consensus.as_mut() {
-        let outcome = mining::mine_round(
-            consensus,
-            round as u64,
-            &state.global_params,
-            &global.report.rewards,
-            state.clock.now_millis(),
-            &mut state.rng,
-        )?;
+        let seal_s = state.clock.now_seconds();
+        let outcome = if config.fault.partition.is_none() && config.fault.crash.is_none() {
+            mining::mine_round(
+                consensus,
+                round as u64,
+                &state.global_params,
+                &global.report.rewards,
+                state.clock.now_millis(),
+                &mut state.rng,
+            )?
+        } else {
+            let members = sealing_members(consensus, config, seal_s, 0);
+            mining::mine_round_among(
+                consensus,
+                &members,
+                round as u64,
+                &state.global_params,
+                &global.report.rewards,
+                state.clock.now_millis(),
+                &mut state.rng,
+            )?
+        };
+        if let Some(partition) = config.fault.partition {
+            let fresh = &rt.stranded[stranded_mark.min(rt.stranded.len())..];
+            if partition.is_active(seal_s) && !fresh.is_empty() {
+                let secondary = sealing_members(consensus, config, seal_s, 1);
+                if !secondary.is_empty() {
+                    // The secondary component aggregates what it has —
+                    // the stranded uploads — and seals its own block.
+                    let refs: Vec<&[f64]> =
+                        fresh.iter().map(|s| s.update.params.as_slice()).collect();
+                    let branch_params = gradient::average_refs(&refs);
+                    let submitter = consensus.miners[secondary[0]].id;
+                    let txs = mining::build_block_transactions(
+                        submitter,
+                        round as u64,
+                        &branch_params,
+                        &[],
+                    );
+                    consensus
+                        .seal_round_among(&secondary, txs, state.clock.now_millis(), &mut state.rng)
+                        .map_err(CoreError::from)?;
+                }
+            }
+        }
         Some(outcome.block.hash_hex())
     } else {
         None
@@ -508,7 +953,7 @@ fn step_flexible_inner(
         t_gl,
         t_bl,
         t_queue: 0.0,
-        t_fork: 0.0,
+        t_fork,
     };
 
     let test_accuracy = accuracy(
@@ -536,10 +981,156 @@ fn step_flexible_inner(
     Ok((outcome, state.clock.now_seconds(), Some(detection_row)))
 }
 
-/// The `UploadArrived` handler's admission step: churn loss, signature
-/// verification (through the chain's mempool in mining modes — the
-/// Figure 2 step), and the staleness policy for late uploads. Returns the
-/// trace kind of the resolution, or `None` when the signature failed.
+/// Procedure-II's send step: topology-driven miner association, uplink
+/// latency, and — only while the fault plan's link window is active —
+/// the drop/corrupt/duplicate coin-flips from the dedicated fault
+/// stream. A fault-free send performs exactly the draws of the PR 5
+/// engine (one association, one latency sample) and schedules exactly
+/// one arrival.
+#[allow(clippy::too_many_arguments)]
+fn send_upload(
+    state: &mut LearningState<'_>,
+    rt: &mut AsyncRuntime,
+    config: &BflConfig,
+    round: usize,
+    time: f64,
+    born_round: usize,
+    train_finished_s: f64,
+    update: LocalUpdate,
+    attempt: u32,
+) {
+    let id = update.client_id;
+    let miner = state.topology.associate_clients(&[id], &mut state.rng)[0];
+    let transfer = config.delay.gradient_bytes as f64 / config.delay.uplink.bandwidth_bytes_per_s;
+    let latency = rt.profiles[&id].uplink.sample(&mut state.rng);
+    let arrival = time + latency + transfer + config.delay.upload_processing_s;
+
+    let faults = &config.fault.uplink;
+    let mut dropped = false;
+    let mut corrupt = None;
+    let mut duplicated = false;
+    if faults.is_active() && faults.window.contains(time) {
+        if faults.drop_rate > 0.0 {
+            dropped = rt.fault_rng.gen::<f64>() < faults.drop_rate;
+        }
+        if !dropped && faults.corrupt_rate > 0.0 && rt.fault_rng.gen::<f64>() < faults.corrupt_rate
+        {
+            corrupt = Some((rt.fault_rng.gen::<u64>(), rt.fault_rng.gen_range(1..=255u8)));
+        }
+        if !dropped && faults.duplicate_rate > 0.0 {
+            duplicated = rt.fault_rng.gen::<f64>() < faults.duplicate_rate;
+        }
+    }
+    // A miner that is down when the upload would land swallows it whole.
+    let swallowed = config
+        .fault
+        .crash
+        .is_some_and(|c| c.miner == miner && c.is_down(arrival));
+
+    if dropped || swallowed {
+        rt.record(time, round, born_round, id, EventKind::UploadDropped);
+        if !schedule_retry(
+            rt,
+            config,
+            time,
+            born_round,
+            train_finished_s,
+            update,
+            attempt,
+            time,
+        ) {
+            rt.in_flight.remove(&id);
+        }
+        return;
+    }
+
+    // A corrupted upload is certain to be rejected at the miner, so the
+    // client's retransmission timer (when the policy grants one) is
+    // armed at send time — the timeout models the missing receipt.
+    let certain_reject = corrupt.is_some() && state.keystore.is_some();
+    let retry_pending = certain_reject
+        && schedule_retry(
+            rt,
+            config,
+            time,
+            born_round,
+            train_finished_s,
+            update.clone(),
+            attempt,
+            time,
+        );
+
+    if duplicated {
+        // The duplicate is an independent network copy arriving one
+        // store-and-forward later; corruption strikes per copy, so the
+        // clone arrives clean.
+        rt.queue.push(
+            arrival + transfer + config.delay.upload_processing_s,
+            EngineEvent::UploadArrived {
+                born_round,
+                miner,
+                train_finished_s,
+                update: update.clone(),
+                attempt,
+                corrupt: None,
+                retry_pending,
+            },
+        );
+    }
+    rt.queue.push(
+        arrival,
+        EngineEvent::UploadArrived {
+            born_round,
+            miner,
+            train_finished_s,
+            update,
+            attempt,
+            corrupt,
+            retry_pending,
+        },
+    );
+}
+
+/// Arms the client-side retransmission timer for a failed send attempt.
+/// Returns `false` when the retry policy grants no further attempt. The
+/// resend fires no earlier than `earliest` (a churned client waits for
+/// its next online window).
+#[allow(clippy::too_many_arguments)]
+fn schedule_retry(
+    rt: &mut AsyncRuntime,
+    config: &BflConfig,
+    now: f64,
+    born_round: usize,
+    train_finished_s: f64,
+    update: LocalUpdate,
+    attempt: u32,
+    earliest: f64,
+) -> bool {
+    let jitter01 = match config.retry {
+        RetryPolicy::Backoff { jitter_s, .. } if jitter_s > 0.0 => rt.fault_rng.gen::<f64>(),
+        _ => 0.0,
+    };
+    match config.retry.backoff_delay(attempt, jitter01) {
+        Some(delay) => {
+            rt.queue.push(
+                (now + delay).max(earliest),
+                EngineEvent::RetryTimer {
+                    born_round,
+                    train_finished_s,
+                    update,
+                    attempt: attempt + 1,
+                },
+            );
+            true
+        }
+        None => false,
+    }
+}
+
+/// The `UploadArrived` handler's admission step: staleness policy for
+/// late uploads, Procedure-II signing, in-transit corruption, and
+/// signature verification (through the chain's mempool in mining modes —
+/// the Figure 2 step). Returns the trace kind of the resolution.
 #[allow(clippy::too_many_arguments)]
 fn admit_upload(
     state: &mut LearningState<'_>,
@@ -548,20 +1139,15 @@ fn admit_upload(
     round: usize,
     born_round: usize,
     miner: usize,
-    time_s: f64,
     train_finished_s: f64,
     update: LocalUpdate,
-) -> Option<EventKind> {
+    corrupt: Option<(u64, u8)>,
+) -> EventKind {
     let id = update.client_id;
     let forged = update.forged;
     let final_epoch_loss = update.stats.final_epoch_loss;
     let age = round - born_round;
     let mines = config.mode.mines();
-
-    // A client that churned offline mid-flight loses its upload.
-    if !rt.profiles[&id].is_online(time_s) {
-        return Some(EventKind::UploadLost);
-    }
 
     // Stale uploads consult the staleness policy first: a `Discard`
     // verdict must not pay for an RSA signing operation it throws away.
@@ -570,7 +1156,7 @@ fn admit_upload(
             .staleness
             .apply(&state.global_params, &update.params, age)
         {
-            None => return Some(EventKind::StaleDiscarded),
+            None => return EventKind::StaleDiscarded,
             Some(decayed) => Some(decayed),
         }
     } else {
@@ -583,14 +1169,14 @@ fn admit_upload(
     let signing_key = match (state.keypairs.as_ref(), state.keystore.as_ref()) {
         (Some(pairs), Some(_)) => match pairs.get(&id) {
             Some(pair) => Some(pair),
-            None => return None,
+            None => return EventKind::UploadRejected,
         },
         _ => None,
     };
     let sent_bytes = signing_key
         .is_some()
         .then(|| gradient::to_bytes(&update.params));
-    let envelope = signing_key.map(|pair| {
+    let mut envelope = signing_key.map(|pair| {
         sign_message(
             id,
             sent_bytes
@@ -599,6 +1185,15 @@ fn admit_upload(
             &pair.private,
         )
     });
+    // The corrupt fault flips one byte of the signed envelope in transit;
+    // the miner's signature check below is the detector. (The unsigned
+    // ablation has no envelope — and no detector.)
+    if let (Some((seed, flip)), Some(env)) = (corrupt, envelope.as_mut()) {
+        if !env.payload.is_empty() {
+            let index = seed as usize % env.payload.len();
+            env.payload[index] ^= flip;
+        }
+    }
 
     // What the block may aggregate: the decayed vector for carried stale
     // uploads, the sent vector (moved, not cloned) for fresh ones.
@@ -622,11 +1217,13 @@ fn admit_upload(
                 born_round as u64,
                 tx_bytes.expect("signed uploads serialized the admitted payload"),
             );
-            if rt.mempool.submit_signed(tx, envelope, store).is_err() {
-                return None;
+            match rt.mempool.submit_signed(tx, envelope, store) {
+                Err(_) => return EventKind::UploadRejected,
+                Ok(false) => return EventKind::DuplicateIgnored,
+                Ok(true) => {}
             }
         } else if store.verify(envelope).is_err() {
-            return None;
+            return EventKind::UploadRejected;
         }
     }
 
@@ -648,5 +1245,5 @@ fn admit_upload(
         previous.is_none(),
         "a client never has two uploads pending at once"
     );
-    Some(kind)
+    kind
 }

@@ -73,8 +73,8 @@ pub use error::CoreError;
 pub use events::EventRecord;
 pub use flexibility::FlexibilityMode;
 pub use policy::{
-    AggregationAnchor, ObserverControl, ProportionalReward, RewardPolicy, RoundEvent,
-    RoundObserver, StalenessPolicy,
+    AggregationAnchor, ObserverControl, ProportionalReward, ReorgPolicy, RetryPolicy, RewardPolicy,
+    RoundEvent, RoundObserver, StalenessPolicy,
 };
 pub use reward::RewardEntry;
 pub use scenario::{Scenario, ScenarioBuilder};

@@ -138,6 +138,126 @@ impl StalenessPolicy {
     }
 }
 
+/// What a client does when its upload is lost in transit (a link drop,
+/// a corrupted delivery, or a send to a crashed miner).
+///
+/// Without retries, a lost upload simply never counts toward the round's
+/// quota — the paper's edge clients are "difficult to guarantee" and the
+/// round degrades. With exponential backoff, the client re-sends after a
+/// per-attempt timeout plus a growing delay (jitter drawn from the
+/// engine's dedicated fault RNG stream, so replays are bit-identical).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum RetryPolicy {
+    /// Never retry: a lost upload is lost for the round.
+    #[default]
+    None,
+    /// Retry with exponential backoff after each detected loss.
+    Backoff {
+        /// Total send attempts, including the first (>= 1).
+        max_attempts: u32,
+        /// Seconds after the send at which the client gives up waiting
+        /// for an acknowledgement and declares the attempt lost.
+        timeout_s: f64,
+        /// Backoff before the second attempt, in seconds.
+        base_s: f64,
+        /// Multiplier applied to the backoff per further attempt (>= 1).
+        factor: f64,
+        /// Maximum uniform jitter added to each backoff, in seconds.
+        jitter_s: f64,
+    },
+}
+
+impl RetryPolicy {
+    /// Validates the policy's parameters.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match *self {
+            RetryPolicy::None => Ok(()),
+            RetryPolicy::Backoff {
+                max_attempts,
+                timeout_s,
+                base_s,
+                factor,
+                jitter_s,
+            } => {
+                if max_attempts == 0 {
+                    return Err(CoreError::invalid("retry max_attempts must be >= 1"));
+                }
+                for (name, v) in [
+                    ("timeout_s", timeout_s),
+                    ("base_s", base_s),
+                    ("jitter_s", jitter_s),
+                ] {
+                    if !(v.is_finite() && v >= 0.0) {
+                        return Err(CoreError::invalid(format!(
+                            "retry {name} must be finite and non-negative, got {v}"
+                        )));
+                    }
+                }
+                if !(factor.is_finite() && factor >= 1.0) {
+                    return Err(CoreError::invalid(format!(
+                        "retry factor must be finite and >= 1, got {factor}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Seconds from the (failed) send of attempt number `attempt`
+    /// (1-based) until the retry send, or `None` when the attempt budget
+    /// is spent. `jitter01` is a uniform draw in `[0, 1)` from the fault
+    /// RNG stream.
+    pub fn backoff_delay(&self, attempt: u32, jitter01: f64) -> Option<f64> {
+        match *self {
+            RetryPolicy::None => None,
+            RetryPolicy::Backoff {
+                max_attempts,
+                timeout_s,
+                base_s,
+                factor,
+                jitter_s,
+            } => (attempt < max_attempts).then(|| {
+                let backoff = base_s * factor.powi(attempt.saturating_sub(1) as i32);
+                timeout_s + backoff + jitter01 * jitter_s
+            }),
+        }
+    }
+
+    /// Short display name (used by sweep labels and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RetryPolicy::None => "no-retry",
+            RetryPolicy::Backoff { .. } => "backoff",
+        }
+    }
+}
+
+/// What becomes of the uploads stranded on the losing branch of a healed
+/// fork. When a partition splits the miner mesh, the secondary component
+/// keeps accepting uploads and mining its own blocks; at heal time the
+/// longest chain wins and the losing branch's rounds are orphaned.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ReorgPolicy {
+    /// Orphaned uploads are dropped — their training work is wasted,
+    /// exactly like a discarded stale upload.
+    #[default]
+    Discard,
+    /// Orphaned uploads are re-submitted to the winning branch's mempool
+    /// at heal time, subject to the run's staleness policy (they are by
+    /// construction at least one round old).
+    Salvage,
+}
+
+impl ReorgPolicy {
+    /// Short display name (used by sweep labels and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReorgPolicy::Discard => "discard",
+            ReorgPolicy::Salvage => "salvage",
+        }
+    }
+}
+
 /// How a round's high-contribution θ scores become paid rewards.
 ///
 /// Implementations must be deterministic in `(round, scores)`: sweep
@@ -272,6 +392,64 @@ mod tests {
             StalenessPolicy::DecayedInclude { decay: 0.9 }.name(),
             "decayed-include"
         );
+    }
+
+    #[test]
+    fn retry_policy_validates_and_schedules_backoff() {
+        assert!(RetryPolicy::None.validate().is_ok());
+        assert_eq!(RetryPolicy::default(), RetryPolicy::None);
+        assert_eq!(RetryPolicy::None.backoff_delay(1, 0.5), None);
+
+        let backoff = RetryPolicy::Backoff {
+            max_attempts: 3,
+            timeout_s: 2.0,
+            base_s: 1.0,
+            factor: 2.0,
+            jitter_s: 0.5,
+        };
+        backoff.validate().unwrap();
+        assert_eq!(backoff.name(), "backoff");
+        // First attempt fails: retry after timeout + base + jitter.
+        assert_eq!(backoff.backoff_delay(1, 0.0), Some(3.0));
+        // Second attempt fails: backoff doubles, jitter applies.
+        assert_eq!(backoff.backoff_delay(2, 1.0), Some(2.0 + 2.0 + 0.5));
+        // Attempt budget spent.
+        assert_eq!(backoff.backoff_delay(3, 0.0), None);
+
+        let bad = RetryPolicy::Backoff {
+            max_attempts: 0,
+            timeout_s: 1.0,
+            base_s: 1.0,
+            factor: 2.0,
+            jitter_s: 0.0,
+        };
+        assert!(bad.validate().is_err());
+        let bad_factor = RetryPolicy::Backoff {
+            max_attempts: 2,
+            timeout_s: 1.0,
+            base_s: 1.0,
+            factor: 0.5,
+            jitter_s: 0.0,
+        };
+        assert!(bad_factor.validate().is_err());
+        let bad_timeout = RetryPolicy::Backoff {
+            max_attempts: 2,
+            timeout_s: f64::INFINITY,
+            base_s: 1.0,
+            factor: 2.0,
+            jitter_s: 0.0,
+        };
+        assert!(bad_timeout.validate().is_err());
+    }
+
+    #[test]
+    fn reorg_policy_names_and_default() {
+        assert_eq!(ReorgPolicy::default(), ReorgPolicy::Discard);
+        assert_eq!(ReorgPolicy::Discard.name(), "discard");
+        assert_eq!(ReorgPolicy::Salvage.name(), "salvage");
+        let json = serde_json::to_string(&ReorgPolicy::Salvage).unwrap();
+        let back: ReorgPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ReorgPolicy::Salvage);
     }
 
     #[test]

@@ -51,6 +51,26 @@ pub fn mine_round<R: Rng + ?Sized>(
         .map_err(CoreError::from)
 }
 
+/// Procedure-V for one mesh component: seals the component's block among
+/// `members` only (see [`RoundConsensus::seal_round_among`]). Used by the
+/// event engine when a crash or partition leaves part of the mesh
+/// unreachable; the rest keeps its own tip until the fork heals.
+pub fn mine_round_among<R: Rng + ?Sized>(
+    consensus: &mut RoundConsensus,
+    members: &[usize],
+    round: u64,
+    global_params: &[f64],
+    rewards: &[RewardEntry],
+    timestamp_ms: u64,
+    rng: &mut R,
+) -> Result<ConsensusOutcome, CoreError> {
+    let submitter = consensus.miners[members[0]].id;
+    let transactions = build_block_transactions(submitter, round, global_params, rewards);
+    consensus
+        .seal_round_among(members, transactions, timestamp_ms, rng)
+        .map_err(CoreError::from)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,7 +32,8 @@ use crate::engine::SimulationRun;
 use crate::error::CoreError;
 use crate::flexibility::FlexibilityMode;
 use crate::policy::{
-    AggregationAnchor, ObserverControl, RewardPolicy, RoundEvent, RoundObserver, StalenessPolicy,
+    AggregationAnchor, ObserverControl, ReorgPolicy, RetryPolicy, RewardPolicy, RoundEvent,
+    RoundObserver, StalenessPolicy,
 };
 use crate::simulation::SimulationResult;
 use crate::strategy::LowContributionStrategy;
@@ -293,6 +294,25 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Deterministic fault injection: link drops/duplicates/corruption,
+    /// miner crashes, mesh partitions (event-driven engine only).
+    pub fn fault(mut self, fault: bfl_net::FaultPlan) -> Self {
+        self.config.fault = fault;
+        self
+    }
+
+    /// What a client does when its upload is lost in transit.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// What becomes of uploads stranded on the losing branch of a fork.
+    pub fn reorg(mut self, reorg: ReorgPolicy) -> Self {
+        self.config.reorg = reorg;
+        self
+    }
+
     /// Delay-model calibration.
     pub fn delay(mut self, delay: DelayModel) -> Self {
         self.config.delay = delay;
@@ -400,6 +420,38 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("staleness decay"));
+    }
+
+    #[test]
+    fn fault_setters_land_in_the_config_and_validate() {
+        let mut fault = bfl_net::FaultPlan::default();
+        fault.uplink.drop_rate = 0.25;
+        fault.partition = Some(bfl_net::Partition {
+            start_s: 1.0,
+            duration_s: 4.0,
+            boundary: 1,
+        });
+        let scenario = Scenario::builder()
+            .flexible_quota(4)
+            .fault(fault)
+            .retry(RetryPolicy::Backoff {
+                max_attempts: 3,
+                timeout_s: 1.0,
+                base_s: 0.5,
+                factor: 2.0,
+                jitter_s: 0.1,
+            })
+            .reorg(ReorgPolicy::Salvage)
+            .build()
+            .unwrap();
+        let config = scenario.config();
+        assert_eq!(config.fault, fault);
+        assert_eq!(config.reorg, ReorgPolicy::Salvage);
+        assert!(matches!(config.retry, RetryPolicy::Backoff { .. }));
+
+        // Faults without the event engine are rejected at build time.
+        let err = Scenario::builder().fault(fault).build().unwrap_err();
+        assert!(err.to_string().contains("event-driven engine"));
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Deterministic fault injection: lossy links, miner crashes, and
+//! partitions of the miner mesh.
+//!
+//! The paper argues that in a loosely-coupled BFL deployment "forking is
+//! inevitable" — messages get lost at the network edge, miners fail, and
+//! the mesh can split. A [`FaultPlan`] describes those adversities as
+//! plain deterministic data: per-link upload faults (drop / duplicate /
+//! corrupt, each with its own rate and active [`TimeWindow`]), an
+//! optional miner [`CrashSchedule`], and an optional [`Partition`] of the
+//! miner mesh. The plan itself holds no randomness — the event engine
+//! draws every fault coin-flip from a dedicated RNG stream seeded from
+//! the scenario seed, so the same seed replays the same faults
+//! bit-identically, and a zero-fault plan consumes zero draws.
+
+use serde::{Deserialize, Serialize};
+
+/// A closed-open interval of simulated seconds during which a fault is
+/// active. The default window is effectively "always".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// First simulated second at which the fault applies.
+    pub start_s: f64,
+    /// Simulated second at which the fault stops applying (exclusive).
+    pub end_s: f64,
+}
+
+impl Default for TimeWindow {
+    fn default() -> Self {
+        TimeWindow {
+            start_s: 0.0,
+            end_s: 1e18,
+        }
+    }
+}
+
+impl TimeWindow {
+    /// True when simulated second `t` falls inside the window.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s
+    }
+
+    /// Validates the window's bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.start_s.is_finite() && self.start_s >= 0.0) {
+            return Err(format!(
+                "fault window start_s must be finite and non-negative, got {}",
+                self.start_s
+            ));
+        }
+        if !(self.end_s.is_finite() && self.end_s >= self.start_s) {
+            return Err(format!(
+                "fault window end_s must be finite and >= start_s, got {}",
+                self.end_s
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-upload link faults on the client→miner path. Each rate is the
+/// independent probability that the fault strikes one send attempt while
+/// the window is active.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinkFaults {
+    /// Probability that an upload is silently lost in transit.
+    pub drop_rate: f64,
+    /// Probability that an upload is delivered twice (the second copy
+    /// arrives after an extra propagation delay).
+    pub duplicate_rate: f64,
+    /// Probability that an upload arrives with one payload byte flipped —
+    /// the signature check at the mempool is the detector.
+    pub corrupt_rate: f64,
+    /// When the link faults apply.
+    pub window: TimeWindow,
+}
+
+impl LinkFaults {
+    /// True when any fault rate is non-zero.
+    pub fn is_active(&self) -> bool {
+        self.drop_rate > 0.0 || self.duplicate_rate > 0.0 || self.corrupt_rate > 0.0
+    }
+
+    /// Validates rates and window.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("drop_rate", self.drop_rate),
+            ("duplicate_rate", self.duplicate_rate),
+            ("corrupt_rate", self.corrupt_rate),
+        ] {
+            if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                return Err(format!("fault {name} must lie in [0, 1], got {rate}"));
+            }
+        }
+        self.window.validate()
+    }
+}
+
+/// A scheduled miner failure: the miner goes down at `crash_at_s`,
+/// loses its mempool, and comes back `down_for_s` seconds later, at
+/// which point it resynchronises its replica from the surviving miners.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashSchedule {
+    /// Index of the miner that crashes.
+    pub miner: usize,
+    /// Simulated second of the crash.
+    pub crash_at_s: f64,
+    /// Seconds the miner stays down before recovering.
+    pub down_for_s: f64,
+}
+
+impl CrashSchedule {
+    /// True when the miner is down at simulated second `t`.
+    pub fn is_down(&self, t: f64) -> bool {
+        t >= self.crash_at_s && t < self.crash_at_s + self.down_for_s
+    }
+
+    /// Simulated second at which the miner recovers.
+    pub fn recover_at_s(&self) -> f64 {
+        self.crash_at_s + self.down_for_s
+    }
+
+    /// Validates the schedule's timing.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.crash_at_s.is_finite() && self.crash_at_s >= 0.0) {
+            return Err(format!(
+                "crash_at_s must be finite and non-negative, got {}",
+                self.crash_at_s
+            ));
+        }
+        if !(self.down_for_s.is_finite() && self.down_for_s > 0.0) {
+            return Err(format!(
+                "down_for_s must be finite and positive, got {}",
+                self.down_for_s
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A split of the miner mesh into two components for an interval:
+/// miners `[0, boundary)` form the primary component (it always contains
+/// miner 0) and miners `[boundary, m)` form the secondary component.
+/// While active, each component mines its own chain; at heal time the
+/// fork is resolved by longest-chain adoption.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Simulated second at which the mesh splits.
+    pub start_s: f64,
+    /// Seconds the partition lasts.
+    pub duration_s: f64,
+    /// First miner index of the secondary component (must satisfy
+    /// `1 <= boundary < miners`).
+    pub boundary: usize,
+}
+
+impl Partition {
+    /// True while the mesh is split at simulated second `t`.
+    pub fn is_active(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s()
+    }
+
+    /// Simulated second at which the partition heals.
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.duration_s
+    }
+
+    /// Component index (0 = primary, 1 = secondary) of a miner.
+    pub fn component_of(&self, miner: usize) -> usize {
+        usize::from(miner >= self.boundary)
+    }
+
+    /// Validates timing; the boundary is checked against the miner count
+    /// by the scenario configuration, which knows it.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.start_s.is_finite() && self.start_s >= 0.0) {
+            return Err(format!(
+                "partition start_s must be finite and non-negative, got {}",
+                self.start_s
+            ));
+        }
+        if !(self.duration_s.is_finite() && self.duration_s > 0.0) {
+            return Err(format!(
+                "partition duration_s must be finite and positive, got {}",
+                self.duration_s
+            ));
+        }
+        if self.boundary == 0 {
+            return Err("partition boundary must be >= 1 (component 0 owns miner 0)".into());
+        }
+        Ok(())
+    }
+}
+
+/// The complete deterministic fault plan for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Faults on the client→miner upload links.
+    pub uplink: LinkFaults,
+    /// An optional scheduled miner crash.
+    pub crash: Option<CrashSchedule>,
+    /// An optional partition of the miner mesh.
+    pub partition: Option<Partition>,
+    /// Round deadline in simulated seconds: when faults leave a flexible
+    /// quota unreachable, the round seals with whatever has arrived once
+    /// the next pending arrival lies beyond `round start + deadline_s`.
+    /// Zero disables the deadline.
+    pub deadline_s: f64,
+}
+
+impl FaultPlan {
+    /// True when the plan injects any fault at all. An inactive plan
+    /// must leave the engine bit-identical to a run without one.
+    pub fn is_active(&self) -> bool {
+        self.uplink.is_active()
+            || self.crash.is_some()
+            || self.partition.is_some()
+            || self.deadline_s > 0.0
+    }
+
+    /// Validates every part of the plan.
+    pub fn validate(&self) -> Result<(), String> {
+        self.uplink.validate()?;
+        if let Some(crash) = &self.crash {
+            crash.validate()?;
+        }
+        if let Some(partition) = &self.partition {
+            partition.validate()?;
+        }
+        if !(self.deadline_s.is_finite() && self.deadline_s >= 0.0) {
+            return Err(format!(
+                "deadline_s must be finite and non-negative, got {}",
+                self.deadline_s
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inactive_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        plan.validate().unwrap();
+        assert!(!plan.uplink.is_active());
+    }
+
+    #[test]
+    fn window_contains_its_interval() {
+        let w = TimeWindow {
+            start_s: 2.0,
+            end_s: 5.0,
+        };
+        w.validate().unwrap();
+        assert!(!w.contains(1.9));
+        assert!(w.contains(2.0));
+        assert!(w.contains(4.999));
+        assert!(!w.contains(5.0));
+        // Default window is effectively always-on.
+        assert!(TimeWindow::default().contains(1e12));
+    }
+
+    #[test]
+    fn invalid_rates_and_windows_rejected() {
+        let bad = LinkFaults {
+            drop_rate: 1.5,
+            ..LinkFaults::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("drop_rate"));
+        let bad = LinkFaults {
+            corrupt_rate: f64::NAN,
+            ..LinkFaults::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad_window = TimeWindow {
+            start_s: 5.0,
+            end_s: 2.0,
+        };
+        assert!(bad_window.validate().unwrap_err().contains("end_s"));
+    }
+
+    #[test]
+    fn crash_schedule_down_interval() {
+        let crash = CrashSchedule {
+            miner: 1,
+            crash_at_s: 10.0,
+            down_for_s: 4.0,
+        };
+        crash.validate().unwrap();
+        assert!(!crash.is_down(9.9));
+        assert!(crash.is_down(10.0));
+        assert!(crash.is_down(13.9));
+        assert!(!crash.is_down(14.0));
+        assert_eq!(crash.recover_at_s(), 14.0);
+        let bad = CrashSchedule {
+            down_for_s: 0.0,
+            ..crash
+        };
+        assert!(bad.validate().unwrap_err().contains("down_for_s"));
+    }
+
+    #[test]
+    fn partition_components_and_interval() {
+        let p = Partition {
+            start_s: 3.0,
+            duration_s: 6.0,
+            boundary: 1,
+        };
+        p.validate().unwrap();
+        assert!(!p.is_active(2.9));
+        assert!(p.is_active(3.0));
+        assert!(p.is_active(8.9));
+        assert!(!p.is_active(9.0));
+        assert_eq!(p.end_s(), 9.0);
+        assert_eq!(p.component_of(0), 0);
+        assert_eq!(p.component_of(1), 1);
+        assert_eq!(p.component_of(5), 1);
+        let bad = Partition { boundary: 0, ..p };
+        assert!(bad.validate().unwrap_err().contains("boundary"));
+    }
+
+    #[test]
+    fn active_plans_detected() {
+        let mut plan = FaultPlan::default();
+        plan.uplink.drop_rate = 0.2;
+        assert!(plan.is_active());
+        plan.validate().unwrap();
+
+        let crash_only = FaultPlan {
+            crash: Some(CrashSchedule {
+                miner: 0,
+                crash_at_s: 1.0,
+                down_for_s: 2.0,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(crash_only.is_active());
+
+        let deadline_only = FaultPlan {
+            deadline_s: 30.0,
+            ..FaultPlan::default()
+        };
+        assert!(deadline_only.is_active());
+        deadline_only.validate().unwrap();
+    }
+
+    #[test]
+    fn plans_serialize_round_trip() {
+        let plan = FaultPlan {
+            uplink: LinkFaults {
+                drop_rate: 0.2,
+                duplicate_rate: 0.05,
+                corrupt_rate: 0.1,
+                window: TimeWindow {
+                    start_s: 1.0,
+                    end_s: 50.0,
+                },
+            },
+            crash: Some(CrashSchedule {
+                miner: 1,
+                crash_at_s: 5.0,
+                down_for_s: 3.0,
+            }),
+            partition: Some(Partition {
+                start_s: 2.0,
+                duration_s: 4.0,
+                boundary: 1,
+            }),
+            deadline_s: 20.0,
+        };
+        plan.validate().unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

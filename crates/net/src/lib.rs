@@ -21,11 +21,13 @@
 pub mod clock;
 pub mod delay;
 pub mod event;
+pub mod fault;
 pub mod profile;
 pub mod topology;
 
 pub use clock::SimClock;
 pub use delay::{DelayDistribution, LinkModel};
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{CrashSchedule, FaultPlan, LinkFaults, Partition, TimeWindow};
 pub use profile::{ChurnSchedule, NodeProfile};
 pub use topology::Topology;

@@ -1,0 +1,582 @@
+//! Integration tests for the deterministic fault-injection subsystem
+//! (PR 6): zero-fault bit-identity with the PR 5 engine, packet loss and
+//! client retransmission, duplicate squashing, corruption detection via
+//! signature verification, miner crashes, partition-driven forks healed
+//! by longest-chain adoption, deadline degradation, and the determinism
+//! gate (identical traces and results across runs and sweep thread
+//! counts while a fault plan is active).
+
+mod common;
+
+use common::{small_config, small_dataset};
+use fair_bfl::core::events::EventKind;
+use fair_bfl::core::{
+    ProfileConfig, ReorgPolicy, RetryPolicy, Scenario, SimulationResult, StalenessPolicy,
+    SweepPoint, SweepRunner, SyncMode,
+};
+use fair_bfl::fl::config::PartitionKind;
+use fair_bfl::net::{CrashSchedule, DelayDistribution, FaultPlan, LinkFaults, Partition};
+
+/// Canonical digest over every artifact the experiments read (the same
+/// construction the PR 5 golden tests pin): block hashes, per-round
+/// history records (bit-exact), detection rows, reward totals, and the
+/// final parameter vector.
+fn run_digest(result: &SimulationResult) -> String {
+    let mut canon = String::new();
+    if let Some(chain) = &result.chain {
+        for block in chain.iter() {
+            canon.push_str(&block.hash_hex());
+            canon.push('\n');
+        }
+    }
+    for r in &result.history.rounds {
+        canon.push_str(&format!(
+            "round {} acc {:016x} loss {:016x} delay {:016x} elapsed {:016x} n {}\n",
+            r.round,
+            r.accuracy.to_bits(),
+            r.train_loss.to_bits(),
+            r.round_delay_s.to_bits(),
+            r.elapsed_s.to_bits(),
+            r.participants
+        ));
+    }
+    for row in &result.detection.rows {
+        canon.push_str(&format!(
+            "detect {} attackers {:?} dropped {:?}\n",
+            row.round, row.attacker_ids, row.dropped_ids
+        ));
+    }
+    for (client, total) in &result.reward_totals {
+        canon.push_str(&format!("reward {client} {total}\n"));
+    }
+    for p in &result.final_params {
+        canon.push_str(&format!("{:016x}", p.to_bits()));
+    }
+    let digest = fair_bfl::crypto::sha256::sha256(canon.as_bytes());
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// A flexible-quota scenario with an (optional) fault plan, shared by
+/// most tests here: 8 clients, full participation, no signatures.
+fn faulted_scenario(
+    quota: usize,
+    rounds: usize,
+    fault: FaultPlan,
+    retry: RetryPolicy,
+    reorg: ReorgPolicy,
+) -> Scenario {
+    Scenario::builder()
+        .clients(8)
+        .miners(3)
+        .rounds(rounds)
+        .participation_ratio(1.0)
+        .partition(PartitionKind::Iid)
+        .local_epochs(1)
+        .batch_size(10)
+        .verify_signatures(false)
+        .seed(42)
+        .sync(SyncMode::FlexibleQuota { quota })
+        .staleness(StalenessPolicy::DecayedInclude { decay: 0.5 })
+        .profiles(ProfileConfig {
+            uplink: DelayDistribution::Constant(0.05),
+            ..ProfileConfig::default()
+        })
+        .fault(fault)
+        .retry(retry)
+        .reorg(reorg)
+        .build()
+        .unwrap()
+}
+
+/// Cumulative end-of-round times of a fault-free probe run, used to aim
+/// crash and partition windows at specific rounds deterministically.
+fn probe_round_ends(quota: usize, rounds: usize) -> Vec<f64> {
+    let (train, test) = small_dataset();
+    let result = faulted_scenario(
+        quota,
+        rounds,
+        FaultPlan::default(),
+        RetryPolicy::None,
+        ReorgPolicy::Discard,
+    )
+    .run(&train, &test)
+    .unwrap();
+    result.history.rounds.iter().map(|r| r.elapsed_s).collect()
+}
+
+/// The inactive fault plan is not allowed to change a single bit: the
+/// synchronous path must still reproduce the PR 4/5 golden digest, and
+/// the event engine must produce the identical trace and result with and
+/// without the (default) plan threaded through the configuration.
+#[test]
+fn zero_fault_plan_replays_the_pr5_engine_bit_identically() {
+    const PR4_BATCHED: &str = "49e74382d7ab1bec34dbf20e11088ad99656afb8b2eb3f2c14036611cc0340dc";
+
+    let (train, test) = small_dataset();
+
+    // Synchronous golden: explicitly threading the default plan through
+    // the config reproduces the digest pinned before faults existed.
+    let mut config = small_config(3);
+    config.fault = FaultPlan::default();
+    config.retry = RetryPolicy::None;
+    config.reorg = ReorgPolicy::Discard;
+    let result = Scenario::from_config(config)
+        .unwrap()
+        .run(&train, &test)
+        .unwrap();
+    assert_eq!(
+        run_digest(&result),
+        PR4_BATCHED,
+        "an inactive fault plan must not perturb the synchronous engine"
+    );
+
+    // Event engine: a run with the default plan is trace- and
+    // digest-identical to the same scenario without fault fields set.
+    let baseline = Scenario::builder()
+        .clients(8)
+        .miners(3)
+        .rounds(3)
+        .participation_ratio(1.0)
+        .partition(PartitionKind::Iid)
+        .local_epochs(1)
+        .batch_size(10)
+        .verify_signatures(false)
+        .seed(42)
+        .sync(SyncMode::FlexibleQuota { quota: 6 })
+        .staleness(StalenessPolicy::DecayedInclude { decay: 0.5 })
+        .profiles(ProfileConfig {
+            uplink: DelayDistribution::Constant(0.05),
+            ..ProfileConfig::default()
+        })
+        .build()
+        .unwrap();
+    let mut base_run = baseline.start(&train, &test).unwrap();
+    base_run.run_to_completion().unwrap();
+    let base_trace = base_run.event_trace().to_vec();
+    let base_digest = run_digest(&base_run.into_result());
+
+    let explicit = faulted_scenario(
+        6,
+        3,
+        FaultPlan::default(),
+        RetryPolicy::None,
+        ReorgPolicy::Discard,
+    );
+    let mut run = explicit.start(&train, &test).unwrap();
+    run.run_to_completion().unwrap();
+    assert_eq!(
+        run.event_trace(),
+        &base_trace[..],
+        "an inactive plan draws nothing and schedules nothing extra"
+    );
+    assert_eq!(run_digest(&run.into_result()), base_digest);
+}
+
+#[test]
+fn dropped_uploads_are_retransmitted_under_the_backoff_policy() {
+    let (train, test) = small_dataset();
+    let fault = FaultPlan {
+        uplink: LinkFaults {
+            drop_rate: 0.4,
+            ..LinkFaults::default()
+        },
+        ..FaultPlan::default()
+    };
+    let retry = RetryPolicy::Backoff {
+        max_attempts: 3,
+        timeout_s: 1.0,
+        base_s: 0.5,
+        factor: 2.0,
+        jitter_s: 0.2,
+    };
+    let scenario = faulted_scenario(6, 3, fault, retry, ReorgPolicy::Discard);
+
+    let mut traces = Vec::new();
+    let mut digests = Vec::new();
+    for _ in 0..2 {
+        let mut run = scenario.start(&train, &test).unwrap();
+        run.run_to_completion().unwrap();
+        traces.push(run.event_trace().to_vec());
+        digests.push(run_digest(&run.into_result()));
+    }
+    assert_eq!(
+        traces[0], traces[1],
+        "faulted traces replay bit-identically"
+    );
+    assert_eq!(digests[0], digests[1]);
+
+    let count = |kind: EventKind| traces[0].iter().filter(|e| e.kind == kind).count();
+    assert!(count(EventKind::UploadDropped) > 0, "40% loss must strike");
+    assert!(
+        count(EventKind::UploadRetried) > 0,
+        "the backoff policy must retransmit dropped uploads"
+    );
+    // Retransmission keeps the run learning through the loss.
+    assert!(count(EventKind::UploadArrived) > 0);
+
+    // Without retries the same losses are terminal: drops appear, resends
+    // do not, and the rounds seal with whatever survived.
+    let fatalist = faulted_scenario(
+        6,
+        3,
+        FaultPlan {
+            uplink: LinkFaults {
+                drop_rate: 0.4,
+                ..LinkFaults::default()
+            },
+            ..FaultPlan::default()
+        },
+        RetryPolicy::None,
+        ReorgPolicy::Discard,
+    );
+    let mut run = fatalist.start(&train, &test).unwrap();
+    run.run_to_completion().unwrap();
+    let trace = run.event_trace().to_vec();
+    assert!(trace.iter().any(|e| e.kind == EventKind::UploadDropped));
+    assert!(trace.iter().all(|e| e.kind != EventKind::UploadRetried));
+    assert_eq!(run.into_result().history.len(), 3);
+}
+
+#[test]
+fn duplicate_deliveries_are_squashed_and_never_double_count() {
+    let (train, test) = small_dataset();
+    let fault = FaultPlan {
+        uplink: LinkFaults {
+            duplicate_rate: 1.0,
+            ..LinkFaults::default()
+        },
+        ..FaultPlan::default()
+    };
+    let scenario = faulted_scenario(6, 3, fault, RetryPolicy::None, ReorgPolicy::Discard);
+    let mut run = scenario.start(&train, &test).unwrap();
+    run.run_to_completion().unwrap();
+    let trace = run.event_trace().to_vec();
+    let result = run.into_result();
+
+    assert!(
+        trace.iter().any(|e| e.kind == EventKind::DuplicateIgnored),
+        "every upload is duplicated, so redundant copies must be squashed"
+    );
+    // No commission is ever admitted twice.
+    let mut admitted = std::collections::BTreeSet::new();
+    for e in &trace {
+        if matches!(e.kind, EventKind::UploadArrived | EventKind::StaleIncluded) {
+            assert!(
+                admitted.insert((e.born_round, e.client_id)),
+                "client {} round {} admitted twice",
+                e.client_id,
+                e.born_round
+            );
+        }
+    }
+    // Every round still seals at most one upload per client.
+    for outcome in &result.outcomes {
+        assert!(outcome.participants <= 8);
+    }
+    assert_eq!(result.history.len(), 3);
+}
+
+#[test]
+fn corrupted_uploads_are_rejected_by_the_signature_check() {
+    let (train, test) = small_dataset();
+    let fault = FaultPlan {
+        uplink: LinkFaults {
+            corrupt_rate: 0.5,
+            ..LinkFaults::default()
+        },
+        ..FaultPlan::default()
+    };
+    let scenario = Scenario::builder()
+        .clients(6)
+        .miners(2)
+        .rounds(3)
+        .participation_ratio(1.0)
+        .partition(PartitionKind::Iid)
+        .local_epochs(1)
+        .batch_size(10)
+        .verify_signatures(true)
+        .rsa_modulus_bits(256)
+        .seed(11)
+        .sync(SyncMode::FlexibleQuota { quota: 4 })
+        .profiles(ProfileConfig {
+            uplink: DelayDistribution::Constant(0.05),
+            ..ProfileConfig::default()
+        })
+        .fault(fault)
+        .retry(RetryPolicy::Backoff {
+            max_attempts: 2,
+            timeout_s: 1.0,
+            base_s: 0.5,
+            factor: 2.0,
+            jitter_s: 0.0,
+        })
+        .build()
+        .unwrap();
+
+    let mut run = scenario.start(&train, &test).unwrap();
+    run.run_to_completion().unwrap();
+    let trace = run.event_trace().to_vec();
+    let result = run.into_result();
+
+    assert!(
+        trace.iter().any(|e| e.kind == EventKind::UploadRejected),
+        "flipped payload bytes must fail miner-side verification"
+    );
+    assert!(
+        trace.iter().any(|e| e.kind == EventKind::UploadRetried),
+        "rejected attempts retransmit under the backoff policy"
+    );
+    assert_eq!(result.history.len(), 3);
+    result.chain.as_ref().unwrap().validate_all().unwrap();
+}
+
+#[test]
+fn a_miner_crash_loses_its_pool_and_the_mesh_recovers() {
+    let (train, test) = small_dataset();
+    let quota = 6;
+    let rounds = 4;
+    let ends = probe_round_ends(quota, rounds);
+    // Crash miner 1 just after round 1 seals; it stays down for about one
+    // round and recovers before the run ends.
+    let crash = CrashSchedule {
+        miner: 1,
+        crash_at_s: ends[0] * 0.5,
+        down_for_s: (ends[1] - ends[0] * 0.5) + 0.5,
+    };
+    let fault = FaultPlan {
+        crash: Some(crash),
+        ..FaultPlan::default()
+    };
+    let retry = RetryPolicy::Backoff {
+        max_attempts: 3,
+        timeout_s: 0.5,
+        base_s: 0.5,
+        factor: 2.0,
+        jitter_s: 0.1,
+    };
+    let scenario = faulted_scenario(quota, rounds, fault, retry, ReorgPolicy::Discard);
+
+    let mut digests = Vec::new();
+    let mut trace = Vec::new();
+    for _ in 0..2 {
+        let mut run = scenario.start(&train, &test).unwrap();
+        run.run_to_completion().unwrap();
+        trace = run.event_trace().to_vec();
+        digests.push(run_digest(&run.into_result()));
+    }
+    assert_eq!(digests[0], digests[1], "crash runs replay bit-identically");
+
+    // The downed miner swallows or loses uploads somewhere in the run.
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::UploadDropped | EventKind::UploadLost)),
+        "a crash mid-run must cost at least one upload"
+    );
+    // The run survives the crash: every round seals, the chain is whole.
+    let result = scenario.run(&train, &test).unwrap();
+    assert_eq!(result.history.len(), rounds);
+    let chain = result.chain.as_ref().unwrap();
+    assert_eq!(chain.height(), rounds as u64);
+    chain.validate_all().unwrap();
+}
+
+/// The acceptance scenario: a partition splits the 3-miner mesh, both
+/// components mine their own branch (a real fork), and the first round
+/// after the window heals it by longest-chain adoption — one tip, the
+/// losing branch's uploads salvaged through the staleness policy, and
+/// the resolution cost charged as `T_fork`.
+#[test]
+fn a_partition_forks_the_mesh_and_heals_to_one_tip() {
+    let (train, test) = small_dataset();
+    let quota = 8;
+    let rounds = 5;
+    let ends = probe_round_ends(quota, rounds);
+    // Split {0, 1} | {2} for rounds 2-3; heal lands in a later prologue.
+    let partition = Partition {
+        start_s: ends[0] + 0.01,
+        duration_s: ends[2] - ends[0],
+        boundary: 2,
+    };
+    let fault = FaultPlan {
+        partition: Some(partition),
+        ..FaultPlan::default()
+    };
+    let scenario = faulted_scenario(
+        quota,
+        rounds,
+        fault,
+        RetryPolicy::None,
+        ReorgPolicy::Salvage,
+    );
+
+    let mut digests = Vec::new();
+    let mut traces = Vec::new();
+    for _ in 0..2 {
+        let mut run = scenario.start(&train, &test).unwrap();
+        run.run_to_completion().unwrap();
+        traces.push(run.event_trace().to_vec());
+        digests.push(run_digest(&run.into_result()));
+    }
+    assert_eq!(
+        traces[0], traces[1],
+        "partition runs replay bit-identically"
+    );
+    assert_eq!(digests[0], digests[1]);
+
+    let trace = &traces[0];
+    assert!(
+        trace.iter().any(|e| e.kind == EventKind::UploadStranded),
+        "uploads associated with miner 2 must strand on the secondary side"
+    );
+    assert!(
+        trace.iter().any(|e| e.kind == EventKind::ForkHealed),
+        "the split mesh must produce a fork that heals"
+    );
+
+    let result = scenario.run(&train, &test).unwrap();
+    // The fork's resolution cost lands in exactly the heal round.
+    let fork_rounds: Vec<&fair_bfl::core::RoundOutcome> = result
+        .outcomes
+        .iter()
+        .filter(|o| o.breakdown.t_fork > 0.0)
+        .collect();
+    assert_eq!(fork_rounds.len(), 1, "one heal, one T_fork charge");
+    // Healed to a single valid tip of exactly one block per round: the
+    // secondary branch's blocks were orphaned away.
+    let chain = result.chain.as_ref().unwrap();
+    assert_eq!(chain.height(), rounds as u64);
+    chain.validate_all().unwrap();
+    // Salvage pushed the stranded uploads through the staleness policy
+    // into a post-heal block.
+    let salvage_visible = result.outcomes.iter().any(|o| o.stale_included > 0)
+        || trace.iter().any(|e| e.kind == EventKind::StaleDiscarded);
+    assert!(
+        salvage_visible,
+        "the losing branch's uploads must pass through the reorg policy"
+    );
+}
+
+#[test]
+fn the_fault_deadline_seals_short_rounds_instead_of_waiting() {
+    let (train, test) = small_dataset();
+    // Every client must report (quota = 8) but a quarter of them are 8x
+    // stragglers; without a deadline each round waits for them.
+    let patient = Scenario::builder()
+        .clients(8)
+        .miners(2)
+        .rounds(3)
+        .participation_ratio(1.0)
+        .partition(PartitionKind::Iid)
+        .local_epochs(1)
+        .batch_size(10)
+        .verify_signatures(false)
+        .seed(42)
+        .sync(SyncMode::FlexibleQuota { quota: 8 })
+        .staleness(StalenessPolicy::DecayedInclude { decay: 0.5 })
+        .profiles(ProfileConfig {
+            straggler_slowdown: 8.0,
+            straggler_fraction: 0.25,
+            uplink: DelayDistribution::Constant(0.05),
+            ..ProfileConfig::default()
+        })
+        .build()
+        .unwrap();
+    let patient_result = patient.run(&train, &test).unwrap();
+    let round1_s = patient_result.history.rounds[0].elapsed_s;
+
+    let mut hurried_config = *patient.config();
+    hurried_config.fault = FaultPlan {
+        deadline_s: round1_s * 0.5,
+        ..FaultPlan::default()
+    };
+    let hurried = Scenario::from_config(hurried_config).unwrap();
+    let mut run = hurried.start(&train, &test).unwrap();
+    run.run_to_completion().unwrap();
+    let trace = run.event_trace().to_vec();
+    let result = run.into_result();
+
+    assert!(
+        trace.iter().any(|e| e.kind == EventKind::DeadlineSealed),
+        "the deadline must cut at least one round short"
+    );
+    assert!(
+        result.outcomes.iter().any(|o| o.participants < 8),
+        "a deadline-sealed round carries fewer than all uploads"
+    );
+    let makespan = |r: &SimulationResult| r.history.rounds.last().unwrap().elapsed_s;
+    assert!(
+        makespan(&result) < makespan(&patient_result),
+        "sealing at the deadline must undercut the straggler-gated makespan"
+    );
+}
+
+/// The satellite determinism gate: with an active fault plan, sweeps are
+/// bit-identical across thread counts — fault streams are per-run, so
+/// parallelism cannot leak into the coin-flips.
+#[test]
+fn faulted_sweeps_are_bit_identical_for_any_thread_count() {
+    let (train, test) = small_dataset();
+    let loss = FaultPlan {
+        uplink: LinkFaults {
+            drop_rate: 0.3,
+            duplicate_rate: 0.2,
+            ..LinkFaults::default()
+        },
+        ..FaultPlan::default()
+    };
+    let retry = RetryPolicy::Backoff {
+        max_attempts: 2,
+        timeout_s: 0.5,
+        base_s: 0.5,
+        factor: 2.0,
+        jitter_s: 0.1,
+    };
+    let split = FaultPlan {
+        partition: Some(Partition {
+            start_s: 2.0,
+            duration_s: 25.0,
+            boundary: 2,
+        }),
+        ..FaultPlan::default()
+    };
+    let grid: Vec<SweepPoint> = vec![
+        SweepPoint::new(
+            "loss-retry",
+            faulted_scenario(6, 2, loss, retry, ReorgPolicy::Discard),
+        ),
+        SweepPoint::new(
+            "partition-salvage",
+            faulted_scenario(8, 3, split, RetryPolicy::None, ReorgPolicy::Salvage),
+        ),
+        SweepPoint::new(
+            "fault-free",
+            faulted_scenario(
+                6,
+                2,
+                FaultPlan::default(),
+                RetryPolicy::None,
+                ReorgPolicy::Discard,
+            ),
+        ),
+    ];
+
+    let serial = SweepRunner::with_threads(1)
+        .run(&grid, &train, &test)
+        .unwrap();
+    for threads in [0usize, 2, 3] {
+        let cells = SweepRunner::with_threads(threads)
+            .run(&grid, &train, &test)
+            .unwrap();
+        assert_eq!(cells.len(), serial.len());
+        for (a, b) in serial.iter().zip(cells.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(
+                run_digest(&a.result),
+                run_digest(&b.result),
+                "cell `{}` must not depend on sweep parallelism",
+                a.label
+            );
+        }
+    }
+}
