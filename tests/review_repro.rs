@@ -1,0 +1,48 @@
+mod common;
+
+use common::small_dataset;
+use fair_bfl::core::{
+    ProfileConfig, ReorgPolicy, RetryPolicy, Scenario, StalenessPolicy, SyncMode,
+};
+use fair_bfl::fl::config::PartitionKind;
+use fair_bfl::net::{DelayDistribution, FaultPlan, LinkFaults, TimeWindow};
+
+#[test]
+fn total_loss_without_retry_does_not_panic() {
+    let (train, test) = small_dataset();
+    let fault = FaultPlan {
+        uplink: LinkFaults {
+            drop_rate: 1.0,
+            duplicate_rate: 0.0,
+            corrupt_rate: 0.0,
+            window: TimeWindow::default(),
+        },
+        crash: None,
+        partition: None,
+        deadline_s: 0.0,
+    };
+    let scenario = Scenario::builder()
+        .clients(8)
+        .miners(3)
+        .rounds(2)
+        .participation_ratio(1.0)
+        .partition(PartitionKind::Iid)
+        .local_epochs(1)
+        .batch_size(10)
+        .verify_signatures(false)
+        .seed(42)
+        .sync(SyncMode::FlexibleQuota { quota: 3 })
+        .staleness(StalenessPolicy::DecayedInclude { decay: 0.5 })
+        .profiles(ProfileConfig {
+            uplink: DelayDistribution::Constant(0.05),
+            ..ProfileConfig::default()
+        })
+        .fault(fault)
+        .retry(RetryPolicy::None)
+        .reorg(ReorgPolicy::Discard)
+        .build()
+        .unwrap();
+    // Expectation: a graceful error (e.g. EmptyRound), not a panic.
+    let result = scenario.run(&train, &test);
+    eprintln!("outcome: {:?}", result.as_ref().map(|_| "ok").map_err(|e| e.to_string()));
+}
