@@ -1,0 +1,125 @@
+//! A counting global allocator for heap high-water measurements.
+//!
+//! The PR 7 population-scale bench needs *peak resident heap* per cell to
+//! show that memory tracks participants, not population. `VmHWM` is
+//! monotonic for the process lifetime, so it cannot compare cells run in
+//! one binary; instead the bench binaries install [`CountingAllocator`] as
+//! their `#[global_allocator]` and bracket each cell with
+//! [`reset_peak`](CountingAllocator::reset_peak) /
+//! [`peak_bytes`](CountingAllocator::peak_bytes).
+//!
+//! The counter tracks *net live bytes* (allocations minus deallocations,
+//! reallocations as a delta) and maintains the running maximum with a
+//! compare-and-swap loop. Overhead is two relaxed atomic updates per
+//! allocation — invisible next to the workloads being measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A [`System`]-backed allocator that tracks live bytes and their peak.
+///
+/// Install one as the global allocator and bracket measured regions:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: CountingAllocator = CountingAllocator::new();
+///
+/// ALLOC.reset_peak();
+/// run_cell();
+/// let peak = ALLOC.peak_bytes();
+/// ```
+pub struct CountingAllocator {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl CountingAllocator {
+    /// A fresh counter (all zeros).
+    pub const fn new() -> Self {
+        CountingAllocator {
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Currently live heap bytes routed through this allocator.
+    pub fn current_bytes(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`current_bytes`](Self::current_bytes) since the
+    /// last [`reset_peak`](Self::reset_peak).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Restarts the high-water mark from the current live count, so the
+    /// next [`peak_bytes`](Self::peak_bytes) reflects only the bracketed
+    /// region.
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn add(&self, bytes: usize) {
+        let live = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        // CAS-max: lift the peak only while we still exceed it.
+        let mut peak = self.peak.load(Ordering::Relaxed);
+        while live > peak {
+            match self
+                .peak
+                .compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => peak = actual,
+            }
+        }
+    }
+
+    fn sub(&self, bytes: usize) {
+        self.live.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        CountingAllocator::new()
+    }
+}
+
+// SAFETY: delegates every operation to `System`; the bookkeeping is
+// side-effect-free atomic arithmetic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            self.add(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        self.sub(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            self.add(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            if new_size >= layout.size() {
+                self.add(new_size - layout.size());
+            } else {
+                self.sub(layout.size() - new_size);
+            }
+        }
+        new_ptr
+    }
+}

@@ -72,13 +72,33 @@
 //!     delivered uploads, salvaged stale carry-over, and fork resolution
 //!     time against the fault-free baseline corner.
 //!
-//! Usage: `throughput [reps] [all|ml|crypto|pr3|pr4|pr5|pr6|smoke]`.
+//! **Population-scale rounds** (PR 7, written to `BENCH_PR7.json`): lazy
+//! O(participants) provisioning and streaming Procedure-IV aggregation
+//! on an implicit population, measured under a counting global allocator:
+//!
+//! 15. **population ladder** — the PR 4–6-style eager/materialized round
+//!     against the lazy/streaming engine at the same shape, then the
+//!     lazy/streaming engine at 10 000 participants per round drawn from
+//!     a 10 000-client and a 1 000 000-client population; asserts the
+//!     1M-population cell's heap high-water stays within 1.5× of the
+//!     10k-population cell (memory tracks participants, not population).
+//! 16. **signed companion** — the same implicit populations with RSA
+//!     signing on and keys derived lazily at admission, showing keygen
+//!     cost also tracks participants rather than population.
+//!
+//! Usage: `throughput [reps] [all|ml|crypto|pr3|pr4|pr5|pr6|pr7|smoke]`.
 //! `smoke` runs a seconds-scale version of every section (for CI) and
 //! writes `BENCH_SMOKE.json` instead of the tracked reports.
 
-use bfl_bench::experiments::{dataset, scenario_grid, system_config, Scale, SystemLabel};
+use bfl_bench::experiments::{
+    dataset, population_scale_config, population_signed_config, scenario_grid, system_config,
+    Scale, SystemLabel,
+};
+use bfl_bench::CountingAllocator;
 use bfl_chain::Block;
-use bfl_core::{BflSimulation, SweepRunner};
+use bfl_core::{
+    AggregationMode, BflConfig, BflSimulation, ProvisioningMode, Scenario, SweepRunner,
+};
 use bfl_crypto::bigint::BigUint;
 use bfl_crypto::engine as crypto_engine;
 use bfl_crypto::rsa::{RsaKeyPair, DEFAULT_MODULUS_BITS};
@@ -93,6 +113,12 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Heap bookkeeping for the PR 7 population ladder. The other sections
+/// run under it too; the overhead is two relaxed atomic updates per
+/// allocation, invisible next to the measured workloads.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
 
 #[derive(Debug, Clone, Serialize)]
 struct Measurement {
@@ -175,6 +201,7 @@ struct SmokeReport {
     pr4: Pr4Report,
     pr5: Pr5Report,
     pr6: Pr6Report,
+    pr7: Pr7Report,
 }
 
 /// Runs `body` once warm-up, then `reps` individually timed repetitions;
@@ -1214,6 +1241,151 @@ fn pr6_section(data: &(Dataset, Dataset), reps: usize, rounds: usize) -> Pr6Repo
     }
 }
 
+/// One rung of the population ladder: a full run of one configuration
+/// with its wall-clock and heap high-water.
+#[derive(Debug, Clone, Serialize)]
+struct PopulationCell {
+    label: String,
+    population: usize,
+    participants_per_round: usize,
+    rounds: usize,
+    signed: bool,
+    final_accuracy: f64,
+    wall_seconds: f64,
+    rounds_per_sec: f64,
+    peak_heap_mib: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Pr7Report {
+    description: String,
+    chunk: usize,
+    /// Heap high-water of the 1M-population cell over the 10k-population
+    /// cell at identical participants per round — the flatness claim.
+    peak_ratio_million_over_tenk: f64,
+    /// Wall-clock of the signed 1M-population cell over the signed
+    /// 10k-population cell (lazy keygen tracks participants).
+    signed_wall_ratio_million_over_tenk: f64,
+    cells: Vec<PopulationCell>,
+}
+
+/// Runs one population-ladder configuration to completion, bracketed by
+/// the counting allocator's peak reset.
+fn run_population_cell(
+    label: &str,
+    config: BflConfig,
+    data: &(Dataset, Dataset),
+    signed: bool,
+) -> PopulationCell {
+    let population = config.fl.clients;
+    let participants = config.fl.selected_per_round();
+    let rounds = config.fl.rounds;
+    let scenario = Scenario::from_config(config).expect("population cell is valid");
+    ALLOC.reset_peak();
+    let start = Instant::now();
+    let result = scenario
+        .run(&data.0, &data.1)
+        .expect("population cell completes");
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let peak_heap_mib = ALLOC.peak_bytes() as f64 / (1024.0 * 1024.0);
+    let cell = PopulationCell {
+        label: label.to_string(),
+        population,
+        participants_per_round: participants,
+        rounds,
+        signed,
+        final_accuracy: result.final_accuracy().unwrap_or(0.0),
+        wall_seconds,
+        rounds_per_sec: rounds as f64 / wall_seconds,
+        peak_heap_mib,
+    };
+    eprintln!(
+        "  {:<22} pop {:>9} | {:>5} participants | acc {:.3} | {:>7.2}s | peak {:>8.1} MiB",
+        cell.label,
+        cell.population,
+        cell.participants_per_round,
+        cell.final_accuracy,
+        cell.wall_seconds,
+        cell.peak_heap_mib,
+    );
+    cell
+}
+
+/// The PR 7 population ladder. `participants` is the per-round working
+/// set of the headline cells; the 1M-population rung must stay within
+/// 1.5× of the 10k-population rung's heap high-water.
+fn pr7_section(
+    data: &(Dataset, Dataset),
+    participants: usize,
+    rounds: usize,
+    chunk: usize,
+) -> Pr7Report {
+    eprintln!("running the population ladder ({participants} participants per round)...");
+
+    // Context rungs at a shape the materialized path can afford: the
+    // PR 4–6-style eager/materialized round against lazy/streaming at the
+    // same population and participants, so the report shows what the
+    // restructure buys before population even grows.
+    let shape = participants.min(1_000);
+    let mut eager = population_scale_config(10_000, shape, rounds, chunk);
+    eager.provisioning = ProvisioningMode::Eager;
+    eager.aggregation = AggregationMode::Materialized;
+    let streaming_small = population_scale_config(10_000, shape, rounds, chunk);
+
+    // The headline pair: identical participants, population ×100.
+    let tenk = population_scale_config(10_000.max(participants), participants, rounds, chunk);
+    let million = population_scale_config(1_000_000, participants, rounds, chunk);
+
+    // The signed companion pair: RSA on, keys derived lazily at admission.
+    let signed_participants = 128.min(participants);
+    let signed_tenk = population_signed_config(10_000, signed_participants, 1);
+    let signed_million = population_signed_config(1_000_000, signed_participants, 1);
+
+    let cells = vec![
+        run_population_cell("eager-materialized", eager, data, false),
+        run_population_cell("lazy-streaming", streaming_small, data, false),
+        run_population_cell("pop-10k", tenk, data, false),
+        run_population_cell("pop-1m", million, data, false),
+        run_population_cell("signed-pop-10k", signed_tenk, data, true),
+        run_population_cell("signed-pop-1m", signed_million, data, true),
+    ];
+
+    let peak_of = |label: &str| {
+        cells
+            .iter()
+            .find(|c| c.label == label)
+            .expect("ladder rung present")
+    };
+    let peak_ratio = peak_of("pop-1m").peak_heap_mib / peak_of("pop-10k").peak_heap_mib;
+    let signed_wall_ratio =
+        peak_of("signed-pop-1m").wall_seconds / peak_of("signed-pop-10k").wall_seconds;
+    eprintln!(
+        "  peak ratio 1M/10k {peak_ratio:.2} | signed wall ratio 1M/10k {signed_wall_ratio:.2}"
+    );
+    // The tentpole claim: per-round cost tracks participants, not
+    // population. A population ×100 must not move the heap high-water by
+    // more than allocator noise.
+    assert!(
+        peak_ratio <= 1.5,
+        "1M-population heap high-water must stay within 1.5x of the 10k-population cell \
+         (got {peak_ratio:.2}x)"
+    );
+
+    Pr7Report {
+        description: "Population-scale rounds: implicit population with lazy O(participants) \
+                      provisioning and streaming chunked Procedure-IV aggregation on the event \
+                      engine, heap high-water per cell from the counting global allocator; \
+                      eager/materialized context rung at the same shape, headline pair at \
+                      identical participants with population x100, signed companion pair with \
+                      lazy keygen, same process/machine"
+            .to_string(),
+        chunk,
+        peak_ratio_million_over_tenk: peak_ratio,
+        signed_wall_ratio_million_over_tenk: signed_wall_ratio,
+        cells,
+    }
+}
+
 fn write_report<T: Serialize>(path: &str, report: &T) {
     let json = serde_json::to_string_pretty(report).expect("report serializes");
     std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| panic!("{path} written: {e}"));
@@ -1277,6 +1449,10 @@ fn main() {
             let data = dataset(Scale::Smoke);
             write_report("BENCH_PR6.json", &pr6_section(&data, reps, 3));
         }
+        "pr7" => {
+            let data = dataset(Scale::Smoke);
+            write_report("BENCH_PR7.json", &pr7_section(&data, 10_000, 2, 128));
+        }
         "smoke" => {
             // Seconds-scale end-to-end exercise of every engine for CI:
             // catches perf-harness breakage, not regressions.
@@ -1295,6 +1471,10 @@ fn main() {
             let pr4 = pr4_section(&data, reps, 2);
             let pr5 = pr5_section(&data, reps, 2);
             let pr6 = pr6_section(&data, reps, 2);
+            // The 1M-client rung rides along at reduced participants and
+            // rounds; the flatness assertion inside the section still
+            // fires, so CI catches any O(population) regression.
+            let pr7 = pr7_section(&data, 256, 1, 64);
             let report = SmokeReport {
                 description: "CI smoke run at reduced scale; not a tracked measurement".to_string(),
                 ml,
@@ -1303,6 +1483,7 @@ fn main() {
                 pr4,
                 pr5,
                 pr6,
+                pr7,
             };
             write_report("BENCH_SMOKE.json", &report);
         }
@@ -1315,17 +1496,19 @@ fn main() {
             let pr4 = pr4_section(&crypto_data, reps, 3);
             let pr5 = pr5_section(&crypto_data, reps, 3);
             let pr6 = pr6_section(&crypto_data, reps, 3);
+            let pr7 = pr7_section(&crypto_data, 10_000, 2, 128);
             write_report("BENCH_PR1.json", &ml);
             write_report("BENCH_CRYPTO.json", &crypto);
             write_report("BENCH_PR3.json", &pr3);
             write_report("BENCH_PR4.json", &pr4);
             write_report("BENCH_PR5.json", &pr5);
             write_report("BENCH_PR6.json", &pr6);
+            write_report("BENCH_PR7.json", &pr7);
         }
         other => {
             // A typo must not silently regenerate the tracked reports.
             eprintln!(
-                "unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|pr3|pr4|pr5|pr6|smoke]"
+                "unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|pr3|pr4|pr5|pr6|pr7|smoke]"
             );
             std::process::exit(2);
         }

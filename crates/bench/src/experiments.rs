@@ -1,9 +1,9 @@
 //! Scenario construction and the per-figure experiment runners.
 
 use bfl_core::{
-    AggregationAnchor, AttackConfig, BflConfig, BflSimulation, DetectionTable, FlexibilityMode,
-    LowContributionStrategy, ProfileConfig, ReorgPolicy, RetryPolicy, Scenario, SimulationResult,
-    StalenessPolicy, SweepPoint, SyncMode,
+    AggregationAnchor, AggregationMode, AttackConfig, BflConfig, BflSimulation, DetectionTable,
+    FlexibilityMode, LowContributionStrategy, ProfileConfig, ProvisioningMode, ReorgPolicy,
+    RetryPolicy, Scenario, SimulationResult, StalenessPolicy, SweepPoint, SyncMode,
 };
 use bfl_data::{Dataset, SynthMnist, SynthMnistConfig};
 use bfl_fl::config::PartitionKind;
@@ -627,6 +627,66 @@ pub fn quota_comparison_configs(scale: Scale, rounds: usize) -> (BflConfig, BflC
     let mut flexible = waiting;
     flexible.sync = SyncMode::FlexibleQuota { quota: 6 };
     (waiting, flexible)
+}
+
+// ---------------------------------------------------------------------------
+// PR 7: population-scale rounds.
+// ---------------------------------------------------------------------------
+
+/// One cell of the PR 7 population-scale bench: an implicit population of
+/// `population` clients from which each round samples `participants`,
+/// provisioned lazily under an O(participants) cache and folded through
+/// streaming Procedure IV in `chunk`-sized committees on the event
+/// engine. The block quota sits at 80% of the participants so rounds seal
+/// without waiting for the slowest uplinks. Signatures stay off so the
+/// cell measures engine bookkeeping and training, not RSA.
+///
+/// Holding `participants` fixed while `population` grows six orders of
+/// magnitude is the experiment: peak heap must stay ≈ flat.
+pub fn population_scale_config(
+    population: usize,
+    participants: usize,
+    rounds: usize,
+    chunk: usize,
+) -> BflConfig {
+    assert!(participants <= population);
+    let mut config = base_config(Scale::Smoke);
+    config.fl.clients = population;
+    config.fl.participation_ratio = participants as f64 / population as f64;
+    config.fl.rounds = rounds;
+    config.fl.partition = PartitionKind::ImplicitIid {
+        samples_per_client: 8,
+    };
+    config.verify_signatures = false;
+    config.sync = SyncMode::FlexibleQuota {
+        quota: (participants * 4 / 5).max(1),
+    };
+    config.staleness = StalenessPolicy::Discard;
+    config.provisioning = ProvisioningMode::Lazy {
+        cache_budget: participants.saturating_mul(2),
+    };
+    config.aggregation = AggregationMode::Streaming { chunk };
+    // A sealed block carries the round's reward list — O(participants)
+    // entries — so the block-size limit scales with the working set (the
+    // paper's flexible block size, taken to population scale).
+    config.delay.max_block_bytes = (512 * 1024).max(192 * participants);
+    debug_assert_eq!(config.fl.selected_per_round(), participants);
+    config
+}
+
+/// The signed companion cell: a small participant set drawn from the same
+/// implicit population, with RSA signing *on* and keys derived lazily, so
+/// the bench can show key-generation cost also tracks participants rather
+/// than population.
+pub fn population_signed_config(
+    population: usize,
+    participants: usize,
+    rounds: usize,
+) -> BflConfig {
+    let mut config = population_scale_config(population, participants, rounds, participants);
+    config.verify_signatures = true;
+    config.rsa_modulus_bits = 256;
+    config
 }
 
 // ---------------------------------------------------------------------------

@@ -5,7 +5,9 @@
 //! comparison (FAIR-BFL, FAIR-Discard, FedAvg, FedProx, pure blockchain)
 //! and runs the parameter sweeps behind every table and figure of the
 //! evaluation section; [`report`] renders the results as the markdown
-//! tables recorded in EXPERIMENTS.md.
+//! tables recorded in EXPERIMENTS.md; [`alloc`] provides the counting
+//! global allocator the population-scale bench uses to record per-cell
+//! heap high-water marks.
 //!
 //! Each figure/table has a dedicated binary (`fig4`, `fig5`, `fig6`,
 //! `fig7`, `table2`, `all_experiments`) accepting a `--scale
@@ -14,7 +16,9 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod experiments;
 pub mod report;
 
+pub use alloc::CountingAllocator;
 pub use experiments::{Scale, SystemLabel};

@@ -145,35 +145,100 @@ impl ProfileConfig {
     /// `i < round(churn_fraction · n)` (first departures staggered across
     /// the online period so the population never vanishes at once).
     pub fn build_profiles(&self, clients: usize) -> Vec<NodeProfile> {
+        (0..clients).map(|i| self.profile_of(i, clients)).collect()
+    }
+
+    /// Derives client `i`'s profile out of a population of `clients`
+    /// without materializing the rest — the pure per-index function
+    /// [`build_profiles`](Self::build_profiles) maps over, exposed so the
+    /// event engine can serve million-client populations from an
+    /// O(1)-memory oracle. `profile_of(i, n) == build_profiles(n)[i]`
+    /// bit-for-bit.
+    pub fn profile_of(&self, i: usize, clients: usize) -> NodeProfile {
         let stragglers = ((clients as f64) * self.straggler_fraction).round() as usize;
         let churners = ((clients as f64) * self.churn_fraction).round() as usize;
-        (0..clients)
-            .map(|i| {
-                let compute_multiplier = if stragglers > 0 && i >= clients - stragglers {
-                    // Rank within the straggler tail, 1-based; the last
-                    // client gets the full slowdown.
-                    let rank = (i - (clients - stragglers) + 1) as f64;
-                    1.0 + (self.straggler_slowdown - 1.0) * rank / stragglers as f64
-                } else {
-                    1.0
-                };
-                let churn = if i < churners {
-                    ChurnSchedule::Periodic {
-                        first_leave_s: self.churn_online_s * (1.0 + i as f64)
-                            / (churners as f64 + 1.0),
-                        offline_s: self.churn_offline_s,
-                        online_s: self.churn_online_s,
-                    }
-                } else {
-                    ChurnSchedule::AlwaysOn
-                };
-                NodeProfile {
-                    compute_multiplier,
-                    uplink: self.uplink,
-                    churn,
-                }
-            })
-            .collect()
+        let compute_multiplier = if stragglers > 0 && i >= clients - stragglers {
+            // Rank within the straggler tail, 1-based; the last
+            // client gets the full slowdown.
+            let rank = (i - (clients - stragglers) + 1) as f64;
+            1.0 + (self.straggler_slowdown - 1.0) * rank / stragglers as f64
+        } else {
+            1.0
+        };
+        let churn = if i < churners {
+            ChurnSchedule::Periodic {
+                first_leave_s: self.churn_online_s * (1.0 + i as f64) / (churners as f64 + 1.0),
+                offline_s: self.churn_offline_s,
+                online_s: self.churn_online_s,
+            }
+        } else {
+            ChurnSchedule::AlwaysOn
+        };
+        NodeProfile {
+            compute_multiplier,
+            uplink: self.uplink,
+            churn,
+        }
+    }
+}
+
+/// How per-client run state (data shard, RSA key pair) is provisioned.
+///
+/// Eager provisioning builds the whole population up front — O(population)
+/// memory and keygen work. Lazy provisioning derives each client on first
+/// selection from pure per-index RNG streams ([`bfl_fl::implicit`],
+/// [`bfl_crypto::LazyKeyVault`]) and caches at most `cache_budget` of them,
+/// so a round costs O(participants) regardless of population size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ProvisioningMode {
+    /// Materialize every client (and, when signing, every key pair) at run
+    /// start. The PR 4–6 behaviour, bit-identical.
+    #[default]
+    Eager,
+    /// Derive clients and keys on demand; requires
+    /// [`PartitionKind::ImplicitIid`](bfl_fl::config::PartitionKind).
+    Lazy {
+        /// Maximum clients/key pairs kept cached (>= selected per round).
+        cache_budget: usize,
+    },
+}
+
+impl ProvisioningMode {
+    /// True for the lazy mode.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self, ProvisioningMode::Lazy { .. })
+    }
+}
+
+/// How Procedure IV consumes a round's uploads.
+///
+/// The materialized mode buffers every admitted upload until the quota is
+/// met and runs Algorithm 2 once over the full set — O(quota) gradient
+/// vectors held at peak. The streaming mode folds completed chunks into
+/// running fair-aggregation accumulators as they arrive, holding at most
+/// `chunk` gradients at a time, so a 10k-participant round no longer needs
+/// 10k × dim floats of residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AggregationMode {
+    /// Buffer the full round, aggregate once. The PR 4–6 behaviour,
+    /// bit-identical.
+    #[default]
+    Materialized,
+    /// Fold uploads chunk-by-chunk on the event engine. Algorithm 2's
+    /// clustering and θ scores are computed per chunk (the chunk acts as
+    /// the committee), contribution weights compose linearly across chunks
+    /// because Equation 1 is a weighted mean, and rewards are settled once
+    /// per round over the concatenated θ scores.
+    Streaming {
+        /// Uploads folded per chunk (>= 1).
+        chunk: usize,
+    },
+}
+
+impl AggregationMode {
+    /// True for the streaming mode.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self, AggregationMode::Streaming { .. })
     }
 }
 
@@ -276,6 +341,12 @@ pub struct BflConfig {
     /// What becomes of uploads stranded on the losing branch of a healed
     /// fork (discard, or salvage through the staleness policy).
     pub reorg: ReorgPolicy,
+    /// Eager (whole-population) or lazy (on-first-selection, budgeted)
+    /// provisioning of client shards and RSA key pairs.
+    pub provisioning: ProvisioningMode,
+    /// Materialized (full-round buffer) or streaming (chunked fold)
+    /// Procedure-IV aggregation; streaming needs the event engine.
+    pub aggregation: AggregationMode,
 }
 
 impl Default for BflConfig {
@@ -302,6 +373,8 @@ impl Default for BflConfig {
             fault: FaultPlan::default(),
             retry: RetryPolicy::None,
             reorg: ReorgPolicy::Discard,
+            provisioning: ProvisioningMode::Eager,
+            aggregation: AggregationMode::Materialized,
         }
     }
 }
@@ -363,6 +436,46 @@ impl BflConfig {
             }
             if self.attack.max_attackers > self.fl.clients {
                 return Err(CoreError::invalid("more attackers than clients"));
+            }
+        }
+        if let ProvisioningMode::Lazy { cache_budget } = self.provisioning {
+            if !matches!(
+                self.fl.partition,
+                bfl_fl::config::PartitionKind::ImplicitIid { .. }
+            ) {
+                return Err(CoreError::invalid(
+                    "lazy provisioning needs an implicit partition (PartitionKind::ImplicitIid); \
+                     materialized partitions are provisioned eagerly",
+                ));
+            }
+            if cache_budget < self.fl.selected_per_round() {
+                return Err(CoreError::invalid(format!(
+                    "lazy cache budget {} is smaller than the {} clients selected per round",
+                    cache_budget,
+                    self.fl.selected_per_round()
+                )));
+            }
+        }
+        if let AggregationMode::Streaming { chunk } = self.aggregation {
+            if chunk == 0 {
+                return Err(CoreError::invalid("streaming chunk must be at least one"));
+            }
+            if self.sync.is_synchronous() {
+                return Err(CoreError::invalid(
+                    "streaming aggregation requires the event-driven engine; set a flexible quota",
+                ));
+            }
+            if self.anchor != AggregationAnchor::Mean {
+                return Err(CoreError::invalid(
+                    "streaming aggregation composes only the Mean anchor across chunks; \
+                     robust anchors need the materialized mode",
+                ));
+            }
+            if self.fault.crash.is_some() || self.fault.partition.is_some() {
+                return Err(CoreError::invalid(
+                    "streaming aggregation cannot un-fold uploads purged by miner crashes or \
+                     stranded by partitions; use the materialized mode with those faults",
+                ));
             }
         }
         Ok(())
@@ -644,6 +757,92 @@ mod tests {
         };
         config.reorg = ReorgPolicy::Salvage;
         config.validate().unwrap();
+    }
+
+    #[test]
+    fn provisioning_and_aggregation_modes_validate() {
+        use bfl_fl::config::PartitionKind;
+
+        // Lazy provisioning needs an implicit partition...
+        let mut config = BflConfig::small_test(1);
+        config.provisioning = ProvisioningMode::Lazy { cache_budget: 64 };
+        assert_rejected(config, "implicit partition");
+
+        // ...and a budget covering the per-round selection.
+        let mut config = BflConfig::small_test(1);
+        config.fl.partition = PartitionKind::ImplicitIid {
+            samples_per_client: 8,
+        };
+        config.provisioning = ProvisioningMode::Lazy { cache_budget: 2 };
+        assert_rejected(config, "cache budget");
+
+        // Streaming needs the event engine and the Mean anchor, and
+        // refuses crash/partition faults.
+        let mut config = BflConfig::small_test(1);
+        config.aggregation = AggregationMode::Streaming { chunk: 4 };
+        assert_rejected(config, "event-driven engine");
+
+        let mut config = BflConfig::small_test(1);
+        config.sync = SyncMode::FlexibleQuota { quota: 3 };
+        config.aggregation = AggregationMode::Streaming { chunk: 0 };
+        assert_rejected(config, "chunk");
+
+        let mut config = BflConfig::small_test(1);
+        config.sync = SyncMode::FlexibleQuota { quota: 3 };
+        config.anchor = AggregationAnchor::Median;
+        config.aggregation = AggregationMode::Streaming { chunk: 4 };
+        assert_rejected(config, "Mean anchor");
+
+        let mut config = BflConfig::small_test(1);
+        config.sync = SyncMode::FlexibleQuota { quota: 3 };
+        config.aggregation = AggregationMode::Streaming { chunk: 4 };
+        config.fault.crash = Some(bfl_net::CrashSchedule {
+            miner: 0,
+            crash_at_s: 1.0,
+            down_for_s: 2.0,
+        });
+        assert_rejected(config, "crash");
+
+        // The valid combination passes, and the implicit shard size is
+        // checked through the FL validation.
+        let mut config = BflConfig::small_test(1);
+        config.fl.partition = PartitionKind::ImplicitIid {
+            samples_per_client: 8,
+        };
+        config.provisioning = ProvisioningMode::Lazy { cache_budget: 16 };
+        config.sync = SyncMode::FlexibleQuota { quota: 3 };
+        config.aggregation = AggregationMode::Streaming { chunk: 4 };
+        config.validate().unwrap();
+
+        let mut config = BflConfig::small_test(1);
+        config.fl.partition = PartitionKind::ImplicitIid {
+            samples_per_client: 0,
+        };
+        assert_rejected(config, "samples_per_client");
+
+        // Serde: the new fields round-trip.
+        let json = serde_json::to_string(&BflConfig::default()).unwrap();
+        let back: BflConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.provisioning, ProvisioningMode::Eager);
+        assert_eq!(back.aggregation, AggregationMode::Materialized);
+    }
+
+    #[test]
+    fn profile_of_matches_build_profiles_bit_for_bit() {
+        let profiles = ProfileConfig {
+            straggler_slowdown: 6.0,
+            straggler_fraction: 0.25,
+            churn_fraction: 0.4,
+            churn_online_s: 120.0,
+            churn_offline_s: 40.0,
+            uplink: DelayDistribution::Uniform { min: 0.1, max: 0.9 },
+        };
+        for n in [1usize, 7, 32] {
+            let built = profiles.build_profiles(n);
+            for (i, expected) in built.iter().enumerate() {
+                assert_eq!(profiles.profile_of(i, n), *expected, "client {i} of {n}");
+            }
+        }
     }
 
     #[test]

@@ -111,6 +111,67 @@ pub fn identify_contributions_with(
     round: usize,
     reward: &dyn RewardPolicy,
 ) -> ContributionReport {
+    let analysis = analyze_contributions(uploads, algorithm, metric, anchor);
+    let ContributionAnalysis {
+        high_contribution,
+        low_contribution,
+        global_gradient,
+        cluster_count,
+    } = analysis;
+
+    let rewards = reward.round_rewards(round, &high_contribution);
+
+    // Apply the strategy: discarding recomputes the anchor from the
+    // high-contribution uploads only.
+    let effective_global = if strategy.discards() && high_contribution.len() < uploads.len() {
+        let kept: Vec<&[f64]> = uploads
+            .iter()
+            .filter(|(id, _)| high_contribution.iter().any(|(hid, _)| hid == id))
+            .map(|(_, g)| *g)
+            .collect();
+        anchor.compute(&kept)
+    } else {
+        global_gradient.clone()
+    };
+
+    ContributionReport {
+        high_contribution,
+        low_contribution,
+        rewards,
+        global_gradient,
+        effective_global,
+        cluster_count,
+    }
+}
+
+/// The reward-free core of Algorithm 2: anchor, clustering, and θ scores.
+///
+/// Split out of [`identify_contributions_with`] so the streaming
+/// aggregation path can run the analysis once per *chunk* (the chunk acts
+/// as the clustering committee) while settling rewards exactly once per
+/// round over the concatenated scores — per-chunk reward calls would
+/// re-normalize each chunk's pool and change payouts.
+#[derive(Debug, Clone)]
+pub struct ContributionAnalysis {
+    /// (client id, θ_i) for every high-contribution client.
+    pub high_contribution: Vec<(u64, f64)>,
+    /// Client ids labelled low contribution.
+    pub low_contribution: Vec<u64>,
+    /// The anchor gradient the analysis clustered against.
+    pub global_gradient: GradientVector,
+    /// Number of clusters found.
+    pub cluster_count: usize,
+}
+
+/// Runs Algorithm 2's analysis phase (anchor, clustering, θ) without
+/// settling rewards or applying a low-contribution strategy. See
+/// [`ContributionAnalysis`].
+pub fn analyze_contributions(
+    uploads: &[(u64, &[f64])],
+    algorithm: &ClusteringAlgorithm,
+    metric: DistanceMetric,
+    anchor: AggregationAnchor,
+) -> ContributionAnalysis {
     assert!(!uploads.is_empty(), "Algorithm 2 needs at least one upload");
 
     let upload_refs: Vec<&[f64]> = uploads.iter().map(|(_, g)| *g).collect();
@@ -174,27 +235,10 @@ pub fn identify_contributions_with(
         low_contribution.clear();
     }
 
-    let rewards = reward.round_rewards(round, &high_contribution);
-
-    // Apply the strategy: discarding recomputes the anchor from the
-    // high-contribution uploads only.
-    let effective_global = if strategy.discards() && high_contribution.len() < uploads.len() {
-        let kept: Vec<&[f64]> = uploads
-            .iter()
-            .filter(|(id, _)| high_contribution.iter().any(|(hid, _)| hid == id))
-            .map(|(_, g)| *g)
-            .collect();
-        anchor.compute(&kept)
-    } else {
-        global_gradient.clone()
-    };
-
-    ContributionReport {
+    ContributionAnalysis {
         high_contribution,
         low_contribution,
-        rewards,
         global_gradient,
-        effective_global,
         cluster_count,
     }
 }

@@ -12,11 +12,12 @@
 //! [`crate::scenario::Scenario`] drivers do, so a step-driven run is
 //! bit-identical to a one-shot run by construction.
 
-use crate::config::BflConfig;
+use crate::config::{BflConfig, ProvisioningMode};
 use crate::detection::{DetectionRow, DetectionTable};
 use crate::error::CoreError;
 use crate::flexibility::FlexibilityMode;
 use crate::policy::{ProportionalReward, RewardPolicy};
+use crate::population::{sample_population, ClientPool, ImplicitSpec};
 use crate::procedures::global_update::GlobalUpdatePolicy;
 use crate::procedures::{exchange, global_update, local_update, mining, upload};
 use crate::simulation::{RoundOutcome, SimulationResult};
@@ -24,10 +25,11 @@ use bfl_chain::consensus::RoundConsensus;
 use bfl_chain::mempool::Mempool;
 use bfl_chain::miner::Miner;
 use bfl_chain::{Blockchain, Transaction};
-use bfl_crypto::{KeyStore, RsaKeyPair};
+use bfl_crypto::{CryptoError, KeyStore, LazyKeyVault, RsaKeyPair};
 use bfl_data::Dataset;
 use bfl_fl::attack::AttackKind;
 use bfl_fl::client::Client;
+use bfl_fl::config::PartitionKind;
 use bfl_fl::history::{RoundRecord, RunHistory};
 use bfl_fl::selection::{drop_stragglers, select_clients};
 use bfl_fl::trainer::{FlAlgorithm, FlTrainer};
@@ -68,10 +70,14 @@ pub(crate) struct LearningState<'a> {
     pub(crate) train: &'a Dataset,
     pub(crate) test: &'a Dataset,
     pub(crate) rng: StdRng,
-    pub(crate) clients: Vec<Client>,
+    /// The client population: a materialized `Vec<Client>` under eager
+    /// provisioning, or an implicit population derived per index on first
+    /// touch (client id == population index in both backends).
+    pub(crate) pool: ClientPool,
     pub(crate) local_config: LocalTrainingConfig,
-    pub(crate) keystore: Option<KeyStore>,
-    pub(crate) keypairs: Option<BTreeMap<u64, RsaKeyPair>>,
+    /// RSA identities when `verify_signatures` is on: eagerly provisioned
+    /// for the whole population, or derived lazily per selection.
+    pub(crate) keys: Option<KeyChain>,
     pub(crate) consensus: Option<RoundConsensus>,
     pub(crate) topology: Topology,
     pub(crate) global_model: AnyModel,
@@ -91,6 +97,62 @@ struct ChainOnlyState {
     consensus: RoundConsensus,
     mempool: Mempool,
     clock: SimClock,
+}
+
+/// Procedure-II key material, provisioned eagerly (one sequential keygen
+/// pass over the whole population at run start — the PR 4–6 behaviour) or
+/// lazily (per-index streams drawn on first selection, budgeted; see
+/// [`LazyKeyVault`] for the determinism contract).
+pub(crate) enum KeyChain {
+    /// Whole-population keys generated up front.
+    Eager {
+        /// Miner-side public-key registry.
+        store: KeyStore,
+        /// Client-side private pairs, keyed by id.
+        pairs: BTreeMap<u64, RsaKeyPair>,
+    },
+    /// Keys derived on first selection under an O(active) budget.
+    Lazy(LazyKeyVault),
+}
+
+impl KeyChain {
+    /// The miner-side public-key registry (full population when eager,
+    /// currently-cached subset when lazy).
+    pub(crate) fn store(&self) -> &KeyStore {
+        match self {
+            KeyChain::Eager { store, .. } => store,
+            KeyChain::Lazy(vault) => vault.store(),
+        }
+    }
+
+    /// Currently-held private pairs keyed by client id.
+    pub(crate) fn pairs(&self) -> &BTreeMap<u64, RsaKeyPair> {
+        match self {
+            KeyChain::Eager { pairs, .. } => pairs,
+            KeyChain::Lazy(vault) => vault.pairs(),
+        }
+    }
+
+    /// Makes sure every id in `ids` holds a key pair before Procedure II
+    /// runs. A no-op for the eager chain (everyone was provisioned at run
+    /// start); the lazy vault derives-or-touches each id, so the whole
+    /// selection survives the LRU budget for the round.
+    pub(crate) fn ensure_selected(&mut self, ids: &[u64]) -> Result<(), CryptoError> {
+        match self {
+            KeyChain::Eager { .. } => Ok(()),
+            KeyChain::Lazy(vault) => vault.ensure(ids),
+        }
+    }
+
+    /// Client `id`'s signing pair, deriving it first if lazy. `None` means
+    /// the id has no identity (eager chain without that client) — the
+    /// caller treats the upload as unsigned-and-rejected.
+    pub(crate) fn signing_pair(&mut self, id: u64) -> Option<&RsaKeyPair> {
+        match self {
+            KeyChain::Eager { pairs, .. } => pairs.get(&id),
+            KeyChain::Lazy(vault) => vault.pair(id).ok(),
+        }
+    }
 }
 
 impl<'a> SimulationRun<'a> {
@@ -270,8 +332,33 @@ impl<'a> LearningState<'a> {
 
         // Client population and data shards (reusing the FL trainer's
         // partitioning so baselines and FAIR-BFL see identical splits).
-        let trainer = FlTrainer::new(config.fl, FlAlgorithm::FedAvg);
-        let clients: Vec<Client> = trainer.build_clients(train, &mut rng);
+        // An implicit partition always gets the implicit pool — and with
+        // it the rejection-sampled Procedure I — regardless of the
+        // provisioning mode, so that eager and lazy provisioning draw
+        // identically from the learning stream and stay bit-identical.
+        // The provisioning mode only sets the cache budget: eager pins
+        // every touched client forever (the population is the budget),
+        // lazy evicts down to the configured O(active) budget. Implicit
+        // partitions consume zero learning-stream draws either way.
+        let pool = match config.fl.partition {
+            PartitionKind::ImplicitIid { samples_per_client } => {
+                let cache_budget = match config.provisioning {
+                    ProvisioningMode::Eager => config.fl.clients,
+                    ProvisioningMode::Lazy { cache_budget } => cache_budget,
+                };
+                ClientPool::implicit(ImplicitSpec {
+                    seed: config.fl.seed,
+                    population: config.fl.clients,
+                    samples_per_client,
+                    train_len: train.len(),
+                    cache_budget,
+                })
+            }
+            _ => {
+                let trainer = FlTrainer::new(config.fl, FlAlgorithm::FedAvg);
+                ClientPool::materialized(trainer.build_clients(train, &mut rng))
+            }
+        };
         let local_config = config.fl.local;
 
         // Key provisioning (Procedure-II's RSA identities). Keys come
@@ -279,28 +366,47 @@ impl<'a> LearningState<'a> {
         // invariant to crypto details: how many candidates a prime
         // search consumes — or whether signatures are enabled at all —
         // must not reshuffle client selection and training randomness.
-        let (keystore, keypairs): (Option<KeyStore>, Option<BTreeMap<u64, RsaKeyPair>>) =
-            if config.verify_signatures {
-                let mut key_rng = StdRng::seed_from_u64(config.fl.seed ^ 0x5EED_0F4B);
-                let mut store = KeyStore::new();
-                let ids: Vec<u64> = clients.iter().map(|c| c.id).collect();
-                let pairs = store
-                    .provision(&mut key_rng, &ids, config.rsa_modulus_bits)
-                    .map_err(CoreError::from)?;
-                (Some(store), Some(pairs))
-            } else {
-                (None, None)
-            };
+        // Client ids are population indices by construction, so eager
+        // provisioning enumerates `0..n` directly.
+        let keys: Option<KeyChain> = if config.verify_signatures {
+            Some(match config.provisioning {
+                ProvisioningMode::Eager => {
+                    let mut key_rng = StdRng::seed_from_u64(config.fl.seed ^ 0x5EED_0F4B);
+                    let mut store = KeyStore::new();
+                    let ids: Vec<u64> = (0..config.fl.clients as u64).collect();
+                    let pairs = store
+                        .provision(&mut key_rng, &ids, config.rsa_modulus_bits)
+                        .map_err(CoreError::from)?;
+                    KeyChain::Eager { store, pairs }
+                }
+                ProvisioningMode::Lazy { cache_budget } => KeyChain::Lazy(LazyKeyVault::new(
+                    config.fl.seed ^ 0x5EED_0F4B,
+                    config.rsa_modulus_bits,
+                    cache_budget,
+                )),
+            })
+        } else {
+            None
+        };
 
-        // Consensus group (Procedure-V), only when the mode mines.
+        // Consensus group (Procedure-V), only when the mode mines. The
+        // replicas take the delay model's block-size limit (as the
+        // chain-only baseline already does): population-scale rounds
+        // carry O(participants) reward lists, which outgrow the default
+        // limit long before the gradient does.
         let consensus = if config.mode.mines() {
             let miners: Vec<Miner> = (0..config.miners as u64)
                 .map(|id| Miner::new(id, config.delay.miner_hash_rate))
                 .collect();
-            Some(RoundConsensus::new(
+            let mut consensus = RoundConsensus::new(
                 miners,
                 bfl_chain::PowConfig::new(64).with_mining_threads(config.mining_threads),
-            ))
+            );
+            consensus
+                .replicas
+                .iter_mut()
+                .for_each(|c| c.max_block_bytes = config.delay.max_block_bytes);
+            Some(consensus)
         } else {
             None
         };
@@ -314,18 +420,16 @@ impl<'a> LearningState<'a> {
         let async_rt = if config.sync.is_synchronous() {
             None
         } else {
-            let ids: Vec<u64> = clients.iter().map(|c| c.id).collect();
-            Some(Box::new(crate::events::AsyncRuntime::new(config, &ids)))
+            Some(Box::new(crate::events::AsyncRuntime::new(config)))
         };
 
         Ok(LearningState {
             train,
             test,
             rng,
-            clients,
+            pool,
             local_config,
-            keystore,
-            keypairs,
+            keys,
             consensus,
             topology,
             global_model,
@@ -390,7 +494,9 @@ impl<'a> LearningState<'a> {
             order.shuffle(&mut self.rng);
             for &i in order.iter().take(count) {
                 attacks[i] = Some(config.attack.kind);
-                attackers.push(self.clients[selected_positions[i]].id);
+                // Client id == population index in both pool backends, so
+                // no client needs materializing to name an attacker.
+                attackers.push(selected_positions[i] as u64);
             }
             attackers.sort_unstable();
         }
@@ -417,49 +523,100 @@ impl<'a> LearningState<'a> {
     ) -> Result<SteppedRound, CoreError> {
         self.advance_cooldowns();
 
-        // Select participants among active (non-cooling-down) clients.
-        let active: Vec<usize> = (0..self.clients.len())
-            .filter(|i| !self.cooldown.contains_key(&self.clients[*i].id))
-            .collect();
-        let pool: &[usize] = if active.is_empty() { &[] } else { &active };
-        let selected_positions = if pool.is_empty() {
-            select_clients(
-                self.clients.len(),
-                config.fl.selected_per_round(),
+        // Procedure-I selection. The materialized backend keeps the PR 4
+        // shuffle-truncate draw (bit-identity contract); the implicit
+        // backend rejection-samples distinct indices so no
+        // population-sized vector ever exists.
+        let selected_positions = if self.pool.is_implicit() {
+            let population = self.pool.population();
+            let count = config.fl.selected_per_round();
+            let cooldown = &self.cooldown;
+            let picked = sample_population(
+                population,
+                count,
+                |i| !cooldown.contains_key(&(i as u64)),
                 &mut self.rng,
-            )
+            );
+            if picked.is_empty() {
+                // Mirror the eager engine's empty-pool branch: re-sample
+                // ignoring cooldowns rather than producing an empty round.
+                sample_population(population, count, |_| true, &mut self.rng)
+            } else {
+                picked
+            }
         } else {
-            select_clients(pool.len(), config.fl.selected_per_round(), &mut self.rng)
-                .into_iter()
-                .map(|i| pool[i])
-                .collect()
+            let clients = self.pool.materialized_slice();
+            let active: Vec<usize> = (0..clients.len())
+                .filter(|i| !self.cooldown.contains_key(&clients[*i].id))
+                .collect();
+            let pool: &[usize] = if active.is_empty() { &[] } else { &active };
+            if pool.is_empty() {
+                select_clients(clients.len(), config.fl.selected_per_round(), &mut self.rng)
+            } else {
+                select_clients(pool.len(), config.fl.selected_per_round(), &mut self.rng)
+                    .into_iter()
+                    .map(|i| pool[i])
+                    .collect()
+            }
         };
         let selected_positions =
             drop_stragglers(&selected_positions, config.fl.drop_percent, &mut self.rng);
 
         let (attacks, attackers) = self.designate_attackers(config, &selected_positions);
 
-        // Procedure-I: local learning.
+        // Procedure-I: local learning. The implicit backend materializes
+        // exactly the round's working set (O(participants)) and trains
+        // over identity positions; the materialized backend fans out over
+        // the population slice untouched.
         let round_seed = config.fl.seed ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15);
-        let updates = local_update::run_local_updates_with_attacks(
-            &self.clients,
-            &selected_positions,
-            &attacks,
-            config.fl.model,
-            &self.global_params,
-            self.train,
-            &self.local_config,
-            round_seed,
-        );
-        let max_steps =
-            local_update::max_local_steps(&self.clients, &selected_positions, &self.local_config);
+        let (updates, max_steps) = if self.pool.is_implicit() {
+            let round_clients: Vec<Client> = selected_positions
+                .iter()
+                .map(|&p| self.pool.client_cloned(p))
+                .collect();
+            let identity: Vec<usize> = (0..round_clients.len()).collect();
+            let updates = local_update::run_local_updates_with_attacks(
+                &round_clients,
+                &identity,
+                &attacks,
+                config.fl.model,
+                &self.global_params,
+                self.train,
+                &self.local_config,
+                round_seed,
+            );
+            let max_steps =
+                local_update::max_local_steps(&round_clients, &identity, &self.local_config);
+            (updates, max_steps)
+        } else {
+            let clients = self.pool.materialized_slice();
+            let updates = local_update::run_local_updates_with_attacks(
+                clients,
+                &selected_positions,
+                &attacks,
+                config.fl.model,
+                &self.global_params,
+                self.train,
+                &self.local_config,
+                round_seed,
+            );
+            let max_steps =
+                local_update::max_local_steps(clients, &selected_positions, &self.local_config);
+            (updates, max_steps)
+        };
 
-        // Procedure-II: upload + verification.
+        // Procedure-II: upload + verification. The lazy key chain
+        // provisions (or LRU-touches) exactly the selected identities
+        // before the signing fan-out.
+        if let Some(keys) = self.keys.as_mut() {
+            let ids: Vec<u64> = updates.iter().map(|u| u.client_id).collect();
+            keys.ensure_selected(&ids).map_err(CoreError::from)?;
+        }
         let uploads = upload::upload_gradients(
             &updates,
             &self.topology,
-            self.keypairs.as_ref(),
-            self.keystore.as_ref(),
+            self.keys.as_ref().map(KeyChain::pairs),
+            self.keys.as_ref().map(KeyChain::store),
             &mut self.rng,
         );
 

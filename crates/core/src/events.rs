@@ -57,34 +57,61 @@
 //! appended to a deterministic [`EventRecord`] trace that tests pin:
 //! the same scenario and seed produce the identical trace on any machine
 //! and under any sweep parallelism.
+//!
+//! ## Population-scale rounds
+//!
+//! Per-round cost scales with *participants*, not the configured
+//! population. Heterogeneity profiles come from a stateless oracle
+//! (`ProfileConfig::profile_of`) instead of a population-sized table; an
+//! implicit `ClientPool` backend (`population` module) rejection-samples
+//! Procedure-I's selection without materializing a `Vec<Client>`; and
+//! under [`AggregationMode::Streaming`](crate::config::AggregationMode)
+//! each upload is carried as a *deferred ticket* — the local pass runs at
+//! admission against the commissioning round's snapshot of the global
+//! parameters (a pure function, so retries and duplicates resolve
+//! identically) — and Procedure-IV folds arrivals chunk by chunk: each
+//! full chunk runs Algorithm 2 as its own clustering committee and is
+//! absorbed into running aggregation sums, so no round ever holds more
+//! than one chunk of gradients. Rewards still settle exactly once per
+//! round over the concatenated θ scores. Streaming requires the mean
+//! anchor (the only anchor whose aggregation composes across chunks) and
+//! a fault-free plan (crash purges and partition strands cannot un-fold
+//! an absorbed chunk); validation enforces both.
 
-use crate::config::BflConfig;
+use crate::aggregation::WEIGHT_FLOOR;
+use crate::config::{AggregationMode, BflConfig, ProfileConfig};
+use crate::contribution::analyze_contributions;
 use crate::delay_model::DelayBreakdown;
 use crate::detection::DetectionRow;
-use crate::engine::{LearningState, SteppedRound};
+use crate::engine::{KeyChain, LearningState, SteppedRound};
 use crate::error::CoreError;
 use crate::flexibility::FlexibilityMode;
 use crate::policy::{ReorgPolicy, RetryPolicy, RewardPolicy};
+use crate::population::sample_population;
 use crate::procedures::global_update::{self, GlobalUpdatePolicy};
 use crate::procedures::local_update;
 use crate::procedures::mining;
 use crate::procedures::upload::VerifiedUpload;
+use crate::reward::RewardEntry;
 use crate::simulation::RoundOutcome;
 use bfl_chain::consensus::RoundConsensus;
 use bfl_chain::mempool::Mempool;
 use bfl_chain::Transaction;
 use bfl_crypto::signature::sign_message;
-use bfl_fl::client::LocalUpdate;
+use bfl_fl::attack::AttackKind;
+use bfl_fl::client::{Client, LocalUpdate};
 use bfl_fl::selection::{drop_stragglers, select_clients};
 use bfl_ml::gradient;
 use bfl_ml::metrics::accuracy;
 use bfl_ml::model::Model;
 use bfl_ml::optimizer::local_step_count;
+use bfl_ml::tensor::Scratch;
 use bfl_net::{EventQueue, NodeProfile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// XOR'd into the scenario seed to derive the fault stream, so fault
 /// coin-flips never perturb the learning stream's draw sequence.
@@ -145,19 +172,53 @@ pub struct EventRecord {
     pub kind: EventKind,
 }
 
+/// An upload in flight: either the eagerly computed local update (the
+/// PR 5/6 behaviour, bit-identity pinned), or a *deferred* commission
+/// that trains at admission time — the streaming aggregation path, where
+/// an event must not pin a full parameter vector per in-flight client.
+///
+/// A deferred ticket is resolved by a pure function of its fields (the
+/// client derivation, the attack designation, the born round's seed and
+/// global-parameter snapshot), so a retransmission or duplicate resolves
+/// to the identical [`LocalUpdate`] the original would have.
+#[derive(Clone)]
+enum UploadTicket {
+    /// The computed local update travels inside the event.
+    Ready(LocalUpdate),
+    /// The local pass runs when the upload is admitted.
+    Deferred {
+        client_id: u64,
+        attack: Option<AttackKind>,
+        /// The commissioning round's seed (Procedure-I determinism).
+        born_seed: u64,
+        /// The commissioning round's global parameters, shared across the
+        /// round's tickets.
+        snapshot: Arc<Vec<f64>>,
+    },
+}
+
+impl UploadTicket {
+    fn client_id(&self) -> u64 {
+        match self {
+            UploadTicket::Ready(update) => update.client_id,
+            UploadTicket::Deferred { client_id, .. } => *client_id,
+        }
+    }
+}
+
 /// Timed payloads flowing through the engine's event queue.
 enum EngineEvent {
-    /// Procedure-I completion, carrying the computed local update.
+    /// Procedure-I completion, carrying the upload ticket.
     TrainingFinished {
         born_round: usize,
-        update: LocalUpdate,
+        update: UploadTicket,
     },
     /// Procedure-II arrival at the associated miner.
     UploadArrived {
         born_round: usize,
         miner: usize,
         train_finished_s: f64,
-        update: LocalUpdate,
+        update: UploadTicket,
         /// Which send attempt this delivery belongs to (1-based).
         attempt: u32,
         /// In-transit corruption: `(byte index seed, xor mask)` applied
@@ -171,7 +232,7 @@ enum EngineEvent {
     RetryTimer {
         born_round: usize,
         train_finished_s: f64,
-        update: LocalUpdate,
+        update: UploadTicket,
         /// The attempt number the resend will carry.
         attempt: u32,
     },
@@ -189,12 +250,29 @@ struct ArrivedUpload {
 }
 
 /// An upload that landed on the partition's secondary component, held
-/// there until the mesh heals.
+/// there until the mesh heals. Always a [`UploadTicket::Ready`] in
+/// practice: streaming aggregation (the only producer of deferred
+/// tickets) rejects partition plans at validation.
 struct StrandedUpload {
-    update: LocalUpdate,
+    update: UploadTicket,
     born_round: usize,
     miner: usize,
     train_finished_s: f64,
+}
+
+/// Derives per-client heterogeneity profiles on demand — bit-identical to
+/// the eager `build_profiles` table entry by entry (the contract
+/// `ProfileConfig::profile_of` documents and tests pin), but O(1) memory
+/// over any population size.
+struct ProfileOracle {
+    config: ProfileConfig,
+    population: usize,
+}
+
+impl ProfileOracle {
+    fn get(&self, id: u64) -> NodeProfile {
+        self.config.profile_of(id as usize, self.population)
+    }
 }
 
 /// The event engine's live state, embedded in
@@ -204,8 +282,8 @@ pub(crate) struct AsyncRuntime {
     queue: EventQueue<EngineEvent>,
     /// Miner-side pending pool: verified uploads waiting for the quota.
     mempool: Mempool,
-    /// Per-client heterogeneity profiles, keyed by client id.
-    profiles: BTreeMap<u64, NodeProfile>,
+    /// Per-client heterogeneity profiles, derived on demand.
+    profiles: ProfileOracle,
     /// Clients with a commissioned pass or in-flight upload.
     in_flight: BTreeSet<u64>,
     /// Decoded uploads admitted this round, keyed by client id (so the
@@ -229,16 +307,14 @@ pub(crate) struct AsyncRuntime {
 }
 
 impl AsyncRuntime {
-    pub(crate) fn new(config: &BflConfig, client_ids: &[u64]) -> Self {
-        let profiles = client_ids
-            .iter()
-            .copied()
-            .zip(config.profiles.build_profiles(client_ids.len()))
-            .collect();
+    pub(crate) fn new(config: &BflConfig) -> Self {
         AsyncRuntime {
             queue: EventQueue::new(),
             mempool: Mempool::new(),
-            profiles,
+            profiles: ProfileOracle {
+                config: config.profiles,
+                population: config.fl.clients,
+            },
             in_flight: BTreeSet::new(),
             arrived: BTreeMap::new(),
             trace: Vec::new(),
@@ -316,9 +392,9 @@ pub(crate) fn step_flexible(
 /// The next simulated second strictly after `now` at which any
 /// non-cooling-down client is online, if one ever will be.
 fn next_join_after(state: &LearningState<'_>, rt: &AsyncRuntime, now: f64) -> Option<f64> {
-    let next = (0..state.clients.len())
-        .filter(|&i| !state.cooldown.contains_key(&state.clients[i].id))
-        .map(|i| rt.profiles[&state.clients[i].id].next_online_from(now))
+    let next = (0..state.pool.population())
+        .filter(|&i| !state.cooldown.contains_key(&(i as u64)))
+        .map(|i| rt.profiles.get(i as u64).next_online_from(now))
         .fold(f64::INFINITY, f64::min);
     (next.is_finite() && next > now).then_some(next)
 }
@@ -465,7 +541,7 @@ fn salvage_stranded(
     }
     let now = state.clock.now_seconds();
     for s in stranded {
-        let id = s.update.client_id;
+        let id = s.update.client_id();
         if config.reorg == ReorgPolicy::Discard {
             rt.record(now, round, s.born_round, id, EventKind::StaleDiscarded);
             continue;
@@ -576,30 +652,40 @@ fn step_flexible_inner(
     // flight, the round fast-forwards the clock to the next rejoin
     // instead of aborting — the system waits for someone to join.
     let mut round_start = state.clock.now_seconds();
-    let build_pool = |state: &LearningState<'_>, rt: &AsyncRuntime, now: f64| -> Vec<usize> {
-        (0..state.clients.len())
-            .filter(|&i| {
-                let id = state.clients[i].id;
-                !state.cooldown.contains_key(&id)
-                    && !rt.in_flight.contains(&id)
-                    && !rt.arrived.contains_key(&id)
-                    && rt.profiles[&id].is_online(now)
-            })
-            .collect()
-    };
-    let mut pool = build_pool(state, rt, round_start);
-    if pool.is_empty() && rt.in_flight.is_empty() && fast_forward_to_next_join(state, rt) {
-        round_start = state.clock.now_seconds();
-        pool = build_pool(state, rt, round_start);
-    }
-    let pool = pool;
-    let selected_positions: Vec<usize> = if pool.is_empty() {
-        Vec::new()
+    let selected_positions: Vec<usize> = if state.pool.is_implicit() {
+        // Implicit populations rejection-sample the selection directly:
+        // no pool vector proportional to the population ever exists.
+        let mut picked = sample_flexible_pool(state, rt, config, round_start);
+        if picked.is_empty() && rt.in_flight.is_empty() && fast_forward_to_next_join(state, rt) {
+            round_start = state.clock.now_seconds();
+            picked = sample_flexible_pool(state, rt, config, round_start);
+        }
+        picked
     } else {
-        select_clients(pool.len(), config.fl.selected_per_round(), &mut state.rng)
-            .into_iter()
-            .map(|i| pool[i])
-            .collect()
+        let build_pool = |state: &LearningState<'_>, rt: &AsyncRuntime, now: f64| -> Vec<usize> {
+            (0..state.pool.population())
+                .filter(|&i| {
+                    let id = i as u64;
+                    !state.cooldown.contains_key(&id)
+                        && !rt.in_flight.contains(&id)
+                        && !rt.arrived.contains_key(&id)
+                        && rt.profiles.get(id).is_online(now)
+                })
+                .collect()
+        };
+        let mut pool = build_pool(state, rt, round_start);
+        if pool.is_empty() && rt.in_flight.is_empty() && fast_forward_to_next_join(state, rt) {
+            round_start = state.clock.now_seconds();
+            pool = build_pool(state, rt, round_start);
+        }
+        if pool.is_empty() {
+            Vec::new()
+        } else {
+            select_clients(pool.len(), config.fl.selected_per_round(), &mut state.rng)
+                .into_iter()
+                .map(|i| pool[i])
+                .collect()
+        }
     };
     let selected_positions =
         drop_stragglers(&selected_positions, config.fl.drop_percent, &mut state.rng);
@@ -609,33 +695,85 @@ fn step_flexible_inner(
     // stale attackers land in the round they were actually judged in.
     let (attacks, _designated) = state.designate_attackers(config, &selected_positions);
 
-    // Procedure-I: the local passes are computed eagerly (their *content*
-    // is a pure function of the round seed) but *finish* at profile-scaled
-    // simulated times — that is what the events model.
+    // Procedure-I. Under materialized aggregation the local passes are
+    // computed eagerly (their *content* is a pure function of the round
+    // seed) but *finish* at profile-scaled simulated times — that is what
+    // the events model. Under streaming aggregation each pass is deferred
+    // into its ticket and runs at admission against this round's
+    // parameter snapshot, so in-flight state is O(1) per client.
     let round_seed = config.fl.seed ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15);
-    let updates = local_update::run_local_updates_with_attacks(
-        &state.clients,
-        &selected_positions,
-        &attacks,
-        config.fl.model,
-        &state.global_params,
-        state.train,
-        &state.local_config,
-        round_seed,
-    );
-    for (&position, update) in selected_positions.iter().zip(updates) {
-        let id = update.client_id;
-        let steps = local_step_count(state.clients[position].sample_count(), &state.local_config);
-        let finish = round_start + rt.profiles[&id].training_seconds(config.delay.t_local(steps));
-        rt.record(round_start, round, round, id, EventKind::TrainingScheduled);
-        rt.in_flight.insert(id);
-        rt.queue.push(
-            finish,
-            EngineEvent::TrainingFinished {
-                born_round: round,
-                update,
-            },
-        );
+    if config.aggregation.is_streaming() {
+        let snapshot = Arc::new(state.global_params.clone());
+        for (i, &position) in selected_positions.iter().enumerate() {
+            let id = position as u64;
+            let steps = local_step_count(state.pool.sample_count(position), &state.local_config);
+            let finish = round_start
+                + rt.profiles
+                    .get(id)
+                    .training_seconds(config.delay.t_local(steps));
+            rt.record(round_start, round, round, id, EventKind::TrainingScheduled);
+            rt.in_flight.insert(id);
+            rt.queue.push(
+                finish,
+                EngineEvent::TrainingFinished {
+                    born_round: round,
+                    update: UploadTicket::Deferred {
+                        client_id: id,
+                        attack: attacks[i],
+                        born_seed: round_seed,
+                        snapshot: Arc::clone(&snapshot),
+                    },
+                },
+            );
+        }
+    } else {
+        let updates = if state.pool.is_implicit() {
+            // Materialize exactly the round's working set and train over
+            // identity positions (client id == population index).
+            let round_clients: Vec<Client> = selected_positions
+                .iter()
+                .map(|&p| state.pool.client_cloned(p))
+                .collect();
+            let identity: Vec<usize> = (0..round_clients.len()).collect();
+            local_update::run_local_updates_with_attacks(
+                &round_clients,
+                &identity,
+                &attacks,
+                config.fl.model,
+                &state.global_params,
+                state.train,
+                &state.local_config,
+                round_seed,
+            )
+        } else {
+            local_update::run_local_updates_with_attacks(
+                state.pool.materialized_slice(),
+                &selected_positions,
+                &attacks,
+                config.fl.model,
+                &state.global_params,
+                state.train,
+                &state.local_config,
+                round_seed,
+            )
+        };
+        for (&position, update) in selected_positions.iter().zip(updates) {
+            let id = update.client_id;
+            let steps = local_step_count(state.pool.sample_count(position), &state.local_config);
+            let finish = round_start
+                + rt.profiles
+                    .get(id)
+                    .training_seconds(config.delay.t_local(steps));
+            rt.record(round_start, round, round, id, EventKind::TrainingScheduled);
+            rt.in_flight.insert(id);
+            rt.queue.push(
+                finish,
+                EngineEvent::TrainingFinished {
+                    born_round: round,
+                    update: UploadTicket::Ready(update),
+                },
+            );
+        }
     }
 
     // The flexible block quota: K uploads seal the block, capped at what
@@ -646,6 +784,17 @@ fn step_flexible_inner(
         return Err(CoreError::EmptyRound { round });
     }
 
+    // The streaming fold: absorbed chunks count toward the quota even
+    // though `rt.arrived` (now a chunk buffer, not the round's full set)
+    // has been drained into the running sums.
+    let signed_mining = config.mode.mines() && state.keys.is_some();
+    let mut fold = match config.aggregation {
+        AggregationMode::Streaming { chunk } => {
+            Some(StreamFold::new(chunk, state.global_params.len()))
+        }
+        AggregationMode::Materialized => None,
+    };
+
     // Pump the queue until the quota is reached (or nothing is left in
     // flight — churn losses, drops and rejections can shrink a round, and
     // the fault deadline cuts the wait short).
@@ -653,9 +802,10 @@ fn step_flexible_inner(
     let stranded_mark = rt.stranded.len();
     let mut quota_time = round_start;
     let mut deadline_hit = false;
-    while rt.arrived.len() < target {
+    while rt.arrived.len() + fold.as_ref().map_or(0, |f| f.admitted) < target {
+        let pending = rt.arrived.len() + fold.as_ref().map_or(0, |f| f.admitted);
         if let (Some(deadline), Some(next)) = (deadline, rt.queue.peek_time()) {
-            if next > deadline && !rt.arrived.is_empty() {
+            if next > deadline && pending > 0 {
                 deadline_hit = true;
                 break;
             }
@@ -666,7 +816,7 @@ fn step_flexible_inner(
         purge_crashed_mempool(rt, config, round, time);
         match event.payload {
             EngineEvent::TrainingFinished { born_round, update } => {
-                let id = update.client_id;
+                let id = update.client_id();
                 rt.record(time, round, born_round, id, EventKind::TrainingFinished);
                 send_upload(state, rt, config, round, time, born_round, time, update, 1);
             }
@@ -676,7 +826,7 @@ fn step_flexible_inner(
                 update,
                 attempt,
             } => {
-                let id = update.client_id;
+                let id = update.client_id();
                 rt.record(time, round, born_round, id, EventKind::UploadRetried);
                 send_upload(
                     state,
@@ -699,17 +849,17 @@ fn step_flexible_inner(
                 corrupt,
                 retry_pending,
             } => {
-                let id = update.client_id;
+                let id = update.client_id();
                 if !retry_pending {
                     rt.in_flight.remove(&id);
                 }
                 // A client that churned offline mid-flight loses its
                 // upload (and retransmits once back online, when the
                 // policy allows).
-                if !rt.profiles[&id].is_online(time) {
+                if !rt.profiles.get(id).is_online(time) {
                     rt.record(time, round, born_round, id, EventKind::UploadLost);
                     if !retry_pending {
-                        let earliest = rt.profiles[&id].next_online_from(time);
+                        let earliest = rt.profiles.get(id).next_online_from(time);
                         if earliest.is_finite()
                             && schedule_retry(
                                 rt,
@@ -736,7 +886,7 @@ fn step_flexible_inner(
                         .partition
                         .is_some_and(|p| p.is_active(time) && p.component_of(miner) == 1);
                 if stranded_here {
-                    if corrupt.is_some() && state.keystore.is_some() {
+                    if corrupt.is_some() && state.keys.is_some() {
                         // The secondary miner checks signatures too.
                         rt.record(time, round, born_round, id, EventKind::UploadRejected);
                     } else {
@@ -781,82 +931,114 @@ fn step_flexible_inner(
                     }
                     _ => {}
                 }
+                // Streaming: a full chunk is absorbed into the running
+                // sums immediately, keeping the buffer (and the mempool)
+                // bounded by the chunk size.
+                if let Some(fold) = fold.as_mut() {
+                    if rt.arrived.len() >= fold.chunk {
+                        fold.flush(rt, config, round, round_start, signed_mining);
+                    }
+                }
             }
         }
     }
 
-    if rt.arrived.is_empty() {
+    if rt.arrived.len() + fold.as_ref().map_or(0, |f| f.admitted) == 0 {
         return Err(CoreError::EmptyRound { round });
     }
     // Only record the quota as *reached* when it actually was: churn
     // losses and rejections can drain the queue short, in which case the
     // round seals with what arrived but the trace must not claim K.
-    if rt.arrived.len() >= target {
+    if rt.arrived.len() + fold.as_ref().map_or(0, |f| f.admitted) >= target {
         rt.record(quota_time, round, round, u64::MAX, EventKind::QuotaReached);
     } else if deadline_hit {
         let expired = deadline.expect("deadline_hit implies a deadline");
         rt.record(expired, round, round, u64::MAX, EventKind::DeadlineSealed);
     }
 
-    // Assemble the round's gradient set. When signature verification is
-    // on, mining modes drain the miner's mempool — the pool the signed
-    // uploads were admitted through — and the drained transactions must
-    // agree with the arrival metadata by construction. (The unsigned
-    // ablation has nothing to verify, so it bypasses the pool entirely.)
-    let arrived: Vec<(u64, ArrivedUpload)> = std::mem::take(&mut rt.arrived).into_iter().collect();
-    if config.mode.mines() && state.keystore.is_some() {
-        let drained = rt.mempool.drain_all();
-        debug_assert_eq!(
-            drained.len(),
-            arrived.len(),
-            "the mempool holds exactly the pending uploads"
-        );
-        debug_assert_eq!(
-            drained
-                .iter()
-                .map(|tx| tx.submitter)
-                .collect::<BTreeSet<u64>>(),
-            arrived.iter().map(|(id, _)| *id).collect::<BTreeSet<u64>>(),
-            "the mempool and the arrival metadata agree on the pending clients"
-        );
-    }
-    let stale_included = arrived.iter().filter(|(_, a)| a.born_round < round).count();
-    let max_own_finish = arrived
-        .iter()
-        .filter(|(_, a)| a.born_round == round)
-        .map(|(_, a)| a.train_finished_s - round_start)
-        .fold(0.0f64, f64::max);
-    // The round record averages the losses of the passes that actually
-    // entered the block (never empty here), so a stale-heavy round
-    // reports its real training loss instead of a 0.0 sentinel.
-    let train_loss =
-        arrived.iter().map(|(_, a)| a.final_epoch_loss).sum::<f64>() / arrived.len() as f64;
-    let merged: Vec<VerifiedUpload> = arrived.into_iter().map(|(_, a)| a.upload).collect();
-    // Ground truth for the detection row: the forged uploads *in this
-    // block* — a stale attacker is attributed to the round whose block
-    // (and Algorithm 2 pass) it actually entered, keeping attacker and
-    // dropped sets over the same population.
-    let block_attackers: Vec<u64> = merged
-        .iter()
-        .filter(|u| u.forged)
-        .map(|u| u.client_id)
-        .collect();
-
     // Procedure-IV at the quota's simulated time, under the scenario's
-    // anchor and reward policies (identical to the synchronous engine).
-    let mut global = global_update::compute_global_update(
-        &merged,
-        &GlobalUpdatePolicy {
-            clustering: &config.clustering,
-            metric: config.metric,
-            strategy: config.strategy,
-            fair_aggregation: config.fair_aggregation,
-            anchor: config.anchor,
-            round,
-            reward: reward_policy,
-        },
-    );
-    state.global_params = std::mem::take(&mut global.global_params);
+    // anchor and reward policies. The materialized path assembles the
+    // round's full gradient set and runs `compute_global_update` exactly
+    // as the synchronous engine does; the streaming path absorbs the
+    // final partial chunk and seals the fold's running sums.
+    let sealed = match fold {
+        Some(mut fold) => {
+            fold.flush(rt, config, round, round_start, signed_mining);
+            fold.seal(round, config, reward_policy)
+        }
+        None => {
+            // Assemble the round's gradient set. When signature
+            // verification is on, mining modes drain the miner's mempool —
+            // the pool the signed uploads were admitted through — and the
+            // drained transactions must agree with the arrival metadata by
+            // construction. (The unsigned ablation has nothing to verify,
+            // so it bypasses the pool entirely.)
+            let arrived: Vec<(u64, ArrivedUpload)> =
+                std::mem::take(&mut rt.arrived).into_iter().collect();
+            if signed_mining {
+                let drained = rt.mempool.drain_all();
+                debug_assert_eq!(
+                    drained.len(),
+                    arrived.len(),
+                    "the mempool holds exactly the pending uploads"
+                );
+                debug_assert_eq!(
+                    drained
+                        .iter()
+                        .map(|tx| tx.submitter)
+                        .collect::<BTreeSet<u64>>(),
+                    arrived.iter().map(|(id, _)| *id).collect::<BTreeSet<u64>>(),
+                    "the mempool and the arrival metadata agree on the pending clients"
+                );
+            }
+            let stale_included = arrived.iter().filter(|(_, a)| a.born_round < round).count();
+            let max_own_finish = arrived
+                .iter()
+                .filter(|(_, a)| a.born_round == round)
+                .map(|(_, a)| a.train_finished_s - round_start)
+                .fold(0.0f64, f64::max);
+            // The round record averages the losses of the passes that
+            // actually entered the block (never empty here), so a
+            // stale-heavy round reports its real training loss instead of
+            // a 0.0 sentinel.
+            let train_loss =
+                arrived.iter().map(|(_, a)| a.final_epoch_loss).sum::<f64>() / arrived.len() as f64;
+            let merged: Vec<VerifiedUpload> = arrived.into_iter().map(|(_, a)| a.upload).collect();
+            // Ground truth for the detection row: the forged uploads *in
+            // this block* — a stale attacker is attributed to the round
+            // whose block (and Algorithm 2 pass) it actually entered,
+            // keeping attacker and dropped sets over the same population.
+            let block_attackers: Vec<u64> = merged
+                .iter()
+                .filter(|u| u.forged)
+                .map(|u| u.client_id)
+                .collect();
+            let mut global = global_update::compute_global_update(
+                &merged,
+                &GlobalUpdatePolicy {
+                    clustering: &config.clustering,
+                    metric: config.metric,
+                    strategy: config.strategy,
+                    fair_aggregation: config.fair_aggregation,
+                    anchor: config.anchor,
+                    round,
+                    reward: reward_policy,
+                },
+            );
+            SealedRound {
+                participants: merged.len(),
+                stale_included,
+                max_own_finish,
+                train_loss,
+                block_attackers,
+                global_params: std::mem::take(&mut global.global_params),
+                rewards: global.report.rewards,
+                dropped: global.dropped,
+                high_contributors: global.report.high_contribution.len(),
+            }
+        }
+    };
+    state.global_params = sealed.global_params;
     state.global_model.set_params(&state.global_params);
 
     // The round's delay breakdown, read off the event clock: the wait for
@@ -865,17 +1047,17 @@ fn step_flexible_inner(
     // aggregation and mining costs come from the delay model as in the
     // synchronous engine.
     let wait = (quota_time - round_start).max(0.0);
-    let t_local = max_own_finish.clamp(0.0, wait);
+    let t_local = sealed.max_own_finish.clamp(0.0, wait);
     let full = config.mode == FlexibilityMode::FullBfl;
     let t_ex = if full {
         config
             .delay
-            .t_ex(merged.len(), config.miners, &mut state.rng)
+            .t_ex(sealed.participants, config.miners, &mut state.rng)
     } else {
         0.0
     };
     let t_gl = if full {
-        config.delay.t_gl(merged.len() + 1)
+        config.delay.t_gl(sealed.participants + 1)
     } else {
         config.delay.aggregation_seconds
     };
@@ -894,7 +1076,7 @@ fn step_flexible_inner(
                 consensus,
                 round as u64,
                 &state.global_params,
-                &global.report.rewards,
+                &sealed.rewards,
                 state.clock.now_millis(),
                 &mut state.rng,
             )?
@@ -905,7 +1087,7 @@ fn step_flexible_inner(
                 &members,
                 round as u64,
                 &state.global_params,
-                &global.report.rewards,
+                &sealed.rewards,
                 state.clock.now_millis(),
                 &mut state.rng,
             )?
@@ -917,8 +1099,15 @@ fn step_flexible_inner(
                 if !secondary.is_empty() {
                     // The secondary component aggregates what it has —
                     // the stranded uploads — and seals its own block.
-                    let refs: Vec<&[f64]> =
-                        fresh.iter().map(|s| s.update.params.as_slice()).collect();
+                    let refs: Vec<&[f64]> = fresh
+                        .iter()
+                        .map(|s| match &s.update {
+                            UploadTicket::Ready(update) => update.params.as_slice(),
+                            UploadTicket::Deferred { .. } => {
+                                unreachable!("streaming aggregation rejects partition plans")
+                            }
+                        })
+                        .collect();
                     let branch_params = gradient::average_refs(&refs);
                     let submitter = consensus.miners[secondary[0]].id;
                     let txs = mining::build_block_transactions(
@@ -944,7 +1133,7 @@ fn step_flexible_inner(
     };
     state.clock.advance(t_bl);
 
-    state.apply_discard_cooldowns(config, &global.dropped);
+    state.apply_discard_cooldowns(config, &sealed.dropped);
 
     let breakdown = DelayBreakdown {
         t_local,
@@ -962,23 +1151,237 @@ fn step_flexible_inner(
         &state.test.labels,
         None,
     );
-    let rewards_paid = global.report.rewards.iter().map(|r| r.amount_milli).sum();
-    let detection_row = DetectionRow::new(round, &block_attackers, &global.dropped);
+    let rewards_paid = sealed.rewards.iter().map(|r| r.amount_milli).sum();
+    let detection_row = DetectionRow::new(round, &sealed.block_attackers, &sealed.dropped);
     let outcome = RoundOutcome {
         round,
         breakdown,
         accuracy: test_accuracy,
-        train_loss,
-        participants: merged.len(),
-        stale_included,
-        attackers: block_attackers,
-        dropped: global.dropped,
-        high_contributors: global.report.high_contribution.len(),
+        train_loss: sealed.train_loss,
+        participants: sealed.participants,
+        stale_included: sealed.stale_included,
+        attackers: sealed.block_attackers,
+        dropped: sealed.dropped,
+        high_contributors: sealed.high_contributors,
         rewards_paid_milli: rewards_paid,
-        rewards: global.report.rewards,
+        rewards: sealed.rewards,
         block_hash,
     };
     Ok((outcome, state.clock.now_seconds(), Some(detection_row)))
+}
+
+/// Procedure-I selection over an implicit population: rejection-samples
+/// this round's participants directly against the event-engine
+/// eligibility predicate (not cooling down, not busy, online at `now`),
+/// so no pool vector proportional to the population is ever built.
+fn sample_flexible_pool(
+    state: &mut LearningState<'_>,
+    rt: &AsyncRuntime,
+    config: &BflConfig,
+    now: f64,
+) -> Vec<usize> {
+    let population = state.pool.population();
+    let LearningState { cooldown, rng, .. } = state;
+    sample_population(
+        population,
+        config.fl.selected_per_round(),
+        |i| {
+            let id = i as u64;
+            !cooldown.contains_key(&id)
+                && !rt.in_flight.contains(&id)
+                && !rt.arrived.contains_key(&id)
+                && rt.profiles.get(id).is_online(now)
+        },
+        rng,
+    )
+}
+
+/// What Procedures III–V consume, produced either by the materialized
+/// round-end assembly or by sealing a [`StreamFold`].
+struct SealedRound {
+    participants: usize,
+    stale_included: usize,
+    max_own_finish: f64,
+    train_loss: f64,
+    block_attackers: Vec<u64>,
+    global_params: Vec<f64>,
+    rewards: Vec<RewardEntry>,
+    dropped: Vec<u64>,
+    high_contributors: usize,
+}
+
+/// The streaming Procedure-IV fold: uploads are absorbed chunk by chunk
+/// into running aggregation sums, so a round's live gradient memory is
+/// bounded by the chunk size instead of the quota.
+///
+/// Each full chunk runs Algorithm 2 as its own clustering committee
+/// (anchor, clustering, θ over the chunk); the kept uploads are folded
+/// into `Σ θᵢ·uᵢ / Σ θᵢ` (Equation 1 — exactly the composition the mean
+/// anchor admits, which is why validation requires it) or a plain running
+/// mean when fair aggregation is off. Rewards are **not** settled per
+/// chunk — the proportional policy normalizes per call, so θ scores
+/// concatenate across chunks and settle exactly once at
+/// [`StreamFold::seal`].
+struct StreamFold {
+    chunk: usize,
+    /// Uploads absorbed so far (they count toward the quota).
+    admitted: usize,
+    /// Σ θᵢ·uᵢ over kept uploads (fair aggregation).
+    weighted_sum: Vec<f64>,
+    /// Σ θᵢ over kept uploads (fair aggregation).
+    weight_sum: f64,
+    /// Σ uᵢ over kept uploads (plain averaging).
+    plain_sum: Vec<f64>,
+    /// Kept-upload count (plain averaging).
+    kept_count: usize,
+    /// Concatenated (id, θ) high-contribution pairs across chunks.
+    scores: Vec<(u64, f64)>,
+    /// Concatenated low-contribution ids across chunks.
+    low: Vec<u64>,
+    /// Forged uploads absorbed into the block.
+    forged: Vec<u64>,
+    stale_included: usize,
+    max_own_finish: f64,
+    loss_sum: f64,
+}
+
+impl StreamFold {
+    fn new(chunk: usize, dim: usize) -> Self {
+        StreamFold {
+            chunk: chunk.max(1),
+            admitted: 0,
+            weighted_sum: vec![0.0; dim],
+            weight_sum: 0.0,
+            plain_sum: vec![0.0; dim],
+            kept_count: 0,
+            scores: Vec::new(),
+            low: Vec::new(),
+            forged: Vec::new(),
+            stale_included: 0,
+            max_own_finish: 0.0,
+            loss_sum: 0.0,
+        }
+    }
+
+    /// Drains the arrival buffer (and, in signed mining modes, the
+    /// mempool) and absorbs the chunk into the running sums.
+    fn flush(
+        &mut self,
+        rt: &mut AsyncRuntime,
+        config: &BflConfig,
+        round: usize,
+        round_start: f64,
+        signed_mining: bool,
+    ) {
+        if rt.arrived.is_empty() {
+            return;
+        }
+        let chunk: Vec<(u64, ArrivedUpload)> =
+            std::mem::take(&mut rt.arrived).into_iter().collect();
+        if signed_mining {
+            let drained = rt.mempool.drain_all();
+            debug_assert_eq!(
+                drained.len(),
+                chunk.len(),
+                "the mempool holds exactly the pending chunk"
+            );
+        }
+        self.admitted += chunk.len();
+        self.stale_included += chunk.iter().filter(|(_, a)| a.born_round < round).count();
+        self.max_own_finish = chunk
+            .iter()
+            .filter(|(_, a)| a.born_round == round)
+            .map(|(_, a)| a.train_finished_s - round_start)
+            .fold(self.max_own_finish, f64::max);
+        self.loss_sum += chunk.iter().map(|(_, a)| a.final_epoch_loss).sum::<f64>();
+        let uploads: Vec<VerifiedUpload> = chunk.into_iter().map(|(_, a)| a.upload).collect();
+        self.forged
+            .extend(uploads.iter().filter(|u| u.forged).map(|u| u.client_id));
+
+        // Algorithm 2 over the chunk committee.
+        let refs: Vec<(u64, &[f64])> = uploads
+            .iter()
+            .map(|u| (u.client_id, u.params.as_slice()))
+            .collect();
+        let analysis =
+            analyze_contributions(&refs, &config.clustering, config.metric, config.anchor);
+        let dropped: BTreeSet<u64> = if config.strategy.discards() {
+            analysis.low_contribution.iter().copied().collect()
+        } else {
+            BTreeSet::new()
+        };
+        for (id, params) in &refs {
+            if dropped.contains(id) {
+                continue;
+            }
+            // Kept-but-low uploads (the keep strategy) weigh in at the
+            // floor, mirroring `compute_global_update`.
+            let theta = analysis
+                .high_contribution
+                .iter()
+                .find(|(hid, _)| hid == id)
+                .map(|&(_, t)| t)
+                .unwrap_or(WEIGHT_FLOOR);
+            if config.fair_aggregation {
+                for (acc, &v) in self.weighted_sum.iter_mut().zip(*params) {
+                    *acc += theta * v;
+                }
+                self.weight_sum += theta;
+            } else {
+                for (acc, &v) in self.plain_sum.iter_mut().zip(*params) {
+                    *acc += v;
+                }
+                self.kept_count += 1;
+            }
+        }
+        self.scores.extend(analysis.high_contribution);
+        self.low.extend(analysis.low_contribution);
+    }
+
+    /// Settles the round: normalizes the running sums into the global
+    /// parameters and pays rewards exactly once over the concatenated
+    /// θ scores (sorted by client id, the materialized path's order).
+    fn seal(
+        self,
+        round: usize,
+        config: &BflConfig,
+        reward_policy: &dyn RewardPolicy,
+    ) -> SealedRound {
+        debug_assert!(self.admitted > 0, "sealing an empty fold");
+        let global_params: Vec<f64> = if config.fair_aggregation {
+            self.weighted_sum
+                .iter()
+                .map(|&v| v / self.weight_sum)
+                .collect()
+        } else {
+            self.plain_sum
+                .iter()
+                .map(|&v| v / self.kept_count.max(1) as f64)
+                .collect()
+        };
+        let mut scores = self.scores;
+        scores.sort_unstable_by_key(|entry| entry.0);
+        let rewards = reward_policy.round_rewards(round, &scores);
+        let mut dropped = if config.strategy.discards() {
+            self.low
+        } else {
+            Vec::new()
+        };
+        dropped.sort_unstable();
+        let mut block_attackers = self.forged;
+        block_attackers.sort_unstable();
+        SealedRound {
+            participants: self.admitted,
+            stale_included: self.stale_included,
+            max_own_finish: self.max_own_finish,
+            train_loss: self.loss_sum / self.admitted as f64,
+            block_attackers,
+            global_params,
+            rewards,
+            dropped,
+            high_contributors: scores.len(),
+        }
+    }
 }
 
 /// Procedure-II's send step: topology-driven miner association, uplink
@@ -996,13 +1399,13 @@ fn send_upload(
     time: f64,
     born_round: usize,
     train_finished_s: f64,
-    update: LocalUpdate,
+    update: UploadTicket,
     attempt: u32,
 ) {
-    let id = update.client_id;
+    let id = update.client_id();
     let miner = state.topology.associate_clients(&[id], &mut state.rng)[0];
     let transfer = config.delay.gradient_bytes as f64 / config.delay.uplink.bandwidth_bytes_per_s;
-    let latency = rt.profiles[&id].uplink.sample(&mut state.rng);
+    let latency = rt.profiles.get(id).uplink.sample(&mut state.rng);
     let arrival = time + latency + transfer + config.delay.upload_processing_s;
 
     let faults = &config.fault.uplink;
@@ -1047,7 +1450,7 @@ fn send_upload(
     // A corrupted upload is certain to be rejected at the miner, so the
     // client's retransmission timer (when the policy grants one) is
     // armed at send time — the timeout models the missing receipt.
-    let certain_reject = corrupt.is_some() && state.keystore.is_some();
+    let certain_reject = corrupt.is_some() && state.keys.is_some();
     let retry_pending = certain_reject
         && schedule_retry(
             rt,
@@ -1102,7 +1505,7 @@ fn schedule_retry(
     now: f64,
     born_round: usize,
     train_finished_s: f64,
-    update: LocalUpdate,
+    update: UploadTicket,
     attempt: u32,
     earliest: f64,
 ) -> bool {
@@ -1140,9 +1543,21 @@ fn admit_upload(
     born_round: usize,
     miner: usize,
     train_finished_s: f64,
-    update: LocalUpdate,
+    ticket: UploadTicket,
     corrupt: Option<(u64, u8)>,
 ) -> EventKind {
+    // A deferred ticket runs its local pass now, against the commissioning
+    // round's parameter snapshot — a pure function of the ticket, so a
+    // retransmission or duplicate resolves to the identical update.
+    let update = match ticket {
+        UploadTicket::Ready(update) => update,
+        UploadTicket::Deferred {
+            client_id,
+            attack,
+            born_seed,
+            snapshot,
+        } => resolve_deferred(state, config, client_id, attack, born_seed, &snapshot),
+    };
     let id = update.client_id;
     let forged = update.forged;
     let final_epoch_loss = update.stats.final_epoch_loss;
@@ -1165,13 +1580,15 @@ fn admit_upload(
 
     // Procedure-II signing: the client signs what it *sent* (the original
     // upload). The sent gradient is serialized at most once — the buffer
-    // doubles as a fresh upload's transaction payload below.
-    let signing_key = match (state.keypairs.as_ref(), state.keystore.as_ref()) {
-        (Some(pairs), Some(_)) => match pairs.get(&id) {
+    // doubles as a fresh upload's transaction payload below. A lazy key
+    // chain derives (or LRU-touches) the identity right here, so stale
+    // and retried uploads stay signable after any amount of eviction.
+    let signing_key = match state.keys.as_mut() {
+        Some(chain) => match chain.signing_pair(id) {
             Some(pair) => Some(pair),
             None => return EventKind::UploadRejected,
         },
-        _ => None,
+        None => None,
     };
     let sent_bytes = signing_key
         .is_some()
@@ -1210,7 +1627,7 @@ fn admit_upload(
     // admission (Figure 2); FL-only mode verifies without a pool, and
     // the unsigned ablation has nothing to verify so it bypasses the
     // mempool entirely.
-    if let (Some(envelope), Some(store)) = (&envelope, state.keystore.as_ref()) {
+    if let (Some(envelope), Some(store)) = (&envelope, state.keys.as_ref().map(KeyChain::store)) {
         if mines {
             let tx = Transaction::local_gradient(
                 id,
@@ -1246,4 +1663,31 @@ fn admit_upload(
         "a client never has two uploads pending at once"
     );
     kind
+}
+
+/// Runs a deferred ticket's Procedure-I pass at admission time: the
+/// client (materialized from the pool if implicit) trains against the
+/// commissioning round's global-parameter snapshot under its designated
+/// attack and the born round's seed.
+fn resolve_deferred(
+    state: &mut LearningState<'_>,
+    config: &BflConfig,
+    client_id: u64,
+    attack: Option<AttackKind>,
+    born_seed: u64,
+    snapshot: &[f64],
+) -> LocalUpdate {
+    let train = state.train;
+    let local = state.local_config;
+    let mut scratch = Scratch::new();
+    state.pool.client(client_id as usize).local_update_as(
+        attack,
+        config.fl.model,
+        snapshot,
+        &train.features,
+        &train.labels,
+        &local,
+        born_seed,
+        &mut scratch,
+    )
 }

@@ -55,6 +55,7 @@ pub mod error;
 pub mod events;
 pub mod flexibility;
 pub mod policy;
+pub(crate) mod population;
 pub mod procedures;
 pub mod reward;
 pub mod scenario;
@@ -64,7 +65,9 @@ pub mod sweep;
 pub mod theory;
 
 pub use aggregation::{contribution_weights, fair_aggregate};
-pub use config::{AttackConfig, BflConfig, ProfileConfig, SyncMode};
+pub use config::{
+    AggregationMode, AttackConfig, BflConfig, ProfileConfig, ProvisioningMode, SyncMode,
+};
 pub use contribution::{identify_contributions, ContributionReport};
 pub use delay_model::{DelayBreakdown, DelayModel, SystemKind};
 pub use detection::{DetectionRow, DetectionTable};

@@ -1,0 +1,305 @@
+//! O(participants) client state for population-scale rounds.
+//!
+//! [`ClientPool`] is the engine's view of the client population. The
+//! materialized backend is the PR 4–6 `Vec<Client>`, built eagerly by
+//! `FlTrainer::build_clients`. The implicit backend holds **no** per-client
+//! state up front: client `i` is a pure function of the run seed
+//! ([`bfl_fl::implicit`]), materialized on first touch into a budgeted LRU
+//! cache, so memory scales with the participants a round actually touches
+//! rather than the configured population.
+//!
+//! [`sample_population`] is Procedure I over an implicit population: it
+//! draws a sorted set of distinct eligible indices by rejection sampling
+//! instead of shuffling a population-sized vector.
+
+use bfl_fl::implicit::implicit_client;
+use bfl_fl::Client;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Parameters an implicit population derives clients from.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ImplicitSpec {
+    /// Run seed the shard streams key off.
+    pub seed: u64,
+    /// Configured population size.
+    pub population: usize,
+    /// Shard size per client (sampled with replacement).
+    pub samples_per_client: usize,
+    /// Training-set length the shards index into.
+    pub train_len: usize,
+    /// Maximum clients kept materialized.
+    pub cache_budget: usize,
+}
+
+/// A lazily-materialized implicit population with an LRU cache.
+#[derive(Debug)]
+pub(crate) struct ImplicitPool {
+    spec: ImplicitSpec,
+    cache: BTreeMap<u64, Client>,
+    /// LRU bookkeeping mirroring `LazyKeyVault`: monotone touch tick per
+    /// cached id plus the inverse map, so eviction is O(log n).
+    last_touch: BTreeMap<u64, u64>,
+    by_tick: BTreeMap<u64, u64>,
+    next_tick: u64,
+}
+
+impl ImplicitPool {
+    fn new(spec: ImplicitSpec) -> Self {
+        ImplicitPool {
+            spec,
+            cache: BTreeMap::new(),
+            last_touch: BTreeMap::new(),
+            by_tick: BTreeMap::new(),
+            next_tick: 0,
+        }
+    }
+
+    fn touch(&mut self, id: u64) {
+        if let Some(old) = self.last_touch.insert(id, self.next_tick) {
+            self.by_tick.remove(&old);
+        }
+        self.by_tick.insert(self.next_tick, id);
+        self.next_tick += 1;
+    }
+
+    fn evict_to_budget(&mut self) {
+        let budget = self.spec.cache_budget.max(1);
+        while self.cache.len() > budget {
+            let Some((&tick, &victim)) = self.by_tick.iter().next() else {
+                break;
+            };
+            self.by_tick.remove(&tick);
+            self.last_touch.remove(&victim);
+            self.cache.remove(&victim);
+        }
+    }
+
+    fn client(&mut self, index: usize) -> &Client {
+        debug_assert!(index < self.spec.population);
+        let id = index as u64;
+        if !self.cache.contains_key(&id) {
+            let client = implicit_client(
+                self.spec.seed,
+                id,
+                self.spec.samples_per_client,
+                self.spec.train_len,
+            );
+            self.cache.insert(id, client);
+        }
+        self.touch(id);
+        self.evict_to_budget();
+        self.cache.get(&id).expect("just materialized")
+    }
+}
+
+/// The engine's client population: materialized (eager `Vec<Client>`) or
+/// implicit (derived on demand under an O(active) budget).
+#[derive(Debug)]
+pub(crate) enum ClientPool {
+    /// Every client exists up front (PR 4–6 behaviour).
+    Materialized(Vec<Client>),
+    /// Clients are derived per index on first touch.
+    Implicit(ImplicitPool),
+}
+
+impl ClientPool {
+    /// Wraps an eagerly-built population.
+    pub(crate) fn materialized(clients: Vec<Client>) -> Self {
+        ClientPool::Materialized(clients)
+    }
+
+    /// Creates an implicit population from its derivation parameters.
+    pub(crate) fn implicit(spec: ImplicitSpec) -> Self {
+        ClientPool::Implicit(ImplicitPool::new(spec))
+    }
+
+    /// Configured population size.
+    pub(crate) fn population(&self) -> usize {
+        match self {
+            ClientPool::Materialized(clients) => clients.len(),
+            ClientPool::Implicit(pool) => pool.spec.population,
+        }
+    }
+
+    /// True for the implicit backend.
+    pub(crate) fn is_implicit(&self) -> bool {
+        matches!(self, ClientPool::Implicit(_))
+    }
+
+    /// The eager population slice; panics on the implicit backend (callers
+    /// branch on [`is_implicit`](Self::is_implicit) first).
+    pub(crate) fn materialized_slice(&self) -> &[Client] {
+        match self {
+            ClientPool::Materialized(clients) => clients,
+            ClientPool::Implicit(_) => {
+                unreachable!("materialized_slice on an implicit population")
+            }
+        }
+    }
+
+    /// Client `index`'s shard size. O(1) for the implicit backend — shard
+    /// sizes are uniform by construction, so no materialization happens.
+    pub(crate) fn sample_count(&self, index: usize) -> usize {
+        match self {
+            ClientPool::Materialized(clients) => clients[index].sample_count(),
+            ClientPool::Implicit(pool) => pool.spec.samples_per_client,
+        }
+    }
+
+    /// Borrows client `index`, materializing (and caching) it if implicit.
+    pub(crate) fn client(&mut self, index: usize) -> &Client {
+        match self {
+            ClientPool::Materialized(clients) => &clients[index],
+            ClientPool::Implicit(pool) => pool.client(index),
+        }
+    }
+
+    /// Clones client `index` out of the pool (used to assemble a round's
+    /// working set without holding a borrow across the training fan-out).
+    pub(crate) fn client_cloned(&mut self, index: usize) -> Client {
+        self.client(index).clone()
+    }
+
+    /// Number of currently materialized clients (population size for the
+    /// eager backend, cache occupancy for the implicit one).
+    #[cfg(test)]
+    pub(crate) fn resident(&self) -> usize {
+        match self {
+            ClientPool::Materialized(clients) => clients.len(),
+            ClientPool::Implicit(pool) => pool.cache.len(),
+        }
+    }
+}
+
+/// Draws `count` *distinct* eligible indices from `0..population` by
+/// rejection sampling, returned sorted ascending — Procedure I without a
+/// population-sized allocation.
+///
+/// Mirrors `bfl_fl::selection::select_clients`'s contract (clamp to at
+/// least one, sorted output) but never instantiates the population. If the
+/// eligible set is smaller than `count` the sampler returns what it found
+/// after a bounded number of attempts; an empty result means effectively
+/// nobody was eligible, and the caller falls back exactly like the eager
+/// engine's empty-pool branch (re-sample ignoring eligibility).
+pub(crate) fn sample_population(
+    population: usize,
+    count: usize,
+    mut eligible: impl FnMut(usize) -> bool,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    assert!(population > 0, "population must be non-empty");
+    let count = count.clamp(1, population);
+    let mut picked: BTreeSet<usize> = BTreeSet::new();
+    // Bounded rejection sampling: with a healthy eligible fraction this
+    // terminates in ~count draws; the cap keeps degenerate rounds (nearly
+    // everyone on cooldown or offline) from spinning.
+    let max_attempts = (count.saturating_mul(64)).max(1024);
+    let mut attempts = 0usize;
+    while picked.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let candidate = rng.gen_range(0..population);
+        if picked.contains(&candidate) || !eligible(candidate) {
+            continue;
+        }
+        picked.insert(candidate);
+    }
+    picked.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn spec(population: usize, budget: usize) -> ImplicitSpec {
+        ImplicitSpec {
+            seed: 0xBF1,
+            population,
+            samples_per_client: 4,
+            train_len: 50,
+            cache_budget: budget,
+        }
+    }
+
+    #[test]
+    fn implicit_pool_caches_under_budget_and_rederives_identically() {
+        let mut pool = ClientPool::implicit(spec(1_000_000, 3));
+        let first = pool.client_cloned(999_999);
+        assert_eq!(first.id, 999_999);
+        // Touch enough other clients to evict it.
+        for i in 0..5 {
+            pool.client(i);
+        }
+        assert_eq!(pool.resident(), 3, "budget bounds residency");
+        let again = pool.client_cloned(999_999);
+        assert_eq!(first, again, "rederivation after eviction is identity");
+    }
+
+    #[test]
+    fn implicit_matches_eager_build_clients() {
+        use bfl_data::{SynthMnist, SynthMnistConfig};
+        use bfl_fl::config::PartitionKind;
+        use bfl_fl::trainer::{FlAlgorithm, FlTrainer};
+
+        let generator = SynthMnist::new(SynthMnistConfig {
+            train_samples: 60,
+            test_samples: 10,
+            ..SynthMnistConfig::default()
+        });
+        let (train, _test) = generator.generate(&mut StdRng::seed_from_u64(123));
+        let config = bfl_fl::FlConfig {
+            clients: 12,
+            partition: PartitionKind::ImplicitIid {
+                samples_per_client: 4,
+            },
+            seed: 0xBF1,
+            ..bfl_fl::FlConfig::default()
+        };
+        let trainer = FlTrainer::new(config, FlAlgorithm::FedAvg);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let before = rng.clone().gen_range(0..u64::MAX);
+        let eager = trainer.build_clients(&train, &mut rng);
+        assert_eq!(
+            rng.gen_range(0..u64::MAX),
+            before,
+            "implicit build consumes zero learning-stream draws"
+        );
+
+        let mut lazy = ClientPool::implicit(ImplicitSpec {
+            seed: config.seed,
+            population: 12,
+            samples_per_client: 4,
+            train_len: train.len(),
+            cache_budget: 12,
+        });
+        for (i, expected) in eager.iter().enumerate() {
+            assert_eq!(lazy.client(i), expected, "client {i}");
+        }
+    }
+
+    #[test]
+    fn rejection_sampler_draws_sorted_distinct_eligible_indices() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let picked = sample_population(1_000_000, 100, |i| i % 2 == 0, &mut rng);
+        assert_eq!(picked.len(), 100);
+        assert!(picked.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+        assert!(picked.iter().all(|&i| i % 2 == 0), "eligibility respected");
+        // Deterministic in the rng.
+        let mut rng2 = StdRng::seed_from_u64(9);
+        assert_eq!(
+            picked,
+            sample_population(1_000_000, 100, |i| i % 2 == 0, &mut rng2)
+        );
+    }
+
+    #[test]
+    fn rejection_sampler_returns_partial_sets_when_eligibility_is_scarce() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = sample_population(10_000, 5, |i| i == 7, &mut rng);
+        assert!(picked.len() <= 1, "at most the single eligible index");
+        let none = sample_population(64, 4, |_| false, &mut rng);
+        assert!(none.is_empty(), "nobody eligible yields an empty draw");
+    }
+}

@@ -26,7 +26,9 @@
 //! but streams every round through a [`RoundObserver`] that may stop the
 //! run early.
 
-use crate::config::{AttackConfig, BflConfig, ProfileConfig, SyncMode};
+use crate::config::{
+    AggregationMode, AttackConfig, BflConfig, ProfileConfig, ProvisioningMode, SyncMode,
+};
 use crate::delay_model::DelayModel;
 use crate::engine::SimulationRun;
 use crate::error::CoreError;
@@ -322,6 +324,22 @@ impl ScenarioBuilder {
     /// Replaces the whole learning-side configuration.
     pub fn fl(mut self, fl: FlConfig) -> Self {
         self.config.fl = fl;
+        self
+    }
+
+    /// How client state (shards, RSA keys) comes into existence: eager
+    /// population-sized vectors, or lazy derivation under an O(active)
+    /// cache budget (requires an implicit partition).
+    pub fn provisioning(mut self, provisioning: ProvisioningMode) -> Self {
+        self.config.provisioning = provisioning;
+        self
+    }
+
+    /// How Procedure IV folds uploads into the global update: materialize
+    /// the whole round, or stream fixed-size chunks through Algorithm 2
+    /// (event-driven engine, `Mean` anchor, fault-free plans only).
+    pub fn aggregation(mut self, aggregation: AggregationMode) -> Self {
+        self.config.aggregation = aggregation;
         self
     }
 

@@ -9,7 +9,8 @@
 use crate::error::CryptoError;
 use crate::rsa::{RsaKeyPair, RsaPublicKey};
 use crate::signature::{verify_message, SignedMessage};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -88,6 +89,137 @@ impl KeyStore {
     }
 }
 
+/// Lazy, deterministic key provisioning for implicit populations.
+///
+/// ## The lazy `KeyStore` contract
+///
+/// Eager provisioning ([`KeyStore::provision`]) draws every client's key
+/// material *sequentially* from one RNG, so client `i`'s key depends on
+/// all keys generated before it — fine for small populations, O(population)
+/// keygen work for large ones. The vault instead gives every client its
+/// **own** key stream:
+///
+/// ```text
+/// stream(id) = StdRng::seed_from_u64(key_seed ^ (id · 0x9E37_79B9_7F4A_7C15))
+/// ```
+///
+/// where `key_seed` is the run's key-stream seed (the engine passes
+/// `fl.seed ^ 0x5EED_0F4B`, the same constant the eager path uses) and the
+/// golden-ratio multiply is the per-entity mixer shared with round seeds
+/// and per-client training RNGs. Every RSA draw for client `id` — prime
+/// candidates, Miller–Rabin witnesses — comes from `stream(id)` and nothing
+/// else, which yields the two guarantees lazy provisioning rests on:
+///
+/// 1. **Rederivation is identity.** Evicting a pair and deriving it again
+///    replays the same stream from the same seed, so the regenerated pair
+///    is byte-identical; the cache is a pure memoization and its budget or
+///    eviction order can never change results.
+/// 2. **Stream isolation.** No draw touches the learning or fault streams,
+///    so lazy and eager runs see identical learning-stream states. (Key
+///    *material* still differs from the eager path — sequential vs
+///    per-index streams — but key bytes never enter round outcomes, block
+///    hashes, or rewards; they only gate signature verification, which
+///    passes in both.)
+///
+/// The cache keeps at most `budget` private pairs, evicting the least
+/// recently *used* pair (touch = signing lookup or `ensure`). Evicted
+/// public keys leave the embedded [`KeyStore`] too, keeping the registry
+/// O(active); a later re-selection simply re-registers the identical key.
+#[derive(Debug, Clone)]
+pub struct LazyKeyVault {
+    key_seed: u64,
+    modulus_bits: usize,
+    budget: usize,
+    store: KeyStore,
+    pairs: BTreeMap<u64, RsaKeyPair>,
+    /// LRU bookkeeping: monotone touch tick per cached id, plus the
+    /// inverse (tick → id) so eviction is O(log n).
+    last_touch: BTreeMap<u64, u64>,
+    by_tick: BTreeMap<u64, u64>,
+    next_tick: u64,
+}
+
+impl LazyKeyVault {
+    /// Creates a vault deriving `modulus_bits` keys from `key_seed`,
+    /// caching at most `budget` pairs (at least one).
+    pub fn new(key_seed: u64, modulus_bits: usize, budget: usize) -> Self {
+        LazyKeyVault {
+            key_seed,
+            modulus_bits,
+            budget: budget.max(1),
+            store: KeyStore::new(),
+            pairs: BTreeMap::new(),
+            last_touch: BTreeMap::new(),
+            by_tick: BTreeMap::new(),
+            next_tick: 0,
+        }
+    }
+
+    /// The registry of currently-cached public keys (what a miner holds).
+    pub fn store(&self) -> &KeyStore {
+        &self.store
+    }
+
+    /// Currently-cached private pairs, keyed by client id.
+    pub fn pairs(&self) -> &BTreeMap<u64, RsaKeyPair> {
+        &self.pairs
+    }
+
+    /// Number of cached pairs.
+    pub fn cached(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Derives client `id`'s key pair from its per-index stream. Pure in
+    /// `(key_seed, id, modulus_bits)` — see the type-level contract.
+    pub fn derive(key_seed: u64, id: u64, modulus_bits: usize) -> Result<RsaKeyPair, CryptoError> {
+        let mut rng = StdRng::seed_from_u64(key_seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        RsaKeyPair::generate(&mut rng, modulus_bits)
+    }
+
+    fn touch(&mut self, id: u64) {
+        if let Some(old) = self.last_touch.insert(id, self.next_tick) {
+            self.by_tick.remove(&old);
+        }
+        self.by_tick.insert(self.next_tick, id);
+        self.next_tick += 1;
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.pairs.len() > self.budget {
+            let Some((&tick, &victim)) = self.by_tick.iter().next() else {
+                break;
+            };
+            self.by_tick.remove(&tick);
+            self.last_touch.remove(&victim);
+            self.pairs.remove(&victim);
+            self.store.revoke(victim);
+        }
+    }
+
+    /// Ensures client `id`'s pair is cached (deriving it on a miss) and
+    /// returns a reference to it, marking it most recently used.
+    pub fn pair(&mut self, id: u64) -> Result<&RsaKeyPair, CryptoError> {
+        if !self.pairs.contains_key(&id) {
+            let pair = Self::derive(self.key_seed, id, self.modulus_bits)?;
+            self.store.register(id, pair.public.clone());
+            self.pairs.insert(id, pair);
+        }
+        self.touch(id);
+        self.evict_to_budget();
+        Ok(self.pairs.get(&id).expect("just ensured"))
+    }
+
+    /// Ensures every id in `ids` is cached. With `budget >= ids.len()` the
+    /// whole set survives until the next provisioning wave.
+    pub fn ensure(&mut self, ids: &[u64]) -> Result<(), CryptoError> {
+        for &id in ids {
+            self.pair(id)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +285,50 @@ mod tests {
         assert_eq!(restored.len(), 2);
         let msg = sign_message(4, b"gradient", &pairs[&4].private);
         restored.verify(&msg).expect("restored store verifies");
+    }
+
+    #[test]
+    fn lazy_vault_rederives_identical_pairs_after_eviction() {
+        let mut vault = LazyKeyVault::new(0xBF1 ^ 0x5EED_0F4B, 192, 2);
+        let sig = {
+            let pair = vault.pair(7).unwrap();
+            sign_message(7, b"gradient", &pair.private)
+        };
+        // Push id 7 out of the budget-2 cache.
+        vault.pair(8).unwrap();
+        vault.pair(9).unwrap();
+        assert_eq!(vault.cached(), 2);
+        assert!(vault.pairs().get(&7).is_none(), "7 was evicted");
+        assert!(vault.store().public_key(7).is_none(), "revoked with it");
+        // Rederivation is identity: the old signature verifies against the
+        // regenerated public key.
+        vault.pair(7).unwrap();
+        vault.store().verify(&sig).expect("rederived key matches");
+    }
+
+    #[test]
+    fn lazy_vault_evicts_least_recently_used() {
+        let mut vault = LazyKeyVault::new(11, 192, 2);
+        vault.pair(1).unwrap();
+        vault.pair(2).unwrap();
+        vault.pair(1).unwrap(); // touch 1 → 2 is now LRU
+        vault.pair(3).unwrap();
+        assert!(vault.pairs().contains_key(&1));
+        assert!(!vault.pairs().contains_key(&2));
+        assert!(vault.pairs().contains_key(&3));
+        assert_eq!(vault.store().len(), 2);
+    }
+
+    #[test]
+    fn lazy_vault_streams_are_independent_of_derivation_order() {
+        let mut forward = LazyKeyVault::new(5, 192, 8);
+        let mut backward = LazyKeyVault::new(5, 192, 8);
+        forward.ensure(&[1, 2, 3]).unwrap();
+        backward.ensure(&[3, 2, 1]).unwrap();
+        for id in 1..=3u64 {
+            let a = sign_message(id, b"m", &forward.pairs()[&id].private);
+            backward.store().verify(&a).expect("order-independent keys");
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod signature;
 
 pub use bigint::BigUint;
 pub use error::CryptoError;
-pub use keystore::KeyStore;
+pub use keystore::{KeyStore, LazyKeyVault};
 pub use montgomery::MontgomeryCtx;
 pub use rsa::{CrtFactors, RsaKeyPair, RsaPrivateKey, RsaPublicKey};
 pub use sha256::{sha256, Sha256};

@@ -19,6 +19,16 @@ pub enum PartitionKind {
         /// Concentration parameter; smaller means more skew.
         alpha: f64,
     },
+    /// Implicit IID population: client `i`'s shard is derived on demand
+    /// from a pure per-index RNG stream ([`crate::implicit`]) instead of
+    /// being materialized for the whole population up front. Shards sample
+    /// the training set uniformly *with replacement*, so the population may
+    /// vastly exceed the dataset size — this is the partition kind that
+    /// unlocks million-client runs.
+    ImplicitIid {
+        /// Samples drawn (with replacement) for each client's shard.
+        samples_per_client: usize,
+    },
 }
 
 impl Default for PartitionKind {
@@ -94,6 +104,11 @@ impl FlConfig {
         }
         if self.local.learning_rate <= 0.0 {
             return Err("learning rate must be positive".into());
+        }
+        if let PartitionKind::ImplicitIid { samples_per_client } = self.partition {
+            if samples_per_client == 0 {
+                return Err("implicit partition needs samples_per_client >= 1".into());
+            }
         }
         Ok(())
     }

@@ -26,6 +26,7 @@ pub mod attack;
 pub mod client;
 pub mod config;
 pub mod history;
+pub mod implicit;
 pub mod selection;
 pub mod trainer;
 

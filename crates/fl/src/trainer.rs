@@ -88,6 +88,21 @@ impl FlTrainer {
             PartitionKind::Dirichlet { alpha } => {
                 dirichlet_partition(&train.labels, self.config.clients, alpha, rng)
             }
+            // Derived per index from a dedicated stream — consumes zero
+            // draws from `rng`, so eager and lazy provisioning leave the
+            // learning stream in identical states.
+            PartitionKind::ImplicitIid { samples_per_client } => {
+                return (0..self.config.clients)
+                    .map(|i| {
+                        crate::implicit::implicit_client(
+                            self.config.seed,
+                            i as u64,
+                            samples_per_client,
+                            train.len(),
+                        )
+                    })
+                    .collect();
+            }
         };
         partition
             .into_iter()

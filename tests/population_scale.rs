@@ -1,0 +1,223 @@
+//! Integration tests for population-scale rounds (PR 7): lazy
+//! O(participants) provisioning must reproduce the eager path bit for bit
+//! on both engines and in both engine modes, and streaming Procedure-IV
+//! aggregation must match the materialized fold exactly where exactness
+//! is defined (detection, rewards, participants) and to float-reorder
+//! tolerance on the parameters themselves.
+
+mod common;
+
+use common::{small_config, small_dataset};
+use fair_bfl::core::{
+    AggregationMode, AttackConfig, BflConfig, LowContributionStrategy, ProfileConfig,
+    ProvisioningMode, Scenario, SimulationResult, StalenessPolicy, SyncMode,
+};
+use fair_bfl::fl::config::PartitionKind;
+use fair_bfl::net::DelayDistribution;
+use std::sync::Mutex;
+
+/// The batched/reference engine switches are process-global; every test
+/// in this binary serializes through this lock (one of them flips the
+/// switches).
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Canonical digest over every artifact the experiments read — the same
+/// construction the PR 5 goldens in `async_engine.rs` pin.
+fn run_digest(result: &SimulationResult) -> String {
+    let mut canon = String::new();
+    if let Some(chain) = &result.chain {
+        for block in chain.iter() {
+            canon.push_str(&block.hash_hex());
+            canon.push('\n');
+        }
+    }
+    for r in &result.history.rounds {
+        canon.push_str(&format!(
+            "round {} acc {:016x} loss {:016x} delay {:016x} elapsed {:016x} n {}\n",
+            r.round,
+            r.accuracy.to_bits(),
+            r.train_loss.to_bits(),
+            r.round_delay_s.to_bits(),
+            r.elapsed_s.to_bits(),
+            r.participants
+        ));
+    }
+    for row in &result.detection.rows {
+        canon.push_str(&format!(
+            "detect {} attackers {:?} dropped {:?}\n",
+            row.round, row.attacker_ids, row.dropped_ids
+        ));
+    }
+    for (client, total) in &result.reward_totals {
+        canon.push_str(&format!("reward {client} {total}\n"));
+    }
+    for p in &result.final_params {
+        canon.push_str(&format!("{:016x}", p.to_bits()));
+    }
+    let digest = fair_bfl::crypto::sha256::sha256(canon.as_bytes());
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The small test configuration re-based onto an implicit partition, so
+/// the same population can be provisioned eagerly or lazily.
+fn implicit_config(rounds: usize) -> BflConfig {
+    let mut config = small_config(rounds);
+    config.fl.partition = PartitionKind::ImplicitIid {
+        samples_per_client: 6,
+    };
+    config
+}
+
+fn run(config: BflConfig) -> SimulationResult {
+    let (train, test) = small_dataset();
+    Scenario::from_config(config)
+        .unwrap()
+        .run(&train, &test)
+        .unwrap()
+}
+
+/// Lazy provisioning (budgeted client cache + lazy RSA key vault) must be
+/// invisible in every artifact: history, block hashes, detection, rewards,
+/// final parameters — under both the batched and the reference engines.
+/// Signatures stay on so the lazy key vault is actually exercised, and
+/// the cache budget sits at the selection size so eviction happens.
+#[test]
+fn lazy_provisioning_is_bit_identical_to_eager_in_both_engine_modes() {
+    let _guard = lock();
+    let eager = implicit_config(3);
+    assert!(eager.verify_signatures, "the small config signs uploads");
+    let mut lazy = eager;
+    lazy.provisioning = ProvisioningMode::Lazy { cache_budget: 5 };
+
+    for reference in [false, true] {
+        fair_bfl::ml::engine::set_reference_mode(reference);
+        fair_bfl::crypto::engine::set_reference_mode(reference);
+        let eager_digest = run_digest(&run(eager));
+        let lazy_digest = run_digest(&run(lazy));
+        fair_bfl::ml::engine::set_reference_mode(false);
+        fair_bfl::crypto::engine::set_reference_mode(false);
+        assert_eq!(
+            eager_digest, lazy_digest,
+            "lazy provisioning diverged from the eager path (reference={reference})"
+        );
+    }
+}
+
+/// A flexible-quota population with stragglers and non-zero uplinks; the
+/// event-driven selection, retry, and staleness paths must also be
+/// provisioning-blind.
+#[test]
+fn lazy_provisioning_matches_eager_on_the_flexible_engine() {
+    let _guard = lock();
+    let mut eager = implicit_config(3);
+    eager.fl.clients = 12;
+    eager.fl.participation_ratio = 1.0;
+    eager.verify_signatures = false;
+    eager.sync = SyncMode::FlexibleQuota { quota: 9 };
+    eager.staleness = StalenessPolicy::DecayedInclude { decay: 0.5 };
+    eager.profiles = ProfileConfig {
+        straggler_slowdown: 6.0,
+        straggler_fraction: 0.25,
+        uplink: DelayDistribution::Constant(0.05),
+        ..ProfileConfig::default()
+    };
+    let mut lazy = eager;
+    lazy.provisioning = ProvisioningMode::Lazy { cache_budget: 12 };
+
+    assert_eq!(
+        run_digest(&run(eager)),
+        run_digest(&run(lazy)),
+        "lazy provisioning diverged on the flexible engine"
+    );
+}
+
+/// With every upload folding in one committee, streaming Procedure IV is
+/// the materialized computation re-associated: participants, detection
+/// rows, and the reward ledger must match exactly; the parameters may
+/// differ only by float re-ordering (Σθᵢuᵢ/Σθᵢ versus per-upload
+/// weighting), bounded here at 1e-9 relative.
+#[test]
+fn streaming_single_chunk_matches_materialized_procedure_iv() {
+    let _guard = lock();
+    let mut materialized = small_config(3);
+    materialized.fl.participation_ratio = 1.0;
+    materialized.verify_signatures = false;
+    materialized.sync = SyncMode::FlexibleQuota { quota: 8 };
+    materialized.staleness = StalenessPolicy::DecayedInclude { decay: 0.5 };
+    materialized.strategy = LowContributionStrategy::Discard;
+    materialized.attack = AttackConfig {
+        enabled: true,
+        ..AttackConfig::table2()
+    };
+    materialized.profiles = ProfileConfig {
+        straggler_slowdown: 6.0,
+        straggler_fraction: 0.25,
+        uplink: DelayDistribution::Constant(0.05),
+        ..ProfileConfig::default()
+    };
+    let mut streaming = materialized;
+    streaming.aggregation = AggregationMode::Streaming { chunk: 64 };
+
+    let base = run(materialized);
+    let folded = run(streaming);
+
+    assert_eq!(base.detection.rows, folded.detection.rows);
+    assert_eq!(
+        base.reward_totals, folded.reward_totals,
+        "the integer reward ledger is order-free and must match exactly"
+    );
+    for (a, b) in base.history.rounds.iter().zip(folded.history.rounds.iter()) {
+        assert_eq!(a.participants, b.participants, "round {}", a.round);
+    }
+    assert_eq!(base.final_params.len(), folded.final_params.len());
+    for (i, (a, b)) in base
+        .final_params
+        .iter()
+        .zip(folded.final_params.iter())
+        .enumerate()
+    {
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "parameter {i}: {a} vs {b}"
+        );
+    }
+}
+
+/// The full PR 7 composition — implicit population, lazy provisioning,
+/// multi-committee streaming fold — must be bit-exactly repeatable and
+/// must still learn (finite loss, everyone admitted up to the quota).
+#[test]
+fn streaming_multi_chunk_composition_is_deterministic() {
+    let _guard = lock();
+    let mut config = implicit_config(3);
+    config.fl.clients = 12;
+    config.fl.participation_ratio = 1.0;
+    config.verify_signatures = false;
+    config.sync = SyncMode::FlexibleQuota { quota: 10 };
+    config.staleness = StalenessPolicy::DecayedInclude { decay: 0.5 };
+    config.provisioning = ProvisioningMode::Lazy { cache_budget: 12 };
+    config.aggregation = AggregationMode::Streaming { chunk: 4 };
+    config.profiles = ProfileConfig {
+        straggler_slowdown: 6.0,
+        straggler_fraction: 0.25,
+        uplink: DelayDistribution::Constant(0.05),
+        ..ProfileConfig::default()
+    };
+
+    let first = run(config);
+    let second = run(config);
+    assert_eq!(
+        run_digest(&first),
+        run_digest(&second),
+        "streaming composition must be deterministic"
+    );
+    for round in &first.history.rounds {
+        assert!(round.participants >= 10, "quota admits ten per round");
+        assert!(round.train_loss.is_finite());
+    }
+    assert!(first.final_params.iter().all(|p| p.is_finite()));
+}

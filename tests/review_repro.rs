@@ -44,5 +44,8 @@ fn total_loss_without_retry_does_not_panic() {
         .unwrap();
     // Expectation: a graceful error (e.g. EmptyRound), not a panic.
     let result = scenario.run(&train, &test);
-    eprintln!("outcome: {:?}", result.as_ref().map(|_| "ok").map_err(|e| e.to_string()));
+    eprintln!(
+        "outcome: {:?}",
+        result.as_ref().map(|_| "ok").map_err(|e| e.to_string())
+    );
 }
