@@ -98,6 +98,7 @@ use bfl_chain::consensus::RoundConsensus;
 use bfl_chain::mempool::Mempool;
 use bfl_chain::Transaction;
 use bfl_crypto::signature::sign_message;
+use bfl_crypto::BatchVerifier;
 use bfl_fl::attack::AttackKind;
 use bfl_fl::client::{Client, LocalUpdate};
 use bfl_fl::selection::{drop_stragglers, select_clients};
@@ -106,11 +107,11 @@ use bfl_ml::metrics::accuracy;
 use bfl_ml::model::Model;
 use bfl_ml::optimizer::local_step_count;
 use bfl_ml::tensor::Scratch;
-use bfl_net::{EventQueue, NodeProfile};
+use bfl_net::{EventQueue, NodeProfile, ScheduledEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// XOR'd into the scenario seed to derive the fault stream, so fault
@@ -304,6 +305,11 @@ pub(crate) struct AsyncRuntime {
     crash_purged: bool,
     /// The recovered miner has resynchronised its replica.
     crash_resynced: bool,
+    /// Shared batch verifier for the arrival path: one Montgomery
+    /// workspace amortised across every envelope this engine checks.
+    /// Decisions are identical to per-upload `verify`, so the cache is
+    /// invisible to replay determinism.
+    verifier: BatchVerifier,
 }
 
 impl AsyncRuntime {
@@ -324,6 +330,7 @@ impl AsyncRuntime {
             fork_healed: false,
             crash_purged: false,
             crash_resynced: false,
+            verifier: BatchVerifier::new(),
         }
     }
 
@@ -802,15 +809,38 @@ fn step_flexible_inner(
     let stranded_mark = rt.stranded.len();
     let mut quota_time = round_start;
     let mut deadline_hit = false;
+    // Same-timestamp events are drained from the lane-sharded queue as one
+    // batch (`pop_due_batch`) and fed through the pump from `due`. The
+    // quota and deadline are re-checked before *each* member — exactly the
+    // checks the one-at-a-time loop ran per pop — and whatever the round
+    // seals without goes back via `reinsert` with its original sequence
+    // number, so batching is invisible to replay: events scheduled while a
+    // batch is processed always carry larger sequence numbers and so sort
+    // after the drained members even at the same timestamp.
+    let mut due: VecDeque<ScheduledEvent<EngineEvent>> = VecDeque::new();
+    let mut drain_buf: Vec<ScheduledEvent<EngineEvent>> = Vec::new();
     while rt.arrived.len() + fold.as_ref().map_or(0, |f| f.admitted) < target {
         let pending = rt.arrived.len() + fold.as_ref().map_or(0, |f| f.admitted);
-        if let (Some(deadline), Some(next)) = (deadline, rt.queue.peek_time()) {
+        let next_time = due
+            .front()
+            .map(|e| e.time_s)
+            .or_else(|| rt.queue.peek_time());
+        if let (Some(deadline), Some(next)) = (deadline, next_time) {
             if next > deadline && pending > 0 {
                 deadline_hit = true;
                 break;
             }
         }
-        let Some(event) = rt.queue.pop() else { break };
+        let event = match due.pop_front() {
+            Some(event) => event,
+            None => {
+                if rt.queue.pop_due_batch(&mut drain_buf) == 0 {
+                    break;
+                }
+                due.extend(drain_buf.drain(..));
+                due.pop_front().expect("drained batch is non-empty")
+            }
+        };
         let time = event.time_s;
         // A crash mid-pump wipes the victim miner's pending pool.
         purge_crashed_mempool(rt, config, round, time);
@@ -941,6 +971,11 @@ fn step_flexible_inner(
                 }
             }
         }
+    }
+    // Batch members the round sealed without go back into the queue at
+    // their original `(time, seq)` slots, as if never popped.
+    for event in due {
+        rt.queue.reinsert(event);
     }
 
     if rt.arrived.len() + fold.as_ref().map_or(0, |f| f.admitted) == 0 {
@@ -1634,12 +1669,15 @@ fn admit_upload(
                 born_round as u64,
                 tx_bytes.expect("signed uploads serialized the admitted payload"),
             );
-            match rt.mempool.submit_signed(tx, envelope, store) {
+            match rt
+                .mempool
+                .submit_signed_with(tx, envelope, store, &mut rt.verifier)
+            {
                 Err(_) => return EventKind::UploadRejected,
                 Ok(false) => return EventKind::DuplicateIgnored,
                 Ok(true) => {}
             }
-        } else if store.verify(envelope).is_err() {
+        } else if store.verify_cached(envelope, &mut rt.verifier).is_err() {
             return EventKind::UploadRejected;
         }
     }

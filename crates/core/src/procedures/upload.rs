@@ -14,7 +14,7 @@
 //! upload order, so a parallel round is bit-identical to a serial one.
 
 use bfl_crypto::signature::sign_message;
-use bfl_crypto::{KeyStore, RsaKeyPair};
+use bfl_crypto::{BatchVerifier, KeyStore, RsaKeyPair};
 use bfl_fl::client::LocalUpdate;
 use bfl_ml::gradient;
 use bfl_ml::par;
@@ -91,23 +91,30 @@ pub fn upload_gradients<R: Rng + ?Sized>(
         (Some(pairs), Some(store)) => {
             // One RSA sign plus one verify per upload: the round's serial
             // chain of modexps becomes a parallel batch. Each task only
-            // reads shared state (keys, store), and `par_map` returns
-            // results in input order, so acceptance, rejection order and
-            // per-miner grouping match the serial loop exactly.
-            par::par_map(&items, 1, |_, &(update, miner)| {
-                match pairs.get(&update.client_id) {
+            // reads shared state (keys, store), and results come back in
+            // input order, so acceptance, rejection order and per-miner
+            // grouping match the serial loop exactly. Each worker carries
+            // its own `BatchVerifier`, amortising one Montgomery workspace
+            // across every upload it checks — per-upload decisions are
+            // identical to `store.verify`, so sharing the workspace cannot
+            // change outcomes.
+            par::par_map_with(
+                &items,
+                1,
+                BatchVerifier::new,
+                |verifier, _, &(update, miner)| match pairs.get(&update.client_id) {
                     Some(pair) => {
                         let payload = gradient::to_bytes(&update.params);
                         let envelope = sign_message(update.client_id, &payload, &pair.private);
-                        if store.verify(&envelope).is_ok() {
+                        if store.verify_cached(&envelope, verifier).is_ok() {
                             Verdict::Accepted(verified(update, miner))
                         } else {
                             Verdict::Rejected(update.client_id)
                         }
                     }
                     None => Verdict::Rejected(update.client_id),
-                }
-            })
+                },
+            )
         }
         // Signature handling off: nothing to compute per upload, so the
         // fan-out would only pay thread overhead.

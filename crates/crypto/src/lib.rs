@@ -59,7 +59,7 @@ pub mod signature;
 pub use bigint::BigUint;
 pub use error::CryptoError;
 pub use keystore::{KeyStore, LazyKeyVault};
-pub use montgomery::MontgomeryCtx;
+pub use montgomery::{MontWorkspace, MontgomeryCtx};
 pub use rsa::{CrtFactors, RsaKeyPair, RsaPrivateKey, RsaPublicKey};
 pub use sha256::{sha256, Sha256};
-pub use signature::{sign_message, verify_message, Signature, SignedMessage};
+pub use signature::{sign_message, verify_message, BatchVerifier, Signature, SignedMessage};

@@ -65,9 +65,11 @@ pub struct MontElem {
 /// of the context's limb count `k`), then shared by every
 /// load/pow/square in a chain — Miller-Rabin drives its whole witness
 /// sequence through one workspace with zero per-operation allocation.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct MontWorkspace {
-    /// CIOS accumulator, `k + 2` limbs.
+    /// CIOS accumulator, `k + 2` limbs (or `2k + 2` after
+    /// [`MontgomeryCtx::prepare`], which unlocks the squaring-specialised
+    /// reduction).
     scratch: Vec<u64>,
     /// Swap target for in-place multiplies, `k` limbs.
     tmp: Vec<u64>,
@@ -79,6 +81,20 @@ pub struct MontWorkspace {
     table: Vec<u64>,
     /// The current working element, `k` limbs.
     value: Vec<u64>,
+    /// Parking slot for [`MontgomeryCtx::stash_value`], `k` limbs once
+    /// used. Lets a chain compare two computed elements (e.g. a verify
+    /// comparing `s^e` against the loaded digest) without allocating.
+    hold: Vec<u64>,
+}
+
+impl MontWorkspace {
+    /// An empty workspace with no buffers allocated. It must be fitted to
+    /// a context with [`MontgomeryCtx::prepare`] before use — the batch
+    /// verification paths create one workspace up front and re-fit it as
+    /// they walk keys of possibly different widths.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl MontgomeryCtx {
@@ -129,7 +145,54 @@ impl MontgomeryCtx {
             tmp: vec![0u64; k],
             table: Vec::new(),
             value: vec![0u64; k],
+            hold: Vec::new(),
         }
+    }
+
+    /// Fits `ws` to this context, reallocating only when the limb count
+    /// actually changed. This is what lets one workspace serve a whole
+    /// batch of keys: the batched verification paths call `prepare` per
+    /// key and pay nothing when consecutive keys share a width (every
+    /// simulation key at one `modulus_bits` does).
+    ///
+    /// A prepared workspace carries a `2k + 2`-limb scratch — large
+    /// enough for the squaring-specialised reduction
+    /// that [`Self::pow_in_place`] then uses for its squarings.
+    pub fn prepare(&self, ws: &mut MontWorkspace) {
+        let k = self.k();
+        if ws.value.len() != k {
+            ws.value.clear();
+            ws.value.resize(k, 0);
+            ws.tmp.clear();
+            ws.tmp.resize(k, 0);
+            ws.hold.clear();
+            ws.hold.resize(k, 0);
+            ws.table.clear();
+        }
+        if ws.scratch.len() < 2 * k + 2 {
+            ws.scratch.clear();
+            ws.scratch.resize(2 * k + 2, 0);
+        }
+    }
+
+    /// Parks the working element in the workspace's hold slot (swapping
+    /// with whatever was parked there), so a second chain — for example
+    /// loading a comparison target — can run without clobbering it.
+    pub fn stash_value(&self, ws: &mut MontWorkspace) {
+        let k = self.k();
+        if ws.hold.len() != k {
+            ws.hold.clear();
+            ws.hold.resize(k, 0);
+        }
+        std::mem::swap(&mut ws.value, &mut ws.hold);
+    }
+
+    /// Whether the working element equals the last [`Self::stash_value`]d
+    /// element. Both are Montgomery-domain residues of this context, and
+    /// the domain map is a bijection, so this compares the underlying
+    /// residues.
+    pub fn value_equals_stash(&self, ws: &MontWorkspace) -> bool {
+        ws.value == ws.hold
     }
 
     /// Whether `a` is already below the modulus (limb-level; avoids
@@ -158,6 +221,32 @@ impl MontgomeryCtx {
         self.mul_into_split(true, ws);
     }
 
+    /// Loads a big-endian byte string into the working element without
+    /// allocating. Values up to `k` limbs wide skip the reduction
+    /// division even when they exceed `n`: the CIOS accumulator bound
+    /// (`t < b + n`) depends only on the multiplicand `r2 < n`, never on
+    /// the scanned operand, so the conversion multiply reduces any
+    /// `k`-limb input exactly. Wider inputs (a 32-byte digest against a
+    /// sub-256-bit modulus) take the allocating [`Self::load`] path.
+    pub fn load_bytes_be(&self, bytes: &[u8], ws: &mut MontWorkspace) {
+        let k = self.k();
+        let first = bytes.iter().position(|&b| b != 0).unwrap_or(bytes.len());
+        let bytes = &bytes[first..];
+        if bytes.len() > k * 8 {
+            self.load(&BigUint::from_bytes_be(bytes), ws);
+            return;
+        }
+        ws.tmp[..k].fill(0);
+        for (i, chunk) in bytes.rchunks(8).enumerate() {
+            let mut limb = 0u64;
+            for &byte in chunk {
+                limb = (limb << 8) | byte as u64;
+            }
+            ws.tmp[i] = limb;
+        }
+        self.mul_into_split(true, ws);
+    }
+
     /// `ws.value = ws.tmp * r2` (used by [`Self::load`]) or
     /// `ws.value = ws.value^2` — both need `value` and `tmp` split from
     /// the borrow on `self`.
@@ -171,7 +260,7 @@ impl MontgomeryCtx {
         if from_tmp {
             self.mul_into(tmp, &self.r2, scratch, value);
         } else {
-            self.mul_into(value, value, scratch, tmp);
+            self.square_into(value, scratch, tmp);
             std::mem::swap(value, tmp);
         }
     }
@@ -192,6 +281,14 @@ impl MontgomeryCtx {
         let mut ws = self.workspace();
         self.load(a, &mut ws);
         MontElem { limbs: ws.value }
+    }
+
+    /// The working element mapped back to an ordinary residue (a
+    /// convenience over [`Self::recover`] for workspace chains).
+    pub fn recover_value(&self, ws: &MontWorkspace) -> BigUint {
+        self.recover(&MontElem {
+            limbs: ws.value.clone(),
+        })
     }
 
     /// Maps a Montgomery-domain element back to an ordinary residue.
@@ -260,6 +357,7 @@ impl MontgomeryCtx {
             tmp,
             table,
             value,
+            ..
         } = ws;
 
         if bits <= SHORT_EXPONENT_BITS {
@@ -267,7 +365,7 @@ impl MontgomeryCtx {
             // squared in place over it.
             table[..k].copy_from_slice(value);
             for i in (0..bits - 1).rev() {
-                self.mul_into(value, value, scratch, tmp);
+                self.square_into(value, scratch, tmp);
                 std::mem::swap(value, tmp);
                 if exponent.bit(i) {
                     self.mul_into(value, &table[..k], scratch, tmp);
@@ -292,7 +390,7 @@ impl MontgomeryCtx {
         value.copy_from_slice(&table[(top - 1) * k..top * k]);
         for w in (0..windows - 1).rev() {
             for _ in 0..WINDOW_BITS {
-                self.mul_into(value, value, scratch, tmp);
+                self.square_into(value, scratch, tmp);
                 std::mem::swap(value, tmp);
             }
             let digit = Self::window(exponent, w);
@@ -319,6 +417,123 @@ impl MontgomeryCtx {
         ((limb >> (bit % 64)) & (TABLE_LEN as u64 - 1)) as usize
     }
 
+    /// Squares `a` into `out` (`out = a^2 * R^{-1} mod n`), dispatching
+    /// to the squaring-specialised reduction when the scratch is large
+    /// enough (a [`Self::prepare`]d workspace) and to the generic CIOS
+    /// multiply otherwise. Squarings are ~84% of a 65537-exponent verify
+    /// (16 of 19 reductions), which is why the batch-verify paths prepare
+    /// their workspaces.
+    #[inline]
+    fn square_into(&self, a: &[u64], scratch: &mut [u64], out: &mut [u64]) {
+        if scratch.len() > 2 * self.k() {
+            self.sqr_into(a, scratch, out);
+        } else {
+            self.mul_into(a, a, scratch, out);
+        }
+    }
+
+    /// SOS Montgomery squaring: `out = a^2 * R^{-1} mod n`.
+    ///
+    /// Computes the full `2k`-limb square first — off-diagonal partial
+    /// products once, doubled, then the diagonal — and Montgomery-reduces
+    /// it in a second pass. The symmetry saves nearly half the limb
+    /// multiplies of a generic CIOS multiply. `scratch` must hold at
+    /// least `2k + 1` limbs.
+    fn sqr_into(&self, a: &[u64], scratch: &mut [u64], out: &mut [u64]) {
+        let k = self.k();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(out.len(), k);
+        debug_assert!(scratch.len() > 2 * k);
+        if k == 2 {
+            // The unrolled two-limb CIOS already keeps everything in
+            // registers; the split square/reduce passes would only add
+            // memory traffic.
+            return self.mul_into_k2(a, a, out);
+        }
+        if k == 4 {
+            // Same story at four limbs: the unrolled CIOS beats the
+            // split square/reduce passes, whose savings only outgrow
+            // the extra memory traffic at wider moduli.
+            return self.mul_into_k4(a, a, out);
+        }
+        let t = &mut scratch[..2 * k + 1];
+        t.fill(0);
+
+        // Off-diagonal products a[i] * a[j] for i < j, each needed twice.
+        // Iteration i writes indices i+1+i .. i+k; its carry lands in
+        // t[i + k], which no earlier iteration has touched.
+        for i in 0..k {
+            let ai = a[i] as u128;
+            let mut carry: u128 = 0;
+            for j in i + 1..k {
+                let s = t[i + j] as u128 + ai * a[j] as u128 + carry;
+                t[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            t[i + k] = carry as u64;
+        }
+
+        // Double the off-diagonal sum (top limb t[2k] starts at zero and
+        // receives the shifted-out bit).
+        let mut top: u64 = 0;
+        for limb in t.iter_mut().take(2 * k) {
+            let shifted = (*limb << 1) | top;
+            top = *limb >> 63;
+            *limb = shifted;
+        }
+        t[2 * k] = top;
+
+        // Add the diagonal squares.
+        let mut carry: u128 = 0;
+        for i in 0..k {
+            let ai = a[i] as u128;
+            let s = t[2 * i] as u128 + ai * ai + carry;
+            t[2 * i] = s as u64;
+            let s2 = t[2 * i + 1] as u128 + (s >> 64);
+            t[2 * i + 1] = s2 as u64;
+            carry = s2 >> 64;
+        }
+        let s = t[2 * k] as u128 + carry;
+        t[2 * k] = s as u64;
+        debug_assert_eq!(s >> 64, 0);
+
+        // Montgomery reduction of the 2k-limb square: each step clears
+        // t[i] exactly, so after k steps the result sits in t[k ..= 2k].
+        for i in 0..k {
+            let m = t[i].wrapping_mul(self.n0_inv) as u128;
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let s = t[i + j] as u128 + m * self.n[j] as u128 + carry;
+                t[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                debug_assert!(idx <= 2 * k);
+                let s = t[idx] as u128 + carry;
+                t[idx] = s as u64;
+                carry = s >> 64;
+                idx += 1;
+            }
+        }
+
+        // a < n keeps the reduced value below 2n; one conditional
+        // subtract brings it into [0, n). t[2k] is the overflow limb.
+        let needs_sub = t[2 * k] != 0 || !Self::less_than(&t[k..2 * k], &self.n);
+        if needs_sub {
+            let mut borrow: u64 = 0;
+            for j in 0..k {
+                let (d1, b1) = t[k + j].overflowing_sub(self.n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 | b2) as u64;
+            }
+            debug_assert_eq!(borrow, t[2 * k]);
+        } else {
+            out.copy_from_slice(&t[k..2 * k]);
+        }
+    }
+
     /// CIOS Montgomery multiply-accumulate: `out = a * b * R^{-1} mod n`.
     ///
     /// `a`, `b` and `out` are `k`-limb little-endian buffers holding
@@ -337,6 +552,11 @@ impl MontgomeryCtx {
             // case: a fully unrolled CIOS keeps the accumulator in
             // registers instead of walking the scratch slice.
             return self.mul_into_k2(a, b, out);
+        }
+        if k == 4 {
+            // Four-limb moduli are every 256-bit verify — the default
+            // upload-signature width — so they get the same treatment.
+            return self.mul_into_k4(a, b, out);
         }
         let t = &mut scratch[..k + 2];
         t.fill(0);
@@ -432,6 +652,67 @@ impl MontgomeryCtx {
         }
     }
 
+    /// Fully unrolled four-limb CIOS: same algorithm as the general
+    /// loop, with the five-limb accumulator held in scalars. 256-bit
+    /// moduli are the default signature-verification width, so this is
+    /// the inner loop of every upload check a round performs.
+    #[inline]
+    fn mul_into_k4(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        let (b0, b1, b2, b3) = (b[0], b[1], b[2], b[3]);
+        let (n0, n1, n2, n3) = (self.n[0], self.n[1], self.n[2], self.n[3]);
+
+        let mut t0: u64 = 0;
+        let mut t1: u64 = 0;
+        let mut t2: u64 = 0;
+        let mut t3: u64 = 0;
+        let mut t4: u64 = 0;
+        for &ai in &a[..4] {
+            // t += a_i * b
+            let s0 = t0 as u128 + ai as u128 * b0 as u128;
+            let s1 = t1 as u128 + ai as u128 * b1 as u128 + (s0 >> 64);
+            let s2 = t2 as u128 + ai as u128 * b2 as u128 + (s1 >> 64);
+            let s3 = t3 as u128 + ai as u128 * b3 as u128 + (s2 >> 64);
+            let s4 = t4 as u128 + (s3 >> 64);
+            t0 = s0 as u64;
+            t1 = s1 as u64;
+            t2 = s2 as u64;
+            t3 = s3 as u64;
+            t4 = s4 as u64;
+            let t5 = (s4 >> 64) as u64;
+
+            // m = t0 * n' mod 2^64; t = (t + m * n) / 2^64.
+            let m = t0.wrapping_mul(self.n0_inv);
+            let r0 = t0 as u128 + m as u128 * n0 as u128;
+            debug_assert_eq!(r0 as u64, 0);
+            let r1 = t1 as u128 + m as u128 * n1 as u128 + (r0 >> 64);
+            let r2 = t2 as u128 + m as u128 * n2 as u128 + (r1 >> 64);
+            let r3 = t3 as u128 + m as u128 * n3 as u128 + (r2 >> 64);
+            let r4 = t4 as u128 + (r3 >> 64);
+            t0 = r1 as u64;
+            t1 = r2 as u64;
+            t2 = r3 as u64;
+            t3 = r4 as u64;
+            t4 = t5.wrapping_add((r4 >> 64) as u64);
+        }
+
+        // t < 2n, one conditional subtract (t4 is the overflow limb).
+        if t4 != 0 || (t3, t2, t1, t0) >= (n3, n2, n1, n0) {
+            let mut borrow: u64 = 0;
+            for (slot, (t, n)) in out.iter_mut().zip([(t0, n0), (t1, n1), (t2, n2), (t3, n3)]) {
+                let (d1, b1) = t.overflowing_sub(n);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                *slot = d2;
+                borrow = (b1 | b2) as u64;
+            }
+            debug_assert_eq!(borrow, t4);
+        } else {
+            out[0] = t0;
+            out[1] = t1;
+            out[2] = t2;
+            out[3] = t3;
+        }
+    }
+
     /// Limb-slice comparison `a < b` for equal-length buffers.
     fn less_than(a: &[u64], b: &[u64]) -> bool {
         for i in (0..a.len()).rev() {
@@ -513,6 +794,62 @@ mod tests {
     }
 
     #[test]
+    fn four_limb_modulus_uses_the_unrolled_path_correctly() {
+        let _guard = engine::mode_lock();
+        // 2^255 - 19: exactly four limbs, prime.
+        let m = BigUint::one().shl(255).sub(&BigUint::from_u32(19));
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        // Mixed-magnitude operands exercise every carry chain of the
+        // unrolled accumulator.
+        let a = BigUint::one()
+            .shl(254)
+            .add(&BigUint::from_decimal_str("987654321987654321987654321").unwrap());
+        let b = BigUint::one().shl(200).sub(&BigUint::from_u32(1));
+        assert_eq!(ctx.recover(&ctx.convert(&a)), a.rem(&m));
+        let got = ctx.recover(&ctx.mul(&ctx.convert(&a), &ctx.convert(&b)));
+        assert_eq!(got, a.modmul(&b, &m));
+        // Fermat: a^(m-1) ≡ 1 (mod m) for this prime modulus.
+        assert_eq!(ctx.modpow(&a, &m.sub(&BigUint::one())), BigUint::one());
+        // Squaring dispatches through the same kernel.
+        let mut ws = ctx.workspace();
+        ctx.prepare(&mut ws);
+        ctx.load(&a, &mut ws);
+        ctx.square_in_place(&mut ws);
+        assert!(ctx.element_equals(&ws, &ctx.convert(&a.modmul(&a, &m))));
+    }
+
+    #[test]
+    fn load_bytes_matches_load_including_unreduced_and_wide_inputs() {
+        // A modulus with its top bit clear, so a random 32-byte digest
+        // frequently exceeds it — the no-division path must still land
+        // on the canonical image.
+        let m = BigUint::one().shl(255).sub(&BigUint::from_u32(19));
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let mut ws_bytes = ctx.workspace();
+        let mut ws_ref = ctx.workspace();
+        ctx.prepare(&mut ws_bytes);
+        ctx.prepare(&mut ws_ref);
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0x00, 0x00],
+            vec![0x7f],
+            vec![0xff; 32],                           // 2^256 - 1: above n, k limbs
+            vec![0x01; 31],                           // below n
+            [vec![0x00; 3], vec![0xab; 29]].concat(), // leading zeros
+            vec![0xff; 40],                           // wider than k limbs: fallback path
+        ];
+        for bytes in cases {
+            ctx.load_bytes_be(&bytes, &mut ws_bytes);
+            ctx.load(&BigUint::from_bytes_be(&bytes), &mut ws_ref);
+            assert_eq!(
+                ctx.recover_value(&ws_bytes),
+                ctx.recover_value(&ws_ref),
+                "bytes = {bytes:02x?}"
+            );
+        }
+    }
+
+    #[test]
     fn two_limb_modulus_uses_the_unrolled_path_correctly() {
         let _guard = engine::mode_lock();
         // 2^127 - 1 is a Mersenne prime: exactly two limbs.
@@ -533,6 +870,66 @@ mod tests {
         ctx.square_in_place(&mut ws);
         let a2 = a.modmul(&a, &m);
         assert!(ctx.element_equals(&ws, &ctx.convert(&a2.modmul(&a2, &m))));
+    }
+
+    #[test]
+    fn prepared_workspace_squarings_match_generic_multiplies() {
+        let _guard = engine::mode_lock();
+        // Odd moduli across limb counts, including k > 2 where the SOS
+        // squaring path actually runs.
+        for dec in [
+            "1000003",
+            "170141183460469231731687303715884105727", // 2^127 - 1 (k = 2)
+            "340282366920938463463374607431768211507", // 2^128 + 51 (k = 3)
+            "115792089237316195423570985008687907853269984665640564039457584007913129639747",
+        ] {
+            let m = BigUint::from_decimal_str(dec).unwrap();
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            let mut prepared = MontWorkspace::new();
+            ctx.prepare(&mut prepared);
+            let mut plain = ctx.workspace();
+            let a = BigUint::from_decimal_str("987654321234567898765432123456789").unwrap();
+            let e = BigUint::from_u32(65537);
+            ctx.load(&a, &mut prepared);
+            ctx.pow_in_place(&e, &mut prepared);
+            ctx.load(&a, &mut plain);
+            ctx.pow_in_place(&e, &mut plain);
+            assert_eq!(prepared.value, plain.value, "modulus {dec}");
+            // Long (windowed) exponents agree too.
+            let d = BigUint::from_decimal_str("123456789012345678901234567890123456789").unwrap();
+            ctx.load(&a, &mut prepared);
+            ctx.pow_in_place(&d, &mut prepared);
+            assert_eq!(ctx.modpow(&a, &d), ctx.recover_value(&prepared));
+        }
+    }
+
+    #[test]
+    fn prepare_refits_across_widths_and_stash_compares() {
+        let small = MontgomeryCtx::new(&big(1_000_003)).unwrap();
+        let large = MontgomeryCtx::new(&BigUint::one().shl(127).sub(&BigUint::one())).unwrap();
+        let mut ws = MontWorkspace::new();
+
+        small.prepare(&mut ws);
+        small.load(&big(42), &mut ws);
+        small.stash_value(&mut ws);
+        small.load(&big(42), &mut ws);
+        assert!(small.value_equals_stash(&ws));
+        small.load(&big(43), &mut ws);
+        assert!(!small.value_equals_stash(&ws));
+
+        // Re-fitting to a wider modulus and back keeps results exact.
+        large.prepare(&mut ws);
+        let a = BigUint::from_decimal_str("123456789012345678901234567890").unwrap();
+        large.load(&a, &mut ws);
+        large.pow_in_place(&BigUint::from_u32(65537), &mut ws);
+        assert_eq!(
+            large.recover_value(&ws),
+            large.modpow(&a, &BigUint::from_u32(65537))
+        );
+        small.prepare(&mut ws);
+        small.load(&big(7), &mut ws);
+        small.pow_in_place(&big(13), &mut ws);
+        assert_eq!(small.recover_value(&ws), small.modpow(&big(7), &big(13)));
     }
 
     #[test]

@@ -163,6 +163,17 @@ impl RsaPublicKey {
         message.modpow(&self.exponent, &self.modulus)
     }
 
+    /// The key's cached Montgomery context, building it on first use.
+    /// `None` when the modulus does not admit one (even or trivial).
+    ///
+    /// This is the entry point for batched verification
+    /// ([`crate::signature::BatchVerifier`]): driving the context
+    /// directly through a shared prepared workspace skips the per-call
+    /// workspace allocations that [`RsaPublicKey::apply`] pays.
+    pub fn montgomery_ctx(&self) -> Option<&MontgomeryCtx> {
+        self.mont.get_or_build(&self.modulus)
+    }
+
     /// The modulus `n`. Read-only: the cached context is derived from
     /// it, so changing the modulus means building a new key via
     /// [`RsaPublicKey::new`].

@@ -24,6 +24,26 @@ thread_local! {
     /// spawning a second layer of threads over the same cores (e.g. a
     /// GEMM inside a per-client training task).
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+
+    /// Scoped override installed by [`with_thread_limit`]: while set,
+    /// [`max_threads`] reports this value instead of the host or
+    /// environment limit. `0` means "no override".
+    static THREAD_LIMIT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` with [`max_threads`] clamped to `limit` (at least 1) on the
+/// *current* thread. The benchmark scaling curves use this to sweep
+/// explicit thread counts {1, 2, 4, 8} without touching global state;
+/// worker threads spawned inside the scope observe the usual nesting
+/// rule (they report 1), so the limit composes with — never overrides —
+/// worker serialization.
+pub fn with_thread_limit<T>(limit: usize, f: impl FnOnce() -> T) -> T {
+    THREAD_LIMIT.with(|cell| {
+        let previous = cell.replace(limit.max(1));
+        let result = f();
+        cell.set(previous);
+        result
+    })
 }
 
 fn run_as_worker<T>(f: impl FnOnce() -> T) -> T {
@@ -38,16 +58,32 @@ fn run_as_worker<T>(f: impl FnOnce() -> T) -> T {
 /// Number of worker threads the helpers will use at most. Cached:
 /// `available_parallelism` is a syscall, and the kernels consult this on
 /// every dispatch. Returns 1 inside an existing worker, so parallel
-/// regions never nest.
+/// regions never nest. A [`with_thread_limit`] scope takes precedence;
+/// otherwise the `BFL_MAX_THREADS` environment variable (when set to a
+/// positive integer, read once) caps the host limit — the CI determinism
+/// suites use it to pin explicit 2- and 8-thread runs.
 pub fn max_threads() -> usize {
     if IN_WORKER.with(Cell::get) {
         return 1;
     }
+    let limit = THREAD_LIMIT.with(Cell::get);
+    if limit > 0 {
+        return limit;
+    }
     static MAX_THREADS: OnceLock<usize> = OnceLock::new();
     *MAX_THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
+        let host = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
-            .unwrap_or(1)
+            .unwrap_or(1);
+        match std::env::var("BFL_MAX_THREADS") {
+            Ok(value) => value
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or(host),
+            Err(_) => host,
+        }
     })
 }
 
@@ -233,6 +269,29 @@ mod tests {
         });
         for (r, row) in data.chunks(cols).enumerate() {
             assert!(row.iter().all(|&v| v == r as f64));
+        }
+    }
+
+    #[test]
+    fn thread_limit_scopes_nest_and_restore() {
+        let host = max_threads();
+        with_thread_limit(4, || {
+            assert_eq!(max_threads(), 4);
+            with_thread_limit(2, || assert_eq!(max_threads(), 2));
+            assert_eq!(max_threads(), 4);
+            // The clamp floors at one thread.
+            with_thread_limit(0, || assert_eq!(max_threads(), 1));
+        });
+        assert_eq!(max_threads(), host);
+    }
+
+    #[test]
+    fn thread_limit_changes_fanout_but_not_results() {
+        let items: Vec<usize> = (0..64).collect();
+        let serial = with_thread_limit(1, || par_map(&items, 1, |_, &x| x * 7 + 1));
+        for limit in [2, 4, 8] {
+            let parallel = with_thread_limit(limit, || par_map(&items, 1, |_, &x| x * 7 + 1));
+            assert_eq!(parallel, serial, "limit={limit}");
         }
     }
 

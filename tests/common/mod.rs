@@ -20,9 +20,6 @@ pub fn small_dataset() -> (Dataset, Dataset) {
 
 /// A FAIR-BFL configuration scaled for integration testing: 10 clients,
 /// IID partition, one local epoch.
-// Each integration-test binary compiles its own copy of this module, and
-// not every binary calls every fixture.
-#[allow(dead_code)]
 pub fn small_config(rounds: usize) -> BflConfig {
     let mut config = BflConfig::small_test(rounds);
     config.fl.partition = PartitionKind::Iid;

@@ -1,11 +1,21 @@
 mod common;
 
-use common::small_dataset;
+use common::{small_config, small_dataset};
 use fair_bfl::core::{
-    ProfileConfig, ReorgPolicy, RetryPolicy, Scenario, StalenessPolicy, SyncMode,
+    BflSimulation, ProfileConfig, ReorgPolicy, RetryPolicy, Scenario, StalenessPolicy, SyncMode,
 };
 use fair_bfl::fl::config::PartitionKind;
 use fair_bfl::net::{DelayDistribution, FaultPlan, LinkFaults, TimeWindow};
+
+#[test]
+fn identical_configs_reproduce_the_run_exactly() {
+    let (train, test) = small_dataset();
+    let config = small_config(2);
+    let first = BflSimulation::new(config).run(&train, &test).unwrap();
+    let second = BflSimulation::new(config).run(&train, &test).unwrap();
+    assert_eq!(first.final_params, second.final_params);
+    assert_eq!(first.reward_totals, second.reward_totals);
+}
 
 #[test]
 fn total_loss_without_retry_does_not_panic() {
