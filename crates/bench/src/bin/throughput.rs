@@ -109,6 +109,7 @@ use bfl_bench::experiments::{
     dataset, population_scale_config, population_signed_config, scenario_grid, system_config,
     Scale, SystemLabel,
 };
+use bfl_bench::section::{best_seconds, parse_bench_args, rate, write_report, SectionRegistry};
 use bfl_bench::CountingAllocator;
 use bfl_chain::Block;
 use bfl_core::{
@@ -218,33 +219,6 @@ struct SmokeReport {
     pr6: Pr6Report,
     pr7: Pr7Report,
     pr8: Pr8Report,
-}
-
-/// Runs `body` once warm-up, then `reps` individually timed repetitions;
-/// returns the best-repetition rate in work-units per second. Best-of
-/// is deliberate: the machines this runs on are shared, and the fastest
-/// repetition is the least contaminated by scheduling noise.
-fn rate(units: f64, reps: usize, mut body: impl FnMut()) -> f64 {
-    body();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        body();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    units / best
-}
-
-/// Like [`rate`] but returns the best wall-clock seconds directly.
-fn best_seconds(reps: usize, mut body: impl FnMut()) -> f64 {
-    body();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        body();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
 }
 
 // ---------------------------------------------------------------------------
@@ -1782,23 +1756,9 @@ fn pr8_section(
     }
 }
 
-fn write_report<T: Serialize>(path: &str, report: &T) {
-    let json = serde_json::to_string_pretty(report).expect("report serializes");
-    std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| panic!("{path} written: {e}"));
-    println!("{json}");
-    eprintln!("wrote {path}");
-}
-
 fn main() {
-    let mut reps: usize = 3;
-    let mut section = "all".to_string();
-    for arg in std::env::args().skip(1) {
-        if let Ok(n) = arg.parse::<usize>() {
-            reps = n.max(1);
-        } else {
-            section = arg;
-        }
-    }
+    let args = parse_bench_args(std::env::args().skip(1), 3, "all");
+    let reps = args.reps;
 
     // The tracked full-scale crypto workload; `throughput crypto`,
     // `throughput pr3` and `throughput all` must measure the identical
@@ -1814,113 +1774,101 @@ fn main() {
         reference_keygen_reps: 1,
     };
 
-    match section.as_str() {
-        "ml" => {
-            let data = dataset(Scale::Medium);
-            write_report("BENCH_PR1.json", &ml_section(&data, reps));
-        }
-        "crypto" => {
-            let data = dataset(Scale::Smoke);
-            write_report(
-                "BENCH_CRYPTO.json",
-                &crypto_section(&data, reps, &full_crypto_scale),
-            );
-        }
-        "pr3" => {
-            let data = dataset(Scale::Smoke);
-            write_report(
-                "BENCH_PR3.json",
-                &pr3_section(&data, reps, &full_crypto_scale, None),
-            );
-        }
-        "pr4" => {
-            let data = dataset(Scale::Smoke);
-            write_report("BENCH_PR4.json", &pr4_section(&data, reps, 3));
-        }
-        "pr5" => {
-            let data = dataset(Scale::Smoke);
-            write_report("BENCH_PR5.json", &pr5_section(&data, reps, 3));
-        }
-        "pr6" => {
-            let data = dataset(Scale::Smoke);
-            write_report("BENCH_PR6.json", &pr6_section(&data, reps, 3));
-        }
-        "pr7" => {
-            let data = dataset(Scale::Smoke);
-            write_report("BENCH_PR7.json", &pr7_section(&data, 10_000, 2, 128));
-        }
-        "pr8" => {
-            let data = dataset(Scale::Smoke);
-            write_report(
-                "BENCH_PR8.json",
-                &pr8_section(&data, reps, 2, 1_000, 200_000),
-            );
-        }
-        "smoke" => {
-            // Seconds-scale end-to-end exercise of every engine for CI:
-            // catches perf-harness breakage, not regressions.
-            let data = dataset(Scale::Smoke);
-            let scale = CryptoScale {
-                modulus_bits: 256,
-                sign_messages: 2,
-                verify_messages: 4,
-                pow_nonces: 20_000,
-                fullbfl_rounds: 2,
-                reference_keygen_reps: 1,
-            };
-            let ml = ml_section(&data, reps);
-            let crypto = crypto_section(&data, reps, &scale);
-            let pr3 = pr3_section(&data, reps, &scale, Some(&crypto));
-            let pr4 = pr4_section(&data, reps, 2);
-            let pr5 = pr5_section(&data, reps, 2);
-            let pr6 = pr6_section(&data, reps, 2);
-            // The 1M-client rung rides along at reduced participants and
-            // rounds; the flatness assertion inside the section still
-            // fires, so CI catches any O(population) regression.
-            let pr7 = pr7_section(&data, 256, 1, 64);
-            // The PR 8 cell at reduced scale: the bit-identity asserts
-            // (batched verdicts, pop order, per-thread-count cells) all
-            // still fire, so CI catches determinism regressions cheaply.
-            let pr8 = pr8_section(&data, reps, 2, 96, 20_000);
-            let report = SmokeReport {
-                description: "CI smoke run at reduced scale; not a tracked measurement".to_string(),
-                ml,
-                crypto,
-                pr3,
-                pr4,
-                pr5,
-                pr6,
-                pr7,
-                pr8,
-            };
-            write_report("BENCH_SMOKE.json", &report);
-        }
-        "all" => {
-            let ml_data = dataset(Scale::Medium);
-            let ml = ml_section(&ml_data, reps);
-            let crypto_data = dataset(Scale::Smoke);
-            let crypto = crypto_section(&crypto_data, reps, &full_crypto_scale);
-            let pr3 = pr3_section(&crypto_data, reps, &full_crypto_scale, Some(&crypto));
-            let pr4 = pr4_section(&crypto_data, reps, 3);
-            let pr5 = pr5_section(&crypto_data, reps, 3);
-            let pr6 = pr6_section(&crypto_data, reps, 3);
-            let pr7 = pr7_section(&crypto_data, 10_000, 2, 128);
-            let pr8 = pr8_section(&crypto_data, reps, 2, 1_000, 200_000);
-            write_report("BENCH_PR1.json", &ml);
-            write_report("BENCH_CRYPTO.json", &crypto);
-            write_report("BENCH_PR3.json", &pr3);
-            write_report("BENCH_PR4.json", &pr4);
-            write_report("BENCH_PR5.json", &pr5);
-            write_report("BENCH_PR6.json", &pr6);
-            write_report("BENCH_PR7.json", &pr7);
-            write_report("BENCH_PR8.json", &pr8);
-        }
-        other => {
-            // A typo must not silently regenerate the tracked reports.
-            eprintln!(
-                "unknown section `{other}`; usage: throughput [reps] [all|ml|crypto|pr3|pr4|pr5|pr6|pr7|pr8|smoke]"
-            );
-            std::process::exit(2);
-        }
-    }
+    let scale = &full_crypto_scale;
+    let mut registry = SectionRegistry::new("throughput");
+    registry.register("all", move || {
+        let ml_data = dataset(Scale::Medium);
+        let ml = ml_section(&ml_data, reps);
+        let crypto_data = dataset(Scale::Smoke);
+        let crypto = crypto_section(&crypto_data, reps, scale);
+        let pr3 = pr3_section(&crypto_data, reps, scale, Some(&crypto));
+        let pr4 = pr4_section(&crypto_data, reps, 3);
+        let pr5 = pr5_section(&crypto_data, reps, 3);
+        let pr6 = pr6_section(&crypto_data, reps, 3);
+        let pr7 = pr7_section(&crypto_data, 10_000, 2, 128);
+        let pr8 = pr8_section(&crypto_data, reps, 2, 1_000, 200_000);
+        write_report("BENCH_PR1.json", &ml);
+        write_report("BENCH_CRYPTO.json", &crypto);
+        write_report("BENCH_PR3.json", &pr3);
+        write_report("BENCH_PR4.json", &pr4);
+        write_report("BENCH_PR5.json", &pr5);
+        write_report("BENCH_PR6.json", &pr6);
+        write_report("BENCH_PR7.json", &pr7);
+        write_report("BENCH_PR8.json", &pr8);
+    });
+    registry.register("ml", move || {
+        let data = dataset(Scale::Medium);
+        write_report("BENCH_PR1.json", &ml_section(&data, reps));
+    });
+    registry.register("crypto", move || {
+        let data = dataset(Scale::Smoke);
+        write_report("BENCH_CRYPTO.json", &crypto_section(&data, reps, scale));
+    });
+    registry.register("pr3", move || {
+        let data = dataset(Scale::Smoke);
+        write_report("BENCH_PR3.json", &pr3_section(&data, reps, scale, None));
+    });
+    registry.register("pr4", move || {
+        let data = dataset(Scale::Smoke);
+        write_report("BENCH_PR4.json", &pr4_section(&data, reps, 3));
+    });
+    registry.register("pr5", move || {
+        let data = dataset(Scale::Smoke);
+        write_report("BENCH_PR5.json", &pr5_section(&data, reps, 3));
+    });
+    registry.register("pr6", move || {
+        let data = dataset(Scale::Smoke);
+        write_report("BENCH_PR6.json", &pr6_section(&data, reps, 3));
+    });
+    registry.register("pr7", move || {
+        let data = dataset(Scale::Smoke);
+        write_report("BENCH_PR7.json", &pr7_section(&data, 10_000, 2, 128));
+    });
+    registry.register("pr8", move || {
+        let data = dataset(Scale::Smoke);
+        write_report(
+            "BENCH_PR8.json",
+            &pr8_section(&data, reps, 2, 1_000, 200_000),
+        );
+    });
+    registry.register("smoke", move || {
+        // Seconds-scale end-to-end exercise of every engine for CI:
+        // catches perf-harness breakage, not regressions.
+        let data = dataset(Scale::Smoke);
+        let scale = CryptoScale {
+            modulus_bits: 256,
+            sign_messages: 2,
+            verify_messages: 4,
+            pow_nonces: 20_000,
+            fullbfl_rounds: 2,
+            reference_keygen_reps: 1,
+        };
+        let ml = ml_section(&data, reps);
+        let crypto = crypto_section(&data, reps, &scale);
+        let pr3 = pr3_section(&data, reps, &scale, Some(&crypto));
+        let pr4 = pr4_section(&data, reps, 2);
+        let pr5 = pr5_section(&data, reps, 2);
+        let pr6 = pr6_section(&data, reps, 2);
+        // The 1M-client rung rides along at reduced participants and
+        // rounds; the flatness assertion inside the section still
+        // fires, so CI catches any O(population) regression.
+        let pr7 = pr7_section(&data, 256, 1, 64);
+        // The PR 8 cell at reduced scale: the bit-identity asserts
+        // (batched verdicts, pop order, per-thread-count cells) all
+        // still fire, so CI catches determinism regressions cheaply.
+        let pr8 = pr8_section(&data, reps, 2, 96, 20_000);
+        let report = SmokeReport {
+            description: "CI smoke run at reduced scale; not a tracked measurement".to_string(),
+            ml,
+            crypto,
+            pr3,
+            pr4,
+            pr5,
+            pr6,
+            pr7,
+            pr8,
+        };
+        write_report("BENCH_SMOKE.json", &report);
+    });
+    registry.run(&args.section);
 }

@@ -7,7 +7,9 @@
 //! evaluation section; [`report`] renders the results as the markdown
 //! tables recorded in EXPERIMENTS.md; [`alloc`] provides the counting
 //! global allocator the population-scale bench uses to record per-cell
-//! heap high-water marks.
+//! heap high-water marks; [`section`] holds the timing loop, report
+//! writer, and section registry the measurement binaries (and the
+//! `bflharness` experiment runner) share.
 //!
 //! Each figure/table has a dedicated binary (`fig4`, `fig5`, `fig6`,
 //! `fig7`, `table2`, `all_experiments`) accepting a `--scale
@@ -19,6 +21,8 @@
 pub mod alloc;
 pub mod experiments;
 pub mod report;
+pub mod section;
 
 pub use alloc::CountingAllocator;
 pub use experiments::{Scale, SystemLabel};
+pub use section::{best_seconds, parse_bench_args, rate, write_report, SectionRegistry};

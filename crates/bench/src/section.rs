@@ -1,0 +1,196 @@
+//! Shared bench-driver scaffolding: the timing loop, the report writer,
+//! and the section registry.
+//!
+//! Every measurement binary in this workspace (`throughput`, the figure
+//! binaries, the `bflharness` experiment runner) needs the same three
+//! pieces of plumbing: a best-of-N wall-clock loop that resists
+//! scheduling noise on shared machines, a "serialize + write + echo"
+//! report sink, and a name → section dispatcher whose unknown-section
+//! path refuses to silently regenerate tracked reports. They used to be
+//! copied into each binary; this module is the single home.
+
+use serde::Serialize;
+use std::time::Instant;
+
+/// Runs `body` once warm-up, then `reps` individually timed repetitions;
+/// returns the best-repetition rate in work-units per second. Best-of
+/// is deliberate: the machines this runs on are shared, and the fastest
+/// repetition is the least contaminated by scheduling noise.
+pub fn rate(units: f64, reps: usize, mut body: impl FnMut()) -> f64 {
+    body();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        body();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    units / best
+}
+
+/// Like [`rate`] but returns the best wall-clock seconds directly.
+pub fn best_seconds(reps: usize, mut body: impl FnMut()) -> f64 {
+    body();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        body();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Serializes `report` as pretty JSON, writes it to `path` (with a
+/// trailing newline), echoes the JSON to stdout and the path to stderr —
+/// the contract every tracked `BENCH_*.json` is produced under.
+pub fn write_report<T: Serialize + ?Sized>(path: &str, report: &T) {
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| panic!("{path} written: {e}"));
+    println!("{json}");
+    eprintln!("wrote {path}");
+}
+
+/// Command-line shape shared by the bench drivers: any numeric argument
+/// is the repetition count, any other argument selects the section.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Best-of repetition count (≥ 1).
+    pub reps: usize,
+    /// The selected section name.
+    pub section: String,
+}
+
+/// Parses `args` under the shared convention. `default_section` is used
+/// when no section argument is present; `default_reps` when no numeric
+/// argument is.
+pub fn parse_bench_args(
+    args: impl IntoIterator<Item = String>,
+    default_reps: usize,
+    default_section: &str,
+) -> BenchArgs {
+    let mut parsed = BenchArgs {
+        reps: default_reps.max(1),
+        section: default_section.to_string(),
+    };
+    for arg in args {
+        if let Ok(n) = arg.parse::<usize>() {
+            parsed.reps = n.max(1);
+        } else {
+            parsed.section = arg;
+        }
+    }
+    parsed
+}
+
+/// A registered section body, boxed so heterogeneous closures share a
+/// shelf.
+type SectionBody<'a> = Box<dyn FnOnce() + 'a>;
+
+/// A name → section dispatcher for measurement binaries.
+///
+/// Sections register in display order; [`run`](Self::run) executes the
+/// named one. An unknown name prints a usage line listing every
+/// registered section and exits with status 2 — a typo must not
+/// silently regenerate the tracked reports.
+pub struct SectionRegistry<'a> {
+    binary: &'a str,
+    sections: Vec<(&'a str, SectionBody<'a>)>,
+}
+
+impl<'a> SectionRegistry<'a> {
+    /// Creates an empty registry for the binary named `binary` (shown in
+    /// the usage line).
+    pub fn new(binary: &'a str) -> Self {
+        SectionRegistry {
+            binary,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Registers `section` under `name`, panicking on a duplicate name
+    /// (a registry bug, not a user error).
+    pub fn register(&mut self, name: &'a str, section: impl FnOnce() + 'a) {
+        assert!(
+            self.sections.iter().all(|(n, _)| *n != name),
+            "duplicate bench section `{name}`"
+        );
+        self.sections.push((name, Box::new(section)));
+    }
+
+    /// The registered section names, in registration order.
+    pub fn names(&self) -> Vec<&'a str> {
+        self.sections.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Runs the section registered under `name`; on an unknown name,
+    /// prints usage to stderr and exits with status 2.
+    pub fn run(mut self, name: &str) {
+        match self.sections.iter().position(|(n, _)| *n == name) {
+            Some(index) => (self.sections.swap_remove(index).1)(),
+            None => {
+                eprintln!(
+                    "unknown section `{name}`; usage: {} [reps] [{}]",
+                    self.binary,
+                    self.names().join("|")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn rate_and_best_seconds_measure_positive_time() {
+        let r = rate(100.0, 2, || {
+            std::hint::black_box((0..500).sum::<u64>());
+        });
+        assert!(r.is_finite() && r > 0.0);
+        let s = best_seconds(2, || {
+            std::hint::black_box((0..500).sum::<u64>());
+        });
+        assert!(s.is_finite() && s >= 0.0);
+    }
+
+    #[test]
+    fn rate_runs_warmup_plus_reps() {
+        let calls = Cell::new(0usize);
+        let _ = rate(1.0, 3, || calls.set(calls.get() + 1));
+        assert_eq!(calls.get(), 4);
+    }
+
+    #[test]
+    fn args_parse_reps_and_section_in_any_order() {
+        let a = parse_bench_args(["5".to_string(), "smoke".to_string()], 3, "all");
+        assert_eq!((a.reps, a.section.as_str()), (5, "smoke"));
+        let b = parse_bench_args(["smoke".to_string(), "5".to_string()], 3, "all");
+        assert_eq!((b.reps, b.section.as_str()), (5, "smoke"));
+        let c = parse_bench_args(std::iter::empty(), 3, "all");
+        assert_eq!((c.reps, c.section.as_str()), (3, "all"));
+        // Zero reps clamps to one: every section times at least once.
+        let d = parse_bench_args(["0".to_string()], 3, "all");
+        assert_eq!(d.reps, 1);
+    }
+
+    #[test]
+    fn registry_dispatches_the_named_section_only() {
+        let hits = Cell::new((0usize, 0usize));
+        let mut registry = SectionRegistry::new("test");
+        registry.register("a", || hits.set((hits.get().0 + 1, hits.get().1)));
+        registry.register("b", || hits.set((hits.get().0, hits.get().1 + 1)));
+        assert_eq!(registry.names(), vec!["a", "b"]);
+        registry.run("b");
+        assert_eq!(hits.get(), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate bench section")]
+    fn registry_rejects_duplicate_names() {
+        let mut registry = SectionRegistry::new("test");
+        registry.register("a", || {});
+        registry.register("a", || {});
+    }
+}

@@ -20,7 +20,7 @@ use crate::policy::{ProportionalReward, RewardPolicy};
 use crate::population::{sample_population, ClientPool, ImplicitSpec};
 use crate::procedures::global_update::GlobalUpdatePolicy;
 use crate::procedures::{exchange, global_update, local_update, mining, upload};
-use crate::simulation::{RoundOutcome, SimulationResult};
+use crate::simulation::{KpiRow, RoundOutcome, SimulationResult};
 use bfl_chain::consensus::RoundConsensus;
 use bfl_chain::mempool::Mempool;
 use bfl_chain::miner::Miner;
@@ -712,6 +712,10 @@ impl<'a> LearningState<'a> {
             rewards_paid_milli: rewards_paid,
             rewards: global.report.rewards,
             block_hash,
+            kpi: KpiRow {
+                makespan_s: breakdown.total(),
+                ..KpiRow::default()
+            },
         };
         Ok((outcome, self.clock.now_seconds(), Some(detection_row)))
     }
@@ -778,6 +782,10 @@ impl ChainOnlyState {
             rewards_paid_milli: 0,
             rewards: Vec::new(),
             block_hash: Some(self.consensus.canonical_chain().tip().hash_hex()),
+            kpi: KpiRow {
+                makespan_s: breakdown.total(),
+                ..KpiRow::default()
+            },
         };
         Ok((outcome, self.clock.now_seconds(), None))
     }

@@ -93,7 +93,7 @@ use crate::procedures::local_update;
 use crate::procedures::mining;
 use crate::procedures::upload::VerifiedUpload;
 use crate::reward::RewardEntry;
-use crate::simulation::RoundOutcome;
+use crate::simulation::{KpiRow, RoundOutcome};
 use bfl_chain::consensus::RoundConsensus;
 use bfl_chain::mempool::Mempool;
 use bfl_chain::Transaction;
@@ -310,6 +310,13 @@ pub(crate) struct AsyncRuntime {
     /// Decisions are identical to per-upload `verify`, so the cache is
     /// invisible to replay determinism.
     verifier: BatchVerifier,
+    /// Stale uploads discarded since the last KPI reset (one round,
+    /// spanning `EmptyRound` retries).
+    kpi_stale_discarded: usize,
+    /// Uploads lost to drop/partition faults since the last KPI reset.
+    kpi_dropped: usize,
+    /// Retransmissions scheduled since the last KPI reset.
+    kpi_retried: usize,
 }
 
 impl AsyncRuntime {
@@ -331,7 +338,20 @@ impl AsyncRuntime {
             crash_purged: false,
             crash_resynced: false,
             verifier: BatchVerifier::new(),
+            kpi_stale_discarded: 0,
+            kpi_dropped: 0,
+            kpi_retried: 0,
         }
+    }
+
+    /// Zeroes the per-round KPI counters. Called once per round, before
+    /// the first sealing attempt, so counts accumulate across
+    /// `EmptyRound` fast-forward retries — matching the trace, which
+    /// also keeps every attempt's records.
+    fn reset_kpi_counters(&mut self) {
+        self.kpi_stale_discarded = 0;
+        self.kpi_dropped = 0;
+        self.kpi_retried = 0;
     }
 
     pub(crate) fn trace(&self) -> &[EventRecord] {
@@ -346,6 +366,12 @@ impl AsyncRuntime {
         client_id: u64,
         kind: EventKind,
     ) {
+        match kind {
+            EventKind::StaleDiscarded => self.kpi_stale_discarded += 1,
+            EventKind::UploadLost | EventKind::UploadDropped => self.kpi_dropped += 1,
+            EventKind::UploadRetried => self.kpi_retried += 1,
+            _ => {}
+        }
         self.trace.push(EventRecord {
             time_s,
             round,
@@ -370,6 +396,7 @@ pub(crate) fn step_flexible(
         .async_rt
         .take()
         .expect("flexible-quota runs hold an async runtime");
+    rt.reset_kpi_counters();
     let mut result = step_flexible_inner(state, &mut rt, config, reward_policy, round, quota);
     // A heavily churning population can produce an attempt whose every
     // possible arrival was lost or discarded (e.g. all free clients
@@ -991,6 +1018,12 @@ fn step_flexible_inner(
         rt.record(expired, round, round, u64::MAX, EventKind::DeadlineSealed);
     }
 
+    // KPI snapshot, taken before sealing drains the buffer: how many
+    // uploads were pending at the instant the quota (or deadline) fired.
+    // The streaming path reports its un-flushed tail, which is the whole
+    // buffer it keeps.
+    let mempool_depth_at_seal = rt.arrived.len();
+
     // Procedure-IV at the quota's simulated time, under the scenario's
     // anchor and reward policies. The materialized path assembles the
     // round's full gradient set and runs `compute_global_update` exactly
@@ -1201,6 +1234,14 @@ fn step_flexible_inner(
         rewards_paid_milli: rewards_paid,
         rewards: sealed.rewards,
         block_hash,
+        kpi: KpiRow {
+            makespan_s: breakdown.total(),
+            mempool_depth_at_seal,
+            stale_included: sealed.stale_included,
+            stale_discarded: rt.kpi_stale_discarded,
+            dropped_uploads: rt.kpi_dropped,
+            retried_uploads: rt.kpi_retried,
+        },
     };
     Ok((outcome, state.clock.now_seconds(), Some(detection_row)))
 }

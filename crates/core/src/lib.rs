@@ -79,9 +79,9 @@ pub use policy::{
     AggregationAnchor, ObserverControl, ProportionalReward, ReorgPolicy, RetryPolicy, RewardPolicy,
     RoundEvent, RoundObserver, StalenessPolicy,
 };
-pub use reward::RewardEntry;
+pub use reward::{gini, RewardEntry};
 pub use scenario::{Scenario, ScenarioBuilder};
-pub use simulation::{BflSimulation, RoundOutcome, SimulationResult};
+pub use simulation::{BflSimulation, KpiRow, RoundOutcome, SimulationResult};
 pub use strategy::LowContributionStrategy;
 pub use sweep::{SweepCell, SweepPoint, SweepRunner};
 pub use theory::TheoremParams;

@@ -52,6 +52,46 @@ pub fn build_reward_list(scores: &[(u64, f64)], base: f64) -> Vec<RewardEntry> {
         .collect()
 }
 
+/// Gini coefficient of a reward ledger, computed exactly over the integer
+/// milli-unit amounts.
+///
+/// Uses the rank formulation over the ascending-sorted amounts `x_(1) ≤ …
+/// ≤ x_(n)`:
+///
+/// ```text
+/// G = (2 · Σ_i i·x_(i) − (n + 1) · Σ_i x_(i)) / (n · Σ_i x_(i))
+/// ```
+///
+/// All sums are accumulated in `u128`, so the only floating-point step is
+/// the final division — two ledgers with the same multiset of amounts
+/// always produce the bit-identical coefficient, which the harness's
+/// shard-merge byte-identity relies on. Degenerate ledgers (empty, a
+/// single holder, or an all-zero total) have no dispersion to measure and
+/// return `0.0`.
+pub fn gini(rewards: &[u64]) -> f64 {
+    let n = rewards.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    let mut sorted = rewards.to_vec();
+    sorted.sort_unstable();
+    let total: u128 = sorted.iter().map(|&x| u128::from(x)).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // Σ i·x_(i) with 1-based ranks; fits u128 for any realistic ledger
+    // (amounts are u64, ranks are usize).
+    let weighted: u128 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as u128 + 1) * u128::from(x))
+        .sum();
+    // Chebyshev's sum inequality guarantees 2·Σ i·x_(i) ≥ (n+1)·Σ x_(i)
+    // for ascending x, so the numerator never underflows.
+    let numerator = 2 * weighted - (n as u128 + 1) * total;
+    numerator as f64 / (n as u128 * total) as f64
+}
+
 /// Converts a reward list into ledger transactions submitted by `miner_id`
 /// for `round`.
 pub fn reward_transactions(rewards: &[RewardEntry], miner_id: u64, round: u64) -> Vec<Transaction> {
@@ -64,6 +104,7 @@ pub fn reward_transactions(rewards: &[RewardEntry], miner_id: u64, round: u64) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn empty_scores_give_empty_list() {
@@ -123,6 +164,56 @@ mod tests {
                 }
                 other => panic!("unexpected kind {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn gini_degenerate_ledgers_are_zero() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[42]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn gini_equal_ledger_is_zero() {
+        assert_eq!(gini(&[5, 5, 5, 5]), 0.0);
+    }
+
+    #[test]
+    fn gini_matches_hand_computed_values() {
+        // One holder owns everything among n: G = (n-1)/n.
+        assert!((gini(&[0, 0, 0, 100]) - 0.75).abs() < 1e-15);
+        // [1, 2, 3]: Σx = 6, Σ i·x = 1 + 4 + 9 = 14, G = (28 - 24) / 18.
+        assert!((gini(&[1, 2, 3]) - 4.0 / 18.0).abs() < 1e-15);
+        // Order must not matter.
+        assert_eq!(gini(&[3, 1, 2]), gini(&[1, 2, 3]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn gini_is_bounded(amounts in proptest::collection::vec(0u64..1_000_000, 0..32)) {
+            let g = gini(&amounts);
+            prop_assert!((0.0..1.0).contains(&g) || g == 0.0, "gini {g} out of [0, 1)");
+        }
+
+        #[test]
+        fn gini_is_permutation_invariant(amounts in proptest::collection::vec(0u64..1_000_000, 2..16)) {
+            let mut reversed = amounts.clone();
+            reversed.reverse();
+            let mut rotated = amounts.clone();
+            rotated.rotate_left(1);
+            prop_assert_eq!(gini(&amounts), gini(&reversed));
+            prop_assert_eq!(gini(&amounts), gini(&rotated));
+        }
+
+        #[test]
+        fn gini_is_scale_invariant(amounts in proptest::collection::vec(0u64..1_000_000, 2..16), k in 1u64..1000) {
+            let scaled: Vec<u64> = amounts.iter().map(|&x| x * k).collect();
+            let base = gini(&amounts);
+            let after = gini(&scaled);
+            prop_assert!((base - after).abs() < 1e-12, "{base} vs {after}");
         }
     }
 }

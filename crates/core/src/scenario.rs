@@ -119,6 +119,8 @@ impl Scenario {
                 } else {
                     None
                 },
+                kpi: outcome.kpi,
+                reward_totals: run.reward_totals(),
                 outcome: &outcome,
             };
             if observer.on_round(&event) == ObserverControl::Stop {

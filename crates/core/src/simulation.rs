@@ -18,7 +18,36 @@ use crate::scenario::Scenario;
 use bfl_chain::Blockchain;
 use bfl_data::Dataset;
 use bfl_fl::history::RunHistory;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// The per-round key performance indicators observers and the experiment
+/// harness consume directly, without re-deriving them from the event
+/// trace.
+///
+/// Every engine fills the row: the synchronous and chain-only engines
+/// report the round makespan with all event-driven counters at zero
+/// (nothing queues, goes stale, or retries there), while the flexible
+/// event engine additionally snapshots its mempool and the fault/staleness
+/// counters accumulated since the previous seal.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct KpiRow {
+    /// Simulated wall-clock of the round, in seconds (the delay
+    /// breakdown's total).
+    pub makespan_s: f64,
+    /// Uploads sitting in the runtime's arrival buffer at the moment the
+    /// round sealed (0 outside the event engine).
+    pub mempool_depth_at_seal: usize,
+    /// Stale uploads the staleness policy carried into this round's block.
+    pub stale_included: usize,
+    /// Stale uploads discarded this round.
+    pub stale_discarded: usize,
+    /// Uploads lost to the fault plan's drop/partition decisions this
+    /// round.
+    pub dropped_uploads: usize,
+    /// Upload retransmissions scheduled by the retry policy this round.
+    pub retried_uploads: usize,
+}
 
 /// Everything recorded about one communication round.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +79,9 @@ pub struct RoundOutcome {
     pub rewards: Vec<RewardEntry>,
     /// Hash of the block sealed this round (when mining is active).
     pub block_hash: Option<String>,
+    /// The round's KPI row (makespan, mempool depth, stale/drop/retry
+    /// counters), typed so observers don't re-derive it from the trace.
+    pub kpi: KpiRow,
 }
 
 /// The complete result of a simulation run.

@@ -1,0 +1,38 @@
+//! # bfl-harness
+//!
+//! Manifest-driven experiment fleets for the FAIR-BFL reproduction.
+//!
+//! A JSON [`manifest`](manifest::Manifest) names a base scenario, a grid
+//! of override axes (cross-producting into labelled cells), and a seed
+//! fleet. The [`runner`] expands cells × seeds into a canonical job
+//! list, fans it across cores with the same order-stable schedule the
+//! core `SweepRunner` uses, and streams per-round KPI rows through the
+//! [`bfl_core::RoundObserver`] seam into per-seed CSV/JSON series plus a
+//! cross-seed `summary.json` ([`stats::Stats`] per KPI per cell).
+//!
+//! Fleets also shard across *processes* with zero coordination: shard
+//! `i` of `N` owns every job whose global index is `≡ i (mod N)`, and
+//! [`merge`] folds the shard outputs into a summary byte-identical to
+//! the one an unsharded run writes — the statistics are computed by one
+//! shared function over values that round-trip through JSON bit-exactly,
+//! in an order fixed by the manifest rather than by execution.
+//!
+//! The `bflharness` binary is the CLI: `bflharness run --manifest m.json
+//! --out dir/ [--shard i/N] [--threads T]` and `bflharness merge
+//! <dirs...> --out dir/`. Exemplar manifests live in `scenarios/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod manifest;
+pub mod merge;
+pub mod runner;
+pub mod stats;
+
+pub use manifest::{CellSpec, DatasetSpec, Manifest, ManifestError};
+pub use merge::merge_shards;
+pub use runner::{
+    run_fleet, summarize, write_outputs, FinalMetrics, FleetFile, HarnessError, RoundRow,
+    RunRecord, RunSidecar, Shard, Summary,
+};
+pub use stats::Stats;

@@ -1,0 +1,113 @@
+//! Folding shard outputs back into one fleet summary.
+//!
+//! `bflharness merge shard0/ shard1/ --out merged/` proves the inputs
+//! are shards of the *same* fleet (their `fleet.json` files must be
+//! byte-identical — the runner writes that file shard-free for exactly
+//! this purpose), checks the union of their per-run sidecars covers
+//! every cell × seed exactly once, and recomputes `summary.json` with
+//! the same statistics code the unsharded runner uses. Because the
+//! final metrics round-trip through JSON bit-exactly and the summary
+//! consumes them in canonical order, the merged summary is
+//! byte-identical to the one an unsharded run would have written.
+
+use crate::runner::{
+    cell_dir, summarize, to_pretty_json, write_text, FleetFile, HarnessError, RunSidecar, Summary,
+};
+use serde::Deserialize;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn read_text(path: &Path) -> Result<String, HarnessError> {
+    std::fs::read_to_string(path).map_err(|e| HarnessError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn parse_json<T: Deserialize>(text: &str, path: &Path) -> Result<T, HarnessError> {
+    serde_json::from_str(text)
+        .map_err(|e| HarnessError::Merge(format!("`{}`: {e}", path.display())))
+}
+
+/// Sidecars of a collected shard set, keyed by `(cell_index, seed)`.
+pub type SidecarMap = BTreeMap<(usize, u64), RunSidecar>;
+
+/// Reads every shard directory, verifies fleet identity and coverage,
+/// and returns the fleet file (typed and as its raw bytes) plus the
+/// sidecars keyed by `(cell_index, seed)`.
+pub fn collect_shards(inputs: &[&Path]) -> Result<(FleetFile, String, SidecarMap), HarnessError> {
+    if inputs.is_empty() {
+        return Err(HarnessError::Merge("no input directories".to_string()));
+    }
+
+    let first_fleet_path = inputs[0].join("fleet.json");
+    let fleet_text = read_text(&first_fleet_path)?;
+    let fleet: FleetFile = parse_json(&fleet_text, &first_fleet_path)?;
+    for input in &inputs[1..] {
+        let path = input.join("fleet.json");
+        let text = read_text(&path)?;
+        if text != fleet_text {
+            return Err(HarnessError::Merge(format!(
+                "`{}` describes a different fleet than `{}`",
+                path.display(),
+                first_fleet_path.display()
+            )));
+        }
+    }
+
+    let mut sidecars: SidecarMap = BTreeMap::new();
+    for input in inputs {
+        for (cell_index, label) in fleet.cells.iter().enumerate() {
+            let dir = cell_dir(input, cell_index, label);
+            for &seed in &fleet.seeds {
+                let path = dir.join(format!("seed_{seed}.json"));
+                if !path.exists() {
+                    continue;
+                }
+                let sidecar: RunSidecar = parse_json(&read_text(&path)?, &path)?;
+                if sidecar.cell_index != cell_index || sidecar.seed != seed {
+                    return Err(HarnessError::Merge(format!(
+                        "`{}` claims cell {} seed {} but sits at cell {} seed {}",
+                        path.display(),
+                        sidecar.cell_index,
+                        sidecar.seed,
+                        cell_index,
+                        seed
+                    )));
+                }
+                if sidecars.insert((cell_index, seed), sidecar).is_some() {
+                    return Err(HarnessError::Merge(format!(
+                        "cell {cell_index} seed {seed} appears in more than one input"
+                    )));
+                }
+            }
+        }
+    }
+
+    for (cell_index, _) in fleet.cells.iter().enumerate() {
+        for &seed in &fleet.seeds {
+            if !sidecars.contains_key(&(cell_index, seed)) {
+                return Err(HarnessError::Merge(format!(
+                    "cell {cell_index} seed {seed} is missing from every input \
+                     (incomplete shard set?)"
+                )));
+            }
+        }
+    }
+
+    Ok((fleet, fleet_text, sidecars))
+}
+
+/// Merges shard directories into `out`: writes the shared `fleet.json`
+/// and the recomputed `summary.json`.
+pub fn merge_shards(inputs: &[&Path], out: &Path) -> Result<Summary, HarnessError> {
+    let (fleet, fleet_text, sidecars) = collect_shards(inputs)?;
+
+    let summary = summarize(&fleet, &|cell_index, seed| {
+        sidecars[&(cell_index, seed)].finals
+    });
+
+    write_text(&out.join("fleet.json"), &fleet_text)?;
+    write_text(&out.join("summary.json"), &to_pretty_json(&summary))?;
+    Ok(summary)
+}

@@ -1,0 +1,117 @@
+//! Cross-seed descriptive statistics for fleet summaries.
+//!
+//! Every derived quantity is a pure function of the input sample in a
+//! fixed order, so a summary recomputed from merged shard outputs is
+//! bit-identical to the unsharded one: the vendored JSON writer prints
+//! `f64` with shortest round-trip formatting, making byte equality of
+//! `summary.json` exactly float bit equality of these statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of one KPI across the seed fleet of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0.0 when n ≤ 1).
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// 5th percentile (linear interpolation).
+    pub p5: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile (linear interpolation).
+    pub p95: f64,
+}
+
+impl Stats {
+    /// Computes the statistics of a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or a NaN observation — both indicate a
+    /// harness bug, not a user error.
+    pub fn from_sample(values: &[f64]) -> Stats {
+        assert!(!values.is_empty(), "stats of an empty sample");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "stats of a NaN-bearing sample"
+        );
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let stddev = if values.len() <= 1 {
+            0.0
+        } else {
+            let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+            (ss / (n - 1.0)).sqrt()
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Stats {
+            mean,
+            stddev,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p5: percentile(&sorted, 0.05),
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+        }
+    }
+}
+
+/// Linear-interpolation percentile of an ascending-sorted sample
+/// (the "R-7" definition spreadsheets use).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = q * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_observation_collapses_everything() {
+        let s = Stats::from_sample(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!((s.min, s.max), (3.5, 3.5));
+        assert_eq!((s.p5, s.p50, s.p95), (3.5, 3.5, 3.5));
+    }
+
+    #[test]
+    fn known_sample_matches_hand_computation() {
+        let s = Stats::from_sample(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.p50, 4.5);
+        // p95: rank 0.95 * 7 = 6.65 → between 7.0 and 9.0.
+        assert!((s.p95 - (7.0 + 0.65 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_of_input_does_not_change_sorted_statistics() {
+        let a = Stats::from_sample(&[1.0, 2.0, 3.0, 4.0]);
+        let b = Stats::from_sample(&[4.0, 2.0, 1.0, 3.0]);
+        assert_eq!(
+            (a.min, a.max, a.p5, a.p50, a.p95),
+            (b.min, b.max, b.p5, b.p50, b.p95)
+        );
+    }
+}

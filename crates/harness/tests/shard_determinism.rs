@@ -1,0 +1,140 @@
+//! Property: for a random manifest, the union of `--shard i/N` outputs
+//! merges to a `summary.json` byte-identical to the unsharded run's —
+//! at every thread count. This is the harness's core guarantee: fleets
+//! can fan across processes and cores with zero coordination and still
+//! produce one canonical artifact.
+
+use bfl_harness::{merge_shards, run_fleet, write_outputs, Manifest, Shard};
+use bfl_ml::par;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// A scratch directory that cleans up after itself.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "bfl_harness_shard_prop_{}_{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Builds a small manifest varied by the proptest inputs: one axis over
+/// the low-contribution strategy, optionally a second axis toggling fair
+/// aggregation, the event-driven engine behind `quota`, two seeds.
+fn build_manifest(rounds: usize, quota: usize, two_axes: bool, seed0: u64) -> Manifest {
+    let fair_axis = if two_axes {
+        r#",
+        {"axis": "fair", "cells": [
+            {"label": "fair", "set": {"fair_aggregation": true}},
+            {"label": "simple", "set": {"fair_aggregation": false}}
+        ]}"#
+    } else {
+        ""
+    };
+    let text = format!(
+        r#"{{
+        "name": "prop",
+        "dataset": {{"train_samples": 80, "test_samples": 30, "data_seed": 7}},
+        "base": {{
+            "clients": 4, "rounds": {rounds}, "participation_ratio": 1.0,
+            "local_epochs": 1, "batch_size": 10, "verify_signatures": false,
+            "quota": {quota}, "attack": {{"min": 1, "max": 1}}
+        }},
+        "grid": [
+            {{"axis": "strategy", "cells": [
+                {{"label": "keep", "set": {{"strategy": "keep"}}}},
+                {{"label": "discard", "set": {{"strategy": "discard"}}}}
+            ]}}{fair_axis}
+        ],
+        "seeds": [{seed0}, {}]
+    }}"#,
+        seed0 + 1
+    );
+    Manifest::from_json(&text).expect("generated manifest is valid")
+}
+
+fn read(path: PathBuf) -> String {
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn sharded_runs_merge_to_the_unsharded_summary(
+        rounds in 1..3usize,
+        quota in 0..4usize,
+        two_axes in proptest::prelude::any::<bool>(),
+        seed0 in 0..50u64,
+        shards in 2..4usize,
+    ) {
+        let manifest = build_manifest(rounds, quota, two_axes, seed0);
+        let tag = format!("{rounds}_{quota}_{two_axes}_{seed0}_{shards}");
+        let tmp = TempDir::new(&tag);
+
+        // The reference: one process, one thread.
+        let full_dir = tmp.path().join("full");
+        let records = par::with_thread_limit(1, || run_fleet(&manifest, Shard::default(), 0))
+            .expect("unsharded fleet runs");
+        write_outputs(&manifest, Shard::default(), &records, &full_dir)
+            .expect("unsharded outputs write");
+        let reference = read(full_dir.join("summary.json"));
+
+        // N shard processes, at 1 and 2 worker threads each: every
+        // combination must merge back to the reference bytes.
+        for threads in [1usize, 2] {
+            let mut shard_dirs = Vec::new();
+            for index in 0..shards {
+                let shard = Shard { index, count: shards };
+                let dir = tmp.path().join(format!("t{threads}_shard{index}"));
+                let records = par::with_thread_limit(threads, || run_fleet(&manifest, shard, 0))
+                    .expect("shard runs");
+                write_outputs(&manifest, shard, &records, &dir).expect("shard outputs write");
+                prop_assert!(
+                    !dir.join("summary.json").exists(),
+                    "a shard must not write a summary"
+                );
+                shard_dirs.push(dir);
+            }
+            let merged_dir = tmp.path().join(format!("t{threads}_merged"));
+            let refs: Vec<&Path> = shard_dirs.iter().map(PathBuf::as_path).collect();
+            merge_shards(&refs, &merged_dir).expect("shards merge");
+            let merged = read(merged_dir.join("summary.json"));
+            prop_assert_eq!(
+                &merged,
+                &reference,
+                "merged summary diverged at {} threads x {} shards",
+                threads,
+                shards
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_rejects_an_incomplete_shard_set() {
+    let manifest = build_manifest(1, 0, false, 0);
+    let tmp = TempDir::new("incomplete");
+    let shard = Shard { index: 0, count: 2 };
+    let dir = tmp.path().join("shard0");
+    let records = par::with_thread_limit(1, || run_fleet(&manifest, shard, 0)).expect("shard runs");
+    write_outputs(&manifest, shard, &records, &dir).expect("shard outputs write");
+    let err = merge_shards(&[dir.as_path()], &tmp.path().join("merged")).unwrap_err();
+    assert!(err.to_string().contains("missing"), "{err}");
+}
