@@ -10,11 +10,55 @@
 //!
 //! The counter tracks *net live bytes* (allocations minus deallocations,
 //! reallocations as a delta) and maintains the running maximum with a
-//! compare-and-swap loop. Overhead is two relaxed atomic updates per
+//! compare-and-swap loop. Overhead is a few relaxed atomic updates per
 //! allocation — invisible next to the workloads being measured.
+//!
+//! Beyond the PR 7 high-water use, the allocator also counts *allocation
+//! events* and *live blocks*, and [`CountingAllocator::snapshot`] /
+//! [`CountingAllocator::delta_since`] bracket a region with one call on
+//! each side — the steady-state round-loop test uses this to assert that
+//! a warmed-up flexible round leaves **zero net** bytes and blocks
+//! behind, and the `pr10` bench section to report allocation churn per
+//! round.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A point-in-time reading of a [`CountingAllocator`]'s counters, taken
+/// with [`CountingAllocator::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Live heap bytes at the snapshot.
+    pub live_bytes: usize,
+    /// Live heap blocks (allocations not yet freed) at the snapshot.
+    pub live_blocks: usize,
+    /// Cumulative allocation events (alloc/alloc_zeroed/realloc calls)
+    /// since process start.
+    pub allocations: usize,
+}
+
+/// The change between two [`AllocSnapshot`]s, from
+/// [`CountingAllocator::delta_since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Net live-byte growth over the bracket (negative: the region freed
+    /// more than it allocated).
+    pub net_bytes: isize,
+    /// Net live-block growth over the bracket.
+    pub net_blocks: isize,
+    /// Allocation events performed inside the bracket (churn: alloc+free
+    /// pairs count here even when the net deltas are zero).
+    pub allocations: usize,
+}
+
+impl AllocDelta {
+    /// True when the bracketed region grew the heap by nothing: every
+    /// byte and block it allocated was freed again (allocation *churn*
+    /// is allowed; *growth* is not).
+    pub fn is_net_zero(&self) -> bool {
+        self.net_bytes == 0 && self.net_blocks == 0
+    }
+}
 
 /// A [`System`]-backed allocator that tracks live bytes and their peak.
 ///
@@ -31,6 +75,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub struct CountingAllocator {
     live: AtomicUsize,
     peak: AtomicUsize,
+    blocks: AtomicUsize,
+    events: AtomicUsize,
 }
 
 impl CountingAllocator {
@@ -39,12 +85,48 @@ impl CountingAllocator {
         CountingAllocator {
             live: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
+            blocks: AtomicUsize::new(0),
+            events: AtomicUsize::new(0),
         }
     }
 
     /// Currently live heap bytes routed through this allocator.
     pub fn current_bytes(&self) -> usize {
         self.live.load(Ordering::Relaxed)
+    }
+
+    /// Currently live heap blocks (allocations not yet freed).
+    pub fn current_blocks(&self) -> usize {
+        self.blocks.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative allocation events (`alloc`, `alloc_zeroed`, and
+    /// `realloc` calls) since process start. Monotonic; deallocations do
+    /// not count.
+    pub fn allocation_count(&self) -> usize {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Reads all counters at once, for [`delta_since`](Self::delta_since)
+    /// bracketing. The three loads are not mutually atomic, so take
+    /// snapshots at points where no other thread is allocating (or accept
+    /// a few events of skew).
+    pub fn snapshot(&self) -> AllocSnapshot {
+        AllocSnapshot {
+            live_bytes: self.live.load(Ordering::Relaxed),
+            live_blocks: self.blocks.load(Ordering::Relaxed),
+            allocations: self.events.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The net heap growth and allocation churn since `start`.
+    pub fn delta_since(&self, start: &AllocSnapshot) -> AllocDelta {
+        let now = self.snapshot();
+        AllocDelta {
+            net_bytes: now.live_bytes as isize - start.live_bytes as isize,
+            net_blocks: now.live_blocks as isize - start.live_blocks as isize,
+            allocations: now.allocations.wrapping_sub(start.allocations),
+        }
     }
 
     /// High-water mark of [`current_bytes`](Self::current_bytes) since the
@@ -94,6 +176,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
         let ptr = System.alloc(layout);
         if !ptr.is_null() {
             self.add(layout.size());
+            self.blocks.fetch_add(1, Ordering::Relaxed);
+            self.events.fetch_add(1, Ordering::Relaxed);
         }
         ptr
     }
@@ -101,12 +185,15 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         self.sub(layout.size());
+        self.blocks.fetch_sub(1, Ordering::Relaxed);
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc_zeroed(layout);
         if !ptr.is_null() {
             self.add(layout.size());
+            self.blocks.fetch_add(1, Ordering::Relaxed);
+            self.events.fetch_add(1, Ordering::Relaxed);
         }
         ptr
     }
@@ -119,6 +206,9 @@ unsafe impl GlobalAlloc for CountingAllocator {
             } else {
                 self.sub(layout.size() - new_size);
             }
+            // One event, block count unchanged: the old block becomes the
+            // new one.
+            self.events.fetch_add(1, Ordering::Relaxed);
         }
         new_ptr
     }

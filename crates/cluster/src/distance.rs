@@ -17,6 +17,13 @@
 //! points keep exactly zero distance — single-linkage clustering at a
 //! zero threshold depends on this. The quadratic per-pair path is
 //! retained as [`distance_matrix_reference`] for the equivalence tests.
+//!
+//! Because everything funnels through that one Gram GEMM, this module
+//! inherits the PR 10 AVX2+FMA tier (`bfl_ml::simd`) with no code of
+//! its own: `gemm_nt` dispatches per [`bfl_ml::simd::active`], and the
+//! vector tier reproduces the scalar accumulation order bit-for-bit —
+//! so the identical-rows ⇒ zero-distance guarantee above holds
+//! unchanged under either tier (Algorithm 2's θ scoring rides on it).
 
 use bfl_ml::gradient::{cosine_distance, l2_distance};
 use bfl_ml::tensor::{matmul_transpose_b_into, Matrix};

@@ -310,6 +310,16 @@ pub(crate) struct AsyncRuntime {
     /// Decisions are identical to per-upload `verify`, so the cache is
     /// invisible to replay determinism.
     verifier: BatchVerifier,
+    /// Reusable same-timestamp batch buffers for the pump loop. Taken out
+    /// at the top of each round and handed back at the end, so the
+    /// steady-state loop reuses their capacity instead of reallocating
+    /// two fresh buffers per round.
+    due: VecDeque<ScheduledEvent<EngineEvent>>,
+    drain_buf: Vec<ScheduledEvent<EngineEvent>>,
+    /// Reusable training workspace for deferred-ticket resolution, so
+    /// streaming rounds don't build a fresh `Scratch` per admitted
+    /// upload.
+    scratch: Scratch,
     /// Stale uploads discarded since the last KPI reset (one round,
     /// spanning `EmptyRound` retries).
     kpi_stale_discarded: usize,
@@ -338,6 +348,9 @@ impl AsyncRuntime {
             crash_purged: false,
             crash_resynced: false,
             verifier: BatchVerifier::new(),
+            due: VecDeque::new(),
+            drain_buf: Vec::new(),
+            scratch: Scratch::new(),
             kpi_stale_discarded: 0,
             kpi_dropped: 0,
             kpi_retried: 0,
@@ -844,8 +857,8 @@ fn step_flexible_inner(
     // number, so batching is invisible to replay: events scheduled while a
     // batch is processed always carry larger sequence numbers and so sort
     // after the drained members even at the same timestamp.
-    let mut due: VecDeque<ScheduledEvent<EngineEvent>> = VecDeque::new();
-    let mut drain_buf: Vec<ScheduledEvent<EngineEvent>> = Vec::new();
+    let mut due = std::mem::take(&mut rt.due);
+    let mut drain_buf = std::mem::take(&mut rt.drain_buf);
     while rt.arrived.len() + fold.as_ref().map_or(0, |f| f.admitted) < target {
         let pending = rt.arrived.len() + fold.as_ref().map_or(0, |f| f.admitted);
         let next_time = due
@@ -1000,10 +1013,13 @@ fn step_flexible_inner(
         }
     }
     // Batch members the round sealed without go back into the queue at
-    // their original `(time, seq)` slots, as if never popped.
-    for event in due {
+    // their original `(time, seq)` slots, as if never popped; the drained
+    // buffers return to the runtime for the next round.
+    for event in due.drain(..) {
         rt.queue.reinsert(event);
     }
+    rt.due = due;
+    rt.drain_buf = drain_buf;
 
     if rt.arrived.len() + fold.as_ref().map_or(0, |f| f.admitted) == 0 {
         return Err(CoreError::EmptyRound { round });
@@ -1479,7 +1495,7 @@ fn send_upload(
     attempt: u32,
 ) {
     let id = update.client_id();
-    let miner = state.topology.associate_clients(&[id], &mut state.rng)[0];
+    let miner = state.topology.associate_one(&mut state.rng);
     let transfer = config.delay.gradient_bytes as f64 / config.delay.uplink.bandwidth_bytes_per_s;
     let latency = rt.profiles.get(id).uplink.sample(&mut state.rng);
     let arrival = time + latency + transfer + config.delay.upload_processing_s;
@@ -1632,7 +1648,15 @@ fn admit_upload(
             attack,
             born_seed,
             snapshot,
-        } => resolve_deferred(state, config, client_id, attack, born_seed, &snapshot),
+        } => resolve_deferred(
+            state,
+            &mut rt.scratch,
+            config,
+            client_id,
+            attack,
+            born_seed,
+            &snapshot,
+        ),
     };
     let id = update.client_id;
     let forged = update.forged;
@@ -1747,9 +1771,12 @@ fn admit_upload(
 /// Runs a deferred ticket's Procedure-I pass at admission time: the
 /// client (materialized from the pool if implicit) trains against the
 /// commissioning round's global-parameter snapshot under its designated
-/// attack and the born round's seed.
+/// attack and the born round's seed, reusing the runtime's training
+/// workspace.
+#[allow(clippy::too_many_arguments)]
 fn resolve_deferred(
     state: &mut LearningState<'_>,
+    scratch: &mut Scratch,
     config: &BflConfig,
     client_id: u64,
     attack: Option<AttackKind>,
@@ -1758,7 +1785,6 @@ fn resolve_deferred(
 ) -> LocalUpdate {
     let train = state.train;
     let local = state.local_config;
-    let mut scratch = Scratch::new();
     state.pool.client(client_id as usize).local_update_as(
         attack,
         config.fl.model,
@@ -1767,6 +1793,6 @@ fn resolve_deferred(
         &train.labels,
         &local,
         born_seed,
-        &mut scratch,
+        scratch,
     )
 }

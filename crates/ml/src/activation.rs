@@ -1,4 +1,11 @@
 //! Activation functions and their derivatives.
+//!
+//! Everything here deliberately stays scalar under the PR 10 SIMD tier
+//! ([`crate::simd`]): softmax calls libm's `exp`, whose bit patterns a
+//! hand-vectorized polynomial cannot reproduce, and the stabilizing
+//! row-max fold uses `f64::max`, whose NaN/±0 semantics differ from
+//! `vmaxpd` — either would break the tier's bit-identity contract for a
+//! cost that is a rounding error next to the GEMMs feeding it.
 
 /// Rectified linear unit applied element-wise.
 pub fn relu(x: &[f64]) -> Vec<f64> {

@@ -13,7 +13,10 @@
 //! blocks ([`par`]), with a reusable [`tensor::Scratch`] workspace keeping
 //! the hot loops allocation-free; the original per-sample implementations
 //! are retained as reference paths behind [`engine::set_reference_mode`]
-//! for equivalence tests and speedup measurements.
+//! for equivalence tests and speedup measurements. On hosts with
+//! AVX2+FMA the GEMM family additionally dispatches to a hand-written
+//! vector tier ([`simd`]) that reproduces the scalar kernels
+//! bit-for-bit (`BFL_SIMD=off` pins the scalar tier).
 //!
 //! The quantity clients upload in FAIR-BFL (the "gradient" `w^i_{r+1}` of
 //! Algorithm 1) is the *updated parameter vector* after `E` local epochs,
@@ -34,6 +37,7 @@ pub mod mlp;
 pub mod model;
 pub mod optimizer;
 pub mod par;
+pub mod simd;
 pub mod tensor;
 
 pub use gradient::GradientVector;

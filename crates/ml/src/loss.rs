@@ -1,4 +1,9 @@
 //! Loss functions.
+//!
+//! Stays scalar under the PR 10 SIMD tier ([`crate::simd`]): the
+//! cross-entropy path is one libm `ln` (plus the softmax's `exp`s) per
+//! batch row — not reproducible bit-for-bit by a vector polynomial and
+//! negligible next to the logits/gradient GEMMs that surround it.
 
 use crate::activation::softmax;
 

@@ -14,6 +14,12 @@
 //! within a few ulps (the kernels use fused multiply-add and striped
 //! reductions), so predictions can differ from the reference path only
 //! on logit ties at that scale.
+//!
+//! The logits GEMM dispatches through the PR 10 SIMD tier
+//! ([`crate::simd`]) — that is where evaluation's cycles go. The
+//! per-row argmax stays a scalar scan on purpose: it is a trivial
+//! `classes`-wide loop whose first-maximum tie-breaking a `vmaxpd`
+//! reduction would not preserve.
 
 use crate::model::{argmax, Model};
 use crate::par;

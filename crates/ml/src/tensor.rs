@@ -42,6 +42,7 @@
 //! builds one `Scratch` and reuses it for every client in its chunk.
 
 use crate::par;
+use crate::simd;
 use serde::{Deserialize, Serialize};
 
 /// A dense vector of `f64` values.
@@ -364,8 +365,8 @@ pub fn gemm_tn_indexed_overwrite(
     gemm_tn_indexed_serial(a, features, rows, c, 0, m, n);
 }
 
-/// Serial core of [`gemm_tn_indexed_overwrite`], mirroring
-/// [`gemm_tn_serial`]'s register tiling with indexed `B` rows.
+/// Serial core of [`gemm_tn_indexed_overwrite`]: the one shared
+/// [`gemm_tn_body`] register tile with indexed `B` rows.
 fn gemm_tn_indexed_serial(
     a: &[f64],
     features: &Matrix,
@@ -375,85 +376,15 @@ fn gemm_tn_indexed_serial(
     m: usize,
     n: usize,
 ) {
-    let k = rows.len();
-    let out_rows = chunk.len() / n;
-    let b_row = |kk: usize| features.row(rows[kk]);
-    let mut r = 0;
-    while r + 4 <= out_rows {
-        let base = row_start + r;
-        let sub = &mut chunk[r * n..(r + 4) * n];
-        let (c0, rest) = sub.split_at_mut(n);
-        let (c1, rest) = rest.split_at_mut(n);
-        let (c2, c3) = rest.split_at_mut(n);
-        let mut j = 0;
-        while j + LANES <= n {
-            let mut acc0 = [0.0f64; LANES];
-            let mut acc1 = [0.0f64; LANES];
-            let mut acc2 = [0.0f64; LANES];
-            let mut acc3 = [0.0f64; LANES];
-            for kk in 0..k {
-                let bv: &[f64; LANES] = b_row(kk)[j..j + LANES].try_into().unwrap();
-                let a_col = &a[kk * m + base..kk * m + base + 4];
-                for l in 0..LANES {
-                    acc0[l] = a_col[0].mul_add(bv[l], acc0[l]);
-                    acc1[l] = a_col[1].mul_add(bv[l], acc1[l]);
-                    acc2[l] = a_col[2].mul_add(bv[l], acc2[l]);
-                    acc3[l] = a_col[3].mul_add(bv[l], acc3[l]);
-                }
-            }
-            c0[j..j + LANES].copy_from_slice(&acc0);
-            c1[j..j + LANES].copy_from_slice(&acc1);
-            c2[j..j + LANES].copy_from_slice(&acc2);
-            c3[j..j + LANES].copy_from_slice(&acc3);
-            j += LANES;
-        }
-        while j < n {
-            let mut s0 = 0.0;
-            let mut s1 = 0.0;
-            let mut s2 = 0.0;
-            let mut s3 = 0.0;
-            for kk in 0..k {
-                let b_j = b_row(kk)[j];
-                let a_col = &a[kk * m + base..kk * m + base + 4];
-                s0 += a_col[0] * b_j;
-                s1 += a_col[1] * b_j;
-                s2 += a_col[2] * b_j;
-                s3 += a_col[3] * b_j;
-            }
-            c0[j] = s0;
-            c1[j] = s1;
-            c2[j] = s2;
-            c3[j] = s3;
-            j += 1;
-        }
-        r += 4;
-    }
-    while r < out_rows {
-        let i = row_start + r;
-        let c_row = &mut chunk[r * n..(r + 1) * n];
-        let mut j = 0;
-        while j + LANES <= n {
-            let mut acc = [0.0f64; LANES];
-            for kk in 0..k {
-                let bv: &[f64; LANES] = b_row(kk)[j..j + LANES].try_into().unwrap();
-                let a_ki = a[kk * m + i];
-                for l in 0..LANES {
-                    acc[l] = a_ki.mul_add(bv[l], acc[l]);
-                }
-            }
-            c_row[j..j + LANES].copy_from_slice(&acc);
-            j += LANES;
-        }
-        while j < n {
-            let mut s = 0.0;
-            for kk in 0..k {
-                s += a[kk * m + i] * b_row(kk)[j];
-            }
-            c_row[j] = s;
-            j += 1;
-        }
-        r += 1;
-    }
+    gemm_tn_body::<false>(
+        a,
+        |kk| features.row(rows[kk]),
+        chunk,
+        row_start,
+        rows.len(),
+        m,
+        n,
+    );
 }
 
 /// Store-mode variant of [`gemm_tn`]: `C = Aᵀ · B`, overwriting `C`
@@ -479,14 +410,8 @@ pub fn gemm_tn_overwrite(a: &[f64], b: &[f64], c: &mut [f64], k: usize, m: usize
     }
 }
 
-/// Serial core of [`gemm_tn`] over one contiguous block of output rows.
-///
-/// Register-tiled: four output rows advance together through `j` in
-/// [`LANES`]-wide vectors, with the full `k` (sample) dimension fused
-/// into one pass — each output element is loaded (when `ACCUMULATE`)
-/// and stored exactly once, instead of once per sample. Every element
-/// accumulates its `k` contributions in ascending order, matching the
-/// per-sample reference summation order.
+/// Serial core of [`gemm_tn`] over one contiguous block of output rows:
+/// the shared [`gemm_tn_body`] with contiguous `B` rows.
 fn gemm_tn_serial<const ACCUMULATE: bool>(
     a: &[f64],
     b: &[f64],
@@ -496,6 +421,38 @@ fn gemm_tn_serial<const ACCUMULATE: bool>(
     m: usize,
     n: usize,
 ) {
+    gemm_tn_body::<ACCUMULATE>(a, |kk| &b[kk * n..(kk + 1) * n], chunk, row_start, k, m, n);
+}
+
+/// The one `C = Aᵀ · B` register-tile body, generic over `ACCUMULATE`
+/// (load-add-store vs overwrite) and over how `B` rows are fetched — a
+/// contiguous buffer for [`gemm_tn`]/[`gemm_tn_overwrite`], dataset row
+/// indices for [`gemm_tn_indexed_overwrite`]. Collapsing the three
+/// near-identical serial bodies into this single path means the AVX2
+/// tier ([`simd::gemm_tn`], dispatched here) has exactly one scalar
+/// tail to mirror.
+///
+/// Register-tiled: four output rows advance together through `j` in
+/// [`LANES`]-wide vectors, with the full `k` (sample) dimension fused
+/// into one pass — each output element is loaded (when `ACCUMULATE`)
+/// and stored exactly once, instead of once per sample. Every element
+/// accumulates its `k` contributions in ascending order, matching the
+/// per-sample reference summation order.
+fn gemm_tn_body<'a, const ACCUMULATE: bool>(
+    a: &[f64],
+    b_row: impl Fn(usize) -> &'a [f64],
+    chunk: &mut [f64],
+    row_start: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::active() {
+        // SAFETY: `simd::active()` guarantees AVX2+FMA were detected.
+        unsafe { simd::gemm_tn::<ACCUMULATE>(a, &b_row, chunk, row_start, k, m, n) };
+        return;
+    }
     let rows = chunk.len() / n;
     let mut r = 0;
     while r + 4 <= rows {
@@ -518,7 +475,7 @@ fn gemm_tn_serial<const ACCUMULATE: bool>(
             let mut acc2 = load(c2);
             let mut acc3 = load(c3);
             for kk in 0..k {
-                let bv: &[f64; LANES] = b[kk * n + j..kk * n + j + LANES].try_into().unwrap();
+                let bv: &[f64; LANES] = b_row(kk)[j..j + LANES].try_into().unwrap();
                 let a_col = &a[kk * m + base..kk * m + base + 4];
                 for l in 0..LANES {
                     acc0[l] = a_col[0].mul_add(bv[l], acc0[l]);
@@ -540,7 +497,7 @@ fn gemm_tn_serial<const ACCUMULATE: bool>(
             let mut s2 = init(c2);
             let mut s3 = init(c3);
             for kk in 0..k {
-                let b_j = b[kk * n + j];
+                let b_j = b_row(kk)[j];
                 let a_col = &a[kk * m + base..kk * m + base + 4];
                 s0 += a_col[0] * b_j;
                 s1 += a_col[1] * b_j;
@@ -567,7 +524,7 @@ fn gemm_tn_serial<const ACCUMULATE: bool>(
                 [0.0; LANES]
             };
             for kk in 0..k {
-                let bv: &[f64; LANES] = b[kk * n + j..kk * n + j + LANES].try_into().unwrap();
+                let bv: &[f64; LANES] = b_row(kk)[j..j + LANES].try_into().unwrap();
                 let a_ki = a[kk * m + i];
                 for l in 0..LANES {
                     acc[l] = a_ki.mul_add(bv[l], acc[l]);
@@ -579,7 +536,7 @@ fn gemm_tn_serial<const ACCUMULATE: bool>(
         while j < n {
             let mut s = if ACCUMULATE { c_row[j] } else { 0.0 };
             for kk in 0..k {
-                s += a[kk * m + i] * b[kk * n + j];
+                s += a[kk * m + i] * b_row(kk)[j];
             }
             c_row[j] = s;
             j += 1;
@@ -633,20 +590,37 @@ pub fn gemm_nt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize
 
 /// SIMD lane width of one accumulator vector in the dot kernels: 8
 /// doubles is one AVX-512 register (or two AVX2 registers).
-const LANES: usize = 8;
+pub(crate) const LANES: usize = 8;
 
 /// Accumulator stripe of the dot kernels: four [`LANES`]-wide vectors
 /// advance in parallel, giving four independent FMA chains — enough to
 /// hide the floating-point latency that serializes a plain [`dot`].
-const STRIPE: usize = 4 * LANES;
+pub(crate) const STRIPE: usize = 4 * LANES;
 
 /// Lane-striped dot product: deterministic (fixed stripe layout, fixed
 /// reduction order) and auto-vectorizable. All Gram entries produced by
 /// [`gemm_nt`] go through this one routine, so identical input rows
 /// yield bit-identical entries — the Euclidean-from-Gram cancellation
-/// depends on this.
+/// depends on this. Dispatches to the hand-written AVX2+FMA form when
+/// [`simd::active`]; both tiers run the identical stripe/fold/tail
+/// order, so the result is the same bit pattern either way.
 #[inline]
-fn dot_lanes(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn dot_lanes(a: &[f64], b: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if simd::active() {
+        // SAFETY: `simd::active()` guarantees AVX2+FMA were detected.
+        return unsafe { simd::dot(a, b) };
+    }
+    dot_lanes_scalar(a, b)
+}
+
+/// Scalar tier of [`dot_lanes`] — the frozen accumulation-order
+/// reference every vector form must reproduce bit-for-bit. Kept
+/// callable on every architecture (the equivalence suite exercises it
+/// through the dispatching GEMM entry points by pinning the tier)
+/// rather than folded into the dispatching wrapper.
+#[inline]
+pub(crate) fn dot_lanes_scalar(a: &[f64], b: &[f64]) -> f64 {
     let len = a.len();
     let mut acc = [0.0f64; STRIPE];
     let mut i = 0;
@@ -681,7 +655,7 @@ fn dot_lanes(a: &[f64], b: &[f64]) -> f64 {
 
 /// `k`-block size of the small-row [`gemm_nt`] path: two `16 x 128`
 /// operand tiles (16 KiB each) fit L1 together.
-const NT_K_BLOCK: usize = 128;
+pub(crate) const NT_K_BLOCK: usize = 128;
 
 /// Serial core of [`gemm_nt`] over one contiguous block of output rows.
 fn gemm_nt_serial(a: &[f64], b: &[f64], chunk: &mut [f64], row_start: usize, k: usize, n: usize) {
@@ -722,6 +696,12 @@ fn gemm_nt_core<'a>(
     n: usize,
 ) {
     if rows <= 16 && n <= 32 && k > 2 * NT_K_BLOCK {
+        #[cfg(target_arch = "x86_64")]
+        if simd::active() {
+            // SAFETY: `simd::active()` guarantees AVX2+FMA were detected.
+            unsafe { simd::gemm_nt_small(&a_row, b, c, k, n) };
+            return;
+        }
         let mut k0 = 0;
         while k0 < k {
             let k_end = (k0 + NT_K_BLOCK).min(k);
@@ -738,6 +718,12 @@ fn gemm_nt_core<'a>(
             }
             k0 = k_end;
         }
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if simd::active() {
+        // SAFETY: `simd::active()` guarantees AVX2+FMA were detected.
+        unsafe { simd::gemm_nt_large(&a_row, rows, b, c, k, n) };
         return;
     }
     for (offset, c_row) in c.chunks_mut(n).enumerate() {
@@ -790,10 +776,26 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
-/// In-place AXPY: `y += alpha * x`.
+/// In-place AXPY: `y += alpha * x` — the [`gemm_nn`] inner stream and
+/// the SGD update (`params -= lr * grad`). Element-wise multiply *then*
+/// add (two roundings, deliberately not fused); the AVX2 tier keeps
+/// that shape with `vmulpd` + `vaddpd`, so both tiers agree bit-for-bit
+/// on every element.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if simd::active() {
+        // SAFETY: `simd::active()` guarantees AVX2+FMA were detected.
+        unsafe { simd::axpy(alpha, x, y) };
+        return;
+    }
+    axpy_scalar(alpha, x, y);
+}
+
+/// Scalar tier of [`axpy`].
+#[inline]
+pub(crate) fn axpy_scalar(alpha: f64, x: &[f64], y: &mut [f64]) {
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi += alpha * xi;
     }

@@ -39,6 +39,15 @@ impl Topology {
             .collect()
     }
 
+    /// Associates a single client with a miner: the allocation-free form
+    /// of [`associate_clients`](Self::associate_clients) for one-upload
+    /// call sites (the event engine's send path). Draws exactly one
+    /// `gen_range`, identical to a one-element batch, so traces and
+    /// learning trajectories are unchanged.
+    pub fn associate_one<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.gen_range(0..self.miners)
+    }
+
     /// Number of miner-to-miner links in the full mesh.
     pub fn miner_mesh_links(&self) -> usize {
         self.miners * self.miners.saturating_sub(1) / 2
@@ -81,6 +90,20 @@ mod tests {
         for &c in &counts {
             assert!(c > 150 && c < 350, "unbalanced assignment: {counts:?}");
         }
+    }
+
+    #[test]
+    fn associate_one_matches_batch_draw_for_draw() {
+        let t = Topology::new(100, 4);
+        let clients: Vec<u64> = (0..50).collect();
+        let mut batch_rng = StdRng::seed_from_u64(9);
+        let mut single_rng = StdRng::seed_from_u64(9);
+        let batch = t.associate_clients(&clients, &mut batch_rng);
+        let singles: Vec<usize> = clients
+            .iter()
+            .map(|_| t.associate_one(&mut single_rng))
+            .collect();
+        assert_eq!(batch, singles);
     }
 
     #[test]
